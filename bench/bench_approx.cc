@@ -1,0 +1,100 @@
+// E8 (extension) — §7: distance-based approximate tree queries.
+//
+// "Give me all the subtrees of T which almost satisfy pattern P" via the
+// Zhang–Shasha ordered edit distance. Measures the metric itself across
+// tree sizes and the approximate sub_select with its size-bound pruning.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace aqua {
+namespace {
+
+using bench::Check;
+using bench::Labels;
+using bench::OrDie;
+
+void BM_EditDistance(benchmark::State& state) {
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  ObjectStore store;
+  RandomTreeSpec spec;
+  spec.num_nodes = nodes;
+  spec.labels = Labels(4);
+  spec.seed = 21;
+  Tree a = OrDie(MakeRandomTree(store, spec));
+  spec.seed = 22;
+  Tree b = OrDie(MakeRandomTree(store, spec));
+  EditCosts costs = AttrEditCosts(&store, "name");
+  double dist = 0;
+  for (auto _ : state) {
+    dist = OrDie(TreeEditDistance(a, b, costs));
+    benchmark::DoNotOptimize(&dist);
+  }
+  state.counters["distance"] = dist;
+}
+BENCHMARK(BM_EditDistance)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_EditDistance_ChainsWorstCase(benchmark::State& state) {
+  // Chains maximize keyroot depth — the min(depth, leaves)^2 factor.
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  ObjectStore store;
+  Tree a = OrDie(MakeChain(store, {"a", "b"}, nodes));
+  Tree b = OrDie(MakeChain(store, {"a", "c"}, nodes));
+  EditCosts costs = AttrEditCosts(&store, "name");
+  double dist = 0;
+  for (auto _ : state) {
+    dist = OrDie(TreeEditDistance(a, b, costs));
+    benchmark::DoNotOptimize(&dist);
+  }
+  state.counters["distance"] = dist;
+}
+BENCHMARK(BM_EditDistance_ChainsWorstCase)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_ApproxSubSelect(benchmark::State& state) {
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  const double threshold = static_cast<double>(state.range(1));
+  ObjectStore store;
+  RandomTreeSpec spec;
+  spec.num_nodes = nodes;
+  spec.labels = Labels(4);
+  spec.seed = 33;
+  Tree tree = OrDie(MakeRandomTree(store, spec));
+  AtomFn atom = MakeInterningAtomFn(&store, "Item", "name");
+  Tree query = OrDie(ParseTreeLiteral("t0(t1 t2)", atom));
+  EditCosts costs = AttrEditCosts(&store, "name");
+  size_t results = 0;
+  for (auto _ : state) {
+    results =
+        OrDie(TreeSubSelectApprox(store, tree, query, threshold, costs))
+            .size();
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["results"] = static_cast<double>(results);
+}
+BENCHMARK(BM_ApproxSubSelect)
+    ->Args({200, 0})->Args({200, 1})->Args({200, 2})->Args({200, 4})
+    ->Args({800, 1})->Args({3200, 1});
+
+void BM_NearestSubtrees(benchmark::State& state) {
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  ObjectStore store;
+  RandomTreeSpec spec;
+  spec.num_nodes = nodes;
+  spec.labels = Labels(4);
+  spec.seed = 34;
+  Tree tree = OrDie(MakeRandomTree(store, spec));
+  AtomFn atom = MakeInterningAtomFn(&store, "Item", "name");
+  Tree query = OrDie(ParseTreeLiteral("t0(t1 t2 t3)", atom));
+  EditCosts costs = AttrEditCosts(&store, "name");
+  double best = 0;
+  for (auto _ : state) {
+    auto ranked = OrDie(NearestSubtrees(store, tree, query, 5, costs));
+    best = ranked.empty() ? -1 : ranked[0].distance;
+    benchmark::DoNotOptimize(&best);
+  }
+  state.counters["best_distance"] = best;
+}
+BENCHMARK(BM_NearestSubtrees)->Arg(200)->Arg(800);
+
+}  // namespace
+}  // namespace aqua

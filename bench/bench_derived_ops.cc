@@ -1,0 +1,117 @@
+// E5 — derived operators vs the split primitive (§4).
+//
+// sub_select / all_anc / all_desc have direct implementations that build
+// only the pieces they return; the paper defines them via split, which
+// materializes all three pieces. Both must agree (tests check that); this
+// bench quantifies what the primitive's generality costs.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace aqua {
+namespace {
+
+using bench::Check;
+using bench::Labels;
+using bench::OrDie;
+
+struct Workload {
+  ObjectStore store;
+  Tree tree;
+  TreePatternRef pattern;
+};
+
+std::unique_ptr<Workload> MakeWorkload(size_t nodes) {
+  auto w = std::make_unique<Workload>();
+  RandomTreeSpec spec;
+  spec.num_nodes = nodes;
+  spec.labels = Labels(6);
+  spec.seed = 99;
+  w->tree = OrDie(MakeRandomTree(w->store, spec));
+  w->pattern =
+      OrDie(ParseTreePattern("{name == \"t0\"}(?* {name == \"t1\"} ?*)"));
+  return w;
+}
+
+void BM_SubSelect_Direct(benchmark::State& state) {
+  auto w = MakeWorkload(static_cast<size_t>(state.range(0)));
+  size_t n = 0;
+  for (auto _ : state) {
+    n = OrDie(TreeSubSelect(w->store, w->tree, w->pattern)).size();
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["results"] = static_cast<double>(n);
+}
+BENCHMARK(BM_SubSelect_Direct)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_SubSelect_ViaSplit(benchmark::State& state) {
+  auto w = MakeWorkload(static_cast<size_t>(state.range(0)));
+  size_t n = 0;
+  for (auto _ : state) {
+    n = OrDie(TreeSubSelectViaSplit(w->store, w->tree, w->pattern)).size();
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["results"] = static_cast<double>(n);
+}
+BENCHMARK(BM_SubSelect_ViaSplit)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_AllAnc_Direct(benchmark::State& state) {
+  auto w = MakeWorkload(static_cast<size_t>(state.range(0)));
+  AncFn fn = [](const Tree& x, const Tree& y) -> Result<Datum> {
+    return Datum::Tuple({Datum::Of(x), Datum::Of(y)});
+  };
+  size_t n = 0;
+  for (auto _ : state) {
+    n = OrDie(TreeAllAnc(w->store, w->tree, w->pattern, fn)).size();
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["results"] = static_cast<double>(n);
+}
+BENCHMARK(BM_AllAnc_Direct)->Arg(1000)->Arg(4000);
+
+void BM_AllAnc_ViaSplit(benchmark::State& state) {
+  auto w = MakeWorkload(static_cast<size_t>(state.range(0)));
+  AncFn fn = [](const Tree& x, const Tree& y) -> Result<Datum> {
+    return Datum::Tuple({Datum::Of(x), Datum::Of(y)});
+  };
+  size_t n = 0;
+  for (auto _ : state) {
+    n = OrDie(TreeAllAncViaSplit(w->store, w->tree, w->pattern, fn)).size();
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["results"] = static_cast<double>(n);
+}
+BENCHMARK(BM_AllAnc_ViaSplit)->Arg(1000)->Arg(4000);
+
+void BM_AllDesc_Direct(benchmark::State& state) {
+  auto w = MakeWorkload(static_cast<size_t>(state.range(0)));
+  DescFn fn = [](const Tree& y, const std::vector<Tree>& z) -> Result<Datum> {
+    return Datum::Tuple({Datum::Of(y), Datum::Scalar(Value::Int(
+                                           static_cast<int64_t>(z.size())))});
+  };
+  size_t n = 0;
+  for (auto _ : state) {
+    n = OrDie(TreeAllDesc(w->store, w->tree, w->pattern, fn)).size();
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["results"] = static_cast<double>(n);
+}
+BENCHMARK(BM_AllDesc_Direct)->Arg(1000)->Arg(4000);
+
+void BM_AllDesc_ViaSplit(benchmark::State& state) {
+  auto w = MakeWorkload(static_cast<size_t>(state.range(0)));
+  DescFn fn = [](const Tree& y, const std::vector<Tree>& z) -> Result<Datum> {
+    return Datum::Tuple({Datum::Of(y), Datum::Scalar(Value::Int(
+                                           static_cast<int64_t>(z.size())))});
+  };
+  size_t n = 0;
+  for (auto _ : state) {
+    n = OrDie(TreeAllDescViaSplit(w->store, w->tree, w->pattern, fn)).size();
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["results"] = static_cast<double>(n);
+}
+BENCHMARK(BM_AllDesc_ViaSplit)->Arg(1000)->Arg(4000);
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,75 @@
+// F1 — Figure 1: concatenation points in tree patterns.
+//
+// Regenerates the figure's identity
+//   a(b(d(f g) e) c) = [[a(α1 α2) ∘α1 b(d(f g) e)]] ∘α2 c
+// and measures instance concatenation (∘α) and pattern matching of the
+// composed pattern, as composition depth grows.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace aqua {
+namespace {
+
+using bench::Check;
+using bench::OrDie;
+
+/// Verifies the exact Figure 1 identity once per benchmark run.
+void VerifyFigure1(ObjectStore& store) {
+  AtomFn atom = MakeInterningAtomFn(&store, "Item", "name");
+  Tree direct = OrDie(ParseTreeLiteral("a(b(d(f g) e) c)", atom));
+  Tree composed = ConcatAt(
+      ConcatAt(OrDie(ParseTreeLiteral("a(@1 @2)", atom)), "1",
+               OrDie(ParseTreeLiteral("b(d(f g) e)", atom))),
+      "2", OrDie(ParseTreeLiteral("c", atom)));
+  if (!direct.StructurallyEquals(composed)) {
+    std::cerr << "Figure 1 identity FAILED\n";
+    std::exit(1);
+  }
+}
+
+void BM_Fig1_InstanceConcat(benchmark::State& state) {
+  const size_t depth = static_cast<size_t>(state.range(0));
+  ObjectStore store;
+  Check(RegisterItemType(store));
+  VerifyFigure1(store);
+  AtomFn atom = MakeInterningAtomFn(&store, "Item", "name");
+  // base = a(@p c); attachment = b(d(f g) e); chain `depth` concatenations.
+  Tree base = OrDie(ParseTreeLiteral("a(@p c)", atom));
+  Tree attachment = OrDie(ParseTreeLiteral("b(d(f g) e @p)", atom));
+  for (auto _ : state) {
+    Tree t = base;
+    for (size_t i = 0; i < depth; ++i) t = ConcatAt(t, "p", attachment);
+    t = ConcatNilAt(t, "p");
+    benchmark::DoNotOptimize(t.size());
+    state.counters["nodes"] = static_cast<double>(t.size());
+  }
+}
+BENCHMARK(BM_Fig1_InstanceConcat)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_Fig1_ComposedPatternMatch(benchmark::State& state) {
+  ObjectStore store;
+  Check(RegisterItemType(store));
+  AtomFn atom = MakeInterningAtomFn(&store, "Item", "name");
+  Tree subject = OrDie(ParseTreeLiteral("a(b(d(f g) e) c)", atom));
+  TreePatternRef composed =
+      OrDie(ParseTreePattern("[[a(@1 @2) .@1 [[b(d(f g) e)]]]] .@2 c"));
+  TreePatternRef direct = OrDie(ParseTreePattern("a(b(d(f g) e) c)"));
+  size_t matches = 0;
+  for (auto _ : state) {
+    TreeMatcher matcher(store, subject);
+    auto found = OrDie(matcher.FindAll(composed));
+    auto found_direct = OrDie(matcher.FindAll(direct));
+    matches = found.size();
+    if (found.size() != found_direct.size()) {
+      std::cerr << "composed and direct patterns disagree\n";
+      std::exit(1);
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.counters["matches"] = static_cast<double>(matches);
+}
+BENCHMARK(BM_Fig1_ComposedPatternMatch);
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,66 @@
+// F2 — Figure 2: iterative self-concatenation [[a(b c α)]]*α.
+//
+// Regenerates the figure's language elements (k = 0..3 and beyond) and
+// measures (a) element construction and (b) root-anchored closure matching
+// against the k-th element.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace aqua {
+namespace {
+
+using bench::Check;
+using bench::OrDie;
+
+void BM_Fig2_ElementConstruction(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  ObjectStore store;
+  Check(RegisterItemType(store));
+  AtomFn atom = MakeInterningAtomFn(&store, "Item", "name");
+  Tree body = OrDie(ParseTreeLiteral("a(b c @x)", atom));
+
+  // Regenerate and print the four figure elements once.
+  static bool printed = false;
+  if (!printed) {
+    printed = true;
+    LabelFn label = AttrLabelFn(&store, "name");
+    for (size_t i = 0; i < 4; ++i) {
+      std::cout << "[[a(b c @x)]]*@x element " << i << ": "
+                << PrintTree(SelfConcatElement(body, "x", i), label) << "\n";
+    }
+  }
+
+  for (auto _ : state) {
+    Tree element = SelfConcatElement(body, "x", k);
+    benchmark::DoNotOptimize(element.size());
+  }
+  state.counters["nodes"] =
+      static_cast<double>(SelfConcatElement(body, "x", k).size());
+}
+BENCHMARK(BM_Fig2_ElementConstruction)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->
+    Arg(16)->Arg(64)->Arg(256);
+
+void BM_Fig2_ClosureMatch(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  ObjectStore store;
+  Check(RegisterItemType(store));
+  AtomFn atom = MakeInterningAtomFn(&store, "Item", "name");
+  Tree body = OrDie(ParseTreeLiteral("a(b c @x)", atom));
+  Tree element = SelfConcatElement(body, "x", k);
+  TreePatternRef closure = OrDie(ParseTreePattern("^[[a(b c @x)]]*@x"));
+  size_t matches = 0;
+  for (auto _ : state) {
+    TreeMatcher matcher(store, element);
+    matches = OrDie(matcher.FindAll(closure)).size();
+    benchmark::DoNotOptimize(matches);
+  }
+  // Every element of the language matches exactly once at the root.
+  state.counters["matches"] = static_cast<double>(matches);
+  state.counters["nodes"] = static_cast<double>(element.size());
+}
+BENCHMARK(BM_Fig2_ClosureMatch)->Arg(1)->Arg(2)->Arg(3)->Arg(16)->Arg(64)->
+    Arg(256);
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,108 @@
+// F3/F4 — Figures 3 and 4: the family tree and
+// split(Brazil(!?* USA !?*), λ(x,y,z)⟨x,y,z⟩)(T).
+//
+// Regenerates the exact figure output once, then measures split over random
+// genealogies of growing size, including the piece construction and the
+// x ∘α y ∘αi zi reassembly invariant.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace aqua {
+namespace {
+
+using bench::Check;
+using bench::OrDie;
+
+TreePatternRef BrazilUsaPattern() {
+  static PredicateEnv* env = [] {
+    auto* e = new PredicateEnv();
+    e->Bind("Brazil",
+            Predicate::AttrEquals("citizen", Value::String("Brazil")));
+    e->Bind("USA", Predicate::AttrEquals("citizen", Value::String("USA")));
+    return e;
+  }();
+  PatternParserOptions popts;
+  popts.env = env;
+  return OrDie(ParseTreePattern("Brazil(!?* USA !?*)", popts));
+}
+
+void PrintFigure4Once() {
+  static bool printed = false;
+  if (printed) return;
+  printed = true;
+  ObjectStore store;
+  Tree family = OrDie(MakePaperFamilyTree(store));
+  LabelFn name = AttrLabelFn(&store, "name");
+  Datum result = OrDie(TreeSplit(
+      store, family, BrazilUsaPattern(),
+      [](const Tree& x, const Tree& y,
+         const std::vector<Tree>& z) -> Result<Datum> {
+        std::vector<Datum> zs;
+        for (const Tree& t : z) zs.push_back(Datum::Of(t));
+        return Datum::Tuple(
+            {Datum::Of(x), Datum::Of(y), Datum::Tuple(std::move(zs))});
+      }));
+  std::cout << "Figure 4 split result: " << result.ToString(name) << "\n";
+}
+
+void BM_Fig4_SplitOnFamilyTrees(benchmark::State& state) {
+  PrintFigure4Once();
+  const size_t people = static_cast<size_t>(state.range(0));
+  ObjectStore store;
+  FamilyTreeSpec spec;
+  spec.num_people = people;
+  spec.brazil_fraction = 0.15;
+  Tree family = OrDie(MakeFamilyTree(store, spec));
+  TreePatternRef pattern = BrazilUsaPattern();
+  size_t tuples = 0;
+  for (auto _ : state) {
+    Datum result = OrDie(TreeSplit(
+        store, family, pattern,
+        [](const Tree& x, const Tree& y,
+           const std::vector<Tree>& z) -> Result<Datum> {
+          std::vector<Datum> zs;
+          for (const Tree& t : z) zs.push_back(Datum::Of(t));
+          return Datum::Tuple(
+              {Datum::Of(x), Datum::Of(y), Datum::Tuple(std::move(zs))});
+        }));
+    tuples = result.size();
+    benchmark::DoNotOptimize(tuples);
+  }
+  state.counters["matches"] = static_cast<double>(tuples);
+  state.counters["nodes"] = static_cast<double>(family.size());
+}
+BENCHMARK(BM_Fig4_SplitOnFamilyTrees)->Arg(8)->Arg(64)->Arg(256)->Arg(1024)->
+    Arg(4096);
+
+void BM_Fig4_SplitReassembly(benchmark::State& state) {
+  const size_t people = static_cast<size_t>(state.range(0));
+  ObjectStore store;
+  FamilyTreeSpec spec;
+  spec.num_people = people;
+  spec.brazil_fraction = 0.15;
+  Tree family = OrDie(MakeFamilyTree(store, spec));
+  TreePatternRef pattern = BrazilUsaPattern();
+  TreeMatcher matcher(store, family);
+  auto matches = OrDie(matcher.FindAll(pattern));
+  if (matches.empty()) {
+    state.SkipWithError("no matches at this size/seed");
+    return;
+  }
+  for (auto _ : state) {
+    for (const TreeMatch& m : matches) {
+      SplitPieces pieces = OrDie(MakeSplitPieces(family, m, {}));
+      Tree reassembled = ReassembleSplit(pieces);
+      if (!reassembled.StructurallyEquals(family)) {
+        state.SkipWithError("reassembly mismatch");
+        return;
+      }
+      benchmark::DoNotOptimize(reassembled.size());
+    }
+  }
+  state.counters["matches"] = static_cast<double>(matches.size());
+}
+BENCHMARK(BM_Fig4_SplitReassembly)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,106 @@
+// F5 — Figure 5 / §5: rewriting query parse trees with the algebra itself.
+//
+// Measures the split-based rule select(R, and(p1,p2)) → select(select(R,p1),
+// p2) applied to a fixpoint over random parse trees of growing size.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace aqua {
+namespace {
+
+using bench::Check;
+using bench::OrDie;
+
+TreePatternRef SelectAndPattern() {
+  static PredicateEnv* env = [] {
+    auto* e = new PredicateEnv();
+    e->Bind("select", Predicate::AttrEquals("op", Value::String("select")));
+    e->Bind("and", Predicate::AttrEquals("op", Value::String("and")));
+    return e;
+  }();
+  PatternParserOptions popts;
+  popts.env = env;
+  return OrDie(ParseTreePattern("select(!? and)", popts));
+}
+
+Result<Tree> RewriteToFixpoint(ObjectStore& store, Tree parse_tree,
+                               const TreePatternRef& pattern,
+                               size_t* passes) {
+  *passes = 0;
+  while (true) {
+    TreeMatcher matcher(store, parse_tree);
+    AQUA_ASSIGN_OR_RETURN(std::vector<TreeMatch> matches,
+                          matcher.FindAll(pattern));
+    bool rewritten = false;
+    for (const TreeMatch& m : matches) {
+      AQUA_ASSIGN_OR_RETURN(SplitPieces p,
+                            MakeSplitPieces(parse_tree, m, {}));
+      if (p.z.size() != 3) continue;
+      AQUA_ASSIGN_OR_RETURN(
+          Oid select_op,
+          store.Create("ParseNode", {{"op", Value::String("select")}}));
+      Tree piece = Tree::Node(
+          NodePayload::Cell(select_op),
+          {Tree::Node(NodePayload::Cell(select_op),
+                      {Tree::Point("a1"), Tree::Point("a2")}),
+           Tree::Point("a3")});
+      Tree out = ConcatAt(p.x, "a", piece);
+      for (size_t i = 0; i < p.z.size(); ++i) {
+        out = ConcatAt(out, "a" + std::to_string(i + 1), p.z[i]);
+      }
+      parse_tree = std::move(out);
+      rewritten = true;
+      ++*passes;
+      break;  // re-match against the rewritten tree
+    }
+    if (!rewritten) return parse_tree;
+    if (*passes > 10000) return Status::Internal("rewrite did not converge");
+  }
+}
+
+void BM_Fig5_RewriteToFixpoint(benchmark::State& state) {
+  const size_t exprs = static_cast<size_t>(state.range(0));
+  ParseTreeSpec spec;
+  spec.num_exprs = exprs;
+  spec.and_fraction = 0.7;
+  TreePatternRef pattern = SelectAndPattern();
+  size_t passes = 0, final_nodes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ObjectStore store;  // fresh store per iteration: rewrites create objects
+    Tree parse_tree = OrDie(MakeQueryParseTree(store, spec));
+    state.ResumeTiming();
+    Tree out = OrDie(RewriteToFixpoint(store, parse_tree, pattern, &passes));
+    final_nodes = out.size();
+    benchmark::DoNotOptimize(final_nodes);
+  }
+  state.counters["passes"] = static_cast<double>(passes);
+  state.counters["final_nodes"] = static_cast<double>(final_nodes);
+}
+BENCHMARK(BM_Fig5_RewriteToFixpoint)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->
+    Arg(128);
+
+void BM_Fig5_MatchOnly(benchmark::State& state) {
+  // The matching half of the rewrite in isolation: how fast can the pattern
+  // select(!? and) be found in a parse tree?
+  const size_t exprs = static_cast<size_t>(state.range(0));
+  ObjectStore store;
+  ParseTreeSpec spec;
+  spec.num_exprs = exprs;
+  spec.and_fraction = 0.7;
+  Tree parse_tree = OrDie(MakeQueryParseTree(store, spec));
+  TreePatternRef pattern = SelectAndPattern();
+  size_t matches = 0;
+  for (auto _ : state) {
+    TreeMatcher matcher(store, parse_tree);
+    matches = OrDie(matcher.FindAll(pattern)).size();
+    benchmark::DoNotOptimize(matches);
+  }
+  state.counters["matches"] = static_cast<double>(matches);
+  state.counters["nodes"] = static_cast<double>(parse_tree.size());
+}
+BENCHMARK(BM_Fig5_MatchOnly)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,143 @@
+// E2 — list pattern matching engines over songs (§3.2/§6).
+//
+// The same boolean query ("does this song contain the melody?") through
+// three engines: the backtracking matcher, Thompson NFA simulation, and the
+// lazily-determinized DFA (compiled once, amortized across the corpus).
+// Sweeps song length and pattern complexity. Expected shape: backtracking
+// is fine for short patterns, NFA is robustly linear, DFA wins on corpus
+// scans once its transitions are hot.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace aqua {
+namespace {
+
+using bench::Check;
+using bench::OrDie;
+
+AnchoredListPattern Melody() {
+  static PredicateEnv* env = [] {
+    auto* e = new PredicateEnv();
+    for (const char* p : {"A", "B", "C", "D", "E", "F", "G"}) {
+      e->Bind(p, Predicate::AttrEquals("pitch", Value::String(p)));
+    }
+    return e;
+  }();
+  PatternParserOptions popts;
+  popts.env = env;
+  return OrDie(ParseListPattern("A ? ? F", popts));
+}
+
+AnchoredListPattern ComplexMelody() {
+  static PredicateEnv* env = [] {
+    auto* e = new PredicateEnv();
+    for (const char* p : {"A", "B", "C", "D", "E", "F", "G"}) {
+      e->Bind(p, Predicate::AttrEquals("pitch", Value::String(p)));
+    }
+    return e;
+  }();
+  PatternParserOptions popts;
+  popts.env = env;
+  // A, then a run of non-F notes, then F, then C or D.
+  return OrDie(ParseListPattern(
+      "A [[{pitch != \"F\"}]]* F [[C | D]]", popts));
+}
+
+std::vector<List> MakeCorpus(ObjectStore& store, size_t songs,
+                             size_t notes) {
+  std::vector<List> corpus;
+  for (size_t i = 0; i < songs; ++i) {
+    SongSpec spec;
+    spec.num_notes = notes;
+    spec.seed = 1000 + i;
+    corpus.push_back(OrDie(MakeSong(store, spec)));
+  }
+  return corpus;
+}
+
+const AnchoredListPattern& PatternFor(int id) {
+  static AnchoredListPattern simple = Melody();
+  static AnchoredListPattern complex_pattern = ComplexMelody();
+  return id == 0 ? simple : complex_pattern;
+}
+
+void BM_ListMatch_Backtracking(benchmark::State& state) {
+  ObjectStore store;
+  auto corpus = MakeCorpus(store, 32, static_cast<size_t>(state.range(0)));
+  const AnchoredListPattern& pattern = PatternFor(state.range(1));
+  ListMatchOptions opts;
+  opts.max_matches = 1;  // boolean question: any match?
+  size_t hits = 0;
+  for (auto _ : state) {
+    hits = 0;
+    for (const List& song : corpus) {
+      ListMatcher matcher(store, song);
+      if (!OrDie(matcher.FindAll(pattern, opts)).empty()) ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["hits"] = static_cast<double>(hits);
+}
+
+void BM_ListMatch_Nfa(benchmark::State& state) {
+  ObjectStore store;
+  auto corpus = MakeCorpus(store, 32, static_cast<size_t>(state.range(0)));
+  Nfa nfa = OrDie(Nfa::CompileSearch(PatternFor(state.range(1)).body));
+  size_t hits = 0;
+  for (auto _ : state) {
+    hits = 0;
+    for (const List& song : corpus) {
+      if (nfa.ExistsMatch(store, song)) ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["hits"] = static_cast<double>(hits);
+  state.counters["states"] = static_cast<double>(nfa.num_states());
+}
+
+void BM_ListMatch_LazyDfa(benchmark::State& state) {
+  ObjectStore store;
+  auto corpus = MakeCorpus(store, 32, static_cast<size_t>(state.range(0)));
+  Nfa nfa = OrDie(Nfa::CompileSearch(PatternFor(state.range(1)).body));
+  LazyDfa dfa = OrDie(LazyDfa::Make(&nfa));
+  size_t hits = 0;
+  for (auto _ : state) {
+    hits = 0;
+    for (const List& song : corpus) {
+      if (dfa.ExistsMatch(store, song)) ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["hits"] = static_cast<double>(hits);
+  state.counters["dfa_states"] = static_cast<double>(dfa.num_states());
+}
+
+// {song length, pattern id (0 = A??F, 1 = closure/alt pattern)}
+#define LIST_MATCH_ARGS                                               \
+  ->Args({64, 0})->Args({256, 0})->Args({1024, 0})->Args({4096, 0})  \
+      ->Args({64, 1})->Args({256, 1})->Args({1024, 1})->Args({4096, 1})
+
+BENCHMARK(BM_ListMatch_Backtracking) LIST_MATCH_ARGS;
+BENCHMARK(BM_ListMatch_Nfa) LIST_MATCH_ARGS;
+BENCHMARK(BM_ListMatch_LazyDfa) LIST_MATCH_ARGS;
+
+void BM_ListMatch_EnumerateAll(benchmark::State& state) {
+  // Full enumeration (the operator path): all matches with extents.
+  ObjectStore store;
+  SongSpec spec;
+  spec.num_notes = static_cast<size_t>(state.range(0));
+  List song = OrDie(MakeSong(store, spec));
+  const AnchoredListPattern& pattern = PatternFor(0);
+  size_t matches = 0;
+  for (auto _ : state) {
+    ListMatcher matcher(store, song);
+    matches = OrDie(matcher.FindAll(pattern)).size();
+    benchmark::DoNotOptimize(matches);
+  }
+  state.counters["matches"] = static_cast<double>(matches);
+}
+BENCHMARK(BM_ListMatch_EnumerateAll)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,105 @@
+// E4 — §4 select: order-preserving, ancestry-contracting filter.
+//
+// Measures select over random trees across size and predicate selectivity,
+// and the cascade equivalence select(p1 ∧ p2) = select(p2)(select(p1)) that
+// the plan rewriter exploits.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace aqua {
+namespace {
+
+using bench::Check;
+using bench::Labels;
+using bench::OrDie;
+
+void BM_TreeSelect(benchmark::State& state) {
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  const size_t alphabet = static_cast<size_t>(state.range(1));
+  ObjectStore store;
+  RandomTreeSpec spec;
+  spec.num_nodes = nodes;
+  spec.labels = Labels(alphabet);
+  Tree tree = OrDie(MakeRandomTree(store, spec));
+  // Keep one label out of `alphabet` — selectivity 1/alphabet.
+  PredicateRef pred = Predicate::AttrEquals("name", Value::String("t0"));
+  size_t kept = 0, pieces = 0;
+  for (auto _ : state) {
+    auto forest = OrDie(TreeSelect(store, tree, pred));
+    pieces = forest.size();
+    kept = 0;
+    for (const Tree& t : forest) kept += t.size();
+    benchmark::DoNotOptimize(kept);
+  }
+  state.counters["forest_pieces"] = static_cast<double>(pieces);
+  state.counters["kept_nodes"] = static_cast<double>(kept);
+}
+BENCHMARK(BM_TreeSelect)
+    ->Args({1000, 4})->Args({10000, 4})->Args({100000, 4})
+    ->Args({10000, 2})->Args({10000, 16})->Args({10000, 64});
+
+void BM_TreeSelect_ConjunctiveVsCascade(benchmark::State& state) {
+  // Equivalent formulations; the cascade evaluates the cheap predicate
+  // against fewer nodes in its second stage.
+  const bool cascade = state.range(0) != 0;
+  ObjectStore store;
+  RandomTreeSpec spec;
+  spec.num_nodes = 20000;
+  spec.labels = Labels(8);
+  Tree tree = OrDie(MakeRandomTree(store, spec));
+  PredicateRef cheap = Predicate::AttrEquals("name", Value::String("t0"));
+  PredicateRef rare = Predicate::Compare("val", CmpOp::kLt, Value::Int(10));
+  size_t kept = 0;
+  for (auto _ : state) {
+    kept = 0;
+    if (cascade) {
+      for (const Tree& stage1 : OrDie(TreeSelect(store, tree, cheap))) {
+        for (const Tree& stage2 : OrDie(TreeSelect(store, stage1, rare))) {
+          kept += stage2.size();
+        }
+      }
+    } else {
+      for (const Tree& piece :
+           OrDie(TreeSelect(store, tree, Predicate::And(cheap, rare)))) {
+        kept += piece.size();
+      }
+    }
+    benchmark::DoNotOptimize(kept);
+  }
+  state.counters["kept_nodes"] = static_cast<double>(kept);
+  state.SetLabel(cascade ? "cascade" : "conjunctive");
+}
+BENCHMARK(BM_TreeSelect_ConjunctiveVsCascade)->Arg(0)->Arg(1);
+
+void BM_ListSelect(benchmark::State& state) {
+  const size_t items = static_cast<size_t>(state.range(0));
+  ObjectStore store;
+  List list = OrDie(MakeRandomList(store, items, Labels(8), 5));
+  PredicateRef pred = Predicate::AttrEquals("name", Value::String("t0"));
+  size_t kept = 0;
+  for (auto _ : state) {
+    kept = OrDie(ListSelect(store, list, pred)).size();
+    benchmark::DoNotOptimize(kept);
+  }
+  state.counters["kept"] = static_cast<double>(kept);
+}
+BENCHMARK(BM_ListSelect)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_TreeApply(benchmark::State& state) {
+  // apply is the other bulk-generic operator; isomorphic copy + map.
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  ObjectStore store;
+  RandomTreeSpec spec;
+  spec.num_nodes = nodes;
+  Tree tree = OrDie(MakeRandomTree(store, spec));
+  NodeFn identity = [](ObjectStore&, Oid oid) -> Result<Oid> { return oid; };
+  for (auto _ : state) {
+    Tree mapped = OrDie(TreeApply(store, tree, identity));
+    benchmark::DoNotOptimize(mapped.size());
+  }
+}
+BENCHMARK(BM_TreeApply)->Arg(1000)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,124 @@
+// E1 — §4 "Why Split?": the index-assisted decomposition of sub_select.
+//
+//   sub_select(tp)(T)  vs
+//   apply(sub_select(⊤tp))(split(anchor)(T))   [literal rewrite]  vs
+//   fused index probe + anchored matching      [physical operator]
+//
+// Sweeps tree size and anchor selectivity (label-alphabet size). The
+// paper's claim: the split form "drastically narrows the search space";
+// expect the indexed forms to win by roughly the selectivity factor, with
+// the literal rewrite paying subtree materialization on top.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace aqua {
+namespace {
+
+using bench::Check;
+using bench::Labels;
+using bench::OrDie;
+
+struct Workload {
+  ObjectStore store;
+  Tree tree;
+  TreePatternRef pattern;
+  AttributeIndex index;
+};
+
+/// Pattern anchored at label t0 with a t1 child somewhere:
+/// {name=="t0"}(?* {name=="t1"} ?*).
+std::unique_ptr<Workload> MakeWorkload(size_t nodes, size_t alphabet) {
+  auto w = std::make_unique<Workload>();
+  RandomTreeSpec spec;
+  spec.num_nodes = nodes;
+  spec.labels = Labels(alphabet);
+  spec.seed = 1234;
+  w->tree = OrDie(MakeRandomTree(w->store, spec));
+  w->pattern =
+      OrDie(ParseTreePattern("{name == \"t0\"}(?* {name == \"t1\"} ?*)"));
+  w->index = OrDie(AttributeIndex::BuildForTree(w->store, w->tree, "name"));
+  return w;
+}
+
+void BM_SubSelect_Naive(benchmark::State& state) {
+  auto w = MakeWorkload(static_cast<size_t>(state.range(0)),
+                        static_cast<size_t>(state.range(1)));
+  size_t results = 0;
+  for (auto _ : state) {
+    results = OrDie(TreeSubSelect(w->store, w->tree, w->pattern)).size();
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["results"] = static_cast<double>(results);
+  state.counters["selectivity"] = 1.0 / static_cast<double>(state.range(1));
+}
+
+void BM_SubSelect_SplitRewrite(benchmark::State& state) {
+  auto w = MakeWorkload(static_cast<size_t>(state.range(0)),
+                        static_cast<size_t>(state.range(1)));
+  size_t results = 0;
+  for (auto _ : state) {
+    results = OrDie(TreeSubSelectSplitRewrite(w->store, w->tree, w->pattern,
+                                              w->index))
+                  .size();
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["results"] = static_cast<double>(results);
+}
+
+void BM_SubSelect_Indexed(benchmark::State& state) {
+  auto w = MakeWorkload(static_cast<size_t>(state.range(0)),
+                        static_cast<size_t>(state.range(1)));
+  size_t results = 0;
+  for (auto _ : state) {
+    results =
+        OrDie(TreeSubSelectIndexed(w->store, w->tree, w->pattern, w->index))
+            .size();
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["results"] = static_cast<double>(results);
+}
+
+// Size sweep at fixed selectivity 1/8, then selectivity sweep at 8k nodes.
+#define SPLIT_REWRITE_ARGS                                        \
+  ->Args({1000, 8})->Args({4000, 8})->Args({16000, 8})            \
+      ->Args({8000, 2})->Args({8000, 4})->Args({8000, 16})        \
+      ->Args({8000, 64})
+
+BENCHMARK(BM_SubSelect_Naive) SPLIT_REWRITE_ARGS;
+BENCHMARK(BM_SubSelect_SplitRewrite) SPLIT_REWRITE_ARGS;
+BENCHMARK(BM_SubSelect_Indexed) SPLIT_REWRITE_ARGS;
+
+void BM_SubSelect_PlannerChoice(benchmark::State& state) {
+  // End-to-end: the rewriter decides; measures the optimized plan through
+  // the executor (optimizer time included once per iteration).
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  Database db;
+  Check(RegisterItemType(db.store()));
+  RandomTreeSpec spec;
+  spec.num_nodes = nodes;
+  spec.labels = Labels(8);
+  spec.seed = 1234;
+  Check(db.RegisterTree("t", OrDie(MakeRandomTree(db.store(), spec))));
+  Check(db.CreateIndex("t", "name"));
+  auto tp =
+      OrDie(ParseTreePattern("{name == \"t0\"}(?* {name == \"t1\"} ?*)"));
+  size_t results = 0;
+  bool rewritten = false;
+  for (auto _ : state) {
+    Rewriter rewriter(&db);
+    rewriter.AddDefaultRules();
+    PlanRef plan =
+        OrDie(rewriter.Optimize(Q::TreeSubSelect(Q::ScanTree("t"), tp)));
+    rewritten = plan->op == PlanOp::kIndexedSubSelect;
+    Executor exec(&db);
+    results = OrDie(exec.Execute(plan)).size();
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["results"] = static_cast<double>(results);
+  state.counters["used_index"] = rewritten ? 1 : 0;
+}
+BENCHMARK(BM_SubSelect_PlannerChoice)->Arg(1000)->Arg(8000);
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,78 @@
+// E9 (extension) — storage substrate: database dump/load round-trips.
+//
+// Measures serialization and reconstruction throughput over databases of
+// growing size (objects + collections + index rebuild on load), and
+// verifies the round-trip produces an identical dump.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace aqua {
+namespace {
+
+using bench::Check;
+using bench::Labels;
+using bench::OrDie;
+
+std::unique_ptr<Database> MakeDatabase(size_t nodes) {
+  auto db = std::make_unique<Database>();
+  Check(RegisterItemType(db->store()));
+  RandomTreeSpec spec;
+  spec.num_nodes = nodes;
+  spec.labels = Labels(8);
+  spec.seed = 9;
+  Check(db->RegisterTree("t", OrDie(MakeRandomTree(db->store(), spec))));
+  Check(db->RegisterList(
+      "l", OrDie(MakeRandomList(db->store(), nodes / 2, Labels(8), 10))));
+  Check(db->CreateIndex("t", "name"));
+  Check(db->CreateIndex("l", "name"));
+  return db;
+}
+
+void BM_Storage_Dump(benchmark::State& state) {
+  auto db = MakeDatabase(static_cast<size_t>(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string text = OrDie(DumpDatabase(*db));
+    bytes = text.size();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) * state.iterations());
+}
+BENCHMARK(BM_Storage_Dump)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_Storage_Load(benchmark::State& state) {
+  auto db = MakeDatabase(static_cast<size_t>(state.range(0)));
+  std::string text = OrDie(DumpDatabase(*db));
+  size_t objects = 0;
+  for (auto _ : state) {
+    Database loaded;
+    Check(LoadDatabase(text, &loaded));
+    objects = loaded.store().num_objects();
+    benchmark::DoNotOptimize(objects);
+  }
+  state.counters["objects"] = static_cast<double>(objects);
+  state.SetBytesProcessed(static_cast<int64_t>(text.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_Storage_Load)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_Storage_RoundTripStability(benchmark::State& state) {
+  auto db = MakeDatabase(2000);
+  for (auto _ : state) {
+    std::string once = OrDie(DumpDatabase(*db));
+    Database loaded;
+    Check(LoadDatabase(once, &loaded));
+    std::string twice = OrDie(DumpDatabase(loaded));
+    if (once != twice) {
+      state.SkipWithError("round-trip is not stable");
+      return;
+    }
+    benchmark::DoNotOptimize(twice.size());
+  }
+}
+BENCHMARK(BM_Storage_RoundTripStability);
+
+}  // namespace
+}  // namespace aqua

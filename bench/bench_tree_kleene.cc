@@ -1,0 +1,127 @@
+// E3 — §3.3 footnote 3: "The inclusion of these operations means that some
+// tree queries will be exponential. The performance of many such queries
+// can be improved using our optimizations."
+//
+// Workload: boolean closure matching of [[a(b(@x))]]*@x-style patterns over
+// deep chains, and prune-heavy patterns whose boolean subtree checks repeat.
+// The ablation is the matcher's memoization of (pattern, environment, node)
+// boolean results — the optimization that collapses the repeated work.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace aqua {
+namespace {
+
+using bench::Check;
+using bench::OrDie;
+
+void BM_Kleene_ChainClosure(benchmark::State& state) {
+  const size_t depth = static_cast<size_t>(state.range(0));
+  const bool memoize = state.range(1) != 0;
+  ObjectStore store;
+  Tree chain = OrDie(MakeChain(store, {"a", "b"}, depth));
+  // The chain alternates a,b — in the closure's language when the depth is
+  // even, rooted at the top.
+  TreePatternRef closure = OrDie(ParseTreePattern("^[[a(b(@x))]]*@x"));
+  TreeMatchOptions opts;
+  opts.memoize = memoize;
+  size_t matches = 0, steps = 0;
+  for (auto _ : state) {
+    TreeMatcher matcher(store, chain, opts);
+    matches = OrDie(matcher.FindAll(closure)).size();
+    steps = matcher.steps();
+    benchmark::DoNotOptimize(matches);
+  }
+  state.counters["matches"] = static_cast<double>(matches);
+  state.counters["steps"] = static_cast<double>(steps);
+}
+BENCHMARK(BM_Kleene_ChainClosure)
+    ->Args({64, 0})->Args({64, 1})
+    ->Args({256, 0})->Args({256, 1})
+    ->Args({1024, 0})->Args({1024, 1});
+
+/// A chain of `depth` nodes named "a" with a final node named "z" — the
+/// poisoned tail makes every closure decomposition fail at the very end.
+Result<Tree> MakePoisonedChain(ObjectStore& store, size_t depth) {
+  AQUA_RETURN_IF_ERROR(RegisterItemType(store));
+  Tree t;
+  NodeId prev = kInvalidNode;
+  for (size_t i = 0; i <= depth; ++i) {
+    const char* name = i == depth ? "z" : "a";
+    AQUA_ASSIGN_OR_RETURN(
+        Oid oid, store.Create("Item", {{"name", Value::String(name)},
+                                       {"val", Value::Int(0)}}));
+    NodeId node = t.AddNode(NodePayload::Cell(oid));
+    if (prev == kInvalidNode) {
+      AQUA_RETURN_IF_ERROR(t.SetRoot(node));
+    } else {
+      AQUA_RETURN_IF_ERROR(t.AddChild(prev, node));
+    }
+    prev = node;
+  }
+  return t;
+}
+
+void BM_Kleene_AmbiguousClosure(benchmark::State& state) {
+  // [[a(@x) | a(a(@x))]]*@x over an all-a chain with a poisoned tail: every
+  // 1-or-2-step decomposition fails only at the end, so the number of
+  // explored derivations is Fibonacci in the depth. The paper's footnote 3
+  // concedes this exponentiality; memoizing boolean subtree answers (the
+  // ablation knob) collapses it to linear.
+  const size_t depth = static_cast<size_t>(state.range(0));
+  const bool memoize = state.range(1) != 0;
+  ObjectStore store;
+  Tree chain = OrDie(MakePoisonedChain(store, depth));
+  TreePatternRef closure =
+      OrDie(ParseTreePattern("^[[a(@x) | a(a(@x))]]*@x"));
+  TreeMatchOptions opts;
+  opts.memoize = memoize;
+  bool matched = false;
+  size_t steps = 0;
+  for (auto _ : state) {
+    TreeMatcher matcher(store, chain, opts);
+    matched = OrDie(matcher.MatchesAt(closure, chain.root()));
+    steps = matcher.steps();
+    benchmark::DoNotOptimize(matched);
+  }
+  state.counters["matched"] = matched ? 1 : 0;
+  state.counters["steps"] = static_cast<double>(steps);
+}
+BENCHMARK(BM_Kleene_AmbiguousClosure)
+    ->Args({16, 0})->Args({16, 1})
+    ->Args({24, 0})->Args({24, 1})
+    ->Args({32, 0})->Args({32, 1})
+    ->Args({200, 1})->Args({2000, 1});
+
+void BM_Kleene_PruneChecks(benchmark::State& state) {
+  // Prune-heavy pattern over a random tree: every pruned atom triggers a
+  // boolean subtree check; memoization dedupes repeats across derivations.
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  const bool memoize = state.range(1) != 0;
+  ObjectStore store;
+  RandomTreeSpec spec;
+  spec.num_nodes = nodes;
+  spec.labels = {"a", "b", "c"};
+  spec.seed = 77;
+  Tree tree = OrDie(MakeRandomTree(store, spec));
+  TreePatternRef pattern = OrDie(ParseTreePattern("a(!?* b !?*)"));
+  TreeMatchOptions opts;
+  opts.memoize = memoize;
+  size_t matches = 0, steps = 0;
+  for (auto _ : state) {
+    TreeMatcher matcher(store, tree, opts);
+    matches = OrDie(matcher.FindAll(pattern)).size();
+    steps = matcher.steps();
+    benchmark::DoNotOptimize(matches);
+  }
+  state.counters["matches"] = static_cast<double>(matches);
+  state.counters["steps"] = static_cast<double>(steps);
+}
+BENCHMARK(BM_Kleene_PruneChecks)
+    ->Args({500, 0})->Args({500, 1})
+    ->Args({2000, 0})->Args({2000, 1})
+    ->Args({8000, 0})->Args({8000, 1});
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,41 @@
+#ifndef AQUA_BENCH_BENCH_UTIL_H_
+#define AQUA_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+
+#include "aqua.h"
+
+namespace aqua::bench {
+
+/// Unwraps a Result in benchmark setup code; aborts on error (a benchmark
+/// with broken setup must not silently measure garbage).
+template <typename T>
+T OrDie(Result<T> result) {
+  if (!result.ok()) {
+    std::cerr << "bench setup error: " << result.status() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).ValueUnsafe();
+}
+
+inline void Check(const Status& status) {
+  if (!status.ok()) {
+    std::cerr << "bench setup error: " << status << "\n";
+    std::exit(1);
+  }
+}
+
+/// Standard label alphabets of several sizes; the anchor label "t0" has
+/// selectivity 1/size.
+inline std::vector<std::string> Labels(size_t size) {
+  std::vector<std::string> out;
+  out.reserve(size);
+  for (size_t i = 0; i < size; ++i) out.push_back("t" + std::to_string(i));
+  return out;
+}
+
+}  // namespace aqua::bench
+
+#endif  // AQUA_BENCH_BENCH_UTIL_H_

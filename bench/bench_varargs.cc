@@ -1,0 +1,97 @@
+// E7 — §5: variable-arity queries,
+// sub_select(printf(?* LargeData ?* LargeData ?*))(T).
+//
+// Sweeps the fanout of the variable-arity nodes and the number of calls;
+// the children-sequence regex must absorb arbitrary argument counts.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bench_util.h"
+
+namespace aqua {
+namespace {
+
+using bench::Check;
+using bench::OrDie;
+
+/// A synthetic C-like parse forest: a root block with `calls` printf nodes,
+/// each with `fanout` arguments, a fraction of which are LargeData.
+Result<Tree> MakeProgram(ObjectStore& store, size_t calls, size_t fanout,
+                         uint64_t seed) {
+  AQUA_RETURN_IF_ERROR(RegisterItemType(store));
+  std::mt19937_64 rng(seed);
+  auto item = [&](const std::string& name) -> Result<Oid> {
+    return store.Create("Item", {{"name", Value::String(name)},
+                                 {"val", Value::Int(0)}});
+  };
+  AQUA_ASSIGN_OR_RETURN(Oid block, item("block"));
+  std::vector<Tree> call_trees;
+  for (size_t c = 0; c < calls; ++c) {
+    AQUA_ASSIGN_OR_RETURN(Oid printf_node, item("printf"));
+    std::vector<Tree> args;
+    for (size_t a = 0; a < fanout; ++a) {
+      bool large = rng() % 5 == 0;  // ~20% of arguments are LargeData
+      AQUA_ASSIGN_OR_RETURN(Oid arg,
+                            item(large ? "LargeData"
+                                       : "arg" + std::to_string(a)));
+      args.push_back(Tree::Leaf(NodePayload::Cell(arg)));
+    }
+    call_trees.push_back(Tree::Node(NodePayload::Cell(printf_node), args));
+  }
+  return Tree::Node(NodePayload::Cell(block), call_trees);
+}
+
+void BM_Varargs_TwoLargeData(benchmark::State& state) {
+  const size_t calls = static_cast<size_t>(state.range(0));
+  const size_t fanout = static_cast<size_t>(state.range(1));
+  ObjectStore store;
+  Tree program = OrDie(MakeProgram(store, calls, fanout, 4242));
+  TreePatternRef pattern =
+      OrDie(ParseTreePattern("printf(?* LargeData ?* LargeData ?*)"));
+  size_t hits = 0;
+  for (auto _ : state) {
+    hits = OrDie(TreeSubSelect(store, program, pattern)).size();
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["hits"] = static_cast<double>(hits);
+  state.counters["nodes"] = static_cast<double>(program.size());
+}
+BENCHMARK(BM_Varargs_TwoLargeData)
+    ->Args({100, 4})->Args({100, 8})->Args({100, 16})->Args({100, 32})
+    ->Args({1000, 8})->Args({4000, 8});
+
+void BM_Varargs_BooleanOnly(benchmark::State& state) {
+  // The boolean variant ("is there any such call?") short-circuits.
+  const size_t calls = static_cast<size_t>(state.range(0));
+  ObjectStore store;
+  Tree program = OrDie(MakeProgram(store, calls, 8, 4242));
+  TreePatternRef pattern =
+      OrDie(ParseTreePattern("printf(?* LargeData ?* LargeData ?*)"));
+  bool any = false;
+  for (auto _ : state) {
+    TreeMatcher matcher(store, program);
+    any = OrDie(matcher.MatchesAnywhere(pattern));
+    benchmark::DoNotOptimize(any);
+  }
+  state.counters["any"] = any ? 1 : 0;
+}
+BENCHMARK(BM_Varargs_BooleanOnly)->Arg(100)->Arg(1000)->Arg(4000);
+
+void BM_Varargs_ThreeLargeData(benchmark::State& state) {
+  // A longer pattern over the same data: three occurrences.
+  ObjectStore store;
+  Tree program = OrDie(MakeProgram(store, 1000, 16, 4242));
+  TreePatternRef pattern = OrDie(ParseTreePattern(
+      "printf(?* LargeData ?* LargeData ?* LargeData ?*)"));
+  size_t hits = 0;
+  for (auto _ : state) {
+    hits = OrDie(TreeSubSelect(store, program, pattern)).size();
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["hits"] = static_cast<double>(hits);
+}
+BENCHMARK(BM_Varargs_ThreeLargeData);
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,31 @@
+#ifndef AQUA_EXAMPLES_EXAMPLE_UTIL_H_
+#define AQUA_EXAMPLES_EXAMPLE_UTIL_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+
+#include "aqua.h"
+
+namespace aqua::examples {
+
+/// Unwraps a Result in example code, aborting with a message on error.
+template <typename T>
+T OrDie(Result<T> result) {
+  if (!result.ok()) {
+    std::cerr << "error: " << result.status() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).ValueUnsafe();
+}
+
+inline void Check(const Status& status) {
+  if (!status.ok()) {
+    std::cerr << "error: " << status << "\n";
+    std::exit(1);
+  }
+}
+
+}  // namespace aqua::examples
+
+#endif  // AQUA_EXAMPLES_EXAMPLE_UTIL_H_

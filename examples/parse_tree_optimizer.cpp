@@ -1,0 +1,110 @@
+// §5 of the paper: using the tree algebra to build a rewrite-based query
+// optimizer *over its own parse trees*. The rewrite rule
+//
+//     select(R, and(p1, p2))  ≡  select(select(R, p1), p2)
+//
+// is implemented as split(select(!? and), f) where f reattaches the pieces
+// around a rebuilt select-over-select, and applied to a fixpoint.
+//
+//   ./build/examples/example_parse_tree_optimizer
+#include <iostream>
+
+#include "example_util.h"
+
+using namespace aqua;
+using aqua::examples::Check;
+using aqua::examples::OrDie;
+
+namespace {
+
+/// One pass of the §5 rewrite: returns the first rewritten tree, or the
+/// input when no select(R, and(p1,p2)) occurs.
+Result<Tree> RewriteOnce(ObjectStore& store, const Tree& parse_tree,
+                         const TreePatternRef& pattern, bool* changed) {
+  TreeMatcher matcher(store, parse_tree);
+  AQUA_ASSIGN_OR_RETURN(std::vector<TreeMatch> matches,
+                        matcher.FindAll(pattern));
+  for (const TreeMatch& m : matches) {
+    AQUA_ASSIGN_OR_RETURN(SplitPieces p, MakeSplitPieces(parse_tree, m, {}));
+    // The match y is select(@a1 and(@a2 @a3)); only rewrite exact and/2.
+    if (p.z.size() != 3) continue;
+    AQUA_ASSIGN_OR_RETURN(
+        Oid select_op,
+        store.Create("ParseNode", {{"op", Value::String("select")}}));
+    Tree piece = Tree::Node(
+        NodePayload::Cell(select_op),
+        {Tree::Node(NodePayload::Cell(select_op),
+                    {Tree::Point("a1"), Tree::Point("a2")}),
+         Tree::Point("a3")});
+    Tree out = ConcatAt(p.x, "a", piece);
+    for (size_t i = 0; i < p.z.size(); ++i) {
+      out = ConcatAt(out, "a" + std::to_string(i + 1), p.z[i]);
+    }
+    *changed = true;
+    return out;
+  }
+  *changed = false;
+  return parse_tree;
+}
+
+size_t CountOp(const ObjectStore& store, const Tree& t,
+               const std::string& op) {
+  size_t n = 0;
+  for (NodeId v : t.Preorder()) {
+    if (!t.payload(v).is_cell()) continue;
+    auto val = store.GetAttr(t.payload(v).oid(), "op");
+    if (val.ok() && val->is_string() && val->string_value() == op) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  ObjectStore store;
+  Check(RegisterParseNodeType(store));
+  LabelFn op = AttrLabelFn(&store, "op");
+
+  // A random algebra parse tree with plenty of select(_, and(_,_)) targets.
+  ParseTreeSpec spec;
+  spec.num_exprs = 24;
+  spec.and_fraction = 0.8;
+  spec.seed = 5;
+  Tree parse_tree = OrDie(MakeQueryParseTree(store, spec));
+  std::cout << "input parse tree (" << parse_tree.size() << " nodes):\n  "
+            << PrintTree(parse_tree, op) << "\n\n";
+
+  PredicateEnv env;
+  env.Bind("select", Predicate::AttrEquals("op", Value::String("select")));
+  env.Bind("and", Predicate::AttrEquals("op", Value::String("and")));
+  PatternParserOptions popts;
+  popts.env = &env;
+  TreePatternRef pattern = OrDie(ParseTreePattern("select(!? and)", popts));
+
+  size_t before = CountOp(store, parse_tree, "and");
+  std::cout << "conjunctive select predicates before: " << before << "\n";
+
+  // Apply the rule to a fixpoint (each pass splits one conjunction).
+  size_t passes = 0;
+  bool changed = true;
+  while (changed) {
+    parse_tree = OrDie(RewriteOnce(store, parse_tree, pattern, &changed));
+    if (changed) ++passes;
+    if (passes > 200) break;  // safety net
+  }
+
+  std::cout << "rewrite passes applied: " << passes << "\n";
+  std::cout << "select(_, and(_, _)) occurrences after: "
+            << [&] {
+                 TreeMatcher matcher(store, parse_tree);
+                 auto matches = matcher.FindAll(pattern);
+                 return matches.ok() ? matches->size() : size_t{0};
+               }()
+            << "\n";
+  std::cout << "select operators after: "
+            << CountOp(store, parse_tree, "select") << "\n\n";
+  std::cout << "optimized parse tree (" << parse_tree.size() << " nodes):\n  "
+            << PrintTree(parse_tree, op) << "\n";
+  Check(parse_tree.Validate());
+  return 0;
+}

@@ -1,0 +1,146 @@
+// The molecular-biology motivation (§1 cites RNA-sequences; §7 points at
+// Shapiro & Zhang's tree comparison of RNA secondary structures and notes
+// that distance metrics "are easily accommodated in our formalisms").
+//
+// RNA secondary structure as a tree of structural elements — stems (S),
+// hairpin loops (H), bulges (B), internal loops (I), multiloops (M) —
+// queried with exact tree patterns and with edit-distance-based
+// approximate retrieval.
+//
+//   ./build/examples/example_rna_structures
+#include <iostream>
+#include <random>
+
+#include "example_util.h"
+
+using namespace aqua;
+using aqua::examples::Check;
+using aqua::examples::OrDie;
+
+namespace {
+
+/// Grows a random secondary-structure tree: stems contain loops; multiloops
+/// branch into further stems.
+Result<Tree> GrowStructure(ObjectStore& store, std::mt19937_64& rng,
+                           size_t depth) {
+  auto element = [&](const std::string& kind, int64_t size) -> Result<Oid> {
+    return store.Create("RnaElem", {{"kind", Value::String(kind)},
+                                    {"bases", Value::Int(size)}});
+  };
+  AQUA_ASSIGN_OR_RETURN(Oid stem,
+                        element("S", static_cast<int64_t>(3 + rng() % 8)));
+  if (depth == 0) {
+    AQUA_ASSIGN_OR_RETURN(Oid hairpin,
+                          element("H", static_cast<int64_t>(3 + rng() % 5)));
+    return Tree::Node(NodePayload::Cell(stem),
+                      {Tree::Leaf(NodePayload::Cell(hairpin))});
+  }
+  double coin = std::uniform_real_distribution<double>(0, 1)(rng);
+  if (coin < 0.35) {
+    // Stem closed by a hairpin loop.
+    AQUA_ASSIGN_OR_RETURN(Oid hairpin,
+                          element("H", static_cast<int64_t>(3 + rng() % 5)));
+    return Tree::Node(NodePayload::Cell(stem),
+                      {Tree::Leaf(NodePayload::Cell(hairpin))});
+  }
+  if (coin < 0.65) {
+    // Bulge or internal loop, then a continued stem.
+    AQUA_ASSIGN_OR_RETURN(
+        Oid interruption,
+        element(coin < 0.5 ? "B" : "I", static_cast<int64_t>(1 + rng() % 4)));
+    AQUA_ASSIGN_OR_RETURN(Tree continued,
+                          GrowStructure(store, rng, depth - 1));
+    return Tree::Node(
+        NodePayload::Cell(stem),
+        {Tree::Node(NodePayload::Cell(interruption), {continued})});
+  }
+  // Multiloop with 2-3 branches.
+  AQUA_ASSIGN_OR_RETURN(Oid multi,
+                        element("M", static_cast<int64_t>(2 + rng() % 3)));
+  std::vector<Tree> branches;
+  size_t arms = 2 + rng() % 2;
+  for (size_t i = 0; i < arms; ++i) {
+    AQUA_ASSIGN_OR_RETURN(Tree branch, GrowStructure(store, rng, depth - 1));
+    branches.push_back(std::move(branch));
+  }
+  return Tree::Node(NodePayload::Cell(stem),
+                    {Tree::Node(NodePayload::Cell(multi), branches)});
+}
+
+}  // namespace
+
+int main() {
+  ObjectStore store;
+  Check(store.schema()
+            .RegisterType("RnaElem", {{"kind", ValueType::kString, true},
+                                      {"bases", ValueType::kInt, true}})
+            .status());
+  LabelFn kind = AttrLabelFn(&store, "kind");
+
+  // A small structure database.
+  std::mt19937_64 rng(7);
+  std::vector<Tree> molecules;
+  for (int i = 0; i < 12; ++i) {
+    molecules.push_back(OrDie(GrowStructure(store, rng, 4)));
+  }
+  std::cout << "molecule 0: " << PrintTree(molecules[0], kind) << "\n";
+  std::cout << "molecule 1: " << PrintTree(molecules[1], kind) << "\n\n";
+
+  // Exact motif query: a multiloop whose arms are all hairpin-closed stems
+  // ("cloverleaf-like"): M( [[S(H)]]+ ).
+  PredicateEnv env;
+  for (const char* k : {"S", "H", "B", "I", "M"}) {
+    env.Bind(k, Predicate::AttrEquals("kind", Value::String(k)));
+  }
+  PatternParserOptions popts;
+  popts.env = &env;
+  TreePatternRef cloverleaf = OrDie(ParseTreePattern("M([[S(H)]]+)", popts));
+  size_t cloverleaves = 0;
+  for (const Tree& molecule : molecules) {
+    cloverleaves +=
+        OrDie(TreeSubSelect(store, molecule, cloverleaf)).size();
+  }
+  std::cout << "cloverleaf motifs (M of only hairpin stems): "
+            << cloverleaves << "\n";
+
+  // Order-sensitive query: a bulge on the 5' side before an internal loop
+  // deeper in the same stem — ancestry expressed by nesting.
+  TreePatternRef bulge_then_internal =
+      OrDie(ParseTreePattern("B(S(I(?*)))", popts));
+  size_t nested = 0;
+  for (const Tree& molecule : molecules) {
+    nested +=
+        OrDie(TreeSubSelect(store, molecule, bulge_then_internal)).size();
+  }
+  std::cout << "bulge-over-internal-loop nestings: " << nested << "\n\n";
+
+  // Approximate retrieval (§7): find structures whose shape is within edit
+  // distance k of a reference motif — the Shapiro/Zhang-style query.
+  Tree reference = molecules[0];
+  EditCosts costs = AttrEditCosts(&store, "kind");
+  std::cout << "distance of each molecule to molecule 0:\n  ";
+  for (const Tree& molecule : molecules) {
+    std::cout << OrDie(TreeEditDistance(molecule, reference, costs)) << " ";
+  }
+  std::cout << "\n";
+
+  AtomFn atom = [&](const std::string& token) -> Result<Oid> {
+    return store.Create("RnaElem",
+                        {{"kind", Value::String(token)},
+                         {"bases", Value::Int(4)}});
+  };
+  Tree motif = OrDie(ParseTreeLiteral("S(M(S(H) S(H)))", atom));
+  std::cout << "\nsubstructures within distance 2 of S(M(S(H) S(H))):\n";
+  size_t near_hits = 0;
+  for (size_t i = 0; i < molecules.size(); ++i) {
+    Datum near_set = OrDie(
+        TreeSubSelectApprox(store, molecules[i], motif, 2, costs));
+    if (near_set.size() > 0) {
+      std::cout << "  molecule " << i << ": " << near_set.size()
+                << " substructure(s)\n";
+      near_hits += near_set.size();
+    }
+  }
+  std::cout << "total: " << near_hits << "\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "algebra/fold.h"
+
+namespace aqua {
+
+namespace {
+
+Result<Value> FoldFrom(const Tree& tree, NodeId v, const TreeFoldFn& combine) {
+  std::vector<Value> child_results;
+  child_results.reserve(tree.arity(v));
+  for (NodeId c : tree.children(v)) {
+    AQUA_ASSIGN_OR_RETURN(Value result, FoldFrom(tree, c, combine));
+    child_results.push_back(std::move(result));
+  }
+  return combine(tree.payload(v), child_results);
+}
+
+}  // namespace
+
+Result<Value> TreeFold(const Tree& tree, const TreeFoldFn& combine,
+                       Value empty_value) {
+  if (combine == nullptr) return Status::InvalidArgument("null fold function");
+  if (tree.empty()) return empty_value;
+  return FoldFrom(tree, tree.root(), combine);
+}
+
+Result<Value> ListFoldLeft(const List& list, Value init,
+                           const ListFoldFn& step) {
+  if (step == nullptr) return Status::InvalidArgument("null fold function");
+  Value acc = std::move(init);
+  for (size_t i = 0; i < list.size(); ++i) {
+    AQUA_ASSIGN_OR_RETURN(acc, step(acc, list.at(i)));
+  }
+  return acc;
+}
+
+Result<Value> ListFoldRight(const List& list, Value init,
+                            const ListFoldRightFn& step) {
+  if (step == nullptr) return Status::InvalidArgument("null fold function");
+  Value acc = std::move(init);
+  for (size_t i = list.size(); i > 0; --i) {
+    AQUA_ASSIGN_OR_RETURN(acc, step(list.at(i - 1), acc));
+  }
+  return acc;
+}
+
+}  // namespace aqua

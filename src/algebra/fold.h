@@ -1,0 +1,42 @@
+#ifndef AQUA_ALGEBRA_FOLD_H_
+#define AQUA_ALGEBRA_FOLD_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "bulk/list.h"
+#include "bulk/tree.h"
+
+namespace aqua {
+
+// The AQUA base algebra's `fold` for ordered types. §4 remarks that `split`
+// "may be viewed as an order-preserving analog for fold that is based on
+// pattern matching"; these are the plain structural folds that remark
+// compares against.
+
+/// Bottom-up tree fold (catamorphism): `combine` receives a node's payload
+/// and its children's results, left to right.
+using TreeFoldFn = std::function<Result<Value>(
+    const NodePayload&, const std::vector<Value>& child_results)>;
+
+/// Folds the whole tree; the empty tree folds to `empty_value`.
+Result<Value> TreeFold(const Tree& tree, const TreeFoldFn& combine,
+                       Value empty_value = Value::Null());
+
+/// Left list fold: `step(acc, element)` over elements in order.
+using ListFoldFn =
+    std::function<Result<Value>(const Value& acc, const NodePayload&)>;
+Result<Value> ListFoldLeft(const List& list, Value init,
+                           const ListFoldFn& step);
+
+/// Right list fold: `step(element, acc)` from the last element backwards.
+using ListFoldRightFn =
+    std::function<Result<Value>(const NodePayload&, const Value& acc)>;
+Result<Value> ListFoldRight(const List& list, Value init,
+                            const ListFoldRightFn& step);
+
+}  // namespace aqua
+
+#endif  // AQUA_ALGEBRA_FOLD_H_

@@ -1,0 +1,142 @@
+#include "algebra/list_ops.h"
+
+#include "bulk/concat.h"
+
+namespace aqua {
+
+ListSplitPieces MakeListSplitPieces(const List& list, const ListMatch& match,
+                                    const ListSplitOptions& opts) {
+  ListSplitPieces pieces;
+  // x: prefix ending in the context point.
+  pieces.x = list.Sublist(0, match.begin);
+  pieces.x.Append(NodePayload::ConcatPoint(opts.context_label));
+
+  // y: matched elements with each maximal pruned run replaced by a point;
+  // the suffix (descendants in the list-like-tree view) becomes a final cut.
+  auto ranges = match.PruneRanges();
+  size_t cut = 0;
+  size_t next_range = 0;
+  for (size_t i = match.begin; i < match.end; ++i) {
+    if (next_range < ranges.size() && i == ranges[next_range].first) {
+      pieces.y.Append(NodePayload::ConcatPoint(
+          opts.cut_prefix + std::to_string(++cut)));
+      pieces.z.push_back(
+          list.Sublist(ranges[next_range].first, ranges[next_range].second));
+      i = ranges[next_range].second - 1;  // loop ++ moves past the run
+      ++next_range;
+    } else {
+      pieces.y.Append(list.at(i));
+    }
+  }
+  if (match.end < list.size()) {
+    pieces.y.Append(NodePayload::ConcatPoint(
+        opts.cut_prefix + std::to_string(++cut)));
+    pieces.z.push_back(list.Sublist(match.end, list.size()));
+  }
+  return pieces;
+}
+
+List ReassembleListSplit(const ListSplitPieces& pieces,
+                         const ListSplitOptions& opts) {
+  List out = ConcatAt(pieces.x, opts.context_label, pieces.y);
+  for (size_t i = 0; i < pieces.z.size(); ++i) {
+    out = ConcatAt(out, opts.cut_prefix + std::to_string(i + 1), pieces.z[i]);
+  }
+  return out;
+}
+
+Result<List> ListSelect(const ObjectStore& store, const List& list,
+                        const PredicateRef& pred) {
+  if (pred == nullptr) return Status::InvalidArgument("null predicate");
+  List out;
+  for (const auto& e : list.elems()) {
+    if (e.is_cell() && pred->Eval(store, e.oid())) out.Append(e);
+  }
+  return out;
+}
+
+Result<List> ListApply(ObjectStore& store, const List& list,
+                       const ListNodeFn& fn) {
+  List out;
+  for (const auto& e : list.elems()) {
+    if (e.is_cell()) {
+      AQUA_ASSIGN_OR_RETURN(Oid mapped, fn(store, e.oid()));
+      out.Append(NodePayload::Cell(mapped));
+    } else {
+      out.Append(e);
+    }
+  }
+  return out;
+}
+
+Result<Datum> ListSplit(const ObjectStore& store, const List& list,
+                        const AnchoredListPattern& lp, const ListSplitFn& fn,
+                        const ListSplitOptions& opts) {
+  ListMatcher matcher(store, list);
+  AQUA_ASSIGN_OR_RETURN(std::vector<ListMatch> matches,
+                        matcher.FindAll(lp, opts.match));
+  Datum out = Datum::Set({});
+  for (const ListMatch& m : matches) {
+    ListSplitPieces pieces = MakeListSplitPieces(list, m, opts);
+    AQUA_ASSIGN_OR_RETURN(Datum result, fn(pieces.x, pieces.y, pieces.z));
+    out.SetInsert(std::move(result));
+  }
+  return out;
+}
+
+Result<Datum> ListSubSelect(const ObjectStore& store, const List& list,
+                            const AnchoredListPattern& lp,
+                            const ListSplitOptions& opts) {
+  ListMatcher matcher(store, list);
+  AQUA_ASSIGN_OR_RETURN(std::vector<ListMatch> matches,
+                        matcher.FindAll(lp, opts.match));
+  Datum out = Datum::Set({});
+  for (const ListMatch& m : matches) {
+    List y;
+    auto ranges = m.PruneRanges();
+    size_t next_range = 0;
+    for (size_t i = m.begin; i < m.end; ++i) {
+      if (next_range < ranges.size() && i == ranges[next_range].first) {
+        i = ranges[next_range].second - 1;
+        ++next_range;
+        continue;
+      }
+      y.Append(list.at(i));
+    }
+    out.SetInsert(Datum::Of(std::move(y)));
+  }
+  return out;
+}
+
+Result<Datum> ListAllAnc(const ObjectStore& store, const List& list,
+                         const AnchoredListPattern& lp, const ListAncFn& fn,
+                         const ListSplitOptions& opts) {
+  ListMatcher matcher(store, list);
+  AQUA_ASSIGN_OR_RETURN(std::vector<ListMatch> matches,
+                        matcher.FindAll(lp, opts.match));
+  Datum out = Datum::Set({});
+  for (const ListMatch& m : matches) {
+    ListSplitPieces pieces = MakeListSplitPieces(list, m, opts);
+    AQUA_ASSIGN_OR_RETURN(Datum result,
+                          fn(pieces.x, CloseAllPoints(pieces.y)));
+    out.SetInsert(std::move(result));
+  }
+  return out;
+}
+
+Result<Datum> ListAllDesc(const ObjectStore& store, const List& list,
+                          const AnchoredListPattern& lp, const ListDescFn& fn,
+                          const ListSplitOptions& opts) {
+  ListMatcher matcher(store, list);
+  AQUA_ASSIGN_OR_RETURN(std::vector<ListMatch> matches,
+                        matcher.FindAll(lp, opts.match));
+  Datum out = Datum::Set({});
+  for (const ListMatch& m : matches) {
+    ListSplitPieces pieces = MakeListSplitPieces(list, m, opts);
+    AQUA_ASSIGN_OR_RETURN(Datum result, fn(pieces.y, pieces.z));
+    out.SetInsert(std::move(result));
+  }
+  return out;
+}
+
+}  // namespace aqua

@@ -1,0 +1,145 @@
+#include "algebra/set_ops.h"
+
+#include <algorithm>
+
+namespace aqua {
+
+EqFn IdentityEq() {
+  return [](Oid a, Oid b) { return a == b; };
+}
+
+EqFn ShallowValueEq(const ObjectStore* store) {
+  return [store](Oid a, Oid b) {
+    if (a == b) return true;
+    auto oa = store->Get(a);
+    auto ob = store->Get(b);
+    if (!oa.ok() || !ob.ok()) return false;
+    if ((*oa)->type() != (*ob)->type()) return false;
+    const auto& attrs_a = (*oa)->attrs();
+    const auto& attrs_b = (*ob)->attrs();
+    for (size_t i = 0; i < attrs_a.size(); ++i) {
+      if (!attrs_a[i].Equals(attrs_b[i])) return false;
+    }
+    return true;
+  };
+}
+
+namespace {
+bool ContainsUnder(const OidSet& set, Oid x, const EqFn& eq) {
+  for (Oid e : set) {
+    if (eq(e, x)) return true;
+  }
+  return false;
+}
+}  // namespace
+
+OidSet SetDistinct(const OidBag& elems, const EqFn& eq) {
+  OidSet out;
+  for (Oid e : elems) {
+    if (!ContainsUnder(out, e, eq)) out.push_back(e);
+  }
+  return out;
+}
+
+OidSet SetUnion(const OidSet& a, const OidSet& b, const EqFn& eq) {
+  OidSet out = SetDistinct(a, eq);
+  for (Oid e : b) {
+    if (!ContainsUnder(out, e, eq)) out.push_back(e);
+  }
+  return out;
+}
+
+OidSet SetIntersect(const OidSet& a, const OidSet& b, const EqFn& eq) {
+  OidSet out;
+  for (Oid e : SetDistinct(a, eq)) {
+    if (ContainsUnder(b, e, eq)) out.push_back(e);
+  }
+  return out;
+}
+
+OidSet SetDifference(const OidSet& a, const OidSet& b, const EqFn& eq) {
+  OidSet out;
+  for (Oid e : SetDistinct(a, eq)) {
+    if (!ContainsUnder(b, e, eq)) out.push_back(e);
+  }
+  return out;
+}
+
+OidSet SetSelect(const ObjectStore& store, const OidSet& set,
+                 const PredicateRef& pred) {
+  OidSet out;
+  for (Oid e : set) {
+    if (pred->Eval(store, e)) out.push_back(e);
+  }
+  return out;
+}
+
+Result<OidSet> SetApply(ObjectStore& store, const OidSet& set,
+                        const MapFn& fn) {
+  OidSet out;
+  out.reserve(set.size());
+  for (Oid e : set) {
+    AQUA_ASSIGN_OR_RETURN(Oid mapped, fn(store, e));
+    out.push_back(mapped);
+  }
+  return out;
+}
+
+Result<Value> SetFold(const ObjectStore& store, const OidSet& set, Value init,
+                      const FoldFn& step) {
+  (void)store;
+  Value acc = std::move(init);
+  for (Oid e : set) {
+    AQUA_ASSIGN_OR_RETURN(acc, step(acc, e));
+  }
+  return acc;
+}
+
+OidBag BagUnion(const OidBag& a, const OidBag& b) {
+  OidBag out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+OidBag BagIntersect(const OidBag& a, const OidBag& b, const EqFn& eq) {
+  OidBag out;
+  std::vector<bool> used(b.size(), false);
+  for (Oid e : a) {
+    for (size_t i = 0; i < b.size(); ++i) {
+      if (!used[i] && eq(e, b[i])) {
+        used[i] = true;
+        out.push_back(e);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+OidBag BagDifference(const OidBag& a, const OidBag& b, const EqFn& eq) {
+  OidBag out;
+  std::vector<bool> used(b.size(), false);
+  for (Oid e : a) {
+    bool cancelled = false;
+    for (size_t i = 0; i < b.size(); ++i) {
+      if (!used[i] && eq(e, b[i])) {
+        used[i] = true;
+        cancelled = true;
+        break;
+      }
+    }
+    if (!cancelled) out.push_back(e);
+  }
+  return out;
+}
+
+OidBag BagSelect(const ObjectStore& store, const OidBag& bag,
+                 const PredicateRef& pred) {
+  OidBag out;
+  for (Oid e : bag) {
+    if (pred->Eval(store, e)) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace aqua

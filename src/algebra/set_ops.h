@@ -1,0 +1,69 @@
+#ifndef AQUA_ALGEBRA_SET_OPS_H_
+#define AQUA_ALGEBRA_SET_OPS_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "object/object_store.h"
+#include "pattern/predicate.h"
+
+namespace aqua {
+
+/// Equality over objects, passed as a parameter to set operators (§2:
+/// "AQUA allows equality to be specified as a parameter to some of its
+/// operators, thereby allowing queries to use various notions of equality").
+using EqFn = std::function<bool(Oid, Oid)>;
+
+/// Identity equality: two references are equal iff they are the same object.
+EqFn IdentityEq();
+
+/// Shallow value equality: same type and pairwise-equal stored attribute
+/// values. The returned function retains `store`, which must outlive it.
+EqFn ShallowValueEq(const ObjectStore* store);
+
+/// A set of objects, represented as a duplicate-free vector in insertion
+/// order (duplicate-freedom is relative to the equality used to build it).
+using OidSet = std::vector<Oid>;
+/// A multiset of objects (duplicates allowed).
+using OidBag = std::vector<Oid>;
+
+/// Returns `elems` with duplicates (under `eq`) removed, keeping first
+/// occurrences.
+OidSet SetDistinct(const OidBag& elems, const EqFn& eq);
+
+/// Set union under `eq`; keeps `a`'s order then new elements of `b`.
+OidSet SetUnion(const OidSet& a, const OidSet& b, const EqFn& eq);
+/// Set intersection under `eq`, in `a`'s order.
+OidSet SetIntersect(const OidSet& a, const OidSet& b, const EqFn& eq);
+/// Set difference `a - b` under `eq`.
+OidSet SetDifference(const OidSet& a, const OidSet& b, const EqFn& eq);
+
+/// Filters by an alphabet-predicate, preserving order.
+OidSet SetSelect(const ObjectStore& store, const OidSet& set,
+                 const PredicateRef& pred);
+
+/// A function applied per element by `apply`; may create objects.
+using MapFn = std::function<Result<Oid>(ObjectStore&, Oid)>;
+
+/// Applies `fn` to every element.
+Result<OidSet> SetApply(ObjectStore& store, const OidSet& set,
+                        const MapFn& fn);
+
+/// Left fold over the elements (the AQUA `fold` for unordered bulk types).
+using FoldFn = std::function<Result<Value>(const Value&, Oid)>;
+Result<Value> SetFold(const ObjectStore& store, const OidSet& set, Value init,
+                      const FoldFn& step);
+
+/// Bag (multiset) operators. Union is additive; intersection and difference
+/// use minimum / saturating counts under `eq`.
+OidBag BagUnion(const OidBag& a, const OidBag& b);
+OidBag BagIntersect(const OidBag& a, const OidBag& b, const EqFn& eq);
+OidBag BagDifference(const OidBag& a, const OidBag& b, const EqFn& eq);
+OidBag BagSelect(const ObjectStore& store, const OidBag& bag,
+                 const PredicateRef& pred);
+
+}  // namespace aqua
+
+#endif  // AQUA_ALGEBRA_SET_OPS_H_

@@ -1,0 +1,244 @@
+#include "algebra/structural.h"
+
+#include <algorithm>
+
+#include "bulk/concat.h"
+#include "pattern/tree_matcher.h"
+
+namespace aqua {
+
+Result<NodeId> NodeAtPath(const Tree& tree, const TreePath& path) {
+  if (tree.empty()) return Status::OutOfRange("path into an empty tree");
+  NodeId cur = tree.root();
+  for (size_t step : path) {
+    const auto& kids = tree.children(cur);
+    if (step >= kids.size()) {
+      return Status::OutOfRange("path step " + std::to_string(step) +
+                                " exceeds arity " +
+                                std::to_string(kids.size()));
+    }
+    cur = kids[step];
+  }
+  return cur;
+}
+
+Result<TreePath> PathToNode(const Tree& tree, NodeId node) {
+  if (tree.empty() || node >= tree.size()) {
+    return Status::OutOfRange("node out of range");
+  }
+  TreePath reversed;
+  NodeId cur = node;
+  while (tree.parent(cur) != kInvalidNode) {
+    NodeId parent = tree.parent(cur);
+    AQUA_ASSIGN_OR_RETURN(size_t idx, tree.ChildIndex(parent, cur));
+    reversed.push_back(idx);
+    cur = parent;
+  }
+  if (cur != tree.root()) {
+    return Status::Internal("node does not reach the root");
+  }
+  std::reverse(reversed.begin(), reversed.end());
+  return reversed;
+}
+
+Result<Tree> SubtreeAtPath(const Tree& tree, const TreePath& path) {
+  AQUA_ASSIGN_OR_RETURN(NodeId node, NodeAtPath(tree, path));
+  return tree.SubtreeCopy(node);
+}
+
+List Frontier(const Tree& tree) {
+  List out;
+  for (NodeId v : tree.Preorder()) {
+    if (tree.is_leaf(v)) out.Append(tree.payload(v));
+  }
+  return out;
+}
+
+List PreorderList(const Tree& tree) {
+  List out;
+  for (NodeId v : tree.Preorder()) out.Append(tree.payload(v));
+  return out;
+}
+
+std::map<size_t, size_t> ArityHistogram(const Tree& tree) {
+  std::map<size_t, size_t> hist;
+  for (NodeId v : tree.Preorder()) ++hist[tree.arity(v)];
+  return hist;
+}
+
+TreeStats ComputeTreeStats(const Tree& tree) {
+  TreeStats stats;
+  if (tree.empty()) return stats;
+  stats.num_nodes = tree.size();
+  stats.height = tree.Height();
+  stats.max_arity = tree.MaxArity();
+  std::optional<size_t> internal_arity;
+  for (NodeId v : tree.Preorder()) {
+    if (tree.is_leaf(v)) {
+      ++stats.num_leaves;
+    } else {
+      if (internal_arity.has_value() && *internal_arity != tree.arity(v)) {
+        stats.fixed_arity = false;
+      }
+      internal_arity = tree.arity(v);
+    }
+    if (tree.payload(v).is_concat_point()) ++stats.num_points;
+  }
+  return stats;
+}
+
+size_t CountSatisfying(const ObjectStore& store, const Tree& tree,
+                       const PredicateRef& pred) {
+  if (pred == nullptr) return 0;
+  size_t count = 0;
+  for (NodeId v : tree.Preorder()) {
+    const NodePayload& p = tree.payload(v);
+    if (p.is_cell() && pred->Eval(store, p.oid())) ++count;
+  }
+  return count;
+}
+
+Result<Tree> InsertSubtree(const Tree& tree, const TreePath& path,
+                           size_t position, const Tree& subtree) {
+  if (subtree.empty()) return tree;
+  AQUA_ASSIGN_OR_RETURN(NodeId target, NodeAtPath(tree, path));
+  if (tree.payload(target).is_concat_point()) {
+    return Status::InvalidArgument(
+        "cannot insert a child under a concatenation point");
+  }
+  // Copy with an injected child at `position` (clamped).
+  struct Copier {
+    const Tree* src;
+    const Tree* insert;
+    Tree* dst;
+    NodeId target;
+    size_t position;
+    NodeId Copy(NodeId s) {
+      NodeId copy = dst->AddNode(src->payload(s));
+      const auto& kids = src->children(s);
+      size_t pos = s == target ? std::min(position, kids.size()) : kids.size() + 1;
+      for (size_t i = 0; i <= kids.size(); ++i) {
+        if (i == pos) {
+          NodeId inserted = CopyOther(insert->root());
+          Status st = dst->AddChild(copy, inserted);
+          (void)st;
+        }
+        if (i == kids.size()) break;
+        NodeId cc = Copy(kids[i]);
+        Status st = dst->AddChild(copy, cc);
+        (void)st;
+      }
+      return copy;
+    }
+    NodeId CopyOther(NodeId s) {
+      NodeId copy = dst->AddNode(insert->payload(s));
+      for (NodeId c : insert->children(s)) {
+        Status st = dst->AddChild(copy, CopyOther(c));
+        (void)st;
+      }
+      return copy;
+    }
+  };
+  Tree out;
+  Copier copier{&tree, &subtree, &out, target, position};
+  NodeId root = copier.Copy(tree.root());
+  AQUA_RETURN_IF_ERROR(out.SetRoot(root));
+  return out;
+}
+
+Result<Tree> DeleteSubtree(const Tree& tree, const TreePath& path) {
+  AQUA_ASSIGN_OR_RETURN(NodeId target, NodeAtPath(tree, path));
+  return tree.CopyWithSubtreeRemoved(target);
+}
+
+Result<Tree> ReplaceSubtree(const Tree& tree, const TreePath& path,
+                            const Tree& replacement) {
+  AQUA_ASSIGN_OR_RETURN(NodeId target, NodeAtPath(tree, path));
+  // Route through a fresh point label that cannot collide with user labels.
+  static const char kTmpLabel[] = "__replace_tmp";
+  Tree with_point = tree.CopyWithSubtreeReplacedByPoint(target, kTmpLabel);
+  if (replacement.empty()) return ConcatNilAt(with_point, kTmpLabel);
+  return ConcatAt(with_point, kTmpLabel, replacement);
+}
+
+Result<std::optional<Tree>> RewriteFirstMatch(const ObjectStore& store,
+                                              const Tree& tree,
+                                              const TreePatternRef& tp,
+                                              const MatchRewriteFn& fn,
+                                              const SplitOptions& opts) {
+  TreeMatchOptions match_opts = opts.match;
+  match_opts.max_matches = 1;
+  match_opts.first_derivation_per_root = true;
+  TreeMatcher matcher(store, tree, match_opts);
+  AQUA_ASSIGN_OR_RETURN(std::vector<TreeMatch> matches, matcher.FindAll(tp));
+  if (matches.empty()) return std::optional<Tree>();
+  AQUA_ASSIGN_OR_RETURN(SplitPieces pieces,
+                        MakeSplitPieces(tree, matches[0], opts));
+  AQUA_ASSIGN_OR_RETURN(Tree replacement, fn(pieces));
+  Tree out = ConcatAt(pieces.x, opts.context_label, replacement);
+  for (size_t i = 0; i < pieces.z.size(); ++i) {
+    out = ConcatAt(out, opts.cut_prefix + std::to_string(i + 1), pieces.z[i]);
+  }
+  return std::optional<Tree>(std::move(out));
+}
+
+Result<Tree> RewriteToFixpoint(const ObjectStore& store, const Tree& tree,
+                               const TreePatternRef& tp,
+                               const MatchRewriteFn& fn,
+                               const SplitOptions& opts, size_t max_passes,
+                               size_t* passes) {
+  Tree current = tree;
+  size_t count = 0;
+  while (true) {
+    AQUA_ASSIGN_OR_RETURN(std::optional<Tree> next,
+                          RewriteFirstMatch(store, current, tp, fn, opts));
+    if (!next.has_value()) break;
+    current = std::move(*next);
+    if (++count > max_passes) {
+      return Status::InvalidArgument(
+          "rewrite did not reach a fixpoint within " +
+          std::to_string(max_passes) + " passes");
+    }
+  }
+  if (passes != nullptr) *passes = count;
+  return current;
+}
+
+Result<List> ListInsert(const List& list, size_t position,
+                        const NodePayload& element) {
+  if (position > list.size()) {
+    return Status::OutOfRange("insert position beyond list end");
+  }
+  List out = list.Sublist(0, position);
+  out.Append(element);
+  for (size_t i = position; i < list.size(); ++i) out.Append(list.at(i));
+  return out;
+}
+
+Result<List> ListDelete(const List& list, size_t position) {
+  if (position >= list.size()) {
+    return Status::OutOfRange("delete position beyond list end");
+  }
+  List out = list.Sublist(0, position);
+  for (size_t i = position + 1; i < list.size(); ++i) out.Append(list.at(i));
+  return out;
+}
+
+Result<List> ListReplace(const List& list, size_t position,
+                         const NodePayload& element) {
+  if (position >= list.size()) {
+    return Status::OutOfRange("replace position beyond list end");
+  }
+  List out = list.Sublist(0, position);
+  out.Append(element);
+  for (size_t i = position + 1; i < list.size(); ++i) out.Append(list.at(i));
+  return out;
+}
+
+List ListReverse(const List& list) {
+  List out;
+  for (size_t i = list.size(); i > 0; --i) out.Append(list.at(i - 1));
+  return out;
+}
+
+}  // namespace aqua

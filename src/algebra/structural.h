@@ -1,0 +1,126 @@
+#ifndef AQUA_ALGEBRA_STRUCTURAL_H_
+#define AQUA_ALGEBRA_STRUCTURAL_H_
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "algebra/tree_ops.h"
+#include "bulk/list.h"
+#include "bulk/tree.h"
+#include "object/object_store.h"
+#include "pattern/tree_pattern.h"
+
+namespace aqua {
+
+// §4 opens: "AQUA also provides a range of other operators for purposes
+// like navigating, updating, and providing structural information about a
+// tree instance. These operators are not discussed in this paper." This
+// module supplies that range. All update operators are copy-based and
+// order-stable: the input instance is never mutated.
+
+// ---------------------------------------------------------------------------
+// Navigation
+
+/// A path from the root: successive child indexes ([] is the root itself).
+using TreePath = std::vector<size_t>;
+
+/// Resolves a path to a node; OutOfRange when a step does not exist.
+Result<NodeId> NodeAtPath(const Tree& tree, const TreePath& path);
+
+/// The path from the root to `node`.
+Result<TreePath> PathToNode(const Tree& tree, NodeId node);
+
+/// The subtree rooted at `path`, as a fresh tree.
+Result<Tree> SubtreeAtPath(const Tree& tree, const TreePath& path);
+
+/// The leaves of the tree, left to right, as a list (cells and points).
+List Frontier(const Tree& tree);
+
+/// Preorder linearization of the tree as a list.
+List PreorderList(const Tree& tree);
+
+// ---------------------------------------------------------------------------
+// Structural information
+
+/// Per-arity node counts (arity -> number of nodes with that out-degree).
+std::map<size_t, size_t> ArityHistogram(const Tree& tree);
+
+/// Summary statistics of a tree instance.
+struct TreeStats {
+  size_t num_nodes = 0;
+  size_t num_leaves = 0;
+  size_t num_points = 0;  ///< concatenation-point (labeled NULL) nodes
+  size_t height = 0;
+  size_t max_arity = 0;
+  /// True when every internal node has the same out-degree ("fixed-arity"
+  /// in the paper's §2 sense).
+  bool fixed_arity = true;
+};
+TreeStats ComputeTreeStats(const Tree& tree);
+
+/// Number of nodes whose object satisfies `pred` (points never count).
+size_t CountSatisfying(const ObjectStore& store, const Tree& tree,
+                       const PredicateRef& pred);
+
+// ---------------------------------------------------------------------------
+// Point-free structural updates
+
+/// Returns a copy with `subtree` inserted as child `position` of the node
+/// at `path` (position clamped to the child count appends).
+Result<Tree> InsertSubtree(const Tree& tree, const TreePath& path,
+                           size_t position, const Tree& subtree);
+
+/// Returns a copy with the subtree at `path` removed (removing the root
+/// yields nil).
+Result<Tree> DeleteSubtree(const Tree& tree, const TreePath& path);
+
+/// Returns a copy with the subtree at `path` replaced by `replacement`.
+Result<Tree> ReplaceSubtree(const Tree& tree, const TreePath& path,
+                            const Tree& replacement);
+
+// ---------------------------------------------------------------------------
+// Pattern-directed updates (the §5 rewrite engine, generalized)
+
+/// Builds the replacement for a match from its split pieces. The returned
+/// tree may contain the cut points `@a1..@an` (and `@a` is not available —
+/// the context is reattached by the engine); any points it does contain are
+/// substituted with the corresponding cut subtrees.
+using MatchRewriteFn = std::function<Result<Tree>(const SplitPieces&)>;
+
+/// Rewrites the *first* match of `tp` (in preorder-root order):
+///   result = x ∘_a fn(pieces) ∘_{a1} z1 ... ∘_{an} zn
+/// Returns nullopt when there is no match.
+Result<std::optional<Tree>> RewriteFirstMatch(const ObjectStore& store,
+                                              const Tree& tree,
+                                              const TreePatternRef& tp,
+                                              const MatchRewriteFn& fn,
+                                              const SplitOptions& opts = {});
+
+/// Repeatedly applies `RewriteFirstMatch` until no match remains (or
+/// `max_passes` is hit, which returns InvalidArgument — the rule set does
+/// not terminate). `passes` (optional) receives the number of rewrites.
+Result<Tree> RewriteToFixpoint(const ObjectStore& store, const Tree& tree,
+                               const TreePatternRef& tp,
+                               const MatchRewriteFn& fn,
+                               const SplitOptions& opts = {},
+                               size_t max_passes = 10000,
+                               size_t* passes = nullptr);
+
+// ---------------------------------------------------------------------------
+// List structural updates
+
+Result<List> ListInsert(const List& list, size_t position,
+                        const NodePayload& element);
+Result<List> ListDelete(const List& list, size_t position);
+Result<List> ListReplace(const List& list, size_t position,
+                         const NodePayload& element);
+/// Reverses the list (an order-*sensitive* operator the set algebra cannot
+/// express).
+List ListReverse(const List& list);
+
+}  // namespace aqua
+
+#endif  // AQUA_ALGEBRA_STRUCTURAL_H_

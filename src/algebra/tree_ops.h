@@ -1,0 +1,109 @@
+#ifndef AQUA_ALGEBRA_TREE_OPS_H_
+#define AQUA_ALGEBRA_TREE_OPS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "object/object_store.h"
+#include "bulk/datum.h"
+#include "bulk/tree.h"
+#include "pattern/predicate.h"
+#include "pattern/tree_matcher.h"
+#include "pattern/tree_pattern.h"
+
+namespace aqua {
+
+/// Per-node mapping function used by `apply`; may create objects.
+using NodeFn = std::function<Result<Oid>(ObjectStore&, Oid)>;
+
+/// The function parameter of `split`: applied to the three pieces —
+/// ancestors-context `x`, match `y`, and cut subtrees `z` (§4).
+using SplitFn = std::function<Result<Datum>(
+    const Tree& x, const Tree& y, const std::vector<Tree>& z)>;
+
+/// Options controlling `split` and the operators derived from it.
+struct SplitOptions {
+  /// Label of the point marking where the match attaches to its ancestors
+  /// (the paper's α).
+  std::string context_label = "a";
+  /// Cut points are labeled `<cut_prefix>1`, `<cut_prefix>2`, ... in the
+  /// order they appear in the match piece (the paper's α1..αn).
+  std::string cut_prefix = "a";
+  /// Matching options (memoization, enumeration bounds).
+  TreeMatchOptions match;
+};
+
+/// The three pieces `split` produces for one match.
+struct SplitPieces {
+  /// All ancestors of the match and their descendants, except the match
+  /// itself; a point labeled `context_label` marks the match position.
+  Tree x;
+  /// The match, with points `α1..αn` where subtrees were cut.
+  Tree y;
+  /// The cut subtrees, in `α1..αn` order.
+  std::vector<Tree> z;
+};
+
+/// Builds the (x, y, z) pieces for one enumerated match.
+Result<SplitPieces> MakeSplitPieces(const Tree& tree, const TreeMatch& match,
+                                    const SplitOptions& opts = {});
+
+/// Builds only the match piece `y` (cheaper path used by `sub_select`).
+Result<Tree> MakeMatchPiece(const Tree& tree, const TreeMatch& match,
+                            const SplitOptions& opts = {});
+
+/// `select(p)(T)` (§4): keeps exactly the nodes satisfying `p`, preserving
+/// the ancestor ordering between every pair of kept nodes; an edge is drawn
+/// between kept nodes when no kept node lies strictly between them. Returns
+/// a forest (one tree per kept node with no kept proper ancestor).
+/// Concatenation-point nodes are invisible to predicates and are contracted.
+Result<std::vector<Tree>> TreeSelect(const ObjectStore& store,
+                                     const Tree& tree,
+                                     const PredicateRef& pred);
+
+/// `apply(f)(T)` (§4): maps every cell through `f`, yielding an isomorphic
+/// tree; point nodes are copied unchanged.
+Result<Tree> TreeApply(ObjectStore& store, const Tree& tree, const NodeFn& fn);
+
+/// `split(tp, f)(T)` (§4), the primitive ordered-tree operator: for every
+/// match of `tp` in `T`, applies `f` to the pieces (x, y, z) and returns the
+/// set of results.
+Result<Datum> TreeSplit(const ObjectStore& store, const Tree& tree,
+                        const TreePatternRef& tp, const SplitFn& fn,
+                        const SplitOptions& opts = {});
+
+/// `sub_select(tp)(T)` (§4): the set of subgraphs of `T` matching `tp`
+/// (match pieces with all points closed by NULL). Direct implementation that
+/// skips building x and z.
+Result<Datum> TreeSubSelect(const ObjectStore& store, const Tree& tree,
+                            const TreePatternRef& tp,
+                            const SplitOptions& opts = {});
+
+/// The function parameter of `all_anc` / `all_desc`.
+using AncFn =
+    std::function<Result<Datum>(const Tree& ancestors, const Tree& match)>;
+using DescFn = std::function<Result<Datum>(const Tree& match,
+                                           const std::vector<Tree>& desc)>;
+
+/// `all_anc(tp, f)(T)` (§4): per match, `f(x, y ∘_{α1..αn} [])` — the
+/// ancestors context (still carrying its α point) and the closed match.
+Result<Datum> TreeAllAnc(const ObjectStore& store, const Tree& tree,
+                         const TreePatternRef& tp, const AncFn& fn,
+                         const SplitOptions& opts = {});
+
+/// `all_desc(tp, f)(T)` (§4): per match, `f(y, z)` — the match (with its
+/// cut points) and the list of descendant/pruned subtrees.
+Result<Datum> TreeAllDesc(const ObjectStore& store, const Tree& tree,
+                          const TreePatternRef& tp, const DescFn& fn,
+                          const SplitOptions& opts = {});
+
+/// Reassembles `x ∘_α y ∘_{α1} z1 ... ∘_{αn} zn` — the inverse of `split`
+/// for pieces produced with `opts`. Used by tests and by rewrite examples
+/// that edit `y` before reattaching (§5).
+Tree ReassembleSplit(const SplitPieces& pieces, const SplitOptions& opts = {});
+
+}  // namespace aqua
+
+#endif  // AQUA_ALGEBRA_TREE_OPS_H_

@@ -1,0 +1,64 @@
+#include "approx/approx_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aqua {
+
+namespace {
+
+/// Lower bound on edit distance under unit-cost models: the size delta
+/// (every surplus node must be inserted or deleted). Holds as long as the
+/// user costs are >= 1 per insert/delete, which we do not verify — the
+/// bound is only used when `use_bound` is true (unit default costs).
+double SizeLowerBound(size_t a, size_t b) {
+  return a > b ? static_cast<double>(a - b) : static_cast<double>(b - a);
+}
+
+}  // namespace
+
+Result<Datum> TreeSubSelectApprox(const ObjectStore& store, const Tree& tree,
+                                  const Tree& query, double max_distance,
+                                  const EditCosts& costs) {
+  (void)store;
+  if (max_distance < 0) {
+    return Status::InvalidArgument("max_distance must be non-negative");
+  }
+  Datum out = Datum::Set({});
+  if (tree.empty()) return out;
+  for (NodeId v : tree.Preorder()) {
+    // Candidate pruning: subtree sizes further apart than the threshold
+    // cannot be within it (unit-cost lower bound).
+    size_t sub_size = tree.PreorderFrom(v).size();
+    if (SizeLowerBound(sub_size, query.size()) > max_distance) continue;
+    Tree candidate = tree.SubtreeCopy(v);
+    AQUA_ASSIGN_OR_RETURN(double dist,
+                          TreeEditDistance(candidate, query, costs));
+    if (dist <= max_distance) out.SetInsert(Datum::Of(std::move(candidate)));
+  }
+  return out;
+}
+
+Result<std::vector<ScoredSubtree>> NearestSubtrees(const ObjectStore& store,
+                                                   const Tree& tree,
+                                                   const Tree& query,
+                                                   size_t top_n,
+                                                   const EditCosts& costs) {
+  (void)store;
+  std::vector<ScoredSubtree> scored;
+  if (tree.empty() || top_n == 0) return scored;
+  for (NodeId v : tree.Preorder()) {
+    Tree candidate = tree.SubtreeCopy(v);
+    AQUA_ASSIGN_OR_RETURN(double dist,
+                          TreeEditDistance(candidate, query, costs));
+    scored.push_back(ScoredSubtree{dist, std::move(candidate)});
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const ScoredSubtree& a, const ScoredSubtree& b) {
+                     return a.distance < b.distance;
+                   });
+  if (scored.size() > top_n) scored.resize(top_n);
+  return scored;
+}
+
+}  // namespace aqua

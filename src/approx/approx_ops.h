@@ -1,0 +1,42 @@
+#ifndef AQUA_APPROX_APPROX_OPS_H_
+#define AQUA_APPROX_APPROX_OPS_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "approx/tree_edit_distance.h"
+#include "bulk/datum.h"
+#include "bulk/tree.h"
+#include "object/object_store.h"
+
+namespace aqua {
+
+/// The §7 query "give me all the subtrees of T which almost satisfy
+/// pattern P", with the pattern given by example (a query tree) and
+/// "almost" by an edit-distance threshold.
+///
+/// Returns the set of subtrees of `tree` whose distance to `query` is at
+/// most `max_distance`. A cheap size-difference lower bound prunes
+/// candidates before the full O(n·m) distance computation.
+Result<Datum> TreeSubSelectApprox(const ObjectStore& store, const Tree& tree,
+                                  const Tree& query, double max_distance,
+                                  const EditCosts& costs = {});
+
+/// One scored candidate of a nearest-subtree search.
+struct ScoredSubtree {
+  double distance = 0;
+  Tree subtree;
+};
+
+/// The `top_n` subtrees of `tree` closest to `query` under the metric,
+/// ascending by distance (ties broken by preorder position).
+Result<std::vector<ScoredSubtree>> NearestSubtrees(const ObjectStore& store,
+                                                   const Tree& tree,
+                                                   const Tree& query,
+                                                   size_t top_n,
+                                                   const EditCosts& costs = {});
+
+}  // namespace aqua
+
+#endif  // AQUA_APPROX_APPROX_OPS_H_

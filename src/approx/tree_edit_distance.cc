@@ -1,0 +1,166 @@
+#include "approx/tree_edit_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace aqua {
+
+EditCosts AttrEditCosts(const ObjectStore* store, std::string attr) {
+  EditCosts costs;
+  costs.rename_cost = [store, attr = std::move(attr)](
+                          const NodePayload& a, const NodePayload& b) {
+    if (a.is_concat_point() || b.is_concat_point()) {
+      return a == b ? 0.0 : 1.0;
+    }
+    auto va = store->GetAttr(a.oid(), attr);
+    auto vb = store->GetAttr(b.oid(), attr);
+    if (!va.ok() || !vb.ok()) return a == b ? 0.0 : 1.0;
+    return va->Equals(*vb) ? 0.0 : 1.0;
+  };
+  return costs;
+}
+
+namespace {
+
+/// Postorder view of a tree for the Zhang–Shasha algorithm: nodes numbered
+/// 1..n in postorder, with l(i) = postorder number of the leftmost leaf of
+/// the subtree rooted at i, and the LR-keyroots.
+struct PostorderView {
+  std::vector<NodePayload> payload;  // 1-based
+  std::vector<size_t> leftmost;      // 1-based: l(i)
+  std::vector<size_t> keyroots;      // ascending
+
+  explicit PostorderView(const Tree& tree) {
+    payload.push_back(NodePayload::ConcatPoint(""));  // 1-based padding
+    leftmost.push_back(0);
+    if (tree.empty()) return;
+    Walk(tree, tree.root());
+    // Keyroots: nodes that are not the leftmost child of their parent —
+    // equivalently, the maximum postorder index for each distinct l value.
+    size_t n = payload.size() - 1;
+    std::vector<bool> seen_l(n + 1, false);
+    for (size_t i = n; i >= 1; --i) {
+      if (!seen_l[leftmost[i]]) {
+        seen_l[leftmost[i]] = true;
+        keyroots.push_back(i);
+      }
+    }
+    std::sort(keyroots.begin(), keyroots.end());
+  }
+
+  size_t size() const { return payload.size() - 1; }
+
+ private:
+  // Returns (postorder index of root of the walked subtree, its l()).
+  std::pair<size_t, size_t> Walk(const Tree& tree, NodeId v) {
+    size_t my_l = 0;
+    bool first = true;
+    for (NodeId c : tree.children(v)) {
+      auto [child_idx, child_l] = Walk(tree, c);
+      (void)child_idx;
+      if (first) {
+        my_l = child_l;
+        first = false;
+      }
+    }
+    payload.push_back(tree.payload(v));
+    leftmost.push_back(0);
+    size_t my_idx = payload.size() - 1;
+    if (first) my_l = my_idx;  // leaf: leftmost leaf is itself
+    leftmost[my_idx] = my_l;
+    return {my_idx, my_l};
+  }
+};
+
+class ZhangShasha {
+ public:
+  ZhangShasha(const PostorderView& a, const PostorderView& b,
+              const EditCosts& costs)
+      : a_(a),
+        b_(b),
+        costs_(costs),
+        treedist_(a.size() + 1, std::vector<double>(b.size() + 1, 0)) {}
+
+  double Run() {
+    if (a_.size() == 0 && b_.size() == 0) return 0;
+    if (a_.size() == 0) return InsertAll();
+    if (b_.size() == 0) return DeleteAll();
+    for (size_t i : a_.keyroots) {
+      for (size_t j : b_.keyroots) {
+        ForestDist(i, j);
+      }
+    }
+    return treedist_[a_.size()][b_.size()];
+  }
+
+ private:
+  double InsertAll() {
+    double total = 0;
+    for (size_t j = 1; j <= b_.size(); ++j) {
+      total += costs_.insert_cost(b_.payload[j]);
+    }
+    return total;
+  }
+
+  double DeleteAll() {
+    double total = 0;
+    for (size_t i = 1; i <= a_.size(); ++i) {
+      total += costs_.delete_cost(a_.payload[i]);
+    }
+    return total;
+  }
+
+  void ForestDist(size_t i, size_t j) {
+    size_t li = a_.leftmost[i], lj = b_.leftmost[j];
+    size_t rows = i - li + 2, cols = j - lj + 2;
+    // fd[x][y]: distance between forests a[li..li+x-1] and b[lj..lj+y-1].
+    std::vector<std::vector<double>> fd(rows, std::vector<double>(cols, 0));
+    for (size_t x = 1; x < rows; ++x) {
+      fd[x][0] = fd[x - 1][0] + costs_.delete_cost(a_.payload[li + x - 1]);
+    }
+    for (size_t y = 1; y < cols; ++y) {
+      fd[0][y] = fd[0][y - 1] + costs_.insert_cost(b_.payload[lj + y - 1]);
+    }
+    for (size_t x = 1; x < rows; ++x) {
+      size_t di = li + x - 1;  // node index in a
+      for (size_t y = 1; y < cols; ++y) {
+        size_t dj = lj + y - 1;  // node index in b
+        double del = fd[x - 1][y] + costs_.delete_cost(a_.payload[di]);
+        double ins = fd[x][y - 1] + costs_.insert_cost(b_.payload[dj]);
+        if (a_.leftmost[di] == li && b_.leftmost[dj] == lj) {
+          // Both prefixes are whole trees: rename is admissible and this
+          // entry doubles as treedist(di, dj).
+          double ren = fd[x - 1][y - 1] +
+                       costs_.rename_cost(a_.payload[di], b_.payload[dj]);
+          fd[x][y] = std::min({del, ins, ren});
+          treedist_[di][dj] = fd[x][y];
+        } else {
+          // Splice in the precomputed subtree distance.
+          size_t px = a_.leftmost[di] - li;  // forest boundary before di's tree
+          size_t py = b_.leftmost[dj] - lj;
+          double sub = fd[px][py] + treedist_[di][dj];
+          fd[x][y] = std::min({del, ins, sub});
+        }
+      }
+    }
+  }
+
+  const PostorderView& a_;
+  const PostorderView& b_;
+  const EditCosts& costs_;
+  std::vector<std::vector<double>> treedist_;
+};
+
+}  // namespace
+
+Result<double> TreeEditDistance(const Tree& a, const Tree& b,
+                                const EditCosts& costs) {
+  if (!costs.insert_cost || !costs.delete_cost || !costs.rename_cost) {
+    return Status::InvalidArgument("edit cost functions must all be set");
+  }
+  PostorderView va(a), vb(b);
+  ZhangShasha zs(va, vb, costs);
+  return zs.Run();
+}
+
+}  // namespace aqua

@@ -1,0 +1,46 @@
+#ifndef AQUA_APPROX_TREE_EDIT_DISTANCE_H_
+#define AQUA_APPROX_TREE_EDIT_DISTANCE_H_
+
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+#include "object/object_store.h"
+#include "bulk/tree.h"
+
+namespace aqua {
+
+/// Cost model for tree edit operations (insert, delete, rename).
+///
+/// §7 of the paper points at Wang/Shasha/Zhang's distance-based tree
+/// queries ("give me all the subtrees of T which almost satisfy P") and
+/// notes "such metrics are easily accommodated in our formalisms"; this
+/// module supplies the metric. Costs must be non-negative; rename of equal
+/// payloads should be 0 for a proper metric.
+struct EditCosts {
+  std::function<double(const NodePayload&)> insert_cost =
+      [](const NodePayload&) { return 1.0; };
+  std::function<double(const NodePayload&)> delete_cost =
+      [](const NodePayload&) { return 1.0; };
+  std::function<double(const NodePayload&, const NodePayload&)> rename_cost =
+      [](const NodePayload& a, const NodePayload& b) {
+        return a == b ? 0.0 : 1.0;
+      };
+};
+
+/// An `EditCosts` whose rename compares one stored attribute of the cell
+/// objects (points compare by label); unit insert/delete. The returned
+/// costs retain `store`, which must outlive them.
+EditCosts AttrEditCosts(const ObjectStore* store, std::string attr);
+
+/// Ordered tree edit distance (Zhang–Shasha): the minimum total cost of
+/// node insertions, deletions, and renames transforming `a` into `b`,
+/// preserving sibling order and ancestry.
+///
+/// O(|a|·|b|·min(depth,leaves)²) time, O(|a|·|b|) space.
+Result<double> TreeEditDistance(const Tree& a, const Tree& b,
+                                const EditCosts& costs = {});
+
+}  // namespace aqua
+
+#endif  // AQUA_APPROX_TREE_EDIT_DISTANCE_H_

@@ -1,0 +1,68 @@
+#ifndef AQUA_BULK_CONCAT_H_
+#define AQUA_BULK_CONCAT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "bulk/list.h"
+#include "bulk/tree.h"
+
+namespace aqua {
+
+// Concatenation over instances (§3.3, §3.5 of the paper).
+//
+// A concatenation point is a labeled NULL inside a list or tree; the
+// concatenation operator ∘_α substitutes another instance at every point
+// labeled α. Substituting `nil` (the empty tree / empty list) deletes the
+// point. If the base holds no point labeled α, the result is just the base
+// (paper, §3.3).
+
+/// Tree concatenation `base ∘_label attachment`.
+Tree ConcatAt(const Tree& base, const std::string& label,
+              const Tree& attachment);
+
+/// Concatenates `nil` at every point labeled `label` (deletes the points).
+Tree ConcatNilAt(const Tree& base, const std::string& label);
+
+/// Concatenates `nil` at *every* concatenation point: the paper's shorthand
+/// `b ∘_{α1,...,αn} []`.
+Tree CloseAllPoints(const Tree& base);
+
+/// The k-th element of the language of the iterative self-concatenation
+/// `[[t]]^{*label}`: k copies of `t` chained at `label`, with NULL attached
+/// at the last iteration (k = 0 yields nil).
+Tree SelfConcatElement(const Tree& t, const std::string& label, size_t k);
+
+/// List concatenation `a ∘ b` (plain regex-style append; the implicit
+/// terminal NULL of `a` is the attachment point).
+List Concat(const List& a, const List& b);
+
+/// List concatenation at a labeled point: every element of `a` that is a
+/// point labeled `label` is replaced by the elements of `b`.
+List ConcatAt(const List& a, const std::string& label, const List& b);
+
+/// Concatenates `nil` at every point labeled `label` in `a`.
+List ConcatNilAt(const List& a, const std::string& label);
+
+/// Concatenates `nil` at every concatenation point of `a`.
+List CloseAllPoints(const List& a);
+
+// ---------------------------------------------------------------------------
+// The list <-> list-like-tree mapping (§6).
+
+/// Encodes a list as a list-like tree (chain); the empty list maps to nil.
+/// Per §6, a list-like tree can carry a concatenation point only at its
+/// leaf, so a point anywhere but the last element is InvalidArgument.
+Result<Tree> ListToTree(const List& list);
+
+/// Decodes a list-like tree (every node with at most one child) back to a
+/// list; fails with InvalidArgument when some node has arity > 1.
+Result<List> TreeToList(const Tree& tree);
+
+/// True when every node of `tree` has at most one child.
+bool IsListLike(const Tree& tree);
+
+}  // namespace aqua
+
+#endif  // AQUA_BULK_CONCAT_H_

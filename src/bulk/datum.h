@@ -1,0 +1,75 @@
+#ifndef AQUA_BULK_DATUM_H_
+#define AQUA_BULK_DATUM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "bulk/list.h"
+#include "bulk/notation.h"
+#include "bulk/tree.h"
+
+namespace aqua {
+
+/// The universal runtime value of the AQUA algebra.
+///
+/// Operators in the paper freely compose bulk types (`Set[Tree]`, tuples of
+/// tree pieces, ...); `Datum` is the dynamically typed currency that query
+/// results and `split` functions traffic in: a scalar, a list, a tree, a
+/// tuple of datums, or a set of datums.
+class Datum {
+ public:
+  enum class Kind { kNull, kScalar, kList, kTree, kTuple, kSet };
+
+  /// Constructs the null datum.
+  Datum() = default;
+
+  static Datum Scalar(Value v);
+  static Datum Of(Tree t);
+  static Datum Of(List l);
+  static Datum Tuple(std::vector<Datum> fields);
+  /// Builds a set, deduplicating by `Equals` (insertion order kept).
+  static Datum Set(std::vector<Datum> elems);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_scalar() const { return kind_ == Kind::kScalar; }
+  bool is_list() const { return kind_ == Kind::kList; }
+  bool is_tree() const { return kind_ == Kind::kTree; }
+  bool is_tuple() const { return kind_ == Kind::kTuple; }
+  bool is_set() const { return kind_ == Kind::kSet; }
+
+  const Value& scalar() const { return scalar_; }
+  const List& list() const { return *list_; }
+  const Tree& tree() const { return *tree_; }
+  /// Tuple fields or set elements.
+  const std::vector<Datum>& children() const { return children_; }
+  size_t size() const { return children_.size(); }
+  const Datum& at(size_t i) const { return children_[i]; }
+
+  /// Deep structural equality (sets compare order-insensitively).
+  bool Equals(const Datum& other) const;
+
+  /// True when the set contains an element equal to `d` (set datums only).
+  bool SetContains(const Datum& d) const;
+  /// Inserts into a set datum unless an equal element is present.
+  void SetInsert(Datum d);
+  /// Appends to a tuple datum.
+  void TupleAppend(Datum d);
+
+  /// Renders the datum using `label` for cells, e.g.
+  /// `{<Ted(@a), Gen(John), [Joe Mary(Ann)]>}`.
+  std::string ToString(const LabelFn& label) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  Value scalar_;
+  std::shared_ptr<const List> list_;
+  std::shared_ptr<const Tree> tree_;
+  std::vector<Datum> children_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_BULK_DATUM_H_

@@ -1,0 +1,191 @@
+#include "bulk/notation.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace aqua {
+
+LabelFn AttrLabelFn(const ObjectStore* store, std::string attr) {
+  return [store, attr = std::move(attr)](Oid oid) -> std::string {
+    auto value = store->GetAttr(oid, attr);
+    if (!value.ok()) return "oid:" + std::to_string(oid.value);
+    if (value->is_string()) return value->string_value();
+    return value->ToString();
+  };
+}
+
+namespace {
+
+void PrintTreeNode(const Tree& tree, NodeId n, const LabelFn& label,
+                   std::string* out) {
+  const NodePayload& p = tree.payload(n);
+  if (p.is_concat_point()) {
+    *out += "@" + p.label();
+  } else {
+    *out += label(p.oid());
+  }
+  const auto& kids = tree.children(n);
+  if (!kids.empty()) {
+    *out += "(";
+    for (size_t i = 0; i < kids.size(); ++i) {
+      if (i > 0) *out += " ";
+      PrintTreeNode(tree, kids[i], label, out);
+    }
+    *out += ")";
+  }
+}
+
+}  // namespace
+
+std::string PrintTree(const Tree& tree, const LabelFn& label) {
+  if (tree.empty()) return "nil";
+  std::string out;
+  PrintTreeNode(tree, tree.root(), label, &out);
+  return out;
+}
+
+std::string PrintList(const List& list, const LabelFn& label) {
+  std::string out = "[";
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (i > 0) out += " ";
+    const NodePayload& p = list.at(i);
+    if (p.is_concat_point()) {
+      out += "@" + p.label();
+    } else {
+      out += label(p.oid());
+    }
+  }
+  out += "]";
+  return out;
+}
+
+namespace {
+
+/// A tiny recursive-descent parser shared by tree and list literals.
+class LiteralParser {
+ public:
+  LiteralParser(std::string_view text, const AtomFn& atom)
+      : text_(text), atom_(atom) {}
+
+  Result<Tree> ParseTreeTop() {
+    AQUA_ASSIGN_OR_RETURN(Tree t, ParseTree());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("trailing input at position " +
+                                std::to_string(pos_));
+    }
+    return t;
+  }
+
+  Result<List> ParseListTop() {
+    SkipSpace();
+    if (!Eat('[')) return Status::ParseError("expected '[' to start a list");
+    List out;
+    SkipSpace();
+    while (!AtEnd() && Peek() != ']') {
+      AQUA_ASSIGN_OR_RETURN(NodePayload p, ParsePayload());
+      out.Append(std::move(p));
+      SkipSpace();
+    }
+    if (!Eat(']')) return Status::ParseError("expected ']' to end the list");
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("trailing input after ']'");
+    }
+    return out;
+  }
+
+ private:
+  Result<Tree> ParseTree() {
+    SkipSpace();
+    if (AtEnd()) return Status::ParseError("unexpected end of tree literal");
+    // `nil` denotes the empty tree (only meaningful at top level or as an
+    // explicit placeholder; as a child it is skipped by Tree::Node).
+    size_t save = pos_;
+    if (IsIdentStart(Peek())) {
+      std::string ident = LexIdent();
+      if (ident == "nil") return Tree();
+      pos_ = save;
+    }
+    AQUA_ASSIGN_OR_RETURN(NodePayload p, ParsePayload());
+    SkipSpace();
+    std::vector<Tree> children;
+    if (!AtEnd() && Peek() == '(') {
+      if (p.is_concat_point()) {
+        return Status::ParseError("a concatenation point cannot have children");
+      }
+      Eat('(');
+      SkipSpace();
+      while (!AtEnd() && Peek() != ')') {
+        AQUA_ASSIGN_OR_RETURN(Tree child, ParseTree());
+        children.push_back(std::move(child));
+        SkipSpace();
+      }
+      if (!Eat(')')) return Status::ParseError("expected ')'");
+    }
+    return Tree::Node(std::move(p), children);
+  }
+
+  Result<NodePayload> ParsePayload() {
+    SkipSpace();
+    if (AtEnd()) return Status::ParseError("unexpected end of literal");
+    char c = Peek();
+    if (c == '@') {
+      ++pos_;
+      if (AtEnd() || !IsIdentChar(Peek())) {
+        return Status::ParseError("expected a label after '@'");
+      }
+      std::string label = LexIdent();
+      return NodePayload::ConcatPoint(std::move(label));
+    }
+    std::string token;
+    if (c == '"') {
+      ++pos_;
+      while (!AtEnd() && Peek() != '"') token += text_[pos_++];
+      if (!Eat('"')) return Status::ParseError("unterminated string atom");
+    } else if (IsIdentStart(c) || std::isdigit(static_cast<unsigned char>(c))) {
+      token = LexIdent();
+    } else {
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' in literal");
+    }
+    AQUA_ASSIGN_OR_RETURN(Oid oid, atom_(token));
+    return NodePayload::Cell(oid);
+  }
+
+  std::string LexIdent() {
+    std::string out;
+    while (!AtEnd() && IsIdentChar(Peek())) out += text_[pos_++];
+    return out;
+  }
+
+  void SkipSpace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  bool Eat(char c) {
+    if (AtEnd() || Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  std::string_view text_;
+  const AtomFn& atom_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Tree> ParseTreeLiteral(std::string_view text, const AtomFn& atom) {
+  return LiteralParser(text, atom).ParseTreeTop();
+}
+
+Result<List> ParseListLiteral(std::string_view text, const AtomFn& atom) {
+  return LiteralParser(text, atom).ParseListTop();
+}
+
+}  // namespace aqua

@@ -1,0 +1,46 @@
+#ifndef AQUA_BULK_NOTATION_H_
+#define AQUA_BULK_NOTATION_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "object/object_store.h"
+#include "bulk/list.h"
+#include "bulk/tree.h"
+
+namespace aqua {
+
+/// Renders the object referenced by a cell as a short token.
+using LabelFn = std::function<std::string(Oid)>;
+
+/// A `LabelFn` that prints the named string attribute of each object (or
+/// `oid:N` when unavailable). The returned function retains a pointer to
+/// `store`, which must outlive it.
+LabelFn AttrLabelFn(const ObjectStore* store, std::string attr);
+
+/// Prints a tree in the paper's preorder notation: a node followed by the
+/// parenthesized list of its children, e.g. `b(d(f g) e)` (§2).
+/// Concatenation points print as `@label`.
+std::string PrintTree(const Tree& tree, const LabelFn& label);
+
+/// Prints a list in the paper's `[a b c]` notation (space-separated because
+/// labels may be longer than one character).
+std::string PrintList(const List& list, const LabelFn& label);
+
+/// Maps an atom token of a literal to the object it denotes (typically by
+/// creating or interning an object named by the token).
+using AtomFn = std::function<Result<Oid>(const std::string&)>;
+
+/// Parses the paper's preorder tree notation: `atom`, `atom(tree tree ...)`,
+/// or `@label` for a concatenation point. `nil` denotes the empty tree.
+/// Atoms are identifiers or double-quoted strings.
+Result<Tree> ParseTreeLiteral(std::string_view text, const AtomFn& atom);
+
+/// Parses `[atom atom ... ]` list notation (atoms and `@label` points).
+Result<List> ParseListLiteral(std::string_view text, const AtomFn& atom);
+
+}  // namespace aqua
+
+#endif  // AQUA_BULK_NOTATION_H_

@@ -1,0 +1,47 @@
+#ifndef AQUA_COMMON_IDS_H_
+#define AQUA_COMMON_IDS_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace aqua {
+
+/// Object identity. Every entity in the AQUA model is an object with
+/// identity (§2 of the paper); `Oid` is that identity.
+///
+/// `Oid` is a strong integer type so that object identities cannot be
+/// silently mixed with node indices or attribute offsets.
+struct Oid {
+  uint64_t value = 0;
+
+  constexpr Oid() = default;
+  constexpr explicit Oid(uint64_t v) : value(v) {}
+
+  /// The null object identity; no stored object ever has it.
+  static constexpr Oid Null() { return Oid(0); }
+
+  constexpr bool IsNull() const { return value == 0; }
+
+  friend constexpr bool operator==(Oid a, Oid b) { return a.value == b.value; }
+  friend constexpr bool operator!=(Oid a, Oid b) { return a.value != b.value; }
+  friend constexpr bool operator<(Oid a, Oid b) { return a.value < b.value; }
+};
+
+/// Index of a node within a `Tree` arena or a `List`.
+using NodeId = uint32_t;
+
+/// Sentinel meaning "no node".
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+}  // namespace aqua
+
+namespace std {
+template <>
+struct hash<aqua::Oid> {
+  size_t operator()(aqua::Oid oid) const noexcept {
+    return std::hash<uint64_t>{}(oid.value);
+  }
+};
+}  // namespace std
+
+#endif  // AQUA_COMMON_IDS_H_

@@ -1,0 +1,70 @@
+#ifndef AQUA_COMMON_RESULT_H_
+#define AQUA_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace aqua {
+
+/// A value-or-error holder, modelled after `arrow::Result<T>`.
+///
+/// A `Result<T>` is in exactly one of two states: it holds a `T` (and the
+/// status is OK), or it holds a non-OK `Status`. Use `AQUA_ASSIGN_OR_RETURN`
+/// to unwrap in fallible code.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (failure). Constructing from an OK
+  /// status is a programming error and is converted to an Internal error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; must only be called when `ok()`.
+  const T& ValueUnsafe() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueUnsafe() & {
+    assert(ok());
+    return *value_;
+  }
+  T ValueUnsafe() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueUnsafe(); }
+  T& operator*() & { return ValueUnsafe(); }
+  const T* operator->() const { return &ValueUnsafe(); }
+  T* operator->() { return &ValueUnsafe(); }
+
+  /// Returns the value, or `fallback` when in the error state.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_COMMON_RESULT_H_

@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+namespace aqua {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kTypeError:
+      return "TypeError";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace aqua

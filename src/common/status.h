@@ -1,0 +1,132 @@
+#ifndef AQUA_COMMON_STATUS_H_
+#define AQUA_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace aqua {
+
+/// Error classification for `Status`.
+///
+/// The AQUA core API reports failures through `Status` / `Result<T>`
+/// (Arrow/RocksDB style) instead of exceptions, so that every fallible call
+/// site is visible in the code.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kTypeError,
+  kParseError,
+  kOutOfRange,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error outcome carrying a code and a message.
+///
+/// `Status` is cheap to pass around: the OK state is a null pointer, so the
+/// happy path allocates nothing.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotImplemented() const {
+    return code() == StatusCode::kNotImplemented;
+  }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates a non-OK `Status` from the enclosing function.
+#define AQUA_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::aqua::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+#define AQUA_CONCAT_IMPL(x, y) x##y
+#define AQUA_CONCAT(x, y) AQUA_CONCAT_IMPL(x, y)
+
+/// Evaluates a `Result<T>` expression; on success binds the value to `lhs`,
+/// otherwise returns the error from the enclosing function.
+#define AQUA_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  AQUA_ASSIGN_OR_RETURN_IMPL(AQUA_CONCAT(_aqua_res_, __LINE__), lhs, rexpr)
+
+#define AQUA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr)                \
+  auto tmp = (rexpr);                                              \
+  if (!tmp.ok()) return tmp.status();                              \
+  lhs = std::move(tmp).ValueUnsafe()
+
+}  // namespace aqua
+
+#endif  // AQUA_COMMON_STATUS_H_

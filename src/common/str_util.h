@@ -1,0 +1,29 @@
+#ifndef AQUA_COMMON_STR_UTIL_H_
+#define AQUA_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aqua {
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True when `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True when `c` may start an identifier ([A-Za-z_]).
+bool IsIdentStart(char c);
+/// True when `c` may continue an identifier ([A-Za-z0-9_]).
+bool IsIdentChar(char c);
+
+}  // namespace aqua
+
+#endif  // AQUA_COMMON_STR_UTIL_H_

@@ -1,0 +1,157 @@
+#include "index/attribute_index.h"
+
+#include <algorithm>
+
+namespace aqua {
+
+Result<AttributeIndex> AttributeIndex::Build(
+    const ObjectStore& store, const std::string& attr,
+    const std::vector<std::pair<NodeId, Oid>>& cells, size_t total) {
+  AttributeIndex index;
+  index.attr_ = attr;
+  index.collection_size_ = total;
+  index.entries_.reserve(cells.size());
+  for (const auto& [node, oid] : cells) {
+    auto value = store.GetAttr(oid, attr);
+    if (!value.ok()) {
+      if (value.status().IsNotFound()) continue;  // heterogeneous collection
+      return value.status();
+    }
+    if (value->is_null()) continue;
+    index.entries_.emplace_back(std::move(*value), node);
+  }
+  std::sort(index.entries_.begin(), index.entries_.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first.TotalLess(b.first)) return true;
+              if (b.first.TotalLess(a.first)) return false;
+              return a.second < b.second;
+            });
+  size_t distinct = 0;
+  for (size_t i = 0; i < index.entries_.size(); ++i) {
+    if (i == 0 || !index.entries_[i].first.Equals(index.entries_[i - 1].first)) {
+      ++distinct;
+    }
+  }
+  index.num_distinct_ = distinct;
+  return index;
+}
+
+Result<AttributeIndex> AttributeIndex::BuildForTree(const ObjectStore& store,
+                                                    const Tree& tree,
+                                                    const std::string& attr) {
+  std::vector<std::pair<NodeId, Oid>> cells;
+  for (NodeId v : tree.Preorder()) {
+    const NodePayload& p = tree.payload(v);
+    if (p.is_cell()) cells.emplace_back(v, p.oid());
+  }
+  return Build(store, attr, cells, tree.size());
+}
+
+Result<AttributeIndex> AttributeIndex::BuildForList(const ObjectStore& store,
+                                                    const List& list,
+                                                    const std::string& attr) {
+  std::vector<std::pair<NodeId, Oid>> cells;
+  for (size_t i = 0; i < list.size(); ++i) {
+    const NodePayload& p = list.at(i);
+    if (p.is_cell()) cells.emplace_back(static_cast<NodeId>(i), p.oid());
+  }
+  return Build(store, attr, cells, list.size());
+}
+
+namespace {
+/// Comparator matching the index sort order, comparing entry values only.
+bool EntryValueLess(const std::pair<Value, NodeId>& entry, const Value& v) {
+  return entry.first.TotalLess(v);
+}
+bool ValueEntryLess(const Value& v, const std::pair<Value, NodeId>& entry) {
+  return v.TotalLess(entry.first);
+}
+}  // namespace
+
+std::vector<NodeId> AttributeIndex::Lookup(const Value& v) const {
+  auto lo = std::lower_bound(entries_.begin(), entries_.end(), v,
+                             EntryValueLess);
+  auto hi = std::upper_bound(entries_.begin(), entries_.end(), v,
+                             ValueEntryLess);
+  std::vector<NodeId> out;
+  out.reserve(hi - lo);
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> AttributeIndex::LookupRange(const Value* lo,
+                                                bool lo_inclusive,
+                                                const Value* hi,
+                                                bool hi_inclusive) const {
+  auto begin = entries_.begin();
+  auto end = entries_.end();
+  if (lo != nullptr) {
+    begin = lo_inclusive
+                ? std::lower_bound(entries_.begin(), entries_.end(), *lo,
+                                   EntryValueLess)
+                : std::upper_bound(entries_.begin(), entries_.end(), *lo,
+                                   ValueEntryLess);
+  }
+  if (hi != nullptr) {
+    end = hi_inclusive
+              ? std::upper_bound(entries_.begin(), entries_.end(), *hi,
+                                 ValueEntryLess)
+              : std::lower_bound(entries_.begin(), entries_.end(), *hi,
+                                 EntryValueLess);
+  }
+  std::vector<NodeId> out;
+  for (auto it = begin; it < end; ++it) out.push_back(it->second);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool AttributeIndex::CanProbe(const Predicate& pred) const {
+  if (pred.kind() != Predicate::Kind::kCompare) return false;
+  if (pred.attr() != attr_) return false;
+  switch (pred.op()) {
+    case CmpOp::kEq:
+    case CmpOp::kLt:
+    case CmpOp::kLe:
+    case CmpOp::kGt:
+    case CmpOp::kGe:
+      return true;
+    case CmpOp::kNe:
+      return false;
+  }
+  return false;
+}
+
+Result<std::vector<NodeId>> AttributeIndex::Probe(
+    const Predicate& pred) const {
+  if (!CanProbe(pred)) {
+    return Status::InvalidArgument(
+        "predicate is not answerable by this index: " + pred.ToString());
+  }
+  const Value& c = pred.constant();
+  switch (pred.op()) {
+    case CmpOp::kEq:
+      return Lookup(c);
+    case CmpOp::kLt:
+      return LookupRange(nullptr, false, &c, false);
+    case CmpOp::kLe:
+      return LookupRange(nullptr, false, &c, true);
+    case CmpOp::kGt:
+      return LookupRange(&c, false, nullptr, false);
+    case CmpOp::kGe:
+      return LookupRange(&c, true, nullptr, false);
+    default:
+      return Status::Internal("unreachable in AttributeIndex::Probe");
+  }
+}
+
+double AttributeIndex::Selectivity(const Predicate& pred) const {
+  if (collection_size_ == 0) return 0.0;
+  if (!CanProbe(pred)) return 1.0;
+  auto nodes = Probe(pred);
+  if (!nodes.ok()) return 1.0;
+  return static_cast<double>(nodes->size()) /
+         static_cast<double>(collection_size_);
+}
+
+}  // namespace aqua

@@ -1,0 +1,76 @@
+#ifndef AQUA_INDEX_ATTRIBUTE_INDEX_H_
+#define AQUA_INDEX_ATTRIBUTE_INDEX_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "object/object_store.h"
+#include "bulk/list.h"
+#include "bulk/tree.h"
+#include "pattern/predicate.h"
+
+namespace aqua {
+
+/// A value → node index over one attribute of the cells of a single list or
+/// tree.
+///
+/// This is the access method §4's "Why Split?" relies on: locating all
+/// nodes matching a cheap alphabet-predicate (the decomposition anchor)
+/// without walking the whole collection. Entries are kept sorted by value
+/// (total order), so both point and range probes are O(log n + answers).
+class AttributeIndex {
+ public:
+  /// Indexes every cell node of `tree` on `attr`. Cells whose object lacks
+  /// the attribute (heterogeneous trees) are skipped.
+  static Result<AttributeIndex> BuildForTree(const ObjectStore& store,
+                                             const Tree& tree,
+                                             const std::string& attr);
+
+  /// Indexes every cell element of `list` on `attr`.
+  static Result<AttributeIndex> BuildForList(const ObjectStore& store,
+                                             const List& list,
+                                             const std::string& attr);
+
+  const std::string& attr() const { return attr_; }
+  /// Number of indexed entries.
+  size_t size() const { return entries_.size(); }
+  /// Number of nodes in the indexed collection (for selectivity).
+  size_t collection_size() const { return collection_size_; }
+  /// Number of distinct values.
+  size_t num_distinct() const { return num_distinct_; }
+
+  /// Nodes whose attribute equals `v`, in ascending NodeId order.
+  std::vector<NodeId> Lookup(const Value& v) const;
+
+  /// Nodes whose attribute lies in the given range (null bounds = open).
+  std::vector<NodeId> LookupRange(const Value* lo, bool lo_inclusive,
+                                  const Value* hi, bool hi_inclusive) const;
+
+  /// True when `pred` is a single comparison on this attribute that the
+  /// index can answer (==, <, <=, >, >=).
+  bool CanProbe(const Predicate& pred) const;
+
+  /// Answers an index-supported predicate; InvalidArgument otherwise.
+  Result<std::vector<NodeId>> Probe(const Predicate& pred) const;
+
+  /// Estimated fraction of collection nodes satisfying `pred` (exact for
+  /// probe-able predicates; 1.0 otherwise).
+  double Selectivity(const Predicate& pred) const;
+
+ private:
+  static Result<AttributeIndex> Build(
+      const ObjectStore& store, const std::string& attr,
+      const std::vector<std::pair<NodeId, Oid>>& cells, size_t total);
+
+  std::string attr_;
+  std::vector<std::pair<Value, NodeId>> entries_;  // sorted by (value, node)
+  size_t collection_size_ = 0;
+  size_t num_distinct_ = 0;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_INDEX_ATTRIBUTE_INDEX_H_

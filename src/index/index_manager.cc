@@ -1,0 +1,78 @@
+#include "index/index_manager.h"
+
+namespace aqua {
+
+Status IndexManager::CreateTreeIndex(const std::string& collection,
+                                     const ObjectStore& store,
+                                     const Tree& tree,
+                                     const std::string& attr) {
+  auto key = std::make_pair(collection, attr);
+  if (indexes_.count(key) > 0) {
+    return Status::AlreadyExists("index on " + collection + "." + attr +
+                                 " already exists");
+  }
+  AQUA_ASSIGN_OR_RETURN(AttributeIndex index,
+                        AttributeIndex::BuildForTree(store, tree, attr));
+  indexes_.emplace(std::move(key),
+                   std::make_unique<AttributeIndex>(std::move(index)));
+  return Status::OK();
+}
+
+Status IndexManager::CreateListIndex(const std::string& collection,
+                                     const ObjectStore& store,
+                                     const List& list,
+                                     const std::string& attr) {
+  auto key = std::make_pair(collection, attr);
+  if (indexes_.count(key) > 0) {
+    return Status::AlreadyExists("index on " + collection + "." + attr +
+                                 " already exists");
+  }
+  AQUA_ASSIGN_OR_RETURN(AttributeIndex index,
+                        AttributeIndex::BuildForList(store, list, attr));
+  indexes_.emplace(std::move(key),
+                   std::make_unique<AttributeIndex>(std::move(index)));
+  return Status::OK();
+}
+
+bool IndexManager::Has(const std::string& collection,
+                       const std::string& attr) const {
+  return indexes_.count(std::make_pair(collection, attr)) > 0;
+}
+
+Result<const AttributeIndex*> IndexManager::Get(const std::string& collection,
+                                                const std::string& attr) const {
+  auto it = indexes_.find(std::make_pair(collection, attr));
+  if (it == indexes_.end()) {
+    return Status::NotFound("no index on " + collection + "." + attr);
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> IndexManager::IndexedAttrs(
+    const std::string& collection) const {
+  std::vector<std::string> out;
+  for (const auto& [key, index] : indexes_) {
+    if (key.first == collection) out.push_back(key.second);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> IndexManager::AllIndexes()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(indexes_.size());
+  for (const auto& [key, index] : indexes_) out.push_back(key);
+  return out;
+}
+
+Status IndexManager::Drop(const std::string& collection,
+                          const std::string& attr) {
+  auto it = indexes_.find(std::make_pair(collection, attr));
+  if (it == indexes_.end()) {
+    return Status::NotFound("no index on " + collection + "." + attr);
+  }
+  indexes_.erase(it);
+  return Status::OK();
+}
+
+}  // namespace aqua

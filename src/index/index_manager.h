@@ -1,0 +1,58 @@
+#ifndef AQUA_INDEX_INDEX_MANAGER_H_
+#define AQUA_INDEX_INDEX_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "index/attribute_index.h"
+
+namespace aqua {
+
+/// Registry of attribute indexes, keyed by (collection name, attribute).
+///
+/// The query optimizer consults this catalog when deciding whether the
+/// split-anchor rewrite (§4 "Why Split?") is applicable.
+class IndexManager {
+ public:
+  IndexManager() = default;
+  IndexManager(const IndexManager&) = delete;
+  IndexManager& operator=(const IndexManager&) = delete;
+
+  /// Builds and registers an index over a tree collection.
+  Status CreateTreeIndex(const std::string& collection,
+                         const ObjectStore& store, const Tree& tree,
+                         const std::string& attr);
+
+  /// Builds and registers an index over a list collection.
+  Status CreateListIndex(const std::string& collection,
+                         const ObjectStore& store, const List& list,
+                         const std::string& attr);
+
+  bool Has(const std::string& collection, const std::string& attr) const;
+
+  Result<const AttributeIndex*> Get(const std::string& collection,
+                                    const std::string& attr) const;
+
+  /// Attributes indexed for `collection`.
+  std::vector<std::string> IndexedAttrs(const std::string& collection) const;
+
+  /// All (collection, attribute) pairs with an index, in catalog order.
+  std::vector<std::pair<std::string, std::string>> AllIndexes() const;
+
+  /// Drops one index; NotFound when absent.
+  Status Drop(const std::string& collection, const std::string& attr);
+
+  size_t num_indexes() const { return indexes_.size(); }
+
+ private:
+  std::map<std::pair<std::string, std::string>,
+           std::unique_ptr<AttributeIndex>>
+      indexes_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_INDEX_INDEX_MANAGER_H_

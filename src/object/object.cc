@@ -1,0 +1,3 @@
+#include "object/object.h"
+
+// Object is header-only at present; this file anchors the translation unit.

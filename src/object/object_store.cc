@@ -1,0 +1,96 @@
+#include "object/object_store.h"
+
+namespace aqua {
+
+Status ObjectStore::CheckAndCoerce(const AttrDef& def, Value* value) const {
+  if (value->is_null()) return Status::OK();
+  if (def.type == ValueType::kDouble && value->is_int()) {
+    *value = Value::Double(static_cast<double>(value->int_value()));
+    return Status::OK();
+  }
+  if (value->type() != def.type) {
+    return Status::TypeError("attribute '" + def.name + "' expects " +
+                             ValueTypeToString(def.type) + ", got " +
+                             ValueTypeToString(value->type()));
+  }
+  return Status::OK();
+}
+
+Result<Oid> ObjectStore::Create(TypeId type, std::vector<Value> attrs) {
+  AQUA_ASSIGN_OR_RETURN(const TypeDef* def, schema_.GetType(type));
+  if (attrs.size() != def->num_attrs()) {
+    return Status::InvalidArgument(
+        "type '" + def->name() + "' expects " +
+        std::to_string(def->num_attrs()) + " attributes, got " +
+        std::to_string(attrs.size()));
+  }
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    AQUA_RETURN_IF_ERROR(CheckAndCoerce(def->attrs()[i], &attrs[i]));
+  }
+  Oid oid(objects_.size() + 1);
+  objects_.emplace_back(oid, type, std::move(attrs));
+  if (extents_.size() <= type) extents_.resize(type + 1);
+  extents_[type].push_back(oid);
+  return oid;
+}
+
+Result<Oid> ObjectStore::Create(const std::string& type_name,
+                                std::vector<AttrValue> attrs) {
+  AQUA_ASSIGN_OR_RETURN(TypeId type, schema_.TypeIdOf(type_name));
+  AQUA_ASSIGN_OR_RETURN(const TypeDef* def, schema_.GetType(type));
+  std::vector<Value> positional(def->num_attrs());
+  for (auto& av : attrs) {
+    AQUA_ASSIGN_OR_RETURN(size_t idx, def->AttrIndex(av.name));
+    positional[idx] = std::move(av.value);
+  }
+  return Create(type, std::move(positional));
+}
+
+Result<const Object*> ObjectStore::Get(Oid oid) const {
+  if (oid.IsNull() || oid.value > objects_.size()) {
+    return Status::NotFound("no object with oid " + std::to_string(oid.value));
+  }
+  return &objects_[oid.value - 1];
+}
+
+Result<Object*> ObjectStore::GetMutable(Oid oid) {
+  if (oid.IsNull() || oid.value > objects_.size()) {
+    return Status::NotFound("no object with oid " + std::to_string(oid.value));
+  }
+  return &objects_[oid.value - 1];
+}
+
+bool ObjectStore::Contains(Oid oid) const {
+  return !oid.IsNull() && oid.value <= objects_.size();
+}
+
+Result<Value> ObjectStore::GetAttr(Oid oid, const std::string& attr) const {
+  AQUA_ASSIGN_OR_RETURN(const Object* obj, Get(oid));
+  AQUA_ASSIGN_OR_RETURN(const TypeDef* def, schema_.GetType(obj->type()));
+  AQUA_ASSIGN_OR_RETURN(size_t idx, def->AttrIndex(attr));
+  return obj->attr_at(idx);
+}
+
+Status ObjectStore::SetAttr(Oid oid, const std::string& attr, Value value) {
+  AQUA_ASSIGN_OR_RETURN(Object * obj, GetMutable(oid));
+  AQUA_ASSIGN_OR_RETURN(const TypeDef* def, schema_.GetType(obj->type()));
+  AQUA_ASSIGN_OR_RETURN(size_t idx, def->AttrIndex(attr));
+  AQUA_RETURN_IF_ERROR(CheckAndCoerce(def->attrs()[idx], &value));
+  obj->set_attr_at(idx, std::move(value));
+  return Status::OK();
+}
+
+Result<const std::vector<Oid>*> ObjectStore::Extent(TypeId type) const {
+  AQUA_RETURN_IF_ERROR(schema_.GetType(type).status());
+  static const std::vector<Oid> kEmpty;
+  if (type >= extents_.size()) return &kEmpty;
+  return &extents_[type];
+}
+
+Result<const std::vector<Oid>*> ObjectStore::Extent(
+    const std::string& type_name) const {
+  AQUA_ASSIGN_OR_RETURN(TypeId type, schema_.TypeIdOf(type_name));
+  return Extent(type);
+}
+
+}  // namespace aqua

@@ -1,0 +1,75 @@
+#ifndef AQUA_OBJECT_OBJECT_STORE_H_
+#define AQUA_OBJECT_OBJECT_STORE_H_
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/value.h"
+#include "object/object.h"
+#include "object/schema.h"
+
+namespace aqua {
+
+/// An attribute assignment used when creating objects by name.
+struct AttrValue {
+  std::string name;
+  Value value;
+};
+
+/// The in-memory object base: schema catalog, object heap, and per-type
+/// extents.
+///
+/// Every list/tree cell in the bulk layer references objects stored here by
+/// `Oid`; the pattern engine evaluates alphabet-predicates against these
+/// objects.
+class ObjectStore {
+ public:
+  ObjectStore() = default;
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  Schema& schema() { return schema_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Creates an object with positional attribute values (must match the
+  /// type's attribute count; values are type-checked, int widens to double).
+  Result<Oid> Create(TypeId type, std::vector<Value> attrs);
+
+  /// Creates an object giving values by attribute name; unspecified
+  /// attributes are null.
+  Result<Oid> Create(const std::string& type_name,
+                     std::vector<AttrValue> attrs);
+
+  Result<const Object*> Get(Oid oid) const;
+  Result<Object*> GetMutable(Oid oid);
+
+  /// True when `oid` names a live object.
+  bool Contains(Oid oid) const;
+
+  /// Reads one attribute by name.
+  Result<Value> GetAttr(Oid oid, const std::string& attr) const;
+
+  /// Writes one attribute by name (type-checked).
+  Status SetAttr(Oid oid, const std::string& attr, Value value);
+
+  /// All objects of the given type, in creation order.
+  Result<const std::vector<Oid>*> Extent(TypeId type) const;
+  Result<const std::vector<Oid>*> Extent(const std::string& type_name) const;
+
+  size_t num_objects() const { return objects_.size(); }
+
+ private:
+  Status CheckAndCoerce(const AttrDef& def, Value* value) const;
+
+  Schema schema_;
+  std::vector<Object> objects_;                    // oid N is objects_[N-1]
+  std::vector<std::vector<Oid>> extents_;          // indexed by TypeId
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_OBJECT_OBJECT_STORE_H_

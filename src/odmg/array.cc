@@ -1,0 +1,70 @@
+#include "odmg/array.h"
+
+#include "algebra/structural.h"
+#include "bulk/concat.h"
+
+namespace aqua {
+
+OdmgArray OdmgArray::Of(const std::vector<Oid>& elements) {
+  return OdmgArray(List::OfOids(elements));
+}
+
+Result<Oid> OdmgArray::RetrieveAt(size_t index) const {
+  if (index >= list_.size()) {
+    return Status::OutOfRange("array index " + std::to_string(index) +
+                              " out of range");
+  }
+  const NodePayload& p = list_.at(index);
+  if (!p.is_cell()) {
+    return Status::TypeError("array position holds a concatenation point");
+  }
+  return p.oid();
+}
+
+Status OdmgArray::ReplaceAt(size_t index, Oid element) {
+  AQUA_ASSIGN_OR_RETURN(List updated,
+                        ListReplace(list_, index, NodePayload::Cell(element)));
+  list_ = std::move(updated);
+  return Status::OK();
+}
+
+Status OdmgArray::InsertAt(size_t index, Oid element) {
+  AQUA_ASSIGN_OR_RETURN(List updated,
+                        ListInsert(list_, index, NodePayload::Cell(element)));
+  list_ = std::move(updated);
+  return Status::OK();
+}
+
+Status OdmgArray::RemoveAt(size_t index) {
+  AQUA_ASSIGN_OR_RETURN(List updated, ListDelete(list_, index));
+  list_ = std::move(updated);
+  return Status::OK();
+}
+
+void OdmgArray::Append(Oid element) {
+  list_.Append(NodePayload::Cell(element));
+}
+
+Result<size_t> OdmgArray::IndexOf(Oid element, size_t from) const {
+  for (size_t i = from; i < list_.size(); ++i) {
+    if (list_.at(i).is_cell() && list_.at(i).oid() == element) return i;
+  }
+  return Status::NotFound("element not in array");
+}
+
+OdmgArray OdmgArray::Concat(const OdmgArray& other) const {
+  return OdmgArray(aqua::Concat(list_, other.list_));
+}
+
+Result<OdmgArray> OdmgArray::Select(const ObjectStore& store,
+                                    const PredicateRef& pred) const {
+  AQUA_ASSIGN_OR_RETURN(List filtered, ListSelect(store, list_, pred));
+  return OdmgArray(std::move(filtered));
+}
+
+Result<Datum> OdmgArray::SubSelect(const ObjectStore& store,
+                                   const AnchoredListPattern& pattern) const {
+  return ListSubSelect(store, list_, pattern);
+}
+
+}  // namespace aqua

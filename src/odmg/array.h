@@ -1,0 +1,78 @@
+#ifndef AQUA_ODMG_ARRAY_H_
+#define AQUA_ODMG_ARRAY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "algebra/list_ops.h"
+#include "bulk/datum.h"
+#include "bulk/list.h"
+#include "object/object_store.h"
+#include "pattern/list_pattern.h"
+#include "pattern/predicate.h"
+
+namespace aqua {
+
+/// An ODMG-93 `Array<T>` simulated over an AQUA list (§8: "The array type
+/// in the ODMG specification is similar to our notion of list, and we
+/// believe that we will have little difficulty simulating the ODMG arrays
+/// with AQUA lists. Our view of predicates, however, is significantly more
+/// powerful.").
+///
+/// The ODMG collection interface (element access, insertion, removal,
+/// concatenation) is implemented by list edits; the AQUA side shows
+/// through in `Select` (stable filtering) and `SubSelect` (the
+/// pattern-predicate upgrade the paper advertises). Positions are 0-based,
+/// matching the ODMG C++ binding.
+class OdmgArray {
+ public:
+  OdmgArray() = default;
+  explicit OdmgArray(List list) : list_(std::move(list)) {}
+
+  /// Builds an array of object references.
+  static OdmgArray Of(const std::vector<Oid>& elements);
+
+  size_t cardinality() const { return list_.size(); }
+  bool is_empty() const { return list_.empty(); }
+
+  /// ODMG retrieve_element_at.
+  Result<Oid> RetrieveAt(size_t index) const;
+  /// ODMG replace_element_at.
+  Status ReplaceAt(size_t index, Oid element);
+  /// ODMG insert_element_at (shifts the suffix right).
+  Status InsertAt(size_t index, Oid element);
+  /// ODMG remove_element_at (shifts the suffix left).
+  Status RemoveAt(size_t index);
+  /// Appends at the end.
+  void Append(Oid element);
+
+  /// First position of `element` at or after `from`; NotFound otherwise.
+  Result<size_t> IndexOf(Oid element, size_t from = 0) const;
+  bool Contains(Oid element) const { return IndexOf(element).ok(); }
+
+  /// ODMG concatenation: this array followed by `other`.
+  OdmgArray Concat(const OdmgArray& other) const;
+
+  /// The AQUA list this array is simulated by (the §8 mapping).
+  const List& aqua_list() const { return list_; }
+
+  /// AQUA-stable select: keeps order, filters by an alphabet-predicate.
+  Result<OdmgArray> Select(const ObjectStore& store,
+                           const PredicateRef& pred) const;
+
+  /// The predicate upgrade §8 advertises: AQUA list patterns over an ODMG
+  /// array (returns the set of matching subarrays).
+  Result<Datum> SubSelect(const ObjectStore& store,
+                          const AnchoredListPattern& pattern) const;
+
+  friend bool operator==(const OdmgArray& a, const OdmgArray& b) {
+    return a.list_ == b.list_;
+  }
+
+ private:
+  List list_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_ODMG_ARRAY_H_

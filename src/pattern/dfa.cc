@@ -1,0 +1,86 @@
+#include "pattern/dfa.h"
+
+namespace aqua {
+
+Result<LazyDfa> LazyDfa::Make(const Nfa* nfa) {
+  if (nfa == nullptr) return Status::InvalidArgument("null NFA");
+  if (nfa->num_predicates() > 58) {
+    return Status::InvalidArgument(
+        "lazy DFA supports at most 58 distinct predicates per pattern");
+  }
+  return LazyDfa(nfa);
+}
+
+LazyDfa::LazyDfa(const Nfa* nfa) : nfa_(nfa) {
+  std::vector<bool> init(nfa_->num_states(), false);
+  init[nfa_->start()] = true;
+  nfa_->EpsClosure(&init);
+  start_state_ = InternState(init);
+}
+
+uint64_t LazyDfa::Signature(const Nfa::ElementFacts& facts) const {
+  uint64_t sig = 0;
+  for (size_t i = 0; i < facts.pred_sat.size(); ++i) {
+    if (facts.pred_sat[i]) sig |= (uint64_t{1} << i);
+  }
+  size_t base = facts.pred_sat.size();
+  if (facts.is_cell) sig |= (uint64_t{1} << base);
+  if (facts.label_index != Nfa::ElementFacts::kNoLabel) {
+    // Point labels are few; fold the index into the high bits.
+    sig |= (uint64_t{facts.label_index} + 2) << (base + 1);
+  }
+  return sig;
+}
+
+uint32_t LazyDfa::InternState(const std::vector<bool>& set) {
+  auto it = state_ids_.find(set);
+  if (it != state_ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(dfa_states_.size());
+  state_ids_.emplace(set, id);
+  dfa_states_.push_back(set);
+  accepting_.push_back(set[nfa_->accept()]);
+  return id;
+}
+
+uint32_t LazyDfa::StepState(uint32_t state, const ObjectStore& store,
+                            const NodePayload& e) {
+  Nfa::ElementFacts facts = nfa_->Facts(store, e);
+  uint64_t sig = Signature(facts);
+  auto key = std::make_pair(state, sig);
+  auto it = trans_.find(key);
+  if (it != trans_.end()) return it->second;
+  std::vector<bool> next = nfa_->Step(dfa_states_[state], facts);
+  uint32_t next_id = InternState(next);
+  trans_.emplace(key, next_id);
+  return next_id;
+}
+
+bool LazyDfa::MatchesWhole(const ObjectStore& store, const List& list) {
+  uint32_t cur = start_state_;
+  for (size_t i = 0; i < list.size(); ++i) {
+    cur = StepState(cur, store, list.at(i));
+  }
+  return accepting_[cur];
+}
+
+bool LazyDfa::ExistsMatch(const ObjectStore& store, const List& list) {
+  uint32_t cur = start_state_;
+  if (accepting_[cur]) return true;
+  bool search = nfa_->search_mode();
+  for (size_t i = 0; i < list.size(); ++i) {
+    cur = StepState(cur, store, list.at(i));
+    if (!search) {
+      // Re-inject the start set: union current with the initial closure.
+      std::vector<bool> merged = dfa_states_[cur];
+      const std::vector<bool>& init = dfa_states_[start_state_];
+      for (size_t s = 0; s < merged.size(); ++s) {
+        if (init[s]) merged[s] = true;
+      }
+      cur = InternState(merged);
+    }
+    if (accepting_[cur]) return true;
+  }
+  return false;
+}
+
+}  // namespace aqua

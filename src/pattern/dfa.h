@@ -1,0 +1,60 @@
+#ifndef AQUA_PATTERN_DFA_H_
+#define AQUA_PATTERN_DFA_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "object/object_store.h"
+#include "bulk/list.h"
+#include "pattern/nfa.h"
+
+namespace aqua {
+
+/// Lazily determinized automaton over an `Nfa`.
+///
+/// The input alphabet of a list pattern is *symbolic* (predicate outcomes),
+/// so classical ahead-of-time determinization would enumerate predicate
+/// minterms. Instead the DFA determinizes on demand: each distinct element
+/// signature (bitset of satisfied predicates + cell/point facts) seen at a
+/// DFA state materializes one transition, which is then cached across calls.
+/// Repeated matching over a corpus therefore approaches one table lookup per
+/// element (the classic DFA payoff measured in `bench_list_match`).
+class LazyDfa {
+ public:
+  /// `nfa` must outlive the DFA. At most 58 distinct predicates are
+  /// supported (signatures are packed into 64 bits).
+  static Result<LazyDfa> Make(const Nfa* nfa);
+
+  /// True when the entire list is in the language.
+  bool MatchesWhole(const ObjectStore& store, const List& list);
+
+  /// True when any sublist is in the language (use a search-compiled NFA
+  /// for single-pass behavior, mirroring `Nfa::ExistsMatch`).
+  bool ExistsMatch(const ObjectStore& store, const List& list);
+
+  /// Number of materialized DFA states so far.
+  size_t num_states() const { return dfa_states_.size(); }
+  /// Number of cached transitions so far.
+  size_t num_transitions() const { return trans_.size(); }
+
+ private:
+  explicit LazyDfa(const Nfa* nfa);
+
+  uint64_t Signature(const Nfa::ElementFacts& facts) const;
+  uint32_t InternState(const std::vector<bool>& set);
+  uint32_t StepState(uint32_t state, const ObjectStore& store,
+                     const NodePayload& e);
+
+  const Nfa* nfa_;
+  std::vector<std::vector<bool>> dfa_states_;  // NFA state sets
+  std::vector<bool> accepting_;
+  std::map<std::vector<bool>, uint32_t> state_ids_;
+  std::map<std::pair<uint32_t, uint64_t>, uint32_t> trans_;
+  uint32_t start_state_ = 0;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_PATTERN_DFA_H_

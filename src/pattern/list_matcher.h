@@ -1,0 +1,91 @@
+#ifndef AQUA_PATTERN_LIST_MATCHER_H_
+#define AQUA_PATTERN_LIST_MATCHER_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "object/object_store.h"
+#include "bulk/list.h"
+#include "pattern/list_pattern.h"
+
+namespace aqua {
+
+/// One way a list pattern matches a sublist (§3.4).
+struct ListMatch {
+  /// Matched sublist is `[begin, end)`.
+  size_t begin = 0;
+  size_t end = 0;
+  /// Positions inside `[begin, end)` consumed under a `!` scope, sorted.
+  /// These elements are pruned from the result and become cut pieces.
+  std::vector<size_t> pruned;
+
+  /// Maximal runs of pruned positions, as `[first, last)` ranges in order.
+  std::vector<std::pair<size_t, size_t>> PruneRanges() const;
+
+  friend bool operator==(const ListMatch& a, const ListMatch& b) {
+    return a.begin == b.begin && a.end == b.end && a.pruned == b.pruned;
+  }
+  friend bool operator<(const ListMatch& a, const ListMatch& b) {
+    if (a.begin != b.begin) return a.begin < b.begin;
+    if (a.end != b.end) return a.end < b.end;
+    return a.pruned < b.pruned;
+  }
+};
+
+/// Options bounding match enumeration.
+struct ListMatchOptions {
+  /// Stop after this many matches (0 = unlimited).
+  size_t max_matches = 0;
+  /// Keep only the first derivation found per (begin, end) extent; distinct
+  /// prune decompositions of the same extent are dropped.
+  bool distinct_extents_only = false;
+  /// Abort with InvalidArgument after this many atom probes (0 = unlimited).
+  /// Backtracking over ambiguous closures can be exponential (the paper's
+  /// footnote 3); a budget turns a runaway query into an error the caller
+  /// can handle (e.g. by falling back to the NFA for boolean questions).
+  size_t max_steps = 0;
+};
+
+/// Backtracking pattern matcher over a list instance.
+///
+/// Elements that are concatenation points (§3.5) are invisible to
+/// alphabet-predicates and `?`; they are matched only by pattern points with
+/// the same label. A pattern point may also match the empty string (a NULL
+/// closing, §3.3), so `@a` in a pattern consumes either one same-labeled
+/// instance point or nothing.
+class ListMatcher {
+ public:
+  ListMatcher(const ObjectStore& store, const List& list)
+      : store_(store), list_(list) {}
+
+  /// Enumerates all matches (all begin positions unless anchored, all
+  /// derivations deduplicated), ordered by (begin, end, prunes).
+  Result<std::vector<ListMatch>> FindAll(const AnchoredListPattern& pattern,
+                                         const ListMatchOptions& opts = {});
+
+  /// Enumerates matches beginning only at the given positions (the physical
+  /// operator behind index-anchored list sub_select). `begins` must be
+  /// sorted ascending; a `^` anchor further restricts to position 0.
+  Result<std::vector<ListMatch>> FindAllAtBegins(
+      const AnchoredListPattern& pattern, const std::vector<size_t>& begins,
+      const ListMatchOptions& opts = {});
+
+  /// True when the entire list is in the pattern's language.
+  Result<bool> MatchesWhole(const ListPatternRef& body);
+
+  /// Atom probes executed by the last call (work measure for benchmarks).
+  size_t steps() const { return steps_; }
+
+ private:
+  Status ValidateListPattern(const ListPattern& p) const;
+
+  const ObjectStore& store_;
+  const List& list_;
+  size_t steps_ = 0;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_PATTERN_LIST_MATCHER_H_

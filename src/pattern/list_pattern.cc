@@ -1,0 +1,162 @@
+#include "pattern/list_pattern.h"
+
+#include "pattern/tree_pattern.h"
+
+namespace aqua {
+
+ListPatternRef ListPattern::Pred(PredicateRef pred) {
+  auto p = std::shared_ptr<ListPattern>(new ListPattern());
+  p->kind_ = Kind::kPred;
+  p->pred_ = std::move(pred);
+  return p;
+}
+
+ListPatternRef ListPattern::Any() {
+  auto p = std::shared_ptr<ListPattern>(new ListPattern());
+  p->kind_ = Kind::kAny;
+  return p;
+}
+
+ListPatternRef ListPattern::Concat(std::vector<ListPatternRef> parts) {
+  auto p = std::shared_ptr<ListPattern>(new ListPattern());
+  p->kind_ = Kind::kConcat;
+  p->parts_ = std::move(parts);
+  return p;
+}
+
+ListPatternRef ListPattern::Alt(std::vector<ListPatternRef> alts) {
+  auto p = std::shared_ptr<ListPattern>(new ListPattern());
+  p->kind_ = Kind::kAlt;
+  p->parts_ = std::move(alts);
+  return p;
+}
+
+ListPatternRef ListPattern::Star(ListPatternRef inner) {
+  auto p = std::shared_ptr<ListPattern>(new ListPattern());
+  p->kind_ = Kind::kStar;
+  p->parts_ = {std::move(inner)};
+  return p;
+}
+
+ListPatternRef ListPattern::Plus(ListPatternRef inner) {
+  auto p = std::shared_ptr<ListPattern>(new ListPattern());
+  p->kind_ = Kind::kPlus;
+  p->parts_ = {std::move(inner)};
+  return p;
+}
+
+ListPatternRef ListPattern::Prune(ListPatternRef inner) {
+  auto p = std::shared_ptr<ListPattern>(new ListPattern());
+  p->kind_ = Kind::kPrune;
+  p->parts_ = {std::move(inner)};
+  return p;
+}
+
+ListPatternRef ListPattern::Point(std::string label) {
+  auto p = std::shared_ptr<ListPattern>(new ListPattern());
+  p->kind_ = Kind::kPoint;
+  p->label_ = std::move(label);
+  return p;
+}
+
+ListPatternRef ListPattern::TreeAtom(TreePatternRef tree_pattern) {
+  auto p = std::shared_ptr<ListPattern>(new ListPattern());
+  p->kind_ = Kind::kTreeAtom;
+  p->tree_atom_ = std::move(tree_pattern);
+  return p;
+}
+
+ListPatternRef ListPattern::AnyStar() { return Star(Any()); }
+
+bool ListPattern::Nullable() const {
+  switch (kind_) {
+    case Kind::kPred:
+    case Kind::kAny:
+    case Kind::kPoint:
+    case Kind::kTreeAtom:
+      return false;
+    case Kind::kConcat: {
+      for (const auto& p : parts_) {
+        if (!p->Nullable()) return false;
+      }
+      return true;
+    }
+    case Kind::kAlt: {
+      for (const auto& p : parts_) {
+        if (p->Nullable()) return true;
+      }
+      return false;
+    }
+    case Kind::kStar:
+      return true;
+    case Kind::kPlus:
+    case Kind::kPrune:
+      return parts_[0]->Nullable();
+  }
+  return false;
+}
+
+size_t ListPattern::SizeInNodes() const {
+  size_t n = 1;
+  for (const auto& p : parts_) n += p->SizeInNodes();
+  return n;
+}
+
+std::string ListPattern::ToString() const {
+  switch (kind_) {
+    case Kind::kPred:
+      return "{" + pred_->ToString() + "}";
+    case Kind::kAny:
+      return "?";
+    case Kind::kConcat: {
+      std::string out;
+      for (size_t i = 0; i < parts_.size(); ++i) {
+        if (i > 0) out += " ";
+        out += parts_[i]->ToString();
+      }
+      return out;
+    }
+    case Kind::kAlt: {
+      std::string out = "[[";
+      for (size_t i = 0; i < parts_.size(); ++i) {
+        if (i > 0) out += " | ";
+        out += parts_[i]->ToString();
+      }
+      out += "]]";
+      return out;
+    }
+    case Kind::kStar: {
+      const auto& in = parts_[0];
+      bool atom = in->parts_.empty();
+      return (atom ? in->ToString() : "[[" + in->ToString() + "]]") + "*";
+    }
+    case Kind::kPlus: {
+      const auto& in = parts_[0];
+      bool atom = in->parts_.empty();
+      return (atom ? in->ToString() : "[[" + in->ToString() + "]]") + "+";
+    }
+    case Kind::kPrune: {
+      const auto& in = parts_[0];
+      bool atom = in->parts_.empty() && in->kind_ != Kind::kStar &&
+                  in->kind_ != Kind::kPlus;
+      // !x* reads fine; only bracket multi-part bodies.
+      if (in->kind_ == Kind::kStar || in->kind_ == Kind::kPlus) atom = true;
+      return "!" + (atom ? in->ToString() : "[[" + in->ToString() + "]]");
+    }
+    case Kind::kPoint:
+      return "@" + label_;
+    case Kind::kTreeAtom:
+      return tree_atom_->ToString();
+  }
+  return "?";
+}
+
+std::string AnchoredListPattern::ToString() const {
+  std::string out;
+  if (anchor_begin) out += "^";
+  out += body ? body->ToString() : "";
+  if (anchor_end) out += "$";
+  return out;
+}
+
+}  // namespace aqua

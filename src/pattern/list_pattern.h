@@ -1,0 +1,104 @@
+#ifndef AQUA_PATTERN_LIST_PATTERN_H_
+#define AQUA_PATTERN_LIST_PATTERN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pattern/predicate.h"
+
+namespace aqua {
+
+class TreePattern;
+using TreePatternRef = std::shared_ptr<const TreePattern>;
+
+class ListPattern;
+using ListPatternRef = std::shared_ptr<const ListPattern>;
+
+/// A list pattern (§3.2): a regular expression whose alphabet is
+/// alphabet-predicates. The same AST also describes the *children sequence*
+/// of a tree-pattern node (§3.3), in which case atoms are tree patterns
+/// (`kTreeAtom`).
+///
+/// Kinds:
+///  * `kPred`     — one element satisfying an alphabet-predicate
+///  * `kAny`      — `?`, one arbitrary element
+///  * `kConcat`   — `lp1 ∘ lp2 ...`
+///  * `kAlt`      — `lp1 | lp2 | ...`
+///  * `kStar`     — `lp*` (zero or more self-concatenations)
+///  * `kPlus`     — `lp+`
+///  * `kPrune`    — `!lp`: matches like `lp` but the consumed elements (for
+///                  trees: the subtrees rooted at the matched nodes) are
+///                  pruned from the result and become cut pieces (§3.4)
+///  * `kPoint`    — a concatenation point `@label` appearing in a pattern
+///  * `kTreeAtom` — a tree pattern as an atom of a children sequence
+///
+/// Anchors `^` / `$` (§3.2) apply to a whole pattern and are carried
+/// alongside the AST (see `AnchoredListPattern`).
+class ListPattern {
+ public:
+  enum class Kind {
+    kPred,
+    kAny,
+    kConcat,
+    kAlt,
+    kStar,
+    kPlus,
+    kPrune,
+    kPoint,
+    kTreeAtom,
+  };
+
+  static ListPatternRef Pred(PredicateRef pred);
+  static ListPatternRef Any();
+  static ListPatternRef Concat(std::vector<ListPatternRef> parts);
+  static ListPatternRef Alt(std::vector<ListPatternRef> alts);
+  static ListPatternRef Star(ListPatternRef inner);
+  static ListPatternRef Plus(ListPatternRef inner);
+  static ListPatternRef Prune(ListPatternRef inner);
+  static ListPatternRef Point(std::string label);
+  static ListPatternRef TreeAtom(TreePatternRef tree_pattern);
+
+  /// Convenience: `?*` — zero or more arbitrary elements.
+  static ListPatternRef AnyStar();
+
+  Kind kind() const { return kind_; }
+  const PredicateRef& pred() const { return pred_; }
+  const std::vector<ListPatternRef>& parts() const { return parts_; }
+  const ListPatternRef& inner() const { return parts_[0]; }
+  const std::string& label() const { return label_; }
+  const TreePatternRef& tree_atom() const { return tree_atom_; }
+
+  /// True when the pattern can match the empty sequence.
+  bool Nullable() const;
+
+  /// Total number of AST nodes (including nested tree-pattern atoms'
+  /// children sequences are counted as 1 atom here).
+  size_t SizeInNodes() const;
+
+  /// Renders in the paper-flavored ASCII syntax, e.g.
+  /// `!?* {citizen == "USA"} !?*`.
+  std::string ToString() const;
+
+ private:
+  ListPattern() = default;
+
+  Kind kind_ = Kind::kAny;
+  PredicateRef pred_;
+  std::vector<ListPatternRef> parts_;
+  std::string label_;
+  TreePatternRef tree_atom_;
+};
+
+/// A top-level list pattern with the paper's `^` / `$` anchors.
+struct AnchoredListPattern {
+  ListPatternRef body;
+  bool anchor_begin = false;
+  bool anchor_end = false;
+
+  std::string ToString() const;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_PATTERN_LIST_PATTERN_H_

@@ -1,0 +1,233 @@
+#include "pattern/nfa.h"
+
+#include <deque>
+
+namespace aqua {
+
+uint32_t Nfa::NewState() {
+  states_.emplace_back();
+  return static_cast<uint32_t>(states_.size() - 1);
+}
+
+void Nfa::AddEdge(uint32_t from, Transition t) {
+  states_[from].push_back(t);
+}
+
+uint32_t Nfa::InternPred(const PredicateRef& pred) {
+  // Predicates are interned by pointer identity; structurally equal but
+  // distinct predicate objects get separate slots, which only costs a
+  // little duplicate evaluation.
+  for (size_t i = 0; i < preds_.size(); ++i) {
+    if (preds_[i] == pred) return static_cast<uint32_t>(i);
+  }
+  preds_.push_back(pred);
+  return static_cast<uint32_t>(preds_.size() - 1);
+}
+
+uint32_t Nfa::InternLabel(const std::string& label) {
+  for (size_t i = 0; i < point_labels_.size(); ++i) {
+    if (point_labels_[i] == label) return static_cast<uint32_t>(i);
+  }
+  point_labels_.push_back(label);
+  return static_cast<uint32_t>(point_labels_.size() - 1);
+}
+
+Result<Nfa::Frag> Nfa::Build(const ListPattern& p) {
+  switch (p.kind()) {
+    case ListPattern::Kind::kPred: {
+      Frag f{NewState(), NewState()};
+      AddEdge(f.start,
+              {Transition::Kind::kPred, f.accept, InternPred(p.pred())});
+      return f;
+    }
+    case ListPattern::Kind::kAny: {
+      Frag f{NewState(), NewState()};
+      AddEdge(f.start, {Transition::Kind::kAnyCell, f.accept, 0});
+      return f;
+    }
+    case ListPattern::Kind::kPoint: {
+      Frag f{NewState(), NewState()};
+      // A pattern point closes with NULL (epsilon) or consumes one
+      // same-labeled instance point.
+      AddEdge(f.start, {Transition::Kind::kEpsilon, f.accept, 0});
+      AddEdge(f.start,
+              {Transition::Kind::kPoint, f.accept, InternLabel(p.label())});
+      return f;
+    }
+    case ListPattern::Kind::kConcat: {
+      Frag f{NewState(), 0};
+      uint32_t cur = f.start;
+      for (const auto& part : p.parts()) {
+        AQUA_ASSIGN_OR_RETURN(Frag sub, Build(*part));
+        AddEdge(cur, {Transition::Kind::kEpsilon, sub.start, 0});
+        cur = sub.accept;
+      }
+      f.accept = cur;
+      return f;
+    }
+    case ListPattern::Kind::kAlt: {
+      Frag f{NewState(), NewState()};
+      for (const auto& part : p.parts()) {
+        AQUA_ASSIGN_OR_RETURN(Frag sub, Build(*part));
+        AddEdge(f.start, {Transition::Kind::kEpsilon, sub.start, 0});
+        AddEdge(sub.accept, {Transition::Kind::kEpsilon, f.accept, 0});
+      }
+      return f;
+    }
+    case ListPattern::Kind::kStar: {
+      AQUA_ASSIGN_OR_RETURN(Frag body, Build(*p.inner()));
+      Frag f{NewState(), NewState()};
+      AddEdge(f.start, {Transition::Kind::kEpsilon, f.accept, 0});
+      AddEdge(f.start, {Transition::Kind::kEpsilon, body.start, 0});
+      AddEdge(body.accept, {Transition::Kind::kEpsilon, body.start, 0});
+      AddEdge(body.accept, {Transition::Kind::kEpsilon, f.accept, 0});
+      return f;
+    }
+    case ListPattern::Kind::kPlus: {
+      AQUA_ASSIGN_OR_RETURN(Frag body, Build(*p.inner()));
+      Frag f{NewState(), NewState()};
+      AddEdge(f.start, {Transition::Kind::kEpsilon, body.start, 0});
+      AddEdge(body.accept, {Transition::Kind::kEpsilon, body.start, 0});
+      AddEdge(body.accept, {Transition::Kind::kEpsilon, f.accept, 0});
+      return f;
+    }
+    case ListPattern::Kind::kPrune:
+      // Pruning shapes the result, not the language.
+      return Build(*p.inner());
+    case ListPattern::Kind::kTreeAtom:
+      return Status::InvalidArgument(
+          "tree-pattern atoms cannot be compiled to a list NFA");
+  }
+  return Status::Internal("unreachable in Nfa::Build");
+}
+
+Result<Nfa> Nfa::Compile(const ListPatternRef& pattern) {
+  if (pattern == nullptr) return Status::InvalidArgument("null pattern");
+  Nfa nfa;
+  AQUA_ASSIGN_OR_RETURN(Frag f, nfa.Build(*pattern));
+  nfa.start_ = f.start;
+  nfa.accept_ = f.accept;
+  return nfa;
+}
+
+Result<Nfa> Nfa::CompileSearch(const ListPatternRef& pattern) {
+  AQUA_ASSIGN_OR_RETURN(Nfa nfa, Compile(pattern));
+  // Prefix with an any-element loop: start' -any-> start' -eps-> start.
+  uint32_t loop = nfa.NewState();
+  nfa.AddEdge(loop, {Transition::Kind::kAnyCell, loop, 0});
+  nfa.AddEdge(loop, {Transition::Kind::kEpsilon, nfa.start_, 0});
+  nfa.start_ = loop;
+  nfa.search_mode_ = true;
+  return nfa;
+}
+
+void Nfa::EpsClosure(std::vector<bool>* set) const {
+  std::deque<uint32_t> work;
+  for (uint32_t s = 0; s < set->size(); ++s) {
+    if ((*set)[s]) work.push_back(s);
+  }
+  while (!work.empty()) {
+    uint32_t s = work.front();
+    work.pop_front();
+    for (const Transition& t : states_[s]) {
+      if (t.kind == Transition::Kind::kEpsilon && !(*set)[t.target]) {
+        (*set)[t.target] = true;
+        work.push_back(t.target);
+      }
+    }
+  }
+}
+
+Nfa::ElementFacts Nfa::Facts(const ObjectStore& store,
+                             const NodePayload& e) const {
+  ElementFacts facts;
+  facts.pred_sat.assign(preds_.size(), false);
+  if (e.is_cell()) {
+    facts.is_cell = true;
+    for (size_t i = 0; i < preds_.size(); ++i) {
+      facts.pred_sat[i] = preds_[i]->Eval(store, e.oid());
+    }
+  } else {
+    for (size_t i = 0; i < point_labels_.size(); ++i) {
+      if (point_labels_[i] == e.label()) {
+        facts.label_index = static_cast<uint32_t>(i);
+        break;
+      }
+    }
+  }
+  return facts;
+}
+
+std::vector<bool> Nfa::Step(const std::vector<bool>& from,
+                            const ElementFacts& facts) const {
+  std::vector<bool> next(states_.size(), false);
+  for (uint32_t s = 0; s < from.size(); ++s) {
+    if (!from[s]) continue;
+    for (const Transition& t : states_[s]) {
+      switch (t.kind) {
+        case Transition::Kind::kEpsilon:
+          break;
+        case Transition::Kind::kPred:
+          if (facts.is_cell && facts.pred_sat[t.index]) {
+            next[t.target] = true;
+          }
+          break;
+        case Transition::Kind::kAnyCell:
+          if (facts.is_cell) next[t.target] = true;
+          break;
+        case Transition::Kind::kPoint:
+          if (!facts.is_cell && facts.label_index == t.index) {
+            next[t.target] = true;
+          }
+          break;
+      }
+    }
+  }
+  EpsClosure(&next);
+  return next;
+}
+
+bool Nfa::MatchesWhole(const ObjectStore& store, const List& list) const {
+  std::vector<bool> cur(states_.size(), false);
+  cur[start_] = true;
+  EpsClosure(&cur);
+  for (size_t i = 0; i < list.size(); ++i) {
+    cur = Step(cur, Facts(store, list.at(i)));
+  }
+  return cur[accept_];
+}
+
+bool Nfa::ExistsMatch(const ObjectStore& store, const List& list) const {
+  std::vector<bool> cur(states_.size(), false);
+  cur[start_] = true;
+  EpsClosure(&cur);
+  if (cur[accept_]) return true;
+  for (size_t i = 0; i < list.size(); ++i) {
+    cur = Step(cur, Facts(store, list.at(i)));
+    if (!search_mode_) {
+      // Restart a potential match at every position.
+      cur[start_] = true;
+      EpsClosure(&cur);
+    }
+    if (cur[accept_]) return true;
+  }
+  return false;
+}
+
+size_t Nfa::CountMatchEnds(const ObjectStore& store, const List& list) const {
+  std::vector<bool> cur(states_.size(), false);
+  cur[start_] = true;
+  EpsClosure(&cur);
+  size_t count = cur[accept_] ? 1 : 0;
+  for (size_t i = 0; i < list.size(); ++i) {
+    cur = Step(cur, Facts(store, list.at(i)));
+    if (!search_mode_) {
+      cur[start_] = true;
+      EpsClosure(&cur);
+    }
+    if (cur[accept_]) ++count;
+  }
+  return count;
+}
+
+}  // namespace aqua

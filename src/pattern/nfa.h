@@ -1,0 +1,107 @@
+#ifndef AQUA_PATTERN_NFA_H_
+#define AQUA_PATTERN_NFA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "object/object_store.h"
+#include "bulk/list.h"
+#include "pattern/list_pattern.h"
+
+namespace aqua {
+
+/// Thompson-constructed nondeterministic finite automaton for the *boolean*
+/// list-matching problem ("is some sublist / the whole list in the
+/// pattern's language?").
+///
+/// Prune markers do not change the recognized language (§3.4 separates
+/// matching from result shaping), so `!` is transparent here. This is the
+/// efficient O(elements × states) counterpart to the backtracking
+/// `ListMatcher`, which is needed when match *shapes* (extents, prunes) are
+/// required.
+class Nfa {
+ public:
+  /// Compiles a list pattern; fails on tree-pattern atoms.
+  static Result<Nfa> Compile(const ListPatternRef& pattern);
+
+  /// Compiles `?* pattern` so that simulation started once at position 0
+  /// discovers matches beginning anywhere (the classic search loop).
+  static Result<Nfa> CompileSearch(const ListPatternRef& pattern);
+
+  /// True when the entire list is in the language.
+  bool MatchesWhole(const ObjectStore& store, const List& list) const;
+
+  /// True when any sublist is in the language. On a search-compiled NFA this
+  /// is a single left-to-right pass; on a plain NFA it restarts at every
+  /// position (still polynomial).
+  bool ExistsMatch(const ObjectStore& store, const List& list) const;
+
+  /// Number of matches counted by distinct end positions reached from a
+  /// search-compiled NFA (a cheap match-density proxy used by benchmarks).
+  size_t CountMatchEnds(const ObjectStore& store, const List& list) const;
+
+  size_t num_states() const { return states_.size(); }
+  size_t num_predicates() const { return preds_.size(); }
+  uint32_t start() const { return start_; }
+  uint32_t accept() const { return accept_; }
+  bool search_mode() const { return search_mode_; }
+
+  /// For each predicate, whether element `payload` satisfies it; used by the
+  /// lazy DFA to form element signatures. The final two bits of the
+  /// signature encode is-cell and the point-label id (see `dfa.h`).
+  struct Transition {
+    enum class Kind { kEpsilon, kPred, kAnyCell, kPoint };
+    Kind kind;
+    uint32_t target;
+    uint32_t index;  // predicate index (kPred) or label index (kPoint)
+  };
+
+  const std::vector<std::vector<Transition>>& states() const {
+    return states_;
+  }
+  const std::vector<PredicateRef>& preds() const { return preds_; }
+  const std::vector<std::string>& point_labels() const {
+    return point_labels_;
+  }
+
+  /// Epsilon-closure of `set` (bitset of states), in place.
+  void EpsClosure(std::vector<bool>* set) const;
+
+  /// Evaluates which predicates / labels an element satisfies.
+  struct ElementFacts {
+    bool is_cell = false;
+    uint32_t label_index = kNoLabel;  // kNoLabel when not a point
+    std::vector<bool> pred_sat;
+    static constexpr uint32_t kNoLabel = static_cast<uint32_t>(-1);
+  };
+  ElementFacts Facts(const ObjectStore& store, const NodePayload& e) const;
+
+  /// One simulation step over an element with known facts.
+  std::vector<bool> Step(const std::vector<bool>& from,
+                         const ElementFacts& facts) const;
+
+ private:
+  struct Frag {
+    uint32_t start;
+    uint32_t accept;
+  };
+
+  uint32_t NewState();
+  void AddEdge(uint32_t from, Transition t);
+  Result<Frag> Build(const ListPattern& p);
+  uint32_t InternPred(const PredicateRef& pred);
+  uint32_t InternLabel(const std::string& label);
+
+  std::vector<std::vector<Transition>> states_;
+  std::vector<PredicateRef> preds_;
+  std::vector<std::string> point_labels_;
+  uint32_t start_ = 0;
+  uint32_t accept_ = 0;
+  bool search_mode_ = false;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_PATTERN_NFA_H_

@@ -1,0 +1,348 @@
+#include "pattern/pattern_parser.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+#include "pattern/predicate_parser.h"
+
+namespace aqua {
+
+namespace {
+
+/// Recursive-descent parser for both pattern languages. The two share the
+/// lexical layer and the regex combinators; they differ in what an atom is.
+class PatternParser {
+ public:
+  PatternParser(std::string_view text, const PatternParserOptions& opts)
+      : text_(text), opts_(opts) {}
+
+  Result<AnchoredListPattern> ParseListTop() {
+    AnchoredListPattern out;
+    SkipSpace();
+    if (Eat('^')) out.anchor_begin = true;
+    AQUA_ASSIGN_OR_RETURN(out.body, ParseAlt(/*tree_atoms=*/false));
+    SkipSpace();
+    if (Eat('$')) out.anchor_end = true;
+    SkipSpace();
+    if (!AtEnd()) {
+      return Status::ParseError("trailing input in list pattern at position " +
+                                std::to_string(pos_));
+    }
+    return out;
+  }
+
+  Result<TreePatternRef> ParseTreeTop() {
+    SkipSpace();
+    bool root_anchor = Eat('^');
+    AQUA_ASSIGN_OR_RETURN(TreePatternRef tp, ParseTreeAlt());
+    SkipSpace();
+    if (Eat('$')) tp = TreePattern::LeafAnchor(std::move(tp));
+    SkipSpace();
+    if (!AtEnd()) {
+      return Status::ParseError("trailing input in tree pattern at position " +
+                                std::to_string(pos_));
+    }
+    if (root_anchor) tp = TreePattern::RootAnchor(std::move(tp));
+    return tp;
+  }
+
+ private:
+  // -------------------------------------------------------------------
+  // Shared regex layer over list-pattern structure.
+
+  Result<ListPatternRef> ParseAlt(bool tree_atoms) {
+    AQUA_ASSIGN_OR_RETURN(ListPatternRef lhs, ParseCat(tree_atoms));
+    std::vector<ListPatternRef> alts = {std::move(lhs)};
+    while (true) {
+      SkipSpace();
+      if (!Eat('|')) break;
+      AQUA_ASSIGN_OR_RETURN(ListPatternRef rhs, ParseCat(tree_atoms));
+      alts.push_back(std::move(rhs));
+    }
+    if (alts.size() == 1) return alts[0];
+    return ListPattern::Alt(std::move(alts));
+  }
+
+  Result<ListPatternRef> ParseCat(bool tree_atoms) {
+    std::vector<ListPatternRef> parts;
+    while (true) {
+      SkipSpace();
+      if (AtEnd() || Peek() == '|' || Peek() == ')' || Peek() == '$' ||
+          LookingAt("]]")) {
+        break;
+      }
+      AQUA_ASSIGN_OR_RETURN(ListPatternRef part, ParsePost(tree_atoms));
+      parts.push_back(std::move(part));
+    }
+    if (parts.empty()) {
+      // The empty sequence: Concat of nothing (matches zero elements).
+      return ListPattern::Concat({});
+    }
+    if (parts.size() == 1) return parts[0];
+    return ListPattern::Concat(std::move(parts));
+  }
+
+  Result<ListPatternRef> ParsePost(bool tree_atoms) {
+    AQUA_ASSIGN_OR_RETURN(ListPatternRef prim, ParsePrim(tree_atoms));
+    while (true) {
+      SkipSpace();
+      if (Peek1('*') && !LookingAt("*@")) {
+        Eat('*');
+        prim = ListPattern::Star(std::move(prim));
+      } else if (Peek1('+') && !LookingAt("+@")) {
+        Eat('+');
+        prim = ListPattern::Plus(std::move(prim));
+      } else if (tree_atoms && (LookingAt("*@") || LookingAt("+@"))) {
+        // Tree closure applied to a tree atom inside a children sequence.
+        bool star = Peek() == '*';
+        pos_ += 2;
+        AQUA_ASSIGN_OR_RETURN(std::string label, LexLabel());
+        if (prim->kind() != ListPattern::Kind::kTreeAtom) {
+          return Status::ParseError(
+              "a '*@'/'+@' tree closure needs a tree-pattern operand");
+        }
+        TreePatternRef t = prim->tree_atom();
+        t = star ? TreePattern::StarAt(std::move(t), std::move(label))
+                 : TreePattern::PlusAt(std::move(t), std::move(label));
+        prim = ListPattern::TreeAtom(std::move(t));
+      } else {
+        break;
+      }
+    }
+    return prim;
+  }
+
+  Result<ListPatternRef> ParsePrim(bool tree_atoms) {
+    SkipSpace();
+    if (AtEnd()) return Status::ParseError("unexpected end of pattern");
+    if (Eat('!')) {
+      AQUA_ASSIGN_OR_RETURN(ListPatternRef inner, ParsePost(tree_atoms));
+      return ListPattern::Prune(std::move(inner));
+    }
+    if (LookingAt("[[")) {
+      pos_ += 2;
+      AQUA_ASSIGN_OR_RETURN(ListPatternRef inner, ParseAlt(tree_atoms));
+      SkipSpace();
+      if (!LookingAt("]]")) return Status::ParseError("expected ']]'");
+      pos_ += 2;
+      return inner;
+    }
+    if (tree_atoms) {
+      // In a children sequence, any primary is a tree pattern; plain atoms
+      // (`?`, predicates, points) stay list-level unless they have children.
+      return ParseChildAtom();
+    }
+    if (Peek() == '@') {
+      Eat('@');
+      AQUA_ASSIGN_OR_RETURN(std::string label, LexLabel());
+      return ListPattern::Point(std::move(label));
+    }
+    if (Eat('?')) return ListPattern::Any();
+    AQUA_ASSIGN_OR_RETURN(PredicateRef pred, ParseAtomPredicate());
+    return ListPattern::Pred(std::move(pred));
+  }
+
+  /// One atom of a children sequence: a tree pattern primary. Keeps simple
+  /// node-less atoms at the list level so the common case stays cheap.
+  Result<ListPatternRef> ParseChildAtom() {
+    SkipSpace();
+    if (Peek() == '@') {
+      Eat('@');
+      AQUA_ASSIGN_OR_RETURN(std::string label, LexLabel());
+      return ListPattern::Point(std::move(label));
+    }
+    size_t save = pos_;
+    // Try a bare `?` or predicate atom without children first.
+    if (Eat('?')) {
+      SkipSpace();
+      if (!Peek1('(')) return ListPattern::Any();
+      pos_ = save;
+    } else if (Peek() == '{' || Peek() == '"' || IsIdentStart(Peek())) {
+      AQUA_ASSIGN_OR_RETURN(PredicateRef pred, ParseAtomPredicate());
+      SkipSpace();
+      if (!Peek1('(')) return ListPattern::Pred(std::move(pred));
+      pos_ = save;
+    }
+    AQUA_ASSIGN_OR_RETURN(TreePatternRef tp, ParseTreePrim());
+    return ListPattern::TreeAtom(std::move(tp));
+  }
+
+  // -------------------------------------------------------------------
+  // Tree-pattern layer.
+
+  Result<TreePatternRef> ParseTreeAlt() {
+    AQUA_ASSIGN_OR_RETURN(TreePatternRef lhs, ParseTreeCat());
+    std::vector<TreePatternRef> alts = {std::move(lhs)};
+    while (true) {
+      SkipSpace();
+      if (!Eat('|')) break;
+      AQUA_ASSIGN_OR_RETURN(TreePatternRef rhs, ParseTreeCat());
+      alts.push_back(std::move(rhs));
+    }
+    if (alts.size() == 1) return alts[0];
+    return TreePattern::Alt(std::move(alts));
+  }
+
+  Result<TreePatternRef> ParseTreeCat() {
+    AQUA_ASSIGN_OR_RETURN(TreePatternRef lhs, ParseTreePost());
+    while (true) {
+      SkipSpace();
+      if (!LookingAt(".@")) break;
+      pos_ += 2;
+      AQUA_ASSIGN_OR_RETURN(std::string label, LexLabel());
+      AQUA_ASSIGN_OR_RETURN(TreePatternRef rhs, ParseTreePost());
+      lhs = TreePattern::ConcatAt(std::move(lhs), std::move(label),
+                                  std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<TreePatternRef> ParseTreePost() {
+    AQUA_ASSIGN_OR_RETURN(TreePatternRef prim, ParseTreePrim());
+    while (true) {
+      SkipSpace();
+      if (LookingAt("*@") || LookingAt("+@")) {
+        bool star = Peek() == '*';
+        pos_ += 2;
+        AQUA_ASSIGN_OR_RETURN(std::string label, LexLabel());
+        prim = star ? TreePattern::StarAt(std::move(prim), std::move(label))
+                    : TreePattern::PlusAt(std::move(prim), std::move(label));
+      } else {
+        break;
+      }
+    }
+    return prim;
+  }
+
+  Result<TreePatternRef> ParseTreePrim() {
+    SkipSpace();
+    if (AtEnd()) return Status::ParseError("unexpected end of tree pattern");
+    if (Eat('!')) {
+      AQUA_ASSIGN_OR_RETURN(TreePatternRef inner, ParseTreePost());
+      return TreePattern::Prune(std::move(inner));
+    }
+    if (LookingAt("[[")) {
+      pos_ += 2;
+      AQUA_ASSIGN_OR_RETURN(TreePatternRef inner, ParseTreeAlt());
+      SkipSpace();
+      if (Eat('$')) inner = TreePattern::LeafAnchor(std::move(inner));
+      SkipSpace();
+      if (!LookingAt("]]")) return Status::ParseError("expected ']]'");
+      pos_ += 2;
+      return inner;
+    }
+    if (Peek() == '@') {
+      Eat('@');
+      AQUA_ASSIGN_OR_RETURN(std::string label, LexLabel());
+      return TreePattern::Point(std::move(label));
+    }
+    PredicateRef pred;
+    if (Eat('?')) {
+      pred = nullptr;  // any
+    } else {
+      AQUA_ASSIGN_OR_RETURN(pred, ParseAtomPredicate());
+    }
+    SkipSpace();
+    if (Eat('(')) {
+      AQUA_ASSIGN_OR_RETURN(ListPatternRef children,
+                            ParseAlt(/*tree_atoms=*/true));
+      SkipSpace();
+      if (!Eat(')')) return Status::ParseError("expected ')'");
+      return TreePattern::Node(std::move(pred), std::move(children));
+    }
+    return TreePattern::Leaf(std::move(pred));
+  }
+
+  // -------------------------------------------------------------------
+  // Atoms.
+
+  Result<PredicateRef> ParseAtomPredicate() {
+    SkipSpace();
+    if (AtEnd()) return Status::ParseError("expected a predicate atom");
+    char c = Peek();
+    if (c == '{') {
+      size_t depth = 0;
+      size_t start = pos_;
+      while (!AtEnd()) {
+        if (Peek() == '{') ++depth;
+        if (Peek() == '}') {
+          --depth;
+          if (depth == 0) break;
+        }
+        ++pos_;
+      }
+      if (AtEnd()) return Status::ParseError("unterminated '{' predicate");
+      ++pos_;  // consume '}'
+      return ParsePredicate(text_.substr(start, pos_ - start));
+    }
+    std::string token;
+    if (c == '"') {
+      ++pos_;
+      while (!AtEnd() && Peek() != '"') token += text_[pos_++];
+      if (!Eat('"')) return Status::ParseError("unterminated string atom");
+    } else if (IsIdentStart(c)) {
+      token = LexIdent();
+    } else {
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' in pattern");
+    }
+    if (opts_.env != nullptr && opts_.env->Has(token)) {
+      return opts_.env->Lookup(token);
+    }
+    if (opts_.default_attr.empty()) {
+      return Status::ParseError("unbound predicate name '" + token + "'");
+    }
+    return Predicate::AttrEquals(opts_.default_attr,
+                                 Value::String(std::move(token)));
+  }
+
+  Result<std::string> LexLabel() {
+    if (AtEnd() || !IsIdentChar(Peek())) {
+      return Status::ParseError("expected a concatenation-point label");
+    }
+    std::string out;
+    while (!AtEnd() && IsIdentChar(Peek())) out += text_[pos_++];
+    return out;
+  }
+
+  std::string LexIdent() {
+    std::string out;
+    while (!AtEnd() && IsIdentChar(Peek())) out += text_[pos_++];
+    return out;
+  }
+
+  bool LookingAt(std::string_view tok) const {
+    return text_.substr(pos_).substr(0, tok.size()) == tok;
+  }
+  void SkipSpace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : text_[pos_]; }
+  bool Peek1(char c) const { return !AtEnd() && text_[pos_] == c; }
+  bool Eat(char c) {
+    if (!Peek1(c)) return false;
+    ++pos_;
+    return true;
+  }
+
+  std::string_view text_;
+  const PatternParserOptions& opts_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<AnchoredListPattern> ParseListPattern(std::string_view text,
+                                             const PatternParserOptions& opts) {
+  return PatternParser(text, opts).ParseListTop();
+}
+
+Result<TreePatternRef> ParseTreePattern(std::string_view text,
+                                        const PatternParserOptions& opts) {
+  return PatternParser(text, opts).ParseTreeTop();
+}
+
+}  // namespace aqua

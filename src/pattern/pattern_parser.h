@@ -1,0 +1,59 @@
+#ifndef AQUA_PATTERN_PATTERN_PARSER_H_
+#define AQUA_PATTERN_PATTERN_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "pattern/list_pattern.h"
+#include "pattern/predicate.h"
+#include "pattern/tree_pattern.h"
+
+namespace aqua {
+
+/// Options for the pattern parsers.
+struct PatternParserOptions {
+  /// Named predicate bindings (the paper's `Brazil` shorthand). Looked up
+  /// first for bare identifiers.
+  const PredicateEnv* env = nullptr;
+  /// A bare identifier not bound in `env` is sugar for
+  /// `{<default_attr> == "<identifier>"}`; set to "" to make unbound
+  /// identifiers an error.
+  std::string default_attr = "name";
+};
+
+/// Parses the ASCII rendering of the paper's list-pattern language (§3.2):
+///
+///   `^`/`$`       anchors (prefix / suffix, outermost only)
+///   `{...}`       alphabet-predicate (see `ParsePredicate`)
+///   `ident`       named or default-attribute predicate
+///   `?`           any element
+///   `@label`      concatenation point
+///   juxtaposition concatenation;  `|` disjunction (binds loosest)
+///   `*` `+`       postfix closure;  `!` prefix prune;  `[[ ... ]]` grouping
+///
+/// Example: `^!?* {pitch == "A"} ? ? {pitch == "F"}`.
+Result<AnchoredListPattern> ParseListPattern(
+    std::string_view text, const PatternParserOptions& opts = {});
+
+/// Parses the ASCII rendering of the paper's tree-pattern language (§3.3):
+///
+///   `atom`            single-node pattern (its children become cuts)
+///   `atom( tlp )`     node whose entire child sequence matches `tlp`, a
+///                     list pattern whose atoms are tree patterns
+///   `@label`          concatenation point
+///   `tp1 .@x tp2`     concatenation at point `x` (left-associative)
+///   `[[tp]]*@x`       Kleene closure at `x`;  `+@x` one-or-more
+///   `^tp`             root anchor (the paper's ⊤)
+///   `tp$`             leaf anchor (the paper's ⊥)
+///   `!tp`             prune
+///   `[[ ... ]]`       grouping;  `|` disjunction
+///
+/// Examples: `Brazil(!?* USA !?*)`, `[[a(b c @x)]]*@x`,
+/// `select(!? and)`, `printf(?* LargeData ?* LargeData ?*)`.
+Result<TreePatternRef> ParseTreePattern(std::string_view text,
+                                        const PatternParserOptions& opts = {});
+
+}  // namespace aqua
+
+#endif  // AQUA_PATTERN_PATTERN_PARSER_H_

@@ -1,0 +1,175 @@
+#include "pattern/predicate_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace aqua {
+
+namespace {
+
+class PredParser {
+ public:
+  explicit PredParser(std::string_view text) : text_(text) {}
+
+  Result<PredicateRef> Parse() {
+    SkipSpace();
+    bool braced = Eat('{');
+    AQUA_ASSIGN_OR_RETURN(PredicateRef p, ParseOr());
+    SkipSpace();
+    if (braced && !Eat('}')) return Status::ParseError("expected '}'");
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("trailing input in predicate at position " +
+                                std::to_string(pos_));
+    }
+    return p;
+  }
+
+ private:
+  Result<PredicateRef> ParseOr() {
+    AQUA_ASSIGN_OR_RETURN(PredicateRef lhs, ParseAnd());
+    while (true) {
+      SkipSpace();
+      if (!EatToken("||")) return lhs;
+      AQUA_ASSIGN_OR_RETURN(PredicateRef rhs, ParseAnd());
+      lhs = Predicate::Or(std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<PredicateRef> ParseAnd() {
+    AQUA_ASSIGN_OR_RETURN(PredicateRef lhs, ParseUnary());
+    while (true) {
+      SkipSpace();
+      if (!EatToken("&&")) return lhs;
+      AQUA_ASSIGN_OR_RETURN(PredicateRef rhs, ParseUnary());
+      lhs = Predicate::And(std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<PredicateRef> ParseUnary() {
+    SkipSpace();
+    if (Eat('!')) {
+      // Distinguish `!=` misuse from negation.
+      if (!AtEnd() && Peek() == '=') {
+        return Status::ParseError("unexpected '!=' without left operand");
+      }
+      AQUA_ASSIGN_OR_RETURN(PredicateRef inner, ParseUnary());
+      return Predicate::Not(std::move(inner));
+    }
+    if (Eat('(')) {
+      AQUA_ASSIGN_OR_RETURN(PredicateRef inner, ParseOr());
+      SkipSpace();
+      if (!Eat(')')) return Status::ParseError("expected ')'");
+      return inner;
+    }
+    if (AtEnd() || !IsIdentStart(Peek())) {
+      return Status::ParseError("expected an attribute name");
+    }
+    std::string ident = LexIdent();
+    if (ident == "true") return Predicate::True();
+    SkipSpace();
+    auto op = LexCmpOp();
+    if (!op.ok()) {
+      // Bare identifier: shorthand for `ident == true`.
+      return Predicate::AttrEquals(ident, Value::Bool(true));
+    }
+    AQUA_ASSIGN_OR_RETURN(Value lit, LexLiteral());
+    return Predicate::Compare(std::move(ident), *op, std::move(lit));
+  }
+
+  Result<CmpOp> LexCmpOp() {
+    if (EatToken("==")) return CmpOp::kEq;
+    if (EatToken("!=")) return CmpOp::kNe;
+    if (EatToken("<=")) return CmpOp::kLe;
+    if (EatToken(">=")) return CmpOp::kGe;
+    // '<' and '>' must not consume '<=' / '>=' (handled above).
+    if (!AtEnd() && Peek() == '<') {
+      ++pos_;
+      return CmpOp::kLt;
+    }
+    if (!AtEnd() && Peek() == '>') {
+      ++pos_;
+      return CmpOp::kGt;
+    }
+    return Status::ParseError("no comparison operator");
+  }
+
+  Result<Value> LexLiteral() {
+    SkipSpace();
+    if (AtEnd()) return Status::ParseError("expected a literal");
+    char c = Peek();
+    if (c == '"') {
+      ++pos_;
+      std::string s;
+      while (!AtEnd() && Peek() != '"') s += text_[pos_++];
+      if (!Eat('"')) return Status::ParseError("unterminated string literal");
+      return Value::String(std::move(s));
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+') {
+      size_t start = pos_;
+      if (c == '-' || c == '+') ++pos_;
+      bool is_double = false;
+      while (!AtEnd() && (std::isdigit(static_cast<unsigned char>(Peek())) ||
+                          Peek() == '.')) {
+        if (Peek() == '.') is_double = true;
+        ++pos_;
+      }
+      std::string num(text_.substr(start, pos_ - start));
+      if (num.empty() || num == "-" || num == "+") {
+        return Status::ParseError("malformed number literal");
+      }
+      if (is_double) return Value::Double(std::strtod(num.c_str(), nullptr));
+      return Value::Int(std::strtoll(num.c_str(), nullptr, 10));
+    }
+    if (IsIdentStart(c)) {
+      std::string ident = LexIdent();
+      if (ident == "true") return Value::Bool(true);
+      if (ident == "false") return Value::Bool(false);
+      if (ident == "null") return Value::Null();
+      return Status::ParseError("unknown literal '" + ident + "'");
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' in literal");
+  }
+
+  std::string LexIdent() {
+    std::string out;
+    while (!AtEnd() && IsIdentChar(Peek())) out += text_[pos_++];
+    return out;
+  }
+
+  bool EatToken(std::string_view tok) {
+    SkipSpace();
+    if (text_.substr(pos_).substr(0, tok.size()) == tok) {
+      pos_ += tok.size();
+      return true;
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  bool Eat(char c) {
+    if (AtEnd() || Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<PredicateRef> ParsePredicate(std::string_view text) {
+  return PredParser(text).Parse();
+}
+
+}  // namespace aqua

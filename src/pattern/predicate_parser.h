@@ -1,0 +1,32 @@
+#ifndef AQUA_PATTERN_PREDICATE_PARSER_H_
+#define AQUA_PATTERN_PREDICATE_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "pattern/predicate.h"
+
+namespace aqua {
+
+/// Parses the textual form of an alphabet-predicate (§3.1), e.g.
+///
+///   `citizen == "Brazil"`, `age > 25 && eyes != "blue"`, `!(n < 3) || flag`
+///
+/// Grammar (attribute names are identifiers; a bare identifier is shorthand
+/// for `ident == true` unless followed by a comparison operator):
+///
+///   pred   := or
+///   or     := and ('||' and)*
+///   and    := unary ('&&' unary)*
+///   unary  := '!' unary | '(' or ')' | 'true' | comparison
+///   comparison := ident op literal
+///   op     := '==' '!=' '<' '<=' '>' '>='
+///   literal := int | double | '"'string'"' | true | false
+///
+/// An optional surrounding `{ ... }` is accepted and ignored so predicates
+/// can be pasted directly out of pattern syntax.
+Result<PredicateRef> ParsePredicate(std::string_view text);
+
+}  // namespace aqua
+
+#endif  // AQUA_PATTERN_PREDICATE_PARSER_H_

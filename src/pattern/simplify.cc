@@ -1,0 +1,154 @@
+#include "pattern/simplify.h"
+
+#include <vector>
+
+namespace aqua {
+
+namespace {
+
+bool SameRendering(const ListPatternRef& a, const ListPatternRef& b) {
+  return a->ToString() == b->ToString();
+}
+
+}  // namespace
+
+ListPatternRef SimplifyListPattern(const ListPatternRef& pattern) {
+  if (pattern == nullptr) return pattern;
+  using K = ListPattern::Kind;
+  switch (pattern->kind()) {
+    case K::kPred:
+    case K::kAny:
+    case K::kPoint:
+      return pattern;
+    case K::kTreeAtom:
+      return ListPattern::TreeAtom(SimplifyTreePattern(pattern->tree_atom()));
+    case K::kConcat: {
+      std::vector<ListPatternRef> parts;
+      for (const auto& part : pattern->parts()) {
+        ListPatternRef simplified = SimplifyListPattern(part);
+        if (simplified->kind() == K::kConcat) {
+          for (const auto& sub : simplified->parts()) parts.push_back(sub);
+        } else {
+          parts.push_back(std::move(simplified));
+        }
+      }
+      if (parts.size() == 1) return parts[0];
+      return ListPattern::Concat(std::move(parts));
+    }
+    case K::kAlt: {
+      std::vector<ListPatternRef> alts;
+      for (const auto& alt : pattern->parts()) {
+        ListPatternRef simplified = SimplifyListPattern(alt);
+        std::vector<ListPatternRef> flat;
+        if (simplified->kind() == K::kAlt) {
+          flat = simplified->parts();
+        } else {
+          flat.push_back(std::move(simplified));
+        }
+        for (auto& candidate : flat) {
+          bool duplicate = false;
+          for (const auto& existing : alts) {
+            if (SameRendering(existing, candidate)) {
+              duplicate = true;
+              break;
+            }
+          }
+          if (!duplicate) alts.push_back(std::move(candidate));
+        }
+      }
+      if (alts.size() == 1) return alts[0];
+      return ListPattern::Alt(std::move(alts));
+    }
+    case K::kStar: {
+      ListPatternRef inner = SimplifyListPattern(pattern->inner());
+      // (x*)* = (x+)* = x*.
+      if (inner->kind() == K::kStar || inner->kind() == K::kPlus) {
+        return ListPattern::Star(inner->inner());
+      }
+      return ListPattern::Star(std::move(inner));
+    }
+    case K::kPlus: {
+      ListPatternRef inner = SimplifyListPattern(pattern->inner());
+      // (x*)+ = x*;  (x+)+ = x+.
+      if (inner->kind() == K::kStar) return inner;
+      if (inner->kind() == K::kPlus) return inner;
+      return ListPattern::Plus(std::move(inner));
+    }
+    case K::kPrune: {
+      ListPatternRef inner = SimplifyListPattern(pattern->inner());
+      if (inner->kind() == K::kPrune) return inner;
+      return ListPattern::Prune(std::move(inner));
+    }
+  }
+  return pattern;
+}
+
+TreePatternRef SimplifyTreePattern(const TreePatternRef& pattern) {
+  if (pattern == nullptr) return pattern;
+  using K = TreePattern::Kind;
+  switch (pattern->kind()) {
+    case K::kLeaf:
+    case K::kPoint:
+      return pattern;
+    case K::kNode:
+      return TreePattern::Node(pattern->pred(),
+                               SimplifyListPattern(pattern->children()));
+    case K::kAlt: {
+      std::vector<TreePatternRef> alts;
+      for (const auto& alt : pattern->alts()) {
+        TreePatternRef simplified = SimplifyTreePattern(alt);
+        std::vector<TreePatternRef> flat;
+        if (simplified->kind() == K::kAlt) {
+          flat = simplified->alts();
+        } else {
+          flat.push_back(std::move(simplified));
+        }
+        for (auto& candidate : flat) {
+          bool duplicate = false;
+          for (const auto& existing : alts) {
+            if (existing->ToString() == candidate->ToString()) {
+              duplicate = true;
+              break;
+            }
+          }
+          if (!duplicate) alts.push_back(std::move(candidate));
+        }
+      }
+      if (alts.size() == 1) return alts[0];
+      return TreePattern::Alt(std::move(alts));
+    }
+    case K::kConcatAt: {
+      TreePatternRef first = SimplifyTreePattern(pattern->first());
+      // §3.3: "If two trees are concatenated with a concatenation point α1
+      // and there is no α1 in the first tree, the result is just the first
+      // tree."
+      if (!first->HasFreePoint(pattern->label())) return first;
+      return TreePattern::ConcatAt(std::move(first), pattern->label(),
+                                   SimplifyTreePattern(pattern->second()));
+    }
+    case K::kStarAt:
+      return TreePattern::StarAt(SimplifyTreePattern(pattern->inner()),
+                                 pattern->label());
+    case K::kPlusAt:
+      return TreePattern::PlusAt(SimplifyTreePattern(pattern->inner()),
+                                 pattern->label());
+    case K::kRootAnchor: {
+      TreePatternRef inner = SimplifyTreePattern(pattern->inner());
+      if (inner->kind() == K::kRootAnchor) return inner;
+      return TreePattern::RootAnchor(std::move(inner));
+    }
+    case K::kLeafAnchor: {
+      TreePatternRef inner = SimplifyTreePattern(pattern->inner());
+      if (inner->kind() == K::kLeafAnchor) return inner;
+      return TreePattern::LeafAnchor(std::move(inner));
+    }
+    case K::kPrune: {
+      TreePatternRef inner = SimplifyTreePattern(pattern->inner());
+      if (inner->kind() == K::kPrune) return inner;
+      return TreePattern::Prune(std::move(inner));
+    }
+  }
+  return pattern;
+}
+
+}  // namespace aqua

@@ -1,0 +1,30 @@
+#ifndef AQUA_PATTERN_SIMPLIFY_H_
+#define AQUA_PATTERN_SIMPLIFY_H_
+
+#include "pattern/list_pattern.h"
+#include "pattern/tree_pattern.h"
+
+namespace aqua {
+
+/// Language-preserving normalization of list patterns, applied by the
+/// optimizer before costing (smaller patterns → tighter estimates and less
+/// backtracking):
+///
+///  * nested concatenations and disjunctions flatten;
+///  * single-part concatenations/disjunctions unwrap;
+///  * duplicate disjunction branches collapse;
+///  * `x**`, `(x+)*`, `(x*)+` → `x*`;  `x++` → `x+`;  `!!x` → `!x`.
+ListPatternRef SimplifyListPattern(const ListPatternRef& pattern);
+
+/// Tree-pattern normalization:
+///
+///  * disjunctions flatten/dedupe/unwrap;
+///  * `^^x` → `^x`, double leaf anchors and double prunes collapse;
+///  * `t1 ∘_α t2` → `t1` when `t1` has no free point `α` (the identity
+///    §3.3 states outright);
+///  * children sequences are simplified recursively.
+TreePatternRef SimplifyTreePattern(const TreePatternRef& pattern);
+
+}  // namespace aqua
+
+#endif  // AQUA_PATTERN_SIMPLIFY_H_

@@ -1,0 +1,207 @@
+#include "pattern/tree_pattern.h"
+
+namespace aqua {
+
+TreePatternRef TreePattern::Leaf(PredicateRef pred) {
+  auto p = std::shared_ptr<TreePattern>(new TreePattern());
+  p->kind_ = Kind::kLeaf;
+  p->pred_ = std::move(pred);
+  return p;
+}
+
+TreePatternRef TreePattern::AnyLeaf() { return Leaf(nullptr); }
+
+TreePatternRef TreePattern::Node(PredicateRef pred, ListPatternRef children) {
+  auto p = std::shared_ptr<TreePattern>(new TreePattern());
+  p->kind_ = Kind::kNode;
+  p->pred_ = std::move(pred);
+  p->children_ = std::move(children);
+  return p;
+}
+
+TreePatternRef TreePattern::Point(std::string label) {
+  auto p = std::shared_ptr<TreePattern>(new TreePattern());
+  p->kind_ = Kind::kPoint;
+  p->label_ = std::move(label);
+  return p;
+}
+
+TreePatternRef TreePattern::Alt(std::vector<TreePatternRef> alts) {
+  auto p = std::shared_ptr<TreePattern>(new TreePattern());
+  p->kind_ = Kind::kAlt;
+  p->parts_ = std::move(alts);
+  return p;
+}
+
+TreePatternRef TreePattern::ConcatAt(TreePatternRef first, std::string label,
+                                     TreePatternRef second) {
+  auto p = std::shared_ptr<TreePattern>(new TreePattern());
+  p->kind_ = Kind::kConcatAt;
+  p->label_ = std::move(label);
+  p->parts_ = {std::move(first), std::move(second)};
+  return p;
+}
+
+TreePatternRef TreePattern::StarAt(TreePatternRef inner, std::string label) {
+  auto p = std::shared_ptr<TreePattern>(new TreePattern());
+  p->kind_ = Kind::kStarAt;
+  p->label_ = std::move(label);
+  p->parts_ = {std::move(inner)};
+  return p;
+}
+
+TreePatternRef TreePattern::PlusAt(TreePatternRef inner, std::string label) {
+  auto p = std::shared_ptr<TreePattern>(new TreePattern());
+  p->kind_ = Kind::kPlusAt;
+  p->label_ = label;
+  p->star_form_ = StarAt(inner, label);
+  p->parts_ = {std::move(inner)};
+  return p;
+}
+
+TreePatternRef TreePattern::RootAnchor(TreePatternRef inner) {
+  auto p = std::shared_ptr<TreePattern>(new TreePattern());
+  p->kind_ = Kind::kRootAnchor;
+  p->parts_ = {std::move(inner)};
+  return p;
+}
+
+TreePatternRef TreePattern::LeafAnchor(TreePatternRef inner) {
+  auto p = std::shared_ptr<TreePattern>(new TreePattern());
+  p->kind_ = Kind::kLeafAnchor;
+  p->parts_ = {std::move(inner)};
+  return p;
+}
+
+TreePatternRef TreePattern::Prune(TreePatternRef inner) {
+  auto p = std::shared_ptr<TreePattern>(new TreePattern());
+  p->kind_ = Kind::kPrune;
+  p->parts_ = {std::move(inner)};
+  return p;
+}
+
+namespace {
+
+size_t ListPatternTreeSize(const ListPattern& lp);
+
+size_t TreeSize(const TreePattern& tp) {
+  switch (tp.kind()) {
+    case TreePattern::Kind::kLeaf:
+    case TreePattern::Kind::kPoint:
+      return 1;
+    case TreePattern::Kind::kNode:
+      return 1 + ListPatternTreeSize(*tp.children());
+    default: {
+      size_t n = 1;
+      for (const auto& part : tp.alts()) n += TreeSize(*part);
+      return n;
+    }
+  }
+}
+
+size_t ListPatternTreeSize(const ListPattern& lp) {
+  if (lp.kind() == ListPattern::Kind::kTreeAtom) {
+    return TreeSize(*lp.tree_atom());
+  }
+  size_t n = 1;
+  for (const auto& part : lp.parts()) n += ListPatternTreeSize(*part);
+  return n;
+}
+
+bool ListHasFreePoint(const ListPattern& lp, const std::string& label);
+
+bool TreeHasFreePoint(const TreePattern& tp, const std::string& label) {
+  switch (tp.kind()) {
+    case TreePattern::Kind::kLeaf:
+      return false;
+    case TreePattern::Kind::kPoint:
+      return tp.label() == label;
+    case TreePattern::Kind::kNode:
+      return ListHasFreePoint(*tp.children(), label);
+    case TreePattern::Kind::kConcatAt: {
+      bool in_first =
+          tp.label() == label ? false : TreeHasFreePoint(*tp.first(), label);
+      return in_first || TreeHasFreePoint(*tp.second(), label);
+    }
+    case TreePattern::Kind::kStarAt:
+    case TreePattern::Kind::kPlusAt:
+      // The closure itself exposes its point for further concatenation
+      // (`[ac]* ∘ [b]` passes through the closure's point).
+      if (tp.label() == label) return true;
+      return TreeHasFreePoint(*tp.inner(), label);
+    case TreePattern::Kind::kAlt: {
+      for (const auto& part : tp.alts()) {
+        if (TreeHasFreePoint(*part, label)) return true;
+      }
+      return false;
+    }
+    case TreePattern::Kind::kRootAnchor:
+    case TreePattern::Kind::kLeafAnchor:
+    case TreePattern::Kind::kPrune:
+      return TreeHasFreePoint(*tp.inner(), label);
+  }
+  return false;
+}
+
+bool ListHasFreePoint(const ListPattern& lp, const std::string& label) {
+  switch (lp.kind()) {
+    case ListPattern::Kind::kPoint:
+      return lp.label() == label;
+    case ListPattern::Kind::kTreeAtom:
+      return TreeHasFreePoint(*lp.tree_atom(), label);
+    default: {
+      for (const auto& part : lp.parts()) {
+        if (ListHasFreePoint(*part, label)) return true;
+      }
+      return false;
+    }
+  }
+}
+
+std::string PredToString(const PredicateRef& pred) {
+  if (pred == nullptr) return "?";
+  return "{" + pred->ToString() + "}";
+}
+
+}  // namespace
+
+size_t TreePattern::SizeInNodes() const { return TreeSize(*this); }
+
+bool TreePattern::HasFreePoint(const std::string& label) const {
+  return TreeHasFreePoint(*this, label);
+}
+
+std::string TreePattern::ToString() const {
+  switch (kind_) {
+    case Kind::kLeaf:
+      return PredToString(pred_);
+    case Kind::kNode:
+      return PredToString(pred_) + "(" + children_->ToString() + ")";
+    case Kind::kPoint:
+      return "@" + label_;
+    case Kind::kAlt: {
+      std::string out = "[[";
+      for (size_t i = 0; i < parts_.size(); ++i) {
+        if (i > 0) out += " | ";
+        out += parts_[i]->ToString();
+      }
+      return out + "]]";
+    }
+    case Kind::kConcatAt:
+      return "[[" + parts_[0]->ToString() + " .@" + label_ + " " +
+             parts_[1]->ToString() + "]]";
+    case Kind::kStarAt:
+      return "[[" + parts_[0]->ToString() + "]]*@" + label_;
+    case Kind::kPlusAt:
+      return "[[" + parts_[0]->ToString() + "]]+@" + label_;
+    case Kind::kRootAnchor:
+      return "^" + parts_[0]->ToString();
+    case Kind::kLeafAnchor:
+      return "[[" + parts_[0]->ToString() + "]]$";
+    case Kind::kPrune:
+      return "!" + parts_[0]->ToString();
+  }
+  return "?";
+}
+
+}  // namespace aqua

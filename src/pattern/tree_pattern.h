@@ -1,0 +1,104 @@
+#ifndef AQUA_PATTERN_TREE_PATTERN_H_
+#define AQUA_PATTERN_TREE_PATTERN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pattern/list_pattern.h"
+#include "pattern/predicate.h"
+
+namespace aqua {
+
+/// A tree pattern (§3.3): a regular tree expression over
+/// alphabet-predicates with concatenation points.
+///
+/// Kinds:
+///  * `kLeaf`   — a single-node pattern: an alphabet-predicate or `?`. The
+///                matched tree node may have children; they are *cut* and
+///                become descendant pieces (§3.4/§4).
+///  * `kNode`   — a root predicate followed by a children-sequence pattern
+///                (a `ListPattern` whose atoms are tree patterns), which
+///                must describe the node's *entire* child sequence — the
+///                paper's examples pad with `?*` explicitly.
+///  * `kPoint`  — a concatenation point `α`. Bound points (introduced by
+///                `∘_α` / closures) match their substituted pattern; a free
+///                point matches a same-labeled instance NULL, or nothing.
+///  * `kAlt`    — disjunction.
+///  * `kConcatAt` — `tp1 ∘_α tp2`: substitutes `tp2` at every `α` in `tp1`
+///                (lazily, via a point environment; when `tp1` has no `α`
+///                the result is just `tp1`, per §3.3).
+///  * `kStarAt` / `kPlusAt` — iterative self-concatenation `tp*_α` /
+///                `tp+_α`; the final iteration closes `α` with NULL.
+///  * `kRootAnchor` — `⊤tp` (spelled `^tp`): matches only at the root.
+///  * `kLeafAnchor` — `tp⊥` (spelled `tp$`): every leaf of the pattern must
+///                match a leaf of the tree (no descendant cuts under them).
+///  * `kPrune`  — `!tp`: matches like `tp`, but the largest subtree rooted
+///                at the node matching `tp`'s root is pruned from the match
+///                and becomes a cut piece.
+class TreePattern {
+ public:
+  enum class Kind {
+    kLeaf,
+    kNode,
+    kPoint,
+    kAlt,
+    kConcatAt,
+    kStarAt,
+    kPlusAt,
+    kRootAnchor,
+    kLeafAnchor,
+    kPrune,
+  };
+
+  static TreePatternRef Leaf(PredicateRef pred);
+  static TreePatternRef AnyLeaf();
+  static TreePatternRef Node(PredicateRef pred, ListPatternRef children);
+  static TreePatternRef Point(std::string label);
+  static TreePatternRef Alt(std::vector<TreePatternRef> alts);
+  static TreePatternRef ConcatAt(TreePatternRef first, std::string label,
+                                 TreePatternRef second);
+  static TreePatternRef StarAt(TreePatternRef inner, std::string label);
+  static TreePatternRef PlusAt(TreePatternRef inner, std::string label);
+  static TreePatternRef RootAnchor(TreePatternRef inner);
+  static TreePatternRef LeafAnchor(TreePatternRef inner);
+  static TreePatternRef Prune(TreePatternRef inner);
+
+  Kind kind() const { return kind_; }
+  /// Root predicate (kLeaf/kNode); null for `?`.
+  const PredicateRef& pred() const { return pred_; }
+  bool is_any() const { return pred_ == nullptr; }
+  const ListPatternRef& children() const { return children_; }
+  const std::string& label() const { return label_; }
+  const std::vector<TreePatternRef>& alts() const { return parts_; }
+  const TreePatternRef& first() const { return parts_[0]; }
+  const TreePatternRef& second() const { return parts_[1]; }
+  const TreePatternRef& inner() const { return parts_[0]; }
+  /// For kPlusAt: the `tp*_α` continuation pattern (built eagerly).
+  const TreePatternRef& star_form() const { return star_form_; }
+
+  /// Number of pattern nodes (children sequences included).
+  size_t SizeInNodes() const;
+
+  /// True when some (possibly nested) point with `label` occurs free in the
+  /// pattern (not shadowed by an enclosing binder of the same label).
+  bool HasFreePoint(const std::string& label) const;
+
+  /// Renders the pattern in the ASCII syntax of the pattern parser, e.g.
+  /// `{citizen == "Brazil"}(!?* {citizen == "USA"} !?*)`.
+  std::string ToString() const;
+
+ private:
+  TreePattern() = default;
+
+  Kind kind_ = Kind::kLeaf;
+  PredicateRef pred_;
+  ListPatternRef children_;
+  std::string label_;
+  std::vector<TreePatternRef> parts_;
+  TreePatternRef star_form_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_PATTERN_TREE_PATTERN_H_

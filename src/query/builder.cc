@@ -1,0 +1,156 @@
+#include "query/builder.h"
+
+namespace aqua {
+namespace Q {
+
+namespace {
+std::shared_ptr<PlanNode> New(PlanOp op) {
+  auto node = std::make_shared<PlanNode>();
+  node->op = op;
+  return node;
+}
+}  // namespace
+
+PlanRef ScanTree(std::string collection) {
+  auto node = New(PlanOp::kScanTree);
+  node->collection = std::move(collection);
+  return node;
+}
+
+PlanRef ScanList(std::string collection) {
+  auto node = New(PlanOp::kScanList);
+  node->collection = std::move(collection);
+  return node;
+}
+
+PlanRef TreeSelect(PlanRef input, PredicateRef pred) {
+  auto node = New(PlanOp::kTreeSelect);
+  node->children = {std::move(input)};
+  node->pred = std::move(pred);
+  return node;
+}
+
+PlanRef TreeApply(PlanRef input, NodeFn fn) {
+  auto node = New(PlanOp::kTreeApply);
+  node->children = {std::move(input)};
+  node->node_fn = std::move(fn);
+  return node;
+}
+
+PlanRef TreeSubSelect(PlanRef input, TreePatternRef tp, SplitOptions opts) {
+  auto node = New(PlanOp::kTreeSubSelect);
+  node->children = {std::move(input)};
+  node->tpattern = std::move(tp);
+  node->split_opts = std::move(opts);
+  return node;
+}
+
+PlanRef TreeSplit(PlanRef input, TreePatternRef tp, SplitFn fn,
+                  SplitOptions opts) {
+  auto node = New(PlanOp::kTreeSplit);
+  node->children = {std::move(input)};
+  node->tpattern = std::move(tp);
+  node->split_fn = std::move(fn);
+  node->split_opts = std::move(opts);
+  return node;
+}
+
+PlanRef TreeAllAnc(PlanRef input, TreePatternRef tp, AncFn fn,
+                   SplitOptions opts) {
+  auto node = New(PlanOp::kTreeAllAnc);
+  node->children = {std::move(input)};
+  node->tpattern = std::move(tp);
+  node->anc_fn = std::move(fn);
+  node->split_opts = std::move(opts);
+  return node;
+}
+
+PlanRef TreeAllDesc(PlanRef input, TreePatternRef tp, DescFn fn,
+                    SplitOptions opts) {
+  auto node = New(PlanOp::kTreeAllDesc);
+  node->children = {std::move(input)};
+  node->tpattern = std::move(tp);
+  node->desc_fn = std::move(fn);
+  node->split_opts = std::move(opts);
+  return node;
+}
+
+PlanRef IndexedSubSelect(std::string collection, std::string attr,
+                         PredicateRef anchor, TreePatternRef tp,
+                         SplitOptions opts) {
+  auto node = New(PlanOp::kIndexedSubSelect);
+  node->collection = std::move(collection);
+  node->attr = std::move(attr);
+  node->anchor = std::move(anchor);
+  node->tpattern = std::move(tp);
+  node->split_opts = std::move(opts);
+  return node;
+}
+
+PlanRef IndexedListSubSelect(std::string collection, std::string attr,
+                             PredicateRef anchor, AnchoredListPattern lp,
+                             ListSplitOptions opts) {
+  auto node = New(PlanOp::kIndexedListSubSelect);
+  node->collection = std::move(collection);
+  node->attr = std::move(attr);
+  node->anchor = std::move(anchor);
+  node->lpattern = std::move(lp);
+  node->lsplit_opts = std::move(opts);
+  return node;
+}
+
+PlanRef ListSelect(PlanRef input, PredicateRef pred) {
+  auto node = New(PlanOp::kListSelect);
+  node->children = {std::move(input)};
+  node->pred = std::move(pred);
+  return node;
+}
+
+PlanRef ListApply(PlanRef input, ListNodeFn fn) {
+  auto node = New(PlanOp::kListApply);
+  node->children = {std::move(input)};
+  node->lnode_fn = std::move(fn);
+  return node;
+}
+
+PlanRef ListSubSelect(PlanRef input, AnchoredListPattern lp,
+                      ListSplitOptions opts) {
+  auto node = New(PlanOp::kListSubSelect);
+  node->children = {std::move(input)};
+  node->lpattern = std::move(lp);
+  node->lsplit_opts = std::move(opts);
+  return node;
+}
+
+PlanRef ListSplit(PlanRef input, AnchoredListPattern lp, ListSplitFn fn,
+                  ListSplitOptions opts) {
+  auto node = New(PlanOp::kListSplit);
+  node->children = {std::move(input)};
+  node->lpattern = std::move(lp);
+  node->lsplit_fn = std::move(fn);
+  node->lsplit_opts = std::move(opts);
+  return node;
+}
+
+PlanRef ListAllAnc(PlanRef input, AnchoredListPattern lp, ListAncFn fn,
+                   ListSplitOptions opts) {
+  auto node = New(PlanOp::kListAllAnc);
+  node->children = {std::move(input)};
+  node->lpattern = std::move(lp);
+  node->lanc_fn = std::move(fn);
+  node->lsplit_opts = std::move(opts);
+  return node;
+}
+
+PlanRef ListAllDesc(PlanRef input, AnchoredListPattern lp, ListDescFn fn,
+                    ListSplitOptions opts) {
+  auto node = New(PlanOp::kListAllDesc);
+  node->children = {std::move(input)};
+  node->lpattern = std::move(lp);
+  node->ldesc_fn = std::move(fn);
+  node->lsplit_opts = std::move(opts);
+  return node;
+}
+
+}  // namespace Q
+}  // namespace aqua

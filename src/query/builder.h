@@ -1,0 +1,59 @@
+#ifndef AQUA_QUERY_BUILDER_H_
+#define AQUA_QUERY_BUILDER_H_
+
+#include <string>
+
+#include "query/plan.h"
+
+namespace aqua {
+
+// Factory functions for query plans. Each returns an immutable `PlanRef`;
+// plans compose by nesting, e.g.
+//
+//   auto plan = Q::TreeSubSelect(Q::ScanTree("family"), pattern);
+
+namespace Q {
+
+PlanRef ScanTree(std::string collection);
+PlanRef ScanList(std::string collection);
+
+PlanRef TreeSelect(PlanRef input, PredicateRef pred);
+PlanRef TreeApply(PlanRef input, NodeFn fn);
+PlanRef TreeSubSelect(PlanRef input, TreePatternRef tp,
+                      SplitOptions opts = {});
+PlanRef TreeSplit(PlanRef input, TreePatternRef tp, SplitFn fn,
+                  SplitOptions opts = {});
+PlanRef TreeAllAnc(PlanRef input, TreePatternRef tp, AncFn fn,
+                   SplitOptions opts = {});
+PlanRef TreeAllDesc(PlanRef input, TreePatternRef tp, DescFn fn,
+                    SplitOptions opts = {});
+
+/// Physical operator: `sub_select` restricted to index candidates. `anchor`
+/// is the probe predicate over `attr` of `collection`'s index.
+PlanRef IndexedSubSelect(std::string collection, std::string attr,
+                         PredicateRef anchor, TreePatternRef tp,
+                         SplitOptions opts = {});
+
+/// Physical operator: list `sub_select` restricted to candidate match
+/// starts from the index on (`collection`, `attr`), probed with `anchor`
+/// (the pattern's head predicate).
+PlanRef IndexedListSubSelect(std::string collection, std::string attr,
+                             PredicateRef anchor, AnchoredListPattern lp,
+                             ListSplitOptions opts = {});
+
+PlanRef ListSelect(PlanRef input, PredicateRef pred);
+PlanRef ListApply(PlanRef input, ListNodeFn fn);
+PlanRef ListSubSelect(PlanRef input, AnchoredListPattern lp,
+                      ListSplitOptions opts = {});
+PlanRef ListSplit(PlanRef input, AnchoredListPattern lp, ListSplitFn fn,
+                  ListSplitOptions opts = {});
+PlanRef ListAllAnc(PlanRef input, AnchoredListPattern lp, ListAncFn fn,
+                   ListSplitOptions opts = {});
+PlanRef ListAllDesc(PlanRef input, AnchoredListPattern lp, ListDescFn fn,
+                    ListSplitOptions opts = {});
+
+}  // namespace Q
+
+}  // namespace aqua
+
+#endif  // AQUA_QUERY_BUILDER_H_

@@ -1,0 +1,176 @@
+#include "query/cost.h"
+
+#include <cmath>
+
+namespace aqua {
+
+namespace {
+
+constexpr double kDefaultSelectSelectivity = 0.5;
+constexpr double kDefaultMatchSelectivity = 0.2;
+
+void CountListPattern(const ListPattern& lp, size_t* nodes, size_t* closures);
+
+void CountTreePattern(const TreePattern& tp, size_t* nodes, size_t* closures) {
+  ++*nodes;
+  switch (tp.kind()) {
+    case TreePattern::Kind::kNode:
+      CountListPattern(*tp.children(), nodes, closures);
+      return;
+    case TreePattern::Kind::kStarAt:
+    case TreePattern::Kind::kPlusAt:
+      ++*closures;
+      CountTreePattern(*tp.inner(), nodes, closures);
+      return;
+    case TreePattern::Kind::kAlt:
+      ++*closures;  // disjunction also multiplies backtracking
+      for (const auto& part : tp.alts()) {
+        CountTreePattern(*part, nodes, closures);
+      }
+      return;
+    case TreePattern::Kind::kLeaf:
+    case TreePattern::Kind::kPoint:
+      return;
+    default:
+      for (const auto& part : tp.alts()) {
+        CountTreePattern(*part, nodes, closures);
+      }
+      return;
+  }
+}
+
+void CountListPattern(const ListPattern& lp, size_t* nodes, size_t* closures) {
+  ++*nodes;
+  switch (lp.kind()) {
+    case ListPattern::Kind::kStar:
+    case ListPattern::Kind::kPlus:
+      ++*closures;
+      CountListPattern(*lp.inner(), nodes, closures);
+      return;
+    case ListPattern::Kind::kAlt:
+      ++*closures;
+      for (const auto& part : lp.parts()) {
+        CountListPattern(*part, nodes, closures);
+      }
+      return;
+    case ListPattern::Kind::kTreeAtom:
+      CountTreePattern(*lp.tree_atom(), nodes, closures);
+      return;
+    default:
+      for (const auto& part : lp.parts()) {
+        CountListPattern(*part, nodes, closures);
+      }
+      return;
+  }
+}
+
+double WorkFromCounts(size_t nodes, size_t closures) {
+  double mult = std::pow(2.0, static_cast<double>(std::min<size_t>(closures, 5)));
+  return static_cast<double>(nodes) * mult;
+}
+
+}  // namespace
+
+double CostModel::PatternWork(const TreePatternRef& tp) {
+  if (tp == nullptr) return 1;
+  size_t nodes = 0, closures = 0;
+  CountTreePattern(*tp, &nodes, &closures);
+  return WorkFromCounts(nodes, closures);
+}
+
+double CostModel::PatternWork(const AnchoredListPattern& lp) {
+  if (lp.body == nullptr) return 1;
+  size_t nodes = 0, closures = 0;
+  CountListPattern(*lp.body, &nodes, &closures);
+  return WorkFromCounts(nodes, closures);
+}
+
+Result<CostEstimate> CostModel::Estimate(const PlanRef& plan) const {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+  CostEstimate est;
+  switch (plan->op) {
+    case PlanOp::kScanTree: {
+      AQUA_ASSIGN_OR_RETURN(const Tree* tree, db_->GetTree(plan->collection));
+      est.cost = 1;
+      est.out_collections = 1;
+      est.out_nodes = static_cast<double>(tree->size());
+      return est;
+    }
+    case PlanOp::kScanList: {
+      AQUA_ASSIGN_OR_RETURN(const List* list, db_->GetList(plan->collection));
+      est.cost = 1;
+      est.out_collections = 1;
+      est.out_nodes = static_cast<double>(list->size());
+      return est;
+    }
+    case PlanOp::kTreeSelect:
+    case PlanOp::kListSelect: {
+      AQUA_ASSIGN_OR_RETURN(CostEstimate in, Estimate(plan->children[0]));
+      double pred_size =
+          plan->pred ? static_cast<double>(plan->pred->SizeInNodes()) : 1;
+      est.cost = in.cost + in.out_nodes * pred_size;
+      est.out_nodes = in.out_nodes * kDefaultSelectSelectivity;
+      est.out_collections = std::max(1.0, est.out_nodes * 0.1);
+      return est;
+    }
+    case PlanOp::kTreeApply:
+    case PlanOp::kListApply: {
+      AQUA_ASSIGN_OR_RETURN(CostEstimate in, Estimate(plan->children[0]));
+      est.cost = in.cost + in.out_nodes;
+      est.out_nodes = in.out_nodes;
+      est.out_collections = in.out_collections;
+      return est;
+    }
+    case PlanOp::kTreeSubSelect:
+    case PlanOp::kTreeSplit:
+    case PlanOp::kTreeAllAnc:
+    case PlanOp::kTreeAllDesc: {
+      AQUA_ASSIGN_OR_RETURN(CostEstimate in, Estimate(plan->children[0]));
+      double work = PatternWork(plan->tpattern);
+      est.cost = in.cost + in.out_nodes * work;
+      est.out_collections = std::max(1.0, in.out_nodes * 0.05);
+      est.out_nodes = in.out_nodes * kDefaultMatchSelectivity;
+      return est;
+    }
+    case PlanOp::kListSubSelect:
+    case PlanOp::kListSplit:
+    case PlanOp::kListAllAnc:
+    case PlanOp::kListAllDesc: {
+      AQUA_ASSIGN_OR_RETURN(CostEstimate in, Estimate(plan->children[0]));
+      double work = PatternWork(plan->lpattern);
+      est.cost = in.cost + in.out_nodes * work;
+      est.out_collections = std::max(1.0, in.out_nodes * 0.05);
+      est.out_nodes = in.out_nodes * kDefaultMatchSelectivity;
+      return est;
+    }
+    case PlanOp::kIndexedListSubSelect: {
+      AQUA_ASSIGN_OR_RETURN(const List* list, db_->GetList(plan->collection));
+      AQUA_ASSIGN_OR_RETURN(const AttributeIndex* index,
+                            db_->indexes().Get(plan->collection, plan->attr));
+      double n = static_cast<double>(list->size());
+      double candidates =
+          plan->anchor ? index->Selectivity(*plan->anchor) * n : n;
+      double work = PatternWork(plan->lpattern);
+      est.cost = std::log2(n + 2) + candidates * work;
+      est.out_collections = std::max(1.0, candidates * 0.5);
+      est.out_nodes = candidates * work;
+      return est;
+    }
+    case PlanOp::kIndexedSubSelect: {
+      AQUA_ASSIGN_OR_RETURN(const Tree* tree, db_->GetTree(plan->collection));
+      AQUA_ASSIGN_OR_RETURN(const AttributeIndex* index,
+                            db_->indexes().Get(plan->collection, plan->attr));
+      double n = static_cast<double>(tree->size());
+      double candidates =
+          plan->anchor ? index->Selectivity(*plan->anchor) * n : n;
+      double work = PatternWork(plan->tpattern);
+      est.cost = std::log2(n + 2) + candidates * work;
+      est.out_collections = std::max(1.0, candidates * 0.5);
+      est.out_nodes = candidates * work;  // pessimistic piece size
+      return est;
+    }
+  }
+  return Status::Internal("unreachable in CostModel::Estimate");
+}
+
+}  // namespace aqua

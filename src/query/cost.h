@@ -1,0 +1,48 @@
+#ifndef AQUA_QUERY_COST_H_
+#define AQUA_QUERY_COST_H_
+
+#include "common/result.h"
+#include "query/database.h"
+#include "query/plan.h"
+
+namespace aqua {
+
+/// Estimated cost and output cardinality of a (sub)plan.
+struct CostEstimate {
+  /// Abstract work units (roughly: node visits × per-node pattern work).
+  double cost = 0;
+  /// Expected number of collections in the output datum.
+  double out_collections = 1;
+  /// Expected total nodes across those collections.
+  double out_nodes = 0;
+};
+
+/// A simple selectivity-based cost model for the rewriter (§4's argument is
+/// exactly a cost argument: the anchor probe narrows the match search from
+/// every node to the index candidates).
+///
+/// Heuristics:
+///  * scans cost the collection size;
+///  * a pattern operator costs (input nodes) × (pattern size) × K, where K
+///    grows with closure operators (they backtrack);
+///  * an indexed sub_select costs log(N) for the probe plus
+///    (candidates) × (pattern size) × K, with candidates from exact index
+///    statistics.
+class CostModel {
+ public:
+  explicit CostModel(const Database* db) : db_(db) {}
+
+  Result<CostEstimate> Estimate(const PlanRef& plan) const;
+
+  /// Work multiplier of a tree pattern: its node count, scaled up for each
+  /// closure/disjunction (backtracking ambiguity).
+  static double PatternWork(const TreePatternRef& tp);
+  static double PatternWork(const AnchoredListPattern& lp);
+
+ private:
+  const Database* db_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_QUERY_COST_H_

@@ -1,0 +1,126 @@
+#include "query/plan.h"
+
+namespace aqua {
+
+const char* PlanOpToString(PlanOp op) {
+  switch (op) {
+    case PlanOp::kScanTree:
+      return "ScanTree";
+    case PlanOp::kScanList:
+      return "ScanList";
+    case PlanOp::kTreeSelect:
+      return "TreeSelect";
+    case PlanOp::kTreeApply:
+      return "TreeApply";
+    case PlanOp::kTreeSubSelect:
+      return "TreeSubSelect";
+    case PlanOp::kTreeSplit:
+      return "TreeSplit";
+    case PlanOp::kTreeAllAnc:
+      return "TreeAllAnc";
+    case PlanOp::kTreeAllDesc:
+      return "TreeAllDesc";
+    case PlanOp::kIndexedSubSelect:
+      return "IndexedSubSelect";
+    case PlanOp::kIndexedListSubSelect:
+      return "IndexedListSubSelect";
+    case PlanOp::kListSelect:
+      return "ListSelect";
+    case PlanOp::kListApply:
+      return "ListApply";
+    case PlanOp::kListSubSelect:
+      return "ListSubSelect";
+    case PlanOp::kListSplit:
+      return "ListSplit";
+    case PlanOp::kListAllAnc:
+      return "ListAllAnc";
+    case PlanOp::kListAllDesc:
+      return "ListAllDesc";
+  }
+  return "?";
+}
+
+std::string DescribeNode(const PlanNode& node) {
+  std::string out = PlanOpToString(node.op);
+  std::vector<std::string> params;
+  if (!node.collection.empty()) params.push_back(node.collection);
+  if (!node.attr.empty()) params.push_back("index=" + node.attr);
+  if (node.pred != nullptr) {
+    params.push_back("pred={" + node.pred->ToString() + "}");
+  }
+  if (node.anchor != nullptr) {
+    params.push_back("anchor={" + node.anchor->ToString() + "}");
+  }
+  if (node.tpattern != nullptr) {
+    params.push_back("pattern=" + node.tpattern->ToString());
+  }
+  if (node.lpattern.body != nullptr) {
+    params.push_back("pattern=" + node.lpattern.ToString());
+  }
+  if (!params.empty()) {
+    out += " [";
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += params[i];
+    }
+    out += "]";
+  }
+  return out;
+}
+
+namespace {
+
+void ExplainNode(const PlanRef& node, size_t indent, std::string* out) {
+  out->append(indent * 2, ' ');
+  if (node == nullptr) {
+    *out += "(null)\n";
+    return;
+  }
+  *out += DescribeNode(*node);
+  *out += "\n";
+  for (const PlanRef& child : node->children) {
+    ExplainNode(child, indent + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string Explain(const PlanRef& plan) {
+  std::string out;
+  ExplainNode(plan, 0, &out);
+  return out;
+}
+
+bool PlanEquals(const PlanRef& a, const PlanRef& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->op != b->op || a->collection != b->collection || a->attr != b->attr) {
+    return false;
+  }
+  auto pred_eq = [](const PredicateRef& x, const PredicateRef& y) {
+    if ((x == nullptr) != (y == nullptr)) return false;
+    return x == nullptr || x->ToString() == y->ToString();
+  };
+  if (!pred_eq(a->pred, b->pred) || !pred_eq(a->anchor, b->anchor)) {
+    return false;
+  }
+  if ((a->tpattern == nullptr) != (b->tpattern == nullptr)) return false;
+  if (a->tpattern != nullptr &&
+      a->tpattern->ToString() != b->tpattern->ToString()) {
+    return false;
+  }
+  if ((a->lpattern.body == nullptr) != (b->lpattern.body == nullptr)) {
+    return false;
+  }
+  if (a->lpattern.body != nullptr &&
+      a->lpattern.ToString() != b->lpattern.ToString()) {
+    return false;
+  }
+  if (a->children.size() != b->children.size()) return false;
+  for (size_t i = 0; i < a->children.size(); ++i) {
+    if (!PlanEquals(a->children[i], b->children[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace aqua

@@ -1,0 +1,88 @@
+#ifndef AQUA_QUERY_PLAN_H_
+#define AQUA_QUERY_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/list_ops.h"
+#include "algebra/tree_ops.h"
+#include "pattern/list_pattern.h"
+#include "pattern/predicate.h"
+#include "pattern/tree_pattern.h"
+
+namespace aqua {
+
+struct PlanNode;
+using PlanRef = std::shared_ptr<const PlanNode>;
+
+/// Logical / physical operators of the query IR.
+///
+/// The IR is deliberately small: it contains the paper's algebra operators
+/// plus the physical `kIndexedSubSelect` that the §4 split-anchor rewrite
+/// introduces. Data flows as `Datum`s; operators over ordered types accept
+/// either one collection or a set of collections (the forest outputs of
+/// `select`) and map over the set.
+enum class PlanOp {
+  kScanTree,         ///< leaf: a named tree collection
+  kScanList,         ///< leaf: a named list collection
+  kTreeSelect,       ///< order-preserving select (forest result)
+  kTreeApply,        ///< isomorphic map
+  kTreeSubSelect,    ///< matching subgraphs
+  kTreeSplit,        ///< the primitive: f over (x, y, z)
+  kTreeAllAnc,       ///< f over (ancestors, match)
+  kTreeAllDesc,      ///< f over (match, descendants)
+  kIndexedSubSelect, ///< physical: sub_select probing an attribute index
+  kIndexedListSubSelect,  ///< physical: list sub_select via head-anchor probe
+  kListSelect,
+  kListApply,
+  kListSubSelect,
+  kListSplit,
+  kListAllAnc,
+  kListAllDesc,
+};
+
+const char* PlanOpToString(PlanOp op);
+
+/// One node of a query plan. Unused parameter fields are empty; `Explain`
+/// prints only what an operator uses.
+struct PlanNode {
+  PlanOp op;
+  std::vector<PlanRef> children;
+
+  // Parameters (by operator).
+  std::string collection;           // scans; indexed ops remember their scan
+  std::string attr;                 // kIndexedSubSelect: indexed attribute
+  PredicateRef pred;                // selects
+  PredicateRef anchor;              // kIndexedSubSelect: probe predicate
+  TreePatternRef tpattern;          // tree pattern ops
+  AnchoredListPattern lpattern;     // list pattern ops
+  SplitOptions split_opts;          // tree pattern ops
+  ListSplitOptions lsplit_opts;     // list pattern ops
+  SplitFn split_fn;
+  AncFn anc_fn;
+  DescFn desc_fn;
+  NodeFn node_fn;
+  ListSplitFn lsplit_fn;
+  ListAncFn lanc_fn;
+  ListDescFn ldesc_fn;
+  ListNodeFn lnode_fn;
+};
+
+/// Renders one node as a single line: operator name plus its parameters,
+/// e.g. `TreeSubSelect [pattern=...]`.
+std::string DescribeNode(const PlanNode& node);
+
+/// Renders the plan as an indented operator tree, e.g.
+///
+///   TreeSubSelect [pattern={citizen == "Brazil"}(!?* ...)]
+///     ScanTree [family]
+std::string Explain(const PlanRef& plan);
+
+/// Structural plan equality over operators and parameters (functions are
+/// compared by presence only).
+bool PlanEquals(const PlanRef& a, const PlanRef& b);
+
+}  // namespace aqua
+
+#endif  // AQUA_QUERY_PLAN_H_

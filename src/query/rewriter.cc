@@ -1,0 +1,62 @@
+#include "query/rewriter.h"
+
+namespace aqua {
+
+void Rewriter::AddRule(std::unique_ptr<RewriteRule> rule) {
+  rules_.push_back(std::move(rule));
+}
+
+void Rewriter::AddDefaultRules() {
+  AddRule(MakePatternSimplifyRule());
+  AddRule(MakeSelectCascadeRule());
+  AddRule(MakeCheapPredicateFirstRule());
+  AddRule(MakeSplitAnchorRule());
+  AddRule(MakeListAnchorRule());
+  AddRule(MakeApplyFusionRule());
+}
+
+Result<PlanRef> Rewriter::RewriteNode(const PlanRef& node, bool* changed) {
+  if (node == nullptr) return Status::InvalidArgument("null plan node");
+
+  // Rewrite inputs first (bottom-up).
+  std::vector<PlanRef> new_children;
+  bool child_changed = false;
+  for (const PlanRef& child : node->children) {
+    AQUA_ASSIGN_OR_RETURN(PlanRef rewritten, RewriteNode(child, &child_changed));
+    new_children.push_back(std::move(rewritten));
+  }
+  PlanRef current = node;
+  if (child_changed) {
+    auto copy = std::make_shared<PlanNode>(*node);
+    copy->children = std::move(new_children);
+    current = copy;
+    *changed = true;
+  }
+
+  // Offer each rule; keep a rewrite only when estimated cheaper.
+  for (const auto& rule : rules_) {
+    AQUA_ASSIGN_OR_RETURN(PlanRef candidate, rule->Apply(current, *db_));
+    if (candidate == nullptr) continue;
+    AQUA_ASSIGN_OR_RETURN(CostEstimate before, cost_model_.Estimate(current));
+    AQUA_ASSIGN_OR_RETURN(CostEstimate after, cost_model_.Estimate(candidate));
+    if (after.cost < before.cost) {
+      applied_.push_back(rule->name());
+      current = candidate;
+      *changed = true;
+    }
+  }
+  return current;
+}
+
+Result<PlanRef> Rewriter::Optimize(const PlanRef& plan) {
+  applied_.clear();
+  PlanRef current = plan;
+  for (size_t pass = 0; pass < max_passes; ++pass) {
+    bool changed = false;
+    AQUA_ASSIGN_OR_RETURN(current, RewriteNode(current, &changed));
+    if (!changed) break;
+  }
+  return current;
+}
+
+}  // namespace aqua

@@ -1,0 +1,49 @@
+#ifndef AQUA_QUERY_REWRITER_H_
+#define AQUA_QUERY_REWRITER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/cost.h"
+#include "query/database.h"
+#include "query/plan.h"
+#include "query/rules.h"
+
+namespace aqua {
+
+/// Rule-based, cost-guarded plan rewriter (the EPOQ-style optimizer shell
+/// the paper's §8 mentions the algebra was designed to feed).
+///
+/// The rewriter walks the plan bottom-up, offering every rule at every node;
+/// a rewrite is kept only when the cost model estimates it cheaper. This
+/// repeats until a fixpoint (bounded by `max_passes`).
+class Rewriter {
+ public:
+  explicit Rewriter(const Database* db) : db_(db), cost_model_(db) {}
+
+  void AddRule(std::unique_ptr<RewriteRule> rule);
+  /// Installs the built-in rules (split-anchor, select-cascade,
+  /// cheap-predicate-first).
+  void AddDefaultRules();
+
+  /// Names of rules applied, in order, during the last `Optimize`.
+  const std::vector<std::string>& applied() const { return applied_; }
+
+  Result<PlanRef> Optimize(const PlanRef& plan);
+
+  size_t max_passes = 8;
+
+ private:
+  Result<PlanRef> RewriteNode(const PlanRef& node, bool* changed);
+
+  const Database* db_;
+  CostModel cost_model_;
+  std::vector<std::unique_ptr<RewriteRule>> rules_;
+  std::vector<std::string> applied_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_QUERY_REWRITER_H_

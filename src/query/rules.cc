@@ -1,0 +1,220 @@
+#include "query/rules.h"
+
+#include "algebra/derived.h"
+#include "pattern/simplify.h"
+#include "query/builder.h"
+
+namespace aqua {
+
+Result<PredicateRef> FindIndexableConjunct(const Database& db,
+                                           const std::string& collection,
+                                           const PredicateRef& pred) {
+  if (pred == nullptr) return Status::NotFound("no predicate");
+  switch (pred->kind()) {
+    case Predicate::Kind::kCompare: {
+      if (!db.indexes().Has(collection, pred->attr())) {
+        return Status::NotFound("no index on " + collection + "." +
+                                pred->attr());
+      }
+      AQUA_ASSIGN_OR_RETURN(const AttributeIndex* index,
+                            db.indexes().Get(collection, pred->attr()));
+      if (!index->CanProbe(*pred)) {
+        return Status::NotFound("index cannot answer " + pred->ToString());
+      }
+      return pred;
+    }
+    case Predicate::Kind::kAnd: {
+      auto left = FindIndexableConjunct(db, collection, pred->left());
+      if (left.ok()) return left;
+      return FindIndexableConjunct(db, collection, pred->right());
+    }
+    default:
+      return Status::NotFound("predicate has no indexable conjunct");
+  }
+}
+
+namespace {
+
+class SplitAnchorRule : public RewriteRule {
+ public:
+  std::string name() const override { return "split-anchor"; }
+
+  Result<PlanRef> Apply(const PlanRef& node,
+                        const Database& db) const override {
+    if (node->op != PlanOp::kTreeSubSelect) return PlanRef(nullptr);
+    if (node->children.size() != 1 ||
+        node->children[0]->op != PlanOp::kScanTree) {
+      return PlanRef(nullptr);
+    }
+    const std::string& collection = node->children[0]->collection;
+    auto root_pred = ExtractRootPredicate(node->tpattern);
+    if (!root_pred.ok()) return PlanRef(nullptr);
+    auto anchor = FindIndexableConjunct(db, collection, *root_pred);
+    if (!anchor.ok()) return PlanRef(nullptr);
+    return Q::IndexedSubSelect(collection, (*anchor)->attr(), *anchor,
+                               node->tpattern, node->split_opts);
+  }
+};
+
+class SelectCascadeRule : public RewriteRule {
+ public:
+  std::string name() const override { return "select-cascade"; }
+
+  Result<PlanRef> Apply(const PlanRef& node,
+                        const Database& db) const override {
+    (void)db;
+    bool is_select = node->op == PlanOp::kTreeSelect ||
+                     node->op == PlanOp::kListSelect;
+    if (!is_select || node->pred == nullptr ||
+        node->pred->kind() != Predicate::Kind::kAnd) {
+      return PlanRef(nullptr);
+    }
+    // select(and(p1,p2))(R) ≡ select(p2)(select(p1)(R)).
+    const PlanRef& input = node->children[0];
+    if (node->op == PlanOp::kTreeSelect) {
+      return Q::TreeSelect(Q::TreeSelect(input, node->pred->left()),
+                           node->pred->right());
+    }
+    return Q::ListSelect(Q::ListSelect(input, node->pred->left()),
+                         node->pred->right());
+  }
+};
+
+class CheapPredicateFirstRule : public RewriteRule {
+ public:
+  std::string name() const override { return "cheap-predicate-first"; }
+
+  Result<PlanRef> Apply(const PlanRef& node,
+                        const Database& db) const override {
+    (void)db;
+    bool is_select = node->op == PlanOp::kTreeSelect ||
+                     node->op == PlanOp::kListSelect;
+    if (!is_select || node->children.size() != 1) return PlanRef(nullptr);
+    const PlanRef& inner = node->children[0];
+    if (inner->op != node->op || inner->pred == nullptr ||
+        node->pred == nullptr) {
+      return PlanRef(nullptr);
+    }
+    // Run the smaller predicate first (its evaluation is cheaper per node
+    // and both orders are equivalent).
+    if (inner->pred->SizeInNodes() <= node->pred->SizeInNodes()) {
+      return PlanRef(nullptr);
+    }
+    const PlanRef& input = inner->children[0];
+    if (node->op == PlanOp::kTreeSelect) {
+      return Q::TreeSelect(Q::TreeSelect(input, node->pred), inner->pred);
+    }
+    return Q::ListSelect(Q::ListSelect(input, node->pred), inner->pred);
+  }
+};
+
+class ListAnchorRule : public RewriteRule {
+ public:
+  std::string name() const override { return "list-anchor"; }
+
+  Result<PlanRef> Apply(const PlanRef& node,
+                        const Database& db) const override {
+    if (node->op != PlanOp::kListSubSelect) return PlanRef(nullptr);
+    if (node->children.size() != 1 ||
+        node->children[0]->op != PlanOp::kScanList) {
+      return PlanRef(nullptr);
+    }
+    const std::string& collection = node->children[0]->collection;
+    auto head = ExtractHeadPredicate(node->lpattern.body);
+    if (!head.ok()) return PlanRef(nullptr);
+    auto anchor = FindIndexableConjunct(db, collection, *head);
+    if (!anchor.ok()) return PlanRef(nullptr);
+    return Q::IndexedListSubSelect(collection, (*anchor)->attr(), *anchor,
+                                   node->lpattern, node->lsplit_opts);
+  }
+};
+
+class ApplyFusionRule : public RewriteRule {
+ public:
+  std::string name() const override { return "apply-fusion"; }
+
+  Result<PlanRef> Apply(const PlanRef& node,
+                        const Database& db) const override {
+    (void)db;
+    if (node->children.size() != 1) return PlanRef(nullptr);
+    const PlanRef& inner = node->children[0];
+    if (node->op == PlanOp::kTreeApply &&
+        inner->op == PlanOp::kTreeApply) {
+      NodeFn first = inner->node_fn;
+      NodeFn second = node->node_fn;
+      NodeFn fused = [first, second](ObjectStore& store,
+                                     Oid oid) -> Result<Oid> {
+        AQUA_ASSIGN_OR_RETURN(Oid mid, first(store, oid));
+        return second(store, mid);
+      };
+      return Q::TreeApply(inner->children[0], std::move(fused));
+    }
+    if (node->op == PlanOp::kListApply &&
+        inner->op == PlanOp::kListApply) {
+      ListNodeFn first = inner->lnode_fn;
+      ListNodeFn second = node->lnode_fn;
+      ListNodeFn fused = [first, second](ObjectStore& store,
+                                         Oid oid) -> Result<Oid> {
+        AQUA_ASSIGN_OR_RETURN(Oid mid, first(store, oid));
+        return second(store, mid);
+      };
+      return Q::ListApply(inner->children[0], std::move(fused));
+    }
+    return PlanRef(nullptr);
+  }
+};
+
+class PatternSimplifyRule : public RewriteRule {
+ public:
+  std::string name() const override { return "pattern-simplify"; }
+
+  Result<PlanRef> Apply(const PlanRef& node,
+                        const Database& db) const override {
+    (void)db;
+    if (node->tpattern != nullptr) {
+      TreePatternRef simplified = SimplifyTreePattern(node->tpattern);
+      if (simplified->ToString() != node->tpattern->ToString()) {
+        auto copy = std::make_shared<PlanNode>(*node);
+        copy->tpattern = std::move(simplified);
+        return PlanRef(copy);
+      }
+    }
+    if (node->lpattern.body != nullptr) {
+      ListPatternRef simplified = SimplifyListPattern(node->lpattern.body);
+      if (simplified->ToString() != node->lpattern.body->ToString()) {
+        auto copy = std::make_shared<PlanNode>(*node);
+        copy->lpattern.body = std::move(simplified);
+        return PlanRef(copy);
+      }
+    }
+    return PlanRef(nullptr);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<RewriteRule> MakePatternSimplifyRule() {
+  return std::make_unique<PatternSimplifyRule>();
+}
+
+std::unique_ptr<RewriteRule> MakeListAnchorRule() {
+  return std::make_unique<ListAnchorRule>();
+}
+
+std::unique_ptr<RewriteRule> MakeApplyFusionRule() {
+  return std::make_unique<ApplyFusionRule>();
+}
+
+std::unique_ptr<RewriteRule> MakeSplitAnchorRule() {
+  return std::make_unique<SplitAnchorRule>();
+}
+
+std::unique_ptr<RewriteRule> MakeSelectCascadeRule() {
+  return std::make_unique<SelectCascadeRule>();
+}
+
+std::unique_ptr<RewriteRule> MakeCheapPredicateFirstRule() {
+  return std::make_unique<CheapPredicateFirstRule>();
+}
+
+}  // namespace aqua

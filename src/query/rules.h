@@ -1,0 +1,61 @@
+#ifndef AQUA_QUERY_RULES_H_
+#define AQUA_QUERY_RULES_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "query/database.h"
+#include "query/plan.h"
+
+namespace aqua {
+
+/// One algebraic rewrite rule. `Apply` returns the rewritten node, or
+/// nullptr (wrapped in an OK result) when the rule does not match; the
+/// rewriter keeps a rewrite only when the cost model agrees it is cheaper.
+class RewriteRule {
+ public:
+  virtual ~RewriteRule() = default;
+  virtual std::string name() const = 0;
+  virtual Result<PlanRef> Apply(const PlanRef& node,
+                                const Database& db) const = 0;
+};
+
+/// §4 "Why Split?": `sub_select(tp)(scan T)` becomes an index-anchored
+/// sub_select when some conjunct of the pattern's root predicate is
+/// answerable by an existing index on the scanned collection. The full
+/// pattern still verifies every candidate, so any indexable conjunct is a
+/// sound anchor (predicate decomposition).
+std::unique_ptr<RewriteRule> MakeSplitAnchorRule();
+
+/// The §5 example rule at the plan level:
+/// `select(and(p1, p2))` ≡ `select(p2)(select(p1))` (select cascade).
+std::unique_ptr<RewriteRule> MakeSelectCascadeRule();
+
+/// Re-orders a cascade so the cheaper (smaller) predicate runs first.
+std::unique_ptr<RewriteRule> MakeCheapPredicateFirstRule();
+
+/// The list analogue of the split-anchor rule: `sub_select(lp)(scan L)`
+/// probes an index for candidate match starts when the pattern begins with
+/// a mandatory indexable predicate (its head).
+std::unique_ptr<RewriteRule> MakeListAnchorRule();
+
+/// `apply(f)(apply(g)(X))` ≡ `apply(f ∘ g)(X)` — fuses consecutive maps so
+/// only one isomorphic copy is materialized (for both trees and lists).
+std::unique_ptr<RewriteRule> MakeApplyFusionRule();
+
+/// Normalizes the pattern parameter of pattern operators (see
+/// `pattern/simplify.h`): collapsed closures and deduplicated disjunctions
+/// shrink the matcher's backtracking and the cost estimate.
+std::unique_ptr<RewriteRule> MakePatternSimplifyRule();
+
+/// Finds, within `pred` (descending through conjunctions), a comparison
+/// that an index on (`collection`, its attribute) can answer. Returns
+/// NotFound when none qualifies.
+Result<PredicateRef> FindIndexableConjunct(const Database& db,
+                                           const std::string& collection,
+                                           const PredicateRef& pred);
+
+}  // namespace aqua
+
+#endif  // AQUA_QUERY_RULES_H_

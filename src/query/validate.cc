@@ -1,0 +1,172 @@
+#include "query/validate.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace aqua {
+
+namespace {
+
+void CollectListPatternPreds(const ListPattern& lp,
+                             std::vector<PredicateRef>* out);
+
+void CollectTreePatternPreds(const TreePattern& tp,
+                             std::vector<PredicateRef>* out) {
+  switch (tp.kind()) {
+    case TreePattern::Kind::kLeaf:
+      if (tp.pred() != nullptr) out->push_back(tp.pred());
+      return;
+    case TreePattern::Kind::kNode:
+      if (tp.pred() != nullptr) out->push_back(tp.pred());
+      CollectListPatternPreds(*tp.children(), out);
+      return;
+    case TreePattern::Kind::kPoint:
+      return;
+    default:
+      for (const auto& part : tp.alts()) {
+        CollectTreePatternPreds(*part, out);
+      }
+      return;
+  }
+}
+
+void CollectListPatternPreds(const ListPattern& lp,
+                             std::vector<PredicateRef>* out) {
+  switch (lp.kind()) {
+    case ListPattern::Kind::kPred:
+      out->push_back(lp.pred());
+      return;
+    case ListPattern::Kind::kTreeAtom:
+      CollectTreePatternPreds(*lp.tree_atom(), out);
+      return;
+    case ListPattern::Kind::kAny:
+    case ListPattern::Kind::kPoint:
+      return;
+    default:
+      for (const auto& part : lp.parts()) {
+        CollectListPatternPreds(*part, out);
+      }
+      return;
+  }
+}
+
+std::set<TypeId> TypesOfCells(const ObjectStore& store,
+                              const std::vector<NodePayload>& payloads) {
+  std::set<TypeId> types;
+  for (const NodePayload& p : payloads) {
+    if (!p.is_cell()) continue;
+    auto obj = store.Get(p.oid());
+    if (obj.ok()) types.insert((*obj)->type());
+  }
+  return types;
+}
+
+/// A predicate is admissible when every attribute it reads is *stored* in
+/// every present type that declares it. Types without the attribute are
+/// fine — the predicate simply never matches those objects (§3.1).
+Status ValidatePredicate(const Schema& schema, const std::set<TypeId>& types,
+                         const Predicate& pred) {
+  std::vector<std::string> attrs;
+  pred.CollectAttrs(&attrs);
+  for (const std::string& attr : attrs) {
+    for (TypeId type : types) {
+      auto def = schema.GetType(type);
+      if (!def.ok() || !(*def)->HasAttr(attr)) continue;
+      auto idx = (*def)->AttrIndex(attr);
+      if (!idx.ok()) continue;
+      if (!(*def)->attrs()[*idx].stored) {
+        return Status::InvalidArgument(
+            "alphabet-predicates may only use stored attributes (§3.1): '" +
+            attr + "' is computed in type '" + (*def)->name() + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidatePreds(const ObjectStore& store, const std::set<TypeId>& types,
+                     const std::vector<PredicateRef>& preds) {
+  for (const PredicateRef& pred : preds) {
+    if (pred == nullptr) continue;
+    AQUA_RETURN_IF_ERROR(ValidatePredicate(store.schema(), types, *pred));
+  }
+  return Status::OK();
+}
+
+void CollectScanCollections(const PlanRef& node,
+                            std::vector<std::string>* out) {
+  if (node == nullptr) return;
+  if (node->op == PlanOp::kScanTree || node->op == PlanOp::kScanList ||
+      node->op == PlanOp::kIndexedSubSelect ||
+      node->op == PlanOp::kIndexedListSubSelect) {
+    out->push_back(node->collection);
+  }
+  for (const PlanRef& child : node->children) {
+    CollectScanCollections(child, out);
+  }
+}
+
+Result<std::set<TypeId>> TypesInCollection(const Database& db,
+                                           const std::string& name) {
+  if (db.HasTree(name)) {
+    AQUA_ASSIGN_OR_RETURN(const Tree* tree, db.GetTree(name));
+    std::vector<NodePayload> payloads;
+    for (NodeId v : tree->Preorder()) payloads.push_back(tree->payload(v));
+    return TypesOfCells(db.store(), payloads);
+  }
+  AQUA_ASSIGN_OR_RETURN(const List* list, db.GetList(name));
+  return TypesOfCells(db.store(), list->elems());
+}
+
+}  // namespace
+
+Status ValidateTreePatternAgainst(const ObjectStore& store, const Tree& tree,
+                                  const TreePatternRef& tp) {
+  if (tp == nullptr) return Status::InvalidArgument("null tree pattern");
+  std::vector<NodePayload> payloads;
+  for (NodeId v : tree.Preorder()) payloads.push_back(tree.payload(v));
+  std::vector<PredicateRef> preds;
+  CollectTreePatternPreds(*tp, &preds);
+  return ValidatePreds(store, TypesOfCells(store, payloads), preds);
+}
+
+Status ValidateListPatternAgainst(const ObjectStore& store, const List& list,
+                                  const AnchoredListPattern& lp) {
+  if (lp.body == nullptr) return Status::InvalidArgument("null list pattern");
+  std::vector<PredicateRef> preds;
+  CollectListPatternPreds(*lp.body, &preds);
+  return ValidatePreds(store, TypesOfCells(store, list.elems()), preds);
+}
+
+Status ValidatePlanPatterns(const Database& db, const PlanRef& plan) {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+  // The types this node's parameters are evaluated against: everything in
+  // the collections scanned below it (and by it, for physical index ops).
+  std::vector<std::string> collections;
+  CollectScanCollections(plan, &collections);
+  std::set<TypeId> types;
+  for (const std::string& name : collections) {
+    AQUA_ASSIGN_OR_RETURN(std::set<TypeId> in_coll,
+                          TypesInCollection(db, name));
+    types.insert(in_coll.begin(), in_coll.end());
+  }
+
+  std::vector<PredicateRef> preds;
+  if (plan->pred != nullptr) preds.push_back(plan->pred);
+  if (plan->anchor != nullptr) preds.push_back(plan->anchor);
+  if (plan->tpattern != nullptr) {
+    CollectTreePatternPreds(*plan->tpattern, &preds);
+  }
+  if (plan->lpattern.body != nullptr) {
+    CollectListPatternPreds(*plan->lpattern.body, &preds);
+  }
+  AQUA_RETURN_IF_ERROR(ValidatePreds(db.store(), types, preds));
+
+  for (const PlanRef& child : plan->children) {
+    AQUA_RETURN_IF_ERROR(ValidatePlanPatterns(db, child));
+  }
+  return Status::OK();
+}
+
+}  // namespace aqua

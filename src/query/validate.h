@@ -1,0 +1,34 @@
+#ifndef AQUA_QUERY_VALIDATE_H_
+#define AQUA_QUERY_VALIDATE_H_
+
+#include "common/result.h"
+#include "query/database.h"
+#include "query/plan.h"
+
+namespace aqua {
+
+// §3.1, footnote 2: "This cannot be determined by the user, since it would
+// be a violation of encapsulation. However, the query optimizer can verify
+// that the attributes involved are stored and not computed." This module is
+// that verification.
+
+/// Checks every alphabet-predicate reachable from `tp` against the object
+/// types actually present in `tree`: each referenced attribute must be a
+/// *stored* attribute of every present type that declares it. Returns
+/// InvalidArgument naming the offending attribute otherwise.
+Status ValidateTreePatternAgainst(const ObjectStore& store, const Tree& tree,
+                                  const TreePatternRef& tp);
+
+/// The list analogue.
+Status ValidateListPatternAgainst(const ObjectStore& store, const List& list,
+                                  const AnchoredListPattern& lp);
+
+/// Walks a plan and validates every pattern/predicate parameter against the
+/// collection its scan feeds it from. Plans whose inputs are not direct
+/// scans (rewritten shapes, forests) validate against the union of the
+/// database's collections named in the subtree.
+Status ValidatePlanPatterns(const Database& db, const PlanRef& plan);
+
+}  // namespace aqua
+
+#endif  // AQUA_QUERY_VALIDATE_H_

@@ -1,0 +1,436 @@
+#include "storage/dump.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace aqua {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+std::string EscapeString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string EncodeValue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return "N";
+    case ValueType::kBool:
+      return v.bool_value() ? "B:true" : "B:false";
+    case ValueType::kInt:
+      return "I:" + std::to_string(v.int_value());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os.precision(17);
+      os << "D:" << v.double_value();
+      return os.str();
+    }
+    case ValueType::kString:
+      return "S:\"" + EscapeString(v.string_value()) + "\"";
+    case ValueType::kRef:
+      return "R:" + std::to_string(v.ref_value().value);
+  }
+  return "N";
+}
+
+const char* TypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kRef:
+      return "ref";
+    case ValueType::kNull:
+      return "null";
+  }
+  return "null";
+}
+
+Result<ValueType> TypeFromName(std::string_view name) {
+  if (name == "bool") return ValueType::kBool;
+  if (name == "int") return ValueType::kInt;
+  if (name == "double") return ValueType::kDouble;
+  if (name == "string") return ValueType::kString;
+  if (name == "ref") return ValueType::kRef;
+  if (name == "null") return ValueType::kNull;
+  return Status::ParseError("unknown attribute type '" + std::string(name) +
+                            "'");
+}
+
+void EncodeTreeNode(const Tree& tree, NodeId v, std::string* out) {
+  const NodePayload& p = tree.payload(v);
+  if (p.is_cell()) {
+    *out += "C:" + std::to_string(p.oid().value);
+  } else {
+    *out += "P:" + p.label();
+  }
+  const auto& kids = tree.children(v);
+  if (!kids.empty()) {
+    *out += "(";
+    for (size_t i = 0; i < kids.size(); ++i) {
+      if (i > 0) *out += " ";
+      EncodeTreeNode(tree, kids[i], out);
+    }
+    *out += ")";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+
+class DumpParser {
+ public:
+  DumpParser(std::string_view text, Database* db) : text_(text), db_(db) {}
+
+  Status Run() {
+    AQUA_ASSIGN_OR_RETURN(std::string header, NextLine());
+    if (header != "AQUA-DUMP 1") {
+      return Status::ParseError("bad dump header: '" + header + "'");
+    }
+    while (true) {
+      AQUA_ASSIGN_OR_RETURN(std::string line, NextLine());
+      if (line == "END") return Status::OK();
+      if (StartsWith(line, "TYPE ")) {
+        AQUA_RETURN_IF_ERROR(ParseType(line.substr(5)));
+      } else if (StartsWith(line, "OBJ ")) {
+        AQUA_RETURN_IF_ERROR(ParseObject(line.substr(4)));
+      } else if (StartsWith(line, "TREE ")) {
+        AQUA_RETURN_IF_ERROR(ParseTreeLine(line.substr(5)));
+      } else if (StartsWith(line, "LIST ")) {
+        AQUA_RETURN_IF_ERROR(ParseListLine(line.substr(5)));
+      } else if (StartsWith(line, "INDEX ")) {
+        AQUA_RETURN_IF_ERROR(ParseIndexLine(line.substr(6)));
+      } else if (!line.empty()) {
+        return Status::ParseError("unrecognized dump line: '" + line + "'");
+      }
+    }
+  }
+
+ private:
+  Result<std::string> NextLine() {
+    if (pos_ >= text_.size()) {
+      return Status::ParseError("unexpected end of dump (no END line)");
+    }
+    size_t nl = text_.find('\n', pos_);
+    if (nl == std::string_view::npos) nl = text_.size();
+    std::string line(text_.substr(pos_, nl - pos_));
+    pos_ = nl + 1;
+    return line;
+  }
+
+  Status ParseType(std::string_view rest) {
+    std::vector<std::string> tokens = Split(std::string(rest), ' ');
+    if (tokens.empty() || tokens[0].empty()) {
+      return Status::ParseError("TYPE line missing a name");
+    }
+    std::vector<AttrDef> attrs;
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      if (tokens[i].empty()) continue;
+      std::vector<std::string> parts = Split(tokens[i], ':');
+      if (parts.size() != 3) {
+        return Status::ParseError("bad attribute spec '" + tokens[i] + "'");
+      }
+      AQUA_ASSIGN_OR_RETURN(ValueType vt, TypeFromName(parts[1]));
+      attrs.push_back(AttrDef{parts[0], vt, parts[2] == "s"});
+    }
+    return db_->store().schema().RegisterType(tokens[0], attrs).status();
+  }
+
+  Status ParseObject(std::string_view rest) {
+    // <oid> <type> <values...>
+    size_t sp1 = rest.find(' ');
+    if (sp1 == std::string_view::npos) {
+      return Status::ParseError("OBJ line missing fields");
+    }
+    uint64_t oid = std::strtoull(std::string(rest.substr(0, sp1)).c_str(),
+                                 nullptr, 10);
+    size_t sp2 = rest.find(' ', sp1 + 1);
+    std::string type_name(rest.substr(
+        sp1 + 1, sp2 == std::string_view::npos ? rest.size() - sp1 - 1
+                                               : sp2 - sp1 - 1));
+    std::vector<Value> values;
+    if (sp2 != std::string_view::npos) {
+      std::string_view tail = rest.substr(sp2 + 1);
+      size_t p = 0;
+      while (p < tail.size()) {
+        AQUA_ASSIGN_OR_RETURN(Value v, DecodeValue(tail, &p));
+        values.push_back(std::move(v));
+        while (p < tail.size() && tail[p] == ' ') ++p;
+      }
+    }
+    AQUA_ASSIGN_OR_RETURN(TypeId type,
+                          db_->store().schema().TypeIdOf(type_name));
+    AQUA_ASSIGN_OR_RETURN(Oid assigned,
+                          db_->store().Create(type, std::move(values)));
+    if (assigned.value != oid) {
+      return Status::ParseError(
+          "object ids are not dense/ordered in the dump: expected " +
+          std::to_string(assigned.value) + ", got " + std::to_string(oid));
+    }
+    return Status::OK();
+  }
+
+  Result<Value> DecodeValue(std::string_view s, size_t* p) {
+    if (*p >= s.size()) return Status::ParseError("truncated value");
+    char tag = s[*p];
+    if (tag == 'N') {
+      *p += 1;
+      return Value::Null();
+    }
+    if (*p + 1 >= s.size() || s[*p + 1] != ':') {
+      return Status::ParseError("malformed value tag");
+    }
+    size_t body = *p + 2;
+    switch (tag) {
+      case 'B': {
+        if (s.substr(body, 4) == "true") {
+          *p = body + 4;
+          return Value::Bool(true);
+        }
+        if (s.substr(body, 5) == "false") {
+          *p = body + 5;
+          return Value::Bool(false);
+        }
+        return Status::ParseError("malformed bool value");
+      }
+      case 'I':
+      case 'D':
+      case 'R': {
+        size_t end = body;
+        while (end < s.size() && s[end] != ' ') ++end;
+        std::string num(s.substr(body, end - body));
+        *p = end;
+        if (tag == 'I') {
+          return Value::Int(std::strtoll(num.c_str(), nullptr, 10));
+        }
+        if (tag == 'D') {
+          return Value::Double(std::strtod(num.c_str(), nullptr));
+        }
+        return Value::Ref(Oid(std::strtoull(num.c_str(), nullptr, 10)));
+      }
+      case 'S': {
+        if (body >= s.size() || s[body] != '"') {
+          return Status::ParseError("malformed string value");
+        }
+        std::string out;
+        size_t i = body + 1;
+        while (i < s.size() && s[i] != '"') {
+          if (s[i] == '\\' && i + 1 < s.size()) {
+            char next = s[i + 1];
+            out += next == 'n' ? '\n' : next;
+            i += 2;
+          } else {
+            out += s[i++];
+          }
+        }
+        if (i >= s.size()) return Status::ParseError("unterminated string");
+        *p = i + 1;
+        return Value::String(std::move(out));
+      }
+      default:
+        return Status::ParseError(std::string("unknown value tag '") + tag +
+                                  "'");
+    }
+  }
+
+  Result<NodePayload> DecodePayload(std::string_view s, size_t* p) {
+    if (*p + 1 >= s.size() || s[*p + 1] != ':') {
+      return Status::ParseError("malformed node payload");
+    }
+    char tag = s[*p];
+    size_t body = *p + 2;
+    size_t end = body;
+    while (end < s.size() && s[end] != ' ' && s[end] != '(' && s[end] != ')') {
+      ++end;
+    }
+    std::string token(s.substr(body, end - body));
+    *p = end;
+    if (tag == 'C') {
+      Oid oid(std::strtoull(token.c_str(), nullptr, 10));
+      if (!db_->store().Contains(oid)) {
+        return Status::ParseError("tree references unknown object " + token);
+      }
+      return NodePayload::Cell(oid);
+    }
+    if (tag == 'P') return NodePayload::ConcatPoint(token);
+    return Status::ParseError(std::string("unknown payload tag '") + tag +
+                              "'");
+  }
+
+  Result<Tree> DecodeTree(std::string_view s, size_t* p) {
+    AQUA_ASSIGN_OR_RETURN(NodePayload payload, DecodePayload(s, p));
+    std::vector<Tree> children;
+    if (*p < s.size() && s[*p] == '(') {
+      ++*p;
+      while (*p < s.size() && s[*p] != ')') {
+        while (*p < s.size() && s[*p] == ' ') ++*p;
+        if (*p < s.size() && s[*p] == ')') break;
+        AQUA_ASSIGN_OR_RETURN(Tree child, DecodeTree(s, p));
+        children.push_back(std::move(child));
+      }
+      if (*p >= s.size()) return Status::ParseError("unterminated subtree");
+      ++*p;  // ')'
+    }
+    return Tree::Node(std::move(payload), children);
+  }
+
+  Status ParseTreeLine(std::string_view rest) {
+    size_t sp = rest.find(' ');
+    if (sp == std::string_view::npos) {
+      return Status::ParseError("TREE line missing body");
+    }
+    std::string name(rest.substr(0, sp));
+    std::string_view body = rest.substr(sp + 1);
+    if (body == "nil") return db_->RegisterTree(name, Tree());
+    size_t p = 0;
+    AQUA_ASSIGN_OR_RETURN(Tree tree, DecodeTree(body, &p));
+    if (p != body.size()) {
+      return Status::ParseError("trailing content in TREE line");
+    }
+    return db_->RegisterTree(name, std::move(tree));
+  }
+
+  Status ParseListLine(std::string_view rest) {
+    size_t sp = rest.find(' ');
+    if (sp == std::string_view::npos) {
+      return Status::ParseError("LIST line missing body");
+    }
+    std::string name(rest.substr(0, sp));
+    std::string_view body = rest.substr(sp + 1);
+    if (body.empty() || body.front() != '[' || body.back() != ']') {
+      return Status::ParseError("LIST body must be bracketed");
+    }
+    List list;
+    std::string_view inner = body.substr(1, body.size() - 2);
+    size_t p = 0;
+    while (p < inner.size()) {
+      while (p < inner.size() && inner[p] == ' ') ++p;
+      if (p >= inner.size()) break;
+      AQUA_ASSIGN_OR_RETURN(NodePayload payload, DecodePayload(inner, &p));
+      list.Append(std::move(payload));
+    }
+    return db_->RegisterList(name, std::move(list));
+  }
+
+  Status ParseIndexLine(std::string_view rest) {
+    std::vector<std::string> parts = Split(std::string(rest), ' ');
+    if (parts.size() != 2) {
+      return Status::ParseError("INDEX line needs <collection> <attr>");
+    }
+    return db_->CreateIndex(parts[0], parts[1]);
+  }
+
+  std::string_view text_;
+  Database* db_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::string> DumpDatabase(const Database& db) {
+  std::string out = "AQUA-DUMP 1\n";
+  const Schema& schema = db.store().schema();
+  for (TypeId id = 0; id < schema.num_types(); ++id) {
+    AQUA_ASSIGN_OR_RETURN(const TypeDef* def, schema.GetType(id));
+    out += "TYPE " + def->name();
+    for (const AttrDef& attr : def->attrs()) {
+      out += " " + attr.name + ":" + TypeName(attr.type) + ":" +
+             (attr.stored ? "s" : "c");
+    }
+    out += "\n";
+  }
+  for (uint64_t raw = 1; raw <= db.store().num_objects(); ++raw) {
+    AQUA_ASSIGN_OR_RETURN(const Object* obj, db.store().Get(Oid(raw)));
+    AQUA_ASSIGN_OR_RETURN(const TypeDef* def, schema.GetType(obj->type()));
+    out += "OBJ " + std::to_string(raw) + " " + def->name();
+    for (const Value& v : obj->attrs()) out += " " + EncodeValue(v);
+    out += "\n";
+  }
+  for (const std::string& name : db.TreeNames()) {
+    AQUA_ASSIGN_OR_RETURN(const Tree* tree, db.GetTree(name));
+    out += "TREE " + name + " ";
+    if (tree->empty()) {
+      out += "nil";
+    } else {
+      EncodeTreeNode(*tree, tree->root(), &out);
+    }
+    out += "\n";
+  }
+  for (const std::string& name : db.ListNames()) {
+    AQUA_ASSIGN_OR_RETURN(const List* list, db.GetList(name));
+    out += "LIST " + name + " [";
+    for (size_t i = 0; i < list->size(); ++i) {
+      if (i > 0) out += " ";
+      const NodePayload& p = list->at(i);
+      if (p.is_cell()) {
+        out += "C:" + std::to_string(p.oid().value);
+      } else {
+        out += "P:" + p.label();
+      }
+    }
+    out += "]\n";
+  }
+  for (const auto& [collection, attr] : db.indexes().AllIndexes()) {
+    out += "INDEX " + collection + " " + attr + "\n";
+  }
+  out += "END\n";
+  return out;
+}
+
+Status DumpDatabaseToFile(const Database& db, const std::string& path) {
+  AQUA_ASSIGN_OR_RETURN(std::string text, DumpDatabase(db));
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Status::Internal("cannot open '" + path + "' for write");
+  file << text;
+  if (!file.good()) return Status::Internal("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Status LoadDatabase(std::string_view text, Database* out) {
+  if (out == nullptr) return Status::InvalidArgument("null output database");
+  if (out->store().num_objects() != 0 ||
+      out->store().schema().num_types() != 0 ||
+      !out->CollectionNames().empty()) {
+    return Status::InvalidArgument("LoadDatabase needs an empty database");
+  }
+  return DumpParser(text, out).Run();
+}
+
+Status LoadDatabaseFromFile(const std::string& path, Database* out) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return LoadDatabase(buffer.str(), out);
+}
+
+}  // namespace aqua

@@ -1,0 +1,41 @@
+#ifndef AQUA_STORAGE_DUMP_H_
+#define AQUA_STORAGE_DUMP_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "query/database.h"
+
+namespace aqua {
+
+/// Serializes a whole database (schema, objects, collections, index
+/// catalog) to a line-oriented text format:
+///
+///   AQUA-DUMP 1
+///   TYPE Person name:string:s citizen:string:s age:int:s
+///   OBJ 1 Person S:"Ted" S:"USA" I:82
+///   TREE family C:1(C:2 C:3(C:5 C:6) P:here C:4)
+///   LIST song [C:7 C:8 P:x]
+///   INDEX family citizen
+///   END
+///
+/// Values encode as N (null), B:true/false, I:<int>, D:<double>,
+/// S:"<escaped>", R:<oid>. Object ids are dense and dumped in creation
+/// order, so a load reproduces identical identities; indexes are rebuilt
+/// rather than stored.
+Result<std::string> DumpDatabase(const Database& db);
+
+/// Writes `DumpDatabase(db)` to `path`.
+Status DumpDatabaseToFile(const Database& db, const std::string& path);
+
+/// Reconstructs a database from dump text into `out`, which must be empty
+/// (no types, objects, or collections).
+Status LoadDatabase(std::string_view text, Database* out);
+
+/// Reads `path` and calls `LoadDatabase`.
+Status LoadDatabaseFromFile(const std::string& path, Database* out);
+
+}  // namespace aqua
+
+#endif  // AQUA_STORAGE_DUMP_H_

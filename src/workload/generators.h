@@ -1,0 +1,102 @@
+#ifndef AQUA_WORKLOAD_GENERATORS_H_
+#define AQUA_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "object/object_store.h"
+#include "bulk/list.h"
+#include "bulk/notation.h"
+#include "bulk/tree.h"
+
+namespace aqua {
+
+// Synthetic workloads mirroring the paper's running examples (§4 family
+// trees, §5 query parse trees, §6 music lists). The paper has no datasets;
+// these deterministic generators exercise the same code paths at
+// configurable scale. All randomness is seeded (mt19937_64), so every test,
+// example, and benchmark is reproducible.
+
+/// Registers the `Person` type (name, citizen, eyes, education, age) used by
+/// the family-tree examples; idempotent.
+Status RegisterPersonType(ObjectStore& store);
+
+/// Registers the `Note` type (pitch, duration); idempotent.
+Status RegisterNoteType(ObjectStore& store);
+
+/// Registers the `ParseNode` type (op); idempotent.
+Status RegisterParseNodeType(ObjectStore& store);
+
+/// Registers the generic `Item` type (name, val); idempotent.
+Status RegisterItemType(ObjectStore& store);
+
+/// The exact family tree of Figure 3/4: a tree in which the pattern
+/// `Brazil(!?* USA !?*)` has exactly one match (root Ted; Gen is the
+/// Brazilian parent with American child John).
+Result<Tree> MakePaperFamilyTree(ObjectStore& store);
+
+/// Spec for random genealogies.
+struct FamilyTreeSpec {
+  size_t num_people = 100;
+  size_t max_children = 3;
+  /// Fraction of Brazilian citizens; the rest are mostly USA with a few
+  /// other countries.
+  double brazil_fraction = 0.1;
+  uint64_t seed = 42;
+};
+Result<Tree> MakeFamilyTree(ObjectStore& store, const FamilyTreeSpec& spec);
+
+/// Spec for random songs (lists of notes).
+struct SongSpec {
+  size_t num_notes = 200;
+  std::vector<std::string> pitches = {"A", "B", "C", "D", "E", "F", "G"};
+  int max_duration = 8;
+  uint64_t seed = 42;
+};
+Result<List> MakeSong(ObjectStore& store, const SongSpec& spec);
+
+/// Spec for random algebra parse trees (§5): expression nodes `select`,
+/// `join`, `union`, `scan`, with predicate subtrees `and` / `or` / `cmp`.
+struct ParseTreeSpec {
+  /// Number of expression-level nodes to aim for.
+  size_t num_exprs = 50;
+  /// Probability that a select's predicate root is a conjunction — each such
+  /// select is a target for the §5 rewrite.
+  double and_fraction = 0.5;
+  uint64_t seed = 42;
+};
+Result<Tree> MakeQueryParseTree(ObjectStore& store, const ParseTreeSpec& spec);
+
+/// Spec for random generic trees (pattern-matching benchmarks).
+struct RandomTreeSpec {
+  size_t num_nodes = 1000;
+  size_t max_children = 4;
+  /// Labels drawn uniformly for each node's `name`.
+  std::vector<std::string> labels = {"a", "b", "c", "d", "e"};
+  /// `val` attribute range [0, val_range).
+  int val_range = 100;
+  uint64_t seed = 42;
+};
+Result<Tree> MakeRandomTree(ObjectStore& store, const RandomTreeSpec& spec);
+
+/// A random flat list of `Item`s with the same label/val scheme.
+Result<List> MakeRandomList(ObjectStore& store, size_t num_items,
+                            const std::vector<std::string>& labels,
+                            uint64_t seed);
+
+/// A chain (list-like tree) of `Item`s whose names cycle through `labels` —
+/// the pathological depth workload for closure matching.
+Result<Tree> MakeChain(ObjectStore& store,
+                       const std::vector<std::string>& labels, size_t length);
+
+/// An `AtomFn` for the notation parsers that creates one `type_name` object
+/// per distinct token (interning by token) with `attr` set to the token.
+/// The returned function owns its cache and retains `store`.
+AtomFn MakeInterningAtomFn(ObjectStore* store, std::string type_name,
+                           std::string attr);
+
+}  // namespace aqua
+
+#endif  // AQUA_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,154 @@
+#include "algebra/derived.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+class DerivedTest : public testing::AquaTestBase {
+ protected:
+  void SetUp() override {
+    AquaTestBase::SetUp();
+    tree_ = T("r(b(d e) x(b(d f)) b(q))");
+  }
+
+  Tree tree_;
+};
+
+TEST_F(DerivedTest, SubSelectViaSplitAgreesWithDirect) {
+  for (const char* pat : {"b(d ?)", "b", "b(?*)", "x(b(d f))"}) {
+    auto tp = TP(pat);
+    ASSERT_OK_AND_ASSIGN(Datum direct, TreeSubSelect(store_, tree_, tp));
+    ASSERT_OK_AND_ASSIGN(Datum via_split,
+                         TreeSubSelectViaSplit(store_, tree_, tp));
+    EXPECT_TRUE(direct.Equals(via_split))
+        << pat << ": " << Str(direct) << " vs " << Str(via_split);
+  }
+}
+
+TEST_F(DerivedTest, AllAncViaSplitAgreesWithDirect) {
+  auto tp = TP("b(d ?)");
+  auto fn = [](const Tree& anc, const Tree& match) -> Result<Datum> {
+    return Datum::Tuple({Datum::Of(anc), Datum::Of(match)});
+  };
+  ASSERT_OK_AND_ASSIGN(Datum direct, TreeAllAnc(store_, tree_, tp, fn));
+  ASSERT_OK_AND_ASSIGN(Datum via_split,
+                       TreeAllAncViaSplit(store_, tree_, tp, fn));
+  EXPECT_TRUE(direct.Equals(via_split))
+      << Str(direct) << " vs " << Str(via_split);
+  EXPECT_EQ(direct.size(), 2u);
+}
+
+TEST_F(DerivedTest, AllDescViaSplitAgreesWithDirect) {
+  auto tp = TP("b");
+  auto fn = [](const Tree& match,
+               const std::vector<Tree>& desc) -> Result<Datum> {
+    std::vector<Datum> ds;
+    for (const Tree& d : desc) ds.push_back(Datum::Of(d));
+    return Datum::Tuple({Datum::Of(match), Datum::Tuple(std::move(ds))});
+  };
+  ASSERT_OK_AND_ASSIGN(Datum direct, TreeAllDesc(store_, tree_, tp, fn));
+  ASSERT_OK_AND_ASSIGN(Datum via_split,
+                       TreeAllDescViaSplit(store_, tree_, tp, fn));
+  EXPECT_TRUE(direct.Equals(via_split))
+      << Str(direct) << " vs " << Str(via_split);
+}
+
+TEST_F(DerivedTest, ExtractRootPredicate) {
+  ASSERT_OK_AND_ASSIGN(PredicateRef p1, ExtractRootPredicate(TP("b(d e)")));
+  EXPECT_EQ(p1->ToString(), "name == \"b\"");
+  ASSERT_OK_AND_ASSIGN(PredicateRef p2, ExtractRootPredicate(TP("^!b")));
+  EXPECT_EQ(p2->ToString(), "name == \"b\"");
+  ASSERT_OK_AND_ASSIGN(PredicateRef p3, ExtractRootPredicate(TP("b .@x c")));
+  EXPECT_EQ(p3->ToString(), "name == \"b\"");
+  EXPECT_TRUE(ExtractRootPredicate(TP("?")).status().IsNotFound());
+  EXPECT_TRUE(ExtractRootPredicate(TP("@x")).status().IsNotFound());
+  EXPECT_TRUE(ExtractRootPredicate(TP("a | b")).status().IsNotFound());
+  EXPECT_TRUE(ExtractRootPredicate(TP("[[a(@x)]]*@x")).status().IsNotFound());
+  EXPECT_TRUE(ExtractRootPredicate(nullptr).status().IsInvalidArgument());
+}
+
+TEST_F(DerivedTest, IndexedSubSelectAgreesWithNaive) {
+  ASSERT_OK_AND_ASSIGN(AttributeIndex index,
+                       AttributeIndex::BuildForTree(store_, tree_, "name"));
+  for (const char* pat : {"b(d ?)", "b", "b(q)"}) {
+    auto tp = TP(pat);
+    ASSERT_OK_AND_ASSIGN(Datum naive, TreeSubSelect(store_, tree_, tp));
+    ASSERT_OK_AND_ASSIGN(Datum indexed,
+                         TreeSubSelectIndexed(store_, tree_, tp, index));
+    ASSERT_OK_AND_ASSIGN(Datum rewrite,
+                         TreeSubSelectSplitRewrite(store_, tree_, tp, index));
+    EXPECT_TRUE(naive.Equals(indexed)) << pat;
+    EXPECT_TRUE(naive.Equals(rewrite)) << pat;
+  }
+}
+
+TEST_F(DerivedTest, IndexedSubSelectOnBiggerRandomTree) {
+  RandomTreeSpec spec;
+  spec.num_nodes = 400;
+  spec.seed = 7;
+  ASSERT_OK_AND_ASSIGN(Tree big, MakeRandomTree(store_, spec));
+  ASSERT_OK_AND_ASSIGN(AttributeIndex index,
+                       AttributeIndex::BuildForTree(store_, big, "name"));
+  auto tp = TP("a(?* b ?*)");
+  ASSERT_OK_AND_ASSIGN(Datum naive, TreeSubSelect(store_, big, tp));
+  ASSERT_OK_AND_ASSIGN(Datum indexed,
+                       TreeSubSelectIndexed(store_, big, tp, index));
+  EXPECT_TRUE(naive.Equals(indexed));
+  EXPECT_FALSE(naive.size() == 0);  // the workload actually exercises it
+}
+
+TEST_F(DerivedTest, ExtractHeadPredicate) {
+  ASSERT_OK_AND_ASSIGN(PredicateRef p1, ExtractHeadPredicate(LP("a ? b").body));
+  EXPECT_EQ(p1->ToString(), "name == \"a\"");
+  ASSERT_OK_AND_ASSIGN(PredicateRef p2, ExtractHeadPredicate(LP("a+ b").body));
+  EXPECT_EQ(p2->ToString(), "name == \"a\"");
+  ASSERT_OK_AND_ASSIGN(PredicateRef p3, ExtractHeadPredicate(LP("!a b").body));
+  EXPECT_EQ(p3->ToString(), "name == \"a\"");
+  // Nullable or unconstrained heads are not extractable.
+  EXPECT_TRUE(ExtractHeadPredicate(LP("?* a").body).status().IsNotFound());
+  EXPECT_TRUE(ExtractHeadPredicate(LP("? a").body).status().IsNotFound());
+  EXPECT_TRUE(ExtractHeadPredicate(LP("a | b").body).status().IsNotFound());
+  EXPECT_TRUE(ExtractHeadPredicate(LP("@x a").body).status().IsNotFound());
+  EXPECT_TRUE(ExtractHeadPredicate(nullptr).status().IsInvalidArgument());
+}
+
+TEST_F(DerivedTest, IndexedListSubSelectAgreesWithNaive) {
+  ASSERT_OK_AND_ASSIGN(List l,
+                       MakeRandomList(store_, 300, {"a", "b", "c"}, 17));
+  ASSERT_OK_AND_ASSIGN(AttributeIndex index,
+                       AttributeIndex::BuildForList(store_, l, "name"));
+  for (const char* pat : {"a ? b", "a+ c", "b !? b"}) {
+    auto lp = LP(pat);
+    ASSERT_OK_AND_ASSIGN(Datum naive, ListSubSelect(store_, l, lp));
+    ASSERT_OK_AND_ASSIGN(Datum indexed,
+                         ListSubSelectIndexed(store_, l, lp, index));
+    EXPECT_TRUE(naive.Equals(indexed)) << pat;
+    EXPECT_GT(naive.size(), 0u) << pat;
+  }
+}
+
+TEST_F(DerivedTest, IndexedListSubSelectRespectsBeginAnchor) {
+  List l = L("[a x a y]");
+  ASSERT_OK_AND_ASSIGN(AttributeIndex index,
+                       AttributeIndex::BuildForList(store_, l, "name"));
+  auto lp = LP("^a ?");
+  ASSERT_OK_AND_ASSIGN(Datum naive, ListSubSelect(store_, l, lp));
+  ASSERT_OK_AND_ASSIGN(Datum indexed,
+                       ListSubSelectIndexed(store_, l, lp, index));
+  EXPECT_TRUE(naive.Equals(indexed));
+  EXPECT_EQ(indexed.size(), 1u);  // only [a x], not [a y]
+}
+
+TEST_F(DerivedTest, IndexedSubSelectNeedsExtractableRoot) {
+  ASSERT_OK_AND_ASSIGN(AttributeIndex index,
+                       AttributeIndex::BuildForTree(store_, tree_, "name"));
+  EXPECT_TRUE(TreeSubSelectIndexed(store_, tree_, TP("?"), index)
+                  .status()
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace aqua

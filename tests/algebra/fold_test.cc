@@ -1,0 +1,92 @@
+#include "algebra/fold.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+class FoldTest : public testing::AquaTestBase {
+ protected:
+  /// Counts cell nodes via a catamorphism.
+  TreeFoldFn CountCells() {
+    return [](const NodePayload& p,
+              const std::vector<Value>& kids) -> Result<Value> {
+      int64_t total = p.is_cell() ? 1 : 0;
+      for (const Value& v : kids) total += v.int_value();
+      return Value::Int(total);
+    };
+  }
+};
+
+TEST_F(FoldTest, TreeFoldCountsNodes) {
+  ASSERT_OK_AND_ASSIGN(Value n, TreeFold(T("a(b(c d) e)"), CountCells()));
+  EXPECT_EQ(n.int_value(), 5);
+  ASSERT_OK_AND_ASSIGN(Value with_point,
+                       TreeFold(T("a(@p b)"), CountCells()));
+  EXPECT_EQ(with_point.int_value(), 2);  // points do not count
+}
+
+TEST_F(FoldTest, TreeFoldEmptyUsesEmptyValue) {
+  ASSERT_OK_AND_ASSIGN(Value v,
+                       TreeFold(Tree(), CountCells(), Value::Int(-7)));
+  EXPECT_EQ(v.int_value(), -7);
+  ASSERT_OK_AND_ASSIGN(Value null_default, TreeFold(Tree(), CountCells()));
+  EXPECT_TRUE(null_default.is_null());
+}
+
+TEST_F(FoldTest, TreeFoldComputesHeight) {
+  auto height = [](const NodePayload&,
+                   const std::vector<Value>& kids) -> Result<Value> {
+    int64_t best = -1;
+    for (const Value& v : kids) best = std::max(best, v.int_value());
+    return Value::Int(best + 1);
+  };
+  ASSERT_OK_AND_ASSIGN(Value h, TreeFold(T("a(b(c(d)) e)"), height));
+  EXPECT_EQ(h.int_value(), 3);
+}
+
+TEST_F(FoldTest, TreeFoldPropagatesErrors) {
+  auto fail = [](const NodePayload&,
+                 const std::vector<Value>&) -> Result<Value> {
+    return Status::Internal("boom");
+  };
+  EXPECT_TRUE(TreeFold(T("a"), fail).status().IsInternal());
+  EXPECT_TRUE(TreeFold(T("a"), nullptr).status().IsInvalidArgument());
+}
+
+TEST_F(FoldTest, ListFoldLeftConcatenatesInOrder) {
+  auto step = [this](const Value& acc,
+                     const NodePayload& e) -> Result<Value> {
+    std::string token = e.is_cell() ? label_(e.oid()) : "@" + e.label();
+    return Value::String(acc.string_value() + token);
+  };
+  ASSERT_OK_AND_ASSIGN(Value out,
+                       ListFoldLeft(L("[a b @x c]"), Value::String(""), step));
+  EXPECT_EQ(out.string_value(), "ab@xc");
+}
+
+TEST_F(FoldTest, ListFoldRightReverses) {
+  auto step = [this](const NodePayload& e,
+                     const Value& acc) -> Result<Value> {
+    return Value::String(acc.string_value() + label_(e.oid()));
+  };
+  ASSERT_OK_AND_ASSIGN(Value out,
+                       ListFoldRight(L("[a b c]"), Value::String(""), step));
+  EXPECT_EQ(out.string_value(), "cba");
+}
+
+TEST_F(FoldTest, ListFoldEmpty) {
+  auto step = [](const Value& acc, const NodePayload&) -> Result<Value> {
+    return Value::Int(acc.int_value() + 1);
+  };
+  ASSERT_OK_AND_ASSIGN(Value out, ListFoldLeft(List(), Value::Int(0), step));
+  EXPECT_EQ(out.int_value(), 0);
+  EXPECT_TRUE(ListFoldLeft(List(), Value::Int(0), nullptr)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,136 @@
+#include "algebra/set_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+class SetOpsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(RegisterItemType(store_));
+    // Two distinct objects with equal values, plus a third different one.
+    ASSERT_OK_AND_ASSIGN(a1_, Make("a", 1));
+    ASSERT_OK_AND_ASSIGN(a2_, Make("a", 1));
+    ASSERT_OK_AND_ASSIGN(b_, Make("b", 2));
+  }
+
+  Result<Oid> Make(const std::string& name, int64_t val) {
+    return store_.Create("Item", {{"name", Value::String(name)},
+                                  {"val", Value::Int(val)}});
+  }
+
+  ObjectStore store_;
+  Oid a1_, a2_, b_;
+};
+
+TEST_F(SetOpsTest, IdentityVsValueEquality) {
+  // §2: equality is a parameter. Under identity, a1 and a2 differ; under
+  // shallow value equality they coincide.
+  EqFn id = IdentityEq();
+  EqFn val = ShallowValueEq(&store_);
+  EXPECT_FALSE(id(a1_, a2_));
+  EXPECT_TRUE(val(a1_, a2_));
+  EXPECT_TRUE(id(a1_, a1_));
+  EXPECT_FALSE(val(a1_, b_));
+}
+
+TEST_F(SetOpsTest, UnionUnderBothEqualities) {
+  OidSet s1 = {a1_, b_};
+  OidSet s2 = {a2_};
+  EXPECT_EQ(SetUnion(s1, s2, IdentityEq()).size(), 3u);
+  EXPECT_EQ(SetUnion(s1, s2, ShallowValueEq(&store_)).size(), 2u);
+}
+
+TEST_F(SetOpsTest, IntersectAndDifference) {
+  OidSet s1 = {a1_, b_};
+  OidSet s2 = {a2_, b_};
+  EXPECT_EQ(SetIntersect(s1, s2, IdentityEq()).size(), 1u);  // just b
+  EXPECT_EQ(SetIntersect(s1, s2, ShallowValueEq(&store_)).size(), 2u);
+  EXPECT_EQ(SetDifference(s1, s2, IdentityEq()).size(), 1u);  // a1
+  EXPECT_TRUE(SetDifference(s1, s2, ShallowValueEq(&store_)).empty());
+}
+
+TEST_F(SetOpsTest, DistinctKeepsFirstOccurrences) {
+  OidBag bag = {a1_, a2_, a1_, b_};
+  OidSet by_id = SetDistinct(bag, IdentityEq());
+  ASSERT_EQ(by_id.size(), 3u);
+  EXPECT_EQ(by_id[0], a1_);
+  OidSet by_val = SetDistinct(bag, ShallowValueEq(&store_));
+  ASSERT_EQ(by_val.size(), 2u);
+  EXPECT_EQ(by_val[0], a1_);
+  EXPECT_EQ(by_val[1], b_);
+}
+
+TEST_F(SetOpsTest, SelectPreservesOrder) {
+  auto pred = Predicate::Compare("val", CmpOp::kLt, Value::Int(2));
+  OidSet out = SetSelect(store_, {b_, a1_, a2_}, pred);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], a1_);
+  EXPECT_EQ(out[1], a2_);
+}
+
+TEST_F(SetOpsTest, ApplyCreatesMappedObjects) {
+  auto doubler = [](ObjectStore& store, Oid oid) -> Result<Oid> {
+    AQUA_ASSIGN_OR_RETURN(Value v, store.GetAttr(oid, "val"));
+    return store.Create("Item", {{"name", Value::String("2x")},
+                                 {"val", Value::Int(v.int_value() * 2)}});
+  };
+  ASSERT_OK_AND_ASSIGN(OidSet mapped, SetApply(store_, {a1_, b_}, doubler));
+  ASSERT_EQ(mapped.size(), 2u);
+  ASSERT_OK_AND_ASSIGN(Value v, store_.GetAttr(mapped[1], "val"));
+  EXPECT_EQ(v.int_value(), 4);
+}
+
+TEST_F(SetOpsTest, ApplyPropagatesErrors) {
+  auto fail = [](ObjectStore&, Oid) -> Result<Oid> {
+    return Status::Internal("boom");
+  };
+  EXPECT_TRUE(SetApply(store_, {a1_}, fail).status().IsInternal());
+}
+
+TEST_F(SetOpsTest, FoldSumsValues) {
+  auto sum = [this](const Value& acc, Oid oid) -> Result<Value> {
+    AQUA_ASSIGN_OR_RETURN(Value v, store_.GetAttr(oid, "val"));
+    return Value::Int(acc.int_value() + v.int_value());
+  };
+  ASSERT_OK_AND_ASSIGN(Value total,
+                       SetFold(store_, {a1_, a2_, b_}, Value::Int(0), sum));
+  EXPECT_EQ(total.int_value(), 4);
+}
+
+TEST_F(SetOpsTest, BagOperations) {
+  OidBag b1 = {a1_, a1_, b_};
+  OidBag b2 = {a1_, b_, b_};
+  EXPECT_EQ(BagUnion(b1, b2).size(), 6u);  // additive
+  // Intersection takes minimum multiplicities: one a1, one b.
+  EXPECT_EQ(BagIntersect(b1, b2, IdentityEq()).size(), 2u);
+  // Difference is saturating: {a1, a1, b} - {a1, b, b} = {a1}.
+  OidBag diff = BagDifference(b1, b2, IdentityEq());
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0], a1_);
+}
+
+TEST_F(SetOpsTest, BagIntersectUnderValueEquality) {
+  OidBag b1 = {a1_, a2_};
+  OidBag b2 = {a2_};
+  EXPECT_EQ(BagIntersect(b1, b2, ShallowValueEq(&store_)).size(), 1u);
+}
+
+TEST_F(SetOpsTest, BagSelect) {
+  auto pred = Predicate::AttrEquals("name", Value::String("a"));
+  EXPECT_EQ(BagSelect(store_, {a1_, b_, a2_, a1_}, pred).size(), 3u);
+}
+
+TEST_F(SetOpsTest, EmptyInputs) {
+  EqFn id = IdentityEq();
+  EXPECT_TRUE(SetUnion({}, {}, id).empty());
+  EXPECT_TRUE(SetIntersect({a1_}, {}, id).empty());
+  EXPECT_EQ(SetDifference({a1_}, {}, id).size(), 1u);
+  EXPECT_TRUE(BagIntersect({}, {a1_}, id).empty());
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,160 @@
+#include "algebra/structural.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+class StructuralTest : public testing::AquaTestBase {};
+
+TEST_F(StructuralTest, NodeAtPathAndBack) {
+  Tree t = T("a(b(c d) e)");
+  ASSERT_OK_AND_ASSIGN(NodeId root, NodeAtPath(t, {}));
+  EXPECT_EQ(root, t.root());
+  ASSERT_OK_AND_ASSIGN(NodeId d, NodeAtPath(t, {0, 1}));
+  EXPECT_EQ(label_(t.payload(d).oid()), "d");
+  ASSERT_OK_AND_ASSIGN(TreePath path, PathToNode(t, d));
+  EXPECT_EQ(path, (TreePath{0, 1}));
+  EXPECT_TRUE(NodeAtPath(t, {0, 5}).status().IsOutOfRange());
+  EXPECT_TRUE(NodeAtPath(Tree(), {}).status().IsOutOfRange());
+  EXPECT_TRUE(PathToNode(t, 999).status().IsOutOfRange());
+}
+
+TEST_F(StructuralTest, SubtreeAtPath) {
+  Tree t = T("a(b(c d) e)");
+  ASSERT_OK_AND_ASSIGN(Tree sub, SubtreeAtPath(t, {0}));
+  EXPECT_EQ(Str(sub), "b(c d)");
+}
+
+TEST_F(StructuralTest, FrontierAndPreorderList) {
+  Tree t = T("a(b(c d) @p e)");
+  EXPECT_EQ(Str(Frontier(t)), "[c d @p e]");
+  EXPECT_EQ(Str(PreorderList(t)), "[a b c d @p e]");
+  EXPECT_TRUE(Frontier(Tree()).empty());
+}
+
+TEST_F(StructuralTest, ArityHistogramAndStats) {
+  Tree t = T("a(b(c d) e)");
+  auto hist = ArityHistogram(t);
+  EXPECT_EQ(hist[0], 3u);  // c, d, e
+  EXPECT_EQ(hist[2], 2u);  // a, b
+  TreeStats stats = ComputeTreeStats(t);
+  EXPECT_EQ(stats.num_nodes, 5u);
+  EXPECT_EQ(stats.num_leaves, 3u);
+  EXPECT_EQ(stats.num_points, 0u);
+  EXPECT_EQ(stats.height, 2u);
+  EXPECT_EQ(stats.max_arity, 2u);
+  EXPECT_TRUE(stats.fixed_arity);  // both internal nodes have arity 2
+
+  TreeStats varied = ComputeTreeStats(T("a(b(c) d e)"));
+  EXPECT_FALSE(varied.fixed_arity);  // arities 3 and 1
+
+  TreeStats empty = ComputeTreeStats(Tree());
+  EXPECT_EQ(empty.num_nodes, 0u);
+}
+
+TEST_F(StructuralTest, CountSatisfying) {
+  Tree t = T("a(b a(a))");
+  EXPECT_EQ(CountSatisfying(store_, t, P("name == \"a\"")), 3u);
+  EXPECT_EQ(CountSatisfying(store_, t, nullptr), 0u);
+}
+
+TEST_F(StructuralTest, InsertSubtree) {
+  Tree t = T("a(b d)");
+  ASSERT_OK_AND_ASSIGN(Tree inserted, InsertSubtree(t, {}, 1, T("c(x)")));
+  EXPECT_EQ(Str(inserted), "a(b c(x) d)");
+  EXPECT_OK(inserted.Validate());
+  // Clamped position appends.
+  ASSERT_OK_AND_ASSIGN(Tree appended, InsertSubtree(t, {}, 99, T("z")));
+  EXPECT_EQ(Str(appended), "a(b d z)");
+  // Inserting nil is a no-op.
+  ASSERT_OK_AND_ASSIGN(Tree unchanged, InsertSubtree(t, {}, 0, Tree()));
+  EXPECT_TRUE(unchanged.StructurallyEquals(t));
+  // Under a point: rejected.
+  Tree with_point = T("a(@p)");
+  EXPECT_TRUE(
+      InsertSubtree(with_point, {0}, 0, T("x")).status().IsInvalidArgument());
+}
+
+TEST_F(StructuralTest, DeleteAndReplaceSubtree) {
+  Tree t = T("a(b(c) d)");
+  ASSERT_OK_AND_ASSIGN(Tree deleted, DeleteSubtree(t, {0}));
+  EXPECT_EQ(Str(deleted), "a(d)");
+  ASSERT_OK_AND_ASSIGN(Tree gone, DeleteSubtree(t, {}));
+  EXPECT_TRUE(gone.empty());
+  ASSERT_OK_AND_ASSIGN(Tree replaced, ReplaceSubtree(t, {0}, T("x(y)")));
+  EXPECT_EQ(Str(replaced), "a(x(y) d)");
+  ASSERT_OK_AND_ASSIGN(Tree emptied, ReplaceSubtree(t, {0}, Tree()));
+  EXPECT_EQ(Str(emptied), "a(d)");
+  ASSERT_OK_AND_ASSIGN(Tree new_root, ReplaceSubtree(t, {}, T("q")));
+  EXPECT_EQ(Str(new_root), "q");
+}
+
+TEST_F(StructuralTest, RewriteFirstMatch) {
+  // Swap every m(x y) into w, keeping context and reattaching cuts.
+  Tree t = T("r(m(x y) k)");
+  auto fn = [this](const SplitPieces& pieces) -> Result<Tree> {
+    EXPECT_EQ(Str(pieces.y), "m(@a1 @a2)");
+    return T("w(@a1 @a2)");
+  };
+  ASSERT_OK_AND_ASSIGN(std::optional<Tree> rewritten,
+                       RewriteFirstMatch(store_, t, TP("m(!? !?)"), fn));
+  ASSERT_TRUE(rewritten.has_value());
+  EXPECT_EQ(Str(*rewritten), "r(w(x y) k)");
+  // No match -> nullopt.
+  ASSERT_OK_AND_ASSIGN(std::optional<Tree> none,
+                       RewriteFirstMatch(store_, t, TP("zz"), fn));
+  EXPECT_FALSE(none.has_value());
+}
+
+TEST_F(StructuralTest, RewriteToFixpoint) {
+  // Collapse every m(child) to its child: m(m(m(x))) -> x. The `!?` prune
+  // turns the child into cut @a1, so the rewrite is just "emit @a1".
+  Tree t = T("r(m(m(m(x))))");
+  auto unwrap = [](const SplitPieces& pieces) -> Result<Tree> {
+    (void)pieces;
+    return Tree::Point("a1");  // the pruned child replaces the match
+  };
+  size_t passes = 0;
+  ASSERT_OK_AND_ASSIGN(
+      Tree out, RewriteToFixpoint(store_, t, TP("m(!?)"), unwrap, {}, 100,
+                                  &passes));
+  EXPECT_EQ(Str(out), "r(x)");
+  EXPECT_EQ(passes, 3u);
+}
+
+TEST_F(StructuralTest, RewriteToFixpointDivergenceIsAnError) {
+  Tree t = T("r(m)");
+  // Rewrites m to m(m): strictly growing, never converges.
+  auto grow = [this](const SplitPieces&) -> Result<Tree> {
+    return T("m(m)");
+  };
+  EXPECT_TRUE(RewriteToFixpoint(store_, t, TP("m"), grow, {}, 10)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(StructuralTest, ListEdits) {
+  List l = L("[a b c]");
+  ASSERT_OK_AND_ASSIGN(List inserted,
+                       ListInsert(l, 1, NodePayload::ConcatPoint("x")));
+  EXPECT_EQ(Str(inserted), "[a @x b c]");
+  ASSERT_OK_AND_ASSIGN(List appended,
+                       ListInsert(l, 3, NodePayload::ConcatPoint("x")));
+  EXPECT_EQ(Str(appended), "[a b c @x]");
+  EXPECT_TRUE(
+      ListInsert(l, 4, NodePayload::ConcatPoint("x")).status().IsOutOfRange());
+  ASSERT_OK_AND_ASSIGN(List deleted, ListDelete(l, 1));
+  EXPECT_EQ(Str(deleted), "[a c]");
+  EXPECT_TRUE(ListDelete(l, 3).status().IsOutOfRange());
+  ASSERT_OK_AND_ASSIGN(List replaced,
+                       ListReplace(l, 0, NodePayload::ConcatPoint("z")));
+  EXPECT_EQ(Str(replaced), "[@z b c]");
+  EXPECT_EQ(Str(ListReverse(l)), "[c b a]");
+  EXPECT_TRUE(ListReverse(List()).empty());
+}
+
+}  // namespace
+}  // namespace aqua

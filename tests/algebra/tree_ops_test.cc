@@ -1,0 +1,246 @@
+#include "algebra/tree_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "bulk/concat.h"
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+class TreeOpsTest : public testing::AquaTestBase {
+ protected:
+  PredicateRef ByName(const std::string& name) {
+    return Predicate::AttrEquals("name", Value::String(name));
+  }
+
+  std::vector<std::string> ForestStrings(const std::vector<Tree>& forest) {
+    std::vector<std::string> out;
+    for (const Tree& t : forest) out.push_back(Str(t));
+    return out;
+  }
+};
+
+TEST_F(TreeOpsTest, SelectKeepsSatisfyingNodesWithAncestryContraction) {
+  // Nodes named "k" are kept; paths through non-matching nodes contract.
+  Tree t = T("k1(x(k2(y k3)) k4)");
+  auto keep = P("name == \"k1\" || name == \"k2\" || name == \"k3\" || "
+                "name == \"k4\"");
+  ASSERT_OK_AND_ASSIGN(auto forest, TreeSelect(store_, t, keep));
+  ASSERT_EQ(forest.size(), 1u);
+  EXPECT_EQ(Str(forest[0]), "k1(k2(k3) k4)");
+  EXPECT_OK(forest[0].Validate());
+}
+
+TEST_F(TreeOpsTest, SelectReturnsForestWhenRootFails) {
+  Tree t = T("x(a(b) y(a))");
+  ASSERT_OK_AND_ASSIGN(auto forest, TreeSelect(store_, t, ByName("a")));
+  auto strs = ForestStrings(forest);
+  ASSERT_EQ(strs.size(), 2u);
+  EXPECT_EQ(strs[0], "a");  // first a loses its non-matching child b
+  EXPECT_EQ(strs[1], "a");
+}
+
+TEST_F(TreeOpsTest, SelectPreservesRelativeOrderOfSiblings) {
+  Tree t = T("r(x(a1) a2 x(a3))");
+  auto keep = P("name == \"a1\" || name == \"a2\" || name == \"a3\"");
+  ASSERT_OK_AND_ASSIGN(auto forest, TreeSelect(store_, t, keep));
+  auto strs = ForestStrings(forest);
+  ASSERT_EQ(strs.size(), 3u);
+  EXPECT_EQ(strs[0], "a1");
+  EXPECT_EQ(strs[1], "a2");
+  EXPECT_EQ(strs[2], "a3");
+}
+
+TEST_F(TreeOpsTest, SelectContractsThroughInstancePoints) {
+  // Concatenation points are invisible to predicates (§3.5) and contract.
+  Tree t = T("a(@p x(a))");
+  ASSERT_OK_AND_ASSIGN(auto forest, TreeSelect(store_, t, ByName("a")));
+  ASSERT_EQ(forest.size(), 1u);
+  EXPECT_EQ(Str(forest[0]), "a(a)");
+}
+
+TEST_F(TreeOpsTest, SelectOnEmptyTree) {
+  ASSERT_OK_AND_ASSIGN(auto forest, TreeSelect(store_, Tree(), ByName("a")));
+  EXPECT_TRUE(forest.empty());
+  EXPECT_TRUE(TreeSelect(store_, Tree(), nullptr).status().IsInvalidArgument());
+}
+
+TEST_F(TreeOpsTest, ApplyIsIsomorphic) {
+  Tree t = T("a(b(c) @p d)");
+  // Map every item to a fresh object with an uppercase-ish marker name.
+  auto fn = [this](ObjectStore& store, Oid oid) -> Result<Oid> {
+    AQUA_ASSIGN_OR_RETURN(Value name, store.GetAttr(oid, "name"));
+    return store.Create("Item",
+                        {{"name", Value::String(name.string_value() + "m")},
+                         {"val", Value::Int(0)}});
+  };
+  ASSERT_OK_AND_ASSIGN(Tree mapped, TreeApply(store_, t, fn));
+  EXPECT_EQ(Str(mapped), "am(bm(cm) @p dm)");
+  EXPECT_EQ(mapped.size(), t.size());
+  EXPECT_OK(mapped.Validate());
+}
+
+TEST_F(TreeOpsTest, ApplyOnEmptyTree) {
+  auto fn = [](ObjectStore&, Oid oid) -> Result<Oid> { return oid; };
+  ASSERT_OK_AND_ASSIGN(Tree mapped, TreeApply(store_, Tree(), fn));
+  EXPECT_TRUE(mapped.empty());
+}
+
+TEST_F(TreeOpsTest, Figure4Split) {
+  // split(Brazil(!?* USA !?*), λ(x,y,z)⟨x,y,z⟩)(T) over the Figure 3 tree.
+  ASSERT_OK_AND_ASSIGN(Tree family, MakePaperFamilyTree(store_));
+  env_.Bind("Brazil",
+            Predicate::AttrEquals("citizen", Value::String("Brazil")));
+  env_.Bind("USA", Predicate::AttrEquals("citizen", Value::String("USA")));
+  auto tp = TP("Brazil(!?* USA !?*)");
+
+  ASSERT_OK_AND_ASSIGN(
+      Datum result,
+      TreeSplit(store_, family, tp,
+                [](const Tree& x, const Tree& y,
+                   const std::vector<Tree>& z) -> Result<Datum> {
+                  std::vector<Datum> zs;
+                  for (const Tree& t : z) zs.push_back(Datum::Of(t));
+                  return Datum::Tuple({Datum::Of(x), Datum::Of(y),
+                                       Datum::Tuple(std::move(zs))});
+                }));
+  // "The result of this query is a set containing one tuple" (§4).
+  ASSERT_EQ(result.size(), 1u);
+  const Datum& tuple = result.at(0);
+  EXPECT_EQ(Str(tuple.at(0).tree()), "Ted(Ann @a Ray)");
+  EXPECT_EQ(Str(tuple.at(1).tree()), "Gen(@a1 John(@a2))");
+  ASSERT_EQ(tuple.at(2).size(), 2u);
+  EXPECT_EQ(Str(tuple.at(2).at(0).tree()), "Joe(Bob)");
+  EXPECT_EQ(Str(tuple.at(2).at(1).tree()), "Mary");
+}
+
+TEST_F(TreeOpsTest, SplitPiecesReassembleToOriginal) {
+  ASSERT_OK_AND_ASSIGN(Tree family, MakePaperFamilyTree(store_));
+  env_.Bind("Brazil",
+            Predicate::AttrEquals("citizen", Value::String("Brazil")));
+  env_.Bind("USA", Predicate::AttrEquals("citizen", Value::String("USA")));
+  TreeMatcher matcher(store_, family);
+  ASSERT_OK_AND_ASSIGN(auto matches,
+                       matcher.FindAll(TP("Brazil(!?* USA !?*)")));
+  ASSERT_EQ(matches.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(SplitPieces pieces,
+                       MakeSplitPieces(family, matches[0], SplitOptions{}));
+  Tree reassembled = ReassembleSplit(pieces);
+  EXPECT_TRUE(reassembled.StructurallyEquals(family))
+      << Str(reassembled) << " vs " << Str(family);
+}
+
+TEST_F(TreeOpsTest, SplitAtRootHasPointContext) {
+  Tree t = T("a(b c)");
+  ASSERT_OK_AND_ASSIGN(
+      Datum result,
+      TreeSplit(store_, t, TP("a(!?*)"),
+                [](const Tree& x, const Tree& y,
+                   const std::vector<Tree>& z) -> Result<Datum> {
+                  return Datum::Tuple({Datum::Of(x), Datum::Of(y),
+                                       Datum::Scalar(Value::Int(
+                                           static_cast<int64_t>(z.size())))});
+                }));
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(Str(result.at(0).at(0).tree()), "@a");
+  EXPECT_EQ(Str(result.at(0).at(1).tree()), "a(@a1 @a2)");
+  EXPECT_EQ(result.at(0).at(2).scalar().int_value(), 2);
+}
+
+TEST_F(TreeOpsTest, SplitCustomLabels) {
+  SplitOptions opts;
+  opts.context_label = "ctx";
+  opts.cut_prefix = "cut";
+  Tree t = T("r(m(x))");
+  ASSERT_OK_AND_ASSIGN(
+      Datum result,
+      TreeSplit(store_, t, TP("m"),
+                [](const Tree& x, const Tree& y,
+                   const std::vector<Tree>&) -> Result<Datum> {
+                  return Datum::Tuple({Datum::Of(x), Datum::Of(y)});
+                },
+                opts));
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(Str(result.at(0).at(0).tree()), "r(@ctx)");
+  EXPECT_EQ(Str(result.at(0).at(1).tree()), "m(@cut1)");
+}
+
+TEST_F(TreeOpsTest, SplitFnErrorsPropagate) {
+  Tree t = T("a");
+  auto res = TreeSplit(store_, t, TP("a"),
+                       [](const Tree&, const Tree&,
+                          const std::vector<Tree>&) -> Result<Datum> {
+                         return Status::Internal("user fn failed");
+                       });
+  EXPECT_TRUE(res.status().IsInternal());
+}
+
+TEST_F(TreeOpsTest, SubSelectClosesPoints) {
+  Tree t = T("r(b(d e) b(d f))");
+  ASSERT_OK_AND_ASSIGN(Datum result, TreeSubSelect(store_, t, TP("b(d ?)")));
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_TRUE(result.SetContains(Datum::Of(T("b(d e)"))));
+  EXPECT_TRUE(result.SetContains(Datum::Of(T("b(d f)"))));
+}
+
+TEST_F(TreeOpsTest, SubSelectDropsDescendantsOfLeafMatches) {
+  Tree t = T("r(b(d(deep) e))");
+  ASSERT_OK_AND_ASSIGN(Datum result, TreeSubSelect(store_, t, TP("b(d ?)")));
+  ASSERT_EQ(result.size(), 1u);
+  // d's subtree (deep) is cut and closed away.
+  EXPECT_TRUE(result.SetContains(Datum::Of(T("b(d e)"))));
+}
+
+TEST_F(TreeOpsTest, SubSelectResultIsASet) {
+  // Two occurrences of an identical subgraph collapse to one set element.
+  Tree t = T("r(b(d) b(d))");
+  ASSERT_OK_AND_ASSIGN(Datum result, TreeSubSelect(store_, t, TP("b(d)")));
+  EXPECT_EQ(result.size(), 1u);
+}
+
+TEST_F(TreeOpsTest, AllAncGivesContextAndClosedMatch) {
+  Tree t = T("r(x(m(q)))");
+  ASSERT_OK_AND_ASSIGN(
+      Datum result,
+      TreeAllAnc(store_, t, TP("m"),
+                 [](const Tree& anc, const Tree& match) -> Result<Datum> {
+                   return Datum::Tuple({Datum::Of(anc), Datum::Of(match)});
+                 }));
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(Str(result.at(0).at(0).tree()), "r(x(@a))");
+  EXPECT_EQ(Str(result.at(0).at(1).tree()), "m");  // q cut + closed
+}
+
+TEST_F(TreeOpsTest, AllDescGivesMatchAndDescendants) {
+  Tree t = T("r(m(q1 q2))");
+  ASSERT_OK_AND_ASSIGN(
+      Datum result,
+      TreeAllDesc(store_, t, TP("m"),
+                  [](const Tree& match,
+                     const std::vector<Tree>& desc) -> Result<Datum> {
+                    std::vector<Datum> ds;
+                    for (const Tree& d : desc) ds.push_back(Datum::Of(d));
+                    return Datum::Tuple(
+                        {Datum::Of(match), Datum::Tuple(std::move(ds))});
+                  }));
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(Str(result.at(0).at(0).tree()), "m(@a1 @a2)");
+  ASSERT_EQ(result.at(0).at(1).size(), 2u);
+  EXPECT_EQ(Str(result.at(0).at(1).at(0).tree()), "q1");
+  EXPECT_EQ(Str(result.at(0).at(1).at(1).tree()), "q2");
+}
+
+TEST_F(TreeOpsTest, MakeMatchPieceMatchesSplitY) {
+  Tree t = T("r(m(a b))");
+  TreeMatcher matcher(store_, t);
+  ASSERT_OK_AND_ASSIGN(auto matches, matcher.FindAll(TP("m")));
+  ASSERT_EQ(matches.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(Tree y, MakeMatchPiece(t, matches[0], SplitOptions{}));
+  ASSERT_OK_AND_ASSIGN(SplitPieces pieces,
+                       MakeSplitPieces(t, matches[0], SplitOptions{}));
+  EXPECT_TRUE(y.StructurallyEquals(pieces.y));
+}
+
+}  // namespace
+}  // namespace aqua

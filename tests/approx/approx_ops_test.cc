@@ -1,0 +1,96 @@
+#include "approx/approx_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+class ApproxOpsTest : public testing::AquaTestBase {
+ protected:
+  EditCosts Costs() { return AttrEditCosts(&store_, "name"); }
+};
+
+TEST_F(ApproxOpsTest, ExactThresholdFindsExactSubtrees) {
+  Tree t = T("r(q(b(d e)) b(d e) b(d f))");
+  ASSERT_OK_AND_ASSIGN(
+      Datum exact, TreeSubSelectApprox(store_, t, T("b(d e)"), 0, Costs()));
+  ASSERT_EQ(exact.size(), 1u);  // two identical subtrees collapse in a set
+  EXPECT_TRUE(exact.SetContains(Datum::Of(T("b(d e)"))));
+}
+
+TEST_F(ApproxOpsTest, ThresholdOneAdmitsNearMisses) {
+  Tree t = T("r(b(d e) b(d f) b(d) x(y z))");
+  ASSERT_OK_AND_ASSIGN(
+      Datum close, TreeSubSelectApprox(store_, t, T("b(d e)"), 1, Costs()));
+  // b(d e) at 0, b(d f) (one rename), b(d) (one delete); not x(y z).
+  EXPECT_EQ(close.size(), 3u);
+  EXPECT_FALSE(close.SetContains(Datum::Of(T("x(y z)"))));
+}
+
+TEST_F(ApproxOpsTest, LargeThresholdAdmitsEverything) {
+  Tree t = T("r(a b)");
+  ASSERT_OK_AND_ASSIGN(Datum all,
+                       TreeSubSelectApprox(store_, t, T("q"), 100, Costs()));
+  EXPECT_EQ(all.size(), 3u);  // r(a b), a, b
+}
+
+TEST_F(ApproxOpsTest, NegativeThresholdRejected) {
+  EXPECT_TRUE(TreeSubSelectApprox(store_, T("a"), T("a"), -1, Costs())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(ApproxOpsTest, EmptyTreeYieldsEmptySet) {
+  ASSERT_OK_AND_ASSIGN(Datum none,
+                       TreeSubSelectApprox(store_, Tree(), T("a"), 5, Costs()));
+  EXPECT_EQ(none.size(), 0u);
+}
+
+TEST_F(ApproxOpsTest, SizeBoundPruningPreservesAnswers) {
+  // The size-delta lower bound must not change results vs brute force.
+  RandomTreeSpec spec;
+  spec.num_nodes = 60;
+  spec.labels = {"a", "b", "c"};
+  spec.seed = 3;
+  ASSERT_OK_AND_ASSIGN(Tree t, MakeRandomTree(store_, spec));
+  Tree query = T("a(b c)");
+  ASSERT_OK_AND_ASSIGN(Datum pruned,
+                       TreeSubSelectApprox(store_, t, query, 2, Costs()));
+  // Brute force via NearestSubtrees (no pruning).
+  ASSERT_OK_AND_ASSIGN(auto ranked,
+                       NearestSubtrees(store_, t, query, t.size(), Costs()));
+  Datum brute = Datum::Set({});
+  for (const auto& s : ranked) {
+    if (s.distance <= 2) brute.SetInsert(Datum::Of(s.subtree));
+  }
+  EXPECT_TRUE(pruned.Equals(brute));
+}
+
+TEST_F(ApproxOpsTest, NearestSubtreesRanksAscending) {
+  Tree t = T("r(b(d e) b(d f) x)");
+  ASSERT_OK_AND_ASSIGN(auto ranked,
+                       NearestSubtrees(store_, t, T("b(d e)"), 3, Costs()));
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_DOUBLE_EQ(ranked[0].distance, 0);
+  EXPECT_EQ(Str(ranked[0].subtree), "b(d e)");
+  EXPECT_DOUBLE_EQ(ranked[1].distance, 1);
+  EXPECT_EQ(Str(ranked[1].subtree), "b(d f)");
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_LE(ranked[i - 1].distance, ranked[i].distance);
+  }
+}
+
+TEST_F(ApproxOpsTest, NearestSubtreesTopNLimits) {
+  Tree t = T("r(a b c d)");
+  ASSERT_OK_AND_ASSIGN(auto two, NearestSubtrees(store_, t, T("a"), 2,
+                                                 Costs()));
+  EXPECT_EQ(two.size(), 2u);
+  ASSERT_OK_AND_ASSIGN(auto none, NearestSubtrees(store_, t, T("a"), 0,
+                                                  Costs()));
+  EXPECT_TRUE(none.empty());
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,123 @@
+#include "approx/tree_edit_distance.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+class TedTest : public testing::AquaTestBase {
+ protected:
+  double Dist(const std::string& a, const std::string& b) {
+    auto d = TreeEditDistance(T(a), T(b), AttrEditCosts(&store_, "name"));
+    EXPECT_TRUE(d.ok()) << d.status().ToString();
+    return d.ok() ? *d : -1;
+  }
+};
+
+TEST_F(TedTest, IdenticalTreesAreAtDistanceZero) {
+  EXPECT_DOUBLE_EQ(Dist("a", "a"), 0);
+  EXPECT_DOUBLE_EQ(Dist("a(b c)", "a(b c)"), 0);
+  EXPECT_DOUBLE_EQ(Dist("a(b(c d) e)", "a(b(c d) e)"), 0);
+}
+
+TEST_F(TedTest, EmptyTreeCases) {
+  ASSERT_OK_AND_ASSIGN(double both, TreeEditDistance(Tree(), Tree()));
+  EXPECT_DOUBLE_EQ(both, 0);
+  ASSERT_OK_AND_ASSIGN(double ins, TreeEditDistance(Tree(), T("a(b c)")));
+  EXPECT_DOUBLE_EQ(ins, 3);  // insert all
+  ASSERT_OK_AND_ASSIGN(double del, TreeEditDistance(T("a(b c)"), Tree()));
+  EXPECT_DOUBLE_EQ(del, 3);  // delete all
+}
+
+TEST_F(TedTest, SingleRename) {
+  EXPECT_DOUBLE_EQ(Dist("a", "b"), 1);
+  EXPECT_DOUBLE_EQ(Dist("a(b c)", "a(b d)"), 1);
+  EXPECT_DOUBLE_EQ(Dist("a(b c)", "x(y z)"), 3);
+}
+
+TEST_F(TedTest, InsertAndDelete) {
+  EXPECT_DOUBLE_EQ(Dist("a(b)", "a(b c)"), 1);   // insert leaf
+  EXPECT_DOUBLE_EQ(Dist("a(b c)", "a(c)"), 1);   // delete leaf
+  EXPECT_DOUBLE_EQ(Dist("a(b(c))", "a(c)"), 1);  // delete interior b
+  EXPECT_DOUBLE_EQ(Dist("a(c)", "a(b(c))"), 1);  // insert interior b
+}
+
+TEST_F(TedTest, SymmetryUnderUnitCosts) {
+  const char* kTrees[] = {"a", "a(b c)", "a(b(c) d)", "x(y)",
+                          "a(b(c d e) f)"};
+  for (const char* x : kTrees) {
+    for (const char* y : kTrees) {
+      EXPECT_DOUBLE_EQ(Dist(x, y), Dist(y, x)) << x << " / " << y;
+    }
+  }
+}
+
+TEST_F(TedTest, TriangleInequalityOnSamples) {
+  const char* kTrees[] = {"a", "a(b)", "a(b c)", "x(b c)", "a(b(c))"};
+  for (const char* x : kTrees) {
+    for (const char* y : kTrees) {
+      for (const char* z : kTrees) {
+        EXPECT_LE(Dist(x, z), Dist(x, y) + Dist(y, z) + 1e-9)
+            << x << " " << y << " " << z;
+      }
+    }
+  }
+}
+
+TEST_F(TedTest, OrderSensitivity) {
+  // Ordered distance distinguishes sibling orders (two renames here).
+  EXPECT_GT(Dist("a(b c)", "a(c b)"), 0);
+}
+
+TEST_F(TedTest, ClassicZhangShashaExample) {
+  // f(d(a c(b)) e) vs f(c(d(a b)) e): the canonical example, distance 2
+  // (delete c under d, insert c above d).
+  EXPECT_DOUBLE_EQ(Dist("f(d(a c(b)) e)", "f(c(d(a b)) e)"), 2);
+}
+
+TEST_F(TedTest, CustomCosts) {
+  EditCosts costs = AttrEditCosts(&store_, "name");
+  costs.insert_cost = [](const NodePayload&) { return 10.0; };
+  costs.delete_cost = [](const NodePayload&) { return 10.0; };
+  // Rename (1) now beats delete+insert (20).
+  ASSERT_OK_AND_ASSIGN(double d, TreeEditDistance(T("a"), T("b"), costs));
+  EXPECT_DOUBLE_EQ(d, 1);
+  // Growing by one node costs an insert.
+  ASSERT_OK_AND_ASSIGN(double d2,
+                       TreeEditDistance(T("a"), T("a(b)"), costs));
+  EXPECT_DOUBLE_EQ(d2, 10);
+}
+
+TEST_F(TedTest, DefaultCostsCompareCellIdentity) {
+  // Without AttrEditCosts, cells compare by object identity: two distinct
+  // objects with the same name are different.
+  ASSERT_OK_AND_ASSIGN(Oid o1, store_.Create("Item", {{"name",
+                                                       Value::String("a")}}));
+  ASSERT_OK_AND_ASSIGN(Oid o2, store_.Create("Item", {{"name",
+                                                       Value::String("a")}}));
+  Tree t1 = Tree::Leaf(NodePayload::Cell(o1));
+  Tree t2 = Tree::Leaf(NodePayload::Cell(o2));
+  ASSERT_OK_AND_ASSIGN(double d, TreeEditDistance(t1, t2));
+  EXPECT_DOUBLE_EQ(d, 1);
+  ASSERT_OK_AND_ASSIGN(double same, TreeEditDistance(t1, t1));
+  EXPECT_DOUBLE_EQ(same, 0);
+}
+
+TEST_F(TedTest, PointsParticipate) {
+  ASSERT_OK_AND_ASSIGN(double d, TreeEditDistance(T("a(@x)"), T("a(@x)")));
+  EXPECT_DOUBLE_EQ(d, 0);
+  ASSERT_OK_AND_ASSIGN(double d2, TreeEditDistance(T("a(@x)"), T("a(@y)")));
+  EXPECT_DOUBLE_EQ(d2, 1);
+}
+
+TEST_F(TedTest, NullCostFunctionsRejected) {
+  EditCosts broken;
+  broken.rename_cost = nullptr;
+  EXPECT_TRUE(
+      TreeEditDistance(T("a"), T("b"), broken).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace aqua

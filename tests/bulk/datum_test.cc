@@ -1,0 +1,81 @@
+#include "bulk/datum.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+using DatumTest = testing::AquaTestBase;
+
+TEST_F(DatumTest, Kinds) {
+  EXPECT_TRUE(Datum().is_null());
+  EXPECT_TRUE(Datum::Scalar(Value::Int(1)).is_scalar());
+  EXPECT_TRUE(Datum::Of(T("a")).is_tree());
+  EXPECT_TRUE(Datum::Of(L("[a]")).is_list());
+  EXPECT_TRUE(Datum::Tuple({}).is_tuple());
+  EXPECT_TRUE(Datum::Set({}).is_set());
+}
+
+TEST_F(DatumTest, SetDeduplicatesStructurally) {
+  Datum s = Datum::Set({Datum::Of(T("a(b)")), Datum::Of(T("a(b)")),
+                        Datum::Of(T("a(c)"))});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.SetContains(Datum::Of(T("a(b)"))));
+  EXPECT_FALSE(s.SetContains(Datum::Of(T("b(a)"))));
+}
+
+TEST_F(DatumTest, SetEqualityIsOrderInsensitive) {
+  Datum s1 = Datum::Set({Datum::Scalar(Value::Int(1)),
+                         Datum::Scalar(Value::Int(2))});
+  Datum s2 = Datum::Set({Datum::Scalar(Value::Int(2)),
+                         Datum::Scalar(Value::Int(1))});
+  EXPECT_TRUE(s1.Equals(s2));
+  Datum s3 = Datum::Set({Datum::Scalar(Value::Int(1))});
+  EXPECT_FALSE(s1.Equals(s3));
+}
+
+TEST_F(DatumTest, TupleEqualityIsPositional) {
+  Datum t1 = Datum::Tuple({Datum::Scalar(Value::Int(1)),
+                           Datum::Scalar(Value::Int(2))});
+  Datum t2 = Datum::Tuple({Datum::Scalar(Value::Int(2)),
+                           Datum::Scalar(Value::Int(1))});
+  EXPECT_FALSE(t1.Equals(t2));
+  EXPECT_TRUE(t1.Equals(Datum::Tuple(
+      {Datum::Scalar(Value::Int(1)), Datum::Scalar(Value::Int(2))})));
+}
+
+TEST_F(DatumTest, MixedKindsNeverEqual) {
+  EXPECT_FALSE(Datum::Of(T("a")).Equals(Datum::Of(L("[a]"))));
+  EXPECT_FALSE(Datum().Equals(Datum::Set({})));
+}
+
+TEST_F(DatumTest, ListAndTreeEqualityDelegate) {
+  EXPECT_TRUE(Datum::Of(L("[a b]")).Equals(Datum::Of(L("[a b]"))));
+  EXPECT_FALSE(Datum::Of(L("[a b]")).Equals(Datum::Of(L("[b a]"))));
+}
+
+TEST_F(DatumTest, BuildersMutate) {
+  Datum s = Datum::Set({});
+  s.SetInsert(Datum::Scalar(Value::Int(1)));
+  s.SetInsert(Datum::Scalar(Value::Int(1)));
+  EXPECT_EQ(s.size(), 1u);
+  Datum t = Datum::Tuple({});
+  t.TupleAppend(Datum::Scalar(Value::Int(1)));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST_F(DatumTest, ToStringForms) {
+  EXPECT_EQ(Datum().ToString(label_), "null");
+  EXPECT_EQ(Datum::Scalar(Value::Int(3)).ToString(label_), "3");
+  EXPECT_EQ(Datum::Of(T("a(b)")).ToString(label_), "a(b)");
+  EXPECT_EQ(Datum::Of(L("[a]")).ToString(label_), "[a]");
+  Datum tup = Datum::Tuple({Datum::Of(T("a")), Datum::Of(L("[b]"))});
+  EXPECT_EQ(tup.ToString(label_), "<a, [b]>");
+  Datum set = Datum::Set({Datum::Scalar(Value::Int(1))});
+  EXPECT_EQ(set.ToString(label_), "{1}");
+}
+
+}  // namespace
+}  // namespace aqua

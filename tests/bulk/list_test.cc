@@ -1,0 +1,68 @@
+#include "bulk/list.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+using ListTest = testing::AquaTestBase;
+
+TEST_F(ListTest, EmptyList) {
+  List l;
+  EXPECT_TRUE(l.empty());
+  EXPECT_EQ(l.size(), 0u);
+  EXPECT_EQ(Str(l), "[]");
+}
+
+TEST_F(ListTest, LiteralAndPrint) {
+  List l = L("[a b c]");
+  EXPECT_EQ(l.size(), 3u);
+  EXPECT_EQ(Str(l), "[a b c]");
+  EXPECT_TRUE(l.at(0).is_cell());
+}
+
+TEST_F(ListTest, DuplicatesShareObjects) {
+  // The paper's Cell[T] rationale: nodes are distinct, contents may repeat.
+  List l = L("[a b a]");
+  EXPECT_EQ(l.at(0).oid(), l.at(2).oid());
+  EXPECT_NE(l.at(0).oid(), l.at(1).oid());
+}
+
+TEST_F(ListTest, OfOids) {
+  List l = List::OfOids({Oid(1), Oid(2)});
+  EXPECT_EQ(l.size(), 2u);
+  EXPECT_EQ(l.at(1).oid(), Oid(2));
+}
+
+TEST_F(ListTest, Sublist) {
+  List l = L("[a b c d]");
+  EXPECT_EQ(Str(l.Sublist(1, 3)), "[b c]");
+  EXPECT_EQ(Str(l.Sublist(0, 0)), "[]");
+  EXPECT_EQ(Str(l.Sublist(3, 2)), "[]");   // inverted range -> empty
+  EXPECT_EQ(Str(l.Sublist(2, 99)), "[]");  // out of range -> empty
+}
+
+TEST_F(ListTest, Points) {
+  List l = L("[a @x b @y @x]");
+  EXPECT_TRUE(l.HasPoint("x"));
+  EXPECT_FALSE(l.HasPoint("z"));
+  auto xs = l.FindPoints("x");
+  ASSERT_EQ(xs.size(), 2u);
+  EXPECT_EQ(xs[0], 1u);
+  EXPECT_EQ(xs[1], 4u);
+  EXPECT_EQ(l.PointLabels().size(), 3u);
+  EXPECT_EQ(Str(l), "[a @x b @y @x]");
+}
+
+TEST_F(ListTest, Equality) {
+  EXPECT_TRUE(L("[a b]") == L("[a b]"));
+  EXPECT_TRUE(L("[a b]") != L("[b a]"));
+  EXPECT_TRUE(L("[a]") != L("[a a]"));
+  EXPECT_TRUE(L("[@x]") == L("[@x]"));
+  EXPECT_TRUE(L("[@x]") != L("[@y]"));
+}
+
+}  // namespace
+}  // namespace aqua

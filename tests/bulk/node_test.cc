@@ -1,0 +1,41 @@
+#include "bulk/node.h"
+
+#include <gtest/gtest.h>
+
+namespace aqua {
+namespace {
+
+TEST(NodePayloadTest, CellAccessors) {
+  NodePayload cell = NodePayload::Cell(Oid(7));
+  EXPECT_TRUE(cell.is_cell());
+  EXPECT_FALSE(cell.is_concat_point());
+  EXPECT_EQ(cell.kind(), NodePayload::Kind::kCell);
+  EXPECT_EQ(cell.oid(), Oid(7));
+  EXPECT_EQ(cell.label(), "");
+}
+
+TEST(NodePayloadTest, PointAccessors) {
+  NodePayload point = NodePayload::ConcatPoint("a1");
+  EXPECT_FALSE(point.is_cell());
+  EXPECT_TRUE(point.is_concat_point());
+  EXPECT_EQ(point.label(), "a1");
+  EXPECT_TRUE(point.oid().IsNull());
+}
+
+TEST(NodePayloadTest, EqualityComparesContents) {
+  EXPECT_EQ(NodePayload::Cell(Oid(1)), NodePayload::Cell(Oid(1)));
+  EXPECT_NE(NodePayload::Cell(Oid(1)), NodePayload::Cell(Oid(2)));
+  EXPECT_EQ(NodePayload::ConcatPoint("x"), NodePayload::ConcatPoint("x"));
+  EXPECT_NE(NodePayload::ConcatPoint("x"), NodePayload::ConcatPoint("y"));
+  EXPECT_NE(NodePayload::Cell(Oid(1)), NodePayload::ConcatPoint("x"));
+}
+
+TEST(OidTest, NullAndOrdering) {
+  EXPECT_TRUE(Oid::Null().IsNull());
+  EXPECT_FALSE(Oid(1).IsNull());
+  EXPECT_LT(Oid(1), Oid(2));
+  EXPECT_EQ(std::hash<Oid>{}(Oid(5)), std::hash<Oid>{}(Oid(5)));
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,85 @@
+#include "bulk/notation.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+using NotationTest = testing::AquaTestBase;
+
+TEST_F(NotationTest, TreeRoundTrip) {
+  for (const char* lit :
+       {"a", "a(b)", "a(b c)", "b(d(f g) e)", "a(@1 b(@2 c) @3)"}) {
+    Tree t = T(lit);
+    EXPECT_EQ(Str(t), lit);
+    EXPECT_OK(t.Validate());
+  }
+}
+
+TEST_F(NotationTest, ListRoundTrip) {
+  for (const char* lit : {"[]", "[a]", "[a b c]", "[a @x b]"}) {
+    EXPECT_EQ(Str(L(lit)), lit);
+  }
+}
+
+TEST_F(NotationTest, NilParsesToEmpty) {
+  auto t = ParseTreeLiteral("nil", atom_);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->empty());
+}
+
+TEST_F(NotationTest, QuotedAtoms) {
+  auto t = ParseTreeLiteral("\"hello world\"(a)", atom_);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(Str(*t), "hello world(a)");
+}
+
+TEST_F(NotationTest, NumericAtoms) {
+  auto t = ParseTreeLiteral("1(2 3)", atom_);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(Str(*t), "1(2 3)");
+}
+
+TEST_F(NotationTest, WhitespaceIsFlexible) {
+  Tree t = T("  a ( b   c(d) ) ");
+  EXPECT_EQ(Str(t), "a(b c(d))");
+}
+
+TEST_F(NotationTest, AtomsInternSameObject) {
+  Tree t = T("a(a)");
+  EXPECT_EQ(t.payload(t.root()).oid(),
+            t.payload(t.children(t.root())[0]).oid());
+}
+
+TEST_F(NotationTest, ParseErrors) {
+  EXPECT_TRUE(ParseTreeLiteral("a(b", atom_).status().IsParseError());
+  EXPECT_TRUE(ParseTreeLiteral("a)b", atom_).status().IsParseError());
+  EXPECT_TRUE(ParseTreeLiteral("", atom_).status().IsParseError());
+  EXPECT_TRUE(ParseTreeLiteral("@", atom_).status().IsParseError());
+  EXPECT_TRUE(ParseTreeLiteral("@x(a)", atom_).status().IsParseError());
+  EXPECT_TRUE(ParseTreeLiteral("\"abc", atom_).status().IsParseError());
+  EXPECT_TRUE(ParseListLiteral("a b]", atom_).status().IsParseError());
+  EXPECT_TRUE(ParseListLiteral("[a b", atom_).status().IsParseError());
+  EXPECT_TRUE(ParseListLiteral("[a] x", atom_).status().IsParseError());
+}
+
+TEST_F(NotationTest, LabelFnFallsBackToOid) {
+  LabelFn fallback = AttrLabelFn(&store_, "no_such_attr");
+  Tree t = T("a");
+  std::string printed = PrintTree(t, fallback);
+  EXPECT_EQ(printed.rfind("oid:", 0), 0u) << printed;
+}
+
+TEST_F(NotationTest, NonStringAttributesPrintAsValues) {
+  ASSERT_OK_AND_ASSIGN(
+      Oid item, store_.Create("Item", {{"name", Value::String("n")},
+                                       {"val", Value::Int(7)}}));
+  LabelFn by_val = AttrLabelFn(&store_, "val");
+  Tree t = Tree::Leaf(NodePayload::Cell(item));
+  EXPECT_EQ(PrintTree(t, by_val), "7");
+}
+
+}  // namespace
+}  // namespace aqua

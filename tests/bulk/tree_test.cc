@@ -1,0 +1,159 @@
+#include "bulk/tree.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+using TreeTest = testing::AquaTestBase;
+
+TEST_F(TreeTest, EmptyTree) {
+  Tree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_OK(t.Validate());
+  EXPECT_EQ(Str(t), "nil");
+}
+
+TEST_F(TreeTest, LeafAndNodeComposition) {
+  Tree t = T("a(b c(d e) f)");
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_OK(t.Validate());
+  EXPECT_EQ(Str(t), "a(b c(d e) f)");
+  EXPECT_EQ(t.arity(t.root()), 3u);
+  EXPECT_EQ(t.Height(), 2u);
+  EXPECT_EQ(t.MaxArity(), 3u);
+}
+
+TEST_F(TreeTest, NodeSkipsEmptyChildren) {
+  Tree t = Tree::Node(NodePayload::Cell(Oid(1)), {Tree(), Tree()});
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.is_leaf(t.root()));
+}
+
+TEST_F(TreeTest, PreorderFollowsPaperNotation) {
+  Tree t = T("b(d(f g) e)");
+  auto order = t.Preorder();
+  ASSERT_EQ(order.size(), 5u);
+  std::string names;
+  for (NodeId n : order) names += label_(t.payload(n).oid());
+  EXPECT_EQ(names, "bdfge");
+}
+
+TEST_F(TreeTest, ParentAndDepth) {
+  Tree t = T("a(b(c))");
+  NodeId root = t.root();
+  NodeId b = t.children(root)[0];
+  NodeId c = t.children(b)[0];
+  EXPECT_EQ(t.parent(root), kInvalidNode);
+  EXPECT_EQ(t.parent(c), b);
+  EXPECT_EQ(t.DepthOf(c), 2u);
+  EXPECT_TRUE(t.IsAncestorOf(root, c));
+  EXPECT_TRUE(t.IsAncestorOf(c, c));
+  EXPECT_FALSE(t.IsAncestorOf(c, root));
+}
+
+TEST_F(TreeTest, ChildIndex) {
+  Tree t = T("a(b c d)");
+  NodeId root = t.root();
+  auto idx = t.ChildIndex(root, t.children(root)[2]);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 2u);
+  EXPECT_TRUE(t.ChildIndex(t.children(root)[0], root).status().IsOutOfRange());
+}
+
+TEST_F(TreeTest, IncrementalConstructionGuards) {
+  Tree t;
+  NodeId a = t.AddNode(NodePayload::Cell(Oid(1)));
+  NodeId b = t.AddNode(NodePayload::Cell(Oid(2)));
+  ASSERT_OK(t.AddChild(a, b));
+  ASSERT_OK(t.SetRoot(a));
+  // b already has a parent.
+  EXPECT_TRUE(t.AddChild(a, b).IsInvalidArgument());
+  // Cycle guard.
+  EXPECT_TRUE(t.AddChild(b, a).IsInvalidArgument());
+  // Root must be parentless.
+  EXPECT_TRUE(t.SetRoot(b).IsInvalidArgument());
+  EXPECT_TRUE(t.AddChild(a, 99).IsOutOfRange());
+  EXPECT_OK(t.Validate());
+}
+
+TEST_F(TreeTest, SubtreeCopy) {
+  Tree t = T("a(b(c d) e)");
+  NodeId b = t.children(t.root())[0];
+  Tree sub = t.SubtreeCopy(b);
+  EXPECT_EQ(Str(sub), "b(c d)");
+  EXPECT_OK(sub.Validate());
+  EXPECT_EQ(sub.size(), 3u);
+}
+
+TEST_F(TreeTest, CopyWithSubtreeReplacedByPoint) {
+  Tree t = T("a(b(c) d)");
+  NodeId b = t.children(t.root())[0];
+  Tree ctx = t.CopyWithSubtreeReplacedByPoint(b, "a");
+  EXPECT_EQ(Str(ctx), "a(@a d)");
+  EXPECT_OK(ctx.Validate());
+  // Replacing the root yields a bare point.
+  Tree all = t.CopyWithSubtreeReplacedByPoint(t.root(), "x");
+  EXPECT_EQ(Str(all), "@x");
+}
+
+TEST_F(TreeTest, CopyWithSubtreeRemoved) {
+  Tree t = T("a(b(c) d)");
+  NodeId b = t.children(t.root())[0];
+  Tree rest = t.CopyWithSubtreeRemoved(b);
+  EXPECT_EQ(Str(rest), "a(d)");
+  EXPECT_TRUE(t.CopyWithSubtreeRemoved(t.root()).empty());
+}
+
+TEST_F(TreeTest, PointQueries) {
+  Tree t = T("a(@x b(@y) @x)");
+  EXPECT_TRUE(t.HasPoint("x"));
+  EXPECT_TRUE(t.HasPoint("y"));
+  EXPECT_FALSE(t.HasPoint("z"));
+  EXPECT_EQ(t.FindPoints("x").size(), 2u);
+  auto labels = t.PointLabels();
+  ASSERT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[0], "x");
+  EXPECT_EQ(labels[1], "y");
+  EXPECT_EQ(labels[2], "x");
+}
+
+TEST_F(TreeTest, StructuralEquality) {
+  EXPECT_TRUE(T("a(b c)").StructurallyEquals(T("a(b c)")));
+  EXPECT_FALSE(T("a(b c)").StructurallyEquals(T("a(c b)")));
+  EXPECT_FALSE(T("a(b c)").StructurallyEquals(T("a(b)")));
+  EXPECT_FALSE(T("a").StructurallyEquals(Tree()));
+  EXPECT_TRUE(Tree().StructurallyEquals(Tree()));
+  // Same label at different positions uses the same interned object, so
+  // payload equality holds structurally.
+  EXPECT_TRUE(T("a(a(a))").StructurallyEquals(T("a(a(a))")));
+}
+
+TEST_F(TreeTest, ValidateRejectsConcatPointWithChildren) {
+  Tree t;
+  NodeId p = t.AddNode(NodePayload::ConcatPoint("a"));
+  NodeId c = t.AddNode(NodePayload::Cell(Oid(1)));
+  ASSERT_OK(t.AddChild(p, c));
+  ASSERT_OK(t.SetRoot(p));
+  EXPECT_TRUE(t.Validate().IsInternal());
+}
+
+TEST_F(TreeTest, ValidateRejectsUnreachableNodes) {
+  Tree t;
+  NodeId a = t.AddNode(NodePayload::Cell(Oid(1)));
+  t.AddNode(NodePayload::Cell(Oid(2)));  // never attached
+  ASSERT_OK(t.SetRoot(a));
+  EXPECT_TRUE(t.Validate().IsInternal());
+}
+
+TEST_F(TreeTest, DeepChainHeight) {
+  Tree t = T("a(b(c(d(e))))");
+  EXPECT_EQ(t.Height(), 4u);
+  EXPECT_EQ(t.MaxArity(), 1u);
+}
+
+}  // namespace
+}  // namespace aqua

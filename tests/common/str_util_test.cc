@@ -1,0 +1,43 @@
+#include "common/str_util.h"
+
+#include <gtest/gtest.h>
+
+namespace aqua {
+namespace {
+
+TEST(StrUtilTest, Join) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StrUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ',').size(), 3u);
+  EXPECT_EQ(Split("a,,c", ',')[1], "");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+  EXPECT_EQ(Split("abc", ',')[0], "abc");
+}
+
+TEST(StrUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi  "), "hi");
+  EXPECT_EQ(StripWhitespace("hi"), "hi");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace("\t a b \n"), "a b");
+}
+
+TEST(StrUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("abcdef", "abc"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+}
+
+TEST(StrUtilTest, IdentChars) {
+  EXPECT_TRUE(IsIdentStart('a'));
+  EXPECT_TRUE(IsIdentStart('_'));
+  EXPECT_FALSE(IsIdentStart('1'));
+  EXPECT_TRUE(IsIdentChar('1'));
+  EXPECT_FALSE(IsIdentChar('-'));
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,92 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace aqua {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).bool_value(), true);
+  EXPECT_EQ(Value::Int(42).int_value(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("hi").string_value(), "hi");
+  EXPECT_EQ(Value::Ref(Oid(7)).ref_value(), Oid(7));
+}
+
+TEST(ValueTest, NumericCoercionInEquals) {
+  EXPECT_TRUE(Value::Int(3).Equals(Value::Double(3.0)));
+  EXPECT_FALSE(Value::Int(3).Equals(Value::Double(3.5)));
+  EXPECT_TRUE(Value::Int(3) == Value::Int(3));
+  EXPECT_TRUE(Value::Int(3) != Value::Int(4));
+}
+
+TEST(ValueTest, CrossTypeEqualsIsFalseNotError) {
+  EXPECT_FALSE(Value::Int(1).Equals(Value::String("1")));
+  EXPECT_FALSE(Value::Bool(true).Equals(Value::Int(1)));
+  EXPECT_FALSE(Value::Null().Equals(Value::Int(0)));
+  EXPECT_TRUE(Value::Null().Equals(Value::Null()));
+}
+
+TEST(ValueTest, CompareWithinFamilies) {
+  auto cmp = [](const Value& a, const Value& b) {
+    auto r = a.Compare(b);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : -99;
+  };
+  EXPECT_LT(cmp(Value::Int(1), Value::Int(2)), 0);
+  EXPECT_GT(cmp(Value::Double(2.5), Value::Int(2)), 0);
+  EXPECT_EQ(cmp(Value::String("abc"), Value::String("abc")), 0);
+  EXPECT_LT(cmp(Value::String("abc"), Value::String("abd")), 0);
+  EXPECT_LT(cmp(Value::Bool(false), Value::Bool(true)), 0);
+  EXPECT_LT(cmp(Value::Ref(Oid(1)), Value::Ref(Oid(2))), 0);
+}
+
+TEST(ValueTest, CompareAcrossFamiliesIsTypeError) {
+  EXPECT_TRUE(Value::Int(1).Compare(Value::String("a")).status().IsTypeError());
+  EXPECT_TRUE(
+      Value::Bool(true).Compare(Value::Ref(Oid(1))).status().IsTypeError());
+}
+
+TEST(ValueTest, NullSortsFirstInCompare) {
+  ASSERT_TRUE(Value::Null().Compare(Value::Int(0)).ok());
+  EXPECT_LT(*Value::Null().Compare(Value::Int(0)), 0);
+  EXPECT_GT(*Value::Int(0).Compare(Value::Null()), 0);
+  EXPECT_EQ(*Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, TotalLessIsAStrictWeakOrderAcrossTypes) {
+  std::vector<Value> vals = {Value::Null(),        Value::Bool(true),
+                             Value::Int(5),        Value::Double(1.5),
+                             Value::String("x"),   Value::Ref(Oid(3)),
+                             Value::Int(-2),       Value::String("a")};
+  std::sort(vals.begin(), vals.end(),
+            [](const Value& a, const Value& b) { return a.TotalLess(b); });
+  // Irreflexivity on the sorted sequence.
+  for (size_t i = 0; i + 1 < vals.size(); ++i) {
+    EXPECT_FALSE(vals[i + 1].TotalLess(vals[i]))
+        << vals[i + 1].ToString() << " < " << vals[i].ToString();
+  }
+}
+
+TEST(ValueTest, HashConsistentWithEquals) {
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Double(3.0).Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+  EXPECT_NE(Value::String("abc").Hash(), Value::String("abd").Hash());
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Int(-7).ToString(), "-7");
+  EXPECT_EQ(Value::String("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Value::Ref(Oid(9)).ToString(), "@oid:9");
+}
+
+TEST(ValueTest, TypeNames) {
+  EXPECT_STREQ(ValueTypeToString(ValueType::kNull), "null");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kRef), "ref");
+}
+
+}  // namespace
+}  // namespace aqua

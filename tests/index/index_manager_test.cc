@@ -1,0 +1,63 @@
+#include "index/index_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+class IndexManagerTest : public testing::AquaTestBase {
+ protected:
+  void SetUp() override {
+    AquaTestBase::SetUp();
+    tree_ = T("a(b c)");
+    list_ = L("[a b]");
+  }
+
+  Tree tree_;
+  List list_;
+  IndexManager manager_;
+};
+
+TEST_F(IndexManagerTest, CreateAndGet) {
+  ASSERT_OK(manager_.CreateTreeIndex("t", store_, tree_, "name"));
+  ASSERT_OK(manager_.CreateListIndex("l", store_, list_, "name"));
+  EXPECT_EQ(manager_.num_indexes(), 2u);
+  EXPECT_TRUE(manager_.Has("t", "name"));
+  EXPECT_FALSE(manager_.Has("t", "val"));
+  ASSERT_OK_AND_ASSIGN(const AttributeIndex* idx, manager_.Get("t", "name"));
+  EXPECT_EQ(idx->size(), 3u);
+}
+
+TEST_F(IndexManagerTest, DuplicateRejected) {
+  ASSERT_OK(manager_.CreateTreeIndex("t", store_, tree_, "name"));
+  EXPECT_TRUE(manager_.CreateTreeIndex("t", store_, tree_, "name")
+                  .IsAlreadyExists());
+}
+
+TEST_F(IndexManagerTest, GetMissing) {
+  EXPECT_TRUE(manager_.Get("t", "name").status().IsNotFound());
+}
+
+TEST_F(IndexManagerTest, IndexedAttrs) {
+  ASSERT_OK(manager_.CreateTreeIndex("t", store_, tree_, "name"));
+  ASSERT_OK(manager_.CreateTreeIndex("t", store_, tree_, "val"));
+  ASSERT_OK(manager_.CreateListIndex("other", store_, list_, "name"));
+  auto attrs = manager_.IndexedAttrs("t");
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_EQ(attrs[0], "name");
+  EXPECT_EQ(attrs[1], "val");
+}
+
+TEST_F(IndexManagerTest, Drop) {
+  ASSERT_OK(manager_.CreateTreeIndex("t", store_, tree_, "name"));
+  ASSERT_OK(manager_.Drop("t", "name"));
+  EXPECT_FALSE(manager_.Has("t", "name"));
+  EXPECT_TRUE(manager_.Drop("t", "name").IsNotFound());
+  // Recreating after a drop works.
+  ASSERT_OK(manager_.CreateTreeIndex("t", store_, tree_, "name"));
+}
+
+}  // namespace
+}  // namespace aqua

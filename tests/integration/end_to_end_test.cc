@@ -1,0 +1,159 @@
+// Full-stack scenario: a database is generated, indexed, queried through
+// the optimizer, persisted, restored, and re-queried — every layer of the
+// system in one flow, with validation and EXPLAIN ANALYZE along the way.
+#include <gtest/gtest.h>
+
+#include "query/builder.h"
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(RegisterPersonType(db_.store()));
+    ASSERT_OK(RegisterItemType(db_.store()));
+
+    // Collections: the paper's family tree, a bigger genealogy, a song.
+    ASSERT_OK_AND_ASSIGN(Tree figure3, MakePaperFamilyTree(db_.store()));
+    ASSERT_OK(db_.RegisterTree("figure3", std::move(figure3)));
+    FamilyTreeSpec spec;
+    spec.num_people = 500;
+    spec.brazil_fraction = 0.2;
+    ASSERT_OK_AND_ASSIGN(Tree big, MakeFamilyTree(db_.store(), spec));
+    ASSERT_OK(db_.RegisterTree("genealogy", std::move(big)));
+    ASSERT_OK(RegisterNoteType(db_.store()));
+    SongSpec song_spec;
+    song_spec.num_notes = 120;
+    ASSERT_OK_AND_ASSIGN(List song, MakeSong(db_.store(), song_spec));
+    ASSERT_OK(db_.RegisterList("song", std::move(song)));
+
+    ASSERT_OK(db_.CreateIndex("genealogy", "citizen"));
+    ASSERT_OK(db_.CreateIndex("song", "pitch"));
+
+    env_.Bind("Brazil",
+              Predicate::AttrEquals("citizen", Value::String("Brazil")));
+    env_.Bind("USA", Predicate::AttrEquals("citizen", Value::String("USA")));
+  }
+
+  TreePatternRef TP(const std::string& p) {
+    PatternParserOptions opts;
+    opts.env = &env_;
+    auto tp = ParseTreePattern(p, opts);
+    EXPECT_TRUE(tp.ok()) << tp.status().ToString();
+    return tp.ok() ? *tp : nullptr;
+  }
+
+  Database db_;
+  PredicateEnv env_;
+};
+
+TEST_F(EndToEndTest, OptimizedQueryOverGenealogyThenPersistence) {
+  auto pattern = TP("Brazil(!?* USA !?*)");
+  PlanRef plan = Q::TreeSubSelect(Q::ScanTree("genealogy"), pattern);
+
+  // The optimizer must validate (§3.1 footnote 2) and rewrite to the index.
+  ASSERT_OK(ValidatePlanPatterns(db_, plan));
+  Rewriter rewriter(&db_);
+  rewriter.AddDefaultRules();
+  ASSERT_OK_AND_ASSIGN(PlanRef optimized, rewriter.Optimize(plan));
+  ASSERT_EQ(optimized->op, PlanOp::kIndexedSubSelect);
+
+  Executor naive_exec(&db_), opt_exec(&db_);
+  ASSERT_OK_AND_ASSIGN(Datum naive, naive_exec.Execute(plan));
+  ASSERT_OK_AND_ASSIGN(Datum fast, opt_exec.Execute(optimized));
+  EXPECT_TRUE(naive.Equals(fast));
+  EXPECT_GT(fast.size(), 0u);
+  // The probe visited only the Brazilian fraction of the tree.
+  EXPECT_LT(opt_exec.stats().index_candidates, 500u / 2);
+  EXPECT_NE(opt_exec.ExplainAnalyze(optimized).find("1 call"),
+            std::string::npos);
+
+  // Persist, restore, and the optimized query still answers identically.
+  ASSERT_OK_AND_ASSIGN(std::string dump, DumpDatabase(db_));
+  Database restored;
+  ASSERT_OK(LoadDatabase(dump, &restored));
+  Rewriter rewriter2(&restored);
+  rewriter2.AddDefaultRules();
+  ASSERT_OK_AND_ASSIGN(PlanRef optimized2, rewriter2.Optimize(plan));
+  EXPECT_EQ(optimized2->op, PlanOp::kIndexedSubSelect);
+  Executor exec2(&restored);
+  ASSERT_OK_AND_ASSIGN(Datum after, exec2.Execute(optimized2));
+  EXPECT_TRUE(after.Equals(naive));
+}
+
+TEST_F(EndToEndTest, Figure4ThroughThePlannedPath) {
+  // The split query as a plan, with the exact Figure 4 pieces coming back.
+  SplitFn tuple3 = [](const Tree& x, const Tree& y,
+                      const std::vector<Tree>& z) -> Result<Datum> {
+    std::vector<Datum> zs;
+    for (const Tree& t : z) zs.push_back(Datum::Of(t));
+    return Datum::Tuple(
+        {Datum::Of(x), Datum::Of(y), Datum::Tuple(std::move(zs))});
+  };
+  Executor exec(&db_);
+  ASSERT_OK_AND_ASSIGN(
+      Datum result,
+      exec.Execute(Q::TreeSplit(Q::ScanTree("figure3"),
+                                TP("Brazil(!?* USA !?*)"), tuple3)));
+  ASSERT_EQ(result.size(), 1u);
+  LabelFn name = AttrLabelFn(&db_.store(), "name");
+  EXPECT_EQ(PrintTree(result.at(0).at(0).tree(), name), "Ted(Ann @a Ray)");
+  EXPECT_EQ(PrintTree(result.at(0).at(1).tree(), name),
+            "Gen(@a1 John(@a2))");
+}
+
+TEST_F(EndToEndTest, MelodySearchThroughListAnchorRewrite) {
+  PatternParserOptions opts;
+  PredicateEnv notes;
+  notes.Bind("A", Predicate::AttrEquals("pitch", Value::String("A")));
+  notes.Bind("F", Predicate::AttrEquals("pitch", Value::String("F")));
+  opts.env = &notes;
+  ASSERT_OK_AND_ASSIGN(AnchoredListPattern melody,
+                       ParseListPattern("A ? ? F", opts));
+
+  PlanRef plan = Q::ListSubSelect(Q::ScanList("song"), melody);
+  Rewriter rewriter(&db_);
+  rewriter.AddDefaultRules();
+  ASSERT_OK_AND_ASSIGN(PlanRef optimized, rewriter.Optimize(plan));
+  EXPECT_EQ(optimized->op, PlanOp::kIndexedListSubSelect);
+
+  Executor e1(&db_), e2(&db_);
+  ASSERT_OK_AND_ASSIGN(Datum naive, e1.Execute(plan));
+  ASSERT_OK_AND_ASSIGN(Datum fast, e2.Execute(optimized));
+  EXPECT_TRUE(naive.Equals(fast));
+}
+
+TEST_F(EndToEndTest, StructuralUpdateThenRequery) {
+  // Graft a new Brazilian branch onto Figure 3, re-register, and the match
+  // count rises accordingly.
+  ASSERT_OK_AND_ASSIGN(const Tree* figure3, db_.GetTree("figure3"));
+  ASSERT_OK_AND_ASSIGN(
+      Oid nova, db_.store().Create("Person",
+                                   {{"name", Value::String("Nova")},
+                                    {"citizen", Value::String("Brazil")}}));
+  ASSERT_OK_AND_ASSIGN(
+      Oid liam, db_.store().Create("Person",
+                                   {{"name", Value::String("Liam")},
+                                    {"citizen", Value::String("USA")}}));
+  Tree branch = Tree::Node(NodePayload::Cell(nova),
+                           {Tree::Leaf(NodePayload::Cell(liam))});
+  ASSERT_OK_AND_ASSIGN(Tree updated,
+                       InsertSubtree(*figure3, {}, 0, branch));
+  ASSERT_OK(db_.RegisterTree("figure3v2", std::move(updated)));
+
+  auto pattern = TP("Brazil(!?* USA !?*)");
+  Executor exec(&db_);
+  ASSERT_OK_AND_ASSIGN(
+      Datum before,
+      exec.Execute(Q::TreeSubSelect(Q::ScanTree("figure3"), pattern)));
+  ASSERT_OK_AND_ASSIGN(
+      Datum after,
+      exec.Execute(Q::TreeSubSelect(Q::ScanTree("figure3v2"), pattern)));
+  EXPECT_EQ(before.size(), 1u);
+  EXPECT_EQ(after.size(), 2u);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,210 @@
+// End-to-end reproductions of every worked example in the paper:
+//   Figure 1 — concatenation points in tree patterns (§3.3)
+//   Figure 2 — iterative self-concatenation (§3.3)
+//   Figures 3/4 — the family tree and the split example (§4)
+//   §4 "Why Split?" — the index-assisted sub_select rewrite
+//   Figure 5 / §5 — rewriting a query parse tree with the algebra itself
+//   §5 — variable-arity printf query
+//   §6 — the music database queries
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+class PaperExamplesTest : public testing::AquaTestBase {};
+
+TEST_F(PaperExamplesTest, Figure1ConcatenationPoints) {
+  // a(b(d(f g) e) c) written as [[a(α1 α2) ∘α1 [[b(d(f g) e)]]]] ∘α2 c.
+  Tree direct = T("a(b(d(f g) e) c)");
+  Tree composed =
+      ConcatAt(ConcatAt(T("a(@1 @2)"), "1", T("b(d(f g) e)")), "2", T("c"));
+  EXPECT_TRUE(direct.StructurallyEquals(composed));
+
+  // The equivalent *pattern* matches exactly the composed tree, at its root.
+  TreeMatcher matcher(store_, direct);
+  ASSERT_OK_AND_ASSIGN(
+      auto matches,
+      matcher.FindAll(TP("[[a(@1 @2) .@1 [[b(d(f g) e)]]]] .@2 c")));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].root, direct.root());
+}
+
+TEST_F(PaperExamplesTest, Figure2SelfConcatenation) {
+  // Four elements of the language of [[a(b c α)]]*α.
+  Tree body = T("a(b c @x)");
+  std::vector<std::string> elements;
+  for (size_t k = 0; k < 4; ++k) {
+    elements.push_back(Str(SelfConcatElement(body, "x", k)));
+  }
+  EXPECT_EQ(elements[0], "nil");
+  EXPECT_EQ(elements[1], "a(b c)");
+  EXPECT_EQ(elements[2], "a(b c a(b c))");
+  EXPECT_EQ(elements[3], "a(b c a(b c a(b c)))");
+
+  // Every non-nil element matches the closure pattern at its root.
+  auto closure = TP("^[[a(b c @x)]]*@x");
+  for (size_t k = 1; k < 4; ++k) {
+    Tree element = SelfConcatElement(body, "x", k);
+    TreeMatcher matcher(store_, element);
+    ASSERT_OK_AND_ASSIGN(auto matches, matcher.FindAll(closure));
+    EXPECT_EQ(matches.size(), 1u) << "k=" << k;
+  }
+}
+
+TEST_F(PaperExamplesTest, Figure4FamilyTreeSplit) {
+  // split(Brazil(!?* USA !?*), λ(x,y,z)⟨x,y,z⟩)(T).
+  ASSERT_OK_AND_ASSIGN(Tree family, MakePaperFamilyTree(store_));
+  env_.Bind("Brazil",
+            Predicate::AttrEquals("citizen", Value::String("Brazil")));
+  env_.Bind("USA", Predicate::AttrEquals("citizen", Value::String("USA")));
+
+  ASSERT_OK_AND_ASSIGN(
+      Datum result,
+      TreeSplit(store_, family, TP("Brazil(!?* USA !?*)"),
+                [](const Tree& x, const Tree& y,
+                   const std::vector<Tree>& z) -> Result<Datum> {
+                  std::vector<Datum> zs;
+                  for (const Tree& t : z) zs.push_back(Datum::Of(t));
+                  return Datum::Tuple({Datum::Of(x), Datum::Of(y),
+                                       Datum::Tuple(std::move(zs))});
+                }));
+  ASSERT_EQ(result.size(), 1u);  // "a set containing one tuple"
+  LabelFn name = AttrLabelFn(&store_, "name");
+  const Datum& tuple = result.at(0);
+  EXPECT_EQ(PrintTree(tuple.at(0).tree(), name), "Ted(Ann @a Ray)");
+  EXPECT_EQ(PrintTree(tuple.at(1).tree(), name), "Gen(@a1 John(@a2))");
+  EXPECT_EQ(PrintTree(tuple.at(2).at(0).tree(), name), "Joe(Bob)");
+  EXPECT_EQ(PrintTree(tuple.at(2).at(1).tree(), name), "Mary");
+}
+
+TEST_F(PaperExamplesTest, WhySplitRewriteEquivalence) {
+  // §4: sub_select(d(e(h i) j))(T) ==
+  //     apply(sub_select(⊤d(e(h i) j)))(split(d, λ(x,y,z) y ∘_{αi} z)(T))
+  Tree t = T("r(d(e(h i) j) q(d(e(h i) j)) d(x))");
+  auto tp = TP("d(e(h i) j)");
+  ASSERT_OK_AND_ASSIGN(Datum naive, TreeSubSelect(store_, t, tp));
+  ASSERT_OK_AND_ASSIGN(AttributeIndex index,
+                       AttributeIndex::BuildForTree(store_, t, "name"));
+  ASSERT_OK_AND_ASSIGN(Datum rewrite,
+                       TreeSubSelectSplitRewrite(store_, t, tp, index));
+  ASSERT_OK_AND_ASSIGN(Datum fused,
+                       TreeSubSelectIndexed(store_, t, tp, index));
+  EXPECT_TRUE(naive.Equals(rewrite));
+  EXPECT_TRUE(naive.Equals(fused));
+  EXPECT_EQ(naive.size(), 1u);  // the two occurrences are identical subgraphs
+}
+
+TEST_F(PaperExamplesTest, Figure5ParseTreeRewrite) {
+  // §5: find select(R, and(p1,p2)) with its context via
+  // split(select(!? and), f) and rebuild select(select(R,p1),p2).
+  env_.Bind("select", Predicate::AttrEquals("name", Value::String("select")));
+  env_.Bind("and", Predicate::AttrEquals("name", Value::String("and")));
+
+  Tree parse_tree = T("join(select(scanR and(p1 p2)) scanS)");
+
+  auto rewrite_fn = [this](const Tree& x, const Tree& y,
+                           const std::vector<Tree>& z) -> Result<Datum> {
+    // y ≗ A(B C(D E)): A = select, B = @a1 (R), C = and, D/E = @a2/@a3.
+    if (z.size() != 3) {
+      return Status::InvalidArgument("expected exactly and(p1 p2)");
+    }
+    // tree(A(A(B D) E)): a new select-over-select piece.
+    AQUA_ASSIGN_OR_RETURN(Oid outer_sel, atom_("select"));
+    Tree piece = Tree::Node(
+        NodePayload::Cell(outer_sel),
+        {Tree::Node(NodePayload::Cell(outer_sel),
+                    {Tree::Point("a1"), Tree::Point("a2")}),
+         Tree::Point("a3")});
+    (void)y;
+    // x ∘α piece ∘α1 z1 ∘α2 z2 ∘α3 z3.
+    Tree out = ConcatAt(x, "a", piece);
+    for (size_t i = 0; i < z.size(); ++i) {
+      out = ConcatAt(out, "a" + std::to_string(i + 1), z[i]);
+    }
+    return Datum::Of(std::move(out));
+  };
+
+  ASSERT_OK_AND_ASSIGN(
+      Datum rewritten,
+      TreeSplit(store_, parse_tree, TP("select(!? and)"), rewrite_fn));
+  ASSERT_EQ(rewritten.size(), 1u);
+  EXPECT_EQ(Str(rewritten.at(0).tree()),
+            "join(select(select(scanR p1) p2) scanS)");
+}
+
+TEST_F(PaperExamplesTest, VariableArityPrintfQuery) {
+  // §5: sub_select(printf(?* LargeData ?* LargeData ?*))(T).
+  Tree t = T("block(printf(fmt LargeData i LargeData) "
+             "printf(fmt LargeData) call(printf(LargeData x LargeData)))");
+  ASSERT_OK_AND_ASSIGN(
+      Datum result,
+      TreeSubSelect(store_, t,
+                    TP("printf(?* LargeData ?* LargeData ?*)")));
+  // Two printf calls reference LargeData at least twice.
+  EXPECT_EQ(result.size(), 2u);
+}
+
+TEST_F(PaperExamplesTest, MusicMelodyQueries) {
+  // §6: sub_select([A??F])(L) and all_anc([A??F], λ(x,y)⟨x,y⟩)(L).
+  ASSERT_OK(RegisterNoteType(store_));
+  List song;
+  auto add = [&](const std::string& pitch) {
+    auto note = store_.Create("Note", {{"pitch", Value::String(pitch)},
+                                       {"duration", Value::Int(4)}});
+    ASSERT_OK(note);
+    song.Append(NodePayload::Cell(*note));
+  };
+  for (const char* p : {"C", "A", "B", "B", "F", "G"}) add(p);
+
+  PredicateEnv env;
+  env.Bind("A", Predicate::AttrEquals("pitch", Value::String("A")));
+  env.Bind("F", Predicate::AttrEquals("pitch", Value::String("F")));
+  PatternParserOptions popts;
+  popts.env = &env;
+  ASSERT_OK_AND_ASSIGN(AnchoredListPattern melody,
+                       ParseListPattern("A ? ? F", popts));
+
+  ASSERT_OK_AND_ASSIGN(Datum phrases, ListSubSelect(store_, song, melody));
+  LabelFn pitch = AttrLabelFn(&store_, "pitch");
+  ASSERT_EQ(phrases.size(), 1u);
+  EXPECT_EQ(PrintList(phrases.at(0).list(), pitch), "[A B B F]");
+
+  ASSERT_OK_AND_ASSIGN(
+      Datum with_context,
+      ListAllAnc(store_, song, melody,
+                 [](const List& x, const List& y) -> Result<Datum> {
+                   return Datum::Tuple({Datum::Of(x), Datum::Of(y)});
+                 }));
+  ASSERT_EQ(with_context.size(), 1u);
+  EXPECT_EQ(PrintList(with_context.at(0).at(0).list(), pitch), "[C @a]");
+  EXPECT_EQ(PrintList(with_context.at(0).at(1).list(), pitch), "[A B B F]");
+}
+
+TEST_F(PaperExamplesTest, SelectOnFamilyTreeIsOrderStable) {
+  // §4 select: all Brazilian descendants, ancestry preserved.
+  ASSERT_OK_AND_ASSIGN(Tree family, MakePaperFamilyTree(store_));
+  auto brazil = Predicate::AttrEquals("citizen", Value::String("Brazil"));
+  ASSERT_OK_AND_ASSIGN(auto forest, TreeSelect(store_, family, brazil));
+  LabelFn name = AttrLabelFn(&store_, "name");
+  ASSERT_EQ(forest.size(), 1u);
+  EXPECT_EQ(PrintTree(forest[0], name), "Gen(Joe(Bob))");
+}
+
+TEST_F(PaperExamplesTest, ApplyOnFamilyTree) {
+  // §4 apply: an isomorphic tree of (say) anonymized persons.
+  ASSERT_OK_AND_ASSIGN(Tree family, MakePaperFamilyTree(store_));
+  auto anonymize = [](ObjectStore& store, Oid oid) -> Result<Oid> {
+    AQUA_ASSIGN_OR_RETURN(Value citizen, store.GetAttr(oid, "citizen"));
+    return store.Create("Person", {{"name", Value::String("anon")},
+                                   {"citizen", citizen}});
+  };
+  ASSERT_OK_AND_ASSIGN(Tree anon, TreeApply(store_, family, anonymize));
+  EXPECT_EQ(anon.size(), family.size());
+  LabelFn citizen = AttrLabelFn(&store_, "citizen");
+  EXPECT_EQ(PrintTree(anon, citizen), PrintTree(family, citizen));
+}
+
+}  // namespace
+}  // namespace aqua

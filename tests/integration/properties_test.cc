@@ -1,0 +1,349 @@
+// Property-based tests over randomized workloads:
+//  * split pieces always reassemble to the original tree/list;
+//  * derived operators agree with their split-based definitions;
+//  * the NFA/DFA boolean engines agree with the backtracking matcher;
+//  * select is order-stable (matched nodes keep their preorder order);
+//  * list operators agree with tree operators through the §6 mapping.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+/// A seeded generator of random list patterns over a tiny label alphabet —
+/// the fuzz driver for cross-engine agreement.
+ListPatternRef RandomListPattern(std::mt19937_64& rng, int depth) {
+  auto atom = [&]() -> ListPatternRef {
+    switch (rng() % 3) {
+      case 0:
+        return ListPattern::Any();
+      case 1:
+        return ListPattern::Pred(
+            Predicate::AttrEquals("name", Value::String("a")));
+      default:
+        return ListPattern::Pred(
+            Predicate::AttrEquals("name", Value::String("b")));
+    }
+  };
+  if (depth <= 0) return atom();
+  switch (rng() % 6) {
+    case 0: {
+      std::vector<ListPatternRef> parts;
+      size_t n = 2 + rng() % 2;
+      for (size_t i = 0; i < n; ++i) {
+        parts.push_back(RandomListPattern(rng, depth - 1));
+      }
+      return ListPattern::Concat(std::move(parts));
+    }
+    case 1:
+      return ListPattern::Alt({RandomListPattern(rng, depth - 1),
+                               RandomListPattern(rng, depth - 1)});
+    case 2:
+      return ListPattern::Star(RandomListPattern(rng, depth - 1));
+    case 3:
+      return ListPattern::Plus(RandomListPattern(rng, depth - 1));
+    case 4:
+      return ListPattern::Prune(RandomListPattern(rng, depth - 1));
+    default:
+      return atom();
+  }
+}
+
+/// A seeded generator of random tree patterns (leaves, nodes with child
+/// sequences, disjunctions, prunes).
+TreePatternRef RandomTreePattern(std::mt19937_64& rng, int depth) {
+  auto pred = [&]() -> PredicateRef {
+    switch (rng() % 3) {
+      case 0:
+        return nullptr;  // ?
+      case 1:
+        return Predicate::AttrEquals("name", Value::String("a"));
+      default:
+        return Predicate::AttrEquals("name", Value::String("b"));
+    }
+  };
+  if (depth <= 0) return TreePattern::Leaf(pred());
+  switch (rng() % 4) {
+    case 0: {
+      // A node with a small child sequence padded by ?*.
+      std::vector<ListPatternRef> seq;
+      seq.push_back(ListPattern::AnyStar());
+      seq.push_back(
+          ListPattern::TreeAtom(RandomTreePattern(rng, depth - 1)));
+      if (rng() % 2 == 0) {
+        seq.push_back(
+            ListPattern::TreeAtom(RandomTreePattern(rng, depth - 1)));
+      }
+      seq.push_back(ListPattern::AnyStar());
+      return TreePattern::Node(pred(), ListPattern::Concat(std::move(seq)));
+    }
+    case 1:
+      return TreePattern::Alt({RandomTreePattern(rng, depth - 1),
+                               RandomTreePattern(rng, depth - 1)});
+    case 2:
+      return TreePattern::Prune(RandomTreePattern(rng, depth - 1));
+    default:
+      return TreePattern::Leaf(pred());
+  }
+}
+
+class PropertiesTest : public testing::AquaTestBase,
+                       public ::testing::WithParamInterface<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertiesTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST_P(PropertiesTest, SplitReassemblesRandomTrees) {
+  RandomTreeSpec spec;
+  spec.num_nodes = 120;
+  spec.seed = GetParam();
+  ASSERT_OK_AND_ASSIGN(Tree t, MakeRandomTree(store_, spec));
+
+  const char* kPatterns[] = {"a", "b(?*)", "a(!?* b ?*)", "c(?* !? ?*)",
+                             "a(b ?*) | b(a ?*)"};
+  for (const char* pat : kPatterns) {
+    TreeMatchOptions mopts;
+    mopts.max_matches = 20;
+    TreeMatcher matcher(store_, t, mopts);
+    ASSERT_OK_AND_ASSIGN(auto matches, matcher.FindAll(TP(pat)));
+    for (const TreeMatch& m : matches) {
+      ASSERT_OK_AND_ASSIGN(SplitPieces pieces,
+                           MakeSplitPieces(t, m, SplitOptions{}));
+      EXPECT_OK(pieces.x.Validate());
+      EXPECT_OK(pieces.y.Validate());
+      Tree reassembled = ReassembleSplit(pieces);
+      ASSERT_TRUE(reassembled.StructurallyEquals(t))
+          << pat << " seed=" << GetParam();
+    }
+  }
+}
+
+TEST_P(PropertiesTest, ListSplitReassembles) {
+  ASSERT_OK_AND_ASSIGN(
+      List l, MakeRandomList(store_, 60, {"a", "b", "c"}, GetParam()));
+  const char* kPatterns[] = {"a", "a ? b", "a !?+ c", "[[a | b]]+", "^?* c"};
+  for (const char* pat : kPatterns) {
+    ListMatcher matcher(store_, l);
+    ListMatchOptions mopts;
+    mopts.max_matches = 30;
+    ASSERT_OK_AND_ASSIGN(auto matches, matcher.FindAll(LP(pat), mopts));
+    for (const ListMatch& m : matches) {
+      ListSplitPieces pieces = MakeListSplitPieces(l, m);
+      List reassembled = ReassembleListSplit(pieces);
+      ASSERT_TRUE(reassembled == l) << pat << " seed=" << GetParam();
+    }
+  }
+}
+
+TEST_P(PropertiesTest, DerivedOperatorsAgreeWithSplitForms) {
+  RandomTreeSpec spec;
+  spec.num_nodes = 80;
+  spec.seed = GetParam();
+  ASSERT_OK_AND_ASSIGN(Tree t, MakeRandomTree(store_, spec));
+  for (const char* pat : {"a(?* b ?*)", "b", "c(!?*)"}) {
+    auto tp = TP(pat);
+    ASSERT_OK_AND_ASSIGN(Datum direct, TreeSubSelect(store_, t, tp));
+    ASSERT_OK_AND_ASSIGN(Datum derived, TreeSubSelectViaSplit(store_, t, tp));
+    EXPECT_TRUE(direct.Equals(derived)) << pat << " seed=" << GetParam();
+  }
+}
+
+TEST_P(PropertiesTest, IndexedSubSelectAgreesWithNaive) {
+  RandomTreeSpec spec;
+  spec.num_nodes = 150;
+  spec.seed = GetParam();
+  ASSERT_OK_AND_ASSIGN(Tree t, MakeRandomTree(store_, spec));
+  ASSERT_OK_AND_ASSIGN(AttributeIndex index,
+                       AttributeIndex::BuildForTree(store_, t, "name"));
+  for (const char* pat : {"a(?* b ?*)", "b(? ?)", "c"}) {
+    auto tp = TP(pat);
+    ASSERT_OK_AND_ASSIGN(Datum naive, TreeSubSelect(store_, t, tp));
+    ASSERT_OK_AND_ASSIGN(Datum indexed,
+                         TreeSubSelectIndexed(store_, t, tp, index));
+    EXPECT_TRUE(naive.Equals(indexed)) << pat << " seed=" << GetParam();
+  }
+}
+
+TEST_P(PropertiesTest, NfaAgreesWithBacktrackerOnRandomLists) {
+  ASSERT_OK_AND_ASSIGN(
+      List l, MakeRandomList(store_, 40, {"a", "b"}, GetParam()));
+  const char* kPatterns[] = {"a b",       "a* b a*", "[[a | b b]]+",
+                             "a ?* b ?*", "b+ a+",   "[[a b]]*"};
+  for (const char* pat : kPatterns) {
+    auto body = LP(pat).body;
+    ListMatcher matcher(store_, l);
+    ASSERT_OK_AND_ASSIGN(bool expected, matcher.MatchesWhole(body));
+    ASSERT_OK_AND_ASSIGN(Nfa nfa, Nfa::Compile(body));
+    EXPECT_EQ(nfa.MatchesWhole(store_, l), expected) << pat;
+    ASSERT_OK_AND_ASSIGN(LazyDfa dfa, LazyDfa::Make(&nfa));
+    EXPECT_EQ(dfa.MatchesWhole(store_, l), expected) << pat;
+  }
+}
+
+TEST_P(PropertiesTest, SelectIsOrderAndAncestryStable) {
+  RandomTreeSpec spec;
+  spec.num_nodes = 100;
+  spec.seed = GetParam();
+  ASSERT_OK_AND_ASSIGN(Tree t, MakeRandomTree(store_, spec));
+  auto pred = P("name == \"a\" || name == \"b\"");
+  ASSERT_OK_AND_ASSIGN(auto forest, TreeSelect(store_, t, pred));
+
+  // Flatten the forest's node names in preorder; they must equal the
+  // satisfying nodes of the input in input preorder (stability).
+  std::vector<std::string> result_names;
+  for (const Tree& piece : forest) {
+    EXPECT_OK(piece.Validate());
+    for (NodeId v : piece.Preorder()) {
+      result_names.push_back(label_(piece.payload(v).oid()));
+    }
+  }
+  std::vector<std::string> expected;
+  for (NodeId v : t.Preorder()) {
+    if (pred->Eval(store_, t.payload(v).oid())) {
+      expected.push_back(label_(t.payload(v).oid()));
+    }
+  }
+  // Preorder of contracted pieces preserves relative order of kept nodes.
+  EXPECT_EQ(result_names, expected);
+  // Every kept node satisfies the predicate.
+  for (const auto& name : result_names) {
+    EXPECT_TRUE(name == "a" || name == "b");
+  }
+}
+
+TEST_P(PropertiesTest, ListOpsAgreeWithTreeOpsThroughTheMapping) {
+  // §6: select/apply on a list equal select/apply on its list-like tree.
+  ASSERT_OK_AND_ASSIGN(
+      List l, MakeRandomList(store_, 30, {"a", "b", "c"}, GetParam()));
+  ASSERT_OK_AND_ASSIGN(Tree chain, ListToTree(l));
+  auto pred = P("name == \"a\"");
+
+  ASSERT_OK_AND_ASSIGN(List list_selected, ListSelect(store_, l, pred));
+  ASSERT_OK_AND_ASSIGN(auto tree_forest, TreeSelect(store_, chain, pred));
+  // The tree select of a chain yields one chain (or none) whose node
+  // sequence equals the filtered list.
+  List from_tree;
+  if (!tree_forest.empty()) {
+    ASSERT_EQ(tree_forest.size(), 1u);
+    ASSERT_OK_AND_ASSIGN(from_tree, TreeToList(tree_forest[0]));
+  }
+  EXPECT_TRUE(from_tree == list_selected)
+      << Str(from_tree) << " vs " << Str(list_selected);
+
+  auto mapper = [this](ObjectStore& store, Oid oid) -> Result<Oid> {
+    AQUA_ASSIGN_OR_RETURN(Value name, store.GetAttr(oid, "name"));
+    return store.Create("Item",
+                        {{"name", Value::String(name.string_value() + "x")},
+                         {"val", Value::Int(0)}});
+  };
+  ASSERT_OK_AND_ASSIGN(List list_mapped, ListApply(store_, l, mapper));
+  ASSERT_OK_AND_ASSIGN(Tree tree_mapped, TreeApply(store_, chain, mapper));
+  ASSERT_OK_AND_ASSIGN(List tree_mapped_list, TreeToList(tree_mapped));
+  // Oids differ (apply creates fresh objects) but names must align.
+  ASSERT_EQ(tree_mapped_list.size(), list_mapped.size());
+  EXPECT_EQ(Str(tree_mapped_list), Str(list_mapped));
+}
+
+TEST_P(PropertiesTest, FuzzedListPatternsAgreeAcrossEngines) {
+  std::mt19937_64 rng(GetParam() * 7919);
+  ASSERT_OK_AND_ASSIGN(List l,
+                       MakeRandomList(store_, 18, {"a", "b"}, GetParam()));
+  ListMatchOptions budgeted;
+  budgeted.max_matches = 1;
+  budgeted.max_steps = 100000;  // skip patterns whose backtracking explodes
+  size_t compared = 0;
+  for (int round = 0; round < 30; ++round) {
+    ListPatternRef body = RandomListPattern(rng, 3);
+    AnchoredListPattern anchored{body, true, true};
+    ListMatcher matcher(store_, l);
+    auto matches = matcher.FindAll(anchored, budgeted);
+    if (!matches.ok()) continue;  // budget blown: exponential shape
+    bool expected = !matches->empty();
+    ++compared;
+    ASSERT_OK_AND_ASSIGN(Nfa nfa, Nfa::Compile(body));
+    EXPECT_EQ(nfa.MatchesWhole(store_, l), expected)
+        << body->ToString() << " seed=" << GetParam();
+    ASSERT_OK_AND_ASSIGN(LazyDfa dfa, LazyDfa::Make(&nfa));
+    EXPECT_EQ(dfa.MatchesWhole(store_, l), expected) << body->ToString();
+    // Simplification preserves the language.
+    AnchoredListPattern simplified{SimplifyListPattern(body), true, true};
+    ListMatcher matcher2(store_, l);
+    auto simplified_matches = matcher2.FindAll(simplified, budgeted);
+    if (simplified_matches.ok()) {
+      EXPECT_EQ(!simplified_matches->empty(), expected)
+          << body->ToString() << " simplified to "
+          << simplified.body->ToString();
+    }
+  }
+  EXPECT_GT(compared, 5u);  // the budget must not skip everything
+}
+
+TEST_P(PropertiesTest, FuzzedTreePatternsSatisfyMatchInvariants) {
+  std::mt19937_64 rng(GetParam() * 104729);
+  RandomTreeSpec spec;
+  spec.num_nodes = 40;
+  spec.labels = {"a", "b"};
+  spec.seed = GetParam();
+  ASSERT_OK_AND_ASSIGN(Tree t, MakeRandomTree(store_, spec));
+  for (int round = 0; round < 15; ++round) {
+    TreePatternRef tp = RandomTreePattern(rng, 2);
+    TreeMatchOptions opts;
+    opts.max_matches = 25;
+    TreeMatcher matcher(store_, t, opts);
+    ASSERT_OK_AND_ASSIGN(auto matches, matcher.FindAll(tp));
+    for (const TreeMatch& m : matches) {
+      // Matched nodes and cuts are valid, disjoint node sets.
+      ASSERT_LT(m.root, t.size());
+      for (NodeId v : m.matched) ASSERT_LT(v, t.size());
+      for (const TreeCut& cut : m.cuts) {
+        ASSERT_LT(cut.node, t.size());
+        for (NodeId v : m.matched) {
+          EXPECT_NE(v, cut.node) << tp->ToString();
+        }
+      }
+      // Pieces reassemble to the original tree.
+      ASSERT_OK_AND_ASSIGN(SplitPieces pieces,
+                           MakeSplitPieces(t, m, SplitOptions{}));
+      ASSERT_TRUE(ReassembleSplit(pieces).StructurallyEquals(t))
+          << tp->ToString() << " seed=" << GetParam();
+    }
+    // Boolean and enumeration views agree on existence.
+    TreeMatcher bool_matcher(store_, t);
+    ASSERT_OK_AND_ASSIGN(bool anywhere, bool_matcher.MatchesAnywhere(tp));
+    EXPECT_EQ(anywhere, !matches.empty()) << tp->ToString();
+  }
+}
+
+TEST_P(PropertiesTest, MatchPiecesContainOnlyMatchedPayloads) {
+  RandomTreeSpec spec;
+  spec.num_nodes = 90;
+  spec.seed = GetParam();
+  ASSERT_OK_AND_ASSIGN(Tree t, MakeRandomTree(store_, spec));
+  TreeMatchOptions mopts;
+  mopts.max_matches = 10;
+  TreeMatcher matcher(store_, t, mopts);
+  ASSERT_OK_AND_ASSIGN(auto matches, matcher.FindAll(TP("a(?* b ?*)")));
+  for (const TreeMatch& m : matches) {
+    ASSERT_OK_AND_ASSIGN(Tree y, MakeMatchPiece(t, m, SplitOptions{}));
+    // y's root carries the same object as the match root.
+    EXPECT_EQ(y.payload(y.root()).oid(), t.payload(m.root).oid());
+    // The number of cells in y equals the number of matched nodes.
+    size_t cells = 0;
+    for (NodeId v : y.Preorder()) {
+      if (y.payload(v).is_cell()) ++cells;
+    }
+    EXPECT_EQ(cells, m.matched.size());
+    // Points in y correspond 1:1 to cuts, labelled a1..an in order.
+    auto labels = y.PointLabels();
+    ASSERT_EQ(labels.size(), m.cuts.size());
+    for (size_t i = 0; i < labels.size(); ++i) {
+      EXPECT_EQ(labels[i], "a" + std::to_string(i + 1));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,107 @@
+#include "object/object_store.h"
+
+#include <gtest/gtest.h>
+
+namespace aqua {
+namespace {
+
+class ObjectStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto id = store_.schema().RegisterType(
+        "Person", {{"name", ValueType::kString, true},
+                   {"age", ValueType::kInt, true},
+                   {"height", ValueType::kDouble, true}});
+    ASSERT_TRUE(id.ok());
+    person_ = *id;
+  }
+
+  ObjectStore store_;
+  TypeId person_ = kInvalidType;
+};
+
+TEST_F(ObjectStoreTest, CreateAndGetPositional) {
+  auto oid = store_.Create(
+      person_, {Value::String("Ann"), Value::Int(30), Value::Double(1.7)});
+  ASSERT_TRUE(oid.ok());
+  EXPECT_FALSE(oid->IsNull());
+
+  auto obj = store_.Get(*oid);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ((*obj)->attr_at(0).string_value(), "Ann");
+  EXPECT_EQ(store_.num_objects(), 1u);
+  EXPECT_TRUE(store_.Contains(*oid));
+}
+
+TEST_F(ObjectStoreTest, CreateByNameWithDefaults) {
+  auto oid = store_.Create("Person", {{"name", Value::String("Bo")}});
+  ASSERT_TRUE(oid.ok());
+  auto age = store_.GetAttr(*oid, "age");
+  ASSERT_TRUE(age.ok());
+  EXPECT_TRUE(age->is_null());
+}
+
+TEST_F(ObjectStoreTest, IntWidensToDouble) {
+  auto oid = store_.Create("Person", {{"height", Value::Int(2)}});
+  ASSERT_TRUE(oid.ok());
+  auto h = store_.GetAttr(*oid, "height");
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(h->is_double());
+  EXPECT_DOUBLE_EQ(h->double_value(), 2.0);
+}
+
+TEST_F(ObjectStoreTest, TypeMismatchRejected) {
+  auto oid = store_.Create("Person", {{"age", Value::String("old")}});
+  EXPECT_TRUE(oid.status().IsTypeError());
+}
+
+TEST_F(ObjectStoreTest, WrongArityRejected) {
+  auto oid = store_.Create(person_, {Value::String("x")});
+  EXPECT_TRUE(oid.status().IsInvalidArgument());
+}
+
+TEST_F(ObjectStoreTest, UnknownAttrRejected) {
+  auto oid = store_.Create("Person", {{"nope", Value::Int(1)}});
+  EXPECT_TRUE(oid.status().IsNotFound());
+}
+
+TEST_F(ObjectStoreTest, SetAttr) {
+  auto oid = store_.Create("Person", {{"name", Value::String("Cy")}});
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(store_.SetAttr(*oid, "age", Value::Int(9)).ok());
+  auto age = store_.GetAttr(*oid, "age");
+  ASSERT_TRUE(age.ok());
+  EXPECT_EQ(age->int_value(), 9);
+  EXPECT_TRUE(
+      store_.SetAttr(*oid, "age", Value::String("x")).IsTypeError());
+}
+
+TEST_F(ObjectStoreTest, GetInvalidOid) {
+  EXPECT_TRUE(store_.Get(Oid::Null()).status().IsNotFound());
+  EXPECT_TRUE(store_.Get(Oid(999)).status().IsNotFound());
+  EXPECT_FALSE(store_.Contains(Oid(999)));
+}
+
+TEST_F(ObjectStoreTest, ExtentsTrackCreationOrder) {
+  auto a = store_.Create("Person", {{"name", Value::String("A")}});
+  auto b = store_.Create("Person", {{"name", Value::String("B")}});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto extent = store_.Extent("Person");
+  ASSERT_TRUE(extent.ok());
+  ASSERT_EQ((*extent)->size(), 2u);
+  EXPECT_EQ((**extent)[0], *a);
+  EXPECT_EQ((**extent)[1], *b);
+}
+
+TEST_F(ObjectStoreTest, EmptyExtentForFreshType) {
+  auto id = store_.schema().RegisterType("Empty", {});
+  ASSERT_TRUE(id.ok());
+  auto extent = store_.Extent(*id);
+  ASSERT_TRUE(extent.ok());
+  EXPECT_TRUE((*extent)->empty());
+  EXPECT_TRUE(store_.Extent("Nope").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,107 @@
+#include "odmg/array.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+class OdmgArrayTest : public testing::AquaTestBase {
+ protected:
+  void SetUp() override {
+    AquaTestBase::SetUp();
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_OK_AND_ASSIGN(
+          Oid oid,
+          store_.Create("Item", {{"name", Value::String("e" +
+                                                        std::to_string(i))},
+                                 {"val", Value::Int(i)}}));
+      oids_.push_back(oid);
+    }
+  }
+
+  std::vector<Oid> oids_;
+};
+
+TEST_F(OdmgArrayTest, ConstructionAndAccess) {
+  OdmgArray arr = OdmgArray::Of({oids_[0], oids_[1], oids_[2]});
+  EXPECT_EQ(arr.cardinality(), 3u);
+  EXPECT_FALSE(arr.is_empty());
+  ASSERT_OK_AND_ASSIGN(Oid mid, arr.RetrieveAt(1));
+  EXPECT_EQ(mid, oids_[1]);
+  EXPECT_TRUE(arr.RetrieveAt(3).status().IsOutOfRange());
+  EXPECT_TRUE(OdmgArray().is_empty());
+}
+
+TEST_F(OdmgArrayTest, ReplaceInsertRemove) {
+  OdmgArray arr = OdmgArray::Of({oids_[0], oids_[1]});
+  ASSERT_OK(arr.ReplaceAt(0, oids_[4]));
+  ASSERT_OK_AND_ASSIGN(Oid head, arr.RetrieveAt(0));
+  EXPECT_EQ(head, oids_[4]);
+
+  ASSERT_OK(arr.InsertAt(1, oids_[2]));
+  EXPECT_EQ(arr.cardinality(), 3u);
+  ASSERT_OK_AND_ASSIGN(Oid inserted, arr.RetrieveAt(1));
+  EXPECT_EQ(inserted, oids_[2]);
+
+  ASSERT_OK(arr.RemoveAt(0));
+  EXPECT_EQ(arr.cardinality(), 2u);
+  ASSERT_OK_AND_ASSIGN(Oid new_head, arr.RetrieveAt(0));
+  EXPECT_EQ(new_head, oids_[2]);
+
+  EXPECT_TRUE(arr.ReplaceAt(9, oids_[0]).IsOutOfRange());
+  EXPECT_TRUE(arr.RemoveAt(9).IsOutOfRange());
+}
+
+TEST_F(OdmgArrayTest, AppendAndFind) {
+  OdmgArray arr;
+  arr.Append(oids_[0]);
+  arr.Append(oids_[1]);
+  arr.Append(oids_[0]);
+  ASSERT_OK_AND_ASSIGN(size_t first, arr.IndexOf(oids_[0]));
+  EXPECT_EQ(first, 0u);
+  ASSERT_OK_AND_ASSIGN(size_t second, arr.IndexOf(oids_[0], 1));
+  EXPECT_EQ(second, 2u);
+  EXPECT_TRUE(arr.IndexOf(oids_[3]).status().IsNotFound());
+  EXPECT_TRUE(arr.Contains(oids_[1]));
+  EXPECT_FALSE(arr.Contains(oids_[4]));
+}
+
+TEST_F(OdmgArrayTest, ConcatMatchesAquaListConcat) {
+  OdmgArray a = OdmgArray::Of({oids_[0], oids_[1]});
+  OdmgArray b = OdmgArray::Of({oids_[2]});
+  OdmgArray cat = a.Concat(b);
+  EXPECT_EQ(cat.cardinality(), 3u);
+  EXPECT_TRUE(cat.aqua_list() == Concat(a.aqua_list(), b.aqua_list()));
+}
+
+TEST_F(OdmgArrayTest, SelectIsStable) {
+  OdmgArray arr = OdmgArray::Of(oids_);
+  ASSERT_OK_AND_ASSIGN(OdmgArray even,
+                       arr.Select(store_, P("val == 0 || val == 2 || "
+                                            "val == 4")));
+  ASSERT_EQ(even.cardinality(), 3u);
+  ASSERT_OK_AND_ASSIGN(Oid e0, even.RetrieveAt(0));
+  ASSERT_OK_AND_ASSIGN(Oid e2, even.RetrieveAt(2));
+  EXPECT_EQ(e0, oids_[0]);
+  EXPECT_EQ(e2, oids_[4]);
+}
+
+TEST_F(OdmgArrayTest, SubSelectBringsPatternPredicates) {
+  // The §8 upgrade: a regular-expression query over an ODMG array.
+  OdmgArray arr = OdmgArray::Of(oids_);
+  ASSERT_OK_AND_ASSIGN(Datum runs,
+                       arr.SubSelect(store_, LP("{val >= 1} {val >= 1}")));
+  // Adjacent pairs with val >= 1: (e1,e2), (e2,e3), (e3,e4).
+  EXPECT_EQ(runs.size(), 3u);
+}
+
+TEST_F(OdmgArrayTest, RetrieveAtPointIsTypeError) {
+  List with_point = L("[a @x b]");
+  OdmgArray arr{with_point};
+  EXPECT_TRUE(arr.RetrieveAt(1).status().IsTypeError());
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,77 @@
+#include "pattern/dfa.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+class DfaTest : public testing::AquaTestBase {};
+
+TEST_F(DfaTest, AgreesWithNfaOnWholeMatch) {
+  const char* kPatterns[] = {"a b c", "a ?* c", "[[a | b]]+", "a* b* c*",
+                             "a @x b"};
+  const char* kLists[] = {"[a b c]", "[a c]",  "[b b b]", "[a @x b]",
+                          "[a b]",   "[c]",    "[]"};
+  for (const char* pat : kPatterns) {
+    ASSERT_OK_AND_ASSIGN(Nfa nfa, Nfa::Compile(LP(pat).body));
+    ASSERT_OK_AND_ASSIGN(LazyDfa dfa, LazyDfa::Make(&nfa));
+    for (const char* lst : kLists) {
+      List l = L(lst);
+      EXPECT_EQ(dfa.MatchesWhole(store_, l), nfa.MatchesWhole(store_, l))
+          << pat << " over " << lst;
+    }
+  }
+}
+
+TEST_F(DfaTest, AgreesWithNfaOnExistsSearchMode) {
+  const char* kPatterns[] = {"a b", "a ?* c", "b+"};
+  const char* kLists[] = {"[x a b y]", "[a x c]", "[x y z]", "[b]", "[]"};
+  for (const char* pat : kPatterns) {
+    ASSERT_OK_AND_ASSIGN(Nfa nfa, Nfa::CompileSearch(LP(pat).body));
+    ASSERT_OK_AND_ASSIGN(LazyDfa dfa, LazyDfa::Make(&nfa));
+    for (const char* lst : kLists) {
+      List l = L(lst);
+      EXPECT_EQ(dfa.ExistsMatch(store_, l), nfa.ExistsMatch(store_, l))
+          << pat << " over " << lst;
+    }
+  }
+}
+
+TEST_F(DfaTest, AgreesWithNfaOnExistsRestartMode) {
+  ASSERT_OK_AND_ASSIGN(Nfa nfa, Nfa::Compile(LP("a b").body));
+  ASSERT_OK_AND_ASSIGN(LazyDfa dfa, LazyDfa::Make(&nfa));
+  for (const char* lst : {"[x a b y]", "[a x b]", "[a b]", "[]"}) {
+    List l = L(lst);
+    EXPECT_EQ(dfa.ExistsMatch(store_, l), nfa.ExistsMatch(store_, l)) << lst;
+  }
+}
+
+TEST_F(DfaTest, TransitionsAreCachedAcrossCalls) {
+  ASSERT_OK_AND_ASSIGN(Nfa nfa, Nfa::CompileSearch(LP("a ? f").body));
+  ASSERT_OK_AND_ASSIGN(LazyDfa dfa, LazyDfa::Make(&nfa));
+  List l = L("[a b f a c f]");
+  ASSERT_TRUE(dfa.ExistsMatch(store_, l));
+  size_t after_first = dfa.num_transitions();
+  EXPECT_GT(after_first, 0u);
+  // The same input signature set re-uses cached transitions.
+  ASSERT_TRUE(dfa.ExistsMatch(store_, l));
+  EXPECT_EQ(dfa.num_transitions(), after_first);
+}
+
+TEST_F(DfaTest, RejectsNullAndTooManyPredicates) {
+  EXPECT_TRUE(LazyDfa::Make(nullptr).status().IsInvalidArgument());
+
+  // 59 distinct predicates exceed the 58-bit signature budget.
+  std::vector<ListPatternRef> parts;
+  for (int i = 0; i < 59; ++i) {
+    parts.push_back(ListPattern::Pred(
+        Predicate::AttrEquals("name", Value::String("x" + std::to_string(i)))));
+  }
+  ASSERT_OK_AND_ASSIGN(Nfa nfa, Nfa::Compile(ListPattern::Concat(parts)));
+  EXPECT_TRUE(LazyDfa::Make(&nfa).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,106 @@
+#include "pattern/nfa.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+class NfaTest : public testing::AquaTestBase {
+ protected:
+  bool Whole(const std::string& list_lit, const std::string& pattern) {
+    List l = L(list_lit);
+    auto nfa = Nfa::Compile(LP(pattern).body);
+    EXPECT_TRUE(nfa.ok()) << nfa.status().ToString();
+    return nfa.ok() && nfa->MatchesWhole(store_, l);
+  }
+
+  bool Exists(const std::string& list_lit, const std::string& pattern,
+              bool search_mode) {
+    List l = L(list_lit);
+    auto nfa = search_mode ? Nfa::CompileSearch(LP(pattern).body)
+                           : Nfa::Compile(LP(pattern).body);
+    EXPECT_TRUE(nfa.ok()) << nfa.status().ToString();
+    return nfa.ok() && nfa->ExistsMatch(store_, l);
+  }
+};
+
+TEST_F(NfaTest, WholeMatchBasics) {
+  EXPECT_TRUE(Whole("[a b c]", "a b c"));
+  EXPECT_FALSE(Whole("[a b c]", "a b"));
+  EXPECT_FALSE(Whole("[a b]", "a b c"));
+  EXPECT_TRUE(Whole("[]", "[[a]]*"));
+  EXPECT_FALSE(Whole("[]", "a"));
+}
+
+TEST_F(NfaTest, ClosuresAndAlternation) {
+  EXPECT_TRUE(Whole("[a a a]", "a+"));
+  EXPECT_TRUE(Whole("[a b a b]", "[[a b]]*"));
+  EXPECT_FALSE(Whole("[a b a]", "[[a b]]*"));
+  EXPECT_TRUE(Whole("[c]", "a | b | c"));
+  EXPECT_TRUE(Whole("[a x x b]", "a ?* b"));
+}
+
+TEST_F(NfaTest, PruneIsTransparentToTheLanguage) {
+  EXPECT_TRUE(Whole("[a b c]", "a !? c"));
+  EXPECT_TRUE(Whole("[a b c]", "!a ? c"));
+}
+
+TEST_F(NfaTest, PointsEpsilonOrConsume) {
+  EXPECT_TRUE(Whole("[a @x b]", "a @x b"));
+  EXPECT_TRUE(Whole("[a b]", "a @x b"));
+  EXPECT_FALSE(Whole("[a @y b]", "a @x b"));
+  // Predicates and ? do not see instance points.
+  EXPECT_FALSE(Whole("[a @x b]", "a ? b"));
+}
+
+TEST_F(NfaTest, ExistsMatchBothModes) {
+  for (bool search : {false, true}) {
+    EXPECT_TRUE(Exists("[x a b y]", "a b", search)) << search;
+    EXPECT_FALSE(Exists("[x a y]", "a b", search)) << search;
+    EXPECT_TRUE(Exists("[x]", "a*", search)) << search;  // empty match
+    EXPECT_TRUE(Exists("[a]", "a", search)) << search;
+  }
+}
+
+TEST_F(NfaTest, AgreesWithBacktrackingMatcher) {
+  // Cross-check the two list-matching engines over a pattern battery.
+  const char* kPatterns[] = {"a b",   "a ?* c", "[[a | b]]+", "a+ b*",
+                             "?* c ?*", "[[a b]]* c"};
+  const char* kLists[] = {"[a b c]", "[c b a]", "[a a b b c c]",
+                          "[a b a b c]", "[]", "[c]"};
+  for (const char* pat : kPatterns) {
+    auto anchored = LP(pat);
+    ASSERT_OK_AND_ASSIGN(Nfa nfa, Nfa::Compile(anchored.body));
+    for (const char* lst : kLists) {
+      List l = L(lst);
+      ListMatcher matcher(store_, l);
+      ASSERT_OK_AND_ASSIGN(bool expected, matcher.MatchesWhole(anchored.body));
+      EXPECT_EQ(nfa.MatchesWhole(store_, l), expected)
+          << pat << " over " << lst;
+    }
+  }
+}
+
+TEST_F(NfaTest, CountMatchEnds) {
+  ASSERT_OK_AND_ASSIGN(Nfa nfa, Nfa::CompileSearch(LP("a").body));
+  List l = L("[a b a a]");
+  EXPECT_EQ(nfa.CountMatchEnds(store_, l), 3u);
+}
+
+TEST_F(NfaTest, CompileRejectsTreeAtomsAndNull) {
+  auto bad = ListPattern::TreeAtom(TreePattern::AnyLeaf());
+  EXPECT_TRUE(Nfa::Compile(bad).status().IsInvalidArgument());
+  EXPECT_TRUE(Nfa::Compile(nullptr).status().IsInvalidArgument());
+}
+
+TEST_F(NfaTest, StateCountIsLinearInPattern) {
+  ASSERT_OK_AND_ASSIGN(Nfa small, Nfa::Compile(LP("a b").body));
+  ASSERT_OK_AND_ASSIGN(Nfa big, Nfa::Compile(LP("a b c d e f g h").body));
+  EXPECT_LT(small.num_states(), big.num_states());
+  EXPECT_LT(big.num_states(), 64u);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,167 @@
+#include "pattern/pattern_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+class PatternParserTest : public testing::AquaTestBase {};
+
+TEST_F(PatternParserTest, ListPatternBasics) {
+  auto lp = LP("a ? b");
+  EXPECT_FALSE(lp.anchor_begin);
+  EXPECT_FALSE(lp.anchor_end);
+  ASSERT_NE(lp.body, nullptr);
+  EXPECT_EQ(lp.body->kind(), ListPattern::Kind::kConcat);
+  ASSERT_EQ(lp.body->parts().size(), 3u);
+  EXPECT_EQ(lp.body->parts()[1]->kind(), ListPattern::Kind::kAny);
+}
+
+TEST_F(PatternParserTest, ListAnchors) {
+  auto lp = LP("^a b$");
+  EXPECT_TRUE(lp.anchor_begin);
+  EXPECT_TRUE(lp.anchor_end);
+}
+
+TEST_F(PatternParserTest, ListClosuresAndPrune) {
+  auto lp = LP("!?* a+ [[b | c]]*");
+  ASSERT_EQ(lp.body->parts().size(), 3u);
+  EXPECT_EQ(lp.body->parts()[0]->kind(), ListPattern::Kind::kPrune);
+  EXPECT_EQ(lp.body->parts()[0]->inner()->kind(), ListPattern::Kind::kStar);
+  EXPECT_EQ(lp.body->parts()[1]->kind(), ListPattern::Kind::kPlus);
+  EXPECT_EQ(lp.body->parts()[2]->kind(), ListPattern::Kind::kStar);
+  EXPECT_EQ(lp.body->parts()[2]->inner()->kind(), ListPattern::Kind::kAlt);
+}
+
+TEST_F(PatternParserTest, ListPoints) {
+  auto lp = LP("a @x1 b");
+  EXPECT_EQ(lp.body->parts()[1]->kind(), ListPattern::Kind::kPoint);
+  EXPECT_EQ(lp.body->parts()[1]->label(), "x1");
+}
+
+TEST_F(PatternParserTest, BracedPredicatesInListPatterns) {
+  auto lp = LP("{pitch == \"A\" && duration > 2}");
+  ASSERT_EQ(lp.body->kind(), ListPattern::Kind::kPred);
+  EXPECT_EQ(lp.body->pred()->ToString(),
+            "(pitch == \"A\" && duration > 2)");
+}
+
+TEST_F(PatternParserTest, NamedPredicatesResolveThroughEnv) {
+  env_.Bind("Old", Predicate::Compare("age", CmpOp::kGt, Value::Int(60)));
+  auto lp = LP("Old");
+  ASSERT_EQ(lp.body->kind(), ListPattern::Kind::kPred);
+  EXPECT_EQ(lp.body->pred()->ToString(), "age > 60");
+}
+
+TEST_F(PatternParserTest, UnboundIdentUsesDefaultAttr) {
+  auto lp = LP("xyz");
+  ASSERT_EQ(lp.body->kind(), ListPattern::Kind::kPred);
+  EXPECT_EQ(lp.body->pred()->ToString(), "name == \"xyz\"");
+}
+
+TEST_F(PatternParserTest, EmptyDefaultAttrMakesUnboundAnError) {
+  PatternParserOptions opts;
+  opts.default_attr = "";
+  EXPECT_TRUE(ParseListPattern("xyz", opts).status().IsParseError());
+}
+
+TEST_F(PatternParserTest, TreePatternShapes) {
+  EXPECT_EQ(TP("a")->kind(), TreePattern::Kind::kLeaf);
+  EXPECT_EQ(TP("?")->kind(), TreePattern::Kind::kLeaf);
+  EXPECT_TRUE(TP("?")->is_any());
+  EXPECT_EQ(TP("a(b c)")->kind(), TreePattern::Kind::kNode);
+  EXPECT_EQ(TP("@x")->kind(), TreePattern::Kind::kPoint);
+  EXPECT_EQ(TP("a | b")->kind(), TreePattern::Kind::kAlt);
+  EXPECT_EQ(TP("^a")->kind(), TreePattern::Kind::kRootAnchor);
+  EXPECT_EQ(TP("a$")->kind(), TreePattern::Kind::kLeafAnchor);
+  EXPECT_EQ(TP("!a")->kind(), TreePattern::Kind::kPrune);
+  EXPECT_EQ(TP("a .@x b")->kind(), TreePattern::Kind::kConcatAt);
+  EXPECT_EQ(TP("[[a]]*@x")->kind(), TreePattern::Kind::kStarAt);
+  EXPECT_EQ(TP("[[a]]+@x")->kind(), TreePattern::Kind::kPlusAt);
+}
+
+TEST_F(PatternParserTest, ChildrenSequencesMixListAndTreeLevels) {
+  auto tp = TP("a(?* b(c) @x !d)");
+  ASSERT_EQ(tp->kind(), TreePattern::Kind::kNode);
+  const auto& seq = tp->children();
+  ASSERT_EQ(seq->kind(), ListPattern::Kind::kConcat);
+  ASSERT_EQ(seq->parts().size(), 4u);
+  EXPECT_EQ(seq->parts()[0]->kind(), ListPattern::Kind::kStar);
+  EXPECT_EQ(seq->parts()[1]->kind(), ListPattern::Kind::kTreeAtom);
+  EXPECT_EQ(seq->parts()[2]->kind(), ListPattern::Kind::kPoint);
+  EXPECT_EQ(seq->parts()[3]->kind(), ListPattern::Kind::kPrune);
+}
+
+TEST_F(PatternParserTest, ConcatAtIsLeftAssociative) {
+  auto tp = TP("a .@1 b .@2 c");
+  ASSERT_EQ(tp->kind(), TreePattern::Kind::kConcatAt);
+  EXPECT_EQ(tp->label(), "2");
+  EXPECT_EQ(tp->first()->kind(), TreePattern::Kind::kConcatAt);
+  EXPECT_EQ(tp->first()->label(), "1");
+}
+
+TEST_F(PatternParserTest, TreeClosureInsideChildren) {
+  auto tp = TP("r([[a(@x)]]*@x b)");
+  const auto& seq = tp->children();
+  ASSERT_EQ(seq->parts().size(), 2u);
+  ASSERT_EQ(seq->parts()[0]->kind(), ListPattern::Kind::kTreeAtom);
+  EXPECT_EQ(seq->parts()[0]->tree_atom()->kind(),
+            TreePattern::Kind::kStarAt);
+}
+
+TEST_F(PatternParserTest, PaperPatterns) {
+  env_.Bind("Brazil",
+            Predicate::AttrEquals("citizen", Value::String("Brazil")));
+  env_.Bind("USA", Predicate::AttrEquals("citizen", Value::String("USA")));
+  EXPECT_NE(TP("Brazil(!?* USA !?*)"), nullptr);
+  EXPECT_NE(TP("select(!? and)"), nullptr);
+  EXPECT_NE(TP("printf(?* LargeData ?* LargeData ?*)"), nullptr);
+  EXPECT_NE(TP("[[a(@1 @2) .@1 [[b(d(f g) e)]]]] .@2 c"), nullptr);
+  EXPECT_NE(TP("[[a(b c @x)]]*@x"), nullptr);
+}
+
+TEST_F(PatternParserTest, RoundTripThroughToString) {
+  // ToString output re-parses to the same rendering.
+  for (const char* pat :
+       {"a(b c)", "a | b", "!a", "^a(?*)", "[[a]]*@x", "a .@1 b"}) {
+    auto tp1 = TP(pat);
+    ASSERT_NE(tp1, nullptr) << pat;
+    std::string printed = tp1->ToString();
+    PatternParserOptions opts;
+    auto tp2 = ParseTreePattern(printed, opts);
+    ASSERT_TRUE(tp2.ok()) << printed << ": " << tp2.status().ToString();
+    EXPECT_EQ((*tp2)->ToString(), printed);
+  }
+}
+
+TEST_F(PatternParserTest, HasFreePoint) {
+  EXPECT_TRUE(TP("a(@x)")->HasFreePoint("x"));
+  EXPECT_FALSE(TP("a(@x)")->HasFreePoint("y"));
+  // ∘ binds its label inside the first operand...
+  EXPECT_FALSE(TP("a(@x) .@x b")->HasFreePoint("x"));
+  // ...but the second operand's points stay free.
+  EXPECT_TRUE(TP("a(@x) .@x b(@x)")->HasFreePoint("x"));
+  // A closure passes its own point through.
+  EXPECT_TRUE(TP("[[a(@x)]]*@x")->HasFreePoint("x"));
+}
+
+TEST_F(PatternParserTest, TreeParseErrors) {
+  PatternParserOptions opts;
+  EXPECT_TRUE(ParseTreePattern("", opts).status().IsParseError());
+  EXPECT_TRUE(ParseTreePattern("a(b", opts).status().IsParseError());
+  EXPECT_TRUE(ParseTreePattern("[[a", opts).status().IsParseError());
+  EXPECT_TRUE(ParseTreePattern("a .@", opts).status().IsParseError());
+  EXPECT_TRUE(ParseTreePattern("a)", opts).status().IsParseError());
+  EXPECT_TRUE(ParseTreePattern("{unclosed", opts).status().IsParseError());
+  EXPECT_TRUE(ParseListPattern("a ]]", opts).status().IsParseError());
+}
+
+TEST_F(PatternParserTest, AnchoredListToString) {
+  auto lp = LP("^a ? b$");
+  EXPECT_EQ(lp.ToString(), "^{name == \"a\"} ? {name == \"b\"}$");
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,94 @@
+#include "pattern/predicate_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+std::string Parsed(const std::string& text) {
+  auto p = ParsePredicate(text);
+  EXPECT_TRUE(p.ok()) << p.status().ToString() << " in " << text;
+  return p.ok() ? (*p)->ToString() : "<error>";
+}
+
+TEST(PredicateParserTest, Comparisons) {
+  EXPECT_EQ(Parsed("age > 25"), "age > 25");
+  EXPECT_EQ(Parsed("age>=25"), "age >= 25");
+  EXPECT_EQ(Parsed("age < 25"), "age < 25");
+  EXPECT_EQ(Parsed("age <= 25"), "age <= 25");
+  EXPECT_EQ(Parsed("age != 25"), "age != 25");
+  EXPECT_EQ(Parsed("name == \"Ann\""), "name == \"Ann\"");
+}
+
+TEST(PredicateParserTest, Literals) {
+  EXPECT_EQ(Parsed("x == -3"), "x == -3");
+  EXPECT_EQ(Parsed("x == 2.5"), "x == 2.5");
+  EXPECT_EQ(Parsed("x == true"), "x == true");
+  EXPECT_EQ(Parsed("x == false"), "x == false");
+  EXPECT_EQ(Parsed("x == null"), "x == null");
+}
+
+TEST(PredicateParserTest, BooleanStructure) {
+  EXPECT_EQ(Parsed("a > 1 && b < 2"), "(a > 1 && b < 2)");
+  EXPECT_EQ(Parsed("a > 1 || b < 2 && c == 3"),
+            "(a > 1 || (b < 2 && c == 3))");  // && binds tighter
+  EXPECT_EQ(Parsed("(a > 1 || b < 2) && c == 3"),
+            "((a > 1 || b < 2) && c == 3)");
+  EXPECT_EQ(Parsed("!(a > 1)"), "!(a > 1)");
+  EXPECT_EQ(Parsed("!!(a > 1)"), "!(!(a > 1))");
+}
+
+TEST(PredicateParserTest, BareIdentifierIsBoolShorthand) {
+  EXPECT_EQ(Parsed("flag"), "flag == true");
+  EXPECT_EQ(Parsed("flag && a > 1"), "(flag == true && a > 1)");
+}
+
+TEST(PredicateParserTest, TrueKeyword) { EXPECT_EQ(Parsed("true"), "true"); }
+
+TEST(PredicateParserTest, BracedForm) {
+  EXPECT_EQ(Parsed("{age > 25}"), "age > 25");
+}
+
+TEST(PredicateParserTest, Whitespace) {
+  EXPECT_EQ(Parsed("  a   ==   1  "), "a == 1");
+}
+
+TEST(PredicateParserTest, Errors) {
+  EXPECT_TRUE(ParsePredicate("").status().IsParseError());
+  EXPECT_TRUE(ParsePredicate("a >").status().IsParseError());
+  EXPECT_TRUE(ParsePredicate("a == ").status().IsParseError());
+  EXPECT_TRUE(ParsePredicate("== 3").status().IsParseError());
+  EXPECT_TRUE(ParsePredicate("a == 1 extra").status().IsParseError());
+  EXPECT_TRUE(ParsePredicate("(a == 1").status().IsParseError());
+  EXPECT_TRUE(ParsePredicate("{a == 1").status().IsParseError());
+  EXPECT_TRUE(ParsePredicate("a == \"unterminated").status().IsParseError());
+  EXPECT_TRUE(ParsePredicate("a == bogus_literal").status().IsParseError());
+  EXPECT_TRUE(ParsePredicate("!= 3").status().IsParseError());
+}
+
+class PredicateParserEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(RegisterPersonType(store_));
+    ASSERT_OK_AND_ASSIGN(
+        ann_, store_.Create("Person", {{"name", Value::String("Ann")},
+                                       {"citizen", Value::String("USA")},
+                                       {"age", Value::Int(40)}}));
+  }
+  ObjectStore store_;
+  Oid ann_;
+};
+
+TEST_F(PredicateParserEvalTest, ParsedPredicatesEvaluate) {
+  ASSERT_OK_AND_ASSIGN(PredicateRef p1,
+                       ParsePredicate("citizen == \"USA\" && age > 25"));
+  EXPECT_TRUE(p1->Eval(store_, ann_));
+  ASSERT_OK_AND_ASSIGN(PredicateRef p2,
+                       ParsePredicate("citizen == \"Brazil\" || age < 30"));
+  EXPECT_FALSE(p2->Eval(store_, ann_));
+}
+
+}  // namespace
+}  // namespace aqua

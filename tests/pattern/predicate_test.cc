@@ -1,0 +1,144 @@
+#include "pattern/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+class PredicateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(RegisterPersonType(store_));
+    ASSERT_OK_AND_ASSIGN(
+        person_, store_.Create("Person", {{"name", Value::String("Ann")},
+                                          {"citizen", Value::String("Brazil")},
+                                          {"eyes", Value::String("brown")},
+                                          {"age", Value::Int(30)}}));
+  }
+
+  ObjectStore store_;
+  Oid person_;
+};
+
+TEST_F(PredicateTest, TrueMatchesEverything) {
+  EXPECT_TRUE(Predicate::True()->Eval(store_, person_));
+}
+
+TEST_F(PredicateTest, EqualityComparison) {
+  auto brazil = Predicate::AttrEquals("citizen", Value::String("Brazil"));
+  auto usa = Predicate::AttrEquals("citizen", Value::String("USA"));
+  EXPECT_TRUE(brazil->Eval(store_, person_));
+  EXPECT_FALSE(usa->Eval(store_, person_));
+}
+
+TEST_F(PredicateTest, OrderingComparisons) {
+  EXPECT_TRUE(Predicate::Compare("age", CmpOp::kGt, Value::Int(25))
+                  ->Eval(store_, person_));
+  EXPECT_FALSE(Predicate::Compare("age", CmpOp::kGt, Value::Int(30))
+                   ->Eval(store_, person_));
+  EXPECT_TRUE(Predicate::Compare("age", CmpOp::kGe, Value::Int(30))
+                  ->Eval(store_, person_));
+  EXPECT_TRUE(Predicate::Compare("age", CmpOp::kLt, Value::Int(31))
+                  ->Eval(store_, person_));
+  EXPECT_TRUE(Predicate::Compare("age", CmpOp::kLe, Value::Int(30))
+                  ->Eval(store_, person_));
+  EXPECT_TRUE(Predicate::Compare("age", CmpOp::kNe, Value::Int(29))
+                  ->Eval(store_, person_));
+}
+
+TEST_F(PredicateTest, BooleanCombinations) {
+  auto brazil = Predicate::AttrEquals("citizen", Value::String("Brazil"));
+  auto old = Predicate::Compare("age", CmpOp::kGt, Value::Int(60));
+  EXPECT_FALSE(Predicate::And(brazil, old)->Eval(store_, person_));
+  EXPECT_TRUE(Predicate::Or(brazil, old)->Eval(store_, person_));
+  EXPECT_FALSE(Predicate::Not(brazil)->Eval(store_, person_));
+  EXPECT_TRUE(Predicate::Not(old)->Eval(store_, person_));
+}
+
+TEST_F(PredicateTest, MissingAttributeMeansNoMatch) {
+  // A non-Person object simply does not satisfy (λ(Person) ...) — §3.1.
+  ASSERT_OK(RegisterItemType(store_));
+  ASSERT_OK_AND_ASSIGN(Oid item,
+                       store_.Create("Item", {{"name", Value::String("x")}}));
+  auto by_citizen = Predicate::AttrEquals("citizen", Value::String("Brazil"));
+  EXPECT_FALSE(by_citizen->Eval(store_, item));
+  // But negation flips it: the item is "not a Brazilian".
+  EXPECT_TRUE(Predicate::Not(by_citizen)->Eval(store_, item));
+}
+
+TEST_F(PredicateTest, NullAttributeNeverMatches) {
+  ASSERT_OK_AND_ASSIGN(Oid p,
+                       store_.Create("Person", {{"name", Value::String("N")}}));
+  EXPECT_FALSE(Predicate::AttrEquals("citizen", Value::String("Brazil"))
+                   ->Eval(store_, p));
+  EXPECT_FALSE(Predicate::Compare("citizen", CmpOp::kNe, Value::String("x"))
+                   ->Eval(store_, p));
+}
+
+TEST_F(PredicateTest, IncomparableTypesNeverMatch) {
+  EXPECT_FALSE(Predicate::Compare("age", CmpOp::kGt, Value::String("ten"))
+                   ->Eval(store_, person_));
+  EXPECT_FALSE(Predicate::AttrEquals("age", Value::String("30"))
+                   ->Eval(store_, person_));
+}
+
+TEST_F(PredicateTest, ValidateAgainstChecksStoredAttributes) {
+  Schema schema;
+  ASSERT_OK_AND_ASSIGN(
+      TypeId id,
+      schema.RegisterType("T", {{"stored_a", ValueType::kInt, true},
+                                {"computed_b", ValueType::kInt, false}}));
+  ASSERT_OK_AND_ASSIGN(const TypeDef* def, schema.GetType(id));
+  auto on_stored = Predicate::Compare("stored_a", CmpOp::kGt, Value::Int(0));
+  auto on_computed =
+      Predicate::Compare("computed_b", CmpOp::kGt, Value::Int(0));
+  EXPECT_OK(on_stored->ValidateAgainst(*def));
+  // §3.1 footnote 2: computed attributes are rejected by the validator.
+  EXPECT_TRUE(on_computed->ValidateAgainst(*def).IsInvalidArgument());
+  EXPECT_TRUE(Predicate::AttrEquals("zzz", Value::Int(0))
+                  ->ValidateAgainst(*def)
+                  .IsNotFound());
+  EXPECT_TRUE(Predicate::And(on_stored, on_computed)
+                  ->ValidateAgainst(*def)
+                  .IsInvalidArgument());
+  EXPECT_OK(Predicate::True()->ValidateAgainst(*def));
+}
+
+TEST_F(PredicateTest, CollectAttrsAndSize) {
+  auto p = Predicate::And(
+      Predicate::AttrEquals("a", Value::Int(1)),
+      Predicate::Not(Predicate::AttrEquals("b", Value::Int(2))));
+  std::vector<std::string> attrs;
+  p->CollectAttrs(&attrs);
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_EQ(attrs[0], "a");
+  EXPECT_EQ(attrs[1], "b");
+  EXPECT_EQ(p->SizeInNodes(), 4u);
+  EXPECT_EQ(Predicate::True()->SizeInNodes(), 1u);
+}
+
+TEST_F(PredicateTest, ToStringRendering) {
+  auto p = Predicate::Or(
+      Predicate::Compare("age", CmpOp::kGt, Value::Int(25)),
+      Predicate::Not(Predicate::AttrEquals("eyes", Value::String("blue"))));
+  EXPECT_EQ(p->ToString(), "(age > 25 || !(eyes == \"blue\"))");
+}
+
+TEST(PredicateEnvTest, BindLookupRebind) {
+  PredicateEnv env;
+  env.Bind("Brazil",
+           Predicate::AttrEquals("citizen", Value::String("Brazil")));
+  EXPECT_TRUE(env.Has("Brazil"));
+  EXPECT_FALSE(env.Has("USA"));
+  ASSERT_TRUE(env.Lookup("Brazil").ok());
+  EXPECT_TRUE(env.Lookup("USA").status().IsNotFound());
+  // Rebinding replaces.
+  env.Bind("Brazil", Predicate::True());
+  ASSERT_TRUE(env.Lookup("Brazil").ok());
+  EXPECT_EQ((*env.Lookup("Brazil"))->kind(), Predicate::Kind::kTrue);
+}
+
+}  // namespace
+}  // namespace aqua

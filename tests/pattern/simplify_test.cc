@@ -1,0 +1,115 @@
+#include "pattern/simplify.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+class SimplifyTest : public testing::AquaTestBase {
+ protected:
+  std::string SimplifiedList(const std::string& pattern) {
+    auto lp = LP(pattern);
+    return SimplifyListPattern(lp.body)->ToString();
+  }
+  std::string SimplifiedTree(const std::string& pattern) {
+    return SimplifyTreePattern(TP(pattern))->ToString();
+  }
+};
+
+TEST_F(SimplifyTest, ConcatFlattening) {
+  auto nested = ListPattern::Concat(
+      {ListPattern::Any(),
+       ListPattern::Concat({ListPattern::Any(), ListPattern::Any()})});
+  auto flat = SimplifyListPattern(nested);
+  ASSERT_EQ(flat->kind(), ListPattern::Kind::kConcat);
+  EXPECT_EQ(flat->parts().size(), 3u);
+}
+
+TEST_F(SimplifyTest, SingletonUnwrap) {
+  auto single = ListPattern::Concat({ListPattern::Any()});
+  EXPECT_EQ(SimplifyListPattern(single)->kind(), ListPattern::Kind::kAny);
+  auto single_alt = ListPattern::Alt({ListPattern::Any()});
+  EXPECT_EQ(SimplifyListPattern(single_alt)->kind(), ListPattern::Kind::kAny);
+}
+
+TEST_F(SimplifyTest, AltDeduplication) {
+  EXPECT_EQ(SimplifiedList("a | a | b"),
+            "[[{name == \"a\"} | {name == \"b\"}]]");
+  EXPECT_EQ(SimplifiedList("a | a"), "{name == \"a\"}");
+}
+
+TEST_F(SimplifyTest, ClosureCollapses) {
+  EXPECT_EQ(SimplifiedList("[[a*]]*"), "{name == \"a\"}*");
+  EXPECT_EQ(SimplifiedList("[[a+]]*"), "{name == \"a\"}*");
+  EXPECT_EQ(SimplifiedList("[[a*]]+"), "{name == \"a\"}*");
+  EXPECT_EQ(SimplifiedList("[[a+]]+"), "{name == \"a\"}+");
+  EXPECT_EQ(SimplifiedList("!!a"), "!{name == \"a\"}");
+}
+
+TEST_F(SimplifyTest, TreeAltAndAnchors) {
+  EXPECT_EQ(SimplifiedTree("a | a"), "{name == \"a\"}");
+  EXPECT_EQ(SimplifiedTree("!!a"), "!{name == \"a\"}");
+  // Double anchors (buildable only through the API) collapse.
+  auto double_root = TreePattern::RootAnchor(TreePattern::RootAnchor(TP("a")));
+  EXPECT_EQ(SimplifyTreePattern(double_root)->ToString(),
+            "^{name == \"a\"}");
+  auto double_leaf = TreePattern::LeafAnchor(TreePattern::LeafAnchor(TP("a")));
+  EXPECT_EQ(SimplifyTreePattern(double_leaf)->ToString(),
+            "[[{name == \"a\"}]]$");
+}
+
+TEST_F(SimplifyTest, ConcatAtWithoutFreePointDropsSecond) {
+  // §3.3's identity becomes a static simplification.
+  EXPECT_EQ(SimplifiedTree("a(b) .@zz c"), "{name == \"a\"}({name == \"b\"})");
+  // With a free point the concatenation stays.
+  EXPECT_EQ(SimplifiedTree("a(@zz) .@zz c"),
+            "[[{name == \"a\"}(@zz) .@zz {name == \"c\"}]]");
+}
+
+TEST_F(SimplifyTest, ChildrenSequencesSimplifiedRecursively) {
+  EXPECT_EQ(SimplifiedTree("r([[a*]]* b)"),
+            "{name == \"r\"}({name == \"a\"}* {name == \"b\"})");
+}
+
+TEST_F(SimplifyTest, NullPatternsPassThrough) {
+  EXPECT_EQ(SimplifyListPattern(nullptr), nullptr);
+  EXPECT_EQ(SimplifyTreePattern(nullptr), nullptr);
+}
+
+TEST_F(SimplifyTest, SimplificationPreservesListLanguage) {
+  const char* kPatterns[] = {"[[a*]]* b", "a | a | b", "!!a ?", "[[a+]]+",
+                             "[[a [[b c]]]] d"};
+  const char* kLists[] = {"[a b]", "[a a a b]", "[b]", "[a b c d]", "[]"};
+  for (const char* pat : kPatterns) {
+    auto original = LP(pat);
+    AnchoredListPattern simplified{SimplifyListPattern(original.body),
+                                   original.anchor_begin,
+                                   original.anchor_end};
+    for (const char* lst : kLists) {
+      List l = L(lst);
+      ListMatcher m1(store_, l), m2(store_, l);
+      ASSERT_OK_AND_ASSIGN(bool before, m1.MatchesWhole(original.body));
+      ASSERT_OK_AND_ASSIGN(bool after, m2.MatchesWhole(simplified.body));
+      EXPECT_EQ(before, after) << pat << " over " << lst;
+    }
+  }
+}
+
+TEST_F(SimplifyTest, SimplificationPreservesTreeMatches) {
+  Tree t = T("r(a(b) a(b(c)) d)");
+  std::vector<TreePatternRef> patterns = {
+      TP("a | a"), TP("a(b) .@zz c"), TP("!!a"),
+      TreePattern::RootAnchor(TreePattern::RootAnchor(TP("r(?*)")))};
+  for (const auto& original : patterns) {
+    auto simplified = SimplifyTreePattern(original);
+    TreeMatcher m1(store_, t), m2(store_, t);
+    ASSERT_OK_AND_ASSIGN(auto before, m1.FindAll(original));
+    ASSERT_OK_AND_ASSIGN(auto after, m2.FindAll(simplified));
+    EXPECT_EQ(before.size(), after.size()) << original->ToString();
+  }
+}
+
+}  // namespace
+}  // namespace aqua

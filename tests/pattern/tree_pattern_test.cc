@@ -1,0 +1,79 @@
+#include "pattern/tree_pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+class TreePatternTest : public testing::AquaTestBase {};
+
+TEST_F(TreePatternTest, FactoriesSetKinds) {
+  EXPECT_EQ(TreePattern::AnyLeaf()->kind(), TreePattern::Kind::kLeaf);
+  EXPECT_TRUE(TreePattern::AnyLeaf()->is_any());
+  auto pred = Predicate::AttrEquals("name", Value::String("a"));
+  auto leaf = TreePattern::Leaf(pred);
+  EXPECT_FALSE(leaf->is_any());
+  EXPECT_EQ(leaf->pred(), pred);
+
+  auto node = TreePattern::Node(pred, ListPattern::AnyStar());
+  EXPECT_EQ(node->kind(), TreePattern::Kind::kNode);
+  EXPECT_EQ(node->children()->kind(), ListPattern::Kind::kStar);
+
+  auto point = TreePattern::Point("x");
+  EXPECT_EQ(point->kind(), TreePattern::Kind::kPoint);
+  EXPECT_EQ(point->label(), "x");
+}
+
+TEST_F(TreePatternTest, PlusAtPrebuildsStarForm) {
+  auto plus = TreePattern::PlusAt(TreePattern::AnyLeaf(), "x");
+  ASSERT_NE(plus->star_form(), nullptr);
+  EXPECT_EQ(plus->star_form()->kind(), TreePattern::Kind::kStarAt);
+  EXPECT_EQ(plus->star_form()->label(), "x");
+  EXPECT_EQ(plus->star_form()->inner(), plus->inner());
+}
+
+TEST_F(TreePatternTest, AltAccessors) {
+  auto alt = TreePattern::Alt({TP("a"), TP("b"), TP("c")});
+  ASSERT_EQ(alt->alts().size(), 3u);
+  EXPECT_EQ(alt->alts()[0]->ToString(), "{name == \"a\"}");
+}
+
+TEST_F(TreePatternTest, ConcatAtAccessors) {
+  auto cat = TreePattern::ConcatAt(TP("a(@x)"), "x", TP("b"));
+  EXPECT_EQ(cat->label(), "x");
+  EXPECT_EQ(cat->first()->ToString(), "{name == \"a\"}(@x)");
+  EXPECT_EQ(cat->second()->ToString(), "{name == \"b\"}");
+}
+
+TEST_F(TreePatternTest, SizeInNodesCountsChildrenSequences) {
+  EXPECT_EQ(TP("a")->SizeInNodes(), 1u);
+  EXPECT_GT(TP("a(b c)")->SizeInNodes(), 3u);  // node + seq structure
+  EXPECT_GT(TP("a(b(c))")->SizeInNodes(), TP("a(b)")->SizeInNodes());
+}
+
+TEST_F(TreePatternTest, HasFreePointThroughStructures) {
+  EXPECT_TRUE(TP("@x")->HasFreePoint("x"));
+  EXPECT_FALSE(TP("@x")->HasFreePoint("y"));
+  EXPECT_TRUE(TP("a(b(@deep))")->HasFreePoint("deep"));
+  EXPECT_TRUE(TP("a | b(@x)")->HasFreePoint("x"));
+  EXPECT_TRUE(TP("!a(@x)")->HasFreePoint("x"));
+  EXPECT_TRUE(TP("^a(@x)")->HasFreePoint("x"));
+  // A closure's own label passes through; a bound inner label does not.
+  EXPECT_TRUE(TP("[[a(@x)]]*@x")->HasFreePoint("x"));
+  EXPECT_FALSE(TP("[[a(@y) .@y b]]")->HasFreePoint("y"));
+}
+
+TEST_F(TreePatternTest, ToStringIsStable) {
+  for (const char* pat :
+       {"{name == \"a\"}", "?", "@p", "!{name == \"a\"}",
+        "^{name == \"a\"}({name == \"b\"} ?*)"}) {
+    auto tp = ParseTreePattern(pat);
+    ASSERT_TRUE(tp.ok()) << pat;
+    EXPECT_EQ((*tp)->ToString(), pat);
+  }
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,107 @@
+#include "query/cost.h"
+
+#include <gtest/gtest.h>
+
+#include "query/builder.h"
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+class CostTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(RegisterItemType(db_.store()));
+    RandomTreeSpec spec;
+    spec.num_nodes = 500;
+    ASSERT_OK_AND_ASSIGN(Tree t, MakeRandomTree(db_.store(), spec));
+    ASSERT_OK(db_.RegisterTree("t", std::move(t)));
+    ASSERT_OK(db_.CreateIndex("t", "name"));
+  }
+
+  TreePatternRef TP(const std::string& pattern) {
+    auto tp = ParseTreePattern(pattern);
+    EXPECT_TRUE(tp.ok());
+    return tp.ok() ? *tp : nullptr;
+  }
+
+  Database db_;
+};
+
+TEST_F(CostTest, ScanCostIsCollectionSize) {
+  CostModel model(&db_);
+  ASSERT_OK_AND_ASSIGN(CostEstimate est, model.Estimate(Q::ScanTree("t")));
+  EXPECT_DOUBLE_EQ(est.out_nodes, 500.0);
+}
+
+TEST_F(CostTest, UnknownCollectionFails) {
+  CostModel model(&db_);
+  EXPECT_TRUE(model.Estimate(Q::ScanTree("nope")).status().IsNotFound());
+  EXPECT_TRUE(model.Estimate(nullptr).status().IsInvalidArgument());
+}
+
+TEST_F(CostTest, SubSelectCostGrowsWithPatternSize) {
+  CostModel model(&db_);
+  ASSERT_OK_AND_ASSIGN(
+      CostEstimate small,
+      model.Estimate(Q::TreeSubSelect(Q::ScanTree("t"), TP("a"))));
+  ASSERT_OK_AND_ASSIGN(
+      CostEstimate big,
+      model.Estimate(Q::TreeSubSelect(Q::ScanTree("t"), TP("a(b c d e)"))));
+  EXPECT_LT(small.cost, big.cost);
+}
+
+TEST_F(CostTest, ClosuresMultiplyPatternWork) {
+  EXPECT_LT(CostModel::PatternWork(TP("a(b)")),
+            CostModel::PatternWork(TP("a(b*)")));
+  EXPECT_LT(CostModel::PatternWork(TP("a(b*)")),
+            CostModel::PatternWork(TP("a(b* c*)")));
+}
+
+TEST_F(CostTest, IndexedSubSelectIsCheaperForSelectiveAnchors) {
+  CostModel model(&db_);
+  auto tp = TP("{name == \"a\"}(?*)");
+  auto anchor = ParsePredicate("name == \"a\"");
+  ASSERT_TRUE(anchor.ok());
+  ASSERT_OK_AND_ASSIGN(
+      CostEstimate naive,
+      model.Estimate(Q::TreeSubSelect(Q::ScanTree("t"), tp)));
+  ASSERT_OK_AND_ASSIGN(
+      CostEstimate indexed,
+      model.Estimate(Q::IndexedSubSelect("t", "name", *anchor, tp)));
+  // Selectivity of one label out of five is ~0.2; the probe wins.
+  EXPECT_LT(indexed.cost, naive.cost);
+}
+
+TEST_F(CostTest, SelectCascadeCostsAreComparable) {
+  CostModel model(&db_);
+  auto conj = ParsePredicate("name == \"a\" && val > 10");
+  ASSERT_TRUE(conj.ok());
+  ASSERT_OK_AND_ASSIGN(
+      CostEstimate one,
+      model.Estimate(Q::TreeSelect(Q::ScanTree("t"), *conj)));
+  auto p1 = ParsePredicate("name == \"a\"");
+  auto p2 = ParsePredicate("val > 10");
+  ASSERT_OK_AND_ASSIGN(
+      CostEstimate cascade,
+      model.Estimate(
+          Q::TreeSelect(Q::TreeSelect(Q::ScanTree("t"), *p1), *p2)));
+  // The cascade runs the second predicate on a reduced input.
+  EXPECT_LT(cascade.cost, one.cost + 1500);
+}
+
+TEST_F(CostTest, ListPlanEstimates) {
+  ASSERT_OK_AND_ASSIGN(List l,
+                       MakeRandomList(db_.store(), 100, {"a", "b"}, 1));
+  ASSERT_OK(db_.RegisterList("songs", std::move(l)));
+  CostModel model(&db_);
+  auto lp = ParseListPattern("a ? b");
+  ASSERT_TRUE(lp.ok());
+  ASSERT_OK_AND_ASSIGN(
+      CostEstimate est,
+      model.Estimate(Q::ListSubSelect(Q::ScanList("songs"), *lp)));
+  EXPECT_GT(est.cost, 100.0);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,82 @@
+#include "query/database.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(RegisterItemType(db_.store()));
+    atom_ = MakeInterningAtomFn(&db_.store(), "Item", "name");
+  }
+
+  Database db_;
+  AtomFn atom_;
+};
+
+TEST_F(DatabaseTest, RegisterAndGet) {
+  ASSERT_OK_AND_ASSIGN(Tree t, ParseTreeLiteral("a(b)", atom_));
+  ASSERT_OK(db_.RegisterTree("t", std::move(t)));
+  ASSERT_OK_AND_ASSIGN(List l, ParseListLiteral("[a b]", atom_));
+  ASSERT_OK(db_.RegisterList("l", std::move(l)));
+
+  EXPECT_TRUE(db_.HasTree("t"));
+  EXPECT_FALSE(db_.HasTree("l"));
+  EXPECT_TRUE(db_.HasList("l"));
+  ASSERT_OK_AND_ASSIGN(const Tree* tree, db_.GetTree("t"));
+  EXPECT_EQ(tree->size(), 2u);
+  EXPECT_TRUE(db_.GetTree("l").status().IsNotFound());
+  EXPECT_TRUE(db_.GetList("t").status().IsNotFound());
+}
+
+TEST_F(DatabaseTest, NamesAreUniqueAcrossKinds) {
+  ASSERT_OK_AND_ASSIGN(Tree t, ParseTreeLiteral("a", atom_));
+  ASSERT_OK(db_.RegisterTree("x", std::move(t)));
+  ASSERT_OK_AND_ASSIGN(List l, ParseListLiteral("[a]", atom_));
+  EXPECT_TRUE(db_.RegisterList("x", std::move(l)).IsAlreadyExists());
+  ASSERT_OK_AND_ASSIGN(Tree t2, ParseTreeLiteral("b", atom_));
+  EXPECT_TRUE(db_.RegisterTree("x", std::move(t2)).IsAlreadyExists());
+}
+
+TEST_F(DatabaseTest, RegisterValidatesTrees) {
+  Tree broken;
+  broken.AddNode(NodePayload::Cell(Oid(1)));  // arena node, no root
+  EXPECT_FALSE(db_.RegisterTree("broken", std::move(broken)).ok());
+}
+
+TEST_F(DatabaseTest, CreateIndexDispatchesOnKind) {
+  ASSERT_OK_AND_ASSIGN(Tree t, ParseTreeLiteral("a(b)", atom_));
+  ASSERT_OK(db_.RegisterTree("t", std::move(t)));
+  ASSERT_OK_AND_ASSIGN(List l, ParseListLiteral("[a b]", atom_));
+  ASSERT_OK(db_.RegisterList("l", std::move(l)));
+
+  ASSERT_OK(db_.CreateIndex("t", "name"));
+  ASSERT_OK(db_.CreateIndex("l", "name"));
+  EXPECT_TRUE(db_.indexes().Has("t", "name"));
+  EXPECT_TRUE(db_.indexes().Has("l", "name"));
+  EXPECT_TRUE(db_.CreateIndex("nope", "name").IsNotFound());
+  EXPECT_TRUE(db_.CreateIndex("t", "name").IsAlreadyExists());
+}
+
+TEST_F(DatabaseTest, NameListings) {
+  ASSERT_OK_AND_ASSIGN(Tree t, ParseTreeLiteral("a", atom_));
+  ASSERT_OK(db_.RegisterTree("t1", std::move(t)));
+  ASSERT_OK_AND_ASSIGN(List l, ParseListLiteral("[a]", atom_));
+  ASSERT_OK(db_.RegisterList("l1", std::move(l)));
+  EXPECT_EQ(db_.TreeNames(), std::vector<std::string>{"t1"});
+  EXPECT_EQ(db_.ListNames(), std::vector<std::string>{"l1"});
+  EXPECT_EQ(db_.CollectionNames().size(), 2u);
+}
+
+TEST_F(DatabaseTest, EmptyTreeIsRegistrable) {
+  ASSERT_OK(db_.RegisterTree("empty", Tree()));
+  ASSERT_OK_AND_ASSIGN(const Tree* tree, db_.GetTree("empty"));
+  EXPECT_TRUE(tree->empty());
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,243 @@
+#include "query/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "query/builder.h"
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(RegisterItemType(db_.store()));
+    atom_ = MakeInterningAtomFn(&db_.store(), "Item", "name");
+    label_ = AttrLabelFn(&db_.store(), "name");
+    ASSERT_OK_AND_ASSIGN(Tree t,
+                         ParseTreeLiteral("r(b(d e) x(b(d f)))", atom_));
+    ASSERT_OK(db_.RegisterTree("t", std::move(t)));
+    ASSERT_OK_AND_ASSIGN(List l, ParseListLiteral("[a x a y]", atom_));
+    ASSERT_OK(db_.RegisterList("l", std::move(l)));
+  }
+
+  TreePatternRef TP(const std::string& p) {
+    auto tp = ParseTreePattern(p);
+    EXPECT_TRUE(tp.ok()) << tp.status().ToString();
+    return tp.ok() ? *tp : nullptr;
+  }
+  AnchoredListPattern LP(const std::string& p) {
+    auto lp = ParseListPattern(p);
+    EXPECT_TRUE(lp.ok()) << lp.status().ToString();
+    return lp.ok() ? *lp : AnchoredListPattern{};
+  }
+  PredicateRef P(const std::string& p) {
+    auto pred = ParsePredicate(p);
+    EXPECT_TRUE(pred.ok()) << pred.status().ToString();
+    return pred.ok() ? *pred : nullptr;
+  }
+  std::string Str(const Datum& d) { return d.ToString(label_); }
+
+  Database db_;
+  AtomFn atom_;
+  LabelFn label_;
+};
+
+TEST_F(ExecutorTest, ScanReturnsCollection) {
+  Executor exec(&db_);
+  ASSERT_OK_AND_ASSIGN(Datum tree, exec.Execute(Q::ScanTree("t")));
+  EXPECT_TRUE(tree.is_tree());
+  ASSERT_OK_AND_ASSIGN(Datum list, exec.Execute(Q::ScanList("l")));
+  EXPECT_TRUE(list.is_list());
+  EXPECT_TRUE(
+      exec.Execute(Q::ScanTree("missing")).status().IsNotFound());
+  // A tree name is not a list name.
+  EXPECT_TRUE(exec.Execute(Q::ScanList("t")).status().IsNotFound());
+}
+
+TEST_F(ExecutorTest, TreeSubSelectOverScan) {
+  Executor exec(&db_);
+  ASSERT_OK_AND_ASSIGN(Datum out,
+                       exec.Execute(Q::TreeSubSelect(Q::ScanTree("t"),
+                                                     TP("b(d ?)"))));
+  ASSERT_TRUE(out.is_set());
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(ExecutorTest, OperatorsMapOverForestInputs) {
+  // select produces a forest; sub_select then maps over it.
+  Executor exec(&db_);
+  auto plan = Q::TreeSubSelect(
+      Q::TreeSelect(Q::ScanTree("t"), P("name != \"r\"")), TP("b(d ?)"));
+  ASSERT_OK_AND_ASSIGN(Datum out, exec.Execute(plan));
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_GE(exec.stats().trees_processed, 2u);
+}
+
+TEST_F(ExecutorTest, TreeSelectProducesForestSet) {
+  Executor exec(&db_);
+  ASSERT_OK_AND_ASSIGN(
+      Datum out,
+      exec.Execute(Q::TreeSelect(Q::ScanTree("t"), P("name == \"b\""))));
+  ASSERT_TRUE(out.is_set());
+  EXPECT_EQ(out.size(), 1u);  // two identical b-trees collapse in a set
+}
+
+TEST_F(ExecutorTest, TreeApplyOverScan) {
+  Executor exec(&db_);
+  NodeFn fn = [](ObjectStore& store, Oid oid) -> Result<Oid> {
+    AQUA_ASSIGN_OR_RETURN(Value name, store.GetAttr(oid, "name"));
+    return store.Create("Item",
+                        {{"name", Value::String(name.string_value() + "!")},
+                         {"val", Value::Null()}});
+  };
+  ASSERT_OK_AND_ASSIGN(Datum out,
+                       exec.Execute(Q::TreeApply(Q::ScanTree("t"), fn)));
+  ASSERT_TRUE(out.is_tree());
+  EXPECT_EQ(Str(out), "r!(b!(d! e!) x!(b!(d! f!)))");
+}
+
+TEST_F(ExecutorTest, TreeSplitPlan) {
+  Executor exec(&db_);
+  SplitFn fn = [](const Tree& x, const Tree& y,
+                  const std::vector<Tree>& z) -> Result<Datum> {
+    (void)x;
+    (void)z;
+    return Datum::Scalar(Value::Int(static_cast<int64_t>(y.size())));
+  };
+  ASSERT_OK_AND_ASSIGN(
+      Datum out, exec.Execute(Q::TreeSplit(Q::ScanTree("t"), TP("b"), fn)));
+  ASSERT_TRUE(out.is_set());
+  ASSERT_EQ(out.size(), 1u);  // both matches give y of size 3 (b + 2 cuts)
+  EXPECT_EQ(out.at(0).scalar().int_value(), 3);
+}
+
+TEST_F(ExecutorTest, AllAncAllDescPlans) {
+  Executor exec(&db_);
+  AncFn anc = [](const Tree& x, const Tree& y) -> Result<Datum> {
+    return Datum::Tuple({Datum::Of(x), Datum::Of(y)});
+  };
+  ASSERT_OK_AND_ASSIGN(
+      Datum anc_out,
+      exec.Execute(Q::TreeAllAnc(Q::ScanTree("t"), TP("d"), anc)));
+  EXPECT_EQ(anc_out.size(), 2u);
+
+  DescFn desc = [](const Tree& y, const std::vector<Tree>& z) -> Result<Datum> {
+    return Datum::Tuple(
+        {Datum::Of(y), Datum::Scalar(Value::Int(static_cast<int64_t>(
+                           z.size())))});
+  };
+  ASSERT_OK_AND_ASSIGN(
+      Datum desc_out,
+      exec.Execute(Q::TreeAllDesc(Q::ScanTree("t"), TP("b"), desc)));
+  EXPECT_EQ(desc_out.size(), 1u);
+}
+
+TEST_F(ExecutorTest, IndexedSubSelectPlan) {
+  ASSERT_OK(db_.CreateIndex("t", "name"));
+  Executor exec(&db_);
+  auto plan = Q::IndexedSubSelect("t", "name", P("name == \"b\""),
+                                  TP("b(d ?)"));
+  ASSERT_OK_AND_ASSIGN(Datum indexed, exec.Execute(plan));
+  EXPECT_EQ(exec.stats().index_probes, 1u);
+  EXPECT_EQ(exec.stats().index_candidates, 2u);
+
+  Executor exec2(&db_);
+  ASSERT_OK_AND_ASSIGN(
+      Datum naive,
+      exec2.Execute(Q::TreeSubSelect(Q::ScanTree("t"), TP("b(d ?)"))));
+  EXPECT_TRUE(indexed.Equals(naive));
+}
+
+TEST_F(ExecutorTest, ListPlans) {
+  Executor exec(&db_);
+  ASSERT_OK_AND_ASSIGN(
+      Datum filtered,
+      exec.Execute(Q::ListSelect(Q::ScanList("l"), P("name == \"a\""))));
+  ASSERT_TRUE(filtered.is_list());
+  EXPECT_EQ(filtered.list().size(), 2u);
+
+  ASSERT_OK_AND_ASSIGN(
+      Datum sub, exec.Execute(Q::ListSubSelect(Q::ScanList("l"), LP("a ?"))));
+  ASSERT_TRUE(sub.is_set());
+  EXPECT_EQ(sub.size(), 2u);  // [a x] and [a y]
+
+  ListSplitFn fn = [](const List& x, const List& y,
+                      const std::vector<List>& z) -> Result<Datum> {
+    (void)x;
+    (void)z;
+    return Datum::Scalar(Value::Int(static_cast<int64_t>(y.size())));
+  };
+  ASSERT_OK_AND_ASSIGN(
+      Datum split,
+      exec.Execute(Q::ListSplit(Q::ScanList("l"), LP("^a"), fn)));
+  EXPECT_EQ(split.size(), 1u);
+
+  ListNodeFn map = [](ObjectStore&, Oid oid) -> Result<Oid> { return oid; };
+  ASSERT_OK_AND_ASSIGN(Datum mapped,
+                       exec.Execute(Q::ListApply(Q::ScanList("l"), map)));
+  EXPECT_TRUE(mapped.is_list());
+}
+
+TEST_F(ExecutorTest, ListAllAncAllDescPlans) {
+  Executor exec(&db_);
+  ListAncFn anc = [](const List& x, const List& y) -> Result<Datum> {
+    return Datum::Tuple({Datum::Of(x), Datum::Of(y)});
+  };
+  ASSERT_OK_AND_ASSIGN(
+      Datum anc_out,
+      exec.Execute(Q::ListAllAnc(Q::ScanList("l"), LP("y$"), anc)));
+  EXPECT_EQ(anc_out.size(), 1u);
+
+  ListDescFn desc = [](const List& y,
+                       const std::vector<List>& z) -> Result<Datum> {
+    return Datum::Tuple({Datum::Of(y), Datum::Scalar(Value::Int(
+                                           static_cast<int64_t>(z.size())))});
+  };
+  ASSERT_OK_AND_ASSIGN(
+      Datum desc_out,
+      exec.Execute(Q::ListAllDesc(Q::ScanList("l"), LP("^a"), desc)));
+  EXPECT_EQ(desc_out.size(), 1u);
+}
+
+TEST_F(ExecutorTest, IndexedListSubSelectPlan) {
+  ASSERT_OK(db_.CreateIndex("l", "name"));
+  Executor exec(&db_);
+  auto plan = Q::IndexedListSubSelect("l", "name", P("name == \"a\""),
+                                      LP("a ?"));
+  ASSERT_OK_AND_ASSIGN(Datum indexed, exec.Execute(plan));
+  EXPECT_EQ(exec.stats().index_probes, 1u);
+  Executor exec2(&db_);
+  ASSERT_OK_AND_ASSIGN(
+      Datum naive, exec2.Execute(Q::ListSubSelect(Q::ScanList("l"),
+                                                  LP("a ?"))));
+  EXPECT_TRUE(indexed.Equals(naive));
+}
+
+TEST_F(ExecutorTest, ExplainAnalyzeAnnotatesExecutedPlan) {
+  Executor exec(&db_);
+  auto plan = Q::TreeSubSelect(Q::ScanTree("t"), TP("b(d ?)"));
+  ASSERT_OK(exec.Execute(plan).status());
+  std::string analyzed = exec.ExplainAnalyze(plan);
+  EXPECT_NE(analyzed.find("TreeSubSelect"), std::string::npos);
+  EXPECT_NE(analyzed.find("1 call"), std::string::npos);
+  EXPECT_NE(analyzed.find("ms"), std::string::npos);
+  EXPECT_NE(analyzed.find("out=2"), std::string::npos) << analyzed;
+  // A different (unexecuted) plan renders as not executed.
+  auto other = Q::ScanTree("t");
+  EXPECT_NE(exec.ExplainAnalyze(other).find("not executed"),
+            std::string::npos);
+}
+
+TEST_F(ExecutorTest, TypeErrorsSurface) {
+  Executor exec(&db_);
+  // Tree operator over a list scan.
+  auto bad = Q::TreeSubSelect(Q::ScanList("l"), TP("a"));
+  EXPECT_TRUE(exec.Execute(bad).status().IsTypeError());
+  auto bad2 = Q::ListSelect(Q::ScanTree("t"), P("true"));
+  EXPECT_TRUE(exec.Execute(bad2).status().IsTypeError());
+  EXPECT_TRUE(exec.Execute(nullptr).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,73 @@
+#include "query/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "query/builder.h"
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+class PlanTest : public testing::AquaTestBase {};
+
+TEST_F(PlanTest, BuilderWiresChildrenAndParams) {
+  auto plan = Q::TreeSubSelect(Q::ScanTree("family"), TP("a(b)"));
+  EXPECT_EQ(plan->op, PlanOp::kTreeSubSelect);
+  ASSERT_EQ(plan->children.size(), 1u);
+  EXPECT_EQ(plan->children[0]->op, PlanOp::kScanTree);
+  EXPECT_EQ(plan->children[0]->collection, "family");
+  ASSERT_NE(plan->tpattern, nullptr);
+}
+
+TEST_F(PlanTest, ExplainRendersTree) {
+  auto plan = Q::TreeSelect(Q::ScanTree("family"), P("age > 25"));
+  std::string explained = Explain(plan);
+  EXPECT_NE(explained.find("TreeSelect"), std::string::npos);
+  EXPECT_NE(explained.find("age > 25"), std::string::npos);
+  EXPECT_NE(explained.find("ScanTree [family]"), std::string::npos);
+  // Child is indented under parent.
+  EXPECT_LT(explained.find("TreeSelect"), explained.find("ScanTree"));
+}
+
+TEST_F(PlanTest, ExplainIndexedSubSelect) {
+  auto plan = Q::IndexedSubSelect("family", "citizen",
+                                  P("citizen == \"Brazil\""), TP("a"));
+  std::string explained = Explain(plan);
+  EXPECT_NE(explained.find("IndexedSubSelect"), std::string::npos);
+  EXPECT_NE(explained.find("index=citizen"), std::string::npos);
+  EXPECT_NE(explained.find("anchor="), std::string::npos);
+}
+
+TEST_F(PlanTest, ExplainHandlesNull) {
+  EXPECT_EQ(Explain(nullptr), "(null)\n");
+}
+
+TEST_F(PlanTest, PlanEqualsStructural) {
+  auto p1 = Q::TreeSubSelect(Q::ScanTree("t"), TP("a(b)"));
+  auto p2 = Q::TreeSubSelect(Q::ScanTree("t"), TP("a(b)"));
+  auto p3 = Q::TreeSubSelect(Q::ScanTree("t"), TP("a(c)"));
+  auto p4 = Q::TreeSubSelect(Q::ScanTree("u"), TP("a(b)"));
+  EXPECT_TRUE(PlanEquals(p1, p2));
+  EXPECT_FALSE(PlanEquals(p1, p3));
+  EXPECT_FALSE(PlanEquals(p1, p4));
+  EXPECT_FALSE(PlanEquals(p1, nullptr));
+  EXPECT_TRUE(PlanEquals(nullptr, nullptr));
+}
+
+TEST_F(PlanTest, PlanOpNamesAreDistinct) {
+  EXPECT_STRNE(PlanOpToString(PlanOp::kTreeSelect),
+               PlanOpToString(PlanOp::kListSelect));
+  EXPECT_STRNE(PlanOpToString(PlanOp::kTreeSubSelect),
+               PlanOpToString(PlanOp::kIndexedSubSelect));
+}
+
+TEST_F(PlanTest, ListPlanShapes) {
+  auto plan = Q::ListSubSelect(Q::ScanList("songs"), LP("a ? b"));
+  EXPECT_EQ(plan->op, PlanOp::kListSubSelect);
+  EXPECT_NE(plan->lpattern.body, nullptr);
+  std::string explained = Explain(plan);
+  EXPECT_NE(explained.find("ListSubSelect"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aqua

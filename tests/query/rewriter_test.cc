@@ -1,0 +1,233 @@
+#include "query/rewriter.h"
+
+#include <gtest/gtest.h>
+
+#include "query/builder.h"
+#include "query/executor.h"
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+class RewriterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(RegisterItemType(db_.store()));
+    RandomTreeSpec spec;
+    spec.num_nodes = 300;
+    spec.seed = 11;
+    ASSERT_OK_AND_ASSIGN(Tree t, MakeRandomTree(db_.store(), spec));
+    ASSERT_OK(db_.RegisterTree("t", std::move(t)));
+    ASSERT_OK(db_.CreateIndex("t", "name"));
+  }
+
+  TreePatternRef TP(const std::string& p) {
+    auto tp = ParseTreePattern(p);
+    EXPECT_TRUE(tp.ok()) << tp.status().ToString();
+    return tp.ok() ? *tp : nullptr;
+  }
+  PredicateRef P(const std::string& p) {
+    auto pred = ParsePredicate(p);
+    EXPECT_TRUE(pred.ok()) << pred.status().ToString();
+    return pred.ok() ? *pred : nullptr;
+  }
+
+  Database db_;
+};
+
+TEST_F(RewriterTest, SplitAnchorRewriteFires) {
+  Rewriter rewriter(&db_);
+  rewriter.AddDefaultRules();
+  auto plan = Q::TreeSubSelect(Q::ScanTree("t"),
+                               TP("{name == \"a\"}(?* {name == \"b\"} ?*)"));
+  ASSERT_OK_AND_ASSIGN(PlanRef optimized, rewriter.Optimize(plan));
+  EXPECT_EQ(optimized->op, PlanOp::kIndexedSubSelect);
+  EXPECT_EQ(optimized->attr, "name");
+  ASSERT_FALSE(rewriter.applied().empty());
+  EXPECT_EQ(rewriter.applied()[0], "split-anchor");
+}
+
+TEST_F(RewriterTest, RewrittenPlanGivesSameAnswer) {
+  Rewriter rewriter(&db_);
+  rewriter.AddDefaultRules();
+  auto plan = Q::TreeSubSelect(Q::ScanTree("t"),
+                               TP("{name == \"a\"}(?* {name == \"b\"} ?*)"));
+  ASSERT_OK_AND_ASSIGN(PlanRef optimized, rewriter.Optimize(plan));
+  ASSERT_FALSE(PlanEquals(plan, optimized));
+
+  Executor e1(&db_), e2(&db_);
+  ASSERT_OK_AND_ASSIGN(Datum naive, e1.Execute(plan));
+  ASSERT_OK_AND_ASSIGN(Datum opt, e2.Execute(optimized));
+  EXPECT_TRUE(naive.Equals(opt));
+  EXPECT_GT(naive.size(), 0u);
+}
+
+TEST_F(RewriterTest, NoIndexNoRewrite) {
+  Rewriter rewriter(&db_);
+  rewriter.AddDefaultRules();
+  // `val` is not indexed.
+  auto plan = Q::TreeSubSelect(Q::ScanTree("t"), TP("{val > 50}(?*)"));
+  ASSERT_OK_AND_ASSIGN(PlanRef optimized, rewriter.Optimize(plan));
+  EXPECT_EQ(optimized->op, PlanOp::kTreeSubSelect);
+  EXPECT_TRUE(rewriter.applied().empty());
+}
+
+TEST_F(RewriterTest, UnconstrainedRootNoRewrite) {
+  Rewriter rewriter(&db_);
+  rewriter.AddDefaultRules();
+  auto plan = Q::TreeSubSelect(Q::ScanTree("t"), TP("?(?*)"));
+  ASSERT_OK_AND_ASSIGN(PlanRef optimized, rewriter.Optimize(plan));
+  EXPECT_EQ(optimized->op, PlanOp::kTreeSubSelect);
+}
+
+TEST_F(RewriterTest, ConjunctAnchorIsFound) {
+  // Only one conjunct of the root predicate is indexable; the rewrite
+  // probes it and verifies the whole pattern (predicate decomposition, §4).
+  Rewriter rewriter(&db_);
+  rewriter.AddDefaultRules();
+  auto plan = Q::TreeSubSelect(
+      Q::ScanTree("t"), TP("{val > 50 && name == \"c\"}(?*)"));
+  ASSERT_OK_AND_ASSIGN(PlanRef optimized, rewriter.Optimize(plan));
+  ASSERT_EQ(optimized->op, PlanOp::kIndexedSubSelect);
+  EXPECT_EQ(optimized->anchor->ToString(), "name == \"c\"");
+
+  Executor e1(&db_), e2(&db_);
+  ASSERT_OK_AND_ASSIGN(Datum naive, e1.Execute(plan));
+  ASSERT_OK_AND_ASSIGN(Datum opt, e2.Execute(optimized));
+  EXPECT_TRUE(naive.Equals(opt));
+}
+
+TEST_F(RewriterTest, SelectCascadeRule) {
+  Rewriter rewriter(&db_);
+  rewriter.AddRule(MakeSelectCascadeRule());
+  auto plan =
+      Q::TreeSelect(Q::ScanTree("t"), P("name == \"a\" && val > 50"));
+  ASSERT_OK_AND_ASSIGN(PlanRef optimized, rewriter.Optimize(plan));
+  ASSERT_EQ(optimized->op, PlanOp::kTreeSelect);
+  ASSERT_EQ(optimized->children[0]->op, PlanOp::kTreeSelect);
+  EXPECT_EQ(optimized->pred->ToString(), "val > 50");
+  EXPECT_EQ(optimized->children[0]->pred->ToString(), "name == \"a\"");
+
+  Executor e1(&db_), e2(&db_);
+  ASSERT_OK_AND_ASSIGN(Datum naive, e1.Execute(plan));
+  ASSERT_OK_AND_ASSIGN(Datum opt, e2.Execute(optimized));
+  EXPECT_TRUE(naive.Equals(opt));
+}
+
+TEST_F(RewriterTest, CheapPredicateFirstReordersCascade) {
+  Rewriter rewriter(&db_);
+  rewriter.AddRule(MakeCheapPredicateFirstRule());
+  auto heavy = P("val > 1 && val < 99 && name != \"q\"");
+  auto light = P("name == \"a\"");
+  auto plan = Q::TreeSelect(Q::TreeSelect(Q::ScanTree("t"), heavy), light);
+  ASSERT_OK_AND_ASSIGN(PlanRef optimized, rewriter.Optimize(plan));
+  // The cheap predicate now runs first (innermost).
+  EXPECT_EQ(optimized->children[0]->pred->ToString(), "name == \"a\"");
+}
+
+TEST_F(RewriterTest, FindIndexableConjunct) {
+  ASSERT_OK_AND_ASSIGN(
+      PredicateRef hit,
+      FindIndexableConjunct(db_, "t", P("val > 1 && name == \"a\"")));
+  EXPECT_EQ(hit->ToString(), "name == \"a\"");
+  EXPECT_TRUE(
+      FindIndexableConjunct(db_, "t", P("val > 1")).status().IsNotFound());
+  EXPECT_TRUE(FindIndexableConjunct(db_, "t", P("name != \"a\""))
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(FindIndexableConjunct(db_, "t", nullptr).status().IsNotFound());
+}
+
+TEST_F(RewriterTest, ListAnchorRuleFires) {
+  ASSERT_OK_AND_ASSIGN(
+      List l, MakeRandomList(db_.store(), 400, {"a", "b", "c", "d"}, 23));
+  ASSERT_OK(db_.RegisterList("l", std::move(l)));
+  ASSERT_OK(db_.CreateIndex("l", "name"));
+  auto lp = ParseListPattern("{name == \"a\"} ? {name == \"b\"}");
+  ASSERT_TRUE(lp.ok());
+  Rewriter rewriter(&db_);
+  rewriter.AddDefaultRules();
+  auto plan = Q::ListSubSelect(Q::ScanList("l"), *lp);
+  ASSERT_OK_AND_ASSIGN(PlanRef optimized, rewriter.Optimize(plan));
+  ASSERT_EQ(optimized->op, PlanOp::kIndexedListSubSelect);
+  EXPECT_EQ(optimized->anchor->ToString(), "name == \"a\"");
+
+  Executor e1(&db_), e2(&db_);
+  ASSERT_OK_AND_ASSIGN(Datum naive, e1.Execute(plan));
+  ASSERT_OK_AND_ASSIGN(Datum opt, e2.Execute(optimized));
+  EXPECT_TRUE(naive.Equals(opt));
+  EXPECT_GT(e2.stats().index_probes, 0u);
+}
+
+TEST_F(RewriterTest, ListAnchorRuleSkipsUnanchorablePatterns) {
+  ASSERT_OK_AND_ASSIGN(List l,
+                       MakeRandomList(db_.store(), 50, {"a", "b"}, 2));
+  ASSERT_OK(db_.RegisterList("l2", std::move(l)));
+  ASSERT_OK(db_.CreateIndex("l2", "name"));
+  auto lp = ParseListPattern("?* {name == \"a\"}");  // nullable head
+  ASSERT_TRUE(lp.ok());
+  Rewriter rewriter(&db_);
+  rewriter.AddDefaultRules();
+  ASSERT_OK_AND_ASSIGN(PlanRef optimized,
+                       rewriter.Optimize(Q::ListSubSelect(Q::ScanList("l2"),
+                                                          *lp)));
+  EXPECT_EQ(optimized->op, PlanOp::kListSubSelect);
+}
+
+TEST_F(RewriterTest, ApplyFusionRule) {
+  NodeFn bump = [](ObjectStore& store, Oid oid) -> Result<Oid> {
+    AQUA_ASSIGN_OR_RETURN(Value v, store.GetAttr(oid, "val"));
+    return store.Create("Item",
+                        {{"name", Value::String("x")},
+                         {"val", Value::Int(v.is_null() ? 1
+                                                        : v.int_value() + 1)}});
+  };
+  Rewriter rewriter(&db_);
+  rewriter.AddRule(MakeApplyFusionRule());
+  auto plan = Q::TreeApply(Q::TreeApply(Q::ScanTree("t"), bump), bump);
+  ASSERT_OK_AND_ASSIGN(PlanRef optimized, rewriter.Optimize(plan));
+  ASSERT_EQ(optimized->op, PlanOp::kTreeApply);
+  ASSERT_EQ(optimized->children[0]->op, PlanOp::kScanTree);  // fused
+
+  Executor e1(&db_), e2(&db_);
+  ASSERT_OK_AND_ASSIGN(Datum twice, e1.Execute(plan));
+  ASSERT_OK_AND_ASSIGN(Datum fused, e2.Execute(optimized));
+  // Object identities differ (apply creates objects), but shapes and the
+  // twice-bumped values agree.
+  ASSERT_TRUE(twice.is_tree());
+  ASSERT_TRUE(fused.is_tree());
+  EXPECT_EQ(twice.tree().size(), fused.tree().size());
+  LabelFn by_val = AttrLabelFn(&db_.store(), "val");
+  EXPECT_EQ(PrintTree(twice.tree(), by_val), PrintTree(fused.tree(), by_val));
+}
+
+TEST_F(RewriterTest, PatternSimplifyRuleFires) {
+  Rewriter rewriter(&db_);
+  rewriter.AddRule(MakePatternSimplifyRule());
+  // `a | a` costs as a disjunction until simplified.
+  auto plan = Q::TreeSubSelect(
+      Q::ScanTree("t"),
+      TP("{name == \"a\"}(?*) | {name == \"a\"}(?*)"));
+  ASSERT_OK_AND_ASSIGN(PlanRef optimized, rewriter.Optimize(plan));
+  ASSERT_EQ(optimized->op, PlanOp::kTreeSubSelect);
+  EXPECT_EQ(optimized->tpattern->kind(), TreePattern::Kind::kNode);
+
+  Executor e1(&db_), e2(&db_);
+  ASSERT_OK_AND_ASSIGN(Datum before, e1.Execute(plan));
+  ASSERT_OK_AND_ASSIGN(Datum after, e2.Execute(optimized));
+  EXPECT_TRUE(before.Equals(after));
+}
+
+TEST_F(RewriterTest, OptimizeIsIdempotent) {
+  Rewriter rewriter(&db_);
+  rewriter.AddDefaultRules();
+  auto plan = Q::TreeSubSelect(Q::ScanTree("t"), TP("{name == \"a\"}(?*)"));
+  ASSERT_OK_AND_ASSIGN(PlanRef once, rewriter.Optimize(plan));
+  Rewriter rewriter2(&db_);
+  rewriter2.AddDefaultRules();
+  ASSERT_OK_AND_ASSIGN(PlanRef twice, rewriter2.Optimize(once));
+  EXPECT_TRUE(PlanEquals(once, twice));
+}
+
+}  // namespace
+}  // namespace aqua

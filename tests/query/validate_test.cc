@@ -1,0 +1,120 @@
+#include "query/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "query/builder.h"
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+class ValidateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // A type with one stored and one computed attribute (§3.1 footnote 2).
+    ASSERT_OK(db_.store()
+                  .schema()
+                  .RegisterType("Doc", {{"title", ValueType::kString, true},
+                                        {"word_count", ValueType::kInt,
+                                         /*stored=*/false}})
+                  .status());
+    ASSERT_OK_AND_ASSIGN(
+        Oid a, db_.store().Create("Doc", {{"title", Value::String("a")}}));
+    ASSERT_OK_AND_ASSIGN(
+        Oid b, db_.store().Create("Doc", {{"title", Value::String("b")}}));
+    tree_ = Tree::Node(NodePayload::Cell(a),
+                       {Tree::Leaf(NodePayload::Cell(b))});
+    ASSERT_OK(db_.RegisterTree("docs", tree_));
+    List l;
+    l.Append(NodePayload::Cell(a));
+    l.Append(NodePayload::Cell(b));
+    list_ = l;
+    ASSERT_OK(db_.RegisterList("doclist", std::move(l)));
+  }
+
+  TreePatternRef TP(const std::string& p) {
+    PatternParserOptions opts;
+    opts.default_attr = "title";
+    auto tp = ParseTreePattern(p, opts);
+    EXPECT_TRUE(tp.ok()) << tp.status().ToString();
+    return tp.ok() ? *tp : nullptr;
+  }
+  AnchoredListPattern LP(const std::string& p) {
+    PatternParserOptions opts;
+    opts.default_attr = "title";
+    auto lp = ParseListPattern(p, opts);
+    EXPECT_TRUE(lp.ok()) << lp.status().ToString();
+    return lp.ok() ? *lp : AnchoredListPattern{};
+  }
+
+  Database db_;
+  Tree tree_;
+  List list_;
+};
+
+TEST_F(ValidateTest, StoredAttributePasses) {
+  EXPECT_OK(ValidateTreePatternAgainst(db_.store(), tree_,
+                                       TP("{title == \"a\"}(?*)")));
+  EXPECT_OK(ValidateListPatternAgainst(db_.store(), list_,
+                                       LP("{title == \"a\"} ?")));
+}
+
+TEST_F(ValidateTest, ComputedAttributeRejected) {
+  Status st = ValidateTreePatternAgainst(db_.store(), tree_,
+                                         TP("{word_count > 100}(?*)"));
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("word_count"), std::string::npos);
+  EXPECT_TRUE(ValidateListPatternAgainst(db_.store(), list_,
+                                         LP("{word_count > 100}"))
+                  .IsInvalidArgument());
+}
+
+TEST_F(ValidateTest, ComputedAttributeInsideStructureRejected) {
+  // Nested in a child sequence / conjunction / prune — still found.
+  EXPECT_TRUE(ValidateTreePatternAgainst(
+                  db_.store(), tree_,
+                  TP("{title == \"a\"}(!{word_count > 1} ?*)"))
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ValidateTreePatternAgainst(
+                  db_.store(), tree_,
+                  TP("{title == \"a\" && word_count > 1}"))
+                  .IsInvalidArgument());
+}
+
+TEST_F(ValidateTest, UnknownAttributeIsAllowed) {
+  // Predicates on attributes no present type declares simply never match;
+  // they are not a stored-ness violation.
+  EXPECT_OK(ValidateTreePatternAgainst(db_.store(), tree_,
+                                       TP("{citizen == \"USA\"}")));
+}
+
+TEST_F(ValidateTest, PlanValidationWalksScans) {
+  auto good = Q::TreeSubSelect(Q::ScanTree("docs"), TP("{title == \"a\"}"));
+  EXPECT_OK(ValidatePlanPatterns(db_, good));
+
+  auto bad = Q::TreeSubSelect(Q::ScanTree("docs"), TP("{word_count > 1}"));
+  EXPECT_TRUE(ValidatePlanPatterns(db_, bad).IsInvalidArgument());
+
+  auto bad_select =
+      Q::TreeSelect(Q::ScanTree("docs"),
+                    Predicate::Compare("word_count", CmpOp::kGt,
+                                       Value::Int(0)));
+  EXPECT_TRUE(ValidatePlanPatterns(db_, bad_select).IsInvalidArgument());
+
+  auto bad_list = Q::ListSubSelect(Q::ScanList("doclist"),
+                                   LP("{word_count > 1}"));
+  EXPECT_TRUE(ValidatePlanPatterns(db_, bad_list).IsInvalidArgument());
+
+  EXPECT_TRUE(ValidatePlanPatterns(db_, nullptr).IsInvalidArgument());
+}
+
+TEST_F(ValidateTest, NullPatternsRejected) {
+  EXPECT_TRUE(ValidateTreePatternAgainst(db_.store(), tree_, nullptr)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      ValidateListPatternAgainst(db_.store(), list_, AnchoredListPattern{})
+          .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,158 @@
+#include "storage/dump.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+class DumpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(RegisterPersonType(db_.store()));
+    ASSERT_OK(RegisterItemType(db_.store()));
+    ASSERT_OK_AND_ASSIGN(Tree family, MakePaperFamilyTree(db_.store()));
+    ASSERT_OK(db_.RegisterTree("family", std::move(family)));
+    atom_ = MakeInterningAtomFn(&db_.store(), "Item", "name");
+    ASSERT_OK_AND_ASSIGN(List song, ParseListLiteral("[a b @x c]", atom_));
+    ASSERT_OK(db_.RegisterList("song", std::move(song)));
+    ASSERT_OK_AND_ASSIGN(
+        Tree with_point, ParseTreeLiteral("root(a @cut b)", atom_));
+    ASSERT_OK(db_.RegisterTree("pointed", std::move(with_point)));
+    ASSERT_OK(db_.CreateIndex("family", "citizen"));
+    ASSERT_OK(db_.CreateIndex("song", "name"));
+  }
+
+  Database db_;
+  AtomFn atom_;
+};
+
+TEST_F(DumpTest, DumpHasExpectedSections) {
+  ASSERT_OK_AND_ASSIGN(std::string text, DumpDatabase(db_));
+  EXPECT_NE(text.find("AQUA-DUMP 1"), std::string::npos);
+  EXPECT_NE(text.find("TYPE Person"), std::string::npos);
+  EXPECT_NE(text.find("OBJ 1 Person"), std::string::npos);
+  EXPECT_NE(text.find("TREE family"), std::string::npos);
+  EXPECT_NE(text.find("LIST song"), std::string::npos);
+  EXPECT_NE(text.find("INDEX family citizen"), std::string::npos);
+  EXPECT_NE(text.find("P:x"), std::string::npos);   // list point
+  EXPECT_NE(text.find("P:cut"), std::string::npos); // tree point
+  EXPECT_NE(text.find("END"), std::string::npos);
+}
+
+TEST_F(DumpTest, RoundTripPreservesEverything) {
+  ASSERT_OK_AND_ASSIGN(std::string text, DumpDatabase(db_));
+  Database loaded;
+  ASSERT_OK(LoadDatabase(text, &loaded));
+
+  // Schema.
+  EXPECT_EQ(loaded.store().schema().num_types(),
+            db_.store().schema().num_types());
+  // Objects (same count, same attribute values by oid).
+  ASSERT_EQ(loaded.store().num_objects(), db_.store().num_objects());
+  for (uint64_t raw = 1; raw <= db_.store().num_objects(); ++raw) {
+    ASSERT_OK_AND_ASSIGN(const Object* orig, db_.store().Get(Oid(raw)));
+    ASSERT_OK_AND_ASSIGN(const Object* copy, loaded.store().Get(Oid(raw)));
+    ASSERT_EQ(orig->attrs().size(), copy->attrs().size());
+    for (size_t i = 0; i < orig->attrs().size(); ++i) {
+      EXPECT_TRUE(orig->attr_at(i).Equals(copy->attr_at(i)))
+          << "oid " << raw << " attr " << i;
+    }
+  }
+  // Collections.
+  ASSERT_OK_AND_ASSIGN(const Tree* family, db_.GetTree("family"));
+  ASSERT_OK_AND_ASSIGN(const Tree* family2, loaded.GetTree("family"));
+  EXPECT_TRUE(family->StructurallyEquals(*family2));
+  ASSERT_OK_AND_ASSIGN(const Tree* pointed2, loaded.GetTree("pointed"));
+  ASSERT_OK_AND_ASSIGN(const Tree* pointed, db_.GetTree("pointed"));
+  EXPECT_TRUE(pointed->StructurallyEquals(*pointed2));
+  ASSERT_OK_AND_ASSIGN(const List* song, db_.GetList("song"));
+  ASSERT_OK_AND_ASSIGN(const List* song2, loaded.GetList("song"));
+  EXPECT_TRUE(*song == *song2);
+  // Index catalog (rebuilt).
+  EXPECT_TRUE(loaded.indexes().Has("family", "citizen"));
+  EXPECT_TRUE(loaded.indexes().Has("song", "name"));
+  EXPECT_EQ(loaded.indexes().num_indexes(), 2u);
+}
+
+TEST_F(DumpTest, DoubleRoundTripIsStable) {
+  ASSERT_OK_AND_ASSIGN(std::string once, DumpDatabase(db_));
+  Database loaded;
+  ASSERT_OK(LoadDatabase(once, &loaded));
+  ASSERT_OK_AND_ASSIGN(std::string twice, DumpDatabase(loaded));
+  EXPECT_EQ(once, twice);
+}
+
+TEST_F(DumpTest, QueriesAgreeAfterRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(std::string text, DumpDatabase(db_));
+  Database loaded;
+  ASSERT_OK(LoadDatabase(text, &loaded));
+  PredicateEnv env;
+  env.Bind("Brazil",
+           Predicate::AttrEquals("citizen", Value::String("Brazil")));
+  env.Bind("USA", Predicate::AttrEquals("citizen", Value::String("USA")));
+  PatternParserOptions popts;
+  popts.env = &env;
+  ASSERT_OK_AND_ASSIGN(TreePatternRef tp,
+                       ParseTreePattern("Brazil(!?* USA !?*)", popts));
+  ASSERT_OK_AND_ASSIGN(const Tree* t1, db_.GetTree("family"));
+  ASSERT_OK_AND_ASSIGN(const Tree* t2, loaded.GetTree("family"));
+  ASSERT_OK_AND_ASSIGN(Datum r1, TreeSubSelect(db_.store(), *t1, tp));
+  ASSERT_OK_AND_ASSIGN(Datum r2, TreeSubSelect(loaded.store(), *t2, tp));
+  EXPECT_TRUE(r1.Equals(r2));
+  EXPECT_EQ(r1.size(), 1u);
+}
+
+TEST_F(DumpTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/aqua_dump_test.txt";
+  ASSERT_OK(DumpDatabaseToFile(db_, path));
+  Database loaded;
+  ASSERT_OK(LoadDatabaseFromFile(path, &loaded));
+  EXPECT_EQ(loaded.store().num_objects(), db_.store().num_objects());
+  std::remove(path.c_str());
+  EXPECT_TRUE(
+      LoadDatabaseFromFile("/nonexistent/nope", &loaded).IsNotFound());
+}
+
+TEST_F(DumpTest, EscapedStringsSurvive) {
+  ASSERT_OK_AND_ASSIGN(
+      Oid odd, db_.store().Create(
+                   "Item", {{"name", Value::String("we\"ird\\na\nme")}}));
+  List l;
+  l.Append(NodePayload::Cell(odd));
+  ASSERT_OK(db_.RegisterList("odd", std::move(l)));
+  ASSERT_OK_AND_ASSIGN(std::string text, DumpDatabase(db_));
+  Database loaded;
+  ASSERT_OK(LoadDatabase(text, &loaded));
+  ASSERT_OK_AND_ASSIGN(Value name, loaded.store().GetAttr(odd, "name"));
+  EXPECT_EQ(name.string_value(), "we\"ird\\na\nme");
+}
+
+TEST_F(DumpTest, LoadRejectsNonEmptyDatabase) {
+  ASSERT_OK_AND_ASSIGN(std::string text, DumpDatabase(db_));
+  EXPECT_TRUE(LoadDatabase(text, &db_).IsInvalidArgument());
+  EXPECT_TRUE(LoadDatabase(text, nullptr).IsInvalidArgument());
+}
+
+TEST_F(DumpTest, LoadRejectsGarbage) {
+  Database fresh1, fresh2, fresh3;
+  EXPECT_TRUE(LoadDatabase("not a dump", &fresh1).IsParseError());
+  EXPECT_TRUE(LoadDatabase("AQUA-DUMP 1\nBOGUS line\nEND\n", &fresh2)
+                  .IsParseError());
+  // Missing END.
+  EXPECT_TRUE(LoadDatabase("AQUA-DUMP 1\n", &fresh3).IsParseError());
+}
+
+TEST_F(DumpTest, EmptyDatabaseRoundTrips) {
+  Database empty, loaded;
+  ASSERT_OK_AND_ASSIGN(std::string text, DumpDatabase(empty));
+  ASSERT_OK(LoadDatabase(text, &loaded));
+  EXPECT_EQ(loaded.store().num_objects(), 0u);
+  EXPECT_TRUE(loaded.CollectionNames().empty());
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,110 @@
+#ifndef AQUA_TESTS_TEST_UTIL_H_
+#define AQUA_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "aqua.h"
+
+/// Asserts that a Status or Result is OK.
+#define ASSERT_OK(expr)                                               \
+  do {                                                                \
+    auto _st = (expr);                                         \
+    ASSERT_TRUE(_st.ok()) << "expected OK, got " << StatusOf(_st);    \
+  } while (false)
+
+#define EXPECT_OK(expr)                                               \
+  do {                                                                \
+    auto _st = (expr);                                         \
+    EXPECT_TRUE(_st.ok()) << "expected OK, got " << StatusOf(_st);    \
+  } while (false)
+
+/// Unwraps a Result into `lhs`, failing the test on error.
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)                                  \
+  ASSERT_OK_AND_ASSIGN_IMPL(AQUA_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL(tmp, lhs, rexpr)                        \
+  auto tmp = (rexpr);                                                     \
+  ASSERT_TRUE(tmp.ok()) << "expected OK, got " << tmp.status().ToString(); \
+  lhs = std::move(tmp).ValueUnsafe()
+
+namespace aqua {
+
+inline std::string StatusOf(const Status& s) { return s.ToString(); }
+template <typename T>
+std::string StatusOf(const Result<T>& r) {
+  return r.status().ToString();
+}
+
+namespace testing {
+
+/// Base fixture: an object store with the generic `Item` type, literal
+/// parsing helpers (atoms intern `Item`s by their `name`), and printers.
+///
+/// With these helpers a test reads like the paper:
+///
+///   Tree t = T("b(d(f g) e)");
+///   auto tp = TP("b(d ?)");
+///   EXPECT_EQ(Str(t), "b(d(f g) e)");
+class AquaTestBase : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(RegisterItemType(store_));
+    atom_ = MakeInterningAtomFn(&store_, "Item", "name");
+    label_ = AttrLabelFn(&store_, "name");
+  }
+
+  /// Parses a tree literal like `a(b c)`; fails the test on parse errors.
+  Tree T(const std::string& literal) {
+    auto tree = ParseTreeLiteral(literal, atom_);
+    EXPECT_TRUE(tree.ok()) << tree.status().ToString() << " in " << literal;
+    return tree.ok() ? *tree : Tree();
+  }
+
+  /// Parses a list literal like `[a b c]`.
+  List L(const std::string& literal) {
+    auto list = ParseListLiteral(literal, atom_);
+    EXPECT_TRUE(list.ok()) << list.status().ToString() << " in " << literal;
+    return list.ok() ? *list : List();
+  }
+
+  /// Parses a tree pattern (bare identifiers mean `{name == "<id>"}`).
+  TreePatternRef TP(const std::string& pattern) {
+    PatternParserOptions opts;
+    opts.env = &env_;
+    auto tp = ParseTreePattern(pattern, opts);
+    EXPECT_TRUE(tp.ok()) << tp.status().ToString() << " in " << pattern;
+    return tp.ok() ? *tp : nullptr;
+  }
+
+  /// Parses a list pattern.
+  AnchoredListPattern LP(const std::string& pattern) {
+    PatternParserOptions opts;
+    opts.env = &env_;
+    auto lp = ParseListPattern(pattern, opts);
+    EXPECT_TRUE(lp.ok()) << lp.status().ToString() << " in " << pattern;
+    return lp.ok() ? *lp : AnchoredListPattern{};
+  }
+
+  /// Parses a predicate like `val > 10`.
+  PredicateRef P(const std::string& text) {
+    auto pred = ParsePredicate(text);
+    EXPECT_TRUE(pred.ok()) << pred.status().ToString() << " in " << text;
+    return pred.ok() ? *pred : nullptr;
+  }
+
+  std::string Str(const Tree& t) const { return PrintTree(t, label_); }
+  std::string Str(const List& l) const { return PrintList(l, label_); }
+  std::string Str(const Datum& d) const { return d.ToString(label_); }
+
+  ObjectStore store_;
+  AtomFn atom_;
+  LabelFn label_;
+  PredicateEnv env_;
+};
+
+}  // namespace testing
+}  // namespace aqua
+
+#endif  // AQUA_TESTS_TEST_UTIL_H_

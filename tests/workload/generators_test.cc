@@ -1,0 +1,127 @@
+#include "workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+class GeneratorsTest : public ::testing::Test {
+ protected:
+  ObjectStore store_;
+};
+
+TEST_F(GeneratorsTest, TypeRegistrationIsIdempotent) {
+  ASSERT_OK(RegisterPersonType(store_));
+  ASSERT_OK(RegisterPersonType(store_));
+  ASSERT_OK(RegisterNoteType(store_));
+  ASSERT_OK(RegisterParseNodeType(store_));
+  ASSERT_OK(RegisterItemType(store_));
+  EXPECT_EQ(store_.schema().num_types(), 4u);
+}
+
+TEST_F(GeneratorsTest, PaperFamilyTreeShape) {
+  ASSERT_OK_AND_ASSIGN(Tree t, MakePaperFamilyTree(store_));
+  EXPECT_OK(t.Validate());
+  EXPECT_EQ(t.size(), 8u);
+  LabelFn name = AttrLabelFn(&store_, "name");
+  EXPECT_EQ(PrintTree(t, name), "Ted(Ann Gen(Joe(Bob) John(Mary)) Ray)");
+  LabelFn citizen = AttrLabelFn(&store_, "citizen");
+  EXPECT_EQ(PrintTree(t, citizen),
+            "USA(USA Brazil(Brazil(Brazil) USA(USA)) USA)");
+}
+
+TEST_F(GeneratorsTest, FamilyTreeDeterministicAndSized) {
+  FamilyTreeSpec spec;
+  spec.num_people = 50;
+  spec.seed = 99;
+  ASSERT_OK_AND_ASSIGN(Tree t1, MakeFamilyTree(store_, spec));
+  EXPECT_OK(t1.Validate());
+  EXPECT_EQ(t1.size(), 50u);
+  EXPECT_LE(t1.MaxArity(), spec.max_children);
+
+  ObjectStore other;
+  ASSERT_OK_AND_ASSIGN(Tree t2, MakeFamilyTree(other, spec));
+  LabelFn n1 = AttrLabelFn(&store_, "citizen");
+  LabelFn n2 = AttrLabelFn(&other, "citizen");
+  EXPECT_EQ(PrintTree(t1, n1), PrintTree(t2, n2));
+}
+
+TEST_F(GeneratorsTest, SongGeneration) {
+  SongSpec spec;
+  spec.num_notes = 30;
+  ASSERT_OK_AND_ASSIGN(List song, MakeSong(store_, spec));
+  EXPECT_EQ(song.size(), 30u);
+  for (size_t i = 0; i < song.size(); ++i) {
+    ASSERT_TRUE(song.at(i).is_cell());
+    auto pitch = store_.GetAttr(song.at(i).oid(), "pitch");
+    ASSERT_TRUE(pitch.ok());
+    auto dur = store_.GetAttr(song.at(i).oid(), "duration");
+    ASSERT_TRUE(dur.ok());
+    EXPECT_GE(dur->int_value(), 1);
+    EXPECT_LE(dur->int_value(), spec.max_duration);
+  }
+}
+
+TEST_F(GeneratorsTest, ParseTreeHasRewriteTargets) {
+  ParseTreeSpec spec;
+  spec.num_exprs = 60;
+  spec.and_fraction = 0.9;
+  ASSERT_OK_AND_ASSIGN(Tree t, MakeQueryParseTree(store_, spec));
+  EXPECT_OK(t.Validate());
+  // There must be select nodes whose predicate root is `and`.
+  auto tp = ParseTreePattern("{op == \"select\"}(!? {op == \"and\"})");
+  ASSERT_TRUE(tp.ok());
+  TreeMatcher matcher(store_, t);
+  ASSERT_OK_AND_ASSIGN(auto matches, matcher.FindAll(*tp));
+  EXPECT_GT(matches.size(), 0u);
+}
+
+TEST_F(GeneratorsTest, RandomTreeRespectsSpec) {
+  RandomTreeSpec spec;
+  spec.num_nodes = 200;
+  spec.max_children = 3;
+  spec.labels = {"x", "y"};
+  ASSERT_OK_AND_ASSIGN(Tree t, MakeRandomTree(store_, spec));
+  EXPECT_OK(t.Validate());
+  EXPECT_EQ(t.size(), 200u);
+  EXPECT_LE(t.MaxArity(), 3u);
+  for (NodeId v : t.Preorder()) {
+    auto name = store_.GetAttr(t.payload(v).oid(), "name");
+    ASSERT_TRUE(name.ok());
+    EXPECT_TRUE(name->string_value() == "x" || name->string_value() == "y");
+  }
+}
+
+TEST_F(GeneratorsTest, RandomListAndChain) {
+  ASSERT_OK_AND_ASSIGN(List l, MakeRandomList(store_, 40, {"a", "b"}, 3));
+  EXPECT_EQ(l.size(), 40u);
+  ASSERT_OK_AND_ASSIGN(Tree chain, MakeChain(store_, {"a", "b", "c"}, 10));
+  EXPECT_OK(chain.Validate());
+  EXPECT_EQ(chain.size(), 10u);
+  EXPECT_EQ(chain.Height(), 9u);
+  EXPECT_LE(chain.MaxArity(), 1u);
+}
+
+TEST_F(GeneratorsTest, EmptySpecsYieldEmptyCollections) {
+  FamilyTreeSpec people;
+  people.num_people = 0;
+  ASSERT_OK_AND_ASSIGN(Tree t, MakeFamilyTree(store_, people));
+  EXPECT_TRUE(t.empty());
+  ASSERT_OK_AND_ASSIGN(Tree chain, MakeChain(store_, {"a"}, 0));
+  EXPECT_TRUE(chain.empty());
+}
+
+TEST_F(GeneratorsTest, InterningAtomFnInterns) {
+  ASSERT_OK(RegisterItemType(store_));
+  AtomFn atom = MakeInterningAtomFn(&store_, "Item", "name");
+  ASSERT_OK_AND_ASSIGN(Oid a1, atom("tok"));
+  ASSERT_OK_AND_ASSIGN(Oid a2, atom("tok"));
+  ASSERT_OK_AND_ASSIGN(Oid b, atom("other"));
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+}
+
+}  // namespace
+}  // namespace aqua

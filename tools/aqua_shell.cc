@@ -1,0 +1,407 @@
+// aqua_shell — an interactive REPL over the AQUA algebra.
+//
+//   ./build/tools/aqua_shell
+//   aqua> tree family Ted(Ann Gen(Joe(Bob) John(Mary)) Ray)
+//   aqua> subselect family Gen(?*)
+//   aqua> split family Gen(!?* John !?*)
+//
+// Atoms in literals are interned as `Item` objects keyed by `name`; richer
+// schemas can be declared with `type` / `new` and queried with `{...}`
+// predicates. `help` lists everything.
+#include <iostream>
+#include <sstream>
+#include <unistd.h>
+#include <string>
+
+#include "aqua.h"
+#include "common/str_util.h"
+#include "query/builder.h"
+
+namespace aqua {
+namespace {
+
+class Shell {
+ public:
+  Shell() {
+    Status st = RegisterItemType(db().store());
+    if (!st.ok()) std::cerr << "init: " << st << "\n";
+    atom_ = MakeInterningAtomFn(&db().store(), "Item", "name");
+    label_attr_ = "name";
+  }
+
+  int Run(std::istream& in, bool interactive) {
+    std::string line;
+    if (interactive) std::cout << "aqua> " << std::flush;
+    while (std::getline(in, line)) {
+      std::string_view trimmed = StripWhitespace(line);
+      if (!trimmed.empty() && trimmed[0] != '#') {
+        if (trimmed == "quit" || trimmed == "exit") break;
+        Status st = Dispatch(std::string(trimmed));
+        if (!st.ok()) std::cout << "error: " << st << "\n";
+      }
+      if (interactive) std::cout << "aqua> " << std::flush;
+    }
+    if (interactive) std::cout << "\n";
+    return 0;
+  }
+
+ private:
+  LabelFn Label() { return AttrLabelFn(&db().store(), label_attr_); }
+
+  PatternParserOptions PatternOpts() {
+    PatternParserOptions opts;
+    opts.env = &env_;
+    opts.default_attr = label_attr_;
+    return opts;
+  }
+
+  static std::pair<std::string, std::string> SplitFirst(
+      const std::string& s) {
+    size_t sp = s.find(' ');
+    if (sp == std::string::npos) return {s, ""};
+    return {s.substr(0, sp),
+            std::string(StripWhitespace(s.substr(sp + 1)))};
+  }
+
+  Status Dispatch(const std::string& line) {
+    auto [cmd, rest] = SplitFirst(line);
+    if (cmd == "help") return Help();
+    if (cmd == "tree") return CmdTree(rest);
+    if (cmd == "list") return CmdList(rest);
+    if (cmd == "bind") return CmdBind(rest);
+    if (cmd == "index") return CmdIndex(rest);
+    if (cmd == "show") return CmdShow(rest);
+    if (cmd == "collections") return CmdCollections();
+    if (cmd == "stats") return CmdStats(rest);
+    if (cmd == "label") return CmdLabel(rest);
+    if (cmd == "select") return CmdSelect(rest);
+    if (cmd == "subselect") return CmdSubSelect(rest);
+    if (cmd == "split") return CmdSplit(rest);
+    if (cmd == "allanc") return CmdAllAnc(rest);
+    if (cmd == "alldesc") return CmdAllDesc(rest);
+    if (cmd == "explain") return CmdExplain(rest);
+    if (cmd == "approx") return CmdApprox(rest);
+    if (cmd == "nearest") return CmdNearest(rest);
+    if (cmd == "dump") return DumpDatabaseToFile(db(), rest);
+    if (cmd == "load") return CmdLoad(rest);
+    return Status::InvalidArgument("unknown command '" + cmd +
+                                   "' (try `help`)");
+  }
+
+  Status Help() {
+    std::cout <<
+        "commands:\n"
+        "  tree <name> <literal>       register a tree, e.g. a(b c(@p))\n"
+        "  list <name> <literal>       register a list, e.g. [a b @x c]\n"
+        "  bind <name> <predicate>     name a predicate, e.g. bind Old "
+        "{age > 60}\n"
+        "  index <coll> <attr>         build an attribute index\n"
+        "  label <attr>                display/atom attribute (default "
+        "name)\n"
+        "  show <coll>                 print a collection\n"
+        "  collections                 list registered collections\n"
+        "  stats <coll>                structural statistics\n"
+        "  select <coll> <pred>        order-stable select\n"
+        "  subselect <coll> <pattern>  pattern retrieval (list or tree)\n"
+        "  split <coll> <pattern>      the primitive: <x, y, z> pieces\n"
+        "  allanc <coll> <pattern>     match + ancestors context\n"
+        "  alldesc <coll> <pattern>    match + descendants\n"
+        "  explain <coll> <pattern>    plan before/after the optimizer\n"
+        "  approx <coll> <literal> <k> subtrees within edit distance k\n"
+        "  nearest <coll> <literal> <n> top-n closest subtrees\n"
+        "  dump <file> / load <file>   serialize / restore the database\n"
+        "  quit\n";
+    return Status::OK();
+  }
+
+  Status CmdTree(const std::string& rest) {
+    auto [name, literal] = SplitFirst(rest);
+    if (name.empty() || literal.empty()) {
+      return Status::InvalidArgument("usage: tree <name> <literal>");
+    }
+    AQUA_ASSIGN_OR_RETURN(Tree tree, ParseTreeLiteral(literal, atom_));
+    AQUA_RETURN_IF_ERROR(db().RegisterTree(name, std::move(tree)));
+    std::cout << "tree '" << name << "' registered\n";
+    return Status::OK();
+  }
+
+  Status CmdList(const std::string& rest) {
+    auto [name, literal] = SplitFirst(rest);
+    if (name.empty() || literal.empty()) {
+      return Status::InvalidArgument("usage: list <name> <literal>");
+    }
+    AQUA_ASSIGN_OR_RETURN(List list, ParseListLiteral(literal, atom_));
+    AQUA_RETURN_IF_ERROR(db().RegisterList(name, std::move(list)));
+    std::cout << "list '" << name << "' registered\n";
+    return Status::OK();
+  }
+
+  Status CmdBind(const std::string& rest) {
+    auto [name, text] = SplitFirst(rest);
+    if (name.empty() || text.empty()) {
+      return Status::InvalidArgument("usage: bind <name> <predicate>");
+    }
+    AQUA_ASSIGN_OR_RETURN(PredicateRef pred, ParsePredicate(text));
+    env_.Bind(name, std::move(pred));
+    std::cout << "bound " << name << "\n";
+    return Status::OK();
+  }
+
+  Status CmdIndex(const std::string& rest) {
+    auto [coll, attr] = SplitFirst(rest);
+    if (coll.empty() || attr.empty()) {
+      return Status::InvalidArgument("usage: index <collection> <attr>");
+    }
+    AQUA_RETURN_IF_ERROR(db().CreateIndex(coll, attr));
+    std::cout << "index on " << coll << "." << attr << " built\n";
+    return Status::OK();
+  }
+
+  Status CmdShow(const std::string& name) {
+    if (db().HasTree(name)) {
+      AQUA_ASSIGN_OR_RETURN(const Tree* tree, db().GetTree(name));
+      std::cout << PrintTree(*tree, Label()) << "\n";
+      return Status::OK();
+    }
+    AQUA_ASSIGN_OR_RETURN(const List* list, db().GetList(name));
+    std::cout << PrintList(*list, Label()) << "\n";
+    return Status::OK();
+  }
+
+  Status CmdCollections() {
+    for (const std::string& name : db().TreeNames()) {
+      AQUA_ASSIGN_OR_RETURN(const Tree* tree, db().GetTree(name));
+      std::cout << "tree  " << name << " (" << tree->size() << " nodes)\n";
+    }
+    for (const std::string& name : db().ListNames()) {
+      AQUA_ASSIGN_OR_RETURN(const List* list, db().GetList(name));
+      std::cout << "list  " << name << " (" << list->size()
+                << " elements)\n";
+    }
+    return Status::OK();
+  }
+
+  Status CmdStats(const std::string& name) {
+    if (db().HasList(name)) {
+      AQUA_ASSIGN_OR_RETURN(const List* list, db().GetList(name));
+      std::cout << "elements: " << list->size() << "\n";
+      return Status::OK();
+    }
+    AQUA_ASSIGN_OR_RETURN(const Tree* tree, db().GetTree(name));
+    TreeStats stats = ComputeTreeStats(*tree);
+    std::cout << "nodes: " << stats.num_nodes
+              << "  leaves: " << stats.num_leaves
+              << "  points: " << stats.num_points
+              << "  height: " << stats.height
+              << "  max arity: " << stats.max_arity
+              << (stats.fixed_arity ? "  (fixed-arity)" : "") << "\n";
+    return Status::OK();
+  }
+
+  Status CmdLabel(const std::string& attr) {
+    if (attr.empty()) return Status::InvalidArgument("usage: label <attr>");
+    label_attr_ = attr;
+    std::cout << "display attribute: " << attr << "\n";
+    return Status::OK();
+  }
+
+  Status CmdSelect(const std::string& rest) {
+    auto [coll, text] = SplitFirst(rest);
+    PredicateRef pred;
+    if (env_.Has(text)) {
+      AQUA_ASSIGN_OR_RETURN(pred, env_.Lookup(text));
+    } else {
+      AQUA_ASSIGN_OR_RETURN(pred, ParsePredicate(text));
+    }
+    if (db().HasList(coll)) {
+      AQUA_ASSIGN_OR_RETURN(const List* list, db().GetList(coll));
+      AQUA_ASSIGN_OR_RETURN(List out, ListSelect(db().store(), *list, pred));
+      std::cout << PrintList(out, Label()) << "\n";
+      return Status::OK();
+    }
+    AQUA_ASSIGN_OR_RETURN(const Tree* tree, db().GetTree(coll));
+    AQUA_ASSIGN_OR_RETURN(auto forest, TreeSelect(db().store(), *tree, pred));
+    for (const Tree& piece : forest) {
+      std::cout << PrintTree(piece, Label()) << "\n";
+    }
+    if (forest.empty()) std::cout << "(empty forest)\n";
+    return Status::OK();
+  }
+
+  Status CmdSubSelect(const std::string& rest) {
+    auto [coll, pattern] = SplitFirst(rest);
+    if (db().HasList(coll)) {
+      AQUA_ASSIGN_OR_RETURN(const List* list, db().GetList(coll));
+      AQUA_ASSIGN_OR_RETURN(AnchoredListPattern lp,
+                            ParseListPattern(pattern, PatternOpts()));
+      AQUA_ASSIGN_OR_RETURN(Datum out,
+                            ListSubSelect(db().store(), *list, lp));
+      std::cout << out.ToString(Label()) << "\n";
+      return Status::OK();
+    }
+    AQUA_ASSIGN_OR_RETURN(const Tree* tree, db().GetTree(coll));
+    AQUA_ASSIGN_OR_RETURN(TreePatternRef tp,
+                          ParseTreePattern(pattern, PatternOpts()));
+    AQUA_ASSIGN_OR_RETURN(Datum out, TreeSubSelect(db().store(), *tree, tp));
+    std::cout << out.ToString(Label()) << "\n";
+    return Status::OK();
+  }
+
+  Status CmdSplit(const std::string& rest) {
+    auto [coll, pattern] = SplitFirst(rest);
+    auto tuple3 = [](const Tree& x, const Tree& y,
+                     const std::vector<Tree>& z) -> Result<Datum> {
+      std::vector<Datum> zs;
+      for (const Tree& t : z) zs.push_back(Datum::Of(t));
+      return Datum::Tuple(
+          {Datum::Of(x), Datum::Of(y), Datum::Tuple(std::move(zs))});
+    };
+    if (db().HasList(coll)) {
+      AQUA_ASSIGN_OR_RETURN(const List* list, db().GetList(coll));
+      AQUA_ASSIGN_OR_RETURN(AnchoredListPattern lp,
+                            ParseListPattern(pattern, PatternOpts()));
+      auto ltuple3 = [](const List& x, const List& y,
+                        const std::vector<List>& z) -> Result<Datum> {
+        std::vector<Datum> zs;
+        for (const List& piece : z) zs.push_back(Datum::Of(piece));
+        return Datum::Tuple(
+            {Datum::Of(x), Datum::Of(y), Datum::Tuple(std::move(zs))});
+      };
+      AQUA_ASSIGN_OR_RETURN(Datum out,
+                            ListSplit(db().store(), *list, lp, ltuple3));
+      std::cout << out.ToString(Label()) << "\n";
+      return Status::OK();
+    }
+    AQUA_ASSIGN_OR_RETURN(const Tree* tree, db().GetTree(coll));
+    AQUA_ASSIGN_OR_RETURN(TreePatternRef tp,
+                          ParseTreePattern(pattern, PatternOpts()));
+    AQUA_ASSIGN_OR_RETURN(Datum out,
+                          TreeSplit(db().store(), *tree, tp, tuple3));
+    std::cout << out.ToString(Label()) << "\n";
+    return Status::OK();
+  }
+
+  Status CmdAllAnc(const std::string& rest) {
+    auto [coll, pattern] = SplitFirst(rest);
+    AQUA_ASSIGN_OR_RETURN(const Tree* tree, db().GetTree(coll));
+    AQUA_ASSIGN_OR_RETURN(TreePatternRef tp,
+                          ParseTreePattern(pattern, PatternOpts()));
+    AQUA_ASSIGN_OR_RETURN(
+        Datum out,
+        TreeAllAnc(db().store(), *tree, tp,
+                   [](const Tree& x, const Tree& y) -> Result<Datum> {
+                     return Datum::Tuple({Datum::Of(x), Datum::Of(y)});
+                   }));
+    std::cout << out.ToString(Label()) << "\n";
+    return Status::OK();
+  }
+
+  Status CmdAllDesc(const std::string& rest) {
+    auto [coll, pattern] = SplitFirst(rest);
+    AQUA_ASSIGN_OR_RETURN(const Tree* tree, db().GetTree(coll));
+    AQUA_ASSIGN_OR_RETURN(TreePatternRef tp,
+                          ParseTreePattern(pattern, PatternOpts()));
+    AQUA_ASSIGN_OR_RETURN(
+        Datum out,
+        TreeAllDesc(db().store(), *tree, tp,
+                    [](const Tree& y,
+                       const std::vector<Tree>& z) -> Result<Datum> {
+                      std::vector<Datum> zs;
+                      for (const Tree& t : z) zs.push_back(Datum::Of(t));
+                      return Datum::Tuple(
+                          {Datum::Of(y), Datum::Tuple(std::move(zs))});
+                    }));
+    std::cout << out.ToString(Label()) << "\n";
+    return Status::OK();
+  }
+
+  Status CmdExplain(const std::string& rest) {
+    auto [coll, pattern] = SplitFirst(rest);
+    AQUA_RETURN_IF_ERROR(db().GetTree(coll).status());
+    AQUA_ASSIGN_OR_RETURN(TreePatternRef tp,
+                          ParseTreePattern(pattern, PatternOpts()));
+    PlanRef plan = Q::TreeSubSelect(Q::ScanTree(coll), tp);
+    std::cout << "plan:\n" << Explain(plan);
+    Rewriter rewriter(&db());
+    rewriter.AddDefaultRules();
+    AQUA_ASSIGN_OR_RETURN(PlanRef optimized, rewriter.Optimize(plan));
+    std::cout << "optimized:\n" << Explain(optimized);
+    Executor exec(&db());
+    AQUA_ASSIGN_OR_RETURN(Datum out, exec.Execute(optimized));
+    std::cout << "result: " << out.ToString(Label()) << "\n";
+    return Status::OK();
+  }
+
+  Status CmdApprox(const std::string& rest) {
+    auto [coll, tail] = SplitFirst(rest);
+    size_t sp = tail.rfind(' ');
+    if (sp == std::string::npos) {
+      return Status::InvalidArgument("usage: approx <coll> <literal> <k>");
+    }
+    std::string literal = tail.substr(0, sp);
+    double k = std::strtod(tail.substr(sp + 1).c_str(), nullptr);
+    AQUA_ASSIGN_OR_RETURN(const Tree* tree, db().GetTree(coll));
+    AQUA_ASSIGN_OR_RETURN(Tree query, ParseTreeLiteral(literal, atom_));
+    AQUA_ASSIGN_OR_RETURN(
+        Datum out,
+        TreeSubSelectApprox(db().store(), *tree, query, k,
+                            AttrEditCosts(&db().store(), label_attr_)));
+    std::cout << out.ToString(Label()) << "\n";
+    return Status::OK();
+  }
+
+  Status CmdNearest(const std::string& rest) {
+    auto [coll, tail] = SplitFirst(rest);
+    size_t sp = tail.rfind(' ');
+    if (sp == std::string::npos) {
+      return Status::InvalidArgument("usage: nearest <coll> <literal> <n>");
+    }
+    std::string literal = tail.substr(0, sp);
+    size_t n = std::strtoull(tail.substr(sp + 1).c_str(), nullptr, 10);
+    AQUA_ASSIGN_OR_RETURN(const Tree* tree, db().GetTree(coll));
+    AQUA_ASSIGN_OR_RETURN(Tree query, ParseTreeLiteral(literal, atom_));
+    AQUA_ASSIGN_OR_RETURN(
+        auto ranked,
+        NearestSubtrees(db().store(), *tree, query, n,
+                        AttrEditCosts(&db().store(), label_attr_)));
+    for (const auto& scored : ranked) {
+      std::cout << scored.distance << "  "
+                << PrintTree(scored.subtree, Label()) << "\n";
+    }
+    return Status::OK();
+  }
+
+  Status CmdLoad(const std::string& path) {
+    auto fresh = std::make_unique<Database>();
+    AQUA_RETURN_IF_ERROR(LoadDatabaseFromFile(path, fresh.get()));
+    db_holder_ = std::move(fresh);
+    // Literal atoms must intern into the loaded store from now on.
+    if (!db().store().schema().TypeIdOf("Item").ok()) {
+      AQUA_RETURN_IF_ERROR(RegisterItemType(db().store()));
+    }
+    atom_ = MakeInterningAtomFn(&db().store(), "Item", "name");
+    std::cout << "loaded " << path << " ("
+              << db_holder_->store().num_objects() << " objects)\n";
+    return Status::OK();
+  }
+
+  // The active database: either the initial one or the last loaded one.
+  Database& db() { return db_holder_ ? *db_holder_ : db_; }
+
+  Database db_;
+  std::unique_ptr<Database> db_holder_;
+  PredicateEnv env_;
+  AtomFn atom_;
+  std::string label_attr_;
+};
+
+}  // namespace
+}  // namespace aqua
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  bool interactive = isatty(0);
+  aqua::Shell shell;
+  return shell.Run(std::cin, interactive);
+}
