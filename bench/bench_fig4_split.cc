@@ -106,3 +106,5 @@ BENCHMARK(BM_Fig4_SplitReassembly)->Arg(64)->Arg(256)->Arg(1024);
 
 }  // namespace
 }  // namespace aqua
+
+AQUA_BENCH_MAIN()

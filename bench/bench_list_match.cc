@@ -141,3 +141,5 @@ BENCHMARK(BM_ListMatch_EnumerateAll)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
 
 }  // namespace
 }  // namespace aqua
+
+AQUA_BENCH_MAIN()

@@ -1,9 +1,15 @@
 #ifndef AQUA_BENCH_BENCH_UTIL_H_
 #define AQUA_BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <string_view>
 #include <utility>
+#include <vector>
 
 #include "aqua.h"
 
@@ -36,6 +42,138 @@ inline std::vector<std::string> Labels(size_t size) {
   return out;
 }
 
+/// One benchmark measurement destined for the `--json` report.
+struct JsonRecord {
+  std::string name;
+  uint64_t iterations = 0;
+  double ns_per_iter = 0;
+  /// Registry counter delta attributed to this benchmark's run group.
+  obs::Snapshot counters;
+};
+
+/// Collector behind `ReportJson`; flushed by `WriteJson`.
+inline std::vector<JsonRecord>& JsonRecords() {
+  static std::vector<JsonRecord> records;
+  return records;
+}
+
+/// Appends one result record to the JSON report. The reporter installed by
+/// `BenchMain` calls this for every google-benchmark run; hand-rolled
+/// drivers may call it directly.
+inline void ReportJson(const std::string& name, uint64_t iterations,
+                       double ns_per_iter, obs::Snapshot counters = {}) {
+  JsonRecords().push_back(
+      JsonRecord{name, iterations, ns_per_iter, std::move(counters)});
+}
+
+inline void WriteSnapshotFields(obs::JsonWriter& w, const obs::Snapshot& s) {
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : s.counters) w.Key(name).Uint(value);
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const obs::HistogramSnapshot& h : s.histograms) {
+    w.Key(h.name).BeginObject();
+    w.Key("count").Uint(h.count);
+    w.Key("sum").Uint(h.sum);
+    w.EndObject();
+  }
+  w.EndObject();
+}
+
+/// Writes every record reported so far, plus the final process-wide
+/// registry snapshot, as one JSON document at `path`.
+inline Status WriteJson(const std::string& path) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("benchmarks").BeginArray();
+  for (const JsonRecord& r : JsonRecords()) {
+    w.BeginObject();
+    w.Key("name").String(r.name);
+    w.Key("iterations").Uint(r.iterations);
+    w.Key("ns_per_iter").Double(r.ns_per_iter);
+    WriteSnapshotFields(w, r.counters);
+    w.EndObject();
+  }
+  w.EndArray();
+  WriteSnapshotFields(w, obs::Registry::Global().Snap());
+  w.EndObject();
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot open " + path);
+  out << w.str() << "\n";
+  return Status::OK();
+}
+
+/// Console reporter that additionally feeds every run into `ReportJson`,
+/// attributing the registry counter delta since the previous run group.
+class JsonForwardingReporter : public benchmark::ConsoleReporter {
+ public:
+  bool ReportContext(const Context& context) override {
+    last_snap_ = obs::Registry::Global().Snap();
+    return ConsoleReporter::ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    obs::Snapshot now = obs::Registry::Global().Snap();
+    obs::Snapshot delta = now.DeltaSince(last_snap_);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      double ns = run.iterations == 0
+                      ? 0.0
+                      : run.real_accumulated_time * 1e9 /
+                            static_cast<double>(run.iterations);
+      ReportJson(run.benchmark_name(),
+                 static_cast<uint64_t>(run.iterations), ns, delta);
+    }
+    last_snap_ = std::move(now);
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  obs::Snapshot last_snap_;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN() that understands
+/// `--json <path>` (or `--json=<path>`) in addition to the standard
+/// google-benchmark flags: results and registry counters are written as a
+/// JSON document on top of the usual console output.
+inline int BenchMain(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    std::string_view a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (a.substr(0, 7) == "--json=") {
+      json_path = std::string(a.substr(7));
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  JsonForwardingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    Status st = WriteJson(json_path);
+    if (!st.ok()) {
+      std::cerr << "error writing " << json_path << ": " << st << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace aqua::bench
+
+/// Use instead of BENCHMARK_MAIN() to get `--json <path>` support.
+#define AQUA_BENCH_MAIN()                        \
+  int main(int argc, char** argv) {              \
+    return ::aqua::bench::BenchMain(argc, argv); \
+  }
 
 #endif  // AQUA_BENCH_BENCH_UTIL_H_

@@ -1,6 +1,8 @@
 #include "algebra/derived.h"
 
 #include "bulk/concat.h"
+#include "obs/metrics.h"
+#include "pattern/nfa.h"
 
 namespace aqua {
 
@@ -152,6 +154,17 @@ Result<Datum> ListSubSelectIndexed(const ObjectStore& store, const List& list,
                                    const ListSplitOptions& opts) {
   AQUA_ASSIGN_OR_RETURN(PredicateRef head, ExtractHeadPredicate(pattern.body));
   AQUA_ASSIGN_OR_RETURN(std::vector<NodeId> candidates, index.Probe(*head));
+  // Dense candidate sets approach a full backtracking scan, so a one-pass
+  // NFA existence check (whose language over-approximates the matcher's)
+  // pays for itself by proving "no match" early. Sparse candidate sets
+  // skip it: probing a handful of begins is already cheaper than the scan.
+  if (candidates.size() * 16 >= list.size()) {
+    auto nfa = Nfa::CompileSearch(pattern.body);
+    if (nfa.ok() && !nfa->ExistsMatch(store, list)) {
+      AQUA_OBS_COUNT("pattern.nfa_prefilter_rejects", 1);
+      return Datum::Set({});
+    }
+  }
   std::vector<size_t> begins(candidates.begin(), candidates.end());
   ListMatcher matcher(store, list);
   AQUA_ASSIGN_OR_RETURN(std::vector<ListMatch> matches,

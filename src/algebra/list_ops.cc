@@ -1,6 +1,8 @@
 #include "algebra/list_ops.h"
 
 #include "bulk/concat.h"
+#include "obs/metrics.h"
+#include "pattern/nfa.h"
 
 namespace aqua {
 
@@ -87,6 +89,19 @@ Result<Datum> ListSplit(const ObjectStore& store, const List& list,
 Result<Datum> ListSubSelect(const ObjectStore& store, const List& list,
                             const AnchoredListPattern& lp,
                             const ListSplitOptions& opts) {
+  // NFA existence prefilter: the Thompson NFA's language is a superset of
+  // the backtracking matcher's matches (pruning shapes results, not the
+  // language; anchors only narrow it), so a negative single-pass scan
+  // proves there is no match and skips backtracking entirely. Patterns the
+  // NFA cannot compile (tree atoms) fall through to the matcher's own
+  // validation.
+  {
+    auto nfa = Nfa::CompileSearch(lp.body);
+    if (nfa.ok() && !nfa->ExistsMatch(store, list)) {
+      AQUA_OBS_COUNT("pattern.nfa_prefilter_rejects", 1);
+      return Datum::Set({});
+    }
+  }
   ListMatcher matcher(store, list);
   AQUA_ASSIGN_OR_RETURN(std::vector<ListMatch> matches,
                         matcher.FindAll(lp, opts.match));

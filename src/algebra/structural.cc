@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "bulk/concat.h"
+#include "obs/metrics.h"
 #include "pattern/tree_matcher.h"
 
 namespace aqua {
@@ -47,6 +48,7 @@ Result<Tree> SubtreeAtPath(const Tree& tree, const TreePath& path) {
 }
 
 List Frontier(const Tree& tree) {
+  AQUA_OBS_COUNT("algebra.structural_nodes_visited", tree.size());
   List out;
   for (NodeId v : tree.Preorder()) {
     if (tree.is_leaf(v)) out.Append(tree.payload(v));
@@ -55,12 +57,14 @@ List Frontier(const Tree& tree) {
 }
 
 List PreorderList(const Tree& tree) {
+  AQUA_OBS_COUNT("algebra.structural_nodes_visited", tree.size());
   List out;
   for (NodeId v : tree.Preorder()) out.Append(tree.payload(v));
   return out;
 }
 
 std::map<size_t, size_t> ArityHistogram(const Tree& tree) {
+  AQUA_OBS_COUNT("algebra.structural_nodes_visited", tree.size());
   std::map<size_t, size_t> hist;
   for (NodeId v : tree.Preorder()) ++hist[tree.arity(v)];
   return hist;
@@ -69,6 +73,7 @@ std::map<size_t, size_t> ArityHistogram(const Tree& tree) {
 TreeStats ComputeTreeStats(const Tree& tree) {
   TreeStats stats;
   if (tree.empty()) return stats;
+  AQUA_OBS_COUNT("algebra.structural_nodes_visited", tree.size());
   stats.num_nodes = tree.size();
   stats.height = tree.Height();
   stats.max_arity = tree.MaxArity();

@@ -9,6 +9,7 @@
 ///
 /// Layers (bottom-up):
 ///  * common/    — Status/Result error model, dynamic `Value`s
+///  * obs/       — metrics registry + tracing (counters, spans, JSON)
 ///  * object/    — the object model: schema, objects with identity, store
 ///  * bulk/      — ordered bulk types: List, Tree, concatenation points
 ///  * pattern/   — alphabet-predicates, list & tree patterns, matchers
@@ -20,6 +21,8 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/value.h"
+
+#include "obs/obs.h"
 
 #include "object/object.h"
 #include "object/object_store.h"

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace aqua {
 
 Result<AttributeIndex> AttributeIndex::Build(
@@ -129,20 +131,30 @@ Result<std::vector<NodeId>> AttributeIndex::Probe(
         "predicate is not answerable by this index: " + pred.ToString());
   }
   const Value& c = pred.constant();
+  std::vector<NodeId> out;
   switch (pred.op()) {
     case CmpOp::kEq:
-      return Lookup(c);
+      out = Lookup(c);
+      break;
     case CmpOp::kLt:
-      return LookupRange(nullptr, false, &c, false);
+      out = LookupRange(nullptr, false, &c, false);
+      break;
     case CmpOp::kLe:
-      return LookupRange(nullptr, false, &c, true);
+      out = LookupRange(nullptr, false, &c, true);
+      break;
     case CmpOp::kGt:
-      return LookupRange(&c, false, nullptr, false);
+      out = LookupRange(&c, false, nullptr, false);
+      break;
     case CmpOp::kGe:
-      return LookupRange(&c, true, nullptr, false);
+      out = LookupRange(&c, true, nullptr, false);
+      break;
     default:
       return Status::Internal("unreachable in AttributeIndex::Probe");
   }
+  AQUA_OBS_COUNT("index.probes", 1);
+  AQUA_OBS_COUNT("index.candidates", out.size());
+  AQUA_OBS_RECORD("index.candidates_per_probe", out.size());
+  return out;
 }
 
 double AttributeIndex::Selectivity(const Predicate& pred) const {

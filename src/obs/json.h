@@ -1,0 +1,49 @@
+#ifndef AQUA_OBS_JSON_H_
+#define AQUA_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aqua::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string JsonEscape(std::string_view s);
+
+/// Minimal streaming JSON writer used by the metrics snapshot, the trace
+/// exporter, and the benchmark result emitter. Handles comma placement and
+/// nesting; the caller is responsible for well-formed Begin/End pairing.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits `"k":`; must be followed by exactly one value or container.
+  JsonWriter& Key(std::string_view k);
+
+  JsonWriter& String(std::string_view v);
+  JsonWriter& Uint(uint64_t v);
+  JsonWriter& Int(int64_t v);
+  JsonWriter& Double(double v);
+  JsonWriter& Bool(bool v);
+  JsonWriter& Null();
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  /// One entry per open container: true once it has at least one element.
+  std::vector<bool> has_elem_;
+  bool pending_key_ = false;
+};
+
+}  // namespace aqua::obs
+
+#endif  // AQUA_OBS_JSON_H_

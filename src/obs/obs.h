@@ -1,0 +1,21 @@
+#ifndef AQUA_OBS_OBS_H_
+#define AQUA_OBS_OBS_H_
+
+/// \file
+/// Umbrella header for `aqua::obs`, the cross-cutting observability layer:
+///
+///  * metrics.h — named counters + log-scale histograms in a process-wide
+///    registry (`AQUA_OBS_COUNT` / `AQUA_OBS_RECORD` instrumentation
+///    macros, snapshots, JSON serialization)
+///  * trace.h   — RAII `Span` scoped timers forming a span tree per unit
+///    of work, exportable as Chrome-trace JSON or an indented text report
+///  * json.h    — the minimal JSON writer both of the above share
+///
+/// See docs/OBSERVABILITY.md for the metric naming scheme and how the
+/// counters map onto the paper's §4 cost-model terms.
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#endif  // AQUA_OBS_OBS_H_

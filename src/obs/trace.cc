@@ -1,0 +1,129 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace aqua::obs {
+
+void Trace::Clear() {
+  spans_.clear();
+  open_stack_.clear();
+  have_epoch_ = false;
+}
+
+uint64_t Trace::NowNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+size_t Trace::Open(std::string_view name) {
+  if (!have_epoch_) {
+    epoch_ = std::chrono::steady_clock::now();
+    have_epoch_ = true;
+  }
+  SpanRecord rec;
+  rec.name = std::string(name);
+  rec.start_ns = NowNs();
+  rec.parent = open_stack_.empty() ? SpanRecord::kNoParent
+                                   : open_stack_.back();
+  size_t idx = spans_.size();
+  spans_.push_back(std::move(rec));
+  open_stack_.push_back(idx);
+  return idx;
+}
+
+void Trace::Close(size_t idx) {
+  if (idx >= spans_.size()) return;
+  spans_[idx].dur_ns = NowNs() - spans_[idx].start_ns;
+  // Spans close in LIFO order (RAII), but be defensive about interleaving.
+  if (!open_stack_.empty() && open_stack_.back() == idx) {
+    open_stack_.pop_back();
+  }
+}
+
+void Trace::Attr(size_t idx, std::string_view key, int64_t value) {
+  if (idx >= spans_.size()) return;
+  spans_[idx].attrs.emplace_back(std::string(key), value);
+}
+
+std::string Trace::ToChromeJson(const Snapshot* counters) const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+  for (const SpanRecord& s : spans_) {
+    w.BeginObject();
+    w.Key("name").String(s.name);
+    w.Key("ph").String("X");
+    w.Key("ts").Double(static_cast<double>(s.start_ns) / 1e3);   // µs
+    w.Key("dur").Double(static_cast<double>(s.dur_ns) / 1e3);    // µs
+    w.Key("pid").Int(1);
+    w.Key("tid").Int(1);
+    if (!s.attrs.empty()) {
+      w.Key("args").BeginObject();
+      for (const auto& [key, value] : s.attrs) w.Key(key).Int(value);
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("displayTimeUnit").String("ms");
+  if (counters != nullptr) {
+    w.Key("counters").BeginObject();
+    for (const auto& [name, value] : counters->counters) {
+      w.Key(name).Uint(value);
+    }
+    w.EndObject();
+    w.Key("histograms").BeginObject();
+    for (const HistogramSnapshot& h : counters->histograms) {
+      w.Key(h.name).BeginObject();
+      w.Key("count").Uint(h.count);
+      w.Key("sum").Uint(h.sum);
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::string Trace::ToTextReport() const {
+  // Depth of each span follows from parent links; spans_ is in open order,
+  // so a simple pass renders the tree.
+  std::vector<size_t> depth(spans_.size(), 0);
+  size_t name_width = 0;
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    if (spans_[i].parent != SpanRecord::kNoParent) {
+      depth[i] = depth[spans_[i].parent] + 1;
+    }
+    name_width = std::max(name_width, 2 * depth[i] + spans_[i].name.size());
+  }
+  std::string out;
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    std::string line(2 * depth[i], ' ');
+    line += spans_[i].name;
+    line.append(name_width - line.size() + 2, ' ');
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%9.3f ms",
+                  static_cast<double>(spans_[i].dur_ns) / 1e6);
+    line += buf;
+    if (!spans_[i].attrs.empty()) {
+      line += "  [";
+      for (size_t a = 0; a < spans_[i].attrs.size(); ++a) {
+        if (a > 0) line += ' ';
+        line += spans_[i].attrs[a].first;
+        line += '=';
+        line += std::to_string(spans_[i].attrs[a].second);
+      }
+      line += ']';
+    }
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace aqua::obs

@@ -1,0 +1,112 @@
+#ifndef AQUA_OBS_TRACE_H_
+#define AQUA_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace aqua::obs {
+
+/// One closed (or still-open) span of a trace: a named interval plus its
+/// position in the span tree and optional integer attributes.
+struct SpanRecord {
+  static constexpr size_t kNoParent = static_cast<size_t>(-1);
+
+  std::string name;
+  uint64_t start_ns = 0;  ///< relative to the trace epoch (first span)
+  uint64_t dur_ns = 0;
+  size_t parent = kNoParent;
+  std::vector<std::pair<std::string, int64_t>> attrs;
+};
+
+/// An in-memory span tree for one unit of work (one `Executor::Execute`,
+/// one shell command, ...). Spans are appended by RAII `Span` objects;
+/// nesting follows construction order, so the tree mirrors the dynamic
+/// call structure. Not thread-safe: one Trace belongs to one thread.
+class Trace {
+ public:
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  void Clear();
+  bool empty() const { return spans_.empty(); }
+  size_t size() const { return spans_.size(); }
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+
+  /// Chrome trace-event JSON (load via chrome://tracing or Perfetto):
+  /// `{"traceEvents": [...], "displayTimeUnit": "ms"}`. When `counters` is
+  /// given it is embedded as a top-level `"counters"`/`"histograms"` pair,
+  /// so one file carries both the span tree and the metric deltas.
+  std::string ToChromeJson(const Snapshot* counters = nullptr) const;
+
+  /// Indented text report (children under parents), e.g.
+  ///
+  ///   Execute            0.431 ms
+  ///     TreeSubSelect    0.402 ms  [out=7]
+  ///       ScanTree       0.013 ms  [out=8000]
+  std::string ToTextReport() const;
+
+ private:
+  friend class Span;
+
+  size_t Open(std::string_view name);
+  void Close(size_t idx);
+  void Attr(size_t idx, std::string_view key, int64_t value);
+  uint64_t NowNs() const;
+
+  std::vector<SpanRecord> spans_;
+  std::vector<size_t> open_stack_;
+  std::chrono::steady_clock::time_point epoch_;
+  bool have_epoch_ = false;
+  bool enabled_ = false;
+};
+
+/// RAII scoped timer: the single timing idiom of the codebase.
+///
+/// Always measures its own lifetime (`ElapsedMs`/`ElapsedNs` work
+/// unconditionally, replacing hand-rolled steady_clock arithmetic); when
+/// constructed against an enabled `Trace` it additionally records a span in
+/// that trace's tree. Pass a null trace for a pure scoped timer.
+class Span {
+ public:
+  Span(Trace* trace, std::string_view name)
+      : start_(std::chrono::steady_clock::now()) {
+    if (trace != nullptr && trace->enabled()) {
+      trace_ = trace;
+      idx_ = trace->Open(name);
+    }
+  }
+  ~Span() {
+    if (trace_ != nullptr) trace_->Close(idx_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches an integer attribute to the span (no-op without a trace).
+  void AddAttr(std::string_view key, int64_t value) {
+    if (trace_ != nullptr) trace_->Attr(idx_, key, value);
+  }
+
+  uint64_t ElapsedNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+  double ElapsedMs() const {
+    return static_cast<double>(ElapsedNs()) / 1e6;
+  }
+
+ private:
+  Trace* trace_ = nullptr;
+  size_t idx_ = SpanRecord::kNoParent;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace aqua::obs
+
+#endif  // AQUA_OBS_TRACE_H_

@@ -1,6 +1,31 @@
 #include "pattern/dfa.h"
 
+#include "obs/metrics.h"
+
 namespace aqua {
+
+namespace {
+
+/// Flushes the cache hit/miss deltas of one public-API call to the
+/// registry on every exit path.
+struct DfaStatFlush {
+  const uint64_t* hits;
+  const uint64_t* misses;
+  uint64_t hits0;
+  uint64_t misses0;
+  DfaStatFlush(const uint64_t* h, const uint64_t* m)
+      : hits(h), misses(m), hits0(*h), misses0(*m) {}
+  ~DfaStatFlush() {
+    if (*hits > hits0) AQUA_OBS_COUNT("pattern.dfa_hits", *hits - hits0);
+    if (*misses > misses0) {
+      AQUA_OBS_COUNT("pattern.dfa_misses", *misses - misses0);
+      // Each miss fell back to one NFA simulation step.
+      AQUA_OBS_COUNT("pattern.nfa_steps", *misses - misses0);
+    }
+  }
+};
+
+}  // namespace
 
 Result<LazyDfa> LazyDfa::Make(const Nfa* nfa) {
   if (nfa == nullptr) return Status::InvalidArgument("null NFA");
@@ -48,7 +73,11 @@ uint32_t LazyDfa::StepState(uint32_t state, const ObjectStore& store,
   uint64_t sig = Signature(facts);
   auto key = std::make_pair(state, sig);
   auto it = trans_.find(key);
-  if (it != trans_.end()) return it->second;
+  if (it != trans_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
   std::vector<bool> next = nfa_->Step(dfa_states_[state], facts);
   uint32_t next_id = InternState(next);
   trans_.emplace(key, next_id);
@@ -56,6 +85,7 @@ uint32_t LazyDfa::StepState(uint32_t state, const ObjectStore& store,
 }
 
 bool LazyDfa::MatchesWhole(const ObjectStore& store, const List& list) {
+  DfaStatFlush flush(&hits_, &misses_);
   uint32_t cur = start_state_;
   for (size_t i = 0; i < list.size(); ++i) {
     cur = StepState(cur, store, list.at(i));
@@ -64,6 +94,7 @@ bool LazyDfa::MatchesWhole(const ObjectStore& store, const List& list) {
 }
 
 bool LazyDfa::ExistsMatch(const ObjectStore& store, const List& list) {
+  DfaStatFlush flush(&hits_, &misses_);
   uint32_t cur = start_state_;
   if (accepting_[cur]) return true;
   bool search = nfa_->search_mode();

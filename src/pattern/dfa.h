@@ -38,6 +38,12 @@ class LazyDfa {
   size_t num_states() const { return dfa_states_.size(); }
   /// Number of cached transitions so far.
   size_t num_transitions() const { return trans_.size(); }
+  /// Transition-cache hits/misses over this DFA's lifetime. A miss falls
+  /// back to one NFA simulation step; the hit rate is the "DFA payoff"
+  /// measured by `bench_list_match` (mirrored to the registry as
+  /// `pattern.dfa_hits` / `pattern.dfa_misses`).
+  uint64_t cache_hits() const { return hits_; }
+  uint64_t cache_misses() const { return misses_; }
 
  private:
   explicit LazyDfa(const Nfa* nfa);
@@ -53,6 +59,8 @@ class LazyDfa {
   std::map<std::vector<bool>, uint32_t> state_ids_;
   std::map<std::pair<uint32_t, uint64_t>, uint32_t> trans_;
   uint32_t start_state_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
 };
 
 }  // namespace aqua

@@ -2,9 +2,25 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "pattern/regex_engine.h"
 
 namespace aqua {
+
+namespace {
+
+/// Flushes one matcher call's backtracking work to the registry on every
+/// exit path (including step-budget errors).
+struct ListMatchFlush {
+  const size_t* steps;
+  explicit ListMatchFlush(const size_t* s) : steps(s) {}
+  ~ListMatchFlush() {
+    AQUA_OBS_COUNT("pattern.list_match_calls", 1);
+    if (*steps > 0) AQUA_OBS_COUNT("pattern.list_steps", *steps);
+  }
+};
+
+}  // namespace
 
 std::vector<std::pair<size_t, size_t>> ListMatch::PruneRanges() const {
   std::vector<std::pair<size_t, size_t>> out;
@@ -49,6 +65,7 @@ Result<std::vector<ListMatch>> ListMatcher::FindAllAtBegins(
   }
   AQUA_RETURN_IF_ERROR(ValidateListPattern(*pattern.body));
   steps_ = 0;
+  ListMatchFlush flush(&steps_);
 
   std::vector<ListMatch> out;
   std::vector<size_t> prune_stack;

@@ -2,7 +2,22 @@
 
 #include <deque>
 
+#include "obs/metrics.h"
+
 namespace aqua {
+
+namespace {
+
+/// Flushes the simulation step count of one public-API call to the
+/// registry on every exit path.
+struct NfaStepFlush {
+  size_t steps = 0;
+  ~NfaStepFlush() {
+    if (steps > 0) AQUA_OBS_COUNT("pattern.nfa_steps", steps);
+  }
+};
+
+}  // namespace
 
 uint32_t Nfa::NewState() {
   states_.emplace_back();
@@ -188,21 +203,25 @@ std::vector<bool> Nfa::Step(const std::vector<bool>& from,
 }
 
 bool Nfa::MatchesWhole(const ObjectStore& store, const List& list) const {
+  NfaStepFlush flush;
   std::vector<bool> cur(states_.size(), false);
   cur[start_] = true;
   EpsClosure(&cur);
   for (size_t i = 0; i < list.size(); ++i) {
+    ++flush.steps;
     cur = Step(cur, Facts(store, list.at(i)));
   }
   return cur[accept_];
 }
 
 bool Nfa::ExistsMatch(const ObjectStore& store, const List& list) const {
+  NfaStepFlush flush;
   std::vector<bool> cur(states_.size(), false);
   cur[start_] = true;
   EpsClosure(&cur);
   if (cur[accept_]) return true;
   for (size_t i = 0; i < list.size(); ++i) {
+    ++flush.steps;
     cur = Step(cur, Facts(store, list.at(i)));
     if (!search_mode_) {
       // Restart a potential match at every position.
@@ -215,11 +234,13 @@ bool Nfa::ExistsMatch(const ObjectStore& store, const List& list) const {
 }
 
 size_t Nfa::CountMatchEnds(const ObjectStore& store, const List& list) const {
+  NfaStepFlush flush;
   std::vector<bool> cur(states_.size(), false);
   cur[start_] = true;
   EpsClosure(&cur);
   size_t count = cur[accept_] ? 1 : 0;
   for (size_t i = 0; i < list.size(); ++i) {
+    ++flush.steps;
     cur = Step(cur, Facts(store, list.at(i)));
     if (!search_mode_) {
       cur[start_] = true;

@@ -2,9 +2,28 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "pattern/regex_engine.h"
 
 namespace aqua {
+
+namespace {
+
+/// Flushes one matcher call's work counters to the registry on every exit
+/// path (including depth-limit errors).
+struct TreeMatchFlush {
+  const size_t* steps;
+  const size_t* memo_hits;
+  TreeMatchFlush(const size_t* s, const size_t* m) : steps(s), memo_hits(m) {}
+  ~TreeMatchFlush() {
+    AQUA_OBS_COUNT("pattern.tree_match_calls", 1);
+    if (*steps > 0) AQUA_OBS_COUNT("pattern.tree_steps", *steps);
+    if (*memo_hits > 0) AQUA_OBS_COUNT("pattern.tree_memo_hits", *memo_hits);
+    AQUA_OBS_RECORD("pattern.tree_steps_per_call", *steps);
+  }
+};
+
+}  // namespace
 
 TreeMatcher::TreeMatcher(const ObjectStore& store, const Tree& tree,
                          TreeMatchOptions opts)
@@ -361,6 +380,7 @@ bool TreeMatcher::ExistsAt(const TreePattern* tp, const PointEnv* env,
   if (opts_.memoize) {
     auto it = memo_.find(key);
     if (it != memo_.end()) {
+      ++memo_hits_;
       if (it->second == 2) {
         // This very question is already being computed higher in the stack
         // (a derivation cycle through closures/points). A true match always
@@ -415,10 +435,12 @@ Result<std::vector<TreeMatch>> TreeMatcher::FindAllAtRoots(
   matched_stack_.clear();
   cut_stack_.clear();
   steps_ = 0;
+  memo_hits_ = 0;
   depth_ = 0;
   error_ = Status::OK();
   in_bool_mode_ = false;
   bool_mode_found_ = false;
+  TreeMatchFlush flush(&steps_, &memo_hits_);
 
   std::vector<TreeMatch> out;
   bool stop = false;
@@ -477,8 +499,10 @@ Result<bool> TreeMatcher::MatchesAt(const TreePatternRef& tp, NodeId v) {
   next_env_id_ = 1;
   memo_.clear();
   steps_ = 0;
+  memo_hits_ = 0;
   depth_ = 0;
   error_ = Status::OK();
+  TreeMatchFlush flush(&steps_, &memo_hits_);
   bool result = ExistsAt(tp.get(), nullptr, v, /*leaf_strict=*/false);
   if (!error_.ok()) return error_;
   return result;
@@ -492,8 +516,10 @@ Result<bool> TreeMatcher::MatchesAnywhere(const TreePatternRef& tp) {
   next_env_id_ = 1;
   memo_.clear();
   steps_ = 0;
+  memo_hits_ = 0;
   depth_ = 0;
   error_ = Status::OK();
+  TreeMatchFlush flush(&steps_, &memo_hits_);
   for (NodeId v : tree_.Preorder()) {
     if (ExistsAt(tp.get(), nullptr, v, /*leaf_strict=*/false)) return true;
     if (!error_.ok()) return error_;

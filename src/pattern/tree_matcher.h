@@ -90,6 +90,10 @@ class TreeMatcher {
   /// Pattern-position probes executed by the last call (work measure).
   size_t steps() const { return steps_; }
 
+  /// Memo-table hits during the last call (how much of the footnote-3
+  /// exponential work the cache absorbed).
+  size_t memo_hits() const { return memo_hits_; }
+
  private:
   /// A binding of a concatenation-point label to the pattern substituted at
   /// it (plus the environment that pattern's own points resolve in).
@@ -161,6 +165,7 @@ class TreeMatcher {
   std::vector<TreeCut> cut_stack_;
   size_t depth_ = 0;
   size_t steps_ = 0;
+  size_t memo_hits_ = 0;
   bool bool_mode_found_ = false;
   bool in_bool_mode_ = false;
   bool touched_in_progress_ = false;

@@ -1,6 +1,5 @@
 #include "query/executor.h"
 
-#include <chrono>
 #include <cstdio>
 
 #include "algebra/derived.h"
@@ -31,21 +30,36 @@ size_t DatumCardinality(const Datum& d) {
 Result<Datum> Executor::Execute(const PlanRef& plan) {
   stats_ = ExecStats{};
   op_stats_.clear();
-  return EvalTimed(plan);
+  trace_.Clear();
+  obs::Snapshot before = obs::Registry::Global().Snap();
+  AQUA_OBS_COUNT("exec.executes", 1);
+  Result<Datum> result = [&]() -> Result<Datum> {
+    obs::Span root(&trace_, "Execute");
+    return EvalTimed(plan);
+  }();
+  // Mirror this execution's ExecStats into the registry before the after
+  // snapshot so `last_counters_` carries them alongside the layer counters.
+  AQUA_OBS_COUNT("exec.operators_evaluated", stats_.operators_evaluated);
+  AQUA_OBS_COUNT("exec.trees_processed", stats_.trees_processed);
+  AQUA_OBS_COUNT("exec.lists_processed", stats_.lists_processed);
+  last_counters_ = obs::Registry::Global().Snap().DeltaSince(before);
+  return result;
 }
 
 Result<Datum> Executor::EvalTimed(const PlanRef& node) {
-  auto start = std::chrono::steady_clock::now();
+  obs::Span span(&trace_,
+                 node == nullptr ? "(null)" : PlanOpToString(node->op));
   Result<Datum> result = Eval(node);
-  auto elapsed = std::chrono::steady_clock::now() - start;
+  uint64_t ns = span.ElapsedNs();
+  AQUA_OBS_RECORD("exec.operator_ns", ns);
   if (node != nullptr) {
     OperatorStats& os = op_stats_[node.get()];
     ++os.invocations;
-    os.total_ms +=
-        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
-            elapsed)
-            .count();
-    if (result.ok()) os.last_output_size = DatumCardinality(*result);
+    os.total_ms += static_cast<double>(ns) / 1e6;
+    if (result.ok()) {
+      os.last_output_size = DatumCardinality(*result);
+      span.AddAttr("out", static_cast<int64_t>(os.last_output_size));
+    }
   }
   return result;
 }

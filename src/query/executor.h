@@ -2,9 +2,12 @@
 #define AQUA_QUERY_EXECUTOR_H_
 
 #include <map>
+#include <string>
 
 #include "common/result.h"
 #include "bulk/datum.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/database.h"
 #include "query/plan.h"
 
@@ -42,6 +45,25 @@ class Executor {
 
   const ExecStats& stats() const { return stats_; }
 
+  /// Enables span collection: each `Execute` then records one span tree
+  /// (root span "Execute", one child span per operator evaluation).
+  void set_trace_enabled(bool on) { trace_.set_enabled(on); }
+  bool trace_enabled() const { return trace_.enabled(); }
+
+  /// Span tree of the most recent `Execute` (empty when tracing is off).
+  const obs::Trace& trace() const { return trace_; }
+
+  /// Chrome trace-event JSON of the last `Execute`'s span tree, with the
+  /// registry counter deltas attributed to that execution embedded.
+  std::string TraceJson() const { return trace_.ToChromeJson(&last_counters_); }
+
+  /// Indented text rendering of the last `Execute`'s span tree.
+  std::string TraceReport() const { return trace_.ToTextReport(); }
+
+  /// Registry counter/histogram deltas attributed to the most recent
+  /// `Execute` (what the executor and the layers below it did).
+  const obs::Snapshot& last_counters() const { return last_counters_; }
+
   /// Renders the plan annotated with the measurements of the most recent
   /// `Execute` (EXPLAIN ANALYZE), e.g.
   ///
@@ -63,6 +85,8 @@ class Executor {
   Database* db_;
   ExecStats stats_;
   std::map<const PlanNode*, OperatorStats> op_stats_;
+  obs::Trace trace_;
+  obs::Snapshot last_counters_;
 };
 
 }  // namespace aqua

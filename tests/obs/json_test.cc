@@ -1,0 +1,64 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+namespace aqua::obs {
+namespace {
+
+TEST(JsonEscapeTest, EscapesControlAndSpecialCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriterTest, NestedContainersAndEscaping) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("s").String("a\"b\\c\n");
+  w.Key("n").Int(-5);
+  w.Key("u").Uint(5);
+  w.Key("d").Double(1.5);
+  w.Key("b").Bool(true);
+  w.Key("z").Null();
+  w.Key("arr").BeginArray().Uint(1).Uint(2).EndArray();
+  w.Key("obj").BeginObject().Key("k").String("v").EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"s\":\"a\\\"b\\\\c\\n\",\"n\":-5,\"u\":5,\"d\":1.5,"
+            "\"b\":true,\"z\":null,\"arr\":[1,2],\"obj\":{\"k\":\"v\"}}");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a").BeginArray().EndArray();
+  w.Key("o").BeginObject().EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"a\":[],\"o\":{}}");
+}
+
+TEST(JsonWriterTest, ArrayOfObjects) {
+  JsonWriter w;
+  w.BeginArray();
+  w.BeginObject().Key("i").Int(1).EndObject();
+  w.BeginObject().Key("i").Int(2).EndObject();
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[{\"i\":1},{\"i\":2}]");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray().Double(1.0 / 0.0).Double(-1.0 / 0.0).EndArray();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonWriterTest, TakeStringMoves) {
+  JsonWriter w;
+  w.BeginArray().Uint(7).EndArray();
+  EXPECT_EQ(w.TakeString(), "[7]");
+}
+
+}  // namespace
+}  // namespace aqua::obs

@@ -1,0 +1,144 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace aqua::obs {
+namespace {
+
+TEST(CounterTest, AddAndReset) {
+  Counter* c = Registry::Global().GetCounter("test.counter_arith");
+  c->Reset();
+  EXPECT_EQ(c->value(), 0u);
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->value(), 42u);
+  c->Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(c->name(), "test.counter_arith");
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket b holds values of bit width b: 0 -> 0, [2^(b-1), 2^b) -> b.
+  EXPECT_EQ(Histogram::BucketOf(0), 0u);
+  EXPECT_EQ(Histogram::BucketOf(1), 1u);
+  EXPECT_EQ(Histogram::BucketOf(2), 2u);
+  EXPECT_EQ(Histogram::BucketOf(3), 2u);
+  EXPECT_EQ(Histogram::BucketOf(4), 3u);
+  EXPECT_EQ(Histogram::BucketOf(1023), 10u);
+  EXPECT_EQ(Histogram::BucketOf(1024), 11u);
+  EXPECT_EQ(Histogram::BucketOf(~uint64_t{0}), 64u);
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketLowerBound(1), 0u);
+  EXPECT_EQ(Histogram::BucketLowerBound(2), 2u);
+  EXPECT_EQ(Histogram::BucketLowerBound(11), 1024u);
+  // Every nonzero value lands in the bucket whose range covers it. (Zero is
+  // its own bucket; bucket 1's lower bound is reported as 0 as well.)
+  for (uint64_t v : {uint64_t{1}, uint64_t{7}, uint64_t{4096}}) {
+    size_t b = Histogram::BucketOf(v);
+    EXPECT_GE(v, Histogram::BucketLowerBound(b)) << v;
+    if (b + 1 < Histogram::kNumBuckets) {
+      EXPECT_LT(v, Histogram::BucketLowerBound(b + 1)) << v;
+    }
+  }
+}
+
+TEST(HistogramTest, RecordAccumulates) {
+  Histogram* h = Registry::Global().GetHistogram("test.hist_arith");
+  h->Reset();
+  h->Record(0);
+  h->Record(5);
+  h->Record(5);
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_EQ(h->sum(), 10u);
+  EXPECT_DOUBLE_EQ(h->mean(), 10.0 / 3.0);
+  EXPECT_EQ(h->bucket(Histogram::BucketOf(0)), 1u);
+  EXPECT_EQ(h->bucket(Histogram::BucketOf(5)), 2u);
+  h->Reset();
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(h->sum(), 0u);
+}
+
+TEST(RegistryTest, GetReturnsStablePointers) {
+  Counter* a = Registry::Global().GetCounter("test.stable");
+  Counter* b = Registry::Global().GetCounter("test.stable");
+  EXPECT_EQ(a, b);
+  Histogram* ha = Registry::Global().GetHistogram("test.stable_hist");
+  Histogram* hb = Registry::Global().GetHistogram("test.stable_hist");
+  EXPECT_EQ(ha, hb);
+}
+
+TEST(RegistryTest, WellKnownNamesArePreRegistered) {
+  Snapshot snap = Registry::Global().Snap();
+  // Even a fresh process that never ran a matcher carries the schema.
+  bool found_nfa = false;
+  bool found_probes = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "pattern.nfa_steps") found_nfa = true;
+    if (name == "index.probes") found_probes = true;
+  }
+  EXPECT_TRUE(found_nfa);
+  EXPECT_TRUE(found_probes);
+}
+
+TEST(SnapshotTest, DeltaSinceSubtractsAndClamps) {
+  Counter* c = Registry::Global().GetCounter("test.delta");
+  c->Reset();
+  c->Add(10);
+  Snapshot before = Registry::Global().Snap();
+  c->Add(32);
+  Snapshot after = Registry::Global().Snap();
+  Snapshot delta = after.DeltaSince(before);
+  EXPECT_EQ(delta.CounterValue("test.delta"), 32u);
+  // A reset between snapshots clamps at zero instead of underflowing.
+  c->Reset();
+  Snapshot reset_snap = Registry::Global().Snap();
+  EXPECT_EQ(reset_snap.DeltaSince(before).CounterValue("test.delta"), 0u);
+  // Absent counters read as zero.
+  EXPECT_EQ(delta.CounterValue("test.never_registered"), 0u);
+}
+
+TEST(SnapshotTest, JsonCarriesCountersAndHistograms) {
+  Counter* c = Registry::Global().GetCounter("test.json_counter");
+  c->Reset();
+  c->Add(7);
+  Histogram* h = Registry::Global().GetHistogram("test.json_hist");
+  h->Reset();
+  h->Record(3);
+  std::string json = Registry::Global().Snap().ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_counter\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\":3"), std::string::npos);
+}
+
+TEST(MacroTest, CountAndRecordFlowIntoRegistry) {
+  ASSERT_TRUE(Registry::enabled());
+  Counter* c = Registry::Global().GetCounter("test.macro_counter");
+  c->Reset();
+  AQUA_OBS_COUNT("test.macro_counter", 3);
+  AQUA_OBS_COUNT("test.macro_counter", 4);
+#ifndef AQUA_OBS_DISABLED
+  EXPECT_EQ(c->value(), 7u);
+#else
+  EXPECT_EQ(c->value(), 0u);
+#endif
+}
+
+TEST(MacroTest, RuntimeDisableMakesSitesNoOps) {
+  Counter* c = Registry::Global().GetCounter("test.macro_disabled");
+  c->Reset();
+  Registry::set_enabled(false);
+  AQUA_OBS_COUNT("test.macro_disabled", 100);
+  AQUA_OBS_RECORD("test.macro_disabled_hist", 100);
+  Registry::set_enabled(true);
+  EXPECT_EQ(c->value(), 0u);
+  Histogram* h = Registry::Global().GetHistogram("test.macro_disabled_hist");
+  EXPECT_EQ(h->count(), 0u);
+}
+
+}  // namespace
+}  // namespace aqua::obs

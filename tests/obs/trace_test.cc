@@ -1,0 +1,105 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace aqua::obs {
+namespace {
+
+TEST(SpanTest, NestingFollowsScopes) {
+  Trace trace;
+  trace.set_enabled(true);
+  {
+    Span root(&trace, "root");
+    {
+      Span child(&trace, "child");
+      Span grandchild(&trace, "grandchild");
+      grandchild.AddAttr("out", 7);
+    }
+    Span sibling(&trace, "sibling");
+  }
+  ASSERT_EQ(trace.size(), 4u);
+  const auto& spans = trace.spans();
+  // Spans appear in open order; parents precede children.
+  EXPECT_EQ(spans[0].name, "root");
+  EXPECT_EQ(spans[0].parent, SpanRecord::kNoParent);
+  EXPECT_EQ(spans[1].name, "child");
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_EQ(spans[2].name, "grandchild");
+  EXPECT_EQ(spans[2].parent, 1u);
+  EXPECT_EQ(spans[3].name, "sibling");
+  EXPECT_EQ(spans[3].parent, 0u);
+  ASSERT_EQ(spans[2].attrs.size(), 1u);
+  EXPECT_EQ(spans[2].attrs[0].first, "out");
+  EXPECT_EQ(spans[2].attrs[0].second, 7);
+  // A child closes within its parent's interval.
+  EXPECT_GE(spans[1].start_ns, spans[0].start_ns);
+  EXPECT_LE(spans[1].start_ns + spans[1].dur_ns,
+            spans[0].start_ns + spans[0].dur_ns);
+}
+
+TEST(SpanTest, DisabledTraceRecordsNothingButStillTimes) {
+  Trace trace;  // enabled defaults to false
+  Span span(&trace, "ignored");
+  EXPECT_TRUE(trace.empty());
+  EXPECT_GE(span.ElapsedNs(), 0u);
+  EXPECT_GE(span.ElapsedMs(), 0.0);
+  // A null trace is a pure scoped timer.
+  Span timer(nullptr, "timer");
+  EXPECT_GE(timer.ElapsedNs(), 0u);
+}
+
+TEST(SpanTest, ClearResetsTheTree) {
+  Trace trace;
+  trace.set_enabled(true);
+  { Span s(&trace, "a"); }
+  EXPECT_EQ(trace.size(), 1u);
+  trace.Clear();
+  EXPECT_TRUE(trace.empty());
+  { Span s(&trace, "b"); }
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.spans()[0].name, "b");
+  EXPECT_EQ(trace.spans()[0].parent, SpanRecord::kNoParent);
+}
+
+TEST(TraceTest, TextReportIndentsChildren) {
+  Trace trace;
+  trace.set_enabled(true);
+  {
+    Span root(&trace, "Execute");
+    Span child(&trace, "ScanTree");
+    child.AddAttr("out", 42);
+  }
+  std::string report = trace.ToTextReport();
+  EXPECT_NE(report.find("Execute"), std::string::npos);
+  EXPECT_NE(report.find("  ScanTree"), std::string::npos);
+  EXPECT_NE(report.find("ms"), std::string::npos);
+  EXPECT_NE(report.find("[out=42]"), std::string::npos) << report;
+}
+
+TEST(TraceTest, ChromeJsonHasEventsAndEmbeddedCounters) {
+  Trace trace;
+  trace.set_enabled(true);
+  {
+    Span root(&trace, "Execute");
+    Span child(&trace, "Scan\"List");  // name needing escaping
+  }
+  Counter* c = Registry::Global().GetCounter("test.trace_embed");
+  c->Reset();
+  c->Add(9);
+  Snapshot snap = Registry::Global().Snap();
+  std::string json = trace.ToChromeJson(&snap);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"Execute\""), std::string::npos);
+  EXPECT_NE(json.find("\"Scan\\\"List\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.trace_embed\":9"), std::string::npos);
+  // Without a snapshot the document still parses as events-only.
+  std::string bare = trace.ToChromeJson();
+  EXPECT_NE(bare.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(bare.find("test.trace_embed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aqua::obs

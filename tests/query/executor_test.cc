@@ -229,6 +229,78 @@ TEST_F(ExecutorTest, ExplainAnalyzeAnnotatesExecutedPlan) {
             std::string::npos);
 }
 
+TEST_F(ExecutorTest, PerOperatorStatsResetEachExecute) {
+  Executor exec(&db_);
+  auto plan = Q::TreeSubSelect(Q::ScanTree("t"), TP("b(d ?)"));
+  ASSERT_OK(exec.Execute(plan).status());
+  ASSERT_OK(exec.Execute(plan).status());
+  // Stats describe the most recent Execute only: 1 call each, not 2.
+  std::string analyzed = exec.ExplainAnalyze(plan);
+  EXPECT_NE(analyzed.find("(1 call,"), std::string::npos) << analyzed;
+  EXPECT_EQ(analyzed.find("2 calls"), std::string::npos) << analyzed;
+  // Executing a different plan drops the previous plan's annotations
+  // and aggregate stats.
+  ASSERT_OK(exec.Execute(Q::ScanList("l")).status());
+  EXPECT_NE(exec.ExplainAnalyze(plan).find("not executed"),
+            std::string::npos);
+  EXPECT_EQ(exec.stats().operators_evaluated, 1u);
+}
+
+TEST_F(ExecutorTest, TraceCapturesSpanTreePerExecute) {
+  Executor exec(&db_);
+  EXPECT_FALSE(exec.trace_enabled());
+  exec.set_trace_enabled(true);
+  auto plan = Q::TreeSubSelect(Q::ScanTree("t"), TP("b(d ?)"));
+  ASSERT_OK(exec.Execute(plan).status());
+  // Execute -> TreeSubSelect -> ScanTree.
+  ASSERT_EQ(exec.trace().size(), 3u);
+  const auto& spans = exec.trace().spans();
+  EXPECT_EQ(spans[0].name, "Execute");
+  EXPECT_EQ(spans[1].name, "TreeSubSelect");
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_EQ(spans[2].name, "ScanTree");
+  EXPECT_EQ(spans[2].parent, 1u);
+  std::string report = exec.TraceReport();
+  EXPECT_NE(report.find("Execute"), std::string::npos);
+  EXPECT_NE(report.find("  TreeSubSelect"), std::string::npos);
+  EXPECT_NE(report.find("    ScanTree"), std::string::npos);
+  EXPECT_NE(report.find("[out=2]"), std::string::npos) << report;
+  // Each Execute replaces the previous tree; disabling stops collection.
+  ASSERT_OK(exec.Execute(Q::ScanList("l")).status());
+  EXPECT_EQ(exec.trace().size(), 2u);
+  exec.set_trace_enabled(false);
+  ASSERT_OK(exec.Execute(plan).status());
+  EXPECT_TRUE(exec.trace().empty());
+}
+
+#ifndef AQUA_OBS_DISABLED
+TEST_F(ExecutorTest, IndexedListSubSelectAttributesLayerCounters) {
+  ASSERT_OK(db_.CreateIndex("l", "name"));
+  Executor exec(&db_);
+  exec.set_trace_enabled(true);
+  auto plan = Q::IndexedListSubSelect("l", "name", P("name == \"a\""),
+                                      LP("a ?"));
+  ASSERT_OK_AND_ASSIGN(Datum out, exec.Execute(plan));
+  EXPECT_EQ(out.size(), 2u);
+  ASSERT_EQ(exec.trace().size(), 2u);
+  EXPECT_EQ(exec.trace().spans()[1].name, "IndexedListSubSelect");
+  // The counter delta attributed to this execution shows the layers that
+  // did the work: the index probe and the NFA prefilter under sub_select.
+  const obs::Snapshot& delta = exec.last_counters();
+  EXPECT_GT(delta.CounterValue("index.probes"), 0u);
+  EXPECT_GT(delta.CounterValue("pattern.nfa_steps"), 0u);
+  EXPECT_GT(delta.CounterValue("pattern.list_match_calls"), 0u);
+  EXPECT_EQ(delta.CounterValue("exec.executes"), 1u);
+  EXPECT_EQ(delta.CounterValue("exec.operators_evaluated"), 1u);
+  // The Chrome-trace export carries the span tree and those counters.
+  std::string json = exec.TraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"IndexedListSubSelect\""), std::string::npos);
+  EXPECT_NE(json.find("\"pattern.nfa_steps\""), std::string::npos);
+  EXPECT_NE(json.find("\"index.probes\""), std::string::npos);
+}
+#endif  // AQUA_OBS_DISABLED
+
 TEST_F(ExecutorTest, TypeErrorsSurface) {
   Executor exec(&db_);
   // Tree operator over a list scan.

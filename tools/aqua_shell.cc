@@ -84,6 +84,8 @@ class Shell {
     if (cmd == "nearest") return CmdNearest(rest);
     if (cmd == "dump") return DumpDatabaseToFile(db(), rest);
     if (cmd == "load") return CmdLoad(rest);
+    if (cmd == "\\stats") return CmdObsStats(rest);
+    if (cmd == "\\trace") return CmdTrace(rest);
     return Status::InvalidArgument("unknown command '" + cmd +
                                    "' (try `help`)");
   }
@@ -110,6 +112,9 @@ class Shell {
         "  approx <coll> <literal> <k> subtrees within edit distance k\n"
         "  nearest <coll> <literal> <n> top-n closest subtrees\n"
         "  dump <file> / load <file>   serialize / restore the database\n"
+        "  \\stats [json|reset]         process-wide metrics registry\n"
+        "  \\trace on|off               per-query span trees (subselect/"
+        "split)\n"
         "  quit\n";
     return Status::OK();
   }
@@ -234,6 +239,9 @@ class Shell {
       AQUA_ASSIGN_OR_RETURN(const List* list, db().GetList(coll));
       AQUA_ASSIGN_OR_RETURN(AnchoredListPattern lp,
                             ParseListPattern(pattern, PatternOpts()));
+      if (trace_on_) {
+        return RunTraced(Q::ListSubSelect(Q::ScanList(coll), lp));
+      }
       AQUA_ASSIGN_OR_RETURN(Datum out,
                             ListSubSelect(db().store(), *list, lp));
       std::cout << out.ToString(Label()) << "\n";
@@ -242,6 +250,9 @@ class Shell {
     AQUA_ASSIGN_OR_RETURN(const Tree* tree, db().GetTree(coll));
     AQUA_ASSIGN_OR_RETURN(TreePatternRef tp,
                           ParseTreePattern(pattern, PatternOpts()));
+    if (trace_on_) {
+      return RunTraced(Q::TreeSubSelect(Q::ScanTree(coll), tp));
+    }
     AQUA_ASSIGN_OR_RETURN(Datum out, TreeSubSelect(db().store(), *tree, tp));
     std::cout << out.ToString(Label()) << "\n";
     return Status::OK();
@@ -267,6 +278,9 @@ class Shell {
         return Datum::Tuple(
             {Datum::Of(x), Datum::Of(y), Datum::Tuple(std::move(zs))});
       };
+      if (trace_on_) {
+        return RunTraced(Q::ListSplit(Q::ScanList(coll), lp, ltuple3));
+      }
       AQUA_ASSIGN_OR_RETURN(Datum out,
                             ListSplit(db().store(), *list, lp, ltuple3));
       std::cout << out.ToString(Label()) << "\n";
@@ -275,6 +289,9 @@ class Shell {
     AQUA_ASSIGN_OR_RETURN(const Tree* tree, db().GetTree(coll));
     AQUA_ASSIGN_OR_RETURN(TreePatternRef tp,
                           ParseTreePattern(pattern, PatternOpts()));
+    if (trace_on_) {
+      return RunTraced(Q::TreeSplit(Q::ScanTree(coll), tp, tuple3));
+    }
     AQUA_ASSIGN_OR_RETURN(Datum out,
                           TreeSplit(db().store(), *tree, tp, tuple3));
     std::cout << out.ToString(Label()) << "\n";
@@ -371,6 +388,46 @@ class Shell {
     return Status::OK();
   }
 
+  Status CmdObsStats(const std::string& arg) {
+    if (arg == "reset") {
+      obs::Registry::Global().ResetAll();
+      std::cout << "metrics reset\n";
+      return Status::OK();
+    }
+    obs::Snapshot snap = obs::Registry::Global().Snap();
+    if (arg == "json") {
+      std::cout << snap.ToJson() << "\n";
+    } else if (arg.empty()) {
+      std::cout << snap.ToText();
+    } else {
+      return Status::InvalidArgument("usage: \\stats [json|reset]");
+    }
+    return Status::OK();
+  }
+
+  Status CmdTrace(const std::string& arg) {
+    if (arg == "on") {
+      trace_on_ = true;
+    } else if (arg == "off") {
+      trace_on_ = false;
+    } else {
+      return Status::InvalidArgument("usage: \\trace on|off");
+    }
+    std::cout << "tracing " << (trace_on_ ? "on" : "off") << "\n";
+    return Status::OK();
+  }
+
+  /// Executes `plan` with span collection and prints the result followed
+  /// by the span-tree report and the counter deltas of this execution.
+  Status RunTraced(const PlanRef& plan) {
+    Executor exec(&db());
+    exec.set_trace_enabled(true);
+    AQUA_ASSIGN_OR_RETURN(Datum out, exec.Execute(plan));
+    std::cout << out.ToString(Label()) << "\n"
+              << exec.TraceReport() << exec.last_counters().ToText();
+    return Status::OK();
+  }
+
   Status CmdLoad(const std::string& path) {
     auto fresh = std::make_unique<Database>();
     AQUA_RETURN_IF_ERROR(LoadDatabaseFromFile(path, fresh.get()));
@@ -393,6 +450,7 @@ class Shell {
   PredicateEnv env_;
   AtomFn atom_;
   std::string label_attr_;
+  bool trace_on_ = false;
 };
 
 }  // namespace
