@@ -56,6 +56,11 @@
 #include "approx/approx_ops.h"
 #include "approx/tree_edit_distance.h"
 
+#include "lint/diagnostic.h"
+#include "lint/interval.h"
+#include "lint/lint.h"
+#include "lint/pattern_lint.h"
+
 #include "odmg/array.h"
 
 #include "storage/dump.h"

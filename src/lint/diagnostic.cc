@@ -1,0 +1,137 @@
+#include "lint/diagnostic.h"
+
+#include <algorithm>
+
+namespace aqua::lint {
+
+const char* DiagCodeId(DiagCode code) {
+  switch (code) {
+    case DiagCode::kEmptyPattern:
+      return "AQL001";
+    case DiagCode::kVacuousPattern:
+      return "AQL002";
+    case DiagCode::kDivergentClosure:
+      return "AQL003";
+    case DiagCode::kDeadAltBranch:
+      return "AQL004";
+    case DiagCode::kContradictoryPredicate:
+      return "AQL005";
+    case DiagCode::kPointArityMismatch:
+      return "AQL006";
+    case DiagCode::kUnreachableAnchor:
+      return "AQL007";
+    case DiagCode::kIneffectivePrune:
+      return "AQL008";
+    case DiagCode::kEmptyOperator:
+      return "AQL009";
+    case DiagCode::kOperatorParamMismatch:
+      return "AQL010";
+    case DiagCode::kComputedAttribute:
+      return "AQL011";
+    case DiagCode::kUnknownCollection:
+      return "AQL012";
+  }
+  return "AQL000";
+}
+
+const char* DiagCodeName(DiagCode code) {
+  switch (code) {
+    case DiagCode::kEmptyPattern:
+      return "empty-pattern";
+    case DiagCode::kVacuousPattern:
+      return "vacuous-pattern";
+    case DiagCode::kDivergentClosure:
+      return "divergent-closure";
+    case DiagCode::kDeadAltBranch:
+      return "dead-alt-branch";
+    case DiagCode::kContradictoryPredicate:
+      return "contradictory-predicate";
+    case DiagCode::kPointArityMismatch:
+      return "point-arity-mismatch";
+    case DiagCode::kUnreachableAnchor:
+      return "unreachable-anchor";
+    case DiagCode::kIneffectivePrune:
+      return "ineffective-prune";
+    case DiagCode::kEmptyOperator:
+      return "empty-operator";
+    case DiagCode::kOperatorParamMismatch:
+      return "operator-param-mismatch";
+    case DiagCode::kComputedAttribute:
+      return "computed-attribute";
+    case DiagCode::kUnknownCollection:
+      return "unknown-collection";
+  }
+  return "unknown";
+}
+
+Severity DefaultSeverity(DiagCode code) {
+  switch (code) {
+    // Findings that make execution fail or violate §3.1 outright.
+    case DiagCode::kUnreachableAnchor:
+    case DiagCode::kOperatorParamMismatch:
+    case DiagCode::kComputedAttribute:
+    case DiagCode::kUnknownCollection:
+      return Severity::kError;
+    default:
+      return Severity::kWarning;
+  }
+}
+
+const char* SeverityToString(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string FormatDiagnostic(const Diagnostic& d) {
+  std::string out = SeverityToString(d.severity);
+  out += ' ';
+  out += DiagCodeId(d.code);
+  out += " [";
+  out += DiagCodeName(d.code);
+  out += "]";
+  if (!d.context.empty()) {
+    out += " in ";
+    out += d.context;
+  }
+  out += ": ";
+  out += d.message;
+  if (d.span.valid()) {
+    out += " (at ";
+    out += d.span.ToString();
+    out += ")";
+  }
+  return out;
+}
+
+std::string RenderDiagnostic(const Diagnostic& d) {
+  std::string out = FormatDiagnostic(d);
+  if (!d.span.valid() || d.source.empty() || d.span.begin >= d.source.size()) {
+    return out;
+  }
+  size_t end = std::min<size_t>(d.span.end, d.source.size());
+  out += "\n  | ";
+  out += d.source;
+  out += "\n  | ";
+  out.append(d.span.begin, ' ');
+  out += '^';
+  if (end > d.span.begin + 1) out.append(end - d.span.begin - 1, '~');
+  return out;
+}
+
+std::string RenderDiagnostics(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const Diagnostic& d : diags) {
+    out += RenderDiagnostic(d);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace aqua::lint

@@ -1,0 +1,67 @@
+#ifndef AQUA_LINT_DIAGNOSTIC_H_
+#define AQUA_LINT_DIAGNOSTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "pattern/source_span.h"
+
+namespace aqua::lint {
+
+/// Stable diagnostic codes of the static-analysis pass. The numeric suffix
+/// in the `AQLnnn` identifier is `static_cast<int>(code)`; codes are
+/// append-only so tooling can match on them across versions.
+enum class DiagCode {
+  kEmptyPattern = 1,         ///< AQL001: pattern language is provably empty
+  kVacuousPattern = 2,       ///< AQL002: pattern matches everything
+  kDivergentClosure = 3,     ///< AQL003: closure over a nullable body
+  kDeadAltBranch = 4,        ///< AQL004: alternation branch never taken
+  kContradictoryPredicate = 5,  ///< AQL005: predicate is unsatisfiable
+  kPointArityMismatch = 6,   ///< AQL006: concatenation point unused/misused
+  kUnreachableAnchor = 7,    ///< AQL007: ⊤/⊥ anchor can never match
+  kIneffectivePrune = 8,     ///< AQL008: `!` subpattern prunes nothing/all
+  kEmptyOperator = 9,        ///< AQL009: operator provably yields no result
+  kOperatorParamMismatch = 10,  ///< AQL010: operator parameters inconsistent
+  kComputedAttribute = 11,   ///< AQL011: predicate reads a computed attribute
+  kUnknownCollection = 12,   ///< AQL012: plan names an unknown collection
+};
+
+enum class Severity { kNote, kWarning, kError };
+
+/// `"AQL001"` .. `"AQL012"`.
+const char* DiagCodeId(DiagCode code);
+/// Short kebab-case name, e.g. `"empty-pattern"`.
+const char* DiagCodeName(DiagCode code);
+/// The severity a diagnostic of this code is emitted with.
+Severity DefaultSeverity(DiagCode code);
+const char* SeverityToString(Severity severity);
+
+/// One structured finding of the lint pass (§3 patterns, §4 plans).
+struct Diagnostic {
+  DiagCode code = DiagCode::kEmptyPattern;
+  Severity severity = Severity::kWarning;
+  std::string message;
+  /// Byte range into `source`; invalid (0,0) when the construct was built
+  /// programmatically or the source text is unknown.
+  SourceSpan span;
+  /// The pattern/predicate text `span` indexes; may be empty.
+  std::string source;
+  /// Where the finding was made, e.g. a plan operator name ("TreeSubSelect");
+  /// empty for bare pattern lints.
+  std::string context;
+};
+
+/// One line: `warning AQL003 [divergent-closure] <message> (at offset B..E)`.
+std::string FormatDiagnostic(const Diagnostic& d);
+
+/// Multi-line rendering with the source line and a `^~~~` caret underline
+/// when `source` and a valid `span` are present; falls back to
+/// `FormatDiagnostic` otherwise.
+std::string RenderDiagnostic(const Diagnostic& d);
+
+/// Renders a batch, one `RenderDiagnostic` per entry.
+std::string RenderDiagnostics(const std::vector<Diagnostic>& diags);
+
+}  // namespace aqua::lint
+
+#endif  // AQUA_LINT_DIAGNOSTIC_H_

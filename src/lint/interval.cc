@@ -1,0 +1,279 @@
+#include "lint/interval.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace aqua::lint {
+
+namespace {
+
+/// Constant families within which `Value::Compare` is total. One stored
+/// attribute value belongs to exactly one family, so positive comparisons
+/// against constants from two different families cannot both hold.
+enum class Family { kNull, kBool, kNumeric, kString, kRef };
+
+Family FamilyOf(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return Family::kNull;
+    case ValueType::kBool:
+      return Family::kBool;
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      return Family::kNumeric;
+    case ValueType::kString:
+      return Family::kString;
+    case ValueType::kRef:
+      return Family::kRef;
+  }
+  return Family::kNull;
+}
+
+/// Mirrors the comparison step of `Predicate::Eval` for a present, non-null
+/// attribute value `v`: equality is total, ordering is false when the
+/// operands are incomparable.
+bool EvalCmp(const Value& v, CmpOp op, const Value& c) {
+  if (op == CmpOp::kEq) return v.Equals(c);
+  if (op == CmpOp::kNe) return !v.Equals(c);
+  Result<int> cmp = v.Compare(c);
+  if (!cmp.ok()) return false;
+  switch (op) {
+    case CmpOp::kLt:
+      return *cmp < 0;
+    case CmpOp::kLe:
+      return *cmp <= 0;
+    case CmpOp::kGt:
+      return *cmp > 0;
+    case CmpOp::kGe:
+      return *cmp >= 0;
+    default:
+      return false;
+  }
+}
+
+bool IsOrdered(CmpOp op) {
+  return op == CmpOp::kLt || op == CmpOp::kLe || op == CmpOp::kGt ||
+         op == CmpOp::kGe;
+}
+
+struct Literal {
+  CmpOp op;
+  const Value* constant;
+};
+
+/// Per-attribute positive and negated literals of one conjunction.
+struct AttrLiterals {
+  std::vector<Literal> pos;
+  std::vector<Literal> neg;
+};
+
+void FlattenAnd(const PredicateRef& p, std::vector<PredicateRef>* out) {
+  if (p == nullptr) return;
+  if (p->kind() == Predicate::Kind::kAnd) {
+    FlattenAnd(p->left(), out);
+    FlattenAnd(p->right(), out);
+    return;
+  }
+  out->push_back(p);
+}
+
+/// One-sided bound of the interval an attribute is confined to.
+struct Bound {
+  const Value* value = nullptr;
+  bool strict = false;
+};
+
+/// Tightens `b` to the stronger of itself and (`v`, `strict`); `lower`
+/// selects the max-of-lower-bounds vs min-of-upper-bounds direction.
+/// Incomparable candidates are ignored (family splits are caught earlier).
+void Tighten(Bound* b, const Value* v, bool strict, bool lower) {
+  if (b->value == nullptr) {
+    b->value = v;
+    b->strict = strict;
+    return;
+  }
+  Result<int> cmp = v->Compare(*b->value);
+  if (!cmp.ok()) return;
+  int c = lower ? *cmp : -*cmp;
+  if (c > 0 || (c == 0 && strict && !b->strict)) {
+    b->value = v;
+    b->strict = strict;
+  }
+}
+
+/// Decides unsatisfiability of the literals on one attribute.
+bool AttrUnsat(const AttrLiterals& lits) {
+  // Structural complements: `X && !X`.
+  for (const Literal& p : lits.pos) {
+    for (const Literal& n : lits.neg) {
+      if (p.op == n.op && p.constant->Equals(*n.constant)) return true;
+    }
+  }
+
+  // `x == null` is never satisfied: null attribute values do not match any
+  // comparison (§3.1 evaluation semantics).
+  for (const Literal& p : lits.pos) {
+    if (p.op == CmpOp::kEq && p.constant->is_null()) return true;
+  }
+
+  // The constant family the attribute's value is pinned to by positive
+  // equality/ordering literals. Two families → unsatisfiable.
+  std::optional<Family> family;
+  bool family_split = false;
+  for (const Literal& p : lits.pos) {
+    if (p.op != CmpOp::kEq && !IsOrdered(p.op)) continue;
+    if (p.constant->is_null()) continue;
+    Family f = FamilyOf(*p.constant);
+    if (family.has_value() && *family != f) family_split = true;
+    family = f;
+  }
+  if (family_split) return true;
+
+  // Equality pinning: evaluate every other literal at the pinned value.
+  const Value* pinned = nullptr;
+  for (const Literal& p : lits.pos) {
+    if (p.op == CmpOp::kEq) {
+      pinned = p.constant;
+      break;
+    }
+  }
+  if (pinned != nullptr) {
+    for (const Literal& p : lits.pos) {
+      if (!EvalCmp(*pinned, p.op, *p.constant)) return true;
+    }
+    for (const Literal& n : lits.neg) {
+      // Negated literal at a pinned present value: `!(x op c)` holds iff
+      // the comparison evaluates false.
+      if (EvalCmp(*pinned, n.op, *n.constant)) return true;
+    }
+    return false;
+  }
+
+  // Interval emptiness over ordered literals. Negated same-family ordered
+  // literals fold in as their complements: presence is forced by the
+  // positive literals and comparability by the pinned family.
+  if (!family.has_value()) return false;
+  Bound lo, hi;
+  for (const Literal& p : lits.pos) {
+    switch (p.op) {
+      case CmpOp::kGt:
+        Tighten(&lo, p.constant, /*strict=*/true, /*lower=*/true);
+        break;
+      case CmpOp::kGe:
+        Tighten(&lo, p.constant, /*strict=*/false, /*lower=*/true);
+        break;
+      case CmpOp::kLt:
+        Tighten(&hi, p.constant, /*strict=*/true, /*lower=*/false);
+        break;
+      case CmpOp::kLe:
+        Tighten(&hi, p.constant, /*strict=*/false, /*lower=*/false);
+        break;
+      default:
+        break;
+    }
+  }
+  for (const Literal& n : lits.neg) {
+    if (!IsOrdered(n.op) || FamilyOf(*n.constant) != *family) continue;
+    switch (n.op) {
+      case CmpOp::kLt:  // !(x < c) → x >= c
+        Tighten(&lo, n.constant, /*strict=*/false, /*lower=*/true);
+        break;
+      case CmpOp::kLe:  // !(x <= c) → x > c
+        Tighten(&lo, n.constant, /*strict=*/true, /*lower=*/true);
+        break;
+      case CmpOp::kGt:  // !(x > c) → x <= c
+        Tighten(&hi, n.constant, /*strict=*/false, /*lower=*/false);
+        break;
+      case CmpOp::kGe:  // !(x >= c) → x < c
+        Tighten(&hi, n.constant, /*strict=*/true, /*lower=*/false);
+        break;
+      default:
+        break;
+    }
+  }
+  if (lo.value != nullptr && hi.value != nullptr) {
+    Result<int> cmp = lo.value->Compare(*hi.value);
+    if (cmp.ok()) {
+      if (*cmp > 0) return true;
+      if (*cmp == 0) {
+        if (lo.strict || hi.strict) return true;
+        // Point interval [v, v]: excluded by `x != v` / `!(x == v)`.
+        for (const Literal& p : lits.pos) {
+          if (p.op == CmpOp::kNe && p.constant->Equals(*lo.value)) return true;
+        }
+        for (const Literal& n : lits.neg) {
+          if (n.op == CmpOp::kEq && n.constant->Equals(*lo.value)) return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+bool ConjunctionUnsat(const std::vector<PredicateRef>& conjuncts) {
+  std::map<std::string, AttrLiterals> by_attr;
+  for (const PredicateRef& c : conjuncts) {
+    if (c->kind() == Predicate::Kind::kCompare) {
+      by_attr[c->attr()].pos.push_back({c->op(), &c->constant()});
+    } else if (c->kind() == Predicate::Kind::kNot &&
+               c->left()->kind() == Predicate::Kind::kCompare) {
+      const Predicate& inner = *c->left();
+      by_attr[inner.attr()].neg.push_back({inner.op(), &inner.constant()});
+    }
+  }
+  for (const auto& [attr, lits] : by_attr) {
+    if (AttrUnsat(lits)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+PredSat AnalyzePredicateSat(const PredicateRef& pred) {
+  if (pred == nullptr) return PredSat::kTautological;
+  switch (pred->kind()) {
+    case Predicate::Kind::kTrue:
+      return PredSat::kTautological;
+    case Predicate::Kind::kCompare:
+      if (pred->op() == CmpOp::kEq && pred->constant().is_null()) {
+        return PredSat::kUnsatisfiable;
+      }
+      return PredSat::kSatisfiable;
+    case Predicate::Kind::kNot: {
+      PredSat inner = AnalyzePredicateSat(pred->left());
+      if (inner == PredSat::kTautological) return PredSat::kUnsatisfiable;
+      if (inner == PredSat::kUnsatisfiable) return PredSat::kTautological;
+      return PredSat::kSatisfiable;
+    }
+    case Predicate::Kind::kOr: {
+      PredSat a = AnalyzePredicateSat(pred->left());
+      PredSat b = AnalyzePredicateSat(pred->right());
+      if (a == PredSat::kTautological || b == PredSat::kTautological) {
+        return PredSat::kTautological;
+      }
+      if (a == PredSat::kUnsatisfiable && b == PredSat::kUnsatisfiable) {
+        return PredSat::kUnsatisfiable;
+      }
+      return PredSat::kSatisfiable;
+    }
+    case Predicate::Kind::kAnd: {
+      PredSat a = AnalyzePredicateSat(pred->left());
+      PredSat b = AnalyzePredicateSat(pred->right());
+      if (a == PredSat::kUnsatisfiable || b == PredSat::kUnsatisfiable) {
+        return PredSat::kUnsatisfiable;
+      }
+      std::vector<PredicateRef> conjuncts;
+      FlattenAnd(pred, &conjuncts);
+      if (ConjunctionUnsat(conjuncts)) return PredSat::kUnsatisfiable;
+      if (a == PredSat::kTautological && b == PredSat::kTautological) {
+        return PredSat::kTautological;
+      }
+      return PredSat::kSatisfiable;
+    }
+  }
+  return PredSat::kSatisfiable;
+}
+
+}  // namespace aqua::lint

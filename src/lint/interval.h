@@ -1,0 +1,37 @@
+#ifndef AQUA_LINT_INTERVAL_H_
+#define AQUA_LINT_INTERVAL_H_
+
+#include "pattern/predicate.h"
+
+namespace aqua::lint {
+
+/// Static satisfiability of an alphabet-predicate (§3.1) under the
+/// matcher's evaluation semantics (`Predicate::Eval`): a comparison whose
+/// attribute is absent or null, or whose operand types are incomparable,
+/// evaluates to *false*.
+///
+///  * `kTautological` — true of every object (only `true` and boolean
+///    combinations that reduce to it; a bare comparison is never a
+///    tautology because it fails on objects lacking the attribute).
+///  * `kUnsatisfiable` — provably false of every object.
+///  * `kSatisfiable` — everything else (the analysis is conservative: a
+///    predicate it cannot refute is reported satisfiable).
+enum class PredSat { kSatisfiable, kUnsatisfiable, kTautological };
+
+/// Analyzes `pred`. A null ref (the `?` metacharacter / absent root
+/// predicate) is tautological. The analysis folds through AND/OR/NOT and
+/// decides conjunctions per attribute:
+///
+///  * structural complements (`X && !X`),
+///  * equality pinning (`x == 3 && x > 7`, `x == 1 && x == 2`),
+///  * comparable-family splits (`x == "a" && x < 3` — one stored value
+///    cannot satisfy comparisons against incomparable constant families),
+///  * interval emptiness over ordered literals, with negated same-family
+///    literals folded in as their complements (`x > 5 && !(x > 3)`),
+///  * point-interval exclusion (`x >= 3 && x <= 3 && x != 3`),
+///  * `x == null` (never satisfied: null attribute values do not match).
+PredSat AnalyzePredicateSat(const PredicateRef& pred);
+
+}  // namespace aqua::lint
+
+#endif  // AQUA_LINT_INTERVAL_H_

@@ -1,0 +1,52 @@
+#ifndef AQUA_LINT_LINT_H_
+#define AQUA_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.h"
+#include "lint/pattern_lint.h"
+#include "query/database.h"
+#include "query/plan.h"
+
+namespace aqua::lint {
+
+struct PlanLintOptions {
+  /// Source text of the pattern/predicate parameters, when the plan was
+  /// built from one piece of text (the shell's case); rendered under carets.
+  std::string pattern_source;
+};
+
+/// The static-analysis pass between parse and execute: walks the plan and
+/// emits every pattern-, predicate-, and plan-level finding.
+///
+/// Plan-level checks (the `LintPlan` extension of `ValidatePlanPatterns`):
+///  * AQL012 — scans naming collections the database does not have;
+///  * AQL010 — equality-parameter mismatches across operators: tree
+///    operators fed by list scans (and vice versa), indexed operators whose
+///    anchor predicate is not a comparison on the indexed attribute or
+///    whose index does not exist;
+///  * AQL009 — operators that provably yield no result (unsatisfiable
+///    select predicates, empty pattern languages, dead index probes);
+///  * AQL011 — alphabet-predicates reading computed attributes (§3.1,
+///    footnote 2), via `PlanNodeStoredAttrViolations`;
+///  * plus every pattern-level finding (AQL001–AQL008) from
+///    `LintListPattern` / `LintTreePattern`, tagged with the operator name.
+///
+/// Emits `lint.diag_emitted` and per-code `lint.diag.AQLnnn` obs counters.
+std::vector<Diagnostic> LintPlan(const Database& db, const PlanRef& plan,
+                                 const PlanLintOptions& opts = {});
+
+}  // namespace aqua::lint
+
+namespace aqua {
+
+/// Builder-level convenience: `Lint(db, plan)` with default options.
+inline std::vector<lint::Diagnostic> Lint(const Database& db,
+                                          const PlanRef& plan) {
+  return lint::LintPlan(db, plan);
+}
+
+}  // namespace aqua
+
+#endif  // AQUA_LINT_LINT_H_

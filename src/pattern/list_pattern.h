@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "pattern/predicate.h"
+#include "pattern/source_span.h"
 
 namespace aqua {
 
@@ -80,6 +81,11 @@ class ListPattern {
   /// `!?* {citizen == "USA"} !?*`.
   std::string ToString() const;
 
+  /// Source range this node was parsed from (invalid when built
+  /// programmatically). Set once by the parser on the freshly built node.
+  const SourceSpan& span() const { return span_; }
+  void set_span(SourceSpan span) { span_ = span; }
+
  private:
   ListPattern() = default;
 
@@ -88,6 +94,7 @@ class ListPattern {
   std::vector<ListPatternRef> parts_;
   std::string label_;
   TreePatternRef tree_atom_;
+  SourceSpan span_;
 };
 
 /// A top-level list pattern with the paper's `^` / `$` anchors.

@@ -11,6 +11,12 @@ namespace {
 
 /// Recursive-descent parser for both pattern languages. The two share the
 /// lexical layer and the regex combinators; they differ in what an atom is.
+///
+/// Every AST node built here is stamped with the `SourceSpan` of the bytes
+/// it was parsed from, so lint diagnostics and parse errors can point at the
+/// offending substring. Nodes that are *shared* rather than built — named
+/// predicates looked up in `opts.env` — keep whatever span they already
+/// carry (they may be referenced from many patterns at once).
 class PatternParser {
  public:
   PatternParser(std::string_view text, const PatternParserOptions& opts)
@@ -25,8 +31,7 @@ class PatternParser {
     if (Eat('$')) out.anchor_end = true;
     SkipSpace();
     if (!AtEnd()) {
-      return Status::ParseError("trailing input in list pattern at position " +
-                                std::to_string(pos_));
+      return Err("trailing input in list pattern");
     }
     return out;
   }
@@ -36,21 +41,53 @@ class PatternParser {
     bool root_anchor = Eat('^');
     AQUA_ASSIGN_OR_RETURN(TreePatternRef tp, ParseTreeAlt());
     SkipSpace();
-    if (Eat('$')) tp = TreePattern::LeafAnchor(std::move(tp));
+    if (Eat('$')) tp = Spanned(TreePattern::LeafAnchor(std::move(tp)), 0);
     SkipSpace();
     if (!AtEnd()) {
-      return Status::ParseError("trailing input in tree pattern at position " +
-                                std::to_string(pos_));
+      return Err("trailing input in tree pattern");
     }
-    if (root_anchor) tp = TreePattern::RootAnchor(std::move(tp));
+    if (root_anchor) {
+      tp = Spanned(TreePattern::RootAnchor(std::move(tp)), 0);
+    }
     return tp;
   }
 
  private:
+  /// Stamps the span `[start, pos_)` onto a freshly built node.
+  ListPatternRef Spanned(ListPatternRef node, size_t start) {
+    const_cast<ListPattern*>(node.get())->set_span(
+        {static_cast<uint32_t>(start), static_cast<uint32_t>(pos_)});
+    return node;
+  }
+  TreePatternRef Spanned(TreePatternRef node, size_t start) {
+    const_cast<TreePattern*>(node.get())->set_span(
+        {static_cast<uint32_t>(start), static_cast<uint32_t>(pos_)});
+    return node;
+  }
+  PredicateRef Spanned(PredicateRef node, size_t start) {
+    const_cast<Predicate*>(node.get())->set_span(
+        {static_cast<uint32_t>(start), static_cast<uint32_t>(pos_)});
+    return node;
+  }
+
+  /// Parse error pointing at the offending position and substring.
+  Status Err(std::string msg) const {
+    std::string where = " at offset " + std::to_string(pos_);
+    if (pos_ < text_.size()) {
+      std::string_view rest = text_.substr(pos_);
+      where += " near '";
+      where += rest.substr(0, rest.size() < 16 ? rest.size() : 16);
+      where += "'";
+    }
+    return Status::ParseError(std::move(msg) + where);
+  }
+
   // -------------------------------------------------------------------
   // Shared regex layer over list-pattern structure.
 
   Result<ListPatternRef> ParseAlt(bool tree_atoms) {
+    SkipSpace();
+    size_t start = pos_;
     AQUA_ASSIGN_OR_RETURN(ListPatternRef lhs, ParseCat(tree_atoms));
     std::vector<ListPatternRef> alts = {std::move(lhs)};
     while (true) {
@@ -60,10 +97,12 @@ class PatternParser {
       alts.push_back(std::move(rhs));
     }
     if (alts.size() == 1) return alts[0];
-    return ListPattern::Alt(std::move(alts));
+    return Spanned(ListPattern::Alt(std::move(alts)), start);
   }
 
   Result<ListPatternRef> ParseCat(bool tree_atoms) {
+    SkipSpace();
+    size_t start = pos_;
     std::vector<ListPatternRef> parts;
     while (true) {
       SkipSpace();
@@ -76,35 +115,37 @@ class PatternParser {
     }
     if (parts.empty()) {
       // The empty sequence: Concat of nothing (matches zero elements).
-      return ListPattern::Concat({});
+      return Spanned(ListPattern::Concat({}), start);
     }
     if (parts.size() == 1) return parts[0];
-    return ListPattern::Concat(std::move(parts));
+    return Spanned(ListPattern::Concat(std::move(parts)), start);
   }
 
   Result<ListPatternRef> ParsePost(bool tree_atoms) {
+    SkipSpace();
+    size_t start = pos_;
     AQUA_ASSIGN_OR_RETURN(ListPatternRef prim, ParsePrim(tree_atoms));
     while (true) {
       SkipSpace();
       if (Peek1('*') && !LookingAt("*@")) {
         Eat('*');
-        prim = ListPattern::Star(std::move(prim));
+        prim = Spanned(ListPattern::Star(std::move(prim)), start);
       } else if (Peek1('+') && !LookingAt("+@")) {
         Eat('+');
-        prim = ListPattern::Plus(std::move(prim));
+        prim = Spanned(ListPattern::Plus(std::move(prim)), start);
       } else if (tree_atoms && (LookingAt("*@") || LookingAt("+@"))) {
         // Tree closure applied to a tree atom inside a children sequence.
         bool star = Peek() == '*';
         pos_ += 2;
         AQUA_ASSIGN_OR_RETURN(std::string label, LexLabel());
         if (prim->kind() != ListPattern::Kind::kTreeAtom) {
-          return Status::ParseError(
-              "a '*@'/'+@' tree closure needs a tree-pattern operand");
+          return Err("a '*@'/'+@' tree closure needs a tree-pattern operand");
         }
         TreePatternRef t = prim->tree_atom();
         t = star ? TreePattern::StarAt(std::move(t), std::move(label))
                  : TreePattern::PlusAt(std::move(t), std::move(label));
-        prim = ListPattern::TreeAtom(std::move(t));
+        prim = Spanned(ListPattern::TreeAtom(Spanned(std::move(t), start)),
+                       start);
       } else {
         break;
       }
@@ -114,16 +155,17 @@ class PatternParser {
 
   Result<ListPatternRef> ParsePrim(bool tree_atoms) {
     SkipSpace();
-    if (AtEnd()) return Status::ParseError("unexpected end of pattern");
+    size_t start = pos_;
+    if (AtEnd()) return Err("unexpected end of pattern");
     if (Eat('!')) {
       AQUA_ASSIGN_OR_RETURN(ListPatternRef inner, ParsePost(tree_atoms));
-      return ListPattern::Prune(std::move(inner));
+      return Spanned(ListPattern::Prune(std::move(inner)), start);
     }
     if (LookingAt("[[")) {
       pos_ += 2;
       AQUA_ASSIGN_OR_RETURN(ListPatternRef inner, ParseAlt(tree_atoms));
       SkipSpace();
-      if (!LookingAt("]]")) return Status::ParseError("expected ']]'");
+      if (!LookingAt("]]")) return Err("expected ']]'");
       pos_ += 2;
       return inner;
     }
@@ -135,42 +177,47 @@ class PatternParser {
     if (Peek() == '@') {
       Eat('@');
       AQUA_ASSIGN_OR_RETURN(std::string label, LexLabel());
-      return ListPattern::Point(std::move(label));
+      return Spanned(ListPattern::Point(std::move(label)), start);
     }
-    if (Eat('?')) return ListPattern::Any();
+    if (Eat('?')) return Spanned(ListPattern::Any(), start);
     AQUA_ASSIGN_OR_RETURN(PredicateRef pred, ParseAtomPredicate());
-    return ListPattern::Pred(std::move(pred));
+    return Spanned(ListPattern::Pred(std::move(pred)), start);
   }
 
   /// One atom of a children sequence: a tree pattern primary. Keeps simple
   /// node-less atoms at the list level so the common case stays cheap.
   Result<ListPatternRef> ParseChildAtom() {
     SkipSpace();
+    size_t start = pos_;
     if (Peek() == '@') {
       Eat('@');
       AQUA_ASSIGN_OR_RETURN(std::string label, LexLabel());
-      return ListPattern::Point(std::move(label));
+      return Spanned(ListPattern::Point(std::move(label)), start);
     }
     size_t save = pos_;
     // Try a bare `?` or predicate atom without children first.
     if (Eat('?')) {
       SkipSpace();
-      if (!Peek1('(')) return ListPattern::Any();
+      if (!Peek1('(')) return Spanned(ListPattern::Any(), start);
       pos_ = save;
     } else if (Peek() == '{' || Peek() == '"' || IsIdentStart(Peek())) {
       AQUA_ASSIGN_OR_RETURN(PredicateRef pred, ParseAtomPredicate());
       SkipSpace();
-      if (!Peek1('(')) return ListPattern::Pred(std::move(pred));
+      if (!Peek1('(')) {
+        return Spanned(ListPattern::Pred(std::move(pred)), start);
+      }
       pos_ = save;
     }
     AQUA_ASSIGN_OR_RETURN(TreePatternRef tp, ParseTreePrim());
-    return ListPattern::TreeAtom(std::move(tp));
+    return Spanned(ListPattern::TreeAtom(std::move(tp)), start);
   }
 
   // -------------------------------------------------------------------
   // Tree-pattern layer.
 
   Result<TreePatternRef> ParseTreeAlt() {
+    SkipSpace();
+    size_t start = pos_;
     AQUA_ASSIGN_OR_RETURN(TreePatternRef lhs, ParseTreeCat());
     std::vector<TreePatternRef> alts = {std::move(lhs)};
     while (true) {
@@ -180,10 +227,12 @@ class PatternParser {
       alts.push_back(std::move(rhs));
     }
     if (alts.size() == 1) return alts[0];
-    return TreePattern::Alt(std::move(alts));
+    return Spanned(TreePattern::Alt(std::move(alts)), start);
   }
 
   Result<TreePatternRef> ParseTreeCat() {
+    SkipSpace();
+    size_t start = pos_;
     AQUA_ASSIGN_OR_RETURN(TreePatternRef lhs, ParseTreePost());
     while (true) {
       SkipSpace();
@@ -191,13 +240,16 @@ class PatternParser {
       pos_ += 2;
       AQUA_ASSIGN_OR_RETURN(std::string label, LexLabel());
       AQUA_ASSIGN_OR_RETURN(TreePatternRef rhs, ParseTreePost());
-      lhs = TreePattern::ConcatAt(std::move(lhs), std::move(label),
-                                  std::move(rhs));
+      lhs = Spanned(TreePattern::ConcatAt(std::move(lhs), std::move(label),
+                                          std::move(rhs)),
+                    start);
     }
     return lhs;
   }
 
   Result<TreePatternRef> ParseTreePost() {
+    SkipSpace();
+    size_t start = pos_;
     AQUA_ASSIGN_OR_RETURN(TreePatternRef prim, ParseTreePrim());
     while (true) {
       SkipSpace();
@@ -207,6 +259,7 @@ class PatternParser {
         AQUA_ASSIGN_OR_RETURN(std::string label, LexLabel());
         prim = star ? TreePattern::StarAt(std::move(prim), std::move(label))
                     : TreePattern::PlusAt(std::move(prim), std::move(label));
+        prim = Spanned(std::move(prim), start);
       } else {
         break;
       }
@@ -216,25 +269,28 @@ class PatternParser {
 
   Result<TreePatternRef> ParseTreePrim() {
     SkipSpace();
-    if (AtEnd()) return Status::ParseError("unexpected end of tree pattern");
+    size_t start = pos_;
+    if (AtEnd()) return Err("unexpected end of tree pattern");
     if (Eat('!')) {
       AQUA_ASSIGN_OR_RETURN(TreePatternRef inner, ParseTreePost());
-      return TreePattern::Prune(std::move(inner));
+      return Spanned(TreePattern::Prune(std::move(inner)), start);
     }
     if (LookingAt("[[")) {
       pos_ += 2;
       AQUA_ASSIGN_OR_RETURN(TreePatternRef inner, ParseTreeAlt());
       SkipSpace();
-      if (Eat('$')) inner = TreePattern::LeafAnchor(std::move(inner));
+      if (Eat('$')) {
+        inner = Spanned(TreePattern::LeafAnchor(std::move(inner)), start);
+      }
       SkipSpace();
-      if (!LookingAt("]]")) return Status::ParseError("expected ']]'");
+      if (!LookingAt("]]")) return Err("expected ']]'");
       pos_ += 2;
       return inner;
     }
     if (Peek() == '@') {
       Eat('@');
       AQUA_ASSIGN_OR_RETURN(std::string label, LexLabel());
-      return TreePattern::Point(std::move(label));
+      return Spanned(TreePattern::Point(std::move(label)), start);
     }
     PredicateRef pred;
     if (Eat('?')) {
@@ -247,10 +303,11 @@ class PatternParser {
       AQUA_ASSIGN_OR_RETURN(ListPatternRef children,
                             ParseAlt(/*tree_atoms=*/true));
       SkipSpace();
-      if (!Eat(')')) return Status::ParseError("expected ')'");
-      return TreePattern::Node(std::move(pred), std::move(children));
+      if (!Eat(')')) return Err("expected ')'");
+      return Spanned(TreePattern::Node(std::move(pred), std::move(children)),
+                     start);
     }
-    return TreePattern::Leaf(std::move(pred));
+    return Spanned(TreePattern::Leaf(std::move(pred)), start);
   }
 
   // -------------------------------------------------------------------
@@ -258,7 +315,7 @@ class PatternParser {
 
   Result<PredicateRef> ParseAtomPredicate() {
     SkipSpace();
-    if (AtEnd()) return Status::ParseError("expected a predicate atom");
+    if (AtEnd()) return Err("expected a predicate atom");
     char c = Peek();
     if (c == '{') {
       size_t depth = 0;
@@ -271,34 +328,38 @@ class PatternParser {
         }
         ++pos_;
       }
-      if (AtEnd()) return Status::ParseError("unterminated '{' predicate");
+      if (AtEnd()) return Err("unterminated '{' predicate");
       ++pos_;  // consume '}'
-      return ParsePredicate(text_.substr(start, pos_ - start));
+      // The predicate parser shifts its spans by `start`, so they index
+      // this pattern's text.
+      return ParsePredicate(text_.substr(start, pos_ - start), start);
     }
+    size_t start = pos_;
     std::string token;
     if (c == '"') {
       ++pos_;
       while (!AtEnd() && Peek() != '"') token += text_[pos_++];
-      if (!Eat('"')) return Status::ParseError("unterminated string atom");
+      if (!Eat('"')) return Err("unterminated string atom");
     } else if (IsIdentStart(c)) {
       token = LexIdent();
     } else {
-      return Status::ParseError(std::string("unexpected character '") + c +
-                                "' in pattern");
+      return Err(std::string("unexpected character '") + c + "' in pattern");
     }
     if (opts_.env != nullptr && opts_.env->Has(token)) {
+      // Shared named predicate: do not restamp its span.
       return opts_.env->Lookup(token);
     }
     if (opts_.default_attr.empty()) {
-      return Status::ParseError("unbound predicate name '" + token + "'");
+      return Err("unbound predicate name '" + token + "'");
     }
-    return Predicate::AttrEquals(opts_.default_attr,
-                                 Value::String(std::move(token)));
+    return Spanned(Predicate::AttrEquals(opts_.default_attr,
+                                         Value::String(std::move(token))),
+                   start);
   }
 
   Result<std::string> LexLabel() {
     if (AtEnd() || !IsIdentChar(Peek())) {
-      return Status::ParseError("expected a concatenation-point label");
+      return Err("expected a concatenation-point label");
     }
     std::string out;
     while (!AtEnd() && IsIdentChar(Peek())) out += text_[pos_++];

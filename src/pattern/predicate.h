@@ -9,6 +9,7 @@
 #include "common/value.h"
 #include "object/object_store.h"
 #include "object/schema.h"
+#include "pattern/source_span.h"
 
 namespace aqua {
 
@@ -68,6 +69,11 @@ class Predicate {
   /// Renders e.g. `{citizen == "Brazil" && age > 25}` (no braces inside).
   std::string ToString() const;
 
+  /// Source range this node was parsed from (invalid when built
+  /// programmatically). Set once by the parser on the freshly built node.
+  const SourceSpan& span() const { return span_; }
+  void set_span(SourceSpan span) { span_ = span; }
+
  private:
   Predicate() = default;
 
@@ -77,6 +83,7 @@ class Predicate {
   Value constant_;
   PredicateRef left_;
   PredicateRef right_;
+  SourceSpan span_;
 };
 
 /// A registry of named predicates, used by the pattern parser so queries can

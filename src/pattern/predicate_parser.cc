@@ -11,72 +11,89 @@ namespace {
 
 class PredParser {
  public:
-  explicit PredParser(std::string_view text) : text_(text) {}
+  PredParser(std::string_view text, size_t span_offset)
+      : text_(text), offset_(span_offset) {}
 
   Result<PredicateRef> Parse() {
     SkipSpace();
     bool braced = Eat('{');
     AQUA_ASSIGN_OR_RETURN(PredicateRef p, ParseOr());
     SkipSpace();
-    if (braced && !Eat('}')) return Status::ParseError("expected '}'");
+    if (braced && !Eat('}')) return Err("expected '}'");
     SkipSpace();
     if (pos_ != text_.size()) {
-      return Status::ParseError("trailing input in predicate at position " +
-                                std::to_string(pos_));
+      return Err("trailing input in predicate");
     }
     return p;
   }
 
  private:
+  /// Stamps the span `[start, pos_)` (shifted by the caller's offset) onto a
+  /// node this parser just built and still solely owns. `Predicate::True()`
+  /// is a process-wide singleton and must keep its default span.
+  PredicateRef Spanned(PredicateRef p, size_t start) {
+    if (p->kind() == Predicate::Kind::kTrue) return p;
+    const_cast<Predicate*>(p.get())->set_span(
+        {static_cast<uint32_t>(offset_ + start),
+         static_cast<uint32_t>(offset_ + pos_)});
+    return p;
+  }
+
   Result<PredicateRef> ParseOr() {
+    SkipSpace();
+    size_t start = pos_;
     AQUA_ASSIGN_OR_RETURN(PredicateRef lhs, ParseAnd());
     while (true) {
       SkipSpace();
       if (!EatToken("||")) return lhs;
       AQUA_ASSIGN_OR_RETURN(PredicateRef rhs, ParseAnd());
-      lhs = Predicate::Or(std::move(lhs), std::move(rhs));
+      lhs = Spanned(Predicate::Or(std::move(lhs), std::move(rhs)), start);
     }
   }
 
   Result<PredicateRef> ParseAnd() {
+    SkipSpace();
+    size_t start = pos_;
     AQUA_ASSIGN_OR_RETURN(PredicateRef lhs, ParseUnary());
     while (true) {
       SkipSpace();
       if (!EatToken("&&")) return lhs;
       AQUA_ASSIGN_OR_RETURN(PredicateRef rhs, ParseUnary());
-      lhs = Predicate::And(std::move(lhs), std::move(rhs));
+      lhs = Spanned(Predicate::And(std::move(lhs), std::move(rhs)), start);
     }
   }
 
   Result<PredicateRef> ParseUnary() {
     SkipSpace();
+    size_t start = pos_;
     if (Eat('!')) {
       // Distinguish `!=` misuse from negation.
       if (!AtEnd() && Peek() == '=') {
-        return Status::ParseError("unexpected '!=' without left operand");
+        return Err("unexpected '!=' without left operand");
       }
       AQUA_ASSIGN_OR_RETURN(PredicateRef inner, ParseUnary());
-      return Predicate::Not(std::move(inner));
+      return Spanned(Predicate::Not(std::move(inner)), start);
     }
     if (Eat('(')) {
       AQUA_ASSIGN_OR_RETURN(PredicateRef inner, ParseOr());
       SkipSpace();
-      if (!Eat(')')) return Status::ParseError("expected ')'");
-      return inner;
+      if (!Eat(')')) return Err("expected ')'");
+      return Spanned(std::move(inner), start);
     }
     if (AtEnd() || !IsIdentStart(Peek())) {
-      return Status::ParseError("expected an attribute name");
+      return Err("expected an attribute name");
     }
     std::string ident = LexIdent();
-    if (ident == "true") return Predicate::True();
+    if (ident == "true") return Spanned(Predicate::True(), start);
     SkipSpace();
     auto op = LexCmpOp();
     if (!op.ok()) {
       // Bare identifier: shorthand for `ident == true`.
-      return Predicate::AttrEquals(ident, Value::Bool(true));
+      return Spanned(Predicate::AttrEquals(ident, Value::Bool(true)), start);
     }
     AQUA_ASSIGN_OR_RETURN(Value lit, LexLiteral());
-    return Predicate::Compare(std::move(ident), *op, std::move(lit));
+    return Spanned(Predicate::Compare(std::move(ident), *op, std::move(lit)),
+                   start);
   }
 
   Result<CmpOp> LexCmpOp() {
@@ -98,13 +115,13 @@ class PredParser {
 
   Result<Value> LexLiteral() {
     SkipSpace();
-    if (AtEnd()) return Status::ParseError("expected a literal");
+    if (AtEnd()) return Err("expected a literal");
     char c = Peek();
     if (c == '"') {
       ++pos_;
       std::string s;
       while (!AtEnd() && Peek() != '"') s += text_[pos_++];
-      if (!Eat('"')) return Status::ParseError("unterminated string literal");
+      if (!Eat('"')) return Err("unterminated string literal");
       return Value::String(std::move(s));
     }
     if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+') {
@@ -118,7 +135,7 @@ class PredParser {
       }
       std::string num(text_.substr(start, pos_ - start));
       if (num.empty() || num == "-" || num == "+") {
-        return Status::ParseError("malformed number literal");
+        return Err("malformed number literal");
       }
       if (is_double) return Value::Double(std::strtod(num.c_str(), nullptr));
       return Value::Int(std::strtoll(num.c_str(), nullptr, 10));
@@ -128,10 +145,9 @@ class PredParser {
       if (ident == "true") return Value::Bool(true);
       if (ident == "false") return Value::Bool(false);
       if (ident == "null") return Value::Null();
-      return Status::ParseError("unknown literal '" + ident + "'");
+      return Err("unknown literal '" + ident + "'");
     }
-    return Status::ParseError(std::string("unexpected character '") + c +
-                              "' in literal");
+    return Err(std::string("unexpected character '") + c + "' in literal");
   }
 
   std::string LexIdent() {
@@ -149,6 +165,13 @@ class PredParser {
     return false;
   }
 
+  /// Parse error pointing at the current position (shifted so it indexes the
+  /// enclosing pattern text when this predicate is a `{...}` atom).
+  Status Err(std::string msg) const {
+    return Status::ParseError(std::move(msg) + " at offset " +
+                              std::to_string(offset_ + pos_));
+  }
+
   void SkipSpace() {
     while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
       ++pos_;
@@ -163,13 +186,15 @@ class PredParser {
   }
 
   std::string_view text_;
+  size_t offset_ = 0;
   size_t pos_ = 0;
 };
 
 }  // namespace
 
-Result<PredicateRef> ParsePredicate(std::string_view text) {
-  return PredParser(text).Parse();
+Result<PredicateRef> ParsePredicate(std::string_view text,
+                                    size_t span_offset) {
+  return PredParser(text, span_offset).Parse();
 }
 
 }  // namespace aqua

@@ -25,7 +25,13 @@ namespace aqua {
 ///
 /// An optional surrounding `{ ... }` is accepted and ignored so predicates
 /// can be pasted directly out of pattern syntax.
-Result<PredicateRef> ParsePredicate(std::string_view text);
+///
+/// Every node of the returned AST carries a `SourceSpan`. `span_offset`
+/// shifts those spans (and the positions in error messages): the pattern
+/// parser passes the offset of the `{...}` atom within the enclosing
+/// pattern, so predicate spans index the *pattern* text.
+Result<PredicateRef> ParsePredicate(std::string_view text,
+                                    size_t span_offset = 0);
 
 }  // namespace aqua
 

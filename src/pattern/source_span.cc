@@ -1,0 +1,16 @@
+#include "pattern/source_span.h"
+
+namespace aqua {
+
+std::string SourceSpan::ToString() const {
+  if (!valid()) return "unknown location";
+  return "offset " + std::to_string(begin) + ".." + std::to_string(end);
+}
+
+std::string SpanText(const std::string& source, const SourceSpan& span) {
+  if (!span.valid() || span.begin >= source.size()) return "";
+  size_t end = span.end < source.size() ? span.end : source.size();
+  return source.substr(span.begin, end - span.begin);
+}
+
+}  // namespace aqua

@@ -1,0 +1,33 @@
+#ifndef AQUA_PATTERN_SOURCE_SPAN_H_
+#define AQUA_PATTERN_SOURCE_SPAN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace aqua {
+
+/// Half-open byte range `[begin, end)` into the pattern/predicate source a
+/// node was parsed from. Parsers attach one to every AST node they build, so
+/// downstream diagnostics (parse errors, `aqua::lint`) can point at the
+/// offending substring. Programmatically built nodes carry the default
+/// (invalid) span.
+struct SourceSpan {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+
+  bool valid() const { return end > begin; }
+
+  /// Renders `offset B..E`; "unknown location" when invalid.
+  std::string ToString() const;
+
+  friend bool operator==(const SourceSpan& a, const SourceSpan& b) {
+    return a.begin == b.begin && a.end == b.end;
+  }
+};
+
+/// The substring of `source` a valid span covers (empty otherwise).
+std::string SpanText(const std::string& source, const SourceSpan& span);
+
+}  // namespace aqua
+
+#endif  // AQUA_PATTERN_SOURCE_SPAN_H_

@@ -7,6 +7,7 @@
 
 #include "pattern/list_pattern.h"
 #include "pattern/predicate.h"
+#include "pattern/source_span.h"
 
 namespace aqua {
 
@@ -88,6 +89,11 @@ class TreePattern {
   /// `{citizen == "Brazil"}(!?* {citizen == "USA"} !?*)`.
   std::string ToString() const;
 
+  /// Source range this node was parsed from (invalid when built
+  /// programmatically). Set once by the parser on the freshly built node.
+  const SourceSpan& span() const { return span_; }
+  void set_span(SourceSpan span) { span_ = span; }
+
  private:
   TreePattern() = default;
 
@@ -97,6 +103,7 @@ class TreePattern {
   std::string label_;
   std::vector<TreePatternRef> parts_;
   TreePatternRef star_form_;
+  SourceSpan span_;
 };
 
 }  // namespace aqua

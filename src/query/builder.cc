@@ -23,6 +23,10 @@ PlanRef ScanList(std::string collection) {
   return node;
 }
 
+PlanRef EmptySet() { return New(PlanOp::kEmptySet); }
+
+PlanRef EmptyList() { return New(PlanOp::kEmptyList); }
+
 PlanRef TreeSelect(PlanRef input, PredicateRef pred) {
   auto node = New(PlanOp::kTreeSelect);
   node->children = {std::move(input)};

@@ -17,6 +17,11 @@ namespace Q {
 PlanRef ScanTree(std::string collection);
 PlanRef ScanList(std::string collection);
 
+/// Constant empty results: what a lint-proven-empty operator folds to (the
+/// `empty-fold` rewrite rule).
+PlanRef EmptySet();
+PlanRef EmptyList();
+
 PlanRef TreeSelect(PlanRef input, PredicateRef pred);
 PlanRef TreeApply(PlanRef input, NodeFn fn);
 PlanRef TreeSubSelect(PlanRef input, TreePatternRef tp,

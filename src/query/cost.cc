@@ -89,6 +89,15 @@ Result<CostEstimate> CostModel::Estimate(const PlanRef& plan) const {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
   CostEstimate est;
   switch (plan->op) {
+    case PlanOp::kEmptySet:
+    case PlanOp::kEmptyList: {
+      // A constant empty result costs nothing, which is what makes the
+      // empty-fold rewrite always profitable.
+      est.cost = 0;
+      est.out_collections = plan->op == PlanOp::kEmptyList ? 1 : 0;
+      est.out_nodes = 0;
+      return est;
+    }
     case PlanOp::kScanTree: {
       AQUA_ASSIGN_OR_RETURN(const Tree* tree, db_->GetTree(plan->collection));
       est.cost = 1;

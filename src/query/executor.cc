@@ -153,6 +153,10 @@ Result<Datum> Executor::Eval(const PlanRef& node) {
   };
 
   switch (node->op) {
+    case PlanOp::kEmptySet:
+      return Datum::Set({});
+    case PlanOp::kEmptyList:
+      return Datum::Of(List());
     case PlanOp::kScanTree: {
       AQUA_ASSIGN_OR_RETURN(const Tree* tree, db_->GetTree(node->collection));
       return Datum::Of(*tree);

@@ -36,6 +36,10 @@ const char* PlanOpToString(PlanOp op) {
       return "ListAllAnc";
     case PlanOp::kListAllDesc:
       return "ListAllDesc";
+    case PlanOp::kEmptySet:
+      return "EmptySet";
+    case PlanOp::kEmptyList:
+      return "EmptyList";
   }
   return "?";
 }

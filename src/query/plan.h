@@ -40,6 +40,8 @@ enum class PlanOp {
   kListSplit,
   kListAllAnc,
   kListAllDesc,
+  kEmptySet,   ///< leaf: the constant empty set (lint-proven-empty folds)
+  kEmptyList,  ///< leaf: the constant empty list
 };
 
 const char* PlanOpToString(PlanOp op);

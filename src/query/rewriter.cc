@@ -7,6 +7,7 @@ void Rewriter::AddRule(std::unique_ptr<RewriteRule> rule) {
 }
 
 void Rewriter::AddDefaultRules() {
+  AddRule(MakeEmptyFoldRule());
   AddRule(MakePatternSimplifyRule());
   AddRule(MakeSelectCascadeRule());
   AddRule(MakeCheapPredicateFirstRule());

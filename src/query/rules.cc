@@ -1,6 +1,8 @@
 #include "query/rules.h"
 
 #include "algebra/derived.h"
+#include "lint/interval.h"
+#include "lint/pattern_lint.h"
 #include "pattern/simplify.h"
 #include "query/builder.h"
 
@@ -191,6 +193,58 @@ class PatternSimplifyRule : public RewriteRule {
   }
 };
 
+/// Folds operators the lint pass proves empty to the constant empty result:
+/// an unsatisfiable select predicate, or a pattern whose language is empty,
+/// can never produce anything, so the whole input scan is skippable. The
+/// empty constants cost 0, so the cost guard always keeps this fold.
+class EmptyFoldRule : public RewriteRule {
+ public:
+  std::string name() const override { return "empty-fold"; }
+
+  Result<PlanRef> Apply(const PlanRef& node,
+                        const Database& db) const override {
+    (void)db;
+    switch (node->op) {
+      case PlanOp::kTreeSubSelect:
+      case PlanOp::kTreeSplit:
+      case PlanOp::kTreeAllAnc:
+      case PlanOp::kTreeAllDesc:
+      case PlanOp::kIndexedSubSelect:
+        if (lint::TreePatternProvablyEmpty(node->tpattern)) {
+          return Q::EmptySet();
+        }
+        return PlanRef(nullptr);
+      case PlanOp::kListSubSelect:
+      case PlanOp::kListSplit:
+      case PlanOp::kListAllAnc:
+      case PlanOp::kListAllDesc:
+      case PlanOp::kIndexedListSubSelect:
+        if (lint::ListPatternProvablyEmpty(node->lpattern.body)) {
+          return Q::EmptySet();
+        }
+        return PlanRef(nullptr);
+      case PlanOp::kTreeSelect:
+        if (lint::AnalyzePredicateSat(node->pred) ==
+            lint::PredSat::kUnsatisfiable) {
+          return Q::EmptySet();
+        }
+        return PlanRef(nullptr);
+      case PlanOp::kListSelect:
+        // ListSelect's output shape follows its input (one list → a list,
+        // a forest → a set), so only the statically list-shaped case folds.
+        if (!node->children.empty() && node->children[0] != nullptr &&
+            node->children[0]->op == PlanOp::kScanList &&
+            lint::AnalyzePredicateSat(node->pred) ==
+                lint::PredSat::kUnsatisfiable) {
+          return Q::EmptyList();
+        }
+        return PlanRef(nullptr);
+      default:
+        return PlanRef(nullptr);
+    }
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<RewriteRule> MakePatternSimplifyRule() {
@@ -215,6 +269,10 @@ std::unique_ptr<RewriteRule> MakeSelectCascadeRule() {
 
 std::unique_ptr<RewriteRule> MakeCheapPredicateFirstRule() {
   return std::make_unique<CheapPredicateFirstRule>();
+}
+
+std::unique_ptr<RewriteRule> MakeEmptyFoldRule() {
+  return std::make_unique<EmptyFoldRule>();
 }
 
 }  // namespace aqua

@@ -49,6 +49,11 @@ std::unique_ptr<RewriteRule> MakeApplyFusionRule();
 /// shrink the matcher's backtracking and the cost estimate.
 std::unique_ptr<RewriteRule> MakePatternSimplifyRule();
 
+/// Folds operators the lint pass proves empty (unsatisfiable select
+/// predicates, empty pattern languages) to the constant `EmptySet` /
+/// `EmptyList` plans, skipping their whole input subtree.
+std::unique_ptr<RewriteRule> MakeEmptyFoldRule();
+
 /// Finds, within `pred` (descending through conjunctions), a comparison
 /// that an index on (`collection`, its attribute) can answer. Returns
 /// NotFound when none qualifies.

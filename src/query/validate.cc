@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 #include <vector>
 
 namespace aqua {
@@ -62,11 +63,31 @@ std::set<TypeId> TypesOfCells(const ObjectStore& store,
   return types;
 }
 
+/// The comparison node that reads `attr`, for span attribution.
+const Predicate* FindCompareOnAttr(const Predicate& pred,
+                                   const std::string& attr) {
+  if (pred.kind() == Predicate::Kind::kCompare) {
+    return pred.attr() == attr ? &pred : nullptr;
+  }
+  if (pred.left() != nullptr) {
+    if (const Predicate* hit = FindCompareOnAttr(*pred.left(), attr)) {
+      return hit;
+    }
+  }
+  if (pred.right() != nullptr) {
+    return FindCompareOnAttr(*pred.right(), attr);
+  }
+  return nullptr;
+}
+
 /// A predicate is admissible when every attribute it reads is *stored* in
 /// every present type that declares it. Types without the attribute are
-/// fine — the predicate simply never matches those objects (§3.1).
-Status ValidatePredicate(const Schema& schema, const std::set<TypeId>& types,
-                         const Predicate& pred) {
+/// fine — the predicate simply never matches those objects (§3.1). Each
+/// violation becomes one AQL011 diagnostic.
+void CollectPredicateViolations(const Schema& schema,
+                                const std::set<TypeId>& types,
+                                const Predicate& pred,
+                                std::vector<lint::Diagnostic>* out) {
   std::vector<std::string> attrs;
   pred.CollectAttrs(&attrs);
   for (const std::string& attr : attrs) {
@@ -76,22 +97,36 @@ Status ValidatePredicate(const Schema& schema, const std::set<TypeId>& types,
       auto idx = (*def)->AttrIndex(attr);
       if (!idx.ok()) continue;
       if (!(*def)->attrs()[*idx].stored) {
-        return Status::InvalidArgument(
+        lint::Diagnostic d;
+        d.code = lint::DiagCode::kComputedAttribute;
+        d.severity = lint::DefaultSeverity(d.code);
+        d.message =
             "alphabet-predicates may only use stored attributes (§3.1): '" +
-            attr + "' is computed in type '" + (*def)->name() + "'");
+            attr + "' is computed in type '" + (*def)->name() + "'";
+        if (const Predicate* site = FindCompareOnAttr(pred, attr)) {
+          d.span = site->span();
+        }
+        out->push_back(std::move(d));
+        break;  // one diagnostic per attribute, not per type
       }
     }
   }
-  return Status::OK();
 }
 
-Status ValidatePreds(const ObjectStore& store, const std::set<TypeId>& types,
-                     const std::vector<PredicateRef>& preds) {
+void CollectPredsViolations(const ObjectStore& store,
+                            const std::set<TypeId>& types,
+                            const std::vector<PredicateRef>& preds,
+                            std::vector<lint::Diagnostic>* out) {
   for (const PredicateRef& pred : preds) {
     if (pred == nullptr) continue;
-    AQUA_RETURN_IF_ERROR(ValidatePredicate(store.schema(), types, *pred));
+    CollectPredicateViolations(store.schema(), types, *pred, out);
   }
-  return Status::OK();
+}
+
+/// First violation as the legacy Status (message text unchanged).
+Status FirstViolationStatus(const std::vector<lint::Diagnostic>& diags) {
+  if (diags.empty()) return Status::OK();
+  return Status::InvalidArgument(diags.front().message);
 }
 
 void CollectScanCollections(const PlanRef& node,
@@ -119,30 +154,75 @@ Result<std::set<TypeId>> TypesInCollection(const Database& db,
   return TypesOfCells(db.store(), list->elems());
 }
 
+std::vector<PredicateRef> NodeParameterPreds(const PlanNode& node) {
+  std::vector<PredicateRef> preds;
+  if (node.pred != nullptr) preds.push_back(node.pred);
+  if (node.anchor != nullptr) preds.push_back(node.anchor);
+  if (node.tpattern != nullptr) CollectTreePatternPreds(*node.tpattern, &preds);
+  if (node.lpattern.body != nullptr) {
+    CollectListPatternPreds(*node.lpattern.body, &preds);
+  }
+  return preds;
+}
+
 }  // namespace
 
-Status ValidateTreePatternAgainst(const ObjectStore& store, const Tree& tree,
-                                  const TreePatternRef& tp) {
-  if (tp == nullptr) return Status::InvalidArgument("null tree pattern");
+std::vector<lint::Diagnostic> TreePatternStoredAttrViolations(
+    const ObjectStore& store, const Tree& tree, const TreePatternRef& tp) {
+  std::vector<lint::Diagnostic> out;
+  if (tp == nullptr) return out;
   std::vector<NodePayload> payloads;
   for (NodeId v : tree.Preorder()) payloads.push_back(tree.payload(v));
   std::vector<PredicateRef> preds;
   CollectTreePatternPreds(*tp, &preds);
-  return ValidatePreds(store, TypesOfCells(store, payloads), preds);
+  CollectPredsViolations(store, TypesOfCells(store, payloads), preds, &out);
+  return out;
+}
+
+std::vector<lint::Diagnostic> ListPatternStoredAttrViolations(
+    const ObjectStore& store, const List& list, const AnchoredListPattern& lp) {
+  std::vector<lint::Diagnostic> out;
+  if (lp.body == nullptr) return out;
+  std::vector<PredicateRef> preds;
+  CollectListPatternPreds(*lp.body, &preds);
+  CollectPredsViolations(store, TypesOfCells(store, list.elems()), preds, &out);
+  return out;
+}
+
+std::vector<lint::Diagnostic> PlanNodeStoredAttrViolations(
+    const Database& db, const PlanRef& node) {
+  std::vector<lint::Diagnostic> out;
+  if (node == nullptr) return out;
+  std::vector<std::string> collections;
+  CollectScanCollections(node, &collections);
+  std::set<TypeId> types;
+  for (const std::string& name : collections) {
+    Result<std::set<TypeId>> in_coll = TypesInCollection(db, name);
+    if (!in_coll.ok()) continue;  // unknown collection: AQL012's job
+    types.insert(in_coll->begin(), in_coll->end());
+  }
+  CollectPredsViolations(db.store(), types, NodeParameterPreds(*node), &out);
+  return out;
+}
+
+Status ValidateTreePatternAgainst(const ObjectStore& store, const Tree& tree,
+                                  const TreePatternRef& tp) {
+  if (tp == nullptr) return Status::InvalidArgument("null tree pattern");
+  return FirstViolationStatus(TreePatternStoredAttrViolations(store, tree, tp));
 }
 
 Status ValidateListPatternAgainst(const ObjectStore& store, const List& list,
                                   const AnchoredListPattern& lp) {
   if (lp.body == nullptr) return Status::InvalidArgument("null list pattern");
-  std::vector<PredicateRef> preds;
-  CollectListPatternPreds(*lp.body, &preds);
-  return ValidatePreds(store, TypesOfCells(store, list.elems()), preds);
+  return FirstViolationStatus(
+      ListPatternStoredAttrViolations(store, list, lp));
 }
 
 Status ValidatePlanPatterns(const Database& db, const PlanRef& plan) {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
   // The types this node's parameters are evaluated against: everything in
   // the collections scanned below it (and by it, for physical index ops).
+  // Unknown collections stay hard errors here, unlike the lint pass.
   std::vector<std::string> collections;
   CollectScanCollections(plan, &collections);
   std::set<TypeId> types;
@@ -152,16 +232,9 @@ Status ValidatePlanPatterns(const Database& db, const PlanRef& plan) {
     types.insert(in_coll.begin(), in_coll.end());
   }
 
-  std::vector<PredicateRef> preds;
-  if (plan->pred != nullptr) preds.push_back(plan->pred);
-  if (plan->anchor != nullptr) preds.push_back(plan->anchor);
-  if (plan->tpattern != nullptr) {
-    CollectTreePatternPreds(*plan->tpattern, &preds);
-  }
-  if (plan->lpattern.body != nullptr) {
-    CollectListPatternPreds(*plan->lpattern.body, &preds);
-  }
-  AQUA_RETURN_IF_ERROR(ValidatePreds(db.store(), types, preds));
+  std::vector<lint::Diagnostic> diags;
+  CollectPredsViolations(db.store(), types, NodeParameterPreds(*plan), &diags);
+  AQUA_RETURN_IF_ERROR(FirstViolationStatus(diags));
 
   for (const PlanRef& child : plan->children) {
     AQUA_RETURN_IF_ERROR(ValidatePlanPatterns(db, child));

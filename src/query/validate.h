@@ -1,7 +1,10 @@
 #ifndef AQUA_QUERY_VALIDATE_H_
 #define AQUA_QUERY_VALIDATE_H_
 
+#include <vector>
+
 #include "common/result.h"
+#include "lint/diagnostic.h"
 #include "query/database.h"
 #include "query/plan.h"
 
@@ -28,6 +31,27 @@ Status ValidateListPatternAgainst(const ObjectStore& store, const List& list,
 /// scans (rewritten shapes, forests) validate against the union of the
 /// database's collections named in the subtree.
 Status ValidatePlanPatterns(const Database& db, const PlanRef& plan);
+
+// Diagnostic-producing cores of the checks above (code AQL011,
+// computed-attribute). The `Validate*` wrappers return the first violation's
+// message as a Status; `aqua::lint` consumes the full structured lists.
+
+/// Violations in every alphabet-predicate reachable from `tp`, against the
+/// types present in `tree`. Spans point at the offending comparison when the
+/// predicate was parsed from text.
+std::vector<lint::Diagnostic> TreePatternStoredAttrViolations(
+    const ObjectStore& store, const Tree& tree, const TreePatternRef& tp);
+
+/// The list analogue.
+std::vector<lint::Diagnostic> ListPatternStoredAttrViolations(
+    const ObjectStore& store, const List& list, const AnchoredListPattern& lp);
+
+/// Violations for one plan node's own parameters (pred / anchor / patterns),
+/// checked against the types of the collections scanned in its subtree.
+/// Does not recurse into children; unknown collections are skipped (the lint
+/// pass reports those separately as AQL012).
+std::vector<lint::Diagnostic> PlanNodeStoredAttrViolations(
+    const Database& db, const PlanRef& node);
 
 }  // namespace aqua
 

@@ -1,0 +1,64 @@
+#include "lint/diagnostic.h"
+
+#include <gtest/gtest.h>
+
+namespace aqua::lint {
+namespace {
+
+TEST(DiagnosticTest, CodeIdsAndNamesAreStable) {
+  EXPECT_STREQ(DiagCodeId(DiagCode::kEmptyPattern), "AQL001");
+  EXPECT_STREQ(DiagCodeId(DiagCode::kUnknownCollection), "AQL012");
+  EXPECT_STREQ(DiagCodeName(DiagCode::kDivergentClosure),
+               "divergent-closure");
+  EXPECT_STREQ(DiagCodeName(DiagCode::kContradictoryPredicate),
+               "contradictory-predicate");
+}
+
+TEST(DiagnosticTest, DefaultSeverities) {
+  // Plan-level inconsistencies are errors; pattern smells are warnings.
+  EXPECT_EQ(DefaultSeverity(DiagCode::kUnreachableAnchor), Severity::kError);
+  EXPECT_EQ(DefaultSeverity(DiagCode::kOperatorParamMismatch),
+            Severity::kError);
+  EXPECT_EQ(DefaultSeverity(DiagCode::kComputedAttribute), Severity::kError);
+  EXPECT_EQ(DefaultSeverity(DiagCode::kUnknownCollection), Severity::kError);
+  EXPECT_EQ(DefaultSeverity(DiagCode::kEmptyPattern), Severity::kWarning);
+  EXPECT_EQ(DefaultSeverity(DiagCode::kIneffectivePrune), Severity::kWarning);
+}
+
+TEST(DiagnosticTest, FormatIncludesCodeNameContextAndSpan) {
+  Diagnostic d;
+  d.code = DiagCode::kDivergentClosure;
+  d.severity = Severity::kWarning;
+  d.message = "closure over a nullable body";
+  d.span = {3, 10};
+  d.context = "ListSubSelect";
+  std::string line = FormatDiagnostic(d);
+  EXPECT_NE(line.find("warning"), std::string::npos) << line;
+  EXPECT_NE(line.find("AQL003"), std::string::npos) << line;
+  EXPECT_NE(line.find("divergent-closure"), std::string::npos) << line;
+  EXPECT_NE(line.find("ListSubSelect"), std::string::npos) << line;
+  EXPECT_NE(line.find("3..10"), std::string::npos) << line;
+}
+
+TEST(DiagnosticTest, RenderUnderlinesTheSpan) {
+  Diagnostic d;
+  d.code = DiagCode::kContradictoryPredicate;
+  d.severity = Severity::kWarning;
+  d.message = "unsatisfiable";
+  d.source = "{x > 3 && x < 1}";
+  d.span = {1, 15};
+  std::string rendered = RenderDiagnostic(d);
+  EXPECT_NE(rendered.find("| {x > 3 && x < 1}"), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("^~"), std::string::npos) << rendered;
+}
+
+TEST(DiagnosticTest, RenderFallsBackWithoutSourceOrSpan) {
+  Diagnostic d;
+  d.code = DiagCode::kEmptyPattern;
+  d.message = "no match";
+  EXPECT_EQ(RenderDiagnostic(d), FormatDiagnostic(d));
+}
+
+}  // namespace
+}  // namespace aqua::lint

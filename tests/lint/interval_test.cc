@@ -1,0 +1,90 @@
+#include "lint/interval.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace aqua::lint {
+namespace {
+
+PredSat Sat(const std::string& text) {
+  auto pred = ParsePredicate(text);
+  EXPECT_TRUE(pred.ok()) << pred.status().ToString() << " in " << text;
+  return pred.ok() ? AnalyzePredicateSat(*pred)
+                   : PredSat::kSatisfiable;
+}
+
+TEST(IntervalTest, TrueAndNullRefAreTautological) {
+  EXPECT_EQ(AnalyzePredicateSat(nullptr), PredSat::kTautological);
+  EXPECT_EQ(AnalyzePredicateSat(Predicate::True()), PredSat::kTautological);
+}
+
+TEST(IntervalTest, BareComparisonIsSatisfiableNotTautological) {
+  // A comparison fails on objects lacking the attribute, so it is never a
+  // tautology — and alone it is always satisfiable.
+  EXPECT_EQ(Sat("x > 3"), PredSat::kSatisfiable);
+  EXPECT_EQ(Sat("x != 3"), PredSat::kSatisfiable);
+  EXPECT_EQ(Sat("name == \"a\""), PredSat::kSatisfiable);
+}
+
+TEST(IntervalTest, EmptyIntervalIsUnsatisfiable) {
+  EXPECT_EQ(Sat("x > 3 && x < 1"), PredSat::kUnsatisfiable);
+  EXPECT_EQ(Sat("x >= 6 && x <= 2"), PredSat::kUnsatisfiable);
+  EXPECT_EQ(Sat("x > 3 && x < 4"), PredSat::kSatisfiable);
+  EXPECT_EQ(Sat("x >= 3 && x <= 3"), PredSat::kSatisfiable);
+  EXPECT_EQ(Sat("x > 3 && x <= 3"), PredSat::kUnsatisfiable);
+}
+
+TEST(IntervalTest, EqualityPinning) {
+  EXPECT_EQ(Sat("x == 3 && x > 7"), PredSat::kUnsatisfiable);
+  EXPECT_EQ(Sat("x == 1 && x == 2"), PredSat::kUnsatisfiable);
+  EXPECT_EQ(Sat("x == 3 && x >= 3"), PredSat::kSatisfiable);
+  EXPECT_EQ(Sat("x == \"a\" && x == \"b\""), PredSat::kUnsatisfiable);
+}
+
+TEST(IntervalTest, IncomparableFamilySplit) {
+  // One stored value cannot satisfy comparisons against constants of
+  // incomparable families (Value::Compare type-errors evaluate to false).
+  EXPECT_EQ(Sat("x == \"a\" && x < 3"), PredSat::kUnsatisfiable);
+  EXPECT_EQ(Sat("x > 1 && x > \"a\""), PredSat::kUnsatisfiable);
+  // kNe is cross-type total, so it does not pin a family.
+  EXPECT_EQ(Sat("x != \"a\" && x < 3"), PredSat::kSatisfiable);
+}
+
+TEST(IntervalTest, PointIntervalExclusion) {
+  EXPECT_EQ(Sat("x >= 3 && x <= 3 && x != 3"), PredSat::kUnsatisfiable);
+  EXPECT_EQ(Sat("x >= 3 && x <= 4 && x != 3"), PredSat::kSatisfiable);
+}
+
+TEST(IntervalTest, StructuralComplement) {
+  EXPECT_EQ(Sat("x > 3 && !(x > 3)"), PredSat::kUnsatisfiable);
+  EXPECT_EQ(Sat("x > 5 && !(x > 3)"), PredSat::kUnsatisfiable);
+  EXPECT_EQ(Sat("x > 3 && !(x > 5)"), PredSat::kSatisfiable);
+}
+
+TEST(IntervalTest, EqualsNullNeverMatches) {
+  // Null attribute values never satisfy a comparison at match time.
+  EXPECT_EQ(Sat("x == null"), PredSat::kUnsatisfiable);
+  EXPECT_EQ(Sat("x != null"), PredSat::kSatisfiable);
+}
+
+TEST(IntervalTest, BooleanCombinators) {
+  EXPECT_EQ(Sat("true"), PredSat::kTautological);
+  EXPECT_EQ(Sat("!true"), PredSat::kUnsatisfiable);
+  // OR is unsatisfiable only when both arms are.
+  EXPECT_EQ(Sat("x > 3 && x < 1 || y == 1 && y == 2"),
+            PredSat::kUnsatisfiable);
+  EXPECT_EQ(Sat("x > 3 && x < 1 || y == 1"), PredSat::kSatisfiable);
+  // AND is unsatisfiable when either arm is.
+  EXPECT_EQ(Sat("y == 1 && (x > 3 && x < 1)"), PredSat::kUnsatisfiable);
+  // NOT flips tautological and unsatisfiable.
+  EXPECT_EQ(Sat("!(x > 3 && x < 1)"), PredSat::kTautological);
+}
+
+TEST(IntervalTest, ConservativeOnIndependentAttributes) {
+  EXPECT_EQ(Sat("x > 3 && y < 1"), PredSat::kSatisfiable);
+  EXPECT_EQ(Sat("x == 1 && y == 2"), PredSat::kSatisfiable);
+}
+
+}  // namespace
+}  // namespace aqua::lint

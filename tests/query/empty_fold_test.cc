@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "query/builder.h"
+#include "query/executor.h"
+#include "query/rewriter.h"
+#include "query/rules.h"
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+class EmptyFoldTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(RegisterItemType(db_.store()));
+    atom_ = MakeInterningAtomFn(&db_.store(), "Item", "name");
+    ASSERT_OK_AND_ASSIGN(Tree t,
+                         ParseTreeLiteral("r(b(d e) x(b(d f)))", atom_));
+    ASSERT_OK(db_.RegisterTree("t", std::move(t)));
+    ASSERT_OK_AND_ASSIGN(List l, ParseListLiteral("[a x a y]", atom_));
+    ASSERT_OK(db_.RegisterList("l", std::move(l)));
+  }
+
+  TreePatternRef TP(const std::string& p) {
+    auto tp = ParseTreePattern(p);
+    EXPECT_TRUE(tp.ok()) << tp.status().ToString();
+    return tp.ok() ? *tp : nullptr;
+  }
+  AnchoredListPattern LP(const std::string& p) {
+    auto lp = ParseListPattern(p);
+    EXPECT_TRUE(lp.ok()) << lp.status().ToString();
+    return lp.ok() ? *lp : AnchoredListPattern{};
+  }
+  PredicateRef P(const std::string& p) {
+    auto pred = ParsePredicate(p);
+    EXPECT_TRUE(pred.ok()) << pred.status().ToString();
+    return pred.ok() ? *pred : nullptr;
+  }
+
+  /// Optimizes with the default rule set and reports whether the
+  /// empty-fold rule fired.
+  PlanRef Optimize(const PlanRef& plan, bool* folded = nullptr) {
+    Rewriter rewriter(&db_);
+    rewriter.AddDefaultRules();
+    auto optimized = rewriter.Optimize(plan);
+    EXPECT_TRUE(optimized.ok()) << optimized.status().ToString();
+    if (folded != nullptr) {
+      const auto& applied = rewriter.applied();
+      *folded = std::find(applied.begin(), applied.end(), "empty-fold") !=
+                applied.end();
+    }
+    return optimized.ok() ? *optimized : nullptr;
+  }
+
+  Database db_;
+  AtomFn atom_;
+};
+
+TEST_F(EmptyFoldTest, EmptyConstantsExecute) {
+  Executor exec(&db_);
+  ASSERT_OK_AND_ASSIGN(Datum set, exec.Execute(Q::EmptySet()));
+  EXPECT_TRUE(set.is_set());
+  EXPECT_EQ(set.size(), 0u);
+  ASSERT_OK_AND_ASSIGN(Datum list, exec.Execute(Q::EmptyList()));
+  EXPECT_TRUE(list.is_list());
+}
+
+TEST_F(EmptyFoldTest, UnsatisfiableTreeSelectFoldsToEmptySet) {
+  bool folded = false;
+  PlanRef plan = Optimize(
+      Q::TreeSelect(Q::ScanTree("t"), P("name == \"a\" && name == \"b\"")),
+      &folded);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_TRUE(folded);
+  EXPECT_EQ(plan->op, PlanOp::kEmptySet);
+  Executor exec(&db_);
+  ASSERT_OK_AND_ASSIGN(Datum out, exec.Execute(plan));
+  EXPECT_EQ(out.size(), 0u);
+  // The whole input subtree was skipped.
+  EXPECT_EQ(exec.stats().trees_processed, 0u);
+}
+
+TEST_F(EmptyFoldTest, EmptyTreePatternFoldsToEmptySet) {
+  bool folded = false;
+  PlanRef plan = Optimize(
+      Q::TreeSubSelect(Q::ScanTree("t"), TP("{x > 3 && x < 1}(?*)")),
+      &folded);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_TRUE(folded);
+  EXPECT_EQ(plan->op, PlanOp::kEmptySet);
+}
+
+TEST_F(EmptyFoldTest, EmptyListPatternFoldsToEmptySet) {
+  bool folded = false;
+  PlanRef plan = Optimize(
+      Q::ListSubSelect(Q::ScanList("l"), LP("a {x > 3 && x < 1}")), &folded);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_TRUE(folded);
+  EXPECT_EQ(plan->op, PlanOp::kEmptySet);
+}
+
+TEST_F(EmptyFoldTest, UnsatisfiableListSelectOverScanFoldsToEmptyList) {
+  // ListSelect over a single scanned list yields a list, so the fold must
+  // preserve that shape.
+  bool folded = false;
+  PlanRef plan = Optimize(
+      Q::ListSelect(Q::ScanList("l"), P("name == \"a\" && name == \"b\"")),
+      &folded);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_TRUE(folded);
+  EXPECT_EQ(plan->op, PlanOp::kEmptyList);
+  Executor exec(&db_);
+  ASSERT_OK_AND_ASSIGN(Datum out, exec.Execute(plan));
+  EXPECT_TRUE(out.is_list());
+}
+
+TEST_F(EmptyFoldTest, SatisfiablePlansAreNotFolded) {
+  bool folded = false;
+  PlanRef plan =
+      Optimize(Q::TreeSubSelect(Q::ScanTree("t"), TP("b(d ?)")), &folded);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_FALSE(folded);
+  Executor exec(&db_);
+  ASSERT_OK_AND_ASSIGN(Datum out, exec.Execute(plan));
+  EXPECT_EQ(out.size(), 2u);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -86,6 +86,7 @@ class Shell {
     if (cmd == "load") return CmdLoad(rest);
     if (cmd == "\\stats") return CmdObsStats(rest);
     if (cmd == "\\trace") return CmdTrace(rest);
+    if (cmd == "\\lint") return CmdLint(rest);
     return Status::InvalidArgument("unknown command '" + cmd +
                                    "' (try `help`)");
   }
@@ -115,6 +116,10 @@ class Shell {
         "  \\stats [json|reset]         process-wide metrics registry\n"
         "  \\trace on|off               per-query span trees (subselect/"
         "split)\n"
+        "  \\lint <coll> <pattern>      static diagnostics with source "
+        "carets\n"
+        "  \\lint on|off                toggle the automatic warning banner "
+        "(default on)\n"
         "  quit\n";
     return Status::OK();
   }
@@ -220,11 +225,15 @@ class Shell {
     }
     if (db().HasList(coll)) {
       AQUA_ASSIGN_OR_RETURN(const List* list, db().GetList(coll));
+      LintBanner(Q::ListSelect(Q::ScanList(coll), pred),
+                 env_.Has(text) ? "" : text);
       AQUA_ASSIGN_OR_RETURN(List out, ListSelect(db().store(), *list, pred));
       std::cout << PrintList(out, Label()) << "\n";
       return Status::OK();
     }
     AQUA_ASSIGN_OR_RETURN(const Tree* tree, db().GetTree(coll));
+    LintBanner(Q::TreeSelect(Q::ScanTree(coll), pred),
+               env_.Has(text) ? "" : text);
     AQUA_ASSIGN_OR_RETURN(auto forest, TreeSelect(db().store(), *tree, pred));
     for (const Tree& piece : forest) {
       std::cout << PrintTree(piece, Label()) << "\n";
@@ -239,6 +248,7 @@ class Shell {
       AQUA_ASSIGN_OR_RETURN(const List* list, db().GetList(coll));
       AQUA_ASSIGN_OR_RETURN(AnchoredListPattern lp,
                             ParseListPattern(pattern, PatternOpts()));
+      LintBanner(Q::ListSubSelect(Q::ScanList(coll), lp), pattern);
       if (trace_on_) {
         return RunTraced(Q::ListSubSelect(Q::ScanList(coll), lp));
       }
@@ -250,6 +260,7 @@ class Shell {
     AQUA_ASSIGN_OR_RETURN(const Tree* tree, db().GetTree(coll));
     AQUA_ASSIGN_OR_RETURN(TreePatternRef tp,
                           ParseTreePattern(pattern, PatternOpts()));
+    LintBanner(Q::TreeSubSelect(Q::ScanTree(coll), tp), pattern);
     if (trace_on_) {
       return RunTraced(Q::TreeSubSelect(Q::ScanTree(coll), tp));
     }
@@ -278,6 +289,7 @@ class Shell {
         return Datum::Tuple(
             {Datum::Of(x), Datum::Of(y), Datum::Tuple(std::move(zs))});
       };
+      LintBanner(Q::ListSplit(Q::ScanList(coll), lp, ltuple3), pattern);
       if (trace_on_) {
         return RunTraced(Q::ListSplit(Q::ScanList(coll), lp, ltuple3));
       }
@@ -289,6 +301,7 @@ class Shell {
     AQUA_ASSIGN_OR_RETURN(const Tree* tree, db().GetTree(coll));
     AQUA_ASSIGN_OR_RETURN(TreePatternRef tp,
                           ParseTreePattern(pattern, PatternOpts()));
+    LintBanner(Q::TreeSplit(Q::ScanTree(coll), tp, tuple3), pattern);
     if (trace_on_) {
       return RunTraced(Q::TreeSplit(Q::ScanTree(coll), tp, tuple3));
     }
@@ -303,6 +316,7 @@ class Shell {
     AQUA_ASSIGN_OR_RETURN(const Tree* tree, db().GetTree(coll));
     AQUA_ASSIGN_OR_RETURN(TreePatternRef tp,
                           ParseTreePattern(pattern, PatternOpts()));
+    LintBanner(Q::TreeSubSelect(Q::ScanTree(coll), tp), pattern);
     AQUA_ASSIGN_OR_RETURN(
         Datum out,
         TreeAllAnc(db().store(), *tree, tp,
@@ -318,6 +332,7 @@ class Shell {
     AQUA_ASSIGN_OR_RETURN(const Tree* tree, db().GetTree(coll));
     AQUA_ASSIGN_OR_RETURN(TreePatternRef tp,
                           ParseTreePattern(pattern, PatternOpts()));
+    LintBanner(Q::TreeSubSelect(Q::ScanTree(coll), tp), pattern);
     AQUA_ASSIGN_OR_RETURN(
         Datum out,
         TreeAllDesc(db().store(), *tree, tp,
@@ -338,6 +353,7 @@ class Shell {
     AQUA_ASSIGN_OR_RETURN(TreePatternRef tp,
                           ParseTreePattern(pattern, PatternOpts()));
     PlanRef plan = Q::TreeSubSelect(Q::ScanTree(coll), tp);
+    LintBanner(plan, pattern);
     std::cout << "plan:\n" << Explain(plan);
     Rewriter rewriter(&db());
     rewriter.AddDefaultRules();
@@ -405,6 +421,50 @@ class Shell {
     return Status::OK();
   }
 
+  /// Runs the static-analysis pass on `plan` and prints one line per
+  /// finding. Called before executing every query command (the on-by-default
+  /// banner; `\lint off` silences it).
+  void LintBanner(const PlanRef& plan, const std::string& source) {
+    if (!lint_banner_) return;
+    lint::PlanLintOptions opts;
+    opts.pattern_source = source;
+    for (const lint::Diagnostic& d : lint::LintPlan(db(), plan, opts)) {
+      std::cout << "lint: " << lint::FormatDiagnostic(d) << "\n";
+    }
+  }
+
+  Status CmdLint(const std::string& rest) {
+    if (rest == "on" || rest == "off") {
+      lint_banner_ = rest == "on";
+      std::cout << "lint banner " << rest << "\n";
+      return Status::OK();
+    }
+    auto [coll, pattern] = SplitFirst(rest);
+    if (coll.empty() || pattern.empty()) {
+      return Status::InvalidArgument(
+          "usage: \\lint <coll> <pattern>  or  \\lint on|off");
+    }
+    PlanRef plan;
+    if (db().HasList(coll)) {
+      AQUA_ASSIGN_OR_RETURN(AnchoredListPattern lp,
+                            ParseListPattern(pattern, PatternOpts()));
+      plan = Q::ListSubSelect(Q::ScanList(coll), lp);
+    } else {
+      AQUA_ASSIGN_OR_RETURN(TreePatternRef tp,
+                            ParseTreePattern(pattern, PatternOpts()));
+      plan = Q::TreeSubSelect(Q::ScanTree(coll), tp);
+    }
+    lint::PlanLintOptions opts;
+    opts.pattern_source = pattern;
+    std::vector<lint::Diagnostic> diags = lint::LintPlan(db(), plan, opts);
+    if (diags.empty()) {
+      std::cout << "no diagnostics\n";
+      return Status::OK();
+    }
+    std::cout << lint::RenderDiagnostics(diags);
+    return Status::OK();
+  }
+
   Status CmdTrace(const std::string& arg) {
     if (arg == "on") {
       trace_on_ = true;
@@ -451,6 +511,7 @@ class Shell {
   AtomFn atom_;
   std::string label_attr_;
   bool trace_on_ = false;
+  bool lint_banner_ = true;
 };
 
 }  // namespace
