@@ -104,6 +104,64 @@ void BM_Fig4_SplitReassembly(benchmark::State& state) {
 }
 BENCHMARK(BM_Fig4_SplitReassembly)->Arg(64)->Arg(256)->Arg(1024);
 
+void BM_Fig4_ForestFanOutThreads(benchmark::State& state) {
+  // Thread sweep over the morsel-parallel fan-out. The registered tree is a
+  // sentinel root over 48 equal-size family subtrees; select drops only the
+  // sentinel, yielding a balanced forest, and sub_select then runs a nested
+  // closure pattern over every piece. Per-piece backtracking dominates the
+  // one O(n) select pass, so the speedup at `threads` measures the physical
+  // pipeline's fan-out scaling; results are byte-identical at every thread
+  // count (see tests/exec/determinism_test).
+  const size_t people = static_cast<size_t>(state.range(0));
+  const size_t threads = static_cast<size_t>(state.range(1));
+  constexpr size_t kFamilies = 48;
+  Database db;
+  Check(RegisterPersonType(db.store()));
+  std::vector<Tree> families;
+  for (size_t i = 0; i < kFamilies; ++i) {
+    FamilyTreeSpec spec;
+    spec.num_people = people / kFamilies;
+    spec.brazil_fraction = 0.35;
+    spec.seed = 1000 + i;
+    families.push_back(OrDie(MakeFamilyTree(db.store(), spec)));
+  }
+  Oid sentinel = OrDie(
+      db.store().Create("Person", {{"name", Value::String("forest")},
+                                   {"citizen", Value::String("none")},
+                                   {"eyes", Value::String("blue")},
+                                   {"education", Value::String("HS")},
+                                   {"age", Value::Int(0)}}));
+  Check(db.RegisterTree(
+      "family", Tree::Node(NodePayload::Cell(sentinel), families)));
+  PredicateEnv env;
+  env.Bind("Brazil",
+           Predicate::AttrEquals("citizen", Value::String("Brazil")));
+  PatternParserOptions popts;
+  popts.env = &env;
+  auto plan = Q::TreeSubSelect(
+      Q::TreeSelect(
+          Q::ScanTree("family"),
+          Predicate::Not(
+              Predicate::AttrEquals("citizen", Value::String("none")))),
+      OrDie(ParseTreePattern("Brazil(?* Brazil(?* Brazil ?*) ?*)", popts)));
+  Executor exec(&db);
+  exec.set_threads(threads);
+  size_t results = 0;
+  size_t pieces = 0;
+  for (auto _ : state) {
+    results = OrDie(exec.Execute(plan)).size();
+    pieces = exec.stats().trees_processed;
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["pieces"] = static_cast<double>(pieces);
+  state.counters["results"] = static_cast<double>(results);
+}
+BENCHMARK(BM_Fig4_ForestFanOutThreads)
+    ->Args({4096, 1})->Args({4096, 2})->Args({4096, 4})->Args({4096, 8})
+    ->Args({16384, 1})->Args({16384, 2})->Args({16384, 4})->Args({16384, 8})
+    ->UseRealTime();
+
 }  // namespace
 }  // namespace aqua
 

@@ -103,3 +103,5 @@ BENCHMARK(BM_TreeApply)->Arg(1000)->Arg(10000)->Arg(100000);
 
 }  // namespace
 }  // namespace aqua
+
+AQUA_BENCH_MAIN()

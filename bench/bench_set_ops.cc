@@ -113,3 +113,5 @@ BENCHMARK(BM_BagOps)->Arg(64)->Arg(256)->Arg(1024);
 
 }  // namespace
 }  // namespace aqua
+
+AQUA_BENCH_MAIN()

@@ -76,3 +76,5 @@ BENCHMARK(BM_Storage_RoundTripStability);
 
 }  // namespace
 }  // namespace aqua
+
+AQUA_BENCH_MAIN()

@@ -123,5 +123,50 @@ BENCHMARK(BM_Kleene_PruneChecks)
     ->Args({2000, 0})->Args({2000, 1})
     ->Args({8000, 0})->Args({8000, 1});
 
+void BM_Kleene_FanOutThreads(benchmark::State& state) {
+  // The footnote-3 workload fanned out across pool workers: 48 poisoned
+  // chains under a sentinel root, select drops the sentinel (a balanced
+  // 48-piece forest, near-zero serial work), and sub_select burns the
+  // unmemoized Fibonacci search in every piece. Per-piece work is identical
+  // and embarrassingly parallel, so real-time speedup at `threads` is the
+  // pipeline's fan-out scaling ceiling.
+  const size_t depth = static_cast<size_t>(state.range(0));
+  const size_t threads = static_cast<size_t>(state.range(1));
+  constexpr size_t kChains = 48;
+  Database db;
+  Check(RegisterItemType(db.store()));
+  std::vector<Tree> chains;
+  for (size_t i = 0; i < kChains; ++i) {
+    chains.push_back(OrDie(MakePoisonedChain(db.store(), depth)));
+  }
+  Oid sentinel = OrDie(db.store().Create(
+      "Item", {{"name", Value::String("root")}, {"val", Value::Int(0)}}));
+  Check(db.RegisterTree("chains",
+                        Tree::Node(NodePayload::Cell(sentinel), chains)));
+  SplitOptions opts;
+  opts.match.memoize = false;
+  auto plan = Q::TreeSubSelect(
+      Q::TreeSelect(
+          Q::ScanTree("chains"),
+          Predicate::Not(
+              Predicate::AttrEquals("name", Value::String("root")))),
+      OrDie(ParseTreePattern("^[[a(@x) | a(a(@x))]]*@x")), opts);
+  Executor exec(&db);
+  exec.set_threads(threads);
+  size_t pieces = 0;
+  for (auto _ : state) {
+    size_t n = OrDie(exec.Execute(plan)).size();
+    pieces = exec.stats().trees_processed;
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["pieces"] = static_cast<double>(pieces);
+}
+BENCHMARK(BM_Kleene_FanOutThreads)
+    ->Args({20, 1})->Args({20, 2})->Args({20, 4})->Args({20, 8})
+    ->UseRealTime();
+
 }  // namespace
 }  // namespace aqua
+
+AQUA_BENCH_MAIN()

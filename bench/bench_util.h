@@ -133,11 +133,14 @@ class JsonForwardingReporter : public benchmark::ConsoleReporter {
 };
 
 /// Drop-in replacement for BENCHMARK_MAIN() that understands
-/// `--json <path>` (or `--json=<path>`) in addition to the standard
-/// google-benchmark flags: results and registry counters are written as a
-/// JSON document on top of the usual console output.
+/// `--json <path>` (or `--json=<path>`) and `--threads <n>` (or
+/// `--threads=<n>`) in addition to the standard google-benchmark flags:
+/// results and registry counters are written as a JSON document on top of
+/// the usual console output, and `--threads` sets the default executor
+/// parallelism (equivalent to running under `AQUA_THREADS=<n>`).
 inline int BenchMain(int argc, char** argv) {
   std::string json_path;
+  std::string threads;
   std::vector<char*> args;
   args.reserve(static_cast<size_t>(argc));
   for (int i = 0; i < argc; ++i) {
@@ -146,10 +149,17 @@ inline int BenchMain(int argc, char** argv) {
       json_path = argv[++i];
     } else if (a.substr(0, 7) == "--json=") {
       json_path = std::string(a.substr(7));
+    } else if (a == "--threads" && i + 1 < argc) {
+      threads = argv[++i];
+    } else if (a.substr(0, 10) == "--threads=") {
+      threads = std::string(a.substr(10));
     } else {
       args.push_back(argv[i]);
     }
   }
+  // Before any Executor or ThreadPool is touched, so DefaultThreads() and
+  // the shared pool size both honor the flag.
+  if (!threads.empty()) setenv("AQUA_THREADS", threads.c_str(), 1);
   int filtered_argc = static_cast<int>(args.size());
   benchmark::Initialize(&filtered_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {

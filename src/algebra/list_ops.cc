@@ -2,6 +2,7 @@
 
 #include "bulk/concat.h"
 #include "obs/metrics.h"
+#include "pattern/dfa.h"
 #include "pattern/nfa.h"
 
 namespace aqua {
@@ -95,9 +96,21 @@ Result<Datum> ListSubSelect(const ObjectStore& store, const List& list,
   // proves there is no match and skips backtracking entirely. Patterns the
   // NFA cannot compile (tree atoms) fall through to the matcher's own
   // validation.
-  {
-    auto nfa = Nfa::CompileSearch(lp.body);
-    if (nfa.ok() && !nfa->ExistsMatch(store, list)) {
+  auto nfa = Nfa::CompileSearch(lp.body);
+  ListPrefilter pre;
+  if (nfa.ok()) pre.nfa = &*nfa;
+  return ListSubSelectPrefiltered(store, list, lp, opts, pre);
+}
+
+Result<Datum> ListSubSelectPrefiltered(const ObjectStore& store,
+                                       const List& list,
+                                       const AnchoredListPattern& lp,
+                                       const ListSplitOptions& opts,
+                                       const ListPrefilter& pre) {
+  if (pre.nfa != nullptr) {
+    bool may_match = pre.dfa != nullptr ? pre.dfa->ExistsMatch(store, list)
+                                        : pre.nfa->ExistsMatch(store, list);
+    if (!may_match) {
       AQUA_OBS_COUNT("pattern.nfa_prefilter_rejects", 1);
       return Datum::Set({});
     }

@@ -1,0 +1,450 @@
+#include "exec/compile.h"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "algebra/derived.h"
+#include "algebra/list_ops.h"
+#include "algebra/tree_ops.h"
+#include "bulk/concat.h"
+#include "exec/morsel.h"
+#include "exec/worker_local.h"
+#include "pattern/dfa.h"
+#include "pattern/nfa.h"
+
+namespace aqua::exec {
+
+namespace {
+
+/// Stand-in for a null plan node: reproduces the interpreter's "(null)"
+/// span (via the Run wrapper) and its InvalidArgument status.
+class NullOp : public PhysicalOp {
+ public:
+  NullOp() : PhysicalOp(nullptr, {}) {}
+
+ protected:
+  Result<Datum> RunImpl(ExecContext&) override {
+    return Status::InvalidArgument("null plan node");
+  }
+};
+
+/// Leaf and scalar operators (scans, constants, indexed probes): one
+/// evaluation on the query thread, no fan-out.
+class SimpleOp : public PhysicalOp {
+ public:
+  using Fn = std::function<Result<Datum>(ExecContext&, const PlanNode&)>;
+
+  SimpleOp(PlanRef plan, std::vector<PhysicalOpRef> children, Fn fn)
+      : PhysicalOp(std::move(plan), std::move(children)), fn_(std::move(fn)) {}
+
+ protected:
+  Result<Datum> RunImpl(ExecContext& ctx) override { return fn_(ctx, *plan_); }
+
+ private:
+  Fn fn_;
+};
+
+/// Configuration of the generic map-over-set fan-out (the single code path
+/// that replaced the interpreter's ForEachTree / ForEachList / per-op set
+/// loops).
+struct FanOutSpec {
+  /// Item type: lists when true, trees otherwise (drives the type check
+  /// and the trees_processed / lists_processed counter).
+  bool over_lists = false;
+  /// Exact interpreter TypeError messages (contract-tested).
+  const char* set_error = "";
+  const char* single_error = "";
+  /// When the input is a single collection (not a set), return the item
+  /// result directly instead of wrapping it in a set — the `apply` and
+  /// list-`select` quirk.
+  bool single_passthrough = false;
+  /// Whether set items may run on pool workers. False for ops that mutate
+  /// the store (`apply`) or invoke user callbacks with no thread-safety
+  /// contract (`split` / `all_anc` / `all_desc`).
+  bool parallel = false;
+  /// How one item's result datum joins the output set.
+  enum class Merge {
+    kUnionChildren,  ///< item result is a set; insert its elements
+    kInsertResult,   ///< insert the item result itself
+  };
+  Merge merge = Merge::kUnionChildren;
+};
+
+/// Maps an operator over the tree/list items of its input.
+///
+/// Items run as morsels (`RunMorsels`): contiguous item ranges claimed by
+/// up to `ExecContext::threads` participants, each holding a distinct
+/// worker slot for `WorkerLocal` state. Per-item results land in an
+/// index-addressed slot vector and are merged serially in item order after
+/// the join, so the output set (`SetInsert` dedups, keeping first
+/// occurrence) is byte-identical to the serial interpreter's. On failure
+/// the returned Status is the lowest-indexed failing item's — the same
+/// error the serial in-order loop would have returned. Execution counters
+/// may include items past the first failure (serial stops there; parallel
+/// morsels already running complete), which is the one documented
+/// divergence, on error paths only.
+class FanOutOp : public PhysicalOp {
+ public:
+  FanOutOp(PlanRef plan, std::vector<PhysicalOpRef> children, FanOutSpec spec)
+      : PhysicalOp(std::move(plan), std::move(children)), spec_(spec) {}
+
+ protected:
+  /// Evaluates the operator on one collection item. `worker` is the
+  /// fan-out worker slot (0 on the serial path and for single inputs).
+  virtual Result<Datum> RunOnItem(ExecContext& ctx, const Datum& item,
+                                  size_t worker) = 0;
+
+  Result<Datum> RunImpl(ExecContext& ctx) override {
+    AQUA_ASSIGN_OR_RETURN(Datum input, RunChild(0, ctx));
+    if (!input.is_set()) {
+      AQUA_RETURN_IF_ERROR(CheckItem(ctx, input, /*in_set=*/false));
+      AQUA_ASSIGN_OR_RETURN(Datum r, RunOnItem(ctx, input, 0));
+      if (spec_.single_passthrough) return r;
+      Datum out = Datum::Set({});
+      MergeInto(&out, std::move(r));
+      return out;
+    }
+
+    const std::vector<Datum>& items = input.children();
+    std::vector<std::optional<Result<Datum>>> slots(items.size());
+    FanOutOptions opts;
+    opts.threads = spec_.parallel ? ctx.threads : 1;
+    opts.trace = ctx.trace;
+    ThreadPool& pool =
+        ctx.pool != nullptr ? *ctx.pool : ThreadPool::Shared();
+    AQUA_RETURN_IF_ERROR(RunMorsels(
+        pool, items.size(), opts, [&](const Morsel& m) -> Status {
+          for (size_t i = m.begin; i < m.end; ++i) {
+            AQUA_RETURN_IF_ERROR(CheckItem(ctx, items[i], /*in_set=*/true));
+            Result<Datum> r = RunOnItem(ctx, items[i], m.worker);
+            Status st = r.status();
+            slots[i].emplace(std::move(r));
+            AQUA_RETURN_IF_ERROR(st);
+          }
+          return Status::OK();
+        }));
+    // RunMorsels returned OK, so every slot holds an OK result; merging in
+    // item order reproduces the serial insertion sequence exactly.
+    Datum out = Datum::Set({});
+    for (auto& slot : slots) MergeInto(&out, std::move(**slot));
+    return out;
+  }
+
+ private:
+  Status CheckItem(ExecContext& ctx, const Datum& d, bool in_set) const {
+    if (spec_.over_lists ? !d.is_list() : !d.is_tree()) {
+      return Status::TypeError(in_set ? spec_.set_error : spec_.single_error);
+    }
+    (spec_.over_lists ? ctx.lists_processed : ctx.trees_processed)
+        .fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  void MergeInto(Datum* out, Datum&& r) const {
+    if (spec_.merge == FanOutSpec::Merge::kUnionChildren) {
+      for (const Datum& d : r.children()) out->SetInsert(d);
+    } else {
+      out->SetInsert(std::move(r));
+    }
+  }
+
+  FanOutSpec spec_;
+};
+
+/// Fan-out whose per-item evaluation is a stateless function of the plan
+/// node — every fan-out operator except list sub_select.
+class LambdaFanOutOp : public FanOutOp {
+ public:
+  using ItemFn =
+      std::function<Result<Datum>(ExecContext&, const PlanNode&, const Datum&)>;
+
+  LambdaFanOutOp(PlanRef plan, std::vector<PhysicalOpRef> children,
+                 FanOutSpec spec, ItemFn fn)
+      : FanOutOp(std::move(plan), std::move(children), spec),
+        fn_(std::move(fn)) {}
+
+ protected:
+  Result<Datum> RunOnItem(ExecContext& ctx, const Datum& item,
+                          size_t) override {
+    return fn_(ctx, *plan_, item);
+  }
+
+ private:
+  ItemFn fn_;
+};
+
+/// List sub_select with the NFA existence prefilter hoisted into
+/// `Prepare`: the search NFA is compiled once per Execute (the interpreter
+/// recompiled it per list) and shared read-only across workers
+/// (`Nfa::ExistsMatch` is const). Each worker slot additionally warms its
+/// own `LazyDfa` over that NFA — the DFA mutates its transition cache
+/// while matching, so instances are per-worker rather than shared, and the
+/// cache amortizes across all the lists one worker scans.
+class ListSubSelectOp : public FanOutOp {
+ public:
+  using FanOutOp::FanOutOp;
+
+  Status Prepare(ExecContext& ctx) override {
+    AQUA_RETURN_IF_ERROR(FanOutOp::Prepare(ctx));
+    auto nfa = Nfa::CompileSearch(plan_->lpattern.body);
+    if (!nfa.ok()) return Status::OK();  // matcher validates the pattern
+    nfa_.emplace(std::move(*nfa));
+    dfas_.emplace(std::max<size_t>(ctx.threads, 1));
+    for (size_t s = 0; s < dfas_->size(); ++s) {
+      auto dfa = LazyDfa::Make(&*nfa_);
+      if (dfa.ok()) dfas_->at(s).emplace(std::move(*dfa));
+    }
+    return Status::OK();
+  }
+
+ protected:
+  Result<Datum> RunOnItem(ExecContext& ctx, const Datum& item,
+                          size_t worker) override {
+    ListPrefilter pre;
+    if (nfa_.has_value()) {
+      pre.nfa = &*nfa_;
+      if (dfas_.has_value() && worker < dfas_->size() &&
+          dfas_->at(worker).has_value()) {
+        pre.dfa = &*dfas_->at(worker);
+      }
+    }
+    return ListSubSelectPrefiltered(ctx.db->store(), item.list(),
+                                    plan_->lpattern, plan_->lsplit_opts, pre);
+  }
+
+ private:
+  std::optional<Nfa> nfa_;
+  std::optional<WorkerLocal<std::optional<LazyDfa>>> dfas_;
+};
+
+constexpr char kTreeSetErr[] = "tree operator over a set containing a non-tree";
+constexpr char kTreeSingleErr[] = "tree operator applied to a non-tree datum";
+constexpr char kTreeApplySetErr[] = "apply over a set containing a non-tree";
+constexpr char kTreeApplySingleErr[] = "apply over a non-tree datum";
+constexpr char kListSetErr[] = "list operator over a set containing a non-list";
+constexpr char kListSingleErr[] = "list operator applied to a non-list datum";
+constexpr char kListApplySetErr[] = "apply over a set containing a non-list";
+constexpr char kListApplySingleErr[] = "apply over a non-list datum";
+
+FanOutSpec TreeSpec(bool parallel) {
+  FanOutSpec spec;
+  spec.set_error = kTreeSetErr;
+  spec.single_error = kTreeSingleErr;
+  spec.parallel = parallel;
+  return spec;
+}
+
+FanOutSpec ListSpec(bool parallel) {
+  FanOutSpec spec;
+  spec.over_lists = true;
+  spec.set_error = kListSetErr;
+  spec.single_error = kListSingleErr;
+  spec.parallel = parallel;
+  return spec;
+}
+
+}  // namespace
+
+PhysicalOpRef Compile(const PlanRef& plan) {
+  if (plan == nullptr) return std::make_shared<NullOp>();
+  std::vector<PhysicalOpRef> children;
+  children.reserve(plan->children.size());
+  for (const PlanRef& c : plan->children) children.push_back(Compile(c));
+
+  switch (plan->op) {
+    case PlanOp::kEmptySet:
+      return std::make_shared<SimpleOp>(
+          plan, std::move(children),
+          [](ExecContext&, const PlanNode&) -> Result<Datum> {
+            return Datum::Set({});
+          });
+    case PlanOp::kEmptyList:
+      return std::make_shared<SimpleOp>(
+          plan, std::move(children),
+          [](ExecContext&, const PlanNode&) -> Result<Datum> {
+            return Datum::Of(List());
+          });
+    case PlanOp::kScanTree:
+      return std::make_shared<SimpleOp>(
+          plan, std::move(children),
+          [](ExecContext& ctx, const PlanNode& n) -> Result<Datum> {
+            AQUA_ASSIGN_OR_RETURN(const Tree* tree,
+                                  ctx.db->GetTree(n.collection));
+            return Datum::Of(*tree);
+          });
+    case PlanOp::kScanList:
+      return std::make_shared<SimpleOp>(
+          plan, std::move(children),
+          [](ExecContext& ctx, const PlanNode& n) -> Result<Datum> {
+            AQUA_ASSIGN_OR_RETURN(const List* list,
+                                  ctx.db->GetList(n.collection));
+            return Datum::Of(*list);
+          });
+    case PlanOp::kTreeSelect:
+      return std::make_shared<LambdaFanOutOp>(
+          plan, std::move(children), TreeSpec(/*parallel=*/true),
+          [](ExecContext& ctx, const PlanNode& n,
+             const Datum& item) -> Result<Datum> {
+            AQUA_ASSIGN_OR_RETURN(
+                std::vector<Tree> forest,
+                TreeSelect(ctx.db->store(), item.tree(), n.pred));
+            Datum out = Datum::Set({});
+            for (Tree& piece : forest) {
+              out.SetInsert(Datum::Of(std::move(piece)));
+            }
+            return out;
+          });
+    case PlanOp::kTreeApply: {
+      FanOutSpec spec = TreeSpec(/*parallel=*/false);
+      spec.set_error = kTreeApplySetErr;
+      spec.single_error = kTreeApplySingleErr;
+      spec.single_passthrough = true;
+      spec.merge = FanOutSpec::Merge::kInsertResult;
+      return std::make_shared<LambdaFanOutOp>(
+          plan, std::move(children), spec,
+          [](ExecContext& ctx, const PlanNode& n,
+             const Datum& item) -> Result<Datum> {
+            AQUA_ASSIGN_OR_RETURN(
+                Tree mapped,
+                TreeApply(ctx.db->store(), item.tree(), n.node_fn));
+            return Datum::Of(std::move(mapped));
+          });
+    }
+    case PlanOp::kTreeSubSelect:
+      return std::make_shared<LambdaFanOutOp>(
+          plan, std::move(children), TreeSpec(/*parallel=*/true),
+          [](ExecContext& ctx, const PlanNode& n,
+             const Datum& item) -> Result<Datum> {
+            return TreeSubSelect(ctx.db->store(), item.tree(), n.tpattern,
+                                 n.split_opts);
+          });
+    case PlanOp::kTreeSplit:
+      return std::make_shared<LambdaFanOutOp>(
+          plan, std::move(children), TreeSpec(/*parallel=*/false),
+          [](ExecContext& ctx, const PlanNode& n,
+             const Datum& item) -> Result<Datum> {
+            return TreeSplit(ctx.db->store(), item.tree(), n.tpattern,
+                             n.split_fn, n.split_opts);
+          });
+    case PlanOp::kTreeAllAnc:
+      return std::make_shared<LambdaFanOutOp>(
+          plan, std::move(children), TreeSpec(/*parallel=*/false),
+          [](ExecContext& ctx, const PlanNode& n,
+             const Datum& item) -> Result<Datum> {
+            return TreeAllAnc(ctx.db->store(), item.tree(), n.tpattern,
+                              n.anc_fn, n.split_opts);
+          });
+    case PlanOp::kTreeAllDesc:
+      return std::make_shared<LambdaFanOutOp>(
+          plan, std::move(children), TreeSpec(/*parallel=*/false),
+          [](ExecContext& ctx, const PlanNode& n,
+             const Datum& item) -> Result<Datum> {
+            return TreeAllDesc(ctx.db->store(), item.tree(), n.tpattern,
+                               n.desc_fn, n.split_opts);
+          });
+    case PlanOp::kIndexedSubSelect:
+      return std::make_shared<SimpleOp>(
+          plan, std::move(children),
+          [](ExecContext& ctx, const PlanNode& n) -> Result<Datum> {
+            const ObjectStore& store = ctx.db->store();
+            AQUA_ASSIGN_OR_RETURN(const Tree* tree,
+                                  ctx.db->GetTree(n.collection));
+            AQUA_ASSIGN_OR_RETURN(const AttributeIndex* index,
+                                  ctx.db->indexes().Get(n.collection, n.attr));
+            ctx.index_probes.fetch_add(1, std::memory_order_relaxed);
+            AQUA_ASSIGN_OR_RETURN(std::vector<NodeId> candidates,
+                                  index->Probe(*n.anchor));
+            ctx.index_candidates.fetch_add(candidates.size(),
+                                           std::memory_order_relaxed);
+            TreeMatcher matcher(store, *tree, n.split_opts.match);
+            AQUA_ASSIGN_OR_RETURN(
+                std::vector<TreeMatch> matches,
+                matcher.FindAllAtRoots(n.tpattern, candidates));
+            Datum out = Datum::Set({});
+            for (const TreeMatch& m : matches) {
+              AQUA_ASSIGN_OR_RETURN(Tree y,
+                                    MakeMatchPiece(*tree, m, n.split_opts));
+              out.SetInsert(Datum::Of(CloseAllPoints(y)));
+            }
+            return out;
+          });
+    case PlanOp::kIndexedListSubSelect:
+      return std::make_shared<SimpleOp>(
+          plan, std::move(children),
+          [](ExecContext& ctx, const PlanNode& n) -> Result<Datum> {
+            AQUA_ASSIGN_OR_RETURN(const List* list,
+                                  ctx.db->GetList(n.collection));
+            AQUA_ASSIGN_OR_RETURN(const AttributeIndex* index,
+                                  ctx.db->indexes().Get(n.collection, n.attr));
+            ctx.index_probes.fetch_add(1, std::memory_order_relaxed);
+            AQUA_ASSIGN_OR_RETURN(std::vector<NodeId> candidates,
+                                  index->Probe(*n.anchor));
+            ctx.index_candidates.fetch_add(candidates.size(),
+                                           std::memory_order_relaxed);
+            return ListSubSelectIndexed(ctx.db->store(), *list, n.lpattern,
+                                        *index, n.lsplit_opts);
+          });
+    case PlanOp::kListSelect: {
+      FanOutSpec spec = ListSpec(/*parallel=*/true);
+      spec.single_passthrough = true;
+      spec.merge = FanOutSpec::Merge::kInsertResult;
+      return std::make_shared<LambdaFanOutOp>(
+          plan, std::move(children), spec,
+          [](ExecContext& ctx, const PlanNode& n,
+             const Datum& item) -> Result<Datum> {
+            AQUA_ASSIGN_OR_RETURN(
+                List filtered, ListSelect(ctx.db->store(), item.list(), n.pred));
+            return Datum::Of(std::move(filtered));
+          });
+    }
+    case PlanOp::kListApply: {
+      FanOutSpec spec = ListSpec(/*parallel=*/false);
+      spec.set_error = kListApplySetErr;
+      spec.single_error = kListApplySingleErr;
+      spec.single_passthrough = true;
+      spec.merge = FanOutSpec::Merge::kInsertResult;
+      return std::make_shared<LambdaFanOutOp>(
+          plan, std::move(children), spec,
+          [](ExecContext& ctx, const PlanNode& n,
+             const Datum& item) -> Result<Datum> {
+            AQUA_ASSIGN_OR_RETURN(
+                List mapped,
+                ListApply(ctx.db->store(), item.list(), n.lnode_fn));
+            return Datum::Of(std::move(mapped));
+          });
+    }
+    case PlanOp::kListSubSelect:
+      return std::make_shared<ListSubSelectOp>(plan, std::move(children),
+                                               ListSpec(/*parallel=*/true));
+    case PlanOp::kListSplit:
+      return std::make_shared<LambdaFanOutOp>(
+          plan, std::move(children), ListSpec(/*parallel=*/false),
+          [](ExecContext& ctx, const PlanNode& n,
+             const Datum& item) -> Result<Datum> {
+            return ListSplit(ctx.db->store(), item.list(), n.lpattern,
+                             n.lsplit_fn, n.lsplit_opts);
+          });
+    case PlanOp::kListAllAnc:
+      return std::make_shared<LambdaFanOutOp>(
+          plan, std::move(children), ListSpec(/*parallel=*/false),
+          [](ExecContext& ctx, const PlanNode& n,
+             const Datum& item) -> Result<Datum> {
+            return ListAllAnc(ctx.db->store(), item.list(), n.lpattern,
+                              n.lanc_fn, n.lsplit_opts);
+          });
+    case PlanOp::kListAllDesc:
+      return std::make_shared<LambdaFanOutOp>(
+          plan, std::move(children), ListSpec(/*parallel=*/false),
+          [](ExecContext& ctx, const PlanNode& n,
+             const Datum& item) -> Result<Datum> {
+            return ListAllDesc(ctx.db->store(), item.list(), n.lpattern,
+                               n.ldesc_fn, n.lsplit_opts);
+          });
+  }
+  return std::make_shared<NullOp>();  // unreachable with a valid enum
+}
+
+}  // namespace aqua::exec

@@ -1,0 +1,35 @@
+#ifndef AQUA_EXEC_COMPILE_H_
+#define AQUA_EXEC_COMPILE_H_
+
+#include "exec/physical_op.h"
+#include "query/plan.h"
+
+namespace aqua::exec {
+
+/// Compiles a logical plan into a tree of physical operators.
+///
+/// Every `PlanNode` becomes one `PhysicalOp`; operators that map over a
+/// set of collections (the forest outputs of `select`, subtree sets from
+/// the §4 rewrites) all compile to one generic fan-out operator that runs
+/// its items as morsels (see `exec/morsel.h`) and merges the per-item
+/// results in item order — so the output is byte-identical to the serial
+/// interpreter at any thread count.
+///
+/// Which fan-outs actually parallelize:
+///  - `select` / `sub_select` (tree and list) call only const-store
+///    library code and run their items on up to `ExecContext::threads`
+///    workers.
+///  - `apply` mutates the object store through its user function and
+///    always runs serially.
+///  - `split` / `all_anc` / `all_desc` invoke user callbacks with no
+///    declared thread-safety contract and run serially too (see
+///    docs/EXECUTION.md for the contract that would lift this).
+///
+/// A null plan compiles to an error operator that reproduces the
+/// interpreter's "(null)" span and InvalidArgument status, so `Compile`
+/// never returns null.
+PhysicalOpRef Compile(const PlanRef& plan);
+
+}  // namespace aqua::exec
+
+#endif  // AQUA_EXEC_COMPILE_H_

@@ -1,0 +1,146 @@
+#include "exec/morsel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace aqua::exec {
+
+std::vector<std::pair<size_t, size_t>> PartitionMorsels(size_t n,
+                                                        size_t threads,
+                                                        size_t min_items) {
+  std::vector<std::pair<size_t, size_t>> out;
+  if (n == 0) return out;
+  if (threads < 1) threads = 1;
+  if (min_items < 1) min_items = 1;
+  // ~4 waves per participant leaves the claim loop slack to absorb skewed
+  // per-item costs without a work-stealing deque.
+  size_t target = threads * 4;
+  size_t grain = (n + target - 1) / target;
+  if (grain < min_items) grain = min_items;
+  for (size_t begin = 0; begin < n; begin += grain) {
+    out.emplace_back(begin, std::min(n, begin + grain));
+  }
+  return out;
+}
+
+namespace {
+
+/// State shared between the caller and its helper tasks. Held by
+/// shared_ptr so a straggler helper that wakes after the join only touches
+/// memory that is still alive (it can no longer claim a morsel).
+struct FanState {
+  std::vector<std::pair<size_t, size_t>> ranges;
+  const std::function<Status(const Morsel&)>* fn = nullptr;
+  size_t participants = 1;
+  bool tracing = false;
+  std::vector<std::unique_ptr<obs::Trace>> buffers;  // one per morsel
+
+  std::atomic<size_t> next{0};        // claim cursor
+  std::atomic<size_t> unfinished{0};  // claimed-but-unfinished + unclaimed
+  std::atomic<size_t> err_morsel{static_cast<size_t>(-1)};  // skip fast-path
+
+  std::mutex mu;
+  std::condition_variable cv;
+  Status err = Status::OK();  // guarded by mu; morsel of lowest index wins
+  size_t err_morsel_locked = static_cast<size_t>(-1);
+};
+
+void Drain(const std::shared_ptr<FanState>& state, size_t slot) {
+  for (;;) {
+    size_t m = state->next.fetch_add(1, std::memory_order_relaxed);
+    if (m >= state->ranges.size()) return;
+    if (m < state->err_morsel.load(std::memory_order_acquire)) {
+      obs::Trace* buf = state->tracing ? state->buffers[m].get() : nullptr;
+      Morsel morsel{m, state->ranges[m].first, state->ranges[m].second, slot,
+                    buf};
+      Status st = Status::OK();
+      {
+        obs::Span span(buf, "Morsel");
+        span.AddAttr("begin", static_cast<int64_t>(morsel.begin));
+        span.AddAttr("items", static_cast<int64_t>(morsel.end - morsel.begin));
+        span.AddAttr("worker", static_cast<int64_t>(slot));
+        st = (*state->fn)(morsel);
+        AQUA_OBS_COUNT("exec.tasks_run", 1);
+        if (slot != m % state->participants) {
+          AQUA_OBS_COUNT("exec.steal_count", 1);
+        }
+        AQUA_OBS_RECORD("exec.morsel_ms", static_cast<uint64_t>(
+                                              span.ElapsedMs()));
+      }
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (m < state->err_morsel_locked) {
+          state->err_morsel_locked = m;
+          state->err = std::move(st);
+          state->err_morsel.store(m, std::memory_order_release);
+        }
+      }
+    }
+    if (state->unfinished.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->cv.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+Status RunMorsels(ThreadPool& pool, size_t n, const FanOutOptions& opts,
+                  const std::function<Status(const Morsel&)>& fn) {
+  std::vector<std::pair<size_t, size_t>> ranges =
+      PartitionMorsels(n, opts.threads, opts.min_items_per_morsel);
+  if (ranges.empty()) return Status::OK();
+
+  // Serial path: inline, in order, early exit — the pre-pipeline semantics
+  // (`AQUA_THREADS=1`), byte-identical including the absence of morsel
+  // spans and morsel metrics.
+  if (opts.threads <= 1 || ranges.size() <= 1) {
+    for (size_t m = 0; m < ranges.size(); ++m) {
+      Morsel morsel{m, ranges[m].first, ranges[m].second, 0, nullptr};
+      AQUA_RETURN_IF_ERROR(fn(morsel));
+    }
+    return Status::OK();
+  }
+
+  auto state = std::make_shared<FanState>();
+  state->ranges = std::move(ranges);
+  state->fn = &fn;
+  state->participants = std::min(opts.threads, state->ranges.size());
+  state->tracing = opts.trace != nullptr && opts.trace->enabled();
+  state->unfinished.store(state->ranges.size(), std::memory_order_relaxed);
+  if (state->tracing) {
+    state->buffers.resize(state->ranges.size());
+    for (auto& buf : state->buffers) {
+      buf = std::make_unique<obs::Trace>();
+      buf->set_enabled(true);
+    }
+  }
+
+  pool.EnsureWorkers(state->participants - 1);
+  for (size_t slot = 1; slot < state->participants; ++slot) {
+    pool.Submit([state, slot] { Drain(state, slot); });
+  }
+  Drain(state, 0);
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] {
+      return state->unfinished.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  // Stitch per-morsel span buffers into the query trace in morsel order:
+  // the stitched tree's *structure* is deterministic even though timings
+  // and worker attribution vary run to run.
+  if (state->tracing) {
+    for (const auto& buf : state->buffers) opts.trace->Splice(*buf);
+  }
+
+  std::lock_guard<std::mutex> lock(state->mu);
+  return state->err;
+}
+
+}  // namespace aqua::exec

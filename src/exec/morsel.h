@@ -1,0 +1,63 @@
+#ifndef AQUA_EXEC_MORSEL_H_
+#define AQUA_EXEC_MORSEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/thread_pool.h"
+#include "obs/trace.h"
+
+namespace aqua::exec {
+
+/// One contiguous range of fan-out items executed as a unit by one worker.
+struct Morsel {
+  size_t index = 0;   ///< position in the morsel sequence (deterministic)
+  size_t begin = 0;   ///< first item (inclusive)
+  size_t end = 0;     ///< one past the last item
+  size_t worker = 0;  ///< worker slot running it (0 = the calling thread)
+  /// Per-morsel span buffer, stitched into the query trace in morsel order
+  /// after the fan-out joins; null when tracing is off or running inline.
+  obs::Trace* trace = nullptr;
+};
+
+/// Controls one fan-out (see `RunMorsels`).
+struct FanOutOptions {
+  /// Maximum participants, including the calling thread. 1 runs inline on
+  /// the caller with serial semantics (early exit on the first error, no
+  /// morsel spans or morsel metrics) — exactly the pre-pipeline behavior.
+  size_t threads = 1;
+  /// Lower bound on items per morsel (amortizes scheduling for tiny items).
+  size_t min_items_per_morsel = 1;
+  /// Query trace to stitch per-morsel span buffers into (may be null).
+  obs::Trace* trace = nullptr;
+};
+
+/// Deterministic partition of `[0, n)` into contiguous morsels: aims for
+/// ~4 morsels per participant (so the claim loop can balance skew) but
+/// never fewer than `min_items` items per morsel.
+std::vector<std::pair<size_t, size_t>> PartitionMorsels(size_t n,
+                                                        size_t threads,
+                                                        size_t min_items);
+
+/// Runs `fn` once per morsel. Order-stable by construction: morsel index
+/// order is the item order, and the caller merges per-item results in that
+/// order after the join, so parallel output is byte-identical to serial.
+///
+/// Error semantics match a serial in-order loop: the returned Status is the
+/// one of the *lowest-indexed* failing morsel (later morsels may be skipped
+/// once a failure is known; earlier ones always run).
+///
+/// Scheduling is work-sharing: participants claim the next unclaimed morsel
+/// from a shared cursor. Each participant holds a distinct worker slot
+/// (caller = 0) for `WorkerLocal` state. Per executed morsel the registry
+/// gets `exec.tasks_run` (+`exec.steal_count` when a morsel ran on a slot
+/// other than `index % participants`) and an `exec.morsel_ms` sample.
+Status RunMorsels(ThreadPool& pool, size_t n, const FanOutOptions& opts,
+                  const std::function<Status(const Morsel&)>& fn);
+
+}  // namespace aqua::exec
+
+#endif  // AQUA_EXEC_MORSEL_H_

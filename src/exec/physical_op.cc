@@ -1,0 +1,62 @@
+#include "exec/physical_op.h"
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace aqua::exec {
+
+namespace {
+
+size_t DatumCardinality(const Datum& d) {
+  switch (d.kind()) {
+    case Datum::Kind::kSet:
+    case Datum::Kind::kTuple:
+      return d.size();
+    case Datum::Kind::kTree:
+      return d.tree().size();
+    case Datum::Kind::kList:
+      return d.list().size();
+    default:
+      return 1;
+  }
+}
+
+}  // namespace
+
+Status PhysicalOp::Prepare(ExecContext& ctx) {
+  for (const PhysicalOpRef& child : children_) {
+    AQUA_RETURN_IF_ERROR(child->Prepare(ctx));
+  }
+  return Status::OK();
+}
+
+Result<Datum> PhysicalOp::Run(ExecContext& ctx) {
+  obs::Span span(ctx.trace,
+                 plan_ == nullptr ? "(null)" : PlanOpToString(plan_->op));
+  if (plan_ != nullptr) {
+    ctx.operators_evaluated.fetch_add(1, std::memory_order_relaxed);
+  }
+  Result<Datum> result = RunImpl(ctx);
+  uint64_t ns = span.ElapsedNs();
+  AQUA_OBS_RECORD("exec.operator_ns", ns);
+  if (plan_ != nullptr) {
+    invocations_.fetch_add(1, std::memory_order_relaxed);
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+    if (result.ok()) {
+      size_t out = DatumCardinality(*result);
+      last_output_size_.store(out, std::memory_order_relaxed);
+      span.AddAttr("out", static_cast<int64_t>(out));
+    }
+  }
+  return result;
+}
+
+Result<Datum> PhysicalOp::RunChild(size_t i, ExecContext& ctx) {
+  if (i >= children_.size()) {
+    return Status::Internal("plan node missing input " + std::to_string(i));
+  }
+  return children_[i]->Run(ctx);
+}
+
+}  // namespace aqua::exec

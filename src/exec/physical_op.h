@@ -1,0 +1,108 @@
+#ifndef AQUA_EXEC_PHYSICAL_OP_H_
+#define AQUA_EXEC_PHYSICAL_OP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "bulk/datum.h"
+#include "exec/thread_pool.h"
+#include "obs/trace.h"
+#include "query/database.h"
+#include "query/plan.h"
+
+namespace aqua::exec {
+
+class PhysicalOp;
+using PhysicalOpRef = std::shared_ptr<PhysicalOp>;
+
+/// Everything one `Execute` call threads through the physical operator
+/// tree: the database, the parallelism budget, the query trace, and the
+/// cross-thread execution counters that back `Executor::stats()`.
+///
+/// The counter fields are atomics because fan-out items bump them from
+/// worker threads; everything else is written by the query thread only.
+struct ExecContext {
+  Database* db = nullptr;
+  ThreadPool* pool = nullptr;
+  /// Maximum participants per fan-out, including the query thread itself.
+  /// 1 reproduces the serial interpreter exactly.
+  size_t threads = 1;
+  obs::Trace* trace = nullptr;
+
+  std::atomic<size_t> operators_evaluated{0};
+  std::atomic<size_t> trees_processed{0};
+  std::atomic<size_t> lists_processed{0};
+  std::atomic<size_t> index_probes{0};
+  std::atomic<size_t> index_candidates{0};
+};
+
+/// One compiled operator of the physical execution pipeline.
+///
+/// `Compile` (see `exec/compile.h`) turns each `PlanNode` into one
+/// PhysicalOp. The lifecycle per `Execute` is: `Prepare` once (recursive;
+/// hoists per-query work such as pattern-automaton compilation out of the
+/// per-item path), then `Run` evaluates the tree bottom-up. `Run` itself
+/// always executes on the query thread — only per-item work inside a
+/// fan-out operator is offloaded to pool workers — so the query trace can
+/// be written without locks.
+///
+/// Each op carries its own measurement atomics (invocations, total time,
+/// last output cardinality); the executor facade harvests them after the
+/// run to build EXPLAIN ANALYZE. Ops are compiled fresh per `Execute`, so
+/// the measurements are per-call by construction.
+class PhysicalOp {
+ public:
+  PhysicalOp(PlanRef plan, std::vector<PhysicalOpRef> children)
+      : plan_(std::move(plan)), children_(std::move(children)) {}
+  virtual ~PhysicalOp() = default;
+  PhysicalOp(const PhysicalOp&) = delete;
+  PhysicalOp& operator=(const PhysicalOp&) = delete;
+
+  /// The logical node this op was compiled from (null for the error op
+  /// that stands in for a null plan).
+  const PlanNode* plan() const { return plan_.get(); }
+  const std::vector<PhysicalOpRef>& children() const { return children_; }
+
+  /// Per-query preparation, recursive over children. Overrides hoist work
+  /// that the interpreter re-did per item (e.g. compiling the search NFA
+  /// of a list sub_select) so it runs once per Execute.
+  virtual Status Prepare(ExecContext& ctx);
+
+  /// Evaluates the operator: opens its trace span, dispatches to
+  /// `RunImpl`, and records the per-op measurements.
+  Result<Datum> Run(ExecContext& ctx);
+
+  /// Measurements of this Execute (see class comment).
+  size_t invocations() const {
+    return invocations_.load(std::memory_order_relaxed);
+  }
+  double total_ms() const {
+    return static_cast<double>(total_ns_.load(std::memory_order_relaxed)) /
+           1e6;
+  }
+  size_t last_output_size() const {
+    return last_output_size_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  virtual Result<Datum> RunImpl(ExecContext& ctx) = 0;
+
+  /// Runs input `i`, failing like the interpreter when the plan node lacks
+  /// that input.
+  Result<Datum> RunChild(size_t i, ExecContext& ctx);
+
+  PlanRef plan_;
+  std::vector<PhysicalOpRef> children_;
+
+ private:
+  std::atomic<size_t> invocations_{0};
+  std::atomic<uint64_t> total_ns_{0};
+  std::atomic<size_t> last_output_size_{0};
+};
+
+}  // namespace aqua::exec
+
+#endif  // AQUA_EXEC_PHYSICAL_OP_H_

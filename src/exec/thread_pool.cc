@@ -1,0 +1,69 @@
+#include "exec/thread_pool.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace aqua::exec {
+
+ThreadPool::ThreadPool(size_t workers) { EnsureWorkers(workers); }
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool =
+      new ThreadPool(DefaultThreads() > 0 ? DefaultThreads() - 1 : 0);
+  return *pool;
+}
+
+size_t ThreadPool::DefaultThreads() {
+  const char* env = std::getenv("AQUA_THREADS");
+  if (env != nullptr && *env != '\0') {
+    long n = std::strtol(env, nullptr, 10);
+    if (n >= 1) return static_cast<size_t>(n);
+  }
+  size_t hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+size_t ThreadPool::workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threads_.size();
+}
+
+void ThreadPool::EnsureWorkers(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (threads_.size() < n) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace aqua::exec

@@ -45,6 +45,30 @@ void Trace::Close(size_t idx) {
   }
 }
 
+void Trace::Splice(const Trace& sub) {
+  if (!enabled_ || sub.spans_.empty()) return;
+  int64_t offset = 0;
+  if (!have_epoch_) {
+    epoch_ = sub.epoch_;
+    have_epoch_ = true;
+  } else {
+    offset = std::chrono::duration_cast<std::chrono::nanoseconds>(sub.epoch_ -
+                                                                  epoch_)
+                 .count();
+  }
+  const size_t base = spans_.size();
+  const size_t attach =
+      open_stack_.empty() ? SpanRecord::kNoParent : open_stack_.back();
+  for (const SpanRecord& s : sub.spans_) {
+    SpanRecord copy = s;
+    int64_t start = static_cast<int64_t>(s.start_ns) + offset;
+    copy.start_ns = start > 0 ? static_cast<uint64_t>(start) : 0;
+    copy.parent =
+        s.parent == SpanRecord::kNoParent ? attach : base + s.parent;
+    spans_.push_back(std::move(copy));
+  }
+}
+
 void Trace::Attr(size_t idx, std::string_view key, int64_t value) {
   if (idx >= spans_.size()) return;
   spans_[idx].attrs.emplace_back(std::string(key), value);

@@ -26,7 +26,14 @@ struct SpanRecord {
 /// An in-memory span tree for one unit of work (one `Executor::Execute`,
 /// one shell command, ...). Spans are appended by RAII `Span` objects;
 /// nesting follows construction order, so the tree mirrors the dynamic
-/// call structure. Not thread-safe: one Trace belongs to one thread.
+/// call structure.
+///
+/// Thread model: a Trace is single-threaded — one Trace belongs to one
+/// thread at a time. Parallel sections therefore never write into a shared
+/// Trace concurrently; instead each worker records into its own private
+/// buffer Trace, and after the fan-out joins the caller stitches the
+/// buffers into the query trace with `Splice` in a deterministic order
+/// (see `exec/morsel.h`).
 class Trace {
  public:
   bool enabled() const { return enabled_; }
@@ -36,6 +43,13 @@ class Trace {
   bool empty() const { return spans_.empty(); }
   size_t size() const { return spans_.size(); }
   const std::vector<SpanRecord>& spans() const { return spans_; }
+
+  /// Appends a copy of `sub`'s span tree under the currently open span (or
+  /// at the root when none is open). `sub`'s timestamps are rebased from
+  /// its epoch onto this trace's epoch, so absolute timing is preserved in
+  /// the stitched timeline. Used to merge per-worker span buffers after a
+  /// parallel fan-out; call only from the thread that owns this trace.
+  void Splice(const Trace& sub);
 
   /// Chrome trace-event JSON (load via chrome://tracing or Perfetto):
   /// `{"traceEvents": [...], "displayTimeUnit": "ms"}`. When `counters` is

@@ -21,6 +21,12 @@ namespace aqua {
 /// DFA state materializes one transition, which is then cached across calls.
 /// Repeated matching over a corpus therefore approaches one table lookup per
 /// element (the classic DFA payoff measured in `bench_list_match`).
+///
+/// Thread model: matching MUTATES the DFA (it grows the state/transition
+/// caches and bumps the hit/miss counters), so a LazyDfa must never be
+/// shared between threads. Parallel execution gives each worker slot its
+/// own instance over one shared const `Nfa` (see `exec/compile.cc`); the
+/// cache then amortizes across the lists that worker scans.
 class LazyDfa {
  public:
   /// `nfa` must outlive the DFA. At most 58 distinct predicates are

@@ -55,6 +55,11 @@ struct ListMatchOptions {
 /// the same label. A pattern point may also match the empty string (a NULL
 /// closing, §3.3), so `@a` in a pattern consumes either one same-labeled
 /// instance point or nothing.
+///
+/// Thread model: a ListMatcher carries per-call mutable state (`steps_`)
+/// and must not be shared between threads; the algebra layer constructs
+/// one per (list, call). Concurrent matchers over different lists are safe
+/// — they share only the const `ObjectStore`.
 class ListMatcher {
  public:
   ListMatcher(const ObjectStore& store, const List& list)

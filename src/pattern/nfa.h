@@ -21,6 +21,10 @@ namespace aqua {
 /// efficient O(elements × states) counterpart to the backtracking
 /// `ListMatcher`, which is needed when match *shapes* (extents, prunes) are
 /// required.
+///
+/// Thread model: a compiled Nfa is immutable — every matching entry point
+/// is const — so one instance may be shared freely across threads (e.g.
+/// one search NFA per query, probed by every fan-out worker).
 class Nfa {
  public:
   /// Compiles a list pattern; fails on tree-pattern atoms.

@@ -66,6 +66,13 @@ struct TreeMatchOptions {
 /// keeps its node in the match while each of its child subtrees becomes a
 /// descendant cut; `!`-pruned nodes contribute their whole subtree as a
 /// pruned cut.
+///
+/// Thread model: a TreeMatcher mutates internal state (the memo cache,
+/// step counters) while matching, so one instance must not be shared
+/// between threads. It is cheap to construct; the algebra layer builds one
+/// per (tree, call), which is what makes tree operators safe to fan out
+/// across pool workers — concurrent matchers only share the const
+/// `ObjectStore` and `Tree`.
 class TreeMatcher {
  public:
   TreeMatcher(const ObjectStore& store, const Tree& tree,

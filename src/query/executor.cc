@@ -2,30 +2,7 @@
 
 #include <cstdio>
 
-#include "algebra/derived.h"
-#include "algebra/list_ops.h"
-#include "algebra/tree_ops.h"
-#include "bulk/concat.h"
-
 namespace aqua {
-
-namespace {
-
-size_t DatumCardinality(const Datum& d) {
-  switch (d.kind()) {
-    case Datum::Kind::kSet:
-    case Datum::Kind::kTuple:
-      return d.size();
-    case Datum::Kind::kTree:
-      return d.tree().size();
-    case Datum::Kind::kList:
-      return d.list().size();
-    default:
-      return 1;
-  }
-}
-
-}  // namespace
 
 Result<Datum> Executor::Execute(const PlanRef& plan) {
   stats_ = ExecStats{};
@@ -33,10 +10,31 @@ Result<Datum> Executor::Execute(const PlanRef& plan) {
   trace_.Clear();
   obs::Snapshot before = obs::Registry::Global().Snap();
   AQUA_OBS_COUNT("exec.executes", 1);
+
+  // Compile fresh per call: the physical ops carry this call's per-op
+  // measurement atomics, so stats are per-Execute by construction.
+  exec::PhysicalOpRef root = exec::Compile(plan);
+  exec::ExecContext ctx;
+  ctx.db = db_;
+  ctx.pool = &exec::ThreadPool::Shared();
+  ctx.threads = threads();
+  ctx.trace = &trace_;
+
   Result<Datum> result = [&]() -> Result<Datum> {
-    obs::Span root(&trace_, "Execute");
-    return EvalTimed(plan);
+    obs::Span root_span(&trace_, "Execute");
+    AQUA_RETURN_IF_ERROR(root->Prepare(ctx));
+    return root->Run(ctx);
   }();
+
+  stats_.operators_evaluated =
+      ctx.operators_evaluated.load(std::memory_order_relaxed);
+  stats_.trees_processed = ctx.trees_processed.load(std::memory_order_relaxed);
+  stats_.lists_processed = ctx.lists_processed.load(std::memory_order_relaxed);
+  stats_.index_probes = ctx.index_probes.load(std::memory_order_relaxed);
+  stats_.index_candidates =
+      ctx.index_candidates.load(std::memory_order_relaxed);
+  CollectOpStats(root);
+
   // Mirror this execution's ExecStats into the registry before the after
   // snapshot so `last_counters_` carries them alongside the layer counters.
   AQUA_OBS_COUNT("exec.operators_evaluated", stats_.operators_evaluated);
@@ -46,22 +44,19 @@ Result<Datum> Executor::Execute(const PlanRef& plan) {
   return result;
 }
 
-Result<Datum> Executor::EvalTimed(const PlanRef& node) {
-  obs::Span span(&trace_,
-                 node == nullptr ? "(null)" : PlanOpToString(node->op));
-  Result<Datum> result = Eval(node);
-  uint64_t ns = span.ElapsedNs();
-  AQUA_OBS_RECORD("exec.operator_ns", ns);
-  if (node != nullptr) {
-    OperatorStats& os = op_stats_[node.get()];
-    ++os.invocations;
-    os.total_ms += static_cast<double>(ns) / 1e6;
-    if (result.ok()) {
-      os.last_output_size = DatumCardinality(*result);
-      span.AddAttr("out", static_cast<int64_t>(os.last_output_size));
-    }
+void Executor::CollectOpStats(const exec::PhysicalOpRef& op) {
+  if (op == nullptr || op->plan() == nullptr) return;
+  if (op->invocations() > 0) {
+    // A plan node shared between two parents compiles to two physical ops;
+    // summing reproduces the interpreter's per-node accumulation.
+    OperatorStats& os = op_stats_[op->plan()];
+    os.invocations += op->invocations();
+    os.total_ms += op->total_ms();
+    os.last_output_size = op->last_output_size();
   }
-  return result;
+  for (const exec::PhysicalOpRef& child : op->children()) {
+    CollectOpStats(child);
+  }
 }
 
 namespace {
@@ -98,276 +93,6 @@ std::string Executor::ExplainAnalyze(const PlanRef& plan) const {
   std::string out;
   RenderAnalyzed(plan, op_stats_, 0, &out);
   return out;
-}
-
-Status Executor::ForEachTree(const Datum& input,
-                             const std::function<Status(const Tree&)>& fn) {
-  if (input.is_tree()) {
-    ++stats_.trees_processed;
-    return fn(input.tree());
-  }
-  if (input.is_set()) {
-    for (const Datum& d : input.children()) {
-      if (!d.is_tree()) {
-        return Status::TypeError(
-            "tree operator over a set containing a non-tree");
-      }
-      ++stats_.trees_processed;
-      AQUA_RETURN_IF_ERROR(fn(d.tree()));
-    }
-    return Status::OK();
-  }
-  return Status::TypeError("tree operator applied to a non-tree datum");
-}
-
-Status Executor::ForEachList(const Datum& input,
-                             const std::function<Status(const List&)>& fn) {
-  if (input.is_list()) {
-    ++stats_.lists_processed;
-    return fn(input.list());
-  }
-  if (input.is_set()) {
-    for (const Datum& d : input.children()) {
-      if (!d.is_list()) {
-        return Status::TypeError(
-            "list operator over a set containing a non-list");
-      }
-      ++stats_.lists_processed;
-      AQUA_RETURN_IF_ERROR(fn(d.list()));
-    }
-    return Status::OK();
-  }
-  return Status::TypeError("list operator applied to a non-list datum");
-}
-
-Result<Datum> Executor::Eval(const PlanRef& node) {
-  if (node == nullptr) return Status::InvalidArgument("null plan node");
-  ++stats_.operators_evaluated;
-  const ObjectStore& store = db_->store();
-
-  auto eval_child = [&](size_t i) -> Result<Datum> {
-    if (i >= node->children.size()) {
-      return Status::Internal("plan node missing input " + std::to_string(i));
-    }
-    return EvalTimed(node->children[i]);
-  };
-
-  switch (node->op) {
-    case PlanOp::kEmptySet:
-      return Datum::Set({});
-    case PlanOp::kEmptyList:
-      return Datum::Of(List());
-    case PlanOp::kScanTree: {
-      AQUA_ASSIGN_OR_RETURN(const Tree* tree, db_->GetTree(node->collection));
-      return Datum::Of(*tree);
-    }
-    case PlanOp::kScanList: {
-      AQUA_ASSIGN_OR_RETURN(const List* list, db_->GetList(node->collection));
-      return Datum::Of(*list);
-    }
-    case PlanOp::kTreeSelect: {
-      AQUA_ASSIGN_OR_RETURN(Datum input, eval_child(0));
-      Datum out = Datum::Set({});
-      AQUA_RETURN_IF_ERROR(ForEachTree(input, [&](const Tree& t) -> Status {
-        auto forest = TreeSelect(store, t, node->pred);
-        AQUA_RETURN_IF_ERROR(forest.status());
-        for (Tree& piece : *forest) out.SetInsert(Datum::Of(std::move(piece)));
-        return Status::OK();
-      }));
-      return out;
-    }
-    case PlanOp::kTreeApply: {
-      AQUA_ASSIGN_OR_RETURN(Datum input, eval_child(0));
-      if (input.is_tree()) {
-        ++stats_.trees_processed;
-        AQUA_ASSIGN_OR_RETURN(
-            Tree mapped, TreeApply(db_->store(), input.tree(), node->node_fn));
-        return Datum::Of(std::move(mapped));
-      }
-      if (input.is_set()) {
-        Datum out = Datum::Set({});
-        for (const Datum& d : input.children()) {
-          if (!d.is_tree()) {
-            return Status::TypeError("apply over a set containing a non-tree");
-          }
-          ++stats_.trees_processed;
-          AQUA_ASSIGN_OR_RETURN(
-              Tree mapped, TreeApply(db_->store(), d.tree(), node->node_fn));
-          out.SetInsert(Datum::Of(std::move(mapped)));
-        }
-        return out;
-      }
-      return Status::TypeError("apply over a non-tree datum");
-    }
-    case PlanOp::kTreeSubSelect: {
-      AQUA_ASSIGN_OR_RETURN(Datum input, eval_child(0));
-      Datum out = Datum::Set({});
-      AQUA_RETURN_IF_ERROR(ForEachTree(input, [&](const Tree& t) -> Status {
-        auto sub = TreeSubSelect(store, t, node->tpattern, node->split_opts);
-        AQUA_RETURN_IF_ERROR(sub.status());
-        for (const Datum& d : sub->children()) out.SetInsert(d);
-        return Status::OK();
-      }));
-      return out;
-    }
-    case PlanOp::kTreeSplit: {
-      AQUA_ASSIGN_OR_RETURN(Datum input, eval_child(0));
-      Datum out = Datum::Set({});
-      AQUA_RETURN_IF_ERROR(ForEachTree(input, [&](const Tree& t) -> Status {
-        auto res = TreeSplit(store, t, node->tpattern, node->split_fn,
-                             node->split_opts);
-        AQUA_RETURN_IF_ERROR(res.status());
-        for (const Datum& d : res->children()) out.SetInsert(d);
-        return Status::OK();
-      }));
-      return out;
-    }
-    case PlanOp::kTreeAllAnc: {
-      AQUA_ASSIGN_OR_RETURN(Datum input, eval_child(0));
-      Datum out = Datum::Set({});
-      AQUA_RETURN_IF_ERROR(ForEachTree(input, [&](const Tree& t) -> Status {
-        auto res =
-            TreeAllAnc(store, t, node->tpattern, node->anc_fn,
-                       node->split_opts);
-        AQUA_RETURN_IF_ERROR(res.status());
-        for (const Datum& d : res->children()) out.SetInsert(d);
-        return Status::OK();
-      }));
-      return out;
-    }
-    case PlanOp::kTreeAllDesc: {
-      AQUA_ASSIGN_OR_RETURN(Datum input, eval_child(0));
-      Datum out = Datum::Set({});
-      AQUA_RETURN_IF_ERROR(ForEachTree(input, [&](const Tree& t) -> Status {
-        auto res = TreeAllDesc(store, t, node->tpattern, node->desc_fn,
-                               node->split_opts);
-        AQUA_RETURN_IF_ERROR(res.status());
-        for (const Datum& d : res->children()) out.SetInsert(d);
-        return Status::OK();
-      }));
-      return out;
-    }
-    case PlanOp::kIndexedSubSelect: {
-      AQUA_ASSIGN_OR_RETURN(const Tree* tree, db_->GetTree(node->collection));
-      AQUA_ASSIGN_OR_RETURN(const AttributeIndex* index,
-                            db_->indexes().Get(node->collection, node->attr));
-      ++stats_.index_probes;
-      AQUA_ASSIGN_OR_RETURN(std::vector<NodeId> candidates,
-                            index->Probe(*node->anchor));
-      stats_.index_candidates += candidates.size();
-      TreeMatcher matcher(store, *tree, node->split_opts.match);
-      AQUA_ASSIGN_OR_RETURN(std::vector<TreeMatch> matches,
-                            matcher.FindAllAtRoots(node->tpattern, candidates));
-      Datum out = Datum::Set({});
-      for (const TreeMatch& m : matches) {
-        AQUA_ASSIGN_OR_RETURN(Tree y,
-                              MakeMatchPiece(*tree, m, node->split_opts));
-        out.SetInsert(Datum::Of(CloseAllPoints(y)));
-      }
-      return out;
-    }
-    case PlanOp::kIndexedListSubSelect: {
-      AQUA_ASSIGN_OR_RETURN(const List* list, db_->GetList(node->collection));
-      AQUA_ASSIGN_OR_RETURN(const AttributeIndex* index,
-                            db_->indexes().Get(node->collection, node->attr));
-      ++stats_.index_probes;
-      AQUA_ASSIGN_OR_RETURN(std::vector<NodeId> candidates,
-                            index->Probe(*node->anchor));
-      stats_.index_candidates += candidates.size();
-      return ListSubSelectIndexed(store, *list, node->lpattern, *index,
-                                  node->lsplit_opts);
-    }
-    case PlanOp::kListSelect: {
-      AQUA_ASSIGN_OR_RETURN(Datum input, eval_child(0));
-      Datum out = Datum::Set({});
-      bool single = input.is_list();
-      List single_result;
-      AQUA_RETURN_IF_ERROR(ForEachList(input, [&](const List& l) -> Status {
-        auto filtered = ListSelect(store, l, node->pred);
-        AQUA_RETURN_IF_ERROR(filtered.status());
-        if (single) {
-          single_result = std::move(*filtered);
-        } else {
-          out.SetInsert(Datum::Of(std::move(*filtered)));
-        }
-        return Status::OK();
-      }));
-      if (single) return Datum::Of(std::move(single_result));
-      return out;
-    }
-    case PlanOp::kListApply: {
-      AQUA_ASSIGN_OR_RETURN(Datum input, eval_child(0));
-      if (input.is_list()) {
-        ++stats_.lists_processed;
-        AQUA_ASSIGN_OR_RETURN(
-            List mapped,
-            ListApply(db_->store(), input.list(), node->lnode_fn));
-        return Datum::Of(std::move(mapped));
-      }
-      if (input.is_set()) {
-        Datum out = Datum::Set({});
-        for (const Datum& d : input.children()) {
-          if (!d.is_list()) {
-            return Status::TypeError("apply over a set containing a non-list");
-          }
-          ++stats_.lists_processed;
-          AQUA_ASSIGN_OR_RETURN(
-              List mapped, ListApply(db_->store(), d.list(), node->lnode_fn));
-          out.SetInsert(Datum::Of(std::move(mapped)));
-        }
-        return out;
-      }
-      return Status::TypeError("apply over a non-list datum");
-    }
-    case PlanOp::kListSubSelect: {
-      AQUA_ASSIGN_OR_RETURN(Datum input, eval_child(0));
-      Datum out = Datum::Set({});
-      AQUA_RETURN_IF_ERROR(ForEachList(input, [&](const List& l) -> Status {
-        auto sub = ListSubSelect(store, l, node->lpattern, node->lsplit_opts);
-        AQUA_RETURN_IF_ERROR(sub.status());
-        for (const Datum& d : sub->children()) out.SetInsert(d);
-        return Status::OK();
-      }));
-      return out;
-    }
-    case PlanOp::kListSplit: {
-      AQUA_ASSIGN_OR_RETURN(Datum input, eval_child(0));
-      Datum out = Datum::Set({});
-      AQUA_RETURN_IF_ERROR(ForEachList(input, [&](const List& l) -> Status {
-        auto res = ListSplit(store, l, node->lpattern, node->lsplit_fn,
-                             node->lsplit_opts);
-        AQUA_RETURN_IF_ERROR(res.status());
-        for (const Datum& d : res->children()) out.SetInsert(d);
-        return Status::OK();
-      }));
-      return out;
-    }
-    case PlanOp::kListAllAnc: {
-      AQUA_ASSIGN_OR_RETURN(Datum input, eval_child(0));
-      Datum out = Datum::Set({});
-      AQUA_RETURN_IF_ERROR(ForEachList(input, [&](const List& l) -> Status {
-        auto res = ListAllAnc(store, l, node->lpattern, node->lanc_fn,
-                              node->lsplit_opts);
-        AQUA_RETURN_IF_ERROR(res.status());
-        for (const Datum& d : res->children()) out.SetInsert(d);
-        return Status::OK();
-      }));
-      return out;
-    }
-    case PlanOp::kListAllDesc: {
-      AQUA_ASSIGN_OR_RETURN(Datum input, eval_child(0));
-      Datum out = Datum::Set({});
-      AQUA_RETURN_IF_ERROR(ForEachList(input, [&](const List& l) -> Status {
-        auto res = ListAllDesc(store, l, node->lpattern, node->ldesc_fn,
-                               node->lsplit_opts);
-        AQUA_RETURN_IF_ERROR(res.status());
-        for (const Datum& d : res->children()) out.SetInsert(d);
-        return Status::OK();
-      }));
-      return out;
-    }
-  }
-  return Status::Internal("unreachable in Executor::Eval");
 }
 
 }  // namespace aqua

@@ -6,6 +6,8 @@
 
 #include "common/result.h"
 #include "bulk/datum.h"
+#include "exec/compile.h"
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/database.h"
@@ -31,12 +33,18 @@ struct OperatorStats {
   size_t last_output_size = 0;
 };
 
-/// Interpreting executor: walks a plan bottom-up against a `Database`.
+/// Facade over the compiled physical execution pipeline: each `Execute`
+/// compiles the plan into `exec::PhysicalOp`s (see `exec/compile.h`),
+/// prepares them, and runs the tree against a `Database`.
 ///
 /// Pattern operators accept either a single collection datum or a *set* of
 /// collections (forest outputs of `select`, subtree sets from rewrites) and
 /// map over the set, unioning results — this is what lets the §4 rewrite
-/// compose `apply(sub_select(...))` over `split`'s output.
+/// compose `apply(sub_select(...))` over `split`'s output. These set
+/// fan-outs run morsel-parallel on up to `threads()` workers; the merge is
+/// order-stable, so results are byte-identical to serial execution at any
+/// thread count (`set_threads(1)` or `AQUA_THREADS=1` reproduces the
+/// original interpreter exactly).
 class Executor {
  public:
   explicit Executor(Database* db) : db_(db) {}
@@ -45,8 +53,19 @@ class Executor {
 
   const ExecStats& stats() const { return stats_; }
 
+  /// Overrides the fan-out parallelism for this executor (including the
+  /// query thread itself); 0 restores the default
+  /// (`AQUA_THREADS` or the hardware concurrency).
+  void set_threads(size_t n) { threads_override_ = n; }
+  size_t threads() const {
+    return threads_override_ != 0 ? threads_override_
+                                  : exec::ThreadPool::DefaultThreads();
+  }
+
   /// Enables span collection: each `Execute` then records one span tree
-  /// (root span "Execute", one child span per operator evaluation).
+  /// (root span "Execute", one child span per operator evaluation, and —
+  /// at `threads() > 1` — per-morsel spans stitched under their fan-out
+  /// operator).
   void set_trace_enabled(bool on) { trace_.set_enabled(on); }
   bool trace_enabled() const { return trace_.enabled(); }
 
@@ -72,17 +91,12 @@ class Executor {
   std::string ExplainAnalyze(const PlanRef& plan) const;
 
  private:
-  Result<Datum> Eval(const PlanRef& node);
-
-  /// Applies `fn` to the tree datum or to each tree in a set datum.
-  Status ForEachTree(const Datum& input,
-                     const std::function<Status(const Tree&)>& fn);
-  Status ForEachList(const Datum& input,
-                     const std::function<Status(const List&)>& fn);
-
-  Result<Datum> EvalTimed(const PlanRef& node);
+  /// Harvests the per-op atomics of the compiled tree into `op_stats_`
+  /// (keyed by logical node, for ExplainAnalyze).
+  void CollectOpStats(const exec::PhysicalOpRef& op);
 
   Database* db_;
+  size_t threads_override_ = 0;
   ExecStats stats_;
   std::map<const PlanNode*, OperatorStats> op_stats_;
   obs::Trace trace_;

@@ -1,0 +1,222 @@
+#include "exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "exec/morsel.h"
+#include "exec/worker_local.h"
+#include "test_util.h"
+
+namespace aqua::exec {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.workers(), 2u);
+
+  constexpr int kTasks = 64;
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      std::lock_guard<std::mutex> lock(mu);
+      if (++done == kTasks) cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                          [&] { return done == kTasks; }));
+  EXPECT_EQ(done, kTasks);
+}
+
+TEST(ThreadPoolTest, EnsureWorkersGrowsButNeverShrinks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.workers(), 1u);
+  pool.EnsureWorkers(3);
+  EXPECT_EQ(pool.workers(), 3u);
+  pool.EnsureWorkers(2);  // smaller request is a no-op
+  EXPECT_EQ(pool.workers(), 3u);
+  pool.EnsureWorkers(3);
+  EXPECT_EQ(pool.workers(), 3u);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolIsValid) {
+  // A thread-free pool must construct and destruct cleanly: a caller that
+  // gets no helpers runs everything inline (see morsel.h).
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 0u);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsSingleton) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(WorkerLocalTest, SlotsAreIndependent) {
+  WorkerLocal<int> slots(4);
+  ASSERT_EQ(slots.size(), 4u);
+  for (size_t i = 0; i < slots.size(); ++i) slots.at(i) = static_cast<int>(i);
+  for (size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(slots.at(i), static_cast<int>(i));
+    for (size_t j = i + 1; j < slots.size(); ++j) {
+      EXPECT_NE(&slots.at(i), &slots.at(j));
+    }
+  }
+}
+
+// Every partition must tile [0, n) exactly: contiguous, ascending, no gaps.
+void CheckCovers(const std::vector<std::pair<size_t, size_t>>& ranges,
+                 size_t n) {
+  size_t expect_begin = 0;
+  for (const auto& [begin, end] : ranges) {
+    EXPECT_EQ(begin, expect_begin);
+    EXPECT_LT(begin, end);
+    expect_begin = end;
+  }
+  EXPECT_EQ(expect_begin, n);
+}
+
+TEST(PartitionMorselsTest, CoversRangeContiguously) {
+  for (size_t n : {1u, 2u, 7u, 100u, 1001u}) {
+    for (size_t threads : {1u, 2u, 4u, 16u}) {
+      for (size_t min_items : {1u, 8u, 64u}) {
+        auto ranges = PartitionMorsels(n, threads, min_items);
+        CheckCovers(ranges, n);
+        // All but the last morsel respect the grain floor.
+        for (size_t i = 0; i + 1 < ranges.size(); ++i) {
+          EXPECT_GE(ranges[i].second - ranges[i].first, min_items);
+        }
+      }
+    }
+  }
+}
+
+TEST(PartitionMorselsTest, EmptyInputYieldsNoMorsels) {
+  EXPECT_TRUE(PartitionMorsels(0, 4, 1).empty());
+}
+
+TEST(PartitionMorselsTest, ProducesSkewHeadroom) {
+  // With small grains there should be more morsels than participants, so
+  // the claim loop can rebalance a skewed workload.
+  auto ranges = PartitionMorsels(1000, 4, 1);
+  EXPECT_GT(ranges.size(), 4u);
+}
+
+TEST(RunMorselsTest, InlineWhenSingleThreaded) {
+  ThreadPool pool(0);
+  FanOutOptions opts;
+  opts.threads = 1;
+  std::vector<size_t> seen;
+  ASSERT_OK(RunMorsels(pool, 10, opts, [&](const Morsel& m) {
+    EXPECT_EQ(m.worker, 0u);  // inline: everything on the caller
+    for (size_t i = m.begin; i < m.end; ++i) seen.push_back(i);
+    return Status::OK();
+  }));
+  ASSERT_EQ(seen.size(), 10u);
+  for (size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(RunMorselsTest, InlineStopsAtFirstError) {
+  ThreadPool pool(0);
+  FanOutOptions opts;
+  opts.threads = 1;
+  std::vector<size_t> seen;
+  Status st = RunMorsels(pool, 100, opts, [&](const Morsel& m) {
+    seen.push_back(m.index);
+    if (m.begin >= 3) return Status::Internal("boom");
+    return Status::OK();
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "boom");
+  // Serial semantics: nothing after the failing morsel runs.
+  for (size_t i = 1; i < seen.size(); ++i) EXPECT_EQ(seen[i], seen[i - 1] + 1);
+  EXPECT_LT(seen.size(), 100u);
+}
+
+TEST(RunMorselsTest, ParallelCoversEveryItemExactlyOnce) {
+  ThreadPool pool(4);
+  FanOutOptions opts;
+  opts.threads = 4;
+  constexpr size_t kItems = 500;
+  std::vector<std::atomic<int>> hits(kItems);
+  ASSERT_OK(RunMorsels(pool, kItems, opts, [&](const Morsel& m) {
+    EXPECT_LT(m.worker, 4u);
+    for (size_t i = m.begin; i < m.end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+    return Status::OK();
+  }));
+  for (size_t i = 0; i < kItems; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "item " << i;
+  }
+}
+
+TEST(RunMorselsTest, ParallelUsesDistinctWorkerSlots) {
+  ThreadPool pool(4);
+  FanOutOptions opts;
+  opts.threads = 4;
+  std::mutex mu;
+  std::set<size_t> workers;
+  ASSERT_OK(RunMorsels(pool, 64, opts, [&](const Morsel& m) {
+    // A short stall makes it overwhelmingly likely helpers claim morsels.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::lock_guard<std::mutex> lock(mu);
+    workers.insert(m.worker);
+    return Status::OK();
+  }));
+  // Worker slot 0 (the caller) always participates; with 4 helpers and a
+  // stalling body at least one helper should have claimed work too.
+  EXPECT_TRUE(workers.count(0));
+  EXPECT_GE(workers.size(), 2u);
+}
+
+TEST(RunMorselsTest, ParallelErrorIsLowestFailingMorsel) {
+  ThreadPool pool(4);
+  FanOutOptions opts;
+  opts.threads = 4;
+  // Every morsel from index 2 on fails with a message naming its index; the
+  // serial-equivalent error is the lowest failing one.
+  for (int round = 0; round < 20; ++round) {
+    Status st = RunMorsels(pool, 64, opts, [&](const Morsel& m) {
+      if (m.index >= 2) {
+        return Status::Internal("fail at " + std::to_string(m.index));
+      }
+      return Status::OK();
+    });
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.message(), "fail at 2");
+  }
+}
+
+TEST(RunMorselsTest, ParallelSkipsPastKnownFailure) {
+  ThreadPool pool(4);
+  FanOutOptions opts;
+  opts.threads = 4;
+  // Once morsel 0's failure is recorded, higher-indexed morsels may be
+  // skipped — but morsel 0 itself always runs and its error always wins.
+  std::atomic<size_t> ran{0};
+  Status st = RunMorsels(pool, 10000, opts, [&](const Morsel& m) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+    if (m.index == 0) return Status::InvalidArgument("first");
+    return Status::OK();
+  });
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "first");
+  EXPECT_GE(ran.load(), 1u);
+}
+
+}  // namespace
+}  // namespace aqua::exec

@@ -8,6 +8,7 @@
 // Atoms in literals are interned as `Item` objects keyed by `name`; richer
 // schemas can be declared with `type` / `new` and queried with `{...}`
 // predicates. `help` lists everything.
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <unistd.h>
@@ -86,6 +87,7 @@ class Shell {
     if (cmd == "load") return CmdLoad(rest);
     if (cmd == "\\stats") return CmdObsStats(rest);
     if (cmd == "\\trace") return CmdTrace(rest);
+    if (cmd == "\\threads") return CmdThreads(rest);
     if (cmd == "\\lint") return CmdLint(rest);
     return Status::InvalidArgument("unknown command '" + cmd +
                                    "' (try `help`)");
@@ -116,6 +118,8 @@ class Shell {
         "  \\stats [json|reset]         process-wide metrics registry\n"
         "  \\trace on|off               per-query span trees (subselect/"
         "split)\n"
+        "  \\threads [n]                show/set executor fan-out "
+        "parallelism (0 = default)\n"
         "  \\lint <coll> <pattern>      static diagnostics with source "
         "carets\n"
         "  \\lint on|off                toggle the automatic warning banner "
@@ -360,6 +364,7 @@ class Shell {
     AQUA_ASSIGN_OR_RETURN(PlanRef optimized, rewriter.Optimize(plan));
     std::cout << "optimized:\n" << Explain(optimized);
     Executor exec(&db());
+    exec.set_threads(threads_);
     AQUA_ASSIGN_OR_RETURN(Datum out, exec.Execute(optimized));
     std::cout << "result: " << out.ToString(Label()) << "\n";
     return Status::OK();
@@ -465,6 +470,17 @@ class Shell {
     return Status::OK();
   }
 
+  Status CmdThreads(const std::string& arg) {
+    if (!arg.empty()) {
+      threads_ = std::strtoull(arg.c_str(), nullptr, 10);
+    }
+    Executor probe(&db());
+    probe.set_threads(threads_);
+    std::cout << "threads: " << probe.threads()
+              << (threads_ == 0 ? " (default)" : "") << "\n";
+    return Status::OK();
+  }
+
   Status CmdTrace(const std::string& arg) {
     if (arg == "on") {
       trace_on_ = true;
@@ -481,6 +497,7 @@ class Shell {
   /// by the span-tree report and the counter deltas of this execution.
   Status RunTraced(const PlanRef& plan) {
     Executor exec(&db());
+    exec.set_threads(threads_);
     exec.set_trace_enabled(true);
     AQUA_ASSIGN_OR_RETURN(Datum out, exec.Execute(plan));
     std::cout << out.ToString(Label()) << "\n"
@@ -512,15 +529,32 @@ class Shell {
   std::string label_attr_;
   bool trace_on_ = false;
   bool lint_banner_ = true;
+
+ public:
+  /// 0 = executor default (`AQUA_THREADS` or hardware concurrency).
+  void set_threads(size_t n) { threads_ = n; }
+
+ private:
+  size_t threads_ = 0;
 };
 
 }  // namespace
 }  // namespace aqua
 
 int main(int argc, char** argv) {
-  (void)argc;
-  (void)argv;
   bool interactive = isatty(0);
   aqua::Shell shell;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      shell.set_threads(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      shell.set_threads(
+          std::strtoull(arg.c_str() + sizeof("--threads=") - 1, nullptr, 10));
+    } else {
+      std::cerr << "usage: aqua_shell [--threads N]\n";
+      return 2;
+    }
+  }
   return shell.Run(std::cin, interactive);
 }
