@@ -70,6 +70,9 @@ inline void WriteSnapshotFields(obs::JsonWriter& w, const obs::Snapshot& s) {
   w.Key("counters").BeginObject();
   for (const auto& [name, value] : s.counters) w.Key(name).Uint(value);
   w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, value] : s.gauges) w.Key(name).Int(value);
+  w.EndObject();
   w.Key("histograms").BeginObject();
   for (const obs::HistogramSnapshot& h : s.histograms) {
     w.Key(h.name).BeginObject();

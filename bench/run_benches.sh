@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Thread-sweep benchmark runner: runs the fan-out benches across thread
+# counts and merges the per-bench JSON reports (including the registry
+# counters/gauges attributed to each run) into one document, BENCH_PR5.json
+# at the repo root by default.
+#
+#   bash bench/run_benches.sh
+#   BUILD_DIR=build-release OUT=/tmp/sweep.json bash bench/run_benches.sh
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${OUT:-BENCH_PR5.json}"
+MIN_TIME="${MIN_TIME:-0.05}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+"$BUILD_DIR/bench/bench_fig4_split" \
+  --benchmark_filter='BM_Fig4_ForestFanOutThreads' \
+  --benchmark_min_time="$MIN_TIME" \
+  --json "$tmpdir/fig4_fanout.json"
+
+"$BUILD_DIR/bench/bench_tree_kleene" \
+  --benchmark_filter='BM_Kleene_FanOutThreads' \
+  --benchmark_min_time="$MIN_TIME" \
+  --json "$tmpdir/kleene_fanout.json"
+
+python3 - "$tmpdir" "$OUT" <<'EOF'
+import glob, json, os, sys
+
+tmpdir, out = sys.argv[1], sys.argv[2]
+merged = {"benchmarks": [], "sources": []}
+for path in sorted(glob.glob(os.path.join(tmpdir, "*.json"))):
+    doc = json.load(open(path))
+    src = os.path.splitext(os.path.basename(path))[0]
+    merged["sources"].append(src)
+    for rec in doc["benchmarks"]:
+        rec["source"] = src
+        merged["benchmarks"].append(rec)
+    # Final process-wide registry state of the last bench binary run.
+    for key in ("counters", "gauges", "histograms"):
+        if key in doc:
+            merged[key] = doc[key]
+assert merged["benchmarks"], "no benchmark records collected"
+with open(out, "w") as f:
+    json.dump(merged, f, indent=1)
+    f.write("\n")
+print(f"wrote {out}: {len(merged['benchmarks'])} records "
+      f"from {len(merged['sources'])} benches")
+EOF

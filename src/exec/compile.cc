@@ -113,6 +113,8 @@ class FanOutOp : public PhysicalOp {
     FanOutOptions opts;
     opts.threads = spec_.parallel ? ctx.threads : 1;
     opts.trace = ctx.trace;
+    opts.morsels_run = &ctx.morsels_run;
+    opts.morsel_max_ns = &ctx.morsel_max_ns;
     ThreadPool& pool =
         ctx.pool != nullptr ? *ctx.pool : ThreadPool::Shared();
     AQUA_RETURN_IF_ERROR(RunMorsels(

@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 
 namespace aqua::exec {
 
@@ -38,6 +39,8 @@ struct FanState {
   size_t participants = 1;
   bool tracing = false;
   std::vector<std::unique_ptr<obs::Trace>> buffers;  // one per morsel
+  std::atomic<size_t>* morsels_run = nullptr;        // optional sinks
+  std::atomic<uint64_t>* morsel_max_ns = nullptr;
 
   std::atomic<size_t> next{0};        // claim cursor
   std::atomic<size_t> unfinished{0};  // claimed-but-unfinished + unclaimed
@@ -68,8 +71,31 @@ void Drain(const std::shared_ptr<FanState>& state, size_t slot) {
         if (slot != m % state->participants) {
           AQUA_OBS_COUNT("exec.steal_count", 1);
         }
-        AQUA_OBS_RECORD("exec.morsel_ms", static_cast<uint64_t>(
-                                              span.ElapsedMs()));
+        uint64_t morsel_ns = span.ElapsedNs();
+        AQUA_OBS_RECORD("exec.morsel_ms",
+                        static_cast<uint64_t>(morsel_ns / 1000000));
+        if (state->morsels_run != nullptr) {
+          state->morsels_run->fetch_add(1, std::memory_order_relaxed);
+        }
+        if (state->morsel_max_ns != nullptr) {
+          uint64_t prev =
+              state->morsel_max_ns->load(std::memory_order_relaxed);
+          while (prev < morsel_ns &&
+                 !state->morsel_max_ns->compare_exchange_weak(
+                     prev, morsel_ns, std::memory_order_relaxed)) {
+          }
+        }
+#ifndef AQUA_OBS_DISABLED
+        if (obs::Registry::enabled()) {
+          obs::FlightEvent ev;
+          ev.kind = static_cast<uint32_t>(obs::FlightEventKind::kMorsel);
+          ev.ok = st.ok() ? 1 : 0;
+          ev.wall_ns = morsel_ns;
+          ev.threads = static_cast<uint32_t>(slot);
+          ev.morsels = static_cast<uint32_t>(morsel.end - morsel.begin);
+          obs::FlightRecorder::Global().Record(ev);
+        }
+#endif
       }
       if (!st.ok()) {
         std::lock_guard<std::mutex> lock(state->mu);
@@ -111,6 +137,8 @@ Status RunMorsels(ThreadPool& pool, size_t n, const FanOutOptions& opts,
   state->fn = &fn;
   state->participants = std::min(opts.threads, state->ranges.size());
   state->tracing = opts.trace != nullptr && opts.trace->enabled();
+  state->morsels_run = opts.morsels_run;
+  state->morsel_max_ns = opts.morsel_max_ns;
   state->unfinished.store(state->ranges.size(), std::memory_order_relaxed);
   if (state->tracing) {
     state->buffers.resize(state->ranges.size());

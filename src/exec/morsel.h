@@ -1,7 +1,9 @@
 #ifndef AQUA_EXEC_MORSEL_H_
 #define AQUA_EXEC_MORSEL_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <utility>
 #include <vector>
@@ -33,6 +35,11 @@ struct FanOutOptions {
   size_t min_items_per_morsel = 1;
   /// Query trace to stitch per-morsel span buffers into (may be null).
   obs::Trace* trace = nullptr;
+  /// Optional per-Execute sinks (see ExecContext): executed-morsel count and
+  /// a running maximum of single-morsel wall ns. Only the parallel path
+  /// updates them — the serial path stays metric-free by design.
+  std::atomic<size_t>* morsels_run = nullptr;
+  std::atomic<uint64_t>* morsel_max_ns = nullptr;
 };
 
 /// Deterministic partition of `[0, n)` into contiguous morsels: aims for
@@ -54,7 +61,9 @@ std::vector<std::pair<size_t, size_t>> PartitionMorsels(size_t n,
 /// from a shared cursor. Each participant holds a distinct worker slot
 /// (caller = 0) for `WorkerLocal` state. Per executed morsel the registry
 /// gets `exec.tasks_run` (+`exec.steal_count` when a morsel ran on a slot
-/// other than `index % participants`) and an `exec.morsel_ms` sample.
+/// other than `index % participants`) and an `exec.morsel_ms` sample; a
+/// kMorsel event goes to the flight recorder and the `FanOutOptions` sinks
+/// (morsel count, max single-morsel ns) are updated when provided.
 Status RunMorsels(ThreadPool& pool, size_t n, const FanOutOptions& opts,
                   const std::function<Status(const Morsel&)>& fn);
 

@@ -37,6 +37,13 @@ struct ExecContext {
   std::atomic<size_t> lists_processed{0};
   std::atomic<size_t> index_probes{0};
   std::atomic<size_t> index_candidates{0};
+
+  // Parallel-path shape of this Execute, harvested by the executor for the
+  // flight recorder: morsels executed across every fan-out, and the wall
+  // time of the slowest single morsel (the skew highlight). Both stay 0 on
+  // the serial path.
+  std::atomic<size_t> morsels_run{0};
+  std::atomic<uint64_t> morsel_max_ns{0};
 };
 
 /// One compiled operator of the physical execution pipeline.

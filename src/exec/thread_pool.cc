@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace aqua::exec {
 
 ThreadPool::ThreadPool(size_t workers) { EnsureWorkers(workers); }
@@ -48,6 +50,8 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    AQUA_OBS_GAUGE_SET("exec.pool_queue_depth",
+                       static_cast<int64_t>(queue_.size()));
   }
   cv_.notify_one();
 }
@@ -61,8 +65,12 @@ void ThreadPool::WorkerLoop() {
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      AQUA_OBS_GAUGE_SET("exec.pool_queue_depth",
+                         static_cast<int64_t>(queue_.size()));
     }
+    AQUA_OBS_GAUGE_ADD("exec.pool_workers_active", 1);
     task();
+    AQUA_OBS_GAUGE_ADD("exec.pool_workers_active", -1);
   }
 }
 

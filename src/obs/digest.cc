@@ -1,0 +1,367 @@
+#include "obs/digest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace aqua::obs {
+
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+namespace {
+
+// --- normalized rendering -------------------------------------------------
+// Mirrors the ToString renderings of Predicate / ListPattern / TreePattern
+// with every comparison constant replaced by `$`, so the digest key captures
+// the *shape* of a query, not its parameters.
+
+std::string NormPred(const PredicateRef& pred);
+
+std::string NormPredBody(const PredicateRef& pred) {
+  if (pred == nullptr) return "?";
+  switch (pred->kind()) {
+    case Predicate::Kind::kTrue:
+      return "?";
+    case Predicate::Kind::kCompare:
+      return pred->attr() + " " + CmpOpToString(pred->op()) + " $";
+    case Predicate::Kind::kAnd:
+      return "(" + NormPredBody(pred->left()) + " && " +
+             NormPredBody(pred->right()) + ")";
+    case Predicate::Kind::kOr:
+      return "(" + NormPredBody(pred->left()) + " || " +
+             NormPredBody(pred->right()) + ")";
+    case Predicate::Kind::kNot:
+      return "!(" + NormPredBody(pred->left()) + ")";
+  }
+  return "?";
+}
+
+std::string NormPred(const PredicateRef& pred) {
+  if (pred == nullptr || pred->kind() == Predicate::Kind::kTrue) return "?";
+  return "{" + NormPredBody(pred) + "}";
+}
+
+std::string NormTree(const TreePatternRef& tp);
+
+std::string NormList(const ListPatternRef& lp) {
+  if (lp == nullptr) return "";
+  switch (lp->kind()) {
+    case ListPattern::Kind::kPred:
+      return NormPred(lp->pred());
+    case ListPattern::Kind::kAny:
+      return "?";
+    case ListPattern::Kind::kConcat: {
+      std::string out;
+      for (size_t i = 0; i < lp->parts().size(); ++i) {
+        if (i > 0) out += ' ';
+        out += NormList(lp->parts()[i]);
+      }
+      return out;
+    }
+    case ListPattern::Kind::kAlt: {
+      std::string out = "(";
+      for (size_t i = 0; i < lp->parts().size(); ++i) {
+        if (i > 0) out += " | ";
+        out += NormList(lp->parts()[i]);
+      }
+      return out + ")";
+    }
+    case ListPattern::Kind::kStar:
+      return "(" + NormList(lp->inner()) + ")*";
+    case ListPattern::Kind::kPlus:
+      return "(" + NormList(lp->inner()) + ")+";
+    case ListPattern::Kind::kPrune:
+      return "!(" + NormList(lp->inner()) + ")";
+    case ListPattern::Kind::kPoint:
+      return "@" + lp->label();
+    case ListPattern::Kind::kTreeAtom:
+      return NormTree(lp->tree_atom());
+  }
+  return "?";
+}
+
+std::string NormTree(const TreePatternRef& tp) {
+  if (tp == nullptr) return "";
+  switch (tp->kind()) {
+    case TreePattern::Kind::kLeaf:
+      return NormPred(tp->pred());
+    case TreePattern::Kind::kNode:
+      return NormPred(tp->pred()) + "(" + NormList(tp->children()) + ")";
+    case TreePattern::Kind::kPoint:
+      return "@" + tp->label();
+    case TreePattern::Kind::kAlt: {
+      std::string out = "[[";
+      for (size_t i = 0; i < tp->alts().size(); ++i) {
+        if (i > 0) out += " | ";
+        out += NormTree(tp->alts()[i]);
+      }
+      return out + "]]";
+    }
+    case TreePattern::Kind::kConcatAt:
+      return "[[" + NormTree(tp->first()) + " .@" + tp->label() + " " +
+             NormTree(tp->second()) + "]]";
+    case TreePattern::Kind::kStarAt:
+      return "[[" + NormTree(tp->inner()) + "]]*@" + tp->label();
+    case TreePattern::Kind::kPlusAt:
+      return "[[" + NormTree(tp->inner()) + "]]+@" + tp->label();
+    case TreePattern::Kind::kRootAnchor:
+      return "^" + NormTree(tp->inner());
+    case TreePattern::Kind::kLeafAnchor:
+      return "[[" + NormTree(tp->inner()) + "]]$";
+    case TreePattern::Kind::kPrune:
+      return "!" + NormTree(tp->inner());
+  }
+  return "?";
+}
+
+std::string NormAnchoredList(const AnchoredListPattern& lp) {
+  std::string out;
+  if (lp.anchor_begin) out += '^';
+  out += NormList(lp.body);
+  if (lp.anchor_end) out += '$';
+  return out;
+}
+
+void NormalizeNode(const PlanRef& node, size_t indent, std::string* out) {
+  out->append(indent * 2, ' ');
+  if (node == nullptr) {
+    *out += "(null)\n";
+    return;
+  }
+  *out += PlanOpToString(node->op);
+  std::vector<std::string> params;
+  if (!node->collection.empty()) params.push_back(node->collection);
+  if (!node->attr.empty()) params.push_back("index=" + node->attr);
+  if (node->pred != nullptr) {
+    params.push_back("pred=" + NormPred(node->pred));
+  }
+  if (node->anchor != nullptr) {
+    params.push_back("anchor=" + NormPred(node->anchor));
+  }
+  if (node->tpattern != nullptr) {
+    params.push_back("pattern=" + NormTree(node->tpattern));
+  }
+  if (node->lpattern.body != nullptr) {
+    params.push_back("pattern=" + NormAnchoredList(node->lpattern));
+  }
+  if (!params.empty()) {
+    *out += " [";
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (i > 0) *out += ", ";
+      *out += params[i];
+    }
+    *out += "]";
+  }
+  *out += '\n';
+  for (const PlanRef& child : node->children) {
+    NormalizeNode(child, indent + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string NormalizePlan(const PlanRef& plan) {
+  std::string out;
+  NormalizeNode(plan, 0, &out);
+  return out;
+}
+
+uint64_t FingerprintPlan(const PlanRef& plan) {
+  return Fnv1a(NormalizePlan(plan));
+}
+
+double EstimateQuantile(
+    const std::array<uint64_t, Histogram::kNumBuckets>& buckets,
+    uint64_t count, double q) {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Target rank in [1, count]; the quantile is the value of the rank-th
+  // smallest sample.
+  double rank = q * static_cast<double>(count);
+  if (rank < 1.0) rank = 1.0;
+  uint64_t cum = 0;
+  double last_upper = 0.0;
+  for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+    uint64_t c = buckets[b];
+    if (c == 0) continue;
+    // Integer value range of bucket b: {0}, {1}, then [2^(b-1), 2^b - 1].
+    double lower = b <= 1 ? static_cast<double>(b)
+                          : std::ldexp(1.0, static_cast<int>(b) - 1);
+    double upper = b <= 1 ? static_cast<double>(b)
+                          : std::ldexp(1.0, static_cast<int>(b)) - 1.0;
+    last_upper = upper;
+    if (static_cast<double>(cum + c) >= rank) {
+      // Interpolate by rank position inside the bucket.
+      double pos = (rank - static_cast<double>(cum)) / static_cast<double>(c);
+      return lower + pos * (upper - lower);
+    }
+    cum += c;
+  }
+  return last_upper;
+}
+
+DigestTable& DigestTable::Global() {
+  static DigestTable* instance = new DigestTable();  // leaked
+  return *instance;
+}
+
+void DigestTable::Record(uint64_t fingerprint, std::string_view text,
+                         uint64_t wall_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[fingerprint];
+  if (e.calls == 0) {
+    e.text = std::string(text);
+    e.min_ns = wall_ns;
+    e.max_ns = wall_ns;
+  } else {
+    e.min_ns = std::min(e.min_ns, wall_ns);
+    e.max_ns = std::max(e.max_ns, wall_ns);
+  }
+  ++e.calls;
+  e.total_ns += wall_ns;
+  ++e.buckets[Histogram::BucketOf(wall_ns)];
+}
+
+std::vector<DigestRow> DigestTable::Rows() const {
+  std::vector<DigestRow> rows;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rows.reserve(entries_.size());
+    for (const auto& [fp, e] : entries_) {
+      DigestRow r;
+      r.fingerprint = fp;
+      r.text = e.text;
+      r.calls = e.calls;
+      r.total_ns = e.total_ns;
+      r.min_ns = e.min_ns;
+      r.max_ns = e.max_ns;
+      r.buckets = e.buckets;
+      rows.push_back(std::move(r));
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const DigestRow& a,
+                                         const DigestRow& b) {
+    return a.total_ns != b.total_ns ? a.total_ns > b.total_ns
+                                    : a.fingerprint < b.fingerprint;
+  });
+  return rows;
+}
+
+DigestRow DigestTable::Row(uint64_t fingerprint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(fingerprint);
+  DigestRow r;
+  r.fingerprint = fingerprint;
+  if (it == entries_.end()) return r;
+  const Entry& e = it->second;
+  r.text = e.text;
+  r.calls = e.calls;
+  r.total_ns = e.total_ns;
+  r.min_ns = e.min_ns;
+  r.max_ns = e.max_ns;
+  r.buckets = e.buckets;
+  return r;
+}
+
+namespace {
+
+/// One-line form of a normalized plan for the table rendering: indentation
+/// collapsed to `op [params] > child [params] > ...`.
+std::string FlattenText(const std::string& text) {
+  std::string out;
+  bool at_line_start = true;
+  for (char c : text) {
+    if (c == '\n') {
+      at_line_start = true;
+      continue;
+    }
+    if (at_line_start) {
+      if (c == ' ') continue;
+      if (!out.empty()) out += " > ";
+      at_line_start = false;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DigestTable::ToText(size_t max_rows) const {
+  std::vector<DigestRow> rows = Rows();
+  std::string out =
+      "fingerprint       calls    total_ms   mean_ms    p50_ms     p95_ms "
+      "    p99_ms     max_ms     plan\n";
+  size_t n = std::min(rows.size(), max_rows);
+  for (size_t i = 0; i < n; ++i) {
+    const DigestRow& r = rows[i];
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%016llx  %-8llu %-10.3f %-10.3f %-10.3f %-10.3f %-10.3f "
+                  "%-10.3f ",
+                  static_cast<unsigned long long>(r.fingerprint),
+                  static_cast<unsigned long long>(r.calls),
+                  static_cast<double>(r.total_ns) / 1e6, r.mean_ns() / 1e6,
+                  r.p50_ns() / 1e6, r.p95_ns() / 1e6, r.p99_ns() / 1e6,
+                  static_cast<double>(r.max_ns) / 1e6);
+    out += buf;
+    out += FlattenText(r.text);
+    out += '\n';
+  }
+  if (rows.empty()) out += "(no digests recorded)\n";
+  if (rows.size() > n) {
+    out += "(" + std::to_string(rows.size() - n) + " more rows)\n";
+  }
+  return out;
+}
+
+std::string DigestTable::ToJson(size_t max_rows) const {
+  std::vector<DigestRow> rows = Rows();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("digests").BeginArray();
+  size_t n = std::min(rows.size(), max_rows);
+  for (size_t i = 0; i < n; ++i) {
+    const DigestRow& r = rows[i];
+    char fp[24];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(r.fingerprint));
+    w.BeginObject();
+    w.Key("fingerprint").String(fp);
+    w.Key("plan").String(FlattenText(r.text));
+    w.Key("calls").Uint(r.calls);
+    w.Key("total_ns").Uint(r.total_ns);
+    w.Key("min_ns").Uint(r.min_ns);
+    w.Key("max_ns").Uint(r.max_ns);
+    w.Key("mean_ns").Double(r.mean_ns());
+    w.Key("p50_ns").Double(r.p50_ns());
+    w.Key("p95_ns").Double(r.p95_ns());
+    w.Key("p99_ns").Double(r.p99_ns());
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+void DigestTable::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+size_t DigestTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace aqua::obs

@@ -1,0 +1,106 @@
+#ifndef AQUA_OBS_DIGEST_H_
+#define AQUA_OBS_DIGEST_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "query/plan.h"
+
+namespace aqua::obs {
+
+/// FNV-1a over `s` (the digest fingerprint hash).
+uint64_t Fnv1a(std::string_view s);
+
+/// Renders `plan` in a normalized form suitable for digest keying: the
+/// operator tree, collection names, and pattern/predicate *shapes* are
+/// kept; every comparison constant is elided to `$` (à la
+/// pg_stat_statements), so `{age > 60}` and `{age > 21}` normalize — and
+/// therefore digest — identically, while `{age > $}` vs `{name == $}` stay
+/// distinct.
+std::string NormalizePlan(const PlanRef& plan);
+
+/// `Fnv1a(NormalizePlan(plan))`.
+uint64_t FingerprintPlan(const PlanRef& plan);
+
+/// Estimates the `q`-quantile (0 < q < 1) of a sample set summarized by
+/// log-scale bucket counts (the 65-bucket scheme of `Histogram`): finds the
+/// bucket holding the target rank and interpolates linearly inside its
+/// value range. By construction the estimate lands inside the correct
+/// bucket, i.e. within one power of two of the exact sample quantile.
+double EstimateQuantile(const std::array<uint64_t, Histogram::kNumBuckets>& buckets,
+                        uint64_t count, double q);
+
+/// One row of the digest table, as copied out by `Rows`.
+struct DigestRow {
+  uint64_t fingerprint = 0;
+  std::string text;  ///< normalized plan (first-seen rendering)
+  uint64_t calls = 0;
+  uint64_t total_ns = 0;
+  uint64_t min_ns = 0;
+  uint64_t max_ns = 0;
+  std::array<uint64_t, Histogram::kNumBuckets> buckets{};
+
+  double mean_ns() const {
+    return calls == 0 ? 0.0
+                      : static_cast<double>(total_ns) /
+                            static_cast<double>(calls);
+  }
+  double p50_ns() const { return EstimateQuantile(buckets, calls, 0.50); }
+  double p95_ns() const { return EstimateQuantile(buckets, calls, 0.95); }
+  double p99_ns() const { return EstimateQuantile(buckets, calls, 0.99); }
+};
+
+/// Process-wide accumulator of per-plan-shape execution statistics, keyed
+/// by the normalized-plan fingerprint (the pg_stat_statements idea applied
+/// to AQUA plans). `Record` is one mutex acquisition plus a handful of
+/// integer updates — cheap next to any query — and is called by
+/// `Executor::Execute` on every run, so the table is always on.
+class DigestTable {
+ public:
+  static DigestTable& Global();
+
+  /// Accumulates one execution of the plan shape `fingerprint` (whose
+  /// normalized rendering is `text` — stored on first sight) that took
+  /// `wall_ns`.
+  void Record(uint64_t fingerprint, std::string_view text, uint64_t wall_ns);
+
+  /// Copies the table out, sorted by total time descending.
+  std::vector<DigestRow> Rows() const;
+
+  /// The row for `fingerprint`; calls == 0 when absent.
+  DigestRow Row(uint64_t fingerprint) const;
+
+  /// Aligned table: fingerprint, calls, total/mean/p50/p95/p99/max ms, text.
+  std::string ToText(size_t max_rows = 32) const;
+  /// `{"digests":[{...}...]}`, sorted by total time descending.
+  std::string ToJson(size_t max_rows = 256) const;
+
+  void Reset();
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::string text;
+    uint64_t calls = 0;
+    uint64_t total_ns = 0;
+    uint64_t min_ns = 0;
+    uint64_t max_ns = 0;
+    std::array<uint64_t, Histogram::kNumBuckets> buckets{};
+  };
+
+  DigestTable() = default;
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, Entry> entries_;
+};
+
+}  // namespace aqua::obs
+
+#endif  // AQUA_OBS_DIGEST_H_

@@ -1,0 +1,80 @@
+#ifndef AQUA_OBS_EXPORT_H_
+#define AQUA_OBS_EXPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "common/status.h"
+#include "obs/digest.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+
+namespace aqua::obs {
+
+/// Options for `ToOpenMetrics`.
+struct OpenMetricsOptions {
+  /// Metric-name prefix (dots in registry names become underscores).
+  std::string prefix = "aqua_";
+  /// When set, the digest table is exported as labeled series
+  /// (`<prefix>digest_calls_total{digest="<hex>"}` etc.), top rows by
+  /// total time first.
+  const DigestTable* digests = nullptr;
+  size_t max_digests = 50;
+};
+
+/// Renders `snap` in OpenMetrics text exposition format: counters (with
+/// the mandatory `_total` sample suffix), gauges, and histograms
+/// (`_bucket{le=...}` cumulative + `_sum` + `_count`), terminated by
+/// `# EOF`. Registry histogram buckets are log-scale, so `le` bounds are
+/// the buckets' inclusive integer upper bounds (0, 1, 3, 7, ..., +Inf).
+std::string ToOpenMetrics(const Snapshot& snap,
+                          const OpenMetricsOptions& opts = {});
+
+/// Validates the OpenMetrics conformance rules this repo relies on:
+/// `# TYPE` precedes a family's samples, counters end in `_total`,
+/// histogram `le` bounds and cumulative bucket counts are monotone with a
+/// final `+Inf` bucket equal to `_count`, and the exposition ends with
+/// `# EOF`. Used by tests and by `aqua_metricsd --check`.
+Status CheckOpenMetrics(std::string_view text);
+
+/// Minimal embedded HTTP/1.1 listener serving the observability surface:
+///
+///   GET /metrics  — OpenMetrics exposition of the registry + digest table
+///   GET /digests  — digest table as JSON
+///   GET /flight   — flight-recorder dump as JSON
+///   GET /healthz  — "ok"
+///
+/// One background thread accepts loopback connections and serves one
+/// request per connection (Prometheus' scrape pattern). All served data
+/// comes from snapshot copies, so scrapes never block query threads.
+class MetricsHttpServer {
+ public:
+  MetricsHttpServer() = default;
+  ~MetricsHttpServer() { Stop(); }
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port; see `port()`) and
+  /// starts the accept thread.
+  Status Start(uint16_t port);
+  void Stop();
+
+  bool running() const { return listen_fd_.load() >= 0; }
+  /// The bound port (resolved after Start, also for port 0).
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  std::string Respond(const std::string& path) const;
+
+  std::atomic<int> listen_fd_{-1};
+  std::thread thread_;
+  uint16_t port_ = 0;
+};
+
+}  // namespace aqua::obs
+
+#endif  // AQUA_OBS_EXPORT_H_

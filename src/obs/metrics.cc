@@ -31,6 +31,13 @@ uint64_t Snapshot::CounterValue(std::string_view name) const {
   return 0;
 }
 
+int64_t Snapshot::GaugeValue(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
 Snapshot Snapshot::DeltaSince(const Snapshot& base) const {
   auto minus = [](uint64_t a, uint64_t b) { return a >= b ? a - b : 0; };
   Snapshot delta;
@@ -38,6 +45,9 @@ Snapshot Snapshot::DeltaSince(const Snapshot& base) const {
   for (const auto& [name, value] : counters) {
     delta.counters.emplace_back(name, minus(value, base.CounterValue(name)));
   }
+  // Gauges are levels, not rates: the delta of a window is the level at the
+  // window's end, never a (meaningless, possibly negative) difference.
+  delta.gauges = gauges;
   for (const HistogramSnapshot& h : histograms) {
     const HistogramSnapshot* b = nullptr;
     for (const HistogramSnapshot& cand : base.histograms) {
@@ -76,6 +86,11 @@ std::string Snapshot::ToJson() const {
     w.Key(name).Uint(value);
   }
   w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, value] : gauges) {
+    w.Key(name).Int(value);
+  }
+  w.EndObject();
   w.Key("histograms").BeginObject();
   for (const HistogramSnapshot& h : histograms) {
     w.Key(h.name).BeginObject();
@@ -98,9 +113,16 @@ std::string Snapshot::ToJson() const {
 std::string Snapshot::ToText() const {
   size_t width = 0;
   for (const auto& [name, value] : counters) width = std::max(width, name.size());
+  for (const auto& [name, value] : gauges) width = std::max(width, name.size());
   for (const HistogramSnapshot& h : histograms) width = std::max(width, h.name.size());
   std::string out;
   for (const auto& [name, value] : counters) {
+    out += name;
+    out.append(width - name.size() + 2, ' ');
+    out += std::to_string(value);
+    out += '\n';
+  }
+  for (const auto& [name, value] : gauges) {
     out += name;
     out.append(width - name.size() + 2, ' ');
     out += std::to_string(value);
@@ -143,7 +165,12 @@ Registry::Registry() {
     counters_.emplace(name, std::unique_ptr<Counter>(new Counter(name)));
   }
   for (const char* name :
-       {"exec.operator_ns", "index.candidates_per_probe",
+       {"exec.pool_workers_active", "exec.pool_queue_depth",
+        "obs.recorder_occupancy"}) {
+    gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(name)));
+  }
+  for (const char* name :
+       {"exec.operator_ns", "exec.execute_ns", "index.candidates_per_probe",
         "pattern.tree_steps_per_call"}) {
     histograms_.emplace(name, std::unique_ptr<Histogram>(new Histogram(name)));
   }
@@ -155,6 +182,15 @@ Counter* Registry::GetCounter(const std::string& name) {
   if (it == counters_.end()) {
     it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(name)))
              .first;
+  }
+  return it->second.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(name))).first;
   }
   return it->second.get();
 }
@@ -177,6 +213,10 @@ Snapshot Registry::Snap() const {
   for (const auto& [name, counter] : counters_) {
     snap.counters.emplace_back(name, counter->value());
   }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
   snap.histograms.reserve(histograms_.size());
   for (const auto& [name, hist] : histograms_) {
     HistogramSnapshot h;
@@ -195,6 +235,7 @@ Snapshot Registry::Snap() const {
 void Registry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, hist] : histograms_) hist->Reset();
 }
 

@@ -30,6 +30,25 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
+/// Last-value named gauge (pool utilization, ring-buffer occupancy, queue
+/// depths). `Set`/`Add` are relaxed atomics; unlike a Counter the value may
+/// go down, and snapshot deltas pass it through as-is (last value wins).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  std::atomic<int64_t> value_{0};
+};
+
 /// Log-scale (power-of-two bucket) histogram over non-negative integer
 /// samples (step counts, candidate counts, nanosecond durations).
 ///
@@ -86,13 +105,18 @@ struct HistogramSnapshot {
 /// serialize after the counters move on.
 struct Snapshot {
   std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
   std::vector<HistogramSnapshot> histograms;
 
   /// Value of a counter by name; 0 when absent.
   uint64_t CounterValue(std::string_view name) const;
+  /// Value of a gauge by name; 0 when absent.
+  int64_t GaugeValue(std::string_view name) const;
 
   /// Element-wise `this - base` (values clamp at 0 for entries that were
   /// reset in between). Entries absent from `base` pass through unchanged.
+  /// Gauges are *not* differenced: a gauge is a level, not a rate, so the
+  /// delta carries this snapshot's last value unchanged.
   Snapshot DeltaSince(const Snapshot& base) const;
 
   /// `{"counters": {...}, "histograms": {...}}`.
@@ -119,8 +143,10 @@ class Registry {
     enabled_.store(on, std::memory_order_relaxed);
   }
 
-  /// Returns the counter/histogram named `name`, creating it if needed.
+  /// Returns the counter/gauge/histogram named `name`, creating it if
+  /// needed.
   Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
   Snapshot Snap() const;
@@ -133,6 +159,7 @@ class Registry {
 
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 
   static std::atomic<bool> enabled_;
@@ -161,12 +188,34 @@ class Registry {
       aqua_obs_hist_->Record(static_cast<uint64_t>(v));             \
     }                                                               \
   } while (0)
+#define AQUA_OBS_GAUGE_SET(name, v)                                 \
+  do {                                                              \
+    if (::aqua::obs::Registry::enabled()) {                         \
+      static ::aqua::obs::Gauge* const aqua_obs_gauge_ =            \
+          ::aqua::obs::Registry::Global().GetGauge(name);           \
+      aqua_obs_gauge_->Set(static_cast<int64_t>(v));                \
+    }                                                               \
+  } while (0)
+#define AQUA_OBS_GAUGE_ADD(name, n)                                 \
+  do {                                                              \
+    if (::aqua::obs::Registry::enabled()) {                         \
+      static ::aqua::obs::Gauge* const aqua_obs_gauge_ =            \
+          ::aqua::obs::Registry::Global().GetGauge(name);           \
+      aqua_obs_gauge_->Add(static_cast<int64_t>(n));                \
+    }                                                               \
+  } while (0)
 #else
 #define AQUA_OBS_COUNT(name, n) \
   do {                          \
   } while (0)
 #define AQUA_OBS_RECORD(name, v) \
   do {                           \
+  } while (0)
+#define AQUA_OBS_GAUGE_SET(name, v) \
+  do {                              \
+  } while (0)
+#define AQUA_OBS_GAUGE_ADD(name, n) \
+  do {                              \
   } while (0)
 #endif
 

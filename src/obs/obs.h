@@ -4,18 +4,27 @@
 /// \file
 /// Umbrella header for `aqua::obs`, the cross-cutting observability layer:
 ///
-///  * metrics.h — named counters + log-scale histograms in a process-wide
-///    registry (`AQUA_OBS_COUNT` / `AQUA_OBS_RECORD` instrumentation
-///    macros, snapshots, JSON serialization)
-///  * trace.h   — RAII `Span` scoped timers forming a span tree per unit
+///  * metrics.h  — named counters, gauges + log-scale histograms in a
+///    process-wide registry (`AQUA_OBS_COUNT` / `AQUA_OBS_RECORD` /
+///    `AQUA_OBS_GAUGE_*` instrumentation macros, snapshots, JSON)
+///  * trace.h    — RAII `Span` scoped timers forming a span tree per unit
 ///    of work, exportable as Chrome-trace JSON or an indented text report
-///  * json.h    — the minimal JSON writer both of the above share
+///  * recorder.h — always-on flight recorder (per-thread lock-free event
+///    rings) + the slow-query log
+///  * digest.h   — per-plan-shape query digest table keyed by the
+///    normalized-plan fingerprint, with log-bucket latency quantiles
+///  * export.h   — OpenMetrics text exposition + the embedded scrape
+///    endpoint (`MetricsHttpServer`)
+///  * json.h     — the minimal JSON writer the above share
 ///
 /// See docs/OBSERVABILITY.md for the metric naming scheme and how the
 /// counters map onto the paper's §4 cost-model terms.
 
+#include "obs/digest.h"
+#include "obs/export.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 #endif  // AQUA_OBS_OBS_H_

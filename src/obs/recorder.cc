@@ -1,0 +1,248 @@
+#include "obs/recorder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace aqua::obs {
+
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+const char* KindName(uint32_t kind) {
+  switch (static_cast<FlightEventKind>(kind)) {
+    case FlightEventKind::kExecute:
+      return "execute";
+    case FlightEventKind::kMorsel:
+      return "morsel";
+  }
+  return "?";
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* instance = new FlightRecorder();  // leaked
+  return *instance;
+}
+
+FlightRecorder::FlightRecorder() : epoch_ns_(SteadyNowNs()) {
+  const char* ms = std::getenv("AQUA_SLOW_QUERY_MS");
+  if (ms != nullptr && *ms != '\0') {
+    double v = std::strtod(ms, nullptr);
+    if (v > 0) {
+      slow_threshold_ns_.store(static_cast<uint64_t>(v * 1e6),
+                               std::memory_order_relaxed);
+    }
+  }
+  const char* path = std::getenv("AQUA_SLOW_QUERY_LOG");
+  slow_log_path_ = path != nullptr && *path != '\0' ? path
+                                                    : "aqua_slow_queries.log";
+}
+
+FlightRecorder::Ring* FlightRecorder::RegisterRing() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.push_back(std::make_unique<Ring>());
+  return rings_.back().get();
+}
+
+FlightRecorder::Ring* FlightRecorder::LocalRing() {
+  // One ring per recording thread for the life of the process. Pool workers
+  // never exit; if a transient thread does, its ring simply stops growing
+  // and its retained events age out of the dump naturally.
+  thread_local Ring* ring = RegisterRing();
+  return ring;
+}
+
+void FlightRecorder::Record(FlightEvent e) {
+  Ring* ring = LocalRing();
+  e.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  e.t_ns = SteadyNowNs() - epoch_ns_;
+
+  uint64_t head = ring->head.load(std::memory_order_relaxed);
+  Slot& slot = ring->slots[head % kRingCapacity];
+
+  uint64_t words[kEventWords];
+  std::memcpy(words, &e, sizeof(e));
+
+  uint64_t v = slot.version.load(std::memory_order_relaxed);
+  slot.version.store(v + 1, std::memory_order_release);  // odd: in progress
+  for (size_t i = 0; i < kEventWords; ++i) {
+    slot.words[i].store(words[i], std::memory_order_relaxed);
+  }
+  slot.version.store(v + 2, std::memory_order_release);  // even: stable
+  ring->head.store(head + 1, std::memory_order_release);
+
+  if (head < kRingCapacity) {
+    uint64_t retained =
+        retained_.fetch_add(1, std::memory_order_relaxed) + 1;
+    AQUA_OBS_GAUGE_SET("obs.recorder_occupancy",
+                       static_cast<int64_t>(retained));
+  }
+}
+
+std::vector<FlightEvent> FlightRecorder::Dump() const {
+  std::vector<const Ring*> rings;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings.reserve(rings_.size());
+    for (const auto& r : rings_) rings.push_back(r.get());
+  }
+  std::vector<FlightEvent> out;
+  for (const Ring* ring : rings) {
+    uint64_t head = ring->head.load(std::memory_order_acquire);
+    uint64_t n = std::min<uint64_t>(head, kRingCapacity);
+    for (uint64_t i = head - n; i < head; ++i) {
+      const Slot& slot = ring->slots[i % kRingCapacity];
+      uint64_t v1 = slot.version.load(std::memory_order_acquire);
+      if (v1 % 2 != 0) continue;  // mid-write; skip this slot
+      uint64_t words[kEventWords];
+      for (size_t w = 0; w < kEventWords; ++w) {
+        words[w] = slot.words[w].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.version.load(std::memory_order_relaxed) != v1) continue;
+      FlightEvent e;
+      std::memcpy(&e, words, sizeof(e));
+      out.push_back(e);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+std::string FlightRecorder::ToText(size_t max_events) const {
+  std::vector<FlightEvent> events = Dump();
+  size_t start = events.size() > max_events ? events.size() - max_events : 0;
+  std::string out =
+      "seq        t_ms      kind     wall_ms   fingerprint       thr mrsl "
+      "max_mrsl_ms tree_steps list_steps probes nodes\n";
+  for (size_t i = start; i < events.size(); ++i) {
+    const FlightEvent& e = events[i];
+    char buf[192];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%-10llu %-9.1f %-8s %-9.3f %016llx  %-3u %-4u %-11.3f %-10llu "
+        "%-10llu %-6llu %llu\n",
+        static_cast<unsigned long long>(e.seq),
+        static_cast<double>(e.t_ns) / 1e6, KindName(e.kind),
+        static_cast<double>(e.wall_ns) / 1e6,
+        static_cast<unsigned long long>(e.fingerprint), e.threads, e.morsels,
+        static_cast<double>(e.max_morsel_ns) / 1e6,
+        static_cast<unsigned long long>(e.tree_steps),
+        static_cast<unsigned long long>(e.list_steps),
+        static_cast<unsigned long long>(e.index_probes),
+        static_cast<unsigned long long>(e.nodes_visited));
+    out += buf;
+  }
+  if (events.empty()) out += "(no events recorded)\n";
+  return out;
+}
+
+std::string FlightRecorder::ToJson(size_t max_events) const {
+  std::vector<FlightEvent> events = Dump();
+  size_t start = events.size() > max_events ? events.size() - max_events : 0;
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("retained").Uint(retained());
+  w.Key("events").BeginArray();
+  for (size_t i = start; i < events.size(); ++i) {
+    const FlightEvent& e = events[i];
+    char fp[24];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(e.fingerprint));
+    w.BeginObject();
+    w.Key("seq").Uint(e.seq);
+    w.Key("t_ns").Uint(e.t_ns);
+    w.Key("kind").String(KindName(e.kind));
+    w.Key("ok").Bool(e.ok != 0);
+    w.Key("fingerprint").String(fp);
+    w.Key("wall_ns").Uint(e.wall_ns);
+    w.Key("threads").Uint(e.threads);
+    w.Key("morsels").Uint(e.morsels);
+    w.Key("max_morsel_ns").Uint(e.max_morsel_ns);
+    w.Key("tree_steps").Uint(e.tree_steps);
+    w.Key("list_steps").Uint(e.list_steps);
+    w.Key("index_probes").Uint(e.index_probes);
+    w.Key("nodes_visited").Uint(e.nodes_visited);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& ring : rings_) {
+    // Writers may be active; bump each slot through a full odd/even cycle
+    // so concurrent readers discard it, then reset the head.
+    for (Slot& slot : ring->slots) {
+      uint64_t v = slot.version.load(std::memory_order_relaxed);
+      slot.version.store(v + 2, std::memory_order_release);
+    }
+    ring->head.store(0, std::memory_order_release);
+  }
+  retained_.store(0, std::memory_order_relaxed);
+  AQUA_OBS_GAUGE_SET("obs.recorder_occupancy", 0);
+}
+
+size_t FlightRecorder::retained() const {
+  return static_cast<size_t>(retained_.load(std::memory_order_relaxed));
+}
+
+size_t FlightRecorder::rings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rings_.size();
+}
+
+void FlightRecorder::set_slow_query_log_path(std::string path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slow_log_path_ = std::move(path);
+}
+
+std::string FlightRecorder::slow_query_log_path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_log_path_;
+}
+
+void FlightRecorder::AppendSlowQuery(uint64_t wall_ns, uint64_t fingerprint,
+                                     std::string_view plan_text,
+                                     std::string_view trace_report,
+                                     const Snapshot& delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ofstream out(slow_log_path_, std::ios::app);
+  if (!out) return;  // the log is best-effort; never fail the query
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                "--- slow query: %.3f ms (threshold %.3f ms) fingerprint "
+                "%016llx ---\n",
+                static_cast<double>(wall_ns) / 1e6,
+                static_cast<double>(
+                    slow_threshold_ns_.load(std::memory_order_relaxed)) /
+                    1e6,
+                static_cast<unsigned long long>(fingerprint));
+  out << head << "plan:\n" << plan_text;
+  if (!plan_text.empty() && plan_text.back() != '\n') out << '\n';
+  if (!trace_report.empty()) {
+    out << "spans:\n" << trace_report;
+    if (trace_report.back() != '\n') out << '\n';
+  }
+  out << "counters:\n" << delta.ToText() << "\n";
+  slow_logged_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace aqua::obs

@@ -2,6 +2,9 @@
 
 #include <cstdio>
 
+#include "obs/digest.h"
+#include "obs/recorder.h"
+
 namespace aqua {
 
 Result<Datum> Executor::Execute(const PlanRef& plan) {
@@ -20,11 +23,13 @@ Result<Datum> Executor::Execute(const PlanRef& plan) {
   ctx.threads = threads();
   ctx.trace = &trace_;
 
+  obs::Span wall(nullptr, "");  // pure scoped timer for the whole Execute
   Result<Datum> result = [&]() -> Result<Datum> {
     obs::Span root_span(&trace_, "Execute");
     AQUA_RETURN_IF_ERROR(root->Prepare(ctx));
     return root->Run(ctx);
   }();
+  uint64_t wall_ns = wall.ElapsedNs();
 
   stats_.operators_evaluated =
       ctx.operators_evaluated.load(std::memory_order_relaxed);
@@ -40,7 +45,44 @@ Result<Datum> Executor::Execute(const PlanRef& plan) {
   AQUA_OBS_COUNT("exec.operators_evaluated", stats_.operators_evaluated);
   AQUA_OBS_COUNT("exec.trees_processed", stats_.trees_processed);
   AQUA_OBS_COUNT("exec.lists_processed", stats_.lists_processed);
+  AQUA_OBS_RECORD("exec.execute_ns", wall_ns);
   last_counters_ = obs::Registry::Global().Snap().DeltaSince(before);
+
+#ifndef AQUA_OBS_DISABLED
+  if (obs::Registry::enabled()) {
+    // Digest table: accumulate under the normalized-plan fingerprint.
+    std::string normalized = obs::NormalizePlan(plan);
+    uint64_t fingerprint = obs::Fnv1a(normalized);
+    obs::DigestTable::Global().Record(fingerprint, normalized, wall_ns);
+
+    // Flight recorder: one structured event per Execute, with the
+    // counter-delta highlights and the parallel-path shape.
+    obs::FlightEvent ev;
+    ev.kind = static_cast<uint32_t>(obs::FlightEventKind::kExecute);
+    ev.ok = result.ok() ? 1 : 0;
+    ev.fingerprint = fingerprint;
+    ev.wall_ns = wall_ns;
+    ev.threads = static_cast<uint32_t>(ctx.threads);
+    ev.morsels = static_cast<uint32_t>(
+        ctx.morsels_run.load(std::memory_order_relaxed));
+    ev.max_morsel_ns = ctx.morsel_max_ns.load(std::memory_order_relaxed);
+    ev.tree_steps = last_counters_.CounterValue("pattern.tree_steps");
+    ev.list_steps = last_counters_.CounterValue("pattern.list_steps");
+    ev.index_probes = last_counters_.CounterValue("index.probes");
+    ev.nodes_visited =
+        last_counters_.CounterValue("algebra.structural_nodes_visited");
+    obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+    recorder.Record(ev);
+
+    // Slow-query log: full context (plan text, span tree when tracing was
+    // on, counter delta) for any Execute at or above the threshold.
+    uint64_t threshold = recorder.slow_query_threshold_ns();
+    if (threshold > 0 && wall_ns >= threshold) {
+      recorder.AppendSlowQuery(wall_ns, fingerprint, Explain(plan),
+                               trace_.ToTextReport(), last_counters_);
+    }
+  }
+#endif
   return result;
 }
 

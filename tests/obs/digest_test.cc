@@ -1,0 +1,182 @@
+#include "obs/digest.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "query/builder.h"
+#include "test_util.h"
+
+namespace aqua::obs {
+namespace {
+
+using aqua::testing::AquaTestBase;
+
+TEST(Fnv1aTest, KnownVectors) {
+  // FNV-1a 64-bit reference values.
+  EXPECT_EQ(Fnv1a(""), 14695981039346656037ull);
+  EXPECT_EQ(Fnv1a("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(Fnv1a("foobar"), 0x85944171f73967e8ull);
+  EXPECT_NE(Fnv1a("abc"), Fnv1a("acb"));
+}
+
+class DigestPlanTest : public AquaTestBase {};
+
+TEST_F(DigestPlanTest, ConstantsAreElided) {
+  // Same shape, different comparison constants -> same fingerprint.
+  PlanRef p1 = Q::TreeSubSelect(Q::ScanTree("t"), TP("{val > 60}(?*)"));
+  PlanRef p2 = Q::TreeSubSelect(Q::ScanTree("t"), TP("{val > 21}(?*)"));
+  EXPECT_EQ(NormalizePlan(p1), NormalizePlan(p2));
+  EXPECT_EQ(FingerprintPlan(p1), FingerprintPlan(p2));
+  // The constant must not appear in the normalized text.
+  EXPECT_EQ(NormalizePlan(p1).find("60"), std::string::npos)
+      << NormalizePlan(p1);
+  EXPECT_NE(NormalizePlan(p1).find("$"), std::string::npos);
+}
+
+TEST_F(DigestPlanTest, ShapeDifferencesStayDistinct) {
+  PlanRef gt = Q::TreeSubSelect(Q::ScanTree("t"), TP("{val > 60}(?*)"));
+  PlanRef eq = Q::TreeSubSelect(Q::ScanTree("t"), TP("{val == 60}(?*)"));
+  PlanRef attr = Q::TreeSubSelect(Q::ScanTree("t"), TP("{age > 60}(?*)"));
+  PlanRef coll = Q::TreeSubSelect(Q::ScanTree("u"), TP("{val > 60}(?*)"));
+  EXPECT_NE(FingerprintPlan(gt), FingerprintPlan(eq));   // operator differs
+  EXPECT_NE(FingerprintPlan(gt), FingerprintPlan(attr)); // attribute differs
+  EXPECT_NE(FingerprintPlan(gt), FingerprintPlan(coll)); // collection differs
+}
+
+TEST_F(DigestPlanTest, ListPatternsNormalize) {
+  PlanRef p1 = Q::ListSubSelect(Q::ScanList("l"), LP("a ? a"));
+  PlanRef p2 = Q::ListSubSelect(Q::ScanList("l"), LP("b ? b"));
+  // Different literal atoms compare against different constants -> same
+  // shape after eliding ({name == $} ? {name == $}).
+  EXPECT_EQ(NormalizePlan(p1), NormalizePlan(p2));
+  PlanRef star = Q::ListSubSelect(Q::ScanList("l"), LP("a ?* a"));
+  EXPECT_NE(FingerprintPlan(p1), FingerprintPlan(star));
+}
+
+// --- quantile estimator golden tests -------------------------------------
+
+/// Buckets a sample set into the 65-bucket log scheme.
+std::array<uint64_t, Histogram::kNumBuckets> BucketsOf(
+    const std::vector<uint64_t>& samples) {
+  std::array<uint64_t, Histogram::kNumBuckets> buckets{};
+  for (uint64_t v : samples) buckets[Histogram::BucketOf(v)]++;
+  return buckets;
+}
+
+/// Exact nearest-rank quantile of `samples` (sorted copy).
+uint64_t ExactQuantile(std::vector<uint64_t> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  size_t rank = static_cast<size_t>(q * static_cast<double>(samples.size()));
+  if (rank < 1) rank = 1;
+  if (rank > samples.size()) rank = samples.size();
+  return samples[rank - 1];
+}
+
+/// The estimator's guarantee: the estimate lands in the same log-scale
+/// bucket as the exact sample quantile (within one bucket at boundaries).
+void ExpectWithinOneBucket(const std::vector<uint64_t>& samples, double q) {
+  double est = EstimateQuantile(BucketsOf(samples), samples.size(), q);
+  uint64_t exact = ExactQuantile(samples, q);
+  size_t est_bucket = Histogram::BucketOf(static_cast<uint64_t>(est));
+  size_t exact_bucket = Histogram::BucketOf(exact);
+  size_t diff = est_bucket > exact_bucket ? est_bucket - exact_bucket
+                                          : exact_bucket - est_bucket;
+  EXPECT_LE(diff, 1u) << "q=" << q << " est=" << est << " exact=" << exact;
+}
+
+TEST(EstimateQuantileTest, UniformDistribution) {
+  std::vector<uint64_t> samples;
+  for (uint64_t v = 1; v <= 1000; ++v) samples.push_back(v);
+  for (double q : {0.50, 0.95, 0.99}) ExpectWithinOneBucket(samples, q);
+}
+
+TEST(EstimateQuantileTest, ConstantDistribution) {
+  std::vector<uint64_t> samples(200, 42);
+  for (double q : {0.50, 0.95, 0.99}) {
+    double est = EstimateQuantile(BucketsOf(samples), samples.size(), q);
+    // Every sample is 42, so every quantile lives in 42's bucket [32, 64).
+    EXPECT_GE(est, 32.0);
+    EXPECT_LT(est, 64.0);
+  }
+}
+
+TEST(EstimateQuantileTest, SkewedDistribution) {
+  // 99 fast queries and one catastrophic one: p50/p95/p99 must stay in the
+  // fast bucket, not get dragged toward the outlier.
+  std::vector<uint64_t> samples(99, 3);
+  samples.push_back(1000000);
+  for (double q : {0.50, 0.95, 0.99}) ExpectWithinOneBucket(samples, q);
+  double p50 = EstimateQuantile(BucketsOf(samples), samples.size(), 0.50);
+  EXPECT_LT(p50, 8.0);
+}
+
+TEST(EstimateQuantileTest, PowersOfTwo) {
+  std::vector<uint64_t> samples;
+  for (int i = 0; i < 20; ++i) {
+    for (int rep = 0; rep < 5; ++rep) {
+      samples.push_back(uint64_t{1} << i);
+    }
+  }
+  for (double q : {0.10, 0.50, 0.90, 0.95, 0.99}) {
+    ExpectWithinOneBucket(samples, q);
+  }
+}
+
+TEST(EstimateQuantileTest, EdgeCases) {
+  std::array<uint64_t, Histogram::kNumBuckets> empty{};
+  EXPECT_EQ(EstimateQuantile(empty, 0, 0.5), 0.0);
+  std::vector<uint64_t> one{7};
+  double est = EstimateQuantile(BucketsOf(one), 1, 0.99);
+  EXPECT_EQ(Histogram::BucketOf(static_cast<uint64_t>(est)),
+            Histogram::BucketOf(7));
+}
+
+// --- digest table --------------------------------------------------------
+
+TEST(DigestTableTest, RecordAccumulatesPerFingerprint) {
+  DigestTable& table = DigestTable::Global();
+  table.Reset();
+  table.Record(0xabc, "plan A", 100);
+  table.Record(0xabc, "ignored-on-repeat", 300);
+  table.Record(0xdef, "plan B", 50);
+  EXPECT_EQ(table.size(), 2u);
+
+  DigestRow a = table.Row(0xabc);
+  EXPECT_EQ(a.calls, 2u);
+  EXPECT_EQ(a.total_ns, 400u);
+  EXPECT_EQ(a.min_ns, 100u);
+  EXPECT_EQ(a.max_ns, 300u);
+  EXPECT_EQ(a.text, "plan A");  // first-seen text wins
+  EXPECT_DOUBLE_EQ(a.mean_ns(), 200.0);
+
+  // Rows are sorted by total time descending.
+  std::vector<DigestRow> rows = table.Rows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].fingerprint, 0xabcu);
+  EXPECT_EQ(rows[1].fingerprint, 0xdefu);
+
+  // Absent fingerprints read as empty.
+  EXPECT_EQ(table.Row(0x999).calls, 0u);
+  table.Reset();
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(DigestTableTest, TextAndJsonRenderings) {
+  DigestTable& table = DigestTable::Global();
+  table.Reset();
+  table.Record(0x1234, "sub_select\n  scan [t]", 2000000);
+  std::string text = table.ToText();
+  EXPECT_NE(text.find("0000000000001234"), std::string::npos) << text;
+  EXPECT_NE(text.find("calls"), std::string::npos);
+  std::string json = table.ToJson();
+  EXPECT_NE(json.find("\"digests\""), std::string::npos);
+  EXPECT_NE(json.find("\"0000000000001234\""), std::string::npos);
+  EXPECT_NE(json.find("\"calls\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"p99_ns\""), std::string::npos);
+  table.Reset();
+}
+
+}  // namespace
+}  // namespace aqua::obs

@@ -60,6 +60,82 @@ TEST(HistogramTest, RecordAccumulates) {
   EXPECT_EQ(h->sum(), 0u);
 }
 
+TEST(GaugeTest, SetAddAndReset) {
+  Gauge* g = Registry::Global().GetGauge("test.gauge_arith");
+  g->Reset();
+  EXPECT_EQ(g->value(), 0);
+  g->Set(10);
+  EXPECT_EQ(g->value(), 10);
+  g->Add(-3);
+  EXPECT_EQ(g->value(), 7);
+  g->Add(5);
+  EXPECT_EQ(g->value(), 12);
+  g->Reset();
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(g->name(), "test.gauge_arith");
+}
+
+TEST(GaugeTest, SnapshotAndDeltaPassGaugesThrough) {
+  Gauge* g = Registry::Global().GetGauge("test.gauge_delta");
+  g->Set(100);
+  Snapshot before = Registry::Global().Snap();
+  g->Set(42);
+  Snapshot after = Registry::Global().Snap();
+  EXPECT_EQ(before.GaugeValue("test.gauge_delta"), 100);
+  EXPECT_EQ(after.GaugeValue("test.gauge_delta"), 42);
+  // A gauge is a level, not a rate: the delta carries the latest value, not
+  // the difference.
+  Snapshot delta = after.DeltaSince(before);
+  EXPECT_EQ(delta.GaugeValue("test.gauge_delta"), 42);
+  EXPECT_EQ(delta.GaugeValue("test.gauge_never_registered"), 0);
+  g->Reset();
+}
+
+TEST(GaugeTest, JsonAndTextCarryGauges) {
+  Gauge* g = Registry::Global().GetGauge("test.gauge_json");
+  g->Set(-7);
+  Snapshot snap = Registry::Global().Snap();
+  std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.gauge_json\":-7"), std::string::npos);
+  EXPECT_NE(snap.ToText().find("test.gauge_json"), std::string::npos);
+  g->Reset();
+}
+
+TEST(GaugeTest, PoolGaugesArePreRegistered) {
+  Snapshot snap = Registry::Global().Snap();
+  bool workers = false;
+  bool queue = false;
+  bool occupancy = false;
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "exec.pool_workers_active") workers = true;
+    if (name == "exec.pool_queue_depth") queue = true;
+    if (name == "obs.recorder_occupancy") occupancy = true;
+  }
+  EXPECT_TRUE(workers);
+  EXPECT_TRUE(queue);
+  EXPECT_TRUE(occupancy);
+}
+
+TEST(MacroTest, GaugeMacrosFlowIntoRegistry) {
+  Gauge* g = Registry::Global().GetGauge("test.gauge_macro");
+  g->Reset();
+  AQUA_OBS_GAUGE_SET("test.gauge_macro", 9);
+  AQUA_OBS_GAUGE_ADD("test.gauge_macro", -2);
+#ifndef AQUA_OBS_DISABLED
+  EXPECT_EQ(g->value(), 7);
+#else
+  EXPECT_EQ(g->value(), 0);
+#endif
+  Registry::set_enabled(false);
+  AQUA_OBS_GAUGE_SET("test.gauge_macro", 1000);
+  Registry::set_enabled(true);
+#ifndef AQUA_OBS_DISABLED
+  EXPECT_EQ(g->value(), 7);
+#endif
+  g->Reset();
+}
+
 TEST(RegistryTest, GetReturnsStablePointers) {
   Counter* a = Registry::Global().GetCounter("test.stable");
   Counter* b = Registry::Global().GetCounter("test.stable");

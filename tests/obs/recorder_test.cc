@@ -1,0 +1,181 @@
+#include "obs/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace aqua::obs {
+namespace {
+
+FlightEvent MakeEvent(uint64_t wall_ns, uint64_t fingerprint = 0x42) {
+  FlightEvent e;
+  e.kind = static_cast<uint32_t>(FlightEventKind::kExecute);
+  e.fingerprint = fingerprint;
+  e.wall_ns = wall_ns;
+  e.threads = 1;
+  return e;
+}
+
+TEST(FlightRecorderTest, RecordAndDumpRoundTrip) {
+  FlightRecorder& rec = FlightRecorder::Global();
+  rec.Clear();
+  rec.Record(MakeEvent(100, 0xaa));
+  rec.Record(MakeEvent(200, 0xbb));
+  rec.Record(MakeEvent(300, 0xcc));
+  std::vector<FlightEvent> events = rec.Dump();
+  ASSERT_EQ(events.size(), 3u);
+  // Oldest first, seq strictly increasing.
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_LT(events[1].seq, events[2].seq);
+  EXPECT_EQ(events[0].fingerprint, 0xaau);
+  EXPECT_EQ(events[0].wall_ns, 100u);
+  EXPECT_EQ(events[2].fingerprint, 0xccu);
+  // Event timestamps are monotone within a thread.
+  EXPECT_LE(events[0].t_ns, events[2].t_ns);
+  EXPECT_EQ(rec.retained(), 3u);
+}
+
+TEST(FlightRecorderTest, CapacityBoundsRetention) {
+  FlightRecorder& rec = FlightRecorder::Global();
+  rec.Clear();
+  const size_t n = FlightRecorder::kRingCapacity + 100;
+  for (size_t i = 0; i < n; ++i) {
+    rec.Record(MakeEvent(i));
+  }
+  std::vector<FlightEvent> events = rec.Dump();
+  // This thread's ring holds at most kRingCapacity events; the overwritten
+  // prefix is gone and the newest event survives.
+  ASSERT_LE(events.size(), FlightRecorder::kRingCapacity);
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back().wall_ns, n - 1);
+  EXPECT_LE(rec.retained(), FlightRecorder::kRingCapacity);
+}
+
+TEST(FlightRecorderTest, PerThreadRingsMergeBySeq) {
+  FlightRecorder& rec = FlightRecorder::Global();
+  rec.Clear();
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        rec.Record(MakeEvent(i, /*fingerprint=*/t));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  std::vector<FlightEvent> events = rec.Dump();
+  EXPECT_EQ(events.size(), kThreads * kPerThread);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].seq, events[i].seq);
+  }
+  EXPECT_GE(rec.rings(), kThreads);
+}
+
+TEST(FlightRecorderTest, ConcurrentDumpNeverTearsEvents) {
+  FlightRecorder& rec = FlightRecorder::Global();
+  rec.Clear();
+  std::atomic<bool> stop{false};
+  // Writers fill their rings (wrapping repeatedly) while a reader dumps:
+  // every event a dump returns must be internally consistent (a torn slot
+  // would mix the marker fields).
+  std::vector<std::thread> writers;
+  for (size_t t = 0; t < 2; ++t) {
+    writers.emplace_back([&] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        FlightEvent e = MakeEvent(i, /*fingerprint=*/i);
+        e.tree_steps = i;  // mirror marker: must match wall_ns/fingerprint
+        rec.Record(e);
+        ++i;
+      }
+    });
+  }
+  for (int round = 0; round < 50; ++round) {
+    for (const FlightEvent& e : rec.Dump()) {
+      EXPECT_EQ(e.wall_ns, e.fingerprint);
+      EXPECT_EQ(e.wall_ns, e.tree_steps);
+    }
+  }
+  stop.store(true);
+  for (std::thread& th : writers) th.join();
+}
+
+TEST(FlightRecorderTest, TextAndJsonRenderings) {
+  FlightRecorder& rec = FlightRecorder::Global();
+  rec.Clear();
+  FlightEvent e = MakeEvent(1500000, 0xbeef);
+  e.morsels = 8;
+  e.max_morsel_ns = 400000;
+  rec.Record(e);
+  std::string text = rec.ToText();
+  EXPECT_NE(text.find("execute"), std::string::npos) << text;
+  EXPECT_NE(text.find("000000000000beef"), std::string::npos) << text;
+  std::string json = rec.ToJson();
+  EXPECT_NE(json.find("\"events\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"execute\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall_ns\":1500000"), std::string::npos);
+  EXPECT_NE(json.find("\"morsels\":8"), std::string::npos);
+  rec.Clear();
+  EXPECT_EQ(rec.retained(), 0u);
+  EXPECT_TRUE(rec.Dump().empty());
+  EXPECT_NE(rec.ToText().find("no events"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, SlowQueryLogAppendsStructuredBlock) {
+  FlightRecorder& rec = FlightRecorder::Global();
+  std::string path =
+      ::testing::TempDir() + "/aqua_slow_query_test.log";
+  std::remove(path.c_str());
+  std::string saved_path = rec.slow_query_log_path();
+  uint64_t saved_threshold = rec.slow_query_threshold_ns();
+  rec.set_slow_query_log_path(path);
+  rec.set_slow_query_threshold_ns(1000000);
+
+  uint64_t logged_before = rec.slow_queries_logged();
+  Snapshot delta;
+  delta.counters.emplace_back("pattern.tree_steps", 123);
+  rec.AppendSlowQuery(5000000, 0xf00d, "sub_select [t]\n  scan [t]\n",
+                      "Execute  5.0 ms\n", delta);
+  EXPECT_EQ(rec.slow_queries_logged(), logged_before + 1);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string log = buf.str();
+  EXPECT_NE(log.find("slow query: 5.000 ms"), std::string::npos) << log;
+  EXPECT_NE(log.find("000000000000f00d"), std::string::npos);
+  EXPECT_NE(log.find("plan:"), std::string::npos);
+  EXPECT_NE(log.find("sub_select [t]"), std::string::npos);
+  EXPECT_NE(log.find("spans:"), std::string::npos);
+  EXPECT_NE(log.find("counters:"), std::string::npos);
+  EXPECT_NE(log.find("pattern.tree_steps"), std::string::npos);
+
+  rec.set_slow_query_log_path(saved_path);
+  rec.set_slow_query_threshold_ns(saved_threshold);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, OccupancyGaugeTracksRetention) {
+  FlightRecorder& rec = FlightRecorder::Global();
+  rec.Clear();
+#ifndef AQUA_OBS_DISABLED
+  EXPECT_EQ(Registry::Global().Snap().GaugeValue("obs.recorder_occupancy"),
+            0);
+  rec.Record(MakeEvent(1));
+  rec.Record(MakeEvent(2));
+  EXPECT_EQ(Registry::Global().Snap().GaugeValue("obs.recorder_occupancy"),
+            2);
+#endif
+  rec.Clear();
+}
+
+}  // namespace
+}  // namespace aqua::obs

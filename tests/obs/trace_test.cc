@@ -78,6 +78,68 @@ TEST(TraceTest, TextReportIndentsChildren) {
   EXPECT_NE(report.find("[out=42]"), std::string::npos) << report;
 }
 
+TEST(TraceTest, SpliceKeepsMorselOrderWhenBuffersFinishOutOfOrder) {
+  // Two morsel buffers that *complete* in reverse order (buffer 1 closes its
+  // span before buffer 0, as a fast later morsel does under skew). The
+  // stitched tree must still list them in splice (= morsel) order, so the
+  // report is deterministic run to run.
+  Trace late;
+  late.set_enabled(true);
+  Trace early;
+  early.set_enabled(true);
+  {
+    Span slow(&late, "Morsel");  // opened first...
+    {
+      Span fast(&early, "Morsel");  // ...but `early` closes first
+      fast.AddAttr("begin", 10);
+    }
+    slow.AddAttr("begin", 0);
+  }
+
+  Trace query;
+  query.set_enabled(true);
+  {
+    Span fanout(&query, "FanOut");
+    query.Splice(late);   // morsel 0
+    query.Splice(early);  // morsel 1
+  }
+  ASSERT_EQ(query.size(), 3u);
+  const auto& spans = query.spans();
+  EXPECT_EQ(spans[0].name, "FanOut");
+  // Children appear in splice order under the fan-out span, regardless of
+  // which buffer's wall-clock interval came first.
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_EQ(spans[2].parent, 0u);
+  ASSERT_FALSE(spans[1].attrs.empty());
+  ASSERT_FALSE(spans[2].attrs.empty());
+  EXPECT_EQ(spans[1].attrs[0].second, 0);   // late buffer spliced first
+  EXPECT_EQ(spans[2].attrs[0].second, 10);  // early buffer second
+  // Rebasing preserves the true wall-clock relationship: the early span
+  // started after the late one even though it is listed second.
+  EXPECT_GE(spans[2].start_ns, spans[1].start_ns);
+}
+
+TEST(TraceTest, SpliceRebasesOntoEpochAndNestsUnderOpenSpan) {
+  Trace sub;
+  sub.set_enabled(true);
+  {
+    Span outer(&sub, "outer");
+    Span inner(&sub, "inner");
+  }
+  Trace query;
+  query.set_enabled(true);
+  {
+    Span root(&query, "root");
+    query.Splice(sub);
+  }
+  ASSERT_EQ(query.size(), 3u);
+  const auto& spans = query.spans();
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_EQ(spans[2].name, "inner");
+  EXPECT_EQ(spans[2].parent, 1u);  // sub-tree structure is preserved
+}
+
 TEST(TraceTest, ChromeJsonHasEventsAndEmbeddedCounters) {
   Trace trace;
   trace.set_enabled(true);

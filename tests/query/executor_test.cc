@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/digest.h"
+#include "obs/recorder.h"
 #include "query/builder.h"
 #include "test_util.h"
 
@@ -298,6 +304,72 @@ TEST_F(ExecutorTest, IndexedListSubSelectAttributesLayerCounters) {
   EXPECT_NE(json.find("\"IndexedListSubSelect\""), std::string::npos);
   EXPECT_NE(json.find("\"pattern.nfa_steps\""), std::string::npos);
   EXPECT_NE(json.find("\"index.probes\""), std::string::npos);
+}
+TEST_F(ExecutorTest, ExecutePopulatesDigestTableAndFlightRecorder) {
+  obs::DigestTable::Global().Reset();
+  obs::FlightRecorder::Global().Clear();
+  Executor exec(&db_);
+  auto plan = Q::TreeSubSelect(Q::ScanTree("t"), TP("b(d ?)"));
+  ASSERT_OK(exec.Execute(plan).status());
+  ASSERT_OK(exec.Execute(plan).status());
+
+  // The digest table accumulates both runs under one normalized fingerprint.
+  uint64_t fp = obs::FingerprintPlan(plan);
+  obs::DigestRow row = obs::DigestTable::Global().Row(fp);
+  EXPECT_EQ(row.calls, 2u);
+  EXPECT_GT(row.total_ns, 0u);
+  EXPECT_LE(row.min_ns, row.max_ns);
+  EXPECT_NE(row.text.find("TreeSubSelect"), std::string::npos) << row.text;
+
+  // The flight recorder retains one execute event per run, keyed by the
+  // same fingerprint, with the counter-delta highlights filled in.
+  std::vector<obs::FlightEvent> events = obs::FlightRecorder::Global().Dump();
+  ASSERT_EQ(events.size(), 2u);
+  for (const obs::FlightEvent& e : events) {
+    EXPECT_EQ(e.kind, static_cast<uint32_t>(obs::FlightEventKind::kExecute));
+    EXPECT_EQ(e.fingerprint, fp);
+    EXPECT_EQ(e.ok, 1u);
+    EXPECT_GT(e.wall_ns, 0u);
+    EXPECT_GT(e.tree_steps, 0u);
+  }
+
+  // A failing execute records ok=0.
+  EXPECT_FALSE(exec.Execute(Q::ScanTree("missing")).ok());
+  events = obs::FlightRecorder::Global().Dump();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events.back().ok, 0u);
+  obs::DigestTable::Global().Reset();
+  obs::FlightRecorder::Global().Clear();
+}
+
+TEST_F(ExecutorTest, SlowQueryThresholdAppendsToLog) {
+  obs::FlightRecorder& rec = obs::FlightRecorder::Global();
+  std::string path = ::testing::TempDir() + "/aqua_executor_slow.log";
+  std::remove(path.c_str());
+  std::string saved_path = rec.slow_query_log_path();
+  uint64_t saved_threshold = rec.slow_query_threshold_ns();
+  rec.set_slow_query_log_path(path);
+  rec.set_slow_query_threshold_ns(1);  // every query is "slow"
+
+  Executor exec(&db_);
+  exec.set_trace_enabled(true);
+  uint64_t before = rec.slow_queries_logged();
+  ASSERT_OK(exec.Execute(Q::TreeSubSelect(Q::ScanTree("t"), TP("b(d ?)")))
+                .status());
+  EXPECT_EQ(rec.slow_queries_logged(), before + 1);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string log = buf.str();
+  EXPECT_NE(log.find("slow query:"), std::string::npos) << log;
+  EXPECT_NE(log.find("TreeSubSelect"), std::string::npos);  // plan + spans
+  EXPECT_NE(log.find("exec.executes"), std::string::npos);  // counter delta
+
+  rec.set_slow_query_log_path(saved_path);
+  rec.set_slow_query_threshold_ns(saved_threshold);
+  std::remove(path.c_str());
 }
 #endif  // AQUA_OBS_DISABLED
 

@@ -8,11 +8,14 @@
 // Atoms in literals are interned as `Item` objects keyed by `name`; richer
 // schemas can be declared with `type` / `new` and queried with `{...}`
 // predicates. `help` lists everything.
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <unistd.h>
 #include <string>
+#include <vector>
 
 #include "aqua.h"
 #include "common/str_util.h"
@@ -89,6 +92,11 @@ class Shell {
     if (cmd == "\\trace") return CmdTrace(rest);
     if (cmd == "\\threads") return CmdThreads(rest);
     if (cmd == "\\lint") return CmdLint(rest);
+    if (cmd == "\\flight") return CmdFlight(rest);
+    if (cmd == "\\digests") return CmdDigests(rest);
+    if (cmd == "\\serve") return CmdServe(rest);
+    if (cmd == "\\slowlog") return CmdSlowLog(rest);
+    if (cmd == "\\profile") return CmdProfile(rest);
     return Status::InvalidArgument("unknown command '" + cmd +
                                    "' (try `help`)");
   }
@@ -124,6 +132,16 @@ class Shell {
         "carets\n"
         "  \\lint on|off                toggle the automatic warning banner "
         "(default on)\n"
+        "  \\flight [json|clear]        flight recorder: recent executes + "
+        "morsels\n"
+        "  \\digests [json|reset]       per-plan-shape digest table "
+        "(calls, p50/p95/p99)\n"
+        "  \\serve <port>|off           OpenMetrics scrape endpoint on "
+        "127.0.0.1\n"
+        "  \\slowlog <ms> [path]        slow-query log threshold (0 "
+        "disables)\n"
+        "  \\profile <n> <query>        run a subselect/split n times, "
+        "report quantiles\n"
         "  quit\n";
     return Status::OK();
   }
@@ -246,44 +264,25 @@ class Shell {
     return Status::OK();
   }
 
-  Status CmdSubSelect(const std::string& rest) {
+  /// Builds the subselect plan for "<coll> <pattern>" (list or tree).
+  Result<PlanRef> MakeSubSelectPlan(const std::string& rest) {
     auto [coll, pattern] = SplitFirst(rest);
     if (db().HasList(coll)) {
-      AQUA_ASSIGN_OR_RETURN(const List* list, db().GetList(coll));
       AQUA_ASSIGN_OR_RETURN(AnchoredListPattern lp,
                             ParseListPattern(pattern, PatternOpts()));
-      LintBanner(Q::ListSubSelect(Q::ScanList(coll), lp), pattern);
-      if (trace_on_) {
-        return RunTraced(Q::ListSubSelect(Q::ScanList(coll), lp));
-      }
-      AQUA_ASSIGN_OR_RETURN(Datum out,
-                            ListSubSelect(db().store(), *list, lp));
-      std::cout << out.ToString(Label()) << "\n";
-      return Status::OK();
+      return Q::ListSubSelect(Q::ScanList(coll), lp);
     }
-    AQUA_ASSIGN_OR_RETURN(const Tree* tree, db().GetTree(coll));
+    AQUA_RETURN_IF_ERROR(db().GetTree(coll).status());
     AQUA_ASSIGN_OR_RETURN(TreePatternRef tp,
                           ParseTreePattern(pattern, PatternOpts()));
-    LintBanner(Q::TreeSubSelect(Q::ScanTree(coll), tp), pattern);
-    if (trace_on_) {
-      return RunTraced(Q::TreeSubSelect(Q::ScanTree(coll), tp));
-    }
-    AQUA_ASSIGN_OR_RETURN(Datum out, TreeSubSelect(db().store(), *tree, tp));
-    std::cout << out.ToString(Label()) << "\n";
-    return Status::OK();
+    return Q::TreeSubSelect(Q::ScanTree(coll), tp);
   }
 
-  Status CmdSplit(const std::string& rest) {
+  /// Builds the split plan for "<coll> <pattern>" (list or tree), with the
+  /// standard <x, y, z> tuple combiner.
+  Result<PlanRef> MakeSplitPlan(const std::string& rest) {
     auto [coll, pattern] = SplitFirst(rest);
-    auto tuple3 = [](const Tree& x, const Tree& y,
-                     const std::vector<Tree>& z) -> Result<Datum> {
-      std::vector<Datum> zs;
-      for (const Tree& t : z) zs.push_back(Datum::Of(t));
-      return Datum::Tuple(
-          {Datum::Of(x), Datum::Of(y), Datum::Tuple(std::move(zs))});
-    };
     if (db().HasList(coll)) {
-      AQUA_ASSIGN_OR_RETURN(const List* list, db().GetList(coll));
       AQUA_ASSIGN_OR_RETURN(AnchoredListPattern lp,
                             ParseListPattern(pattern, PatternOpts()));
       auto ltuple3 = [](const List& x, const List& y,
@@ -293,26 +292,38 @@ class Shell {
         return Datum::Tuple(
             {Datum::Of(x), Datum::Of(y), Datum::Tuple(std::move(zs))});
       };
-      LintBanner(Q::ListSplit(Q::ScanList(coll), lp, ltuple3), pattern);
-      if (trace_on_) {
-        return RunTraced(Q::ListSplit(Q::ScanList(coll), lp, ltuple3));
-      }
-      AQUA_ASSIGN_OR_RETURN(Datum out,
-                            ListSplit(db().store(), *list, lp, ltuple3));
-      std::cout << out.ToString(Label()) << "\n";
-      return Status::OK();
+      return Q::ListSplit(Q::ScanList(coll), lp, ltuple3);
     }
-    AQUA_ASSIGN_OR_RETURN(const Tree* tree, db().GetTree(coll));
+    AQUA_RETURN_IF_ERROR(db().GetTree(coll).status());
     AQUA_ASSIGN_OR_RETURN(TreePatternRef tp,
                           ParseTreePattern(pattern, PatternOpts()));
-    LintBanner(Q::TreeSplit(Q::ScanTree(coll), tp, tuple3), pattern);
-    if (trace_on_) {
-      return RunTraced(Q::TreeSplit(Q::ScanTree(coll), tp, tuple3));
-    }
-    AQUA_ASSIGN_OR_RETURN(Datum out,
-                          TreeSplit(db().store(), *tree, tp, tuple3));
-    std::cout << out.ToString(Label()) << "\n";
-    return Status::OK();
+    auto tuple3 = [](const Tree& x, const Tree& y,
+                     const std::vector<Tree>& z) -> Result<Datum> {
+      std::vector<Datum> zs;
+      for (const Tree& t : z) zs.push_back(Datum::Of(t));
+      return Datum::Tuple(
+          {Datum::Of(x), Datum::Of(y), Datum::Tuple(std::move(zs))});
+    };
+    return Q::TreeSplit(Q::ScanTree(coll), tp, tuple3);
+  }
+
+  // subselect/split always run through the Executor (results are
+  // byte-identical to the direct algebra calls; see the determinism tests),
+  // so every shell query populates the digest table and flight recorder.
+  Status CmdSubSelect(const std::string& rest) {
+    auto [coll, pattern] = SplitFirst(rest);
+    (void)coll;
+    AQUA_ASSIGN_OR_RETURN(PlanRef plan, MakeSubSelectPlan(rest));
+    LintBanner(plan, pattern);
+    return RunPlan(plan);
+  }
+
+  Status CmdSplit(const std::string& rest) {
+    auto [coll, pattern] = SplitFirst(rest);
+    (void)coll;
+    AQUA_ASSIGN_OR_RETURN(PlanRef plan, MakeSplitPlan(rest));
+    LintBanner(plan, pattern);
+    return RunPlan(plan);
   }
 
   Status CmdAllAnc(const std::string& rest) {
@@ -493,15 +504,165 @@ class Shell {
     return Status::OK();
   }
 
-  /// Executes `plan` with span collection and prints the result followed
-  /// by the span-tree report and the counter deltas of this execution.
-  Status RunTraced(const PlanRef& plan) {
+  /// Executes `plan` through the pipeline and prints the result; with
+  /// `\trace on` the span-tree report and the counter deltas follow.
+  Status RunPlan(const PlanRef& plan) {
     Executor exec(&db());
     exec.set_threads(threads_);
-    exec.set_trace_enabled(true);
+    exec.set_trace_enabled(trace_on_);
     AQUA_ASSIGN_OR_RETURN(Datum out, exec.Execute(plan));
-    std::cout << out.ToString(Label()) << "\n"
-              << exec.TraceReport() << exec.last_counters().ToText();
+    std::cout << out.ToString(Label()) << "\n";
+    if (trace_on_) {
+      std::cout << exec.TraceReport() << exec.last_counters().ToText();
+    }
+    return Status::OK();
+  }
+
+  Status CmdFlight(const std::string& arg) {
+    obs::FlightRecorder& rec = obs::FlightRecorder::Global();
+    if (arg == "clear") {
+      rec.Clear();
+      std::cout << "flight recorder cleared\n";
+    } else if (arg == "json") {
+      std::cout << rec.ToJson() << "\n";
+    } else if (arg.empty()) {
+      std::cout << rec.ToText();
+    } else {
+      return Status::InvalidArgument("usage: \\flight [json|clear]");
+    }
+    return Status::OK();
+  }
+
+  Status CmdDigests(const std::string& arg) {
+    obs::DigestTable& table = obs::DigestTable::Global();
+    if (arg == "reset") {
+      table.Reset();
+      std::cout << "digest table reset\n";
+    } else if (arg == "json") {
+      std::cout << table.ToJson() << "\n";
+    } else if (arg.empty()) {
+      std::cout << table.ToText();
+    } else {
+      return Status::InvalidArgument("usage: \\digests [json|reset]");
+    }
+    return Status::OK();
+  }
+
+  Status CmdServe(const std::string& arg) {
+    if (arg == "off") {
+      if (!server_.running()) {
+        std::cout << "metrics server not running\n";
+        return Status::OK();
+      }
+      server_.Stop();
+      std::cout << "metrics server stopped\n";
+      return Status::OK();
+    }
+    if (arg.empty()) {
+      if (server_.running()) {
+        std::cout << "serving on http://127.0.0.1:" << server_.port()
+                  << "/metrics\n";
+        return Status::OK();
+      }
+      return Status::InvalidArgument("usage: \\serve <port>|off");
+    }
+    if (server_.running()) {
+      return Status::InvalidArgument(
+          "already serving on port " + std::to_string(server_.port()) +
+          " (`\\serve off` first)");
+    }
+    uint16_t port =
+        static_cast<uint16_t>(std::strtoul(arg.c_str(), nullptr, 10));
+    AQUA_RETURN_IF_ERROR(server_.Start(port));
+    std::cout << "serving on http://127.0.0.1:" << server_.port()
+              << "/metrics (also /digests /flight /healthz)\n";
+    return Status::OK();
+  }
+
+  Status CmdSlowLog(const std::string& rest) {
+    obs::FlightRecorder& rec = obs::FlightRecorder::Global();
+    if (rest.empty()) {
+      uint64_t ns = rec.slow_query_threshold_ns();
+      if (ns == 0) {
+        std::cout << "slow-query log off\n";
+      } else {
+        std::cout << "slow-query threshold " << static_cast<double>(ns) / 1e6
+                  << " ms -> " << rec.slow_query_log_path() << " ("
+                  << rec.slow_queries_logged() << " logged)\n";
+      }
+      return Status::OK();
+    }
+    auto [ms_str, path] = SplitFirst(rest);
+    char* end = nullptr;
+    double ms = std::strtod(ms_str.c_str(), &end);
+    if (end == ms_str.c_str() || ms < 0) {
+      return Status::InvalidArgument("usage: \\slowlog <ms> [path]");
+    }
+    rec.set_slow_query_threshold_ns(static_cast<uint64_t>(ms * 1e6));
+    if (!path.empty()) rec.set_slow_query_log_path(path);
+    if (ms == 0) {
+      std::cout << "slow-query log off\n";
+    } else {
+      std::cout << "logging queries >= " << ms << " ms to "
+                << rec.slow_query_log_path() << "\n";
+    }
+    return Status::OK();
+  }
+
+  Status CmdProfile(const std::string& rest) {
+    auto [n_str, query] = SplitFirst(rest);
+    size_t n = std::strtoull(n_str.c_str(), nullptr, 10);
+    if (n == 0 || query.empty()) {
+      return Status::InvalidArgument(
+          "usage: \\profile <n> <subselect|split query>");
+    }
+    auto [qcmd, qrest] = SplitFirst(query);
+    PlanRef plan;
+    if (qcmd == "subselect") {
+      AQUA_ASSIGN_OR_RETURN(plan, MakeSubSelectPlan(qrest));
+    } else if (qcmd == "split") {
+      AQUA_ASSIGN_OR_RETURN(plan, MakeSplitPlan(qrest));
+    } else {
+      return Status::InvalidArgument(
+          "\\profile runs `subselect` or `split` queries");
+    }
+    Executor exec(&db());
+    exec.set_threads(threads_);
+    std::vector<uint64_t> samples;
+    samples.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      obs::Span timer(nullptr, "");
+      AQUA_RETURN_IF_ERROR(exec.Execute(plan).status());
+      samples.push_back(timer.ElapsedNs());
+    }
+    std::sort(samples.begin(), samples.end());
+    auto quantile = [&](double q) {
+      size_t idx = static_cast<size_t>(q * static_cast<double>(n));
+      return samples[std::min(idx, n - 1)];
+    };
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "%zu runs: min %.3f  p50 %.3f  p95 %.3f  p99 %.3f  max "
+                  "%.3f ms\n",
+                  n, static_cast<double>(samples.front()) / 1e6,
+                  static_cast<double>(quantile(0.50)) / 1e6,
+                  static_cast<double>(quantile(0.95)) / 1e6,
+                  static_cast<double>(quantile(0.99)) / 1e6,
+                  static_cast<double>(samples.back()) / 1e6);
+    std::cout << buf;
+    uint64_t fp = obs::FingerprintPlan(plan);
+    obs::DigestRow row = obs::DigestTable::Global().Row(fp);
+    if (row.calls > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "digest %016llx: %llu calls, total %.3f ms, p50 %.3f  "
+                    "p95 %.3f  p99 %.3f ms\n",
+                    static_cast<unsigned long long>(fp),
+                    static_cast<unsigned long long>(row.calls),
+                    static_cast<double>(row.total_ns) / 1e6,
+                    row.p50_ns() / 1e6, row.p95_ns() / 1e6,
+                    row.p99_ns() / 1e6);
+      std::cout << buf;
+    }
     return Status::OK();
   }
 
@@ -529,6 +690,7 @@ class Shell {
   std::string label_attr_;
   bool trace_on_ = false;
   bool lint_banner_ = true;
+  obs::MetricsHttpServer server_;
 
  public:
   /// 0 = executor default (`AQUA_THREADS` or hardware concurrency).
