@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Cancellation storm under TSan: runs the CancellationStorm test — several
+# concurrent runaway (unmemoized Kleene closure) executions hammered by a
+# killer thread issuing `Kill` and by deadline expiries — with an 8-thread
+# fan-out, so the cancel/checkpoint/accounting paths are exercised across
+# pool workers. Clean output under `-fsanitize=thread` is the acceptance
+# bar for the lifecycle layer's thread-safety.
+#
+#   bash scripts/cancel_smoke.sh
+#   BUILD_DIR=build-tsan bash scripts/cancel_smoke.sh
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+TEST_BIN="$BUILD_DIR/tests/exec_cancel_test"
+
+if [ ! -x "$TEST_BIN" ]; then
+  echo "cancel smoke FAILED: $TEST_BIN not built" >&2
+  exit 1
+fi
+
+# The storm plus the per-thread-count kill-latency tests; 8 pool helpers so
+# morsel workers, the killer, and the watchdog sweep genuinely interleave.
+AQUA_THREADS=8 "$TEST_BIN" \
+  --gtest_filter='CancelTest.CancellationStorm:CancelTest.KillReturns*'
+
+echo "cancel smoke OK"

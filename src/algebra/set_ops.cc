@@ -120,15 +120,17 @@ OidBag BagDifference(const OidBag& a, const OidBag& b, const EqFn& eq) {
   OidBag out;
   std::vector<bool> used(b.size(), false);
   for (Oid e : a) {
-    bool cancelled = false;
+    // "eliminated", not "cancelled": this is bag-difference element
+    // elimination, unrelated to query cancellation.
+    bool eliminated = false;
     for (size_t i = 0; i < b.size(); ++i) {
       if (!used[i] && eq(e, b[i])) {
         used[i] = true;
-        cancelled = true;
+        eliminated = true;
         break;
       }
     }
-    if (!cancelled) out.push_back(e);
+    if (!eliminated) out.push_back(e);
   }
   return out;
 }

@@ -23,6 +23,12 @@ enum class StatusCode {
   kOutOfRange,
   kNotImplemented,
   kInternal,
+  /// The query was cancelled cooperatively (task-registry kill, memory
+  /// limit, or an explicit `QueryContext::Cancel`).
+  kCancelled,
+  /// The query ran past its deadline (`AQUA_QUERY_TIMEOUT_MS` or an
+  /// explicit per-executor timeout).
+  kDeadlineExceeded,
 };
 
 /// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
@@ -73,6 +79,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -93,6 +105,10 @@ class Status {
     return code() == StatusCode::kNotImplemented;
   }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// Renders "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -100,6 +100,10 @@ class FanOutOp : public PhysicalOp {
   Result<Datum> RunImpl(ExecContext& ctx) override {
     AQUA_ASSIGN_OR_RETURN(Datum input, RunChild(0, ctx));
     if (!input.is_set()) {
+      if (ctx.query != nullptr) {
+        AQUA_RETURN_IF_ERROR(ctx.query->CheckPoint());
+        ctx.query->AddRows(1);
+      }
       AQUA_RETURN_IF_ERROR(CheckItem(ctx, input, /*in_set=*/false));
       AQUA_ASSIGN_OR_RETURN(Datum r, RunOnItem(ctx, input, 0));
       if (spec_.single_passthrough) return r;
@@ -115,11 +119,16 @@ class FanOutOp : public PhysicalOp {
     opts.trace = ctx.trace;
     opts.morsels_run = &ctx.morsels_run;
     opts.morsel_max_ns = &ctx.morsel_max_ns;
+    opts.query = ctx.query;
     ThreadPool& pool =
         ctx.pool != nullptr ? *ctx.pool : ThreadPool::Shared();
     AQUA_RETURN_IF_ERROR(RunMorsels(
         pool, items.size(), opts, [&](const Morsel& m) -> Status {
           for (size_t i = m.begin; i < m.end; ++i) {
+            if (ctx.query != nullptr) {
+              AQUA_RETURN_IF_ERROR(ctx.query->CheckPoint());
+              ctx.query->AddRows(1);
+            }
             AQUA_RETURN_IF_ERROR(CheckItem(ctx, items[i], /*in_set=*/true));
             Result<Datum> r = RunOnItem(ctx, items[i], m.worker);
             Status st = r.status();

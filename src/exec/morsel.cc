@@ -41,6 +41,7 @@ struct FanState {
   std::vector<std::unique_ptr<obs::Trace>> buffers;  // one per morsel
   std::atomic<size_t>* morsels_run = nullptr;        // optional sinks
   std::atomic<uint64_t>* morsel_max_ns = nullptr;
+  obs::QueryContext* query = nullptr;
 
   std::atomic<size_t> next{0};        // claim cursor
   std::atomic<size_t> unfinished{0};  // claimed-but-unfinished + unclaimed
@@ -53,9 +54,19 @@ struct FanState {
 };
 
 void Drain(const std::shared_ptr<FanState>& state, size_t slot) {
+  // Helpers install the query context so matcher checkpoints (cancellation,
+  // deadline, memory) fire on pool threads too; slot 0 runs on the query
+  // thread where the executor's own Scope is already active, but installing
+  // again is a harmless no-op nest. Helper CPU is accounted here; the query
+  // thread's total (which covers its Drain share) is measured by the
+  // executor, so nothing is counted twice.
+  obs::QueryContext::Scope qscope(state->query);
+  uint64_t cpu0 = slot != 0 && state->query != nullptr
+                      ? obs::QueryContext::ThreadCpuNs()
+                      : 0;
   for (;;) {
     size_t m = state->next.fetch_add(1, std::memory_order_relaxed);
-    if (m >= state->ranges.size()) return;
+    if (m >= state->ranges.size()) break;
     if (m < state->err_morsel.load(std::memory_order_acquire)) {
       obs::Trace* buf = state->tracing ? state->buffers[m].get() : nullptr;
       Morsel morsel{m, state->ranges[m].first, state->ranges[m].second, slot,
@@ -106,10 +117,14 @@ void Drain(const std::shared_ptr<FanState>& state, size_t slot) {
         }
       }
     }
+    if (state->query != nullptr) state->query->AddMorselsDone(1);
     if (state->unfinished.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lock(state->mu);
       state->cv.notify_all();
     }
+  }
+  if (slot != 0 && state->query != nullptr) {
+    state->query->AddCpuNs(obs::QueryContext::ThreadCpuNs() - cpu0);
   }
 }
 
@@ -124,10 +139,12 @@ Status RunMorsels(ThreadPool& pool, size_t n, const FanOutOptions& opts,
   // Serial path: inline, in order, early exit — the pre-pipeline semantics
   // (`AQUA_THREADS=1`), byte-identical including the absence of morsel
   // spans and morsel metrics.
+  if (opts.query != nullptr) opts.query->AddMorselsTotal(ranges.size());
   if (opts.threads <= 1 || ranges.size() <= 1) {
     for (size_t m = 0; m < ranges.size(); ++m) {
       Morsel morsel{m, ranges[m].first, ranges[m].second, 0, nullptr};
       AQUA_RETURN_IF_ERROR(fn(morsel));
+      if (opts.query != nullptr) opts.query->AddMorselsDone(1);
     }
     return Status::OK();
   }
@@ -139,6 +156,7 @@ Status RunMorsels(ThreadPool& pool, size_t n, const FanOutOptions& opts,
   state->tracing = opts.trace != nullptr && opts.trace->enabled();
   state->morsels_run = opts.morsels_run;
   state->morsel_max_ns = opts.morsel_max_ns;
+  state->query = opts.query;
   state->unfinished.store(state->ranges.size(), std::memory_order_relaxed);
   if (state->tracing) {
     state->buffers.resize(state->ranges.size());

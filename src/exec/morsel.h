@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "exec/thread_pool.h"
+#include "obs/query_context.h"
 #include "obs/trace.h"
 
 namespace aqua::exec {
@@ -40,6 +41,12 @@ struct FanOutOptions {
   /// updates them — the serial path stays metric-free by design.
   std::atomic<size_t>* morsels_run = nullptr;
   std::atomic<uint64_t>* morsel_max_ns = nullptr;
+  /// Query lifecycle context (may be null). When set, both paths report
+  /// morsel progress (`AddMorselsTotal` / `AddMorselsDone`), every helper
+  /// installs it thread-locally for the matcher checkpoints, and helper
+  /// thread CPU is accounted to the query (the calling thread's CPU is
+  /// measured once, by the executor).
+  obs::QueryContext* query = nullptr;
 };
 
 /// Deterministic partition of `[0, n)` into contiguous morsels: aims for

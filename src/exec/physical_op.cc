@@ -24,6 +24,29 @@ size_t DatumCardinality(const Datum& d) {
 
 }  // namespace
 
+size_t ApproxDatumBytes(const Datum& d) {
+  // Per-node / per-element constants approximate the payload cell plus the
+  // containers' bookkeeping; exactness does not matter — the estimate only
+  // needs to scale with materialized data so peaks and limits are honest.
+  constexpr size_t kTreeNodeBytes = 48;   // payload + child vector slot
+  constexpr size_t kListElemBytes = 24;   // payload cell
+  constexpr size_t kDatumBytes = 64;      // Datum shell + shared_ptr blocks
+  switch (d.kind()) {
+    case Datum::Kind::kTree:
+      return kDatumBytes + d.tree().size() * kTreeNodeBytes;
+    case Datum::Kind::kList:
+      return kDatumBytes + d.list().size() * kListElemBytes;
+    case Datum::Kind::kSet:
+    case Datum::Kind::kTuple: {
+      size_t total = kDatumBytes;
+      for (const Datum& c : d.children()) total += ApproxDatumBytes(c);
+      return total;
+    }
+    default:
+      return kDatumBytes;
+  }
+}
+
 Status PhysicalOp::Prepare(ExecContext& ctx) {
   for (const PhysicalOpRef& child : children_) {
     AQUA_RETURN_IF_ERROR(child->Prepare(ctx));
@@ -36,17 +59,39 @@ Result<Datum> PhysicalOp::Run(ExecContext& ctx) {
                  plan_ == nullptr ? "(null)" : PlanOpToString(plan_->op));
   if (plan_ != nullptr) {
     ctx.operators_evaluated.fetch_add(1, std::memory_order_relaxed);
+    if (ctx.query != nullptr) {
+      ctx.query->set_current_op(PlanOpToString(plan_->op));
+    }
   }
+  uint64_t cpu0 =
+      ctx.query != nullptr ? obs::QueryContext::ThreadCpuNs() : 0;
   Result<Datum> result = RunImpl(ctx);
   uint64_t ns = span.ElapsedNs();
   AQUA_OBS_RECORD("exec.operator_ns", ns);
   if (plan_ != nullptr) {
     invocations_.fetch_add(1, std::memory_order_relaxed);
     total_ns_.fetch_add(ns, std::memory_order_relaxed);
+    if (ctx.query != nullptr) {
+      cpu_ns_.fetch_add(obs::QueryContext::ThreadCpuNs() - cpu0,
+                        std::memory_order_relaxed);
+    }
     if (result.ok()) {
       size_t out = DatumCardinality(*result);
       last_output_size_.store(out, std::memory_order_relaxed);
       span.AddAttr("out", static_cast<int64_t>(out));
+      if (ctx.query != nullptr) {
+        // Charge this op's materialized output and release the children's:
+        // their results were just consumed to produce ours, so the live
+        // estimate tracks the high-water of operator outputs in flight.
+        size_t bytes = ApproxDatumBytes(*result);
+        out_bytes_.store(bytes, std::memory_order_relaxed);
+        ctx.query->AddMem(static_cast<int64_t>(bytes));
+        for (const PhysicalOpRef& child : children_) {
+          uint64_t freed =
+              child->out_bytes_.exchange(0, std::memory_order_relaxed);
+          if (freed != 0) ctx.query->AddMem(-static_cast<int64_t>(freed));
+        }
+      }
     }
   }
   return result;

@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "bulk/datum.h"
 #include "exec/thread_pool.h"
+#include "obs/query_context.h"
 #include "obs/trace.h"
 #include "query/database.h"
 #include "query/plan.h"
@@ -31,6 +32,10 @@ struct ExecContext {
   /// 1 reproduces the serial interpreter exactly.
   size_t threads = 1;
   obs::Trace* trace = nullptr;
+  /// Lifecycle state of this Execute: cancellation/deadline checkpoints,
+  /// resource counters, live progress. Null only in unit tests that drive
+  /// ops directly; the executor always provides one.
+  obs::QueryContext* query = nullptr;
 
   std::atomic<size_t> operators_evaluated{0};
   std::atomic<size_t> trees_processed{0};
@@ -93,6 +98,16 @@ class PhysicalOp {
   size_t last_output_size() const {
     return last_output_size_.load(std::memory_order_relaxed);
   }
+  /// Query-thread CPU attributed to this op's `Run` (fan-out helper work
+  /// is accounted to the query total, not per-op).
+  double cpu_ms() const {
+    return static_cast<double>(cpu_ns_.load(std::memory_order_relaxed)) / 1e6;
+  }
+  /// Estimated bytes of the last output still charged to the query
+  /// (released when a parent op consumes it).
+  size_t out_bytes() const {
+    return out_bytes_.load(std::memory_order_relaxed);
+  }
 
  protected:
   virtual Result<Datum> RunImpl(ExecContext& ctx) = 0;
@@ -108,7 +123,14 @@ class PhysicalOp {
   std::atomic<size_t> invocations_{0};
   std::atomic<uint64_t> total_ns_{0};
   std::atomic<size_t> last_output_size_{0};
+  std::atomic<uint64_t> cpu_ns_{0};
+  std::atomic<uint64_t> out_bytes_{0};
 };
+
+/// Rough heap footprint of a datum (node/element payloads plus container
+/// overhead) — the arena-level estimate behind per-query memory
+/// accounting. O(size of the datum).
+size_t ApproxDatumBytes(const Datum& d);
 
 }  // namespace aqua::exec
 

@@ -39,6 +39,11 @@ size_t ThreadPool::workers() const {
   return threads_.size();
 }
 
+size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 void ThreadPool::EnsureWorkers(size_t n) {
   std::lock_guard<std::mutex> lock(mu_);
   while (threads_.size() < n) {

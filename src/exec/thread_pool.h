@@ -41,6 +41,11 @@ class ThreadPool {
   /// Helper threads currently running.
   size_t workers() const;
 
+  /// Tasks queued but not yet picked up by a worker. Cancellation tests
+  /// assert this drains to 0 — a cancelled fan-out must not leave orphan
+  /// tasks behind.
+  size_t pending() const;
+
   /// Grows the pool to at least `n` helper threads.
   void EnsureWorkers(size_t n);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "obs/json.h"
 
@@ -210,14 +211,60 @@ double EstimateQuantile(
   return last_upper;
 }
 
+namespace {
+
+size_t DefaultDigestCapacity() {
+  const char* env = std::getenv("AQUA_DIGEST_CAP");
+  if (env != nullptr && *env != '\0') {
+    long n = std::strtol(env, nullptr, 10);
+    if (n >= 1) return static_cast<size_t>(n);
+  }
+  return 4096;
+}
+
+}  // namespace
+
+DigestTable::DigestTable(size_t capacity) : capacity_(capacity) {}
+
 DigestTable& DigestTable::Global() {
   static DigestTable* instance = new DigestTable();  // leaked
   return *instance;
 }
 
-void DigestTable::Record(uint64_t fingerprint, std::string_view text,
-                         uint64_t wall_ns) {
+void DigestTable::EvictLocked(size_t cap) {
+  while (entries_.size() > cap) {
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.last_update_seq < victim->second.last_update_seq) {
+        victim = it;
+      }
+    }
+    entries_.erase(victim);
+  }
+}
+
+void DigestTable::set_capacity(size_t cap) {
   std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = cap;
+  EvictLocked(cap != 0 ? cap : DefaultDigestCapacity());
+}
+
+size_t DigestTable::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_ != 0 ? capacity_ : DefaultDigestCapacity();
+}
+
+void DigestTable::Record(uint64_t fingerprint, std::string_view text,
+                         uint64_t wall_ns, uint64_t mem_peak_bytes,
+                         StatusCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool is_new = entries_.find(fingerprint) == entries_.end();
+  if (is_new) {
+    // Make room *before* inserting so the new row can never be its own
+    // eviction victim.
+    size_t cap = capacity_ != 0 ? capacity_ : DefaultDigestCapacity();
+    if (cap >= 1 && entries_.size() >= cap) EvictLocked(cap - 1);
+  }
   Entry& e = entries_[fingerprint];
   if (e.calls == 0) {
     e.text = std::string(text);
@@ -229,6 +276,10 @@ void DigestTable::Record(uint64_t fingerprint, std::string_view text,
   }
   ++e.calls;
   e.total_ns += wall_ns;
+  e.peak_mem_bytes = std::max(e.peak_mem_bytes, mem_peak_bytes);
+  if (code == StatusCode::kCancelled) ++e.cancelled;
+  if (code == StatusCode::kDeadlineExceeded) ++e.deadline_exceeded;
+  e.last_update_seq = ++update_seq_;
   ++e.buckets[Histogram::BucketOf(wall_ns)];
 }
 
@@ -245,6 +296,9 @@ std::vector<DigestRow> DigestTable::Rows() const {
       r.total_ns = e.total_ns;
       r.min_ns = e.min_ns;
       r.max_ns = e.max_ns;
+      r.peak_mem_bytes = e.peak_mem_bytes;
+      r.cancelled = e.cancelled;
+      r.deadline_exceeded = e.deadline_exceeded;
       r.buckets = e.buckets;
       rows.push_back(std::move(r));
     }
@@ -269,6 +323,9 @@ DigestRow DigestTable::Row(uint64_t fingerprint) const {
   r.total_ns = e.total_ns;
   r.min_ns = e.min_ns;
   r.max_ns = e.max_ns;
+  r.peak_mem_bytes = e.peak_mem_bytes;
+  r.cancelled = e.cancelled;
+  r.deadline_exceeded = e.deadline_exceeded;
   r.buckets = e.buckets;
   return r;
 }
@@ -301,19 +358,22 @@ std::string DigestTable::ToText(size_t max_rows) const {
   std::vector<DigestRow> rows = Rows();
   std::string out =
       "fingerprint       calls    total_ms   mean_ms    p50_ms     p95_ms "
-      "    p99_ms     max_ms     plan\n";
+      "    p99_ms     max_ms     peak_kb    cxl   dl    plan\n";
   size_t n = std::min(rows.size(), max_rows);
   for (size_t i = 0; i < n; ++i) {
     const DigestRow& r = rows[i];
-    char buf[160];
+    char buf[224];
     std::snprintf(buf, sizeof(buf),
                   "%016llx  %-8llu %-10.3f %-10.3f %-10.3f %-10.3f %-10.3f "
-                  "%-10.3f ",
+                  "%-10.3f %-10llu %-5llu %-5llu ",
                   static_cast<unsigned long long>(r.fingerprint),
                   static_cast<unsigned long long>(r.calls),
                   static_cast<double>(r.total_ns) / 1e6, r.mean_ns() / 1e6,
                   r.p50_ns() / 1e6, r.p95_ns() / 1e6, r.p99_ns() / 1e6,
-                  static_cast<double>(r.max_ns) / 1e6);
+                  static_cast<double>(r.max_ns) / 1e6,
+                  static_cast<unsigned long long>(r.peak_mem_bytes / 1024),
+                  static_cast<unsigned long long>(r.cancelled),
+                  static_cast<unsigned long long>(r.deadline_exceeded));
     out += buf;
     out += FlattenText(r.text);
     out += '\n';
@@ -343,6 +403,9 @@ std::string DigestTable::ToJson(size_t max_rows) const {
     w.Key("total_ns").Uint(r.total_ns);
     w.Key("min_ns").Uint(r.min_ns);
     w.Key("max_ns").Uint(r.max_ns);
+    w.Key("peak_mem_bytes").Uint(r.peak_mem_bytes);
+    w.Key("cancelled").Uint(r.cancelled);
+    w.Key("deadline_exceeded").Uint(r.deadline_exceeded);
     w.Key("mean_ns").Double(r.mean_ns());
     w.Key("p50_ns").Double(r.p50_ns());
     w.Key("p95_ns").Double(r.p95_ns());

@@ -10,6 +10,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/status.h"
 #include "obs/metrics.h"
 #include "query/plan.h"
 
@@ -45,6 +46,11 @@ struct DigestRow {
   uint64_t total_ns = 0;
   uint64_t min_ns = 0;
   uint64_t max_ns = 0;
+  /// Largest per-query peak-memory estimate seen for this shape.
+  uint64_t peak_mem_bytes = 0;
+  /// Executions that ended kCancelled / kDeadlineExceeded.
+  uint64_t cancelled = 0;
+  uint64_t deadline_exceeded = 0;
   std::array<uint64_t, Histogram::kNumBuckets> buckets{};
 
   double mean_ns() const {
@@ -62,14 +68,26 @@ struct DigestRow {
 /// to AQUA plans). `Record` is one mutex acquisition plus a handful of
 /// integer updates — cheap next to any query — and is called by
 /// `Executor::Execute` on every run, so the table is always on.
+///
+/// The table is bounded: past `capacity()` distinct shapes (default 4096,
+/// override via `AQUA_DIGEST_CAP` or `set_capacity`) recording a *new*
+/// fingerprint evicts the least-recently-updated row, so a workload that
+/// generates unbounded plan shapes cannot grow the table without limit.
 class DigestTable {
  public:
+  /// A standalone table (tests); `capacity` 0 means the default policy
+  /// (`AQUA_DIGEST_CAP` when set and positive, else 4096).
+  explicit DigestTable(size_t capacity = 0);
+
   static DigestTable& Global();
 
   /// Accumulates one execution of the plan shape `fingerprint` (whose
   /// normalized rendering is `text` — stored on first sight) that took
-  /// `wall_ns`.
-  void Record(uint64_t fingerprint, std::string_view text, uint64_t wall_ns);
+  /// `wall_ns`, peaked at `mem_peak_bytes` of estimated live data, and
+  /// finished with `code` (kCancelled / kDeadlineExceeded bump the
+  /// corresponding outcome counters).
+  void Record(uint64_t fingerprint, std::string_view text, uint64_t wall_ns,
+              uint64_t mem_peak_bytes = 0, StatusCode code = StatusCode::kOk);
 
   /// Copies the table out, sorted by total time descending.
   std::vector<DigestRow> Rows() const;
@@ -85,6 +103,12 @@ class DigestTable {
   void Reset();
   size_t size() const;
 
+  /// Changes the row cap, evicting least-recently-updated rows immediately
+  /// if the table is already over the new cap. `cap` 0 restores the
+  /// default policy.
+  void set_capacity(size_t cap);
+  size_t capacity() const;
+
  private:
   struct Entry {
     std::string text;
@@ -92,13 +116,22 @@ class DigestTable {
     uint64_t total_ns = 0;
     uint64_t min_ns = 0;
     uint64_t max_ns = 0;
+    uint64_t peak_mem_bytes = 0;
+    uint64_t cancelled = 0;
+    uint64_t deadline_exceeded = 0;
+    /// `update_seq_` at the last Record — the eviction recency key.
+    uint64_t last_update_seq = 0;
     std::array<uint64_t, Histogram::kNumBuckets> buckets{};
   };
 
-  DigestTable() = default;
+  /// Drops least-recently-updated entries until `entries_.size() <= cap`.
+  /// Caller holds `mu_`.
+  void EvictLocked(size_t cap);
 
   mutable std::mutex mu_;
   std::map<uint64_t, Entry> entries_;
+  size_t capacity_ = 0;
+  uint64_t update_seq_ = 0;
 };
 
 }  // namespace aqua::obs

@@ -15,6 +15,8 @@
 #include <map>
 #include <vector>
 
+#include "obs/tasks.h"
+
 namespace aqua::obs {
 
 namespace {
@@ -292,6 +294,23 @@ Status CheckOpenMetrics(std::string_view text) {
   return Status::OK();
 }
 
+Status ParseHttpRequestPath(std::string_view req, std::string* path) {
+  size_t line_end = req.find("\r\n");
+  if (line_end == std::string_view::npos) {
+    return Status::InvalidArgument("truncated request line");
+  }
+  std::string_view line = req.substr(0, line_end);
+  if (line.rfind("GET ", 0) != 0) {
+    return Status::InvalidArgument("only GET is supported");
+  }
+  size_t sp = line.find(' ', 4);
+  if (sp == std::string_view::npos || sp == 4) {
+    return Status::InvalidArgument("request line missing HTTP version");
+  }
+  *path = std::string(line.substr(4, sp - 4));
+  return Status::OK();
+}
+
 Status MetricsHttpServer::Start(uint16_t port) {
   if (running()) return Status::InvalidArgument("server already running");
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -360,12 +379,20 @@ void MetricsHttpServer::AcceptLoop() {
       if (n <= 0) break;
       req.append(buf, static_cast<size_t>(n));
     }
-    std::string path = "/";
-    if (req.rfind("GET ", 0) == 0) {
-      size_t sp = req.find(' ', 4);
-      if (sp != std::string::npos) path = req.substr(4, sp - 4);
+    // A short/partial read (client died mid-request, or sent garbage) must
+    // not be mistaken for `GET /`: parse strictly and answer 400.
+    std::string path;
+    std::string response;
+    if (ParseHttpRequestPath(req, &path).ok()) {
+      response = Respond(path);
+    } else {
+      std::string body = "bad request\n";
+      response =
+          "HTTP/1.1 400 Bad Request\r\nContent-Type: text/plain; "
+          "charset=utf-8\r\nContent-Length: " +
+          std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" +
+          body;
     }
-    std::string response = Respond(path);
     size_t off = 0;
     while (off < response.size()) {
       ssize_t n = ::send(fd, response.data() + off, response.size() - off,
@@ -392,6 +419,9 @@ std::string MetricsHttpServer::Respond(const std::string& path) const {
     content_type = "application/json";
   } else if (path == "/flight") {
     body = FlightRecorder::Global().ToJson();
+    content_type = "application/json";
+  } else if (path == "/tasks") {
+    body = TaskRegistry::Global().ToJson();
     content_type = "application/json";
   } else if (path == "/healthz" || path == "/") {
     body = "ok\n";

@@ -40,12 +40,23 @@ std::string ToOpenMetrics(const Snapshot& snap,
 /// `# EOF`. Used by tests and by `aqua_metricsd --check`.
 Status CheckOpenMetrics(std::string_view text);
 
+/// Parses the request-target out of an HTTP request head: the request line
+/// must start with `GET `, the path must be followed by a space (the
+/// HTTP-version field), and the line must be `\r\n`-terminated within
+/// `req`. Anything else — a truncated line from a client that died
+/// mid-send, a garbage greeting, a bare `GET` — is InvalidArgument, which
+/// the server answers with 400 rather than misreading it as `/`.
+Status ParseHttpRequestPath(std::string_view req, std::string* path);
+
 /// Minimal embedded HTTP/1.1 listener serving the observability surface:
 ///
 ///   GET /metrics  — OpenMetrics exposition of the registry + digest table
 ///   GET /digests  — digest table as JSON
 ///   GET /flight   — flight-recorder dump as JSON
+///   GET /tasks    — live task table (in-flight queries) as JSON
 ///   GET /healthz  — "ok"
+///
+/// Unknown paths get 404; malformed or truncated request lines get 400.
 ///
 /// One background thread accepts loopback connections and serves one
 /// request per connection (Prometheus' scrape pattern). All served data

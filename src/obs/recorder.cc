@@ -129,14 +129,15 @@ std::string FlightRecorder::ToText(size_t max_events) const {
   size_t start = events.size() > max_events ? events.size() - max_events : 0;
   std::string out =
       "seq        t_ms      kind     wall_ms   fingerprint       thr mrsl "
-      "max_mrsl_ms tree_steps list_steps probes nodes\n";
+      "max_mrsl_ms tree_steps list_steps probes nodes      qid    cpu_ms   "
+      "peak_kb  code\n";
   for (size_t i = start; i < events.size(); ++i) {
     const FlightEvent& e = events[i];
-    char buf[192];
+    char buf[256];
     std::snprintf(
         buf, sizeof(buf),
         "%-10llu %-9.1f %-8s %-9.3f %016llx  %-3u %-4u %-11.3f %-10llu "
-        "%-10llu %-6llu %llu\n",
+        "%-10llu %-6llu %-9llu %-6llu %-8.1f %-8llu %u\n",
         static_cast<unsigned long long>(e.seq),
         static_cast<double>(e.t_ns) / 1e6, KindName(e.kind),
         static_cast<double>(e.wall_ns) / 1e6,
@@ -145,7 +146,10 @@ std::string FlightRecorder::ToText(size_t max_events) const {
         static_cast<unsigned long long>(e.tree_steps),
         static_cast<unsigned long long>(e.list_steps),
         static_cast<unsigned long long>(e.index_probes),
-        static_cast<unsigned long long>(e.nodes_visited));
+        static_cast<unsigned long long>(e.nodes_visited),
+        static_cast<unsigned long long>(e.query_id),
+        static_cast<double>(e.cpu_ns) / 1e6,
+        static_cast<unsigned long long>(e.mem_peak / 1024), e.code);
     out += buf;
   }
   if (events.empty()) out += "(no events recorded)\n";
@@ -178,6 +182,10 @@ std::string FlightRecorder::ToJson(size_t max_events) const {
     w.Key("list_steps").Uint(e.list_steps);
     w.Key("index_probes").Uint(e.index_probes);
     w.Key("nodes_visited").Uint(e.nodes_visited);
+    w.Key("query_id").Uint(e.query_id);
+    w.Key("cpu_ns").Uint(e.cpu_ns);
+    w.Key("mem_peak").Uint(e.mem_peak);
+    w.Key("code").Uint(e.code);
     w.EndObject();
   }
   w.EndArray();

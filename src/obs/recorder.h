@@ -40,6 +40,12 @@ struct FlightEvent {
   uint64_t list_steps = 0;
   uint64_t index_probes = 0;
   uint64_t nodes_visited = 0;
+  // Lifecycle fields of the execute (zero for morsel events).
+  uint64_t query_id = 0;     ///< QueryContext id
+  uint64_t cpu_ns = 0;       ///< CPU across the query thread + helpers
+  uint64_t mem_peak = 0;     ///< peak estimated live bytes
+  uint32_t code = 0;         ///< StatusCode the execute finished with
+  uint32_t reserved = 0;     ///< padding; keeps the struct word-aligned
 };
 static_assert(sizeof(FlightEvent) % sizeof(uint64_t) == 0,
               "FlightEvent must be publishable as whole words");

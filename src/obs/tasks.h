@@ -1,0 +1,121 @@
+#ifndef AQUA_OBS_TASKS_H_
+#define AQUA_OBS_TASKS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/query_context.h"
+
+namespace aqua::obs {
+
+/// Point-in-time copy of one in-flight execution, as read out of the task
+/// registry (`\tasks` in the shell, `/tasks` in aqua_metricsd).
+struct TaskRow {
+  uint64_t id = 0;
+  uint64_t fingerprint = 0;
+  std::string plan;  ///< one-line normalized plan
+  uint64_t elapsed_ns = 0;
+  uint64_t deadline_in_ns = 0;  ///< ns until the deadline; 0 = unarmed
+  bool cancel_requested = false;
+  uint32_t threads = 1;
+  const char* current_op = nullptr;  ///< static string or null
+  size_t morsels_done = 0;
+  size_t morsels_total = 0;
+  uint64_t cpu_ns = 0;
+  uint64_t mem_bytes = 0;
+  uint64_t mem_peak_bytes = 0;
+  uint64_t rows = 0;
+  uint64_t nodes = 0;
+};
+
+#ifndef AQUA_OBS_DISABLED
+
+/// Process-wide registry of in-flight `Executor::Execute` calls, keyed by
+/// query id. Registration brackets the execution (the executor holds a
+/// `Guard` on its stack), so every entry's `QueryContext` is alive for as
+/// long as it is visible here — `Kill` and the watchdog only ever touch
+/// live contexts, under the registry lock.
+///
+/// Publishes the `tasks.active` gauge (`aqua_tasks_active` in OpenMetrics).
+class TaskRegistry {
+ public:
+  static TaskRegistry& Global();
+
+  void Register(QueryContext* q);
+  void Unregister(QueryContext* q);
+
+  /// RAII registration for the executor's stack.
+  class Guard {
+   public:
+    explicit Guard(QueryContext* q) : q_(q) { Global().Register(q_); }
+    ~Guard() { Global().Unregister(q_); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    QueryContext* q_;
+  };
+
+  /// Copies the live table out, ordered by query id (start order).
+  std::vector<TaskRow> Snapshot() const;
+
+  /// Requests cooperative cancellation of query `id`; `NotFound` when no
+  /// such query is in flight.
+  Status Kill(uint64_t id, std::string_view reason = "was killed");
+
+  /// Watchdog sweep: cancels every task past its deadline or over its
+  /// memory limit. Returns how many tasks this call newly cancelled.
+  /// Belt-and-braces next to the workers' own checkpoints — a daemon can
+  /// run this on a timer so limits hold even for a wedged worker's peers.
+  size_t EnforceLimits();
+
+  size_t active() const;
+
+  /// Aligned table: id, elapsed, cpu, mem, progress, op, plan.
+  std::string ToText() const;
+  /// `{"tasks":[{...}...]}`, ordered by query id.
+  std::string ToJson() const;
+
+ private:
+  TaskRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, QueryContext*> tasks_;
+};
+
+#else  // AQUA_OBS_DISABLED
+
+/// Compiled-out stub: nothing registers, kills report NotFound.
+class TaskRegistry {
+ public:
+  static TaskRegistry& Global() {
+    static TaskRegistry instance;
+    return instance;
+  }
+  void Register(QueryContext*) {}
+  void Unregister(QueryContext*) {}
+  class Guard {
+   public:
+    explicit Guard(QueryContext*) {}
+  };
+  std::vector<TaskRow> Snapshot() const { return {}; }
+  Status Kill(uint64_t id, std::string_view = "was killed") {
+    return Status::NotFound("no in-flight query " + std::to_string(id) +
+                            " (observability compiled out)");
+  }
+  size_t EnforceLimits() { return 0; }
+  size_t active() const { return 0; }
+  std::string ToText() const { return "(no tasks: observability compiled out)\n"; }
+  std::string ToJson() const { return "{\"tasks\":[]}"; }
+};
+
+#endif  // AQUA_OBS_DISABLED
+
+}  // namespace aqua::obs
+
+#endif  // AQUA_OBS_TASKS_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "obs/query_context.h"
 #include "pattern/regex_engine.h"
 
 namespace aqua {
@@ -71,11 +72,19 @@ Result<std::vector<ListMatch>> ListMatcher::FindAllAtBegins(
   std::vector<size_t> prune_stack;
   bool hit_limit = false;
   bool over_budget = false;
+  obs::QueryContext* query = obs::QueryContext::Current();
+  Status cancel = Status::OK();
 
   auto atom = [&](const ListPattern& p, size_t pos, bool pruned,
                   const RegexCont& cont) {
-    if (hit_limit || over_budget) return;
+    if (hit_limit || over_budget || !cancel.ok()) return;
     ++steps_;
+    if (query != nullptr &&
+        (steps_ & (obs::QueryContext::kCheckStride - 1)) == 0) {
+      query->AddNodes(obs::QueryContext::kCheckStride);
+      cancel = query->CheckPoint();
+      if (!cancel.ok()) return;
+    }
     if (opts.max_steps > 0 && steps_ > opts.max_steps) {
       over_budget = true;
       return;
@@ -115,7 +124,7 @@ Result<std::vector<ListMatch>> ListMatcher::FindAllAtBegins(
   RegexEngine<decltype(atom)> engine(atom);
 
   for (size_t begin : begins) {
-    if (hit_limit || over_budget) break;
+    if (hit_limit || over_budget || !cancel.ok()) break;
     if (begin > list_.size()) {
       return Status::OutOfRange("begin position beyond list end");
     }
@@ -138,6 +147,7 @@ Result<std::vector<ListMatch>> ListMatcher::FindAllAtBegins(
                });
   }
 
+  if (!cancel.ok()) return cancel;
   if (over_budget) {
     return Status::InvalidArgument(
         "list match exceeded the step budget of " +

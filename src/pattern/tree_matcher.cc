@@ -23,11 +23,52 @@ struct TreeMatchFlush {
   }
 };
 
+/// Releases the scratch bytes a matcher call charged to its query on every
+/// exit path, so a cancelled match does not leave a phantom allocation in
+/// the query's live-bytes estimate.
+struct ScratchRelease {
+  obs::QueryContext** query;
+  size_t* charged;
+  ~ScratchRelease() {
+    if (*query != nullptr && *charged > 0) {
+      (*query)->AddMem(-static_cast<int64_t>(*charged));
+    }
+    *charged = 0;
+  }
+};
+
 }  // namespace
 
 TreeMatcher::TreeMatcher(const ObjectStore& store, const Tree& tree,
                          TreeMatchOptions opts)
     : store_(store), tree_(tree), opts_(opts) {}
+
+size_t TreeMatcher::ScratchBytes() const {
+  // Rough per-entry footprints (key + value + hash/map overhead); only the
+  // *scaling* matters — these structures are what a footnote-3 exponential
+  // without memoization actually grows.
+  return memo_.size() * 56 + env_arena_.size() * sizeof(PointEnv) +
+         env_intern_.size() * 64 +
+         matched_stack_.capacity() * sizeof(NodeId) +
+         cut_stack_.capacity() * sizeof(TreeCut);
+}
+
+void TreeMatcher::LifecycleCheck() {
+  if (query_ == nullptr ||
+      (steps_ & (obs::QueryContext::kCheckStride - 1)) != 0) {
+    return;
+  }
+  size_t est = ScratchBytes();
+  if (est > mem_charged_) {
+    query_->AddMem(static_cast<int64_t>(est - mem_charged_));
+    mem_charged_ = est;
+  }
+  query_->AddNodes(obs::QueryContext::kCheckStride);
+  if (error_.ok()) {
+    Status st = query_->CheckPoint();
+    if (!st.ok()) error_ = std::move(st);
+  }
+}
 
 const TreeMatcher::PointEnv* TreeMatcher::Bind(const std::string& label,
                                                const TreePattern* pattern,
@@ -88,6 +129,8 @@ void TreeMatcher::MatchAtImpl(const TreePattern* tp, const PointEnv* env,
                               NodeId v, bool leaf_strict, const Cont& cont) {
   if (!error_.ok() || (in_bool_mode_ && bool_mode_found_)) return;
   ++steps_;
+  LifecycleCheck();
+  if (!error_.ok()) return;
   ++depth_;
   if (!CheckDepth()) {
     --depth_;
@@ -195,6 +238,8 @@ void TreeMatcher::MatchAtomPattern(const TreePattern* tp, const PointEnv* env,
                                    bool leaf_strict, const PosCont& cont) {
   if (!error_.ok() || (in_bool_mode_ && bool_mode_found_)) return;
   ++steps_;
+  LifecycleCheck();
+  if (!error_.ok()) return;
   ++depth_;
   if (!CheckDepth()) {
     --depth_;
@@ -315,6 +360,8 @@ void TreeMatcher::MatchChildren(const ListPattern* lp, const PointEnv* env,
                   const RegexCont& rcont) {
     if (!error_.ok() || (in_bool_mode_ && bool_mode_found_)) return;
     ++steps_;
+    LifecycleCheck();
+    if (!error_.ok()) return;
     const auto& kids = tree_.children(parent);
     NodeId child = apos < kids.size() ? kids[apos] : kInvalidNode;
     switch (p.kind()) {
@@ -440,7 +487,10 @@ Result<std::vector<TreeMatch>> TreeMatcher::FindAllAtRoots(
   error_ = Status::OK();
   in_bool_mode_ = false;
   bool_mode_found_ = false;
+  query_ = obs::QueryContext::Current();
+  mem_charged_ = 0;
   TreeMatchFlush flush(&steps_, &memo_hits_);
+  ScratchRelease scratch{&query_, &mem_charged_};
 
   std::vector<TreeMatch> out;
   bool stop = false;
@@ -502,7 +552,10 @@ Result<bool> TreeMatcher::MatchesAt(const TreePatternRef& tp, NodeId v) {
   memo_hits_ = 0;
   depth_ = 0;
   error_ = Status::OK();
+  query_ = obs::QueryContext::Current();
+  mem_charged_ = 0;
   TreeMatchFlush flush(&steps_, &memo_hits_);
+  ScratchRelease scratch{&query_, &mem_charged_};
   bool result = ExistsAt(tp.get(), nullptr, v, /*leaf_strict=*/false);
   if (!error_.ok()) return error_;
   return result;
@@ -519,7 +572,10 @@ Result<bool> TreeMatcher::MatchesAnywhere(const TreePatternRef& tp) {
   memo_hits_ = 0;
   depth_ = 0;
   error_ = Status::OK();
+  query_ = obs::QueryContext::Current();
+  mem_charged_ = 0;
   TreeMatchFlush flush(&steps_, &memo_hits_);
+  ScratchRelease scratch{&query_, &mem_charged_};
   for (NodeId v : tree_.Preorder()) {
     if (ExistsAt(tp.get(), nullptr, v, /*leaf_strict=*/false)) return true;
     if (!error_.ok()) return error_;

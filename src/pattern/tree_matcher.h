@@ -10,6 +10,7 @@
 
 #include "common/result.h"
 #include "object/object_store.h"
+#include "obs/query_context.h"
 #include "bulk/tree.h"
 #include "pattern/tree_pattern.h"
 
@@ -148,6 +149,17 @@ class TreeMatcher {
 
   bool CheckDepth();
 
+  /// Cooperative lifecycle probe, called once per `kCheckStride` steps:
+  /// charges scratch-memory growth to the query, counts visited nodes, and
+  /// turns a pending cancellation / expired deadline / blown memory budget
+  /// into `error_`, unwinding the whole match. No-op outside a query.
+  void LifecycleCheck();
+
+  /// Estimated bytes of matcher scratch state (memo table, environment
+  /// arena, derivation stacks) — what an unmemoized closure explosion
+  /// actually grows.
+  size_t ScratchBytes() const;
+
   const ObjectStore& store_;
   const Tree& tree_;
   TreeMatchOptions opts_;
@@ -173,6 +185,11 @@ class TreeMatcher {
   size_t depth_ = 0;
   size_t steps_ = 0;
   size_t memo_hits_ = 0;
+  /// Captured from `obs::QueryContext::Current()` per entry point; null
+  /// outside a query (and always in AQUA_OBS_DISABLED builds).
+  obs::QueryContext* query_ = nullptr;
+  /// Scratch bytes already charged to `query_` (released on exit).
+  size_t mem_charged_ = 0;
   bool bool_mode_found_ = false;
   bool in_bool_mode_ = false;
   bool touched_in_progress_ = false;

@@ -3,7 +3,9 @@
 #include <cstdio>
 
 #include "obs/digest.h"
+#include "obs/query_context.h"
 #include "obs/recorder.h"
+#include "obs/tasks.h"
 
 namespace aqua {
 
@@ -14,6 +16,30 @@ Result<Datum> Executor::Execute(const PlanRef& plan) {
   obs::Snapshot before = obs::Registry::Global().Snap();
   AQUA_OBS_COUNT("exec.executes", 1);
 
+  // Lifecycle context for this call: limits armed from the executor
+  // overrides or the env defaults, descriptor filled before registration
+  // so the task table shows what is running from the first snapshot.
+  obs::QueryContext qctx;
+  qctx.set_threads(static_cast<uint32_t>(threads()));
+  uint64_t timeout_ns = timeout_ms_ != 0 ? timeout_ms_ * 1000000ull
+                                         : obs::DefaultQueryTimeoutNs();
+  if (timeout_ns != 0) qctx.set_deadline_after_ns(timeout_ns);
+  uint64_t mem_limit = mem_limit_bytes_ != 0
+                           ? mem_limit_bytes_
+                           : obs::DefaultQueryMemLimitBytes();
+  if (mem_limit != 0) qctx.set_mem_limit_bytes(mem_limit);
+
+#ifndef AQUA_OBS_DISABLED
+  std::string normalized;
+  uint64_t fingerprint = 0;
+  if (obs::Registry::enabled()) {
+    normalized = obs::NormalizePlan(plan);
+    fingerprint = obs::Fnv1a(normalized);
+    qctx.set_fingerprint(fingerprint);
+    qctx.set_plan_text(normalized);
+  }
+#endif
+
   // Compile fresh per call: the physical ops carry this call's per-op
   // measurement atomics, so stats are per-Execute by construction.
   exec::PhysicalOpRef root = exec::Compile(plan);
@@ -22,12 +48,27 @@ Result<Datum> Executor::Execute(const PlanRef& plan) {
   ctx.pool = &exec::ThreadPool::Shared();
   ctx.threads = threads();
   ctx.trace = &trace_;
+  ctx.query = &qctx;
 
   obs::Span wall(nullptr, "");  // pure scoped timer for the whole Execute
   Result<Datum> result = [&]() -> Result<Datum> {
+    // Installed thread-locally for the matcher checkpoints and registered
+    // in the live task table for exactly the duration of the run; the
+    // query thread's CPU (its morsel share included) is measured here
+    // once, helpers account for their own in the morsel scheduler.
+    obs::QueryContext::Scope scope(&qctx);
+    obs::TaskRegistry::Guard task(&qctx);
+    uint64_t cpu0 = obs::QueryContext::ThreadCpuNs();
     obs::Span root_span(&trace_, "Execute");
-    AQUA_RETURN_IF_ERROR(root->Prepare(ctx));
-    return root->Run(ctx);
+    Result<Datum> r = [&]() -> Result<Datum> {
+      AQUA_RETURN_IF_ERROR(root->Prepare(ctx));
+      return root->Run(ctx);
+    }();
+    qctx.AddCpuNs(obs::QueryContext::ThreadCpuNs() - cpu0);
+    // A cancelled fan-out can surface any status its morsels produced;
+    // report the cancellation itself, which is what the caller asked for.
+    if (!r.ok() && qctx.cancel_requested()) return qctx.CancelStatus();
+    return r;
   }();
   uint64_t wall_ns = wall.ElapsedNs();
 
@@ -38,6 +79,9 @@ Result<Datum> Executor::Execute(const PlanRef& plan) {
   stats_.index_probes = ctx.index_probes.load(std::memory_order_relaxed);
   stats_.index_candidates =
       ctx.index_candidates.load(std::memory_order_relaxed);
+  stats_.query_id = qctx.id();
+  stats_.cpu_ns = qctx.cpu_ns();
+  stats_.mem_peak_bytes = qctx.mem_peak_bytes();
   CollectOpStats(root);
 
   // Mirror this execution's ExecStats into the registry before the after
@@ -50,10 +94,11 @@ Result<Datum> Executor::Execute(const PlanRef& plan) {
 
 #ifndef AQUA_OBS_DISABLED
   if (obs::Registry::enabled()) {
-    // Digest table: accumulate under the normalized-plan fingerprint.
-    std::string normalized = obs::NormalizePlan(plan);
-    uint64_t fingerprint = obs::Fnv1a(normalized);
-    obs::DigestTable::Global().Record(fingerprint, normalized, wall_ns);
+    // Digest table: accumulate under the normalized-plan fingerprint
+    // (computed before the run for the task table).
+    obs::DigestTable::Global().Record(fingerprint, normalized, wall_ns,
+                                      qctx.mem_peak_bytes(),
+                                      result.status().code());
 
     // Flight recorder: one structured event per Execute, with the
     // counter-delta highlights and the parallel-path shape.
@@ -71,6 +116,10 @@ Result<Datum> Executor::Execute(const PlanRef& plan) {
     ev.index_probes = last_counters_.CounterValue("index.probes");
     ev.nodes_visited =
         last_counters_.CounterValue("algebra.structural_nodes_visited");
+    ev.query_id = qctx.id();
+    ev.cpu_ns = qctx.cpu_ns();
+    ev.mem_peak = qctx.mem_peak_bytes();
+    ev.code = static_cast<uint32_t>(result.status().code());
     obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
     recorder.Record(ev);
 
@@ -95,6 +144,8 @@ void Executor::CollectOpStats(const exec::PhysicalOpRef& op) {
     os.invocations += op->invocations();
     os.total_ms += op->total_ms();
     os.last_output_size = op->last_output_size();
+    os.cpu_ms += op->cpu_ms();
+    os.out_bytes += op->out_bytes();
   }
   for (const exec::PhysicalOpRef& child : op->children()) {
     CollectOpStats(child);
@@ -114,11 +165,13 @@ void RenderAnalyzed(const PlanRef& node,
   *out += DescribeNode(*node);
   auto it = stats.find(node.get());
   if (it != stats.end()) {
-    char buf[96];
-    std::snprintf(buf, sizeof(buf), "  (%zu call%s, %.3f ms, out=%zu)",
+    char buf[144];
+    std::snprintf(buf, sizeof(buf),
+                  "  (%zu call%s, %.3f ms, out=%zu, cpu=%.3f ms, bytes~%zu)",
                   it->second.invocations,
                   it->second.invocations == 1 ? "" : "s",
-                  it->second.total_ms, it->second.last_output_size);
+                  it->second.total_ms, it->second.last_output_size,
+                  it->second.cpu_ms, it->second.out_bytes);
     *out += buf;
   } else {
     *out += "  (not executed)";

@@ -22,6 +22,12 @@ struct ExecStats {
   size_t lists_processed = 0;
   size_t index_probes = 0;
   size_t index_candidates = 0;
+  /// Lifecycle accounting (0 when observability is compiled out): the
+  /// process-unique query id, total CPU across the query thread and every
+  /// fan-out helper, and the peak of the estimated live bytes.
+  uint64_t query_id = 0;
+  uint64_t cpu_ns = 0;
+  uint64_t mem_peak_bytes = 0;
 };
 
 /// Per-operator measurements collected during `Execute`.
@@ -31,6 +37,11 @@ struct OperatorStats {
   /// Cardinality of the last output (set elements / tree nodes / list
   /// elements / 1 for scalars).
   size_t last_output_size = 0;
+  /// Query-thread CPU spent in this op's Run (helper CPU is accounted to
+  /// the query total, not per-op).
+  double cpu_ms = 0;
+  /// Estimated bytes of the op's last output.
+  size_t out_bytes = 0;
 };
 
 /// Facade over the compiled physical execution pipeline: each `Execute`
@@ -61,6 +72,18 @@ class Executor {
     return threads_override_ != 0 ? threads_override_
                                   : exec::ThreadPool::DefaultThreads();
   }
+
+  /// Wall-clock deadline for each `Execute`; past it the query unwinds with
+  /// `kDeadlineExceeded` at the next cooperative checkpoint. 0 restores the
+  /// default (`AQUA_QUERY_TIMEOUT_MS`, unlimited when that is unset).
+  void set_timeout_ms(uint64_t ms) { timeout_ms_ = ms; }
+  uint64_t timeout_ms() const { return timeout_ms_; }
+
+  /// Budget on the estimated live bytes materialized by each `Execute`;
+  /// past it the query unwinds with `kCancelled`. 0 restores the default
+  /// (`AQUA_QUERY_MEM_LIMIT_MB`, unlimited when that is unset).
+  void set_mem_limit_bytes(uint64_t bytes) { mem_limit_bytes_ = bytes; }
+  uint64_t mem_limit_bytes() const { return mem_limit_bytes_; }
 
   /// Enables span collection: each `Execute` then records one span tree
   /// (root span "Execute", one child span per operator evaluation, and —
@@ -97,6 +120,8 @@ class Executor {
 
   Database* db_;
   size_t threads_override_ = 0;
+  uint64_t timeout_ms_ = 0;
+  uint64_t mem_limit_bytes_ = 0;
   ExecStats stats_;
   std::map<const PlanNode*, OperatorStats> op_stats_;
   obs::Trace trace_;

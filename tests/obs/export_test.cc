@@ -6,8 +6,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "obs/digest.h"
 #include "obs/metrics.h"
@@ -218,6 +220,107 @@ TEST(MetricsHttpServerTest, ServesMetricsDigestsFlightAndHealth) {
   server.Stop();
   EXPECT_FALSE(server.running());
   DigestTable::Global().Reset();
+}
+
+TEST(ParseHttpRequestPathTest, AcceptsWellFormedRequestLines) {
+  std::string path;
+  EXPECT_OK(ParseHttpRequestPath("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n",
+                                 &path));
+  EXPECT_EQ(path, "/metrics");
+  EXPECT_OK(ParseHttpRequestPath("GET / HTTP/1.0\r\n\r\n", &path));
+  EXPECT_EQ(path, "/");
+}
+
+TEST(ParseHttpRequestPathTest, RejectsTruncatedAndMalformedLines) {
+  std::string path;
+  // A client that died mid-send: no \r\n terminator yet.
+  EXPECT_FALSE(ParseHttpRequestPath("GET /metr", &path).ok());
+  EXPECT_FALSE(ParseHttpRequestPath("GET ", &path).ok());
+  EXPECT_FALSE(ParseHttpRequestPath("GET", &path).ok());
+  EXPECT_FALSE(ParseHttpRequestPath("", &path).ok());
+  // Missing the HTTP-version field after the path.
+  EXPECT_FALSE(ParseHttpRequestPath("GET /metrics\r\n", &path).ok());
+  // Empty request-target.
+  EXPECT_FALSE(ParseHttpRequestPath("GET  HTTP/1.1\r\n", &path).ok());
+  // Not a GET.
+  EXPECT_FALSE(ParseHttpRequestPath("POST /metrics HTTP/1.1\r\n", &path).ok());
+  // A garbage greeting (not HTTP at all).
+  EXPECT_FALSE(ParseHttpRequestPath("SSH-2.0-OpenSSH_9.6\r\n", &path).ok());
+}
+
+/// Sends `raw` over a fresh connection — optionally one byte per send with
+/// a tiny pause, the short-read torture case — and returns the response.
+std::string RawRequest(uint16_t port, const std::string& raw,
+                       bool byte_at_a_time) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  if (byte_at_a_time) {
+    for (char c : raw) {
+      if (::send(fd, &c, 1, 0) != 1) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  } else {
+    (void)!::send(fd, raw.data(), raw.size(), 0);
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(MetricsHttpServerTest, ByteAtATimeClientStillGetsServed) {
+  MetricsHttpServer server;
+  ASSERT_OK(server.Start(0));
+  // The request-line arrives one byte per read; the server must keep
+  // reading until the line is complete instead of parsing a prefix.
+  std::string response = RawRequest(
+      server.port(),
+      "GET /healthz HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n",
+      /*byte_at_a_time=*/true);
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_EQ(BodyOf(response), "ok\n");
+  server.Stop();
+}
+
+TEST(MetricsHttpServerTest, TruncatedAndGarbageRequestsGet400) {
+  MetricsHttpServer server;
+  ASSERT_OK(server.Start(0));
+  // Connection closed mid-request-line: never serveable, never "/" either.
+  std::string truncated = RawRequest(server.port(), "GET /metr",
+                                     /*byte_at_a_time=*/false);
+  EXPECT_NE(truncated.find("400"), std::string::npos) << truncated;
+  // A non-HTTP greeting.
+  std::string garbage = RawRequest(server.port(), "hello\r\n",
+                                   /*byte_at_a_time=*/false);
+  EXPECT_NE(garbage.find("400"), std::string::npos) << garbage;
+  // An empty connection (client connects and immediately closes).
+  std::string empty = RawRequest(server.port(), "",
+                                 /*byte_at_a_time=*/false);
+  EXPECT_NE(empty.find("400"), std::string::npos) << empty;
+  server.Stop();
+}
+
+TEST(MetricsHttpServerTest, TasksEndpointServesLiveTable) {
+  MetricsHttpServer server;
+  ASSERT_OK(server.Start(0));
+  std::string response = HttpGet(server.port(), "/tasks");
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  EXPECT_NE(BodyOf(response).find("\"tasks\""), std::string::npos);
+  server.Stop();
 }
 
 TEST(MetricsHttpServerTest, StartFailsOnPortInUseAndStopIsIdempotent) {

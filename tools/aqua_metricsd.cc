@@ -26,6 +26,7 @@
 #include <thread>
 
 #include "aqua.h"
+#include "obs/tasks.h"
 #include "query/builder.h"
 
 namespace aqua {
@@ -159,9 +160,18 @@ int Main(int argc, char** argv) {
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+  // Watchdog: sweep the live task table so deadlines and memory limits hold
+  // even when a query's own workers are wedged between checkpoints.
+  std::thread watchdog([] {
+    while (!g_stop.load()) {
+      obs::TaskRegistry::Global().EnforceLimits();
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
   while (!g_stop.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
+  watchdog.join();
   server.Stop();
   std::cout << "aqua_metricsd stopped\n";
   return 0;

@@ -9,16 +9,21 @@
 // schemas can be declared with `type` / `new` and queried with `{...}`
 // predicates. `help` lists everything.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <thread>
 #include <unistd.h>
 #include <string>
 #include <vector>
 
 #include "aqua.h"
 #include "common/str_util.h"
+#include "obs/query_context.h"
+#include "obs/tasks.h"
 #include "query/builder.h"
 
 namespace aqua {
@@ -33,6 +38,8 @@ class Shell {
     label_attr_ = "name";
   }
 
+  ~Shell() { JoinBackground(); }
+
   int Run(std::istream& in, bool interactive) {
     std::string line;
     if (interactive) std::cout << "aqua> " << std::flush;
@@ -45,6 +52,7 @@ class Shell {
       }
       if (interactive) std::cout << "aqua> " << std::flush;
     }
+    JoinBackground();
     if (interactive) std::cout << "\n";
     return 0;
   }
@@ -97,6 +105,10 @@ class Shell {
     if (cmd == "\\serve") return CmdServe(rest);
     if (cmd == "\\slowlog") return CmdSlowLog(rest);
     if (cmd == "\\profile") return CmdProfile(rest);
+    if (cmd == "\\tasks") return CmdTasks(rest);
+    if (cmd == "\\kill") return CmdKill(rest);
+    if (cmd == "\\timeout") return CmdTimeout(rest);
+    if (cmd == "\\memoize") return CmdMemoize(rest);
     return Status::InvalidArgument("unknown command '" + cmd +
                                    "' (try `help`)");
   }
@@ -142,6 +154,14 @@ class Shell {
         "disables)\n"
         "  \\profile <n> <query>        run a subselect/split n times, "
         "report quantiles\n"
+        "  \\tasks [json]               live task table: in-flight queries\n"
+        "  \\kill <id>                  cancel a running query by task id\n"
+        "  \\timeout [ms]               per-query deadline (0 = env default "
+        "AQUA_QUERY_TIMEOUT_MS)\n"
+        "  \\memoize on|off             tree-match memoization (off shows "
+        "unmemoized closure cost)\n"
+        "  subselect/split ... &       run the query in the background "
+        "(watch with \\tasks)\n"
         "  quit\n";
     return Status::OK();
   }
@@ -275,7 +295,9 @@ class Shell {
     AQUA_RETURN_IF_ERROR(db().GetTree(coll).status());
     AQUA_ASSIGN_OR_RETURN(TreePatternRef tp,
                           ParseTreePattern(pattern, PatternOpts()));
-    return Q::TreeSubSelect(Q::ScanTree(coll), tp);
+    SplitOptions sopts;
+    sopts.match.memoize = memoize_;
+    return Q::TreeSubSelect(Q::ScanTree(coll), tp, sopts);
   }
 
   /// Builds the split plan for "<coll> <pattern>" (list or tree), with the
@@ -304,25 +326,40 @@ class Shell {
       return Datum::Tuple(
           {Datum::Of(x), Datum::Of(y), Datum::Tuple(std::move(zs))});
     };
-    return Q::TreeSplit(Q::ScanTree(coll), tp, tuple3);
+    SplitOptions sopts;
+    sopts.match.memoize = memoize_;
+    return Q::TreeSplit(Q::ScanTree(coll), tp, tuple3, sopts);
   }
 
   // subselect/split always run through the Executor (results are
   // byte-identical to the direct algebra calls; see the determinism tests),
   // so every shell query populates the digest table and flight recorder.
-  Status CmdSubSelect(const std::string& rest) {
+  /// Strips a trailing ` &` (background marker) from `rest`; returns
+  /// whether it was present.
+  static bool StripBackground(std::string* rest) {
+    if (rest->empty() || rest->back() != '&') return false;
+    rest->pop_back();
+    *rest = std::string(StripWhitespace(*rest));
+    return true;
+  }
+
+  Status CmdSubSelect(std::string rest) {
+    bool background = StripBackground(&rest);
     auto [coll, pattern] = SplitFirst(rest);
     (void)coll;
     AQUA_ASSIGN_OR_RETURN(PlanRef plan, MakeSubSelectPlan(rest));
     LintBanner(plan, pattern);
+    if (background) return RunPlanBackground(plan);
     return RunPlan(plan);
   }
 
-  Status CmdSplit(const std::string& rest) {
+  Status CmdSplit(std::string rest) {
+    bool background = StripBackground(&rest);
     auto [coll, pattern] = SplitFirst(rest);
     (void)coll;
     AQUA_ASSIGN_OR_RETURN(PlanRef plan, MakeSplitPlan(rest));
     LintBanner(plan, pattern);
+    if (background) return RunPlanBackground(plan);
     return RunPlan(plan);
   }
 
@@ -510,12 +547,70 @@ class Shell {
     Executor exec(&db());
     exec.set_threads(threads_);
     exec.set_trace_enabled(trace_on_);
+    exec.set_timeout_ms(timeout_ms_);
     AQUA_ASSIGN_OR_RETURN(Datum out, exec.Execute(plan));
     std::cout << out.ToString(Label()) << "\n";
     if (trace_on_) {
       std::cout << exec.TraceReport() << exec.last_counters().ToText();
     }
     return Status::OK();
+  }
+
+  /// Launches `plan` on a detached worker thread; the query registers
+  /// itself in the live task table, so `\tasks` shows it and `\kill <id>`
+  /// cancels it. Completion prints asynchronously.
+  Status RunPlanBackground(PlanRef plan) {
+    size_t threads = threads_;
+    uint64_t timeout_ms = timeout_ms_;
+    Database* database = &db();
+    bg_threads_.emplace_back([database, plan = std::move(plan), threads,
+                              timeout_ms]() {
+      Executor exec(database);
+      exec.set_threads(threads);
+      exec.set_timeout_ms(timeout_ms);
+      obs::Span timer(nullptr, "");
+      Result<Datum> out = exec.Execute(plan);
+      double ms = static_cast<double>(timer.ElapsedNs()) / 1e6;
+      std::ostringstream os;
+      os << "[bg q" << exec.stats().query_id << "] ";
+      if (out.ok()) {
+        os << "done in " << ms << " ms\n";
+      } else {
+        os << "error: " << out.status() << "\n";
+      }
+      std::cout << os.str() << std::flush;
+    });
+    std::cout << "running in background (watch with \\tasks, cancel with "
+                 "\\kill <id>)\n";
+    return Status::OK();
+  }
+
+  void JoinBackground() {
+    if (bg_threads_.empty()) return;
+#ifndef AQUA_OBS_DISABLED
+    // A background query with no deadline would block exit forever; keep
+    // killing whatever is in flight until the joins complete (a sweep can
+    // race a just-launched query that has not registered yet).
+    std::atomic<bool> joined{false};
+    std::thread reaper([&joined] {
+      while (!joined.load()) {
+        for (const obs::TaskRow& row :
+             obs::TaskRegistry::Global().Snapshot()) {
+          (void)obs::TaskRegistry::Global().Kill(
+              row.id, "was cancelled at shell exit");
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+#endif
+    for (std::thread& t : bg_threads_) {
+      if (t.joinable()) t.join();
+    }
+    bg_threads_.clear();
+#ifndef AQUA_OBS_DISABLED
+    joined.store(true);
+    reaper.join();
+#endif
   }
 
   Status CmdFlight(const std::string& arg) {
@@ -575,7 +670,7 @@ class Shell {
         static_cast<uint16_t>(std::strtoul(arg.c_str(), nullptr, 10));
     AQUA_RETURN_IF_ERROR(server_.Start(port));
     std::cout << "serving on http://127.0.0.1:" << server_.port()
-              << "/metrics (also /digests /flight /healthz)\n";
+              << "/metrics (also /digests /flight /tasks /healthz)\n";
     return Status::OK();
   }
 
@@ -666,6 +761,54 @@ class Shell {
     return Status::OK();
   }
 
+  Status CmdTasks(const std::string& arg) {
+    obs::TaskRegistry& reg = obs::TaskRegistry::Global();
+    if (arg == "json") {
+      std::cout << reg.ToJson() << "\n";
+    } else if (arg.empty()) {
+      std::cout << reg.ToText();
+    } else {
+      return Status::InvalidArgument("usage: \\tasks [json]");
+    }
+    return Status::OK();
+  }
+
+  Status CmdKill(const std::string& arg) {
+    char* end = nullptr;
+    uint64_t id = std::strtoull(arg.c_str(), &end, 10);
+    if (arg.empty() || end == arg.c_str()) {
+      return Status::InvalidArgument("usage: \\kill <task id>");
+    }
+    AQUA_RETURN_IF_ERROR(obs::TaskRegistry::Global().Kill(id));
+    std::cout << "task " << id << " cancelled\n";
+    return Status::OK();
+  }
+
+  Status CmdTimeout(const std::string& arg) {
+    if (!arg.empty()) {
+      timeout_ms_ = std::strtoull(arg.c_str(), nullptr, 10);
+    }
+    if (timeout_ms_ == 0) {
+      std::cout << "timeout: env default (AQUA_QUERY_TIMEOUT_MS)\n";
+    } else {
+      std::cout << "timeout: " << timeout_ms_ << " ms\n";
+    }
+    return Status::OK();
+  }
+
+  Status CmdMemoize(const std::string& arg) {
+    if (arg == "on") {
+      memoize_ = true;
+    } else if (arg == "off") {
+      memoize_ = false;
+    } else if (!arg.empty()) {
+      return Status::InvalidArgument("usage: \\memoize on|off");
+    }
+    std::cout << "tree-match memoization " << (memoize_ ? "on" : "off")
+              << "\n";
+    return Status::OK();
+  }
+
   Status CmdLoad(const std::string& path) {
     auto fresh = std::make_unique<Database>();
     AQUA_RETURN_IF_ERROR(LoadDatabaseFromFile(path, fresh.get()));
@@ -690,6 +833,9 @@ class Shell {
   std::string label_attr_;
   bool trace_on_ = false;
   bool lint_banner_ = true;
+  bool memoize_ = true;
+  uint64_t timeout_ms_ = 0;
+  std::vector<std::thread> bg_threads_;
   obs::MetricsHttpServer server_;
 
  public:
