@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "exec/compile.h"
 
 namespace aqua {
 namespace {
@@ -159,6 +160,79 @@ void BM_Fig4_ForestFanOutThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_Fig4_ForestFanOutThreads)
     ->Args({4096, 1})->Args({4096, 2})->Args({4096, 4})->Args({4096, 8})
+    ->Args({16384, 1})->Args({16384, 2})->Args({16384, 4})->Args({16384, 8})
+    ->UseRealTime();
+
+void BM_Fig4_CertifiedApplyThreads(benchmark::State& state) {
+  // Apply-heavy thread sweep. The lint effect analysis certifies the
+  // choose-expression below as read-only, so compile.cc plans the apply
+  // morsel-parallel (see src/lint/effects.h); an opaque std::function on
+  // the same plan would stay serial. select drops the sentinel, yielding
+  // 48 equal family trees, and the certified apply rebuilds each piece
+  // node-by-node (a predicate probe plus a cell swap per person), which
+  // dominates the single O(n) select pass — so the speedup at `threads`
+  // measures the certified apply path. Output stays byte-identical at
+  // every thread count (tests/exec/apply_parallel_test).
+  const size_t people = static_cast<size_t>(state.range(0));
+  const size_t threads = static_cast<size_t>(state.range(1));
+  constexpr size_t kFamilies = 48;
+  Database db;
+  Check(RegisterPersonType(db.store()));
+  std::vector<Tree> families;
+  for (size_t i = 0; i < kFamilies; ++i) {
+    FamilyTreeSpec spec;
+    spec.num_people = people / kFamilies;
+    spec.brazil_fraction = 0.35;
+    spec.seed = 1000 + i;
+    families.push_back(OrDie(MakeFamilyTree(db.store(), spec)));
+  }
+  Oid sentinel = OrDie(
+      db.store().Create("Person", {{"name", Value::String("forest")},
+                                   {"citizen", Value::String("none")},
+                                   {"eyes", Value::String("blue")},
+                                   {"education", Value::String("HS")},
+                                   {"age", Value::Int(0)}}));
+  Check(db.RegisterTree(
+      "family", Tree::Node(NodePayload::Cell(sentinel), families)));
+  Oid marker = OrDie(
+      db.store().Create("Person", {{"name", Value::String("MARK")},
+                                   {"citizen", Value::String("none")},
+                                   {"eyes", Value::String("blue")},
+                                   {"education", Value::String("HS")},
+                                   {"age", Value::Int(-1)}}));
+  // A composed chain of guarded probes: still read-only end to end (the
+  // effect lattice takes the max over the chain), and heavy enough per
+  // node that the certified apply dominates the serial select pass.
+  FnExprRef expr =
+      FnExpr::Choose(Predicate::AttrEquals("citizen", Value::String("Brazil")),
+                     FnExpr::Const(marker), nullptr);
+  for (int probe = 0; probe < 16; ++probe) {
+    expr = FnExpr::Compose(
+        FnExpr::Choose(
+            Predicate::AttrEquals("eyes", Value::String("violet")),
+            FnExpr::Const(marker), nullptr),
+        expr);
+  }
+  auto plan = Q::TreeApplyExpr(
+      Q::TreeSelect(
+          Q::ScanTree("family"),
+          Predicate::Not(
+              Predicate::AttrEquals("citizen", Value::String("none")))),
+      expr);
+  Check(exec::ApplyParallelCertified(plan)
+            ? Status::OK()
+            : Status::Internal("apply failed to certify"));
+  Executor exec(&db);
+  exec.set_threads(threads);
+  size_t results = 0;
+  for (auto _ : state) {
+    results = OrDie(exec.Execute(plan)).size();
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["results"] = static_cast<double>(results);
+}
+BENCHMARK(BM_Fig4_CertifiedApplyThreads)
     ->Args({16384, 1})->Args({16384, 2})->Args({16384, 4})->Args({16384, 8})
     ->UseRealTime();
 

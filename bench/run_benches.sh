@@ -22,6 +22,11 @@ trap 'rm -rf "$tmpdir"' EXIT
   --benchmark_min_time="$MIN_TIME" \
   --json "$tmpdir/fig4_fanout.json"
 
+"$BUILD_DIR/bench/bench_fig4_split" \
+  --benchmark_filter='BM_Fig4_CertifiedApplyThreads' \
+  --benchmark_min_time="$MIN_TIME" \
+  --json "$tmpdir/apply_fanout.json"
+
 "$BUILD_DIR/bench/bench_tree_kleene" \
   --benchmark_filter='BM_Kleene_FanOutThreads' \
   --benchmark_min_time="$MIN_TIME" \

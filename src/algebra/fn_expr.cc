@@ -1,0 +1,166 @@
+#include "algebra/fn_expr.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "object/schema.h"
+
+namespace aqua {
+
+const char* FnEffectToString(FnEffect e) {
+  switch (e) {
+    case FnEffect::kPure:
+      return "pure";
+    case FnEffect::kReadOnly:
+      return "read-only";
+    case FnEffect::kStoreWrite:
+      return "store-mutating";
+    case FnEffect::kOpaque:
+      return "opaque";
+  }
+  return "?";
+}
+
+bool FnEffectParallelSafe(FnEffect e) {
+  return e == FnEffect::kPure || e == FnEffect::kReadOnly;
+}
+
+FnExprRef FnExpr::Identity() {
+  static const FnExprRef kIdentity(new FnExpr(Kind::kIdentity));
+  return kIdentity;
+}
+
+FnExprRef FnExpr::Const(Oid oid) {
+  auto e = std::shared_ptr<FnExpr>(new FnExpr(Kind::kConst));
+  e->const_oid_ = oid;
+  return e;
+}
+
+FnExprRef FnExpr::Choose(PredicateRef guard, FnExprRef then_expr,
+                         FnExprRef else_expr) {
+  auto e = std::shared_ptr<FnExpr>(new FnExpr(Kind::kChoose));
+  e->guard_ = std::move(guard);
+  e->a_ = std::move(then_expr);
+  e->b_ = std::move(else_expr);
+  return e;
+}
+
+FnExprRef FnExpr::Update(std::vector<FnAttrSet> sets) {
+  auto e = std::shared_ptr<FnExpr>(new FnExpr(Kind::kUpdate));
+  e->sets_ = std::move(sets);
+  return e;
+}
+
+FnExprRef FnExpr::Compose(FnExprRef outer, FnExprRef inner) {
+  if (outer == nullptr) return inner != nullptr ? inner : Identity();
+  if (inner == nullptr) return outer;
+  // id ∘ f == f ∘ id == f: keep compositions in normal form so effect and
+  // rendering stay minimal (the apply-fusion rewrite composes freely).
+  if (outer->kind_ == Kind::kIdentity) return inner;
+  if (inner->kind_ == Kind::kIdentity) return outer;
+  auto e = std::shared_ptr<FnExpr>(new FnExpr(Kind::kCompose));
+  e->a_ = std::move(outer);
+  e->b_ = std::move(inner);
+  return e;
+}
+
+namespace {
+
+FnEffect MaxEffect(FnEffect a, FnEffect b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+FnEffect EffectOf(const FnExpr* e) {
+  if (e == nullptr) return FnEffect::kPure;  // absent subtree == identity
+  return e->effect();
+}
+
+}  // namespace
+
+FnEffect FnExpr::effect() const {
+  switch (kind_) {
+    case Kind::kIdentity:
+    case Kind::kConst:
+      return FnEffect::kPure;
+    case Kind::kChoose:
+      // The guard reads attributes (Predicate::Eval is const over the
+      // store); a null guard is `true`, which reads nothing.
+      return MaxEffect(guard_ != nullptr ? FnEffect::kReadOnly
+                                         : FnEffect::kPure,
+                       MaxEffect(EffectOf(a_.get()), EffectOf(b_.get())));
+    case Kind::kUpdate:
+      return FnEffect::kStoreWrite;
+    case Kind::kCompose:
+      return MaxEffect(EffectOf(a_.get()), EffectOf(b_.get()));
+  }
+  return FnEffect::kOpaque;
+}
+
+Result<Oid> FnExpr::Eval(ObjectStore& store, Oid oid) const {
+  switch (kind_) {
+    case Kind::kIdentity:
+      return oid;
+    case Kind::kConst:
+      return const_oid_;
+    case Kind::kChoose: {
+      bool taken = guard_ == nullptr || guard_->Eval(store, oid);
+      const FnExprRef& branch = taken ? a_ : b_;
+      if (branch == nullptr) return oid;  // absent branch == identity
+      return branch->Eval(store, oid);
+    }
+    case Kind::kUpdate: {
+      AQUA_ASSIGN_OR_RETURN(const Object* obj, store.Get(oid));
+      AQUA_ASSIGN_OR_RETURN(const TypeDef* type,
+                            store.schema().GetType(obj->type()));
+      std::vector<Value> attrs = obj->attrs();
+      for (const FnAttrSet& s : sets_) {
+        AQUA_ASSIGN_OR_RETURN(size_t idx, type->AttrIndex(s.attr));
+        attrs[idx] = s.value;
+      }
+      return store.Create(obj->type(), std::move(attrs));
+    }
+    case Kind::kCompose: {
+      AQUA_ASSIGN_OR_RETURN(Oid mid,
+                            b_ != nullptr ? b_->Eval(store, oid)
+                                          : Result<Oid>(oid));
+      return a_ != nullptr ? a_->Eval(store, mid) : Result<Oid>(mid);
+    }
+  }
+  return Status::Internal("unhandled FnExpr kind");
+}
+
+std::string FnExpr::ToString() const {
+  switch (kind_) {
+    case Kind::kIdentity:
+      return "id";
+    case Kind::kConst:
+      return "const#" + std::to_string(const_oid_.value);
+    case Kind::kChoose: {
+      std::string out = "choose(";
+      out += guard_ != nullptr ? "{" + guard_->ToString() + "}" : "true";
+      out += ", ";
+      out += a_ != nullptr ? a_->ToString() : "id";
+      out += ", ";
+      out += b_ != nullptr ? b_->ToString() : "id";
+      return out + ")";
+    }
+    case Kind::kUpdate: {
+      std::string out = "update(";
+      for (size_t i = 0; i < sets_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += sets_[i].attr + "=" + sets_[i].value.ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kCompose:
+      return (a_ != nullptr ? a_->ToString() : "id") + " . " +
+             (b_ != nullptr ? b_->ToString() : "id");
+  }
+  return "?";
+}
+
+FnEffect FnExprEffect(const FnExprRef& expr) {
+  return expr == nullptr ? FnEffect::kOpaque : expr->effect();
+}
+
+}  // namespace aqua

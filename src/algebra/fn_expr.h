@@ -1,0 +1,111 @@
+#ifndef AQUA_ALGEBRA_FN_EXPR_H_
+#define AQUA_ALGEBRA_FN_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "object/object_store.h"
+#include "pattern/predicate.h"
+
+namespace aqua {
+
+class FnExpr;
+using FnExprRef = std::shared_ptr<const FnExpr>;
+
+/// Statically inferred effect class of an `apply` function. The lattice is
+/// ordered kPure < kReadOnly < kStoreWrite < kOpaque; composition takes the
+/// maximum. `aqua::lint`'s effect analysis (lint/effects.h) classifies plan
+/// nodes with these, and `exec::Compile` fans `apply` out morsel-parallel
+/// exactly when the effect is at most kReadOnly — such a function neither
+/// mutates the store (no racy `Create`, no Oid-allocation-order dependence)
+/// nor depends on evaluation order, so the parallel run is byte-identical
+/// to serial.
+enum class FnEffect {
+  kPure,        ///< no store access at all (identity, constant)
+  kReadOnly,    ///< reads attributes (predicate guards); never writes
+  kStoreWrite,  ///< creates or updates objects (update expressions)
+  kOpaque,      ///< an arbitrary std::function — nothing is known
+};
+
+const char* FnEffectToString(FnEffect e);
+
+/// True when a function of effect `e` is certified for the parallel
+/// fan-out path (kPure / kReadOnly).
+bool FnEffectParallelSafe(FnEffect e);
+
+/// One attribute assignment of an update expression.
+struct FnAttrSet {
+  std::string attr;
+  Value value;
+};
+
+/// A structured function expression for `apply` — the analyzable fragment
+/// of `NodeFn`. Where `NodeFn` is an opaque `std::function` (effect
+/// kOpaque, always executed serially), an `FnExpr` is a small IR whose
+/// effect is decidable by inspection:
+///
+///   identity                — kPure:      every cell maps to itself
+///   const(o)                — kPure:      every cell maps to object `o`
+///   choose(p, f, g)         — guard `p` reads attributes; picks f or g
+///   update(a1=v1, ...)      — kStoreWrite: fresh copy with attrs replaced
+///   compose(f, g)           — f after g; effect = max(f, g)
+///
+/// `Q::TreeApplyExpr` / `Q::ListApplyExpr` stamp the expression on the plan
+/// node *and* materialize the equivalent `NodeFn`, so the executor runs the
+/// same closure either way; the expression exists so lint and the compiler
+/// can reason about it.
+class FnExpr {
+ public:
+  enum class Kind { kIdentity, kConst, kChoose, kUpdate, kCompose };
+
+  static FnExprRef Identity();
+  static FnExprRef Const(Oid oid);
+  /// `guard` null means `true` (then-branch always). Branches may be null,
+  /// meaning identity.
+  static FnExprRef Choose(PredicateRef guard, FnExprRef then_expr,
+                          FnExprRef else_expr);
+  static FnExprRef Update(std::vector<FnAttrSet> sets);
+  /// `outer` after `inner`; null components mean identity.
+  static FnExprRef Compose(FnExprRef outer, FnExprRef inner);
+
+  Kind kind() const { return kind_; }
+  Oid const_oid() const { return const_oid_; }
+  const PredicateRef& guard() const { return guard_; }
+  const FnExprRef& then_expr() const { return a_; }
+  const FnExprRef& else_expr() const { return b_; }
+  const FnExprRef& outer() const { return a_; }
+  const FnExprRef& inner() const { return b_; }
+  const std::vector<FnAttrSet>& sets() const { return sets_; }
+
+  /// The effect class, by structural induction (null subtrees are
+  /// identity, i.e. kPure).
+  FnEffect effect() const;
+
+  /// Evaluates the expression on one cell. Only kStoreWrite expressions
+  /// touch `store` mutably.
+  Result<Oid> Eval(ObjectStore& store, Oid oid) const;
+
+  /// Compact rendering, e.g. `choose({age > 60}, update(retired=true), id)`.
+  std::string ToString() const;
+
+ private:
+  explicit FnExpr(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  Oid const_oid_{};
+  PredicateRef guard_;
+  FnExprRef a_;  // choose-then / compose-outer
+  FnExprRef b_;  // choose-else / compose-inner
+  std::vector<FnAttrSet> sets_;
+};
+
+/// The effect of a possibly-absent expression: null (no structured form —
+/// a bare `std::function` or no function at all) is kOpaque.
+FnEffect FnExprEffect(const FnExprRef& expr);
+
+}  // namespace aqua
+
+#endif  // AQUA_ALGEBRA_FN_EXPR_H_

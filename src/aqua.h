@@ -56,7 +56,9 @@
 #include "approx/approx_ops.h"
 #include "approx/tree_edit_distance.h"
 
+#include "lint/absint.h"
 #include "lint/diagnostic.h"
+#include "lint/effects.h"
 #include "lint/interval.h"
 #include "lint/lint.h"
 #include "lint/pattern_lint.h"

@@ -1,0 +1,65 @@
+#ifndef AQUA_COMMON_THREAD_ANNOTATIONS_H_
+#define AQUA_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis attributes (-Wthread-safety), in the style
+// of abseil's thread_annotations.h. Under any other compiler every macro
+// expands to nothing, so annotated code builds identically under GCC.
+//
+// The analysis is static and intraprocedural: it only understands lock
+// acquisitions it can see as attributed calls in the current function.
+// libstdc++'s std::mutex carries no capability attributes, so annotated
+// classes hold an `aqua::Mutex` (common/mutex.h) instead and take scoped
+// locks via `aqua::MutexLock`. CI compiles the tree with clang and
+// `-Werror=thread-safety` to keep the annotations honest.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define AQUA_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define AQUA_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op
+#endif
+
+/// Data member readable/writable only while the given capability is held.
+#define AQUA_GUARDED_BY(x) AQUA_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define AQUA_PT_GUARDED_BY(x) \
+  AQUA_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+/// Function that may only be called while holding the capability.
+#define AQUA_REQUIRES(...) \
+  AQUA_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+/// Function that may only be called while NOT holding the capability
+/// (it acquires it itself — the non-reentrancy contract).
+#define AQUA_EXCLUDES(...) \
+  AQUA_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/// Function that acquires the capability and holds it on return.
+#define AQUA_ACQUIRE(...) \
+  AQUA_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+/// Function that releases a held capability.
+#define AQUA_RELEASE(...) \
+  AQUA_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns `ret`.
+#define AQUA_TRY_ACQUIRE(ret, ...) \
+  AQUA_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Class that models a lockable resource (a capability).
+#define AQUA_CAPABILITY(x) AQUA_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+/// RAII class whose lifetime equals a critical section.
+#define AQUA_SCOPED_CAPABILITY \
+  AQUA_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+/// Function return value is a reference to the given capability.
+#define AQUA_RETURN_CAPABILITY(x) \
+  AQUA_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+/// Escape hatch: the function body is not analyzed. Use only for code the
+/// analysis cannot model (e.g. conditional locking), with a comment.
+#define AQUA_NO_THREAD_SAFETY_ANALYSIS \
+  AQUA_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // AQUA_COMMON_THREAD_ANNOTATIONS_H_

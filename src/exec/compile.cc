@@ -12,6 +12,8 @@
 #include "bulk/concat.h"
 #include "exec/morsel.h"
 #include "exec/worker_local.h"
+#include "lint/effects.h"
+#include "obs/metrics.h"
 #include "pattern/dfa.h"
 #include "pattern/nfa.h"
 
@@ -259,6 +261,10 @@ FanOutSpec ListSpec(bool parallel) {
 
 }  // namespace
 
+bool ApplyParallelCertified(const PlanRef& plan) {
+  return plan != nullptr && lint::NodeParallelCertified(*plan);
+}
+
 PhysicalOpRef Compile(const PlanRef& plan) {
   if (plan == nullptr) return std::make_shared<NullOp>();
   std::vector<PhysicalOpRef> children;
@@ -309,7 +315,13 @@ PhysicalOpRef Compile(const PlanRef& plan) {
             return out;
           });
     case PlanOp::kTreeApply: {
-      FanOutSpec spec = TreeSpec(/*parallel=*/false);
+      // Serial unless the effect analysis certifies the function: a
+      // certified apply (structured FnExpr, effect <= read-only) never
+      // touches the store, so the fan-out is safe and the order-stable
+      // merge keeps it byte-identical to serial.
+      bool certified = ApplyParallelCertified(plan);
+      if (certified) AQUA_OBS_COUNT("exec.apply_parallel_certified", 1);
+      FanOutSpec spec = TreeSpec(/*parallel=*/certified);
       spec.set_error = kTreeApplySetErr;
       spec.single_error = kTreeApplySingleErr;
       spec.single_passthrough = true;
@@ -412,7 +424,9 @@ PhysicalOpRef Compile(const PlanRef& plan) {
           });
     }
     case PlanOp::kListApply: {
-      FanOutSpec spec = ListSpec(/*parallel=*/false);
+      bool certified = ApplyParallelCertified(plan);
+      if (certified) AQUA_OBS_COUNT("exec.apply_parallel_certified", 1);
+      FanOutSpec spec = ListSpec(/*parallel=*/certified);
       spec.set_error = kListApplySetErr;
       spec.single_error = kListApplySingleErr;
       spec.single_passthrough = true;

@@ -19,8 +19,12 @@ namespace aqua::exec {
 ///  - `select` / `sub_select` (tree and list) call only const-store
 ///    library code and run their items on up to `ExecContext::threads`
 ///    workers.
-///  - `apply` mutates the object store through its user function and
-///    always runs serially.
+///  - `apply` parallelizes when the lint effect analysis *certifies* its
+///    function (a structured `FnExpr` whose effect is at most read-only,
+///    see `lint/effects.h`): a certified apply never writes the object
+///    store, so fanning its items out is safe and — with the order-stable
+///    slot merge — byte-identical to serial. An apply over a bare
+///    `std::function` or a store-mutating expression stays serial.
 ///  - `split` / `all_anc` / `all_desc` invoke user callbacks with no
 ///    declared thread-safety contract and run serially too (see
 ///    docs/EXECUTION.md for the contract that would lift this).
@@ -29,6 +33,12 @@ namespace aqua::exec {
 /// interpreter's "(null)" span and InvalidArgument status, so `Compile`
 /// never returns null.
 PhysicalOpRef Compile(const PlanRef& plan);
+
+/// The scheduling decision `Compile` makes for an apply node, exposed for
+/// tests and the shell: true iff `plan` is a tree/list apply whose
+/// function the effect analysis certifies for the morsel-parallel path.
+/// (`Compile` counts each certification in `exec.apply_parallel_certified`.)
+bool ApplyParallelCertified(const PlanRef& plan);
 
 }  // namespace aqua::exec
 

@@ -117,14 +117,23 @@ void Drain(const std::shared_ptr<FanState>& state, size_t slot) {
         }
       }
     }
-    if (state->query != nullptr) state->query->AddMorselsDone(1);
+    if (state->query != nullptr) {
+      state->query->AddMorselsDone(1);
+      // Helper CPU must be flushed while this morsel's `unfinished` credit
+      // is still held: the moment the last credit drops, the caller's join
+      // returns and the query context (stack-allocated in Execute) dies.
+      // A straggler touching it after its final decrement is a
+      // use-after-return — so never touch `state->query` past that point.
+      if (slot != 0) {
+        uint64_t now = obs::QueryContext::ThreadCpuNs();
+        state->query->AddCpuNs(now - cpu0);
+        cpu0 = now;
+      }
+    }
     if (state->unfinished.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lock(state->mu);
       state->cv.notify_all();
     }
-  }
-  if (slot != 0 && state->query != nullptr) {
-    state->query->AddCpuNs(obs::QueryContext::ThreadCpuNs() - cpu0);
   }
 }
 

@@ -10,12 +10,14 @@ namespace aqua::exec {
 ThreadPool::ThreadPool(size_t workers) { EnsureWorkers(workers); }
 
 ThreadPool::~ThreadPool() {
+  std::vector<std::thread> joined;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
+    joined.swap(threads_);
   }
-  cv_.notify_all();
-  for (std::thread& t : threads_) t.join();
+  cv_.NotifyAll();
+  for (std::thread& t : joined) t.join();
 }
 
 ThreadPool& ThreadPool::Shared() {
@@ -25,6 +27,7 @@ ThreadPool& ThreadPool::Shared() {
 }
 
 size_t ThreadPool::DefaultThreads() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only getenv at init.
   const char* env = std::getenv("AQUA_THREADS");
   if (env != nullptr && *env != '\0') {
     long n = std::strtol(env, nullptr, 10);
@@ -35,17 +38,17 @@ size_t ThreadPool::DefaultThreads() {
 }
 
 size_t ThreadPool::workers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return threads_.size();
 }
 
 size_t ThreadPool::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
 void ThreadPool::EnsureWorkers(size_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (threads_.size() < n) {
     threads_.emplace_back([this] { WorkerLoop(); });
   }
@@ -53,20 +56,20 @@ void ThreadPool::EnsureWorkers(size_t n) {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
     AQUA_OBS_GAUGE_SET("exec.pool_queue_depth",
                        static_cast<int64_t>(queue_.size()));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -1,13 +1,14 @@
 #ifndef AQUA_EXEC_THREAD_POOL_H_
 #define AQUA_EXEC_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace aqua::exec {
 
@@ -39,27 +40,27 @@ class ThreadPool {
   static size_t DefaultThreads();
 
   /// Helper threads currently running.
-  size_t workers() const;
+  size_t workers() const AQUA_EXCLUDES(mu_);
 
   /// Tasks queued but not yet picked up by a worker. Cancellation tests
   /// assert this drains to 0 — a cancelled fan-out must not leave orphan
   /// tasks behind.
-  size_t pending() const;
+  size_t pending() const AQUA_EXCLUDES(mu_);
 
   /// Grows the pool to at least `n` helper threads.
-  void EnsureWorkers(size_t n);
+  void EnsureWorkers(size_t n) AQUA_EXCLUDES(mu_);
 
   /// Enqueues a task. Tasks must not block on other pool tasks.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) AQUA_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() AQUA_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> threads_;
-  bool stop_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ AQUA_GUARDED_BY(mu_);
+  std::vector<std::thread> threads_ AQUA_GUARDED_BY(mu_);
+  bool stop_ AQUA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace aqua::exec

@@ -30,6 +30,22 @@ const char* DiagCodeId(DiagCode code) {
       return "AQL011";
     case DiagCode::kUnknownCollection:
       return "AQL012";
+    case DiagCode::kKindFlowMismatch:
+      return "AQL013";
+    case DiagCode::kEmptyInputFlow:
+      return "AQL014";
+    case DiagCode::kTautologicalSelect:
+      return "AQL015";
+    case DiagCode::kIdentityApply:
+      return "AQL016";
+    case DiagCode::kConstantApplyCollapse:
+      return "AQL017";
+    case DiagCode::kUncertifiedSerialFn:
+      return "AQL018";
+    case DiagCode::kEmptyResultFlow:
+      return "AQL019";
+    case DiagCode::kUnsafeRewrite:
+      return "AQL020";
   }
   return "AQL000";
 }
@@ -60,6 +76,22 @@ const char* DiagCodeName(DiagCode code) {
       return "computed-attribute";
     case DiagCode::kUnknownCollection:
       return "unknown-collection";
+    case DiagCode::kKindFlowMismatch:
+      return "kind-flow-mismatch";
+    case DiagCode::kEmptyInputFlow:
+      return "empty-input-flow";
+    case DiagCode::kTautologicalSelect:
+      return "tautological-select";
+    case DiagCode::kIdentityApply:
+      return "identity-apply";
+    case DiagCode::kConstantApplyCollapse:
+      return "constant-apply-collapse";
+    case DiagCode::kUncertifiedSerialFn:
+      return "uncertified-serial-fn";
+    case DiagCode::kEmptyResultFlow:
+      return "empty-result-flow";
+    case DiagCode::kUnsafeRewrite:
+      return "unsafe-rewrite";
   }
   return "unknown";
 }
@@ -71,7 +103,15 @@ Severity DefaultSeverity(DiagCode code) {
     case DiagCode::kOperatorParamMismatch:
     case DiagCode::kComputedAttribute:
     case DiagCode::kUnknownCollection:
+    // Inferred-fact contradictions: the plan (or a rewrite of it) cannot
+    // mean what it says.
+    case DiagCode::kKindFlowMismatch:
+    case DiagCode::kUnsafeRewrite:
       return Severity::kError;
+    // Informational: the effect analysis explaining a scheduling decision,
+    // not a defect in the query.
+    case DiagCode::kUncertifiedSerialFn:
+      return Severity::kNote;
     default:
       return Severity::kWarning;
   }
@@ -89,6 +129,11 @@ const char* SeverityToString(Severity severity) {
   return "unknown";
 }
 
+bool SpanAddressesSource(const Diagnostic& d) {
+  return d.span.valid() && !d.source.empty() &&
+         d.span.end <= d.source.size();
+}
+
 std::string FormatDiagnostic(const Diagnostic& d) {
   std::string out = SeverityToString(d.severity);
   out += ' ';
@@ -102,7 +147,10 @@ std::string FormatDiagnostic(const Diagnostic& d) {
   }
   out += ": ";
   out += d.message;
-  if (d.span.valid()) {
+  // Offsets are only printed when they index the attached source text.
+  // Builder-API plans parse predicates from strings the caller never
+  // passes along; their spans would point into text nobody can see.
+  if (SpanAddressesSource(d)) {
     out += " (at ";
     out += d.span.ToString();
     out += ")";
@@ -112,16 +160,15 @@ std::string FormatDiagnostic(const Diagnostic& d) {
 
 std::string RenderDiagnostic(const Diagnostic& d) {
   std::string out = FormatDiagnostic(d);
-  if (!d.span.valid() || d.source.empty() || d.span.begin >= d.source.size()) {
-    return out;
-  }
-  size_t end = std::min<size_t>(d.span.end, d.source.size());
+  if (!SpanAddressesSource(d)) return out;
   out += "\n  | ";
   out += d.source;
   out += "\n  | ";
   out.append(d.span.begin, ' ');
   out += '^';
-  if (end > d.span.begin + 1) out.append(end - d.span.begin - 1, '~');
+  if (d.span.end > d.span.begin + 1) {
+    out.append(d.span.end - d.span.begin - 1, '~');
+  }
   return out;
 }
 

@@ -24,11 +24,23 @@ enum class DiagCode {
   kOperatorParamMismatch = 10,  ///< AQL010: operator parameters inconsistent
   kComputedAttribute = 11,   ///< AQL011: predicate reads a computed attribute
   kUnknownCollection = 12,   ///< AQL012: plan names an unknown collection
+  // Codes 13..20 are emitted by the abstract-interpretation pass
+  // (lint/absint.h), which propagates per-node facts — element kind,
+  // cardinality intervals, duplicate-freeness, order, function effects —
+  // through the plan.
+  kKindFlowMismatch = 13,    ///< AQL013: operator consumes wrong element kind
+  kEmptyInputFlow = 14,      ///< AQL014: input is provably empty
+  kTautologicalSelect = 15,  ///< AQL015: select keeps everything (no-op)
+  kIdentityApply = 16,       ///< AQL016: apply maps every cell to itself
+  kConstantApplyCollapse = 17,  ///< AQL017: const apply collapses a set
+  kUncertifiedSerialFn = 18, ///< AQL018: fn not certified; apply runs serial
+  kEmptyResultFlow = 19,     ///< AQL019: whole plan provably returns empty
+  kUnsafeRewrite = 20,       ///< AQL020: rewrite contradicts inferred facts
 };
 
 enum class Severity { kNote, kWarning, kError };
 
-/// `"AQL001"` .. `"AQL012"`.
+/// `"AQL001"` .. `"AQL020"`.
 const char* DiagCodeId(DiagCode code);
 /// Short kebab-case name, e.g. `"empty-pattern"`.
 const char* DiagCodeName(DiagCode code);
@@ -51,12 +63,20 @@ struct Diagnostic {
   std::string context;
 };
 
-/// One line: `warning AQL003 [divergent-closure] <message> (at offset B..E)`.
+/// True when `d.span` genuinely indexes `d.source` — a valid range lying
+/// entirely inside the text. Diagnostics from programmatically built plans
+/// carry spans into text the caller never supplied (or no span at all);
+/// those must render spanless rather than caret into the wrong string.
+bool SpanAddressesSource(const Diagnostic& d);
+
+/// One line: `warning AQL003 [divergent-closure] <message>`, with
+/// ` (at offset B..E)` appended only when the span addresses the source
+/// (offsets into text nobody can see are noise, not location).
 std::string FormatDiagnostic(const Diagnostic& d);
 
 /// Multi-line rendering with the source line and a `^~~~` caret underline
-/// when `source` and a valid `span` are present; falls back to
-/// `FormatDiagnostic` otherwise.
+/// when the span addresses the source; falls back to `FormatDiagnostic`
+/// otherwise — never an empty or misaligned caret block.
 std::string RenderDiagnostic(const Diagnostic& d);
 
 /// Renders a batch, one `RenderDiagnostic` per entry.

@@ -1,0 +1,107 @@
+#include "lint/effects.h"
+
+#include "obs/metrics.h"
+
+namespace aqua::lint {
+
+namespace {
+
+FnEffect MaxEffect(FnEffect a, FnEffect b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+void WalkEffects(const PlanRef& node, EffectSummary* out) {
+  if (node == nullptr) return;
+  if (NodeHasFn(*node)) {
+    FnEffect e = NodeFnEffect(*node);
+    out->node_effects.emplace(node.get(), e);
+    ++out->fn_nodes;
+    out->plan_effect = MaxEffect(out->plan_effect, e);
+    if (node->op == PlanOp::kTreeApply || node->op == PlanOp::kListApply) {
+      if (NodeParallelCertified(*node)) {
+        ++out->certified_applies;
+      } else {
+        ++out->uncertified_applies;
+      }
+    }
+  }
+  for (const PlanRef& child : node->children) WalkEffects(child, out);
+}
+
+}  // namespace
+
+bool NodeHasFn(const PlanNode& node) {
+  switch (node.op) {
+    case PlanOp::kTreeApply:
+      return true;  // node_fn (possibly materialized from fn_expr)
+    case PlanOp::kTreeSplit:
+      return node.split_fn != nullptr;
+    case PlanOp::kTreeAllAnc:
+      return node.anc_fn != nullptr;
+    case PlanOp::kTreeAllDesc:
+      return node.desc_fn != nullptr;
+    case PlanOp::kListApply:
+      return true;
+    case PlanOp::kListSplit:
+      return node.lsplit_fn != nullptr;
+    case PlanOp::kListAllAnc:
+      return node.lanc_fn != nullptr;
+    case PlanOp::kListAllDesc:
+      return node.ldesc_fn != nullptr;
+    default:
+      return false;
+  }
+}
+
+FnEffect NodeFnEffect(const PlanNode& node) {
+  if (!NodeHasFn(node)) return FnEffect::kPure;
+  if (node.op == PlanOp::kTreeApply || node.op == PlanOp::kListApply) {
+    // A structured expression decides its own effect; a bare std::function
+    // is opaque — there is nothing to inspect.
+    return FnExprEffect(node.fn_expr);
+  }
+  // The split family only exists in bare-callback form today.
+  return FnEffect::kOpaque;
+}
+
+bool NodeParallelCertified(const PlanNode& node) {
+  if (node.op != PlanOp::kTreeApply && node.op != PlanOp::kListApply) {
+    return false;
+  }
+  return FnEffectParallelSafe(NodeFnEffect(node));
+}
+
+EffectSummary AnalyzeEffects(const PlanRef& plan) {
+  EffectSummary out;
+  WalkEffects(plan, &out);
+  AQUA_OBS_COUNT("lint.effects_analyzed", 1);
+  AQUA_OBS_COUNT("lint.applies_certified", out.certified_applies);
+  return out;
+}
+
+std::string EffectSummary::ToString() const {
+  std::string out = "effects: plan=" +
+                    std::string(FnEffectToString(plan_effect)) + ", " +
+                    std::to_string(fn_nodes) + " fn node(s), " +
+                    std::to_string(certified_applies) +
+                    " certified parallel apply\n";
+  for (const auto& [node, effect] : node_effects) {
+    out += "  ";
+    out += PlanOpToString(node->op);
+    if (node->fn_expr != nullptr) {
+      out += " fn=" + node->fn_expr->ToString();
+    } else {
+      out += " fn=<opaque std::function>";
+    }
+    out += " effect=";
+    out += FnEffectToString(effect);
+    if (node->op == PlanOp::kTreeApply || node->op == PlanOp::kListApply) {
+      out += NodeParallelCertified(*node) ? " parallel=certified"
+                                          : " parallel=serial";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace aqua::lint

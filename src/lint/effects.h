@@ -1,0 +1,67 @@
+#ifndef AQUA_LINT_EFFECTS_H_
+#define AQUA_LINT_EFFECTS_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "algebra/fn_expr.h"
+#include "query/plan.h"
+
+namespace aqua::lint {
+
+/// Effect/purity analysis of a plan's function parameters (the second half
+/// of lint v2). Every operator that takes a function — `apply`, `split`,
+/// `all_anc`, `all_desc` and their list forms — is classified on the
+/// `FnEffect` lattice:
+///
+///   * `apply` built via `Q::TreeApplyExpr`/`Q::ListApplyExpr` carries a
+///     structured `FnExpr`, whose effect is decided by induction
+///     (fn_expr.h): identity/const are pure, predicate guards are
+///     read-only, updates are store-mutating.
+///   * a bare `std::function` (the classic builder path, and all
+///     split-family callbacks today) is opaque — nothing is known.
+///
+/// `exec::Compile` consults this summary: an `apply` whose effect is at
+/// most read-only is *certified* and fans out morsel-parallel like the
+/// select operators (byte-identical to serial); everything else keeps the
+/// pessimistic serial path.
+struct EffectSummary {
+  /// Effect of each node's own function parameter; nodes without function
+  /// parameters are absent.
+  std::map<const PlanNode*, FnEffect> node_effects;
+  /// Nodes carrying any function parameter.
+  size_t fn_nodes = 0;
+  /// `apply` nodes whose function is certified parallel-safe.
+  size_t certified_applies = 0;
+  /// `apply` nodes that stay serial (opaque or store-mutating function).
+  size_t uncertified_applies = 0;
+  /// Max effect across the plan (kPure when no node has a function).
+  FnEffect plan_effect = FnEffect::kPure;
+
+  /// One line per function-carrying node, e.g.
+  /// `TreeApply fn=choose(...) effect=read-only parallel=certified`.
+  std::string ToString() const;
+};
+
+/// True when `node` takes a function parameter at all.
+bool NodeHasFn(const PlanNode& node);
+
+/// Effect of `node`'s own function parameter. kPure for operators without
+/// one; kOpaque for any bare `std::function`; the expression's inferred
+/// effect for structured applies.
+FnEffect NodeFnEffect(const PlanNode& node);
+
+/// True when `node` is a tree/list `apply` whose function is certified for
+/// the morsel-parallel fan-out (effect at most read-only). This is the
+/// exact predicate `exec::Compile` uses to flip the apply operators from
+/// serial to parallel.
+bool NodeParallelCertified(const PlanNode& node);
+
+/// Classifies every node of `plan`. Emits the `lint.effects_analyzed`
+/// counter once per call and `lint.applies_certified` per certified apply.
+EffectSummary AnalyzeEffects(const PlanRef& plan);
+
+}  // namespace aqua::lint
+
+#endif  // AQUA_LINT_EFFECTS_H_

@@ -1,7 +1,10 @@
 #include "lint/lint.h"
 
+#include <atomic>
+#include <cstdlib>
 #include <utility>
 
+#include "lint/absint.h"
 #include "lint/interval.h"
 #include "obs/metrics.h"
 #include "query/validate.h"
@@ -9,6 +12,9 @@
 namespace aqua::lint {
 
 namespace {
+
+/// -1 = no programmatic override; else static_cast<int>(Level).
+std::atomic<int> g_level_override{-1};
 
 bool IsTreePatternOp(PlanOp op) {
   switch (op) {
@@ -206,10 +212,62 @@ class PlanLinter {
 
 }  // namespace
 
+const char* LevelToString(Level level) {
+  switch (level) {
+    case Level::kOff:
+      return "off";
+    case Level::kWarn:
+      return "warn";
+    case Level::kError:
+      return "error";
+  }
+  return "warn";
+}
+
+bool ParseLevel(const std::string& text, Level* out) {
+  if (text == "off") {
+    *out = Level::kOff;
+  } else if (text == "warn") {
+    *out = Level::kWarn;
+  } else if (text == "error") {
+    *out = Level::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Level EnforcementLevel() {
+  int override = g_level_override.load(std::memory_order_relaxed);
+  if (override >= 0) return static_cast<Level>(override);
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only getenv; the knob is
+  // fixed at process start and the override above is the mutable path.
+  if (const char* env = std::getenv("AQUA_LINT")) {
+    Level level;
+    if (ParseLevel(env, &level)) return level;
+  }
+  return Level::kWarn;
+}
+
+void set_enforcement_level(Level level) {
+  g_level_override.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool HasErrors(const std::vector<Diagnostic>& diags) {
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
 std::vector<Diagnostic> LintPlan(const Database& db, const PlanRef& plan,
                                  const PlanLintOptions& opts) {
   std::vector<Diagnostic> out;
   PlanLinter(db, opts, &out).Walk(plan);
+  if (opts.absint) {
+    AbsIntResult facts = AnalyzePlan(db, plan, opts.pattern_source);
+    for (Diagnostic& d : facts.diags) out.push_back(std::move(d));
+  }
   AQUA_OBS_COUNT("lint.diag_emitted", out.size());
 #ifndef AQUA_OBS_DISABLED
   if (obs::Registry::enabled()) {

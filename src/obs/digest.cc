@@ -124,6 +124,33 @@ std::string NormTree(const TreePatternRef& tp) {
   return "?";
 }
 
+/// Function-expression shape with constants elided: `const#12` and update
+/// values normalize to `$`, guards go through `NormPred`.
+std::string NormFnExpr(const FnExprRef& e) {
+  if (e == nullptr) return "id";
+  switch (e->kind()) {
+    case FnExpr::Kind::kIdentity:
+      return "id";
+    case FnExpr::Kind::kConst:
+      return "const#$";
+    case FnExpr::Kind::kChoose:
+      return "choose(" + NormPred(e->guard()) + ", " +
+             NormFnExpr(e->then_expr()) + ", " + NormFnExpr(e->else_expr()) +
+             ")";
+    case FnExpr::Kind::kUpdate: {
+      std::string out = "update(";
+      for (size_t i = 0; i < e->sets().size(); ++i) {
+        if (i > 0) out += ", ";
+        out += e->sets()[i].attr + "=$";
+      }
+      return out + ")";
+    }
+    case FnExpr::Kind::kCompose:
+      return NormFnExpr(e->outer()) + " . " + NormFnExpr(e->inner());
+  }
+  return "?";
+}
+
 std::string NormAnchoredList(const AnchoredListPattern& lp) {
   std::string out;
   if (lp.anchor_begin) out += '^';
@@ -153,6 +180,9 @@ void NormalizeNode(const PlanRef& node, size_t indent, std::string* out) {
   }
   if (node->lpattern.body != nullptr) {
     params.push_back("pattern=" + NormAnchoredList(node->lpattern));
+  }
+  if (node->fn_expr != nullptr) {
+    params.push_back("fn=" + NormFnExpr(node->fn_expr));
   }
   if (!params.empty()) {
     *out += " [";
@@ -214,6 +244,7 @@ double EstimateQuantile(
 namespace {
 
 size_t DefaultDigestCapacity() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only getenv at init.
   const char* env = std::getenv("AQUA_DIGEST_CAP");
   if (env != nullptr && *env != '\0') {
     long n = std::strtol(env, nullptr, 10);
@@ -244,20 +275,20 @@ void DigestTable::EvictLocked(size_t cap) {
 }
 
 void DigestTable::set_capacity(size_t cap) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   capacity_ = cap;
   EvictLocked(cap != 0 ? cap : DefaultDigestCapacity());
 }
 
 size_t DigestTable::capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return capacity_ != 0 ? capacity_ : DefaultDigestCapacity();
 }
 
 void DigestTable::Record(uint64_t fingerprint, std::string_view text,
                          uint64_t wall_ns, uint64_t mem_peak_bytes,
                          StatusCode code) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   bool is_new = entries_.find(fingerprint) == entries_.end();
   if (is_new) {
     // Make room *before* inserting so the new row can never be its own
@@ -286,7 +317,7 @@ void DigestTable::Record(uint64_t fingerprint, std::string_view text,
 std::vector<DigestRow> DigestTable::Rows() const {
   std::vector<DigestRow> rows;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     rows.reserve(entries_.size());
     for (const auto& [fp, e] : entries_) {
       DigestRow r;
@@ -312,7 +343,7 @@ std::vector<DigestRow> DigestTable::Rows() const {
 }
 
 DigestRow DigestTable::Row(uint64_t fingerprint) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(fingerprint);
   DigestRow r;
   r.fingerprint = fingerprint;
@@ -418,12 +449,12 @@ std::string DigestTable::ToJson(size_t max_rows) const {
 }
 
 void DigestTable::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
 }
 
 size_t DigestTable::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 

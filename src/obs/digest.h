@@ -5,12 +5,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "query/plan.h"
 
@@ -87,27 +88,28 @@ class DigestTable {
   /// finished with `code` (kCancelled / kDeadlineExceeded bump the
   /// corresponding outcome counters).
   void Record(uint64_t fingerprint, std::string_view text, uint64_t wall_ns,
-              uint64_t mem_peak_bytes = 0, StatusCode code = StatusCode::kOk);
+              uint64_t mem_peak_bytes = 0, StatusCode code = StatusCode::kOk)
+      AQUA_EXCLUDES(mu_);
 
   /// Copies the table out, sorted by total time descending.
-  std::vector<DigestRow> Rows() const;
+  std::vector<DigestRow> Rows() const AQUA_EXCLUDES(mu_);
 
   /// The row for `fingerprint`; calls == 0 when absent.
-  DigestRow Row(uint64_t fingerprint) const;
+  DigestRow Row(uint64_t fingerprint) const AQUA_EXCLUDES(mu_);
 
   /// Aligned table: fingerprint, calls, total/mean/p50/p95/p99/max ms, text.
   std::string ToText(size_t max_rows = 32) const;
   /// `{"digests":[{...}...]}`, sorted by total time descending.
   std::string ToJson(size_t max_rows = 256) const;
 
-  void Reset();
-  size_t size() const;
+  void Reset() AQUA_EXCLUDES(mu_);
+  size_t size() const AQUA_EXCLUDES(mu_);
 
   /// Changes the row cap, evicting least-recently-updated rows immediately
   /// if the table is already over the new cap. `cap` 0 restores the
   /// default policy.
-  void set_capacity(size_t cap);
-  size_t capacity() const;
+  void set_capacity(size_t cap) AQUA_EXCLUDES(mu_);
+  size_t capacity() const AQUA_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -125,13 +127,12 @@ class DigestTable {
   };
 
   /// Drops least-recently-updated entries until `entries_.size() <= cap`.
-  /// Caller holds `mu_`.
-  void EvictLocked(size_t cap);
+  void EvictLocked(size_t cap) AQUA_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<uint64_t, Entry> entries_;
-  size_t capacity_ = 0;
-  uint64_t update_seq_ = 0;
+  mutable Mutex mu_;
+  std::map<uint64_t, Entry> entries_ AQUA_GUARDED_BY(mu_);
+  size_t capacity_ AQUA_GUARDED_BY(mu_) = 0;
+  uint64_t update_seq_ AQUA_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace aqua::obs

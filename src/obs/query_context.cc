@@ -121,6 +121,7 @@ QueryContext::Scope::~Scope() { t_current_query = prev_; }
 namespace {
 
 uint64_t EnvUint(const char* name) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only getenv at init.
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return 0;
   char* end = nullptr;

@@ -37,6 +37,7 @@ FlightRecorder& FlightRecorder::Global() {
 }
 
 FlightRecorder::FlightRecorder() : epoch_ns_(SteadyNowNs()) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only getenv at init.
   const char* ms = std::getenv("AQUA_SLOW_QUERY_MS");
   if (ms != nullptr && *ms != '\0') {
     double v = std::strtod(ms, nullptr);
@@ -45,13 +46,14 @@ FlightRecorder::FlightRecorder() : epoch_ns_(SteadyNowNs()) {
                                std::memory_order_relaxed);
     }
   }
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only getenv at init.
   const char* path = std::getenv("AQUA_SLOW_QUERY_LOG");
   slow_log_path_ = path != nullptr && *path != '\0' ? path
                                                     : "aqua_slow_queries.log";
 }
 
 FlightRecorder::Ring* FlightRecorder::RegisterRing() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   rings_.push_back(std::make_unique<Ring>());
   return rings_.back().get();
 }
@@ -94,7 +96,7 @@ void FlightRecorder::Record(FlightEvent e) {
 std::vector<FlightEvent> FlightRecorder::Dump() const {
   std::vector<const Ring*> rings;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     rings.reserve(rings_.size());
     for (const auto& r : rings_) rings.push_back(r.get());
   }
@@ -194,7 +196,7 @@ std::string FlightRecorder::ToJson(size_t max_events) const {
 }
 
 void FlightRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& ring : rings_) {
     // Writers may be active; bump each slot through a full odd/even cycle
     // so concurrent readers discard it, then reset the head.
@@ -213,17 +215,17 @@ size_t FlightRecorder::retained() const {
 }
 
 size_t FlightRecorder::rings() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return rings_.size();
 }
 
 void FlightRecorder::set_slow_query_log_path(std::string path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   slow_log_path_ = std::move(path);
 }
 
 std::string FlightRecorder::slow_query_log_path() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return slow_log_path_;
 }
 
@@ -231,7 +233,7 @@ void FlightRecorder::AppendSlowQuery(uint64_t wall_ns, uint64_t fingerprint,
                                      std::string_view plan_text,
                                      std::string_view trace_report,
                                      const Snapshot& delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ofstream out(slow_log_path_, std::ios::app);
   if (!out) return;  // the log is best-effort; never fail the query
   char head[160];

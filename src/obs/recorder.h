@@ -6,11 +6,12 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace aqua::obs {
@@ -76,7 +77,7 @@ class FlightRecorder {
   void Record(FlightEvent e);
 
   /// All retained events across every thread ring, oldest first.
-  std::vector<FlightEvent> Dump() const;
+  std::vector<FlightEvent> Dump() const AQUA_EXCLUDES(mu_);
 
   /// Tabular rendering of `Dump()` (newest last), one line per event.
   std::string ToText(size_t max_events = 64) const;
@@ -84,12 +85,12 @@ class FlightRecorder {
   std::string ToJson(size_t max_events = kRingCapacity) const;
 
   /// Drops every retained event (the rings themselves stay registered).
-  void Clear();
+  void Clear() AQUA_EXCLUDES(mu_);
 
   /// Events currently retained across all rings.
   size_t retained() const;
   /// Ring count (== number of threads that ever recorded).
-  size_t rings() const;
+  size_t rings() const AQUA_EXCLUDES(mu_);
 
   // --- slow-query log -----------------------------------------------------
   // When a threshold is set (> 0), the executor reports every Execute whose
@@ -104,14 +105,15 @@ class FlightRecorder {
     return slow_threshold_ns_.load(std::memory_order_relaxed);
   }
   /// Defaults to "aqua_slow_queries.log" (AQUA_SLOW_QUERY_LOG overrides).
-  void set_slow_query_log_path(std::string path);
-  std::string slow_query_log_path() const;
+  void set_slow_query_log_path(std::string path) AQUA_EXCLUDES(mu_);
+  std::string slow_query_log_path() const AQUA_EXCLUDES(mu_);
 
   /// Appends one slow-query block to the log. `trace_report` may be empty
   /// (tracing off); `plan_text` is the full (non-normalized) plan.
   void AppendSlowQuery(uint64_t wall_ns, uint64_t fingerprint,
                        std::string_view plan_text,
-                       std::string_view trace_report, const Snapshot& delta);
+                       std::string_view trace_report, const Snapshot& delta)
+      AQUA_EXCLUDES(mu_);
 
   /// Slow queries logged since process start (cheap health indicator).
   uint64_t slow_queries_logged() const {
@@ -136,16 +138,18 @@ class FlightRecorder {
   FlightRecorder();
 
   Ring* LocalRing();
-  Ring* RegisterRing();
+  Ring* RegisterRing() AQUA_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;                     // guards rings_ growth + log
-  std::vector<std::unique_ptr<Ring>> rings_;  // one per recording thread
+  mutable Mutex mu_;  // guards rings_ growth + the slow log
+  /// One ring per recording thread. Growth is guarded; established rings
+  /// are written lock-free by their owning thread (seqlock slots above).
+  std::vector<std::unique_ptr<Ring>> rings_ AQUA_GUARDED_BY(mu_);
   std::atomic<uint64_t> seq_{0};
   std::atomic<uint64_t> retained_{0};
   std::atomic<uint64_t> slow_threshold_ns_{0};
   std::atomic<uint64_t> slow_logged_{0};
-  std::string slow_log_path_;
-  uint64_t epoch_ns_ = 0;  // steady-clock origin for t_ns
+  std::string slow_log_path_ AQUA_GUARDED_BY(mu_);
+  uint64_t epoch_ns_ = 0;  // steady-clock origin for t_ns; set once in ctor
 };
 
 }  // namespace aqua::obs

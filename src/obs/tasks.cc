@@ -62,7 +62,7 @@ void TaskRegistry::Register(QueryContext* q) {
   if (q == nullptr) return;
   size_t n;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tasks_[q->id()] = q;
     n = tasks_.size();
   }
@@ -73,7 +73,7 @@ void TaskRegistry::Unregister(QueryContext* q) {
   if (q == nullptr) return;
   size_t n;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tasks_.erase(q->id());
     n = tasks_.size();
   }
@@ -83,14 +83,14 @@ void TaskRegistry::Unregister(QueryContext* q) {
 std::vector<TaskRow> TaskRegistry::Snapshot() const {
   uint64_t now = QueryContext::NowNs();
   std::vector<TaskRow> rows;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   rows.reserve(tasks_.size());
   for (const auto& [id, q] : tasks_) rows.push_back(RowOf(*q, now));
   return rows;
 }
 
 Status TaskRegistry::Kill(uint64_t id, std::string_view reason) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tasks_.find(id);
   if (it == tasks_.end()) {
     return Status::NotFound("no in-flight query " + std::to_string(id));
@@ -104,7 +104,7 @@ size_t TaskRegistry::EnforceLimits() {
   uint64_t now = QueryContext::NowNs();
   size_t cancelled = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [id, q] : tasks_) {
       if (q->cancel_requested()) continue;
       uint64_t deadline = q->deadline_ns();
@@ -125,7 +125,7 @@ size_t TaskRegistry::EnforceLimits() {
 }
 
 size_t TaskRegistry::active() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tasks_.size();
 }
 

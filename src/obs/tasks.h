@@ -3,12 +3,13 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/query_context.h"
 
 namespace aqua::obs {
@@ -46,8 +47,8 @@ class TaskRegistry {
  public:
   static TaskRegistry& Global();
 
-  void Register(QueryContext* q);
-  void Unregister(QueryContext* q);
+  void Register(QueryContext* q) AQUA_EXCLUDES(mu_);
+  void Unregister(QueryContext* q) AQUA_EXCLUDES(mu_);
 
   /// RAII registration for the executor's stack.
   class Guard {
@@ -62,30 +63,34 @@ class TaskRegistry {
   };
 
   /// Copies the live table out, ordered by query id (start order).
-  std::vector<TaskRow> Snapshot() const;
+  std::vector<TaskRow> Snapshot() const AQUA_EXCLUDES(mu_);
 
   /// Requests cooperative cancellation of query `id`; `NotFound` when no
   /// such query is in flight.
-  Status Kill(uint64_t id, std::string_view reason = "was killed");
+  Status Kill(uint64_t id, std::string_view reason = "was killed")
+      AQUA_EXCLUDES(mu_);
 
   /// Watchdog sweep: cancels every task past its deadline or over its
   /// memory limit. Returns how many tasks this call newly cancelled.
   /// Belt-and-braces next to the workers' own checkpoints — a daemon can
   /// run this on a timer so limits hold even for a wedged worker's peers.
-  size_t EnforceLimits();
+  size_t EnforceLimits() AQUA_EXCLUDES(mu_);
 
-  size_t active() const;
+  size_t active() const AQUA_EXCLUDES(mu_);
 
   /// Aligned table: id, elapsed, cpu, mem, progress, op, plan.
-  std::string ToText() const;
+  std::string ToText() const AQUA_EXCLUDES(mu_);
   /// `{"tasks":[{...}...]}`, ordered by query id.
-  std::string ToJson() const;
+  std::string ToJson() const AQUA_EXCLUDES(mu_);
 
  private:
   TaskRegistry() = default;
 
-  mutable std::mutex mu_;
-  std::map<uint64_t, QueryContext*> tasks_;
+  mutable Mutex mu_;
+  /// Live `QueryContext`s, keyed by query id. Pointees are owned by their
+  /// executing thread's stack and are only dereferenced under `mu_`
+  /// (registration brackets execution, so a visible entry is always alive).
+  std::map<uint64_t, QueryContext*> tasks_ AQUA_GUARDED_BY(mu_);
 };
 
 #else  // AQUA_OBS_DISABLED

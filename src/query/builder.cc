@@ -41,6 +41,17 @@ PlanRef TreeApply(PlanRef input, NodeFn fn) {
   return node;
 }
 
+PlanRef TreeApplyExpr(PlanRef input, FnExprRef expr) {
+  if (expr == nullptr) expr = FnExpr::Identity();
+  auto node = New(PlanOp::kTreeApply);
+  node->children = {std::move(input)};
+  node->fn_expr = expr;
+  node->node_fn = [expr](ObjectStore& store, Oid oid) {
+    return expr->Eval(store, oid);
+  };
+  return node;
+}
+
 PlanRef TreeSubSelect(PlanRef input, TreePatternRef tp, SplitOptions opts) {
   auto node = New(PlanOp::kTreeSubSelect);
   node->children = {std::move(input)};
@@ -114,6 +125,17 @@ PlanRef ListApply(PlanRef input, ListNodeFn fn) {
   auto node = New(PlanOp::kListApply);
   node->children = {std::move(input)};
   node->lnode_fn = std::move(fn);
+  return node;
+}
+
+PlanRef ListApplyExpr(PlanRef input, FnExprRef expr) {
+  if (expr == nullptr) expr = FnExpr::Identity();
+  auto node = New(PlanOp::kListApply);
+  node->children = {std::move(input)};
+  node->fn_expr = expr;
+  node->lnode_fn = [expr](ObjectStore& store, Oid oid) {
+    return expr->Eval(store, oid);
+  };
   return node;
 }
 

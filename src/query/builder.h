@@ -24,6 +24,12 @@ PlanRef EmptyList();
 
 PlanRef TreeSelect(PlanRef input, PredicateRef pred);
 PlanRef TreeApply(PlanRef input, NodeFn fn);
+/// `apply` from a structured function expression. The plan node carries the
+/// expression (so lint's effect analysis can classify it — pure/read-only
+/// expressions are certified for morsel-parallel execution) plus the
+/// materialized `NodeFn` the executor actually runs. A null `expr` means
+/// identity.
+PlanRef TreeApplyExpr(PlanRef input, FnExprRef expr);
 PlanRef TreeSubSelect(PlanRef input, TreePatternRef tp,
                       SplitOptions opts = {});
 PlanRef TreeSplit(PlanRef input, TreePatternRef tp, SplitFn fn,
@@ -48,6 +54,10 @@ PlanRef IndexedListSubSelect(std::string collection, std::string attr,
 
 PlanRef ListSelect(PlanRef input, PredicateRef pred);
 PlanRef ListApply(PlanRef input, ListNodeFn fn);
+/// The list analogue of `TreeApplyExpr` (same expression language;
+/// `NodeFn` and `ListNodeFn` share the `(ObjectStore&, Oid) -> Oid`
+/// signature).
+PlanRef ListApplyExpr(PlanRef input, FnExprRef expr);
 PlanRef ListSubSelect(PlanRef input, AnchoredListPattern lp,
                       ListSplitOptions opts = {});
 PlanRef ListSplit(PlanRef input, AnchoredListPattern lp, ListSplitFn fn,

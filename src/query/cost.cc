@@ -1,5 +1,6 @@
 #include "query/cost.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace aqua {
@@ -69,6 +70,30 @@ double WorkFromCounts(size_t nodes, size_t closures) {
   return static_cast<double>(nodes) * mult;
 }
 
+/// Clamps a heuristic estimate into the node's proved facts: the
+/// out_collections guess must land inside the inferred cardinality
+/// interval, and a provably-empty node outputs nothing. The heuristics
+/// then never contradict the static analysis, and provable emptiness
+/// propagates a zero prior up through every parent estimate.
+CostEstimate ClampToFacts(CostEstimate est, const lint::AbsIntResult& facts,
+                          const PlanRef& plan) {
+  auto it = facts.facts.find(plan.get());
+  if (it == facts.facts.end()) return est;
+  const lint::PlanFacts& f = it->second;
+  est.out_collections =
+      std::max(est.out_collections, static_cast<double>(f.card.lo));
+  if (f.card.bounded()) {
+    est.out_collections =
+        std::min(est.out_collections, static_cast<double>(f.card.hi));
+  }
+  if (f.nodes_hi != lint::CardInterval::kUnbounded) {
+    est.out_nodes =
+        std::min(est.out_nodes, static_cast<double>(f.nodes_hi));
+  }
+  if (f.card.provably_empty()) est.out_nodes = 0;
+  return est;
+}
+
 }  // namespace
 
 double CostModel::PatternWork(const TreePatternRef& tp) {
@@ -86,6 +111,15 @@ double CostModel::PatternWork(const AnchoredListPattern& lp) {
 }
 
 Result<CostEstimate> CostModel::Estimate(const PlanRef& plan) const {
+  // One abstract-interpretation pass at the root; its per-node facts clamp
+  // every heuristic estimate below.
+  lint::AbsIntResult facts;
+  if (db_ != nullptr) facts = lint::AnalyzePlan(*db_, plan);
+  return EstimateNode(plan, facts);
+}
+
+Result<CostEstimate> CostModel::EstimateNode(
+    const PlanRef& plan, const lint::AbsIntResult& facts) const {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
   CostEstimate est;
   switch (plan->op) {
@@ -96,61 +130,61 @@ Result<CostEstimate> CostModel::Estimate(const PlanRef& plan) const {
       est.cost = 0;
       est.out_collections = plan->op == PlanOp::kEmptyList ? 1 : 0;
       est.out_nodes = 0;
-      return est;
+      return ClampToFacts(est, facts, plan);
     }
     case PlanOp::kScanTree: {
       AQUA_ASSIGN_OR_RETURN(const Tree* tree, db_->GetTree(plan->collection));
       est.cost = 1;
       est.out_collections = 1;
       est.out_nodes = static_cast<double>(tree->size());
-      return est;
+      return ClampToFacts(est, facts, plan);
     }
     case PlanOp::kScanList: {
       AQUA_ASSIGN_OR_RETURN(const List* list, db_->GetList(plan->collection));
       est.cost = 1;
       est.out_collections = 1;
       est.out_nodes = static_cast<double>(list->size());
-      return est;
+      return ClampToFacts(est, facts, plan);
     }
     case PlanOp::kTreeSelect:
     case PlanOp::kListSelect: {
-      AQUA_ASSIGN_OR_RETURN(CostEstimate in, Estimate(plan->children[0]));
+      AQUA_ASSIGN_OR_RETURN(CostEstimate in, EstimateNode(plan->children[0], facts));
       double pred_size =
           plan->pred ? static_cast<double>(plan->pred->SizeInNodes()) : 1;
       est.cost = in.cost + in.out_nodes * pred_size;
       est.out_nodes = in.out_nodes * kDefaultSelectSelectivity;
       est.out_collections = std::max(1.0, est.out_nodes * 0.1);
-      return est;
+      return ClampToFacts(est, facts, plan);
     }
     case PlanOp::kTreeApply:
     case PlanOp::kListApply: {
-      AQUA_ASSIGN_OR_RETURN(CostEstimate in, Estimate(plan->children[0]));
+      AQUA_ASSIGN_OR_RETURN(CostEstimate in, EstimateNode(plan->children[0], facts));
       est.cost = in.cost + in.out_nodes;
       est.out_nodes = in.out_nodes;
       est.out_collections = in.out_collections;
-      return est;
+      return ClampToFacts(est, facts, plan);
     }
     case PlanOp::kTreeSubSelect:
     case PlanOp::kTreeSplit:
     case PlanOp::kTreeAllAnc:
     case PlanOp::kTreeAllDesc: {
-      AQUA_ASSIGN_OR_RETURN(CostEstimate in, Estimate(plan->children[0]));
+      AQUA_ASSIGN_OR_RETURN(CostEstimate in, EstimateNode(plan->children[0], facts));
       double work = PatternWork(plan->tpattern);
       est.cost = in.cost + in.out_nodes * work;
       est.out_collections = std::max(1.0, in.out_nodes * 0.05);
       est.out_nodes = in.out_nodes * kDefaultMatchSelectivity;
-      return est;
+      return ClampToFacts(est, facts, plan);
     }
     case PlanOp::kListSubSelect:
     case PlanOp::kListSplit:
     case PlanOp::kListAllAnc:
     case PlanOp::kListAllDesc: {
-      AQUA_ASSIGN_OR_RETURN(CostEstimate in, Estimate(plan->children[0]));
+      AQUA_ASSIGN_OR_RETURN(CostEstimate in, EstimateNode(plan->children[0], facts));
       double work = PatternWork(plan->lpattern);
       est.cost = in.cost + in.out_nodes * work;
       est.out_collections = std::max(1.0, in.out_nodes * 0.05);
       est.out_nodes = in.out_nodes * kDefaultMatchSelectivity;
-      return est;
+      return ClampToFacts(est, facts, plan);
     }
     case PlanOp::kIndexedListSubSelect: {
       AQUA_ASSIGN_OR_RETURN(const List* list, db_->GetList(plan->collection));
@@ -163,7 +197,7 @@ Result<CostEstimate> CostModel::Estimate(const PlanRef& plan) const {
       est.cost = std::log2(n + 2) + candidates * work;
       est.out_collections = std::max(1.0, candidates * 0.5);
       est.out_nodes = candidates * work;
-      return est;
+      return ClampToFacts(est, facts, plan);
     }
     case PlanOp::kIndexedSubSelect: {
       AQUA_ASSIGN_OR_RETURN(const Tree* tree, db_->GetTree(plan->collection));
@@ -176,7 +210,7 @@ Result<CostEstimate> CostModel::Estimate(const PlanRef& plan) const {
       est.cost = std::log2(n + 2) + candidates * work;
       est.out_collections = std::max(1.0, candidates * 0.5);
       est.out_nodes = candidates * work;  // pessimistic piece size
-      return est;
+      return ClampToFacts(est, facts, plan);
     }
   }
   return Status::Internal("unreachable in CostModel::Estimate");

@@ -2,6 +2,7 @@
 #define AQUA_QUERY_COST_H_
 
 #include "common/result.h"
+#include "lint/absint.h"
 #include "query/database.h"
 #include "query/plan.h"
 
@@ -27,7 +28,12 @@ struct CostEstimate {
 ///    grows with closure operators (they backtrack);
 ///  * an indexed sub_select costs log(N) for the probe plus
 ///    (candidates) × (pattern size) × K, with candidates from exact index
-///    statistics.
+///    statistics;
+///  * the abstract-interpretation facts (lint/absint.h) act as static
+///    priors: every node's estimated `out_collections` is clamped into its
+///    inferred cardinality interval, and a provably-empty node estimates
+///    zero output — so the heuristics can never contradict what the
+///    analysis proved.
 class CostModel {
  public:
   explicit CostModel(const Database* db) : db_(db) {}
@@ -40,6 +46,11 @@ class CostModel {
   static double PatternWork(const AnchoredListPattern& lp);
 
  private:
+  /// The recursive heuristic estimate, clamped per node by the inferred
+  /// facts (computed once per `Estimate` call at the root).
+  Result<CostEstimate> EstimateNode(const PlanRef& plan,
+                                    const lint::AbsIntResult& facts) const;
+
   const Database* db_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "lint/lint.h"
 #include "obs/digest.h"
 #include "obs/query_context.h"
 #include "obs/recorder.h"
@@ -15,6 +16,22 @@ Result<Datum> Executor::Execute(const PlanRef& plan) {
   trace_.Clear();
   obs::Snapshot before = obs::Registry::Global().Snap();
   AQUA_OBS_COUNT("exec.executes", 1);
+
+  // At AQUA_LINT=error the lint pass is a gate: a plan carrying any
+  // error-severity finding (kind-flow contradictions, parameter
+  // mismatches, unsafe shapes) is refused before compilation.
+  if (lint::EnforcementLevel() == lint::Level::kError) {
+    std::vector<lint::Diagnostic> diags = lint::LintPlan(*db_, plan);
+    if (lint::HasErrors(diags)) {
+      AQUA_OBS_COUNT("exec.lint_refusals", 1);
+      std::string msg = "lint refuses to execute the plan (AQUA_LINT=error):";
+      for (const lint::Diagnostic& d : diags) {
+        if (d.severity != lint::Severity::kError) continue;
+        msg += "\n  " + lint::FormatDiagnostic(d);
+      }
+      return Status::InvalidArgument(std::move(msg));
+    }
+  }
 
   // Lifecycle context for this call: limits armed from the executor
   // overrides or the env defaults, descriptor filled before registration

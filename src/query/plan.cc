@@ -61,6 +61,9 @@ std::string DescribeNode(const PlanNode& node) {
   if (node.lpattern.body != nullptr) {
     params.push_back("pattern=" + node.lpattern.ToString());
   }
+  if (node.fn_expr != nullptr) {
+    params.push_back("fn=" + node.fn_expr->ToString());
+  }
   if (!params.empty()) {
     out += " [";
     for (size_t i = 0; i < params.size(); ++i) {
@@ -118,6 +121,11 @@ bool PlanEquals(const PlanRef& a, const PlanRef& b) {
   }
   if (a->lpattern.body != nullptr &&
       a->lpattern.ToString() != b->lpattern.ToString()) {
+    return false;
+  }
+  if ((a->fn_expr == nullptr) != (b->fn_expr == nullptr)) return false;
+  if (a->fn_expr != nullptr &&
+      a->fn_expr->ToString() != b->fn_expr->ToString()) {
     return false;
   }
   if (a->children.size() != b->children.size()) return false;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "algebra/fn_expr.h"
 #include "algebra/list_ops.h"
 #include "algebra/tree_ops.h"
 #include "pattern/list_pattern.h"
@@ -69,6 +70,12 @@ struct PlanNode {
   ListAncFn lanc_fn;
   ListDescFn ldesc_fn;
   ListNodeFn lnode_fn;
+  /// Structured form of `node_fn` / `lnode_fn` when the apply was built
+  /// through `Q::TreeApplyExpr` / `Q::ListApplyExpr`. Null for a bare
+  /// `std::function`, which lint classifies as opaque (serial execution).
+  /// When present, `node_fn`/`lnode_fn` is the materialization of this
+  /// expression — the executor only ever runs the function field.
+  FnExprRef fn_expr;
 };
 
 /// Renders one node as a single line: operator name plus its parameters,

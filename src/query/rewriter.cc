@@ -1,5 +1,8 @@
 #include "query/rewriter.h"
 
+#include "lint/absint.h"
+#include "obs/metrics.h"
+
 namespace aqua {
 
 void Rewriter::AddRule(std::unique_ptr<RewriteRule> rule) {
@@ -41,6 +44,18 @@ Result<PlanRef> Rewriter::RewriteNode(const PlanRef& node, bool* changed) {
     AQUA_ASSIGN_OR_RETURN(CostEstimate before, cost_model_.Estimate(current));
     AQUA_ASSIGN_OR_RETURN(CostEstimate after, cost_model_.Estimate(candidate));
     if (after.cost < before.cost) {
+      // Cost says yes; the facts get a veto. A §4 rewrite must preserve
+      // the result's shape, element kind, cardinality interval, and the
+      // duplicate-freeness/order invariants the algebra guarantees.
+      std::vector<lint::Diagnostic> unsafe =
+          lint::CheckRewriteSafety(*db_, current, candidate, rule->name());
+      if (!unsafe.empty()) {
+        AQUA_OBS_COUNT("lint.rewrites_rejected", 1);
+        for (lint::Diagnostic& d : unsafe) {
+          rejections_.push_back(std::move(d));
+        }
+        continue;
+      }
       applied_.push_back(rule->name());
       current = candidate;
       *changed = true;
@@ -51,6 +66,7 @@ Result<PlanRef> Rewriter::RewriteNode(const PlanRef& node, bool* changed) {
 
 Result<PlanRef> Rewriter::Optimize(const PlanRef& plan) {
   applied_.clear();
+  rejections_.clear();
   PlanRef current = plan;
   for (size_t pass = 0; pass < max_passes; ++pass) {
     bool changed = false;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "lint/diagnostic.h"
 #include "query/cost.h"
 #include "query/database.h"
 #include "query/plan.h"
@@ -31,6 +32,16 @@ class Rewriter {
   /// Names of rules applied, in order, during the last `Optimize`.
   const std::vector<std::string>& applied() const { return applied_; }
 
+  /// AQL020 findings of candidates the safety checker rejected during the
+  /// last `Optimize`. Every candidate a rule offers (and the cost model
+  /// prefers) is first asserted against the abstract-interpretation facts
+  /// of the plan it replaces (`lint::CheckRewriteSafety`); a contradiction
+  /// vetoes the rewrite and lands here (counted in
+  /// `lint.rewrites_rejected`).
+  const std::vector<lint::Diagnostic>& rejections() const {
+    return rejections_;
+  }
+
   Result<PlanRef> Optimize(const PlanRef& plan);
 
   size_t max_passes = 8;
@@ -42,6 +53,7 @@ class Rewriter {
   CostModel cost_model_;
   std::vector<std::unique_ptr<RewriteRule>> rules_;
   std::vector<std::string> applied_;
+  std::vector<lint::Diagnostic> rejections_;
 };
 
 }  // namespace aqua

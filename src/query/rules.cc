@@ -142,6 +142,14 @@ class ApplyFusionRule : public RewriteRule {
     const PlanRef& inner = node->children[0];
     if (node->op == PlanOp::kTreeApply &&
         inner->op == PlanOp::kTreeApply) {
+      // Both applies structured: fuse at the expression level so the
+      // composition keeps its inferred effect (and so a pure∘pure fusion
+      // stays certified for the parallel path).
+      if (node->fn_expr != nullptr && inner->fn_expr != nullptr) {
+        return Q::TreeApplyExpr(inner->children[0],
+                                FnExpr::Compose(node->fn_expr,
+                                                inner->fn_expr));
+      }
       NodeFn first = inner->node_fn;
       NodeFn second = node->node_fn;
       NodeFn fused = [first, second](ObjectStore& store,
@@ -153,6 +161,11 @@ class ApplyFusionRule : public RewriteRule {
     }
     if (node->op == PlanOp::kListApply &&
         inner->op == PlanOp::kListApply) {
+      if (node->fn_expr != nullptr && inner->fn_expr != nullptr) {
+        return Q::ListApplyExpr(inner->children[0],
+                                FnExpr::Compose(node->fn_expr,
+                                                inner->fn_expr));
+      }
       ListNodeFn first = inner->lnode_fn;
       ListNodeFn second = node->lnode_fn;
       ListNodeFn fused = [first, second](ObjectStore& store,

@@ -1,0 +1,114 @@
+// The structured apply-expression IR: effect inference by induction and
+// Eval agreement with the semantics each kind documents.
+#include "algebra/fn_expr.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/predicate_parser.h"
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+class FnExprTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(store_.schema()
+                  .RegisterType("P", {{"name", ValueType::kString, true},
+                                      {"age", ValueType::kInt, true}})
+                  .status());
+    ASSERT_OK_AND_ASSIGN(young_,
+                         store_.Create("P", {{"name", Value::String("kid")},
+                                             {"age", Value::Int(9)}}));
+    ASSERT_OK_AND_ASSIGN(old_,
+                         store_.Create("P", {{"name", Value::String("elder")},
+                                             {"age", Value::Int(80)}}));
+  }
+
+  PredicateRef P(const std::string& p) {
+    auto pred = ParsePredicate(p);
+    EXPECT_TRUE(pred.ok()) << pred.status().ToString();
+    return pred.ok() ? *pred : nullptr;
+  }
+
+  ObjectStore store_;
+  Oid young_, old_;
+};
+
+TEST_F(FnExprTest, EffectLattice) {
+  EXPECT_EQ(FnExpr::Identity()->effect(), FnEffect::kPure);
+  EXPECT_EQ(FnExpr::Const(young_)->effect(), FnEffect::kPure);
+  // A guard reads attributes: read-only, still parallel-safe.
+  auto guarded = FnExpr::Choose(P("age > 60"), FnExpr::Const(old_), nullptr);
+  EXPECT_EQ(guarded->effect(), FnEffect::kReadOnly);
+  EXPECT_TRUE(FnEffectParallelSafe(guarded->effect()));
+  // An update writes the store: not parallel-safe.
+  auto update = FnExpr::Update({{"age", Value::Int(0)}});
+  EXPECT_EQ(update->effect(), FnEffect::kStoreWrite);
+  EXPECT_FALSE(FnEffectParallelSafe(update->effect()));
+  // Composition takes the max.
+  EXPECT_EQ(FnExpr::Compose(guarded, update)->effect(),
+            FnEffect::kStoreWrite);
+  // Null expression (a bare std::function): opaque.
+  EXPECT_EQ(FnExprEffect(nullptr), FnEffect::kOpaque);
+  EXPECT_FALSE(FnEffectParallelSafe(FnEffect::kOpaque));
+}
+
+TEST_F(FnExprTest, EvalIdentityAndConst) {
+  ASSERT_OK_AND_ASSIGN(Oid same, FnExpr::Identity()->Eval(store_, young_));
+  EXPECT_EQ(same, young_);
+  ASSERT_OK_AND_ASSIGN(Oid c, FnExpr::Const(old_)->Eval(store_, young_));
+  EXPECT_EQ(c, old_);
+}
+
+TEST_F(FnExprTest, EvalChoosePicksByGuard) {
+  auto expr = FnExpr::Choose(P("age > 60"), FnExpr::Const(young_), nullptr);
+  ASSERT_OK_AND_ASSIGN(Oid taken, expr->Eval(store_, old_));
+  EXPECT_EQ(taken, young_);  // guard true: then-branch
+  ASSERT_OK_AND_ASSIGN(Oid kept, expr->Eval(store_, young_));
+  EXPECT_EQ(kept, young_);  // guard false: null else = identity
+}
+
+TEST_F(FnExprTest, EvalUpdateCreatesFreshCopy) {
+  auto expr = FnExpr::Update({{"age", Value::Int(0)}});
+  ASSERT_OK_AND_ASSIGN(Oid fresh, expr->Eval(store_, old_));
+  EXPECT_NE(fresh, old_);  // a copy, never in-place
+  ASSERT_OK_AND_ASSIGN(const Object* copy, store_.Get(fresh));
+  ASSERT_OK_AND_ASSIGN(const Object* orig, store_.Get(old_));
+  EXPECT_EQ(copy->type(), orig->type());
+  ASSERT_OK_AND_ASSIGN(Value age, store_.GetAttr(fresh, "age"));
+  EXPECT_EQ(age.int_value(), 0);
+  ASSERT_OK_AND_ASSIGN(Value name, store_.GetAttr(fresh, "name"));
+  EXPECT_EQ(name.string_value(), "elder");  // untouched attrs carry over
+}
+
+TEST_F(FnExprTest, EvalComposeRunsInnerThenOuter) {
+  auto expr = FnExpr::Compose(FnExpr::Update({{"age", Value::Int(1)}}),
+                              FnExpr::Const(old_));
+  ASSERT_OK_AND_ASSIGN(Oid out, expr->Eval(store_, young_));
+  ASSERT_OK_AND_ASSIGN(Value age, store_.GetAttr(out, "age"));
+  EXPECT_EQ(age.int_value(), 1);
+  ASSERT_OK_AND_ASSIGN(Value name, store_.GetAttr(out, "name"));
+  EXPECT_EQ(name.string_value(), "elder");  // inner picked `old_` first
+}
+
+TEST_F(FnExprTest, ComposeNormalizesIdentity) {
+  auto f = FnExpr::Const(young_);
+  EXPECT_EQ(FnExpr::Compose(FnExpr::Identity(), f), f);
+  EXPECT_EQ(FnExpr::Compose(f, FnExpr::Identity()), f);
+  EXPECT_EQ(FnExpr::Compose(nullptr, nullptr)->kind(),
+            FnExpr::Kind::kIdentity);
+}
+
+TEST_F(FnExprTest, ToStringIsCompact) {
+  EXPECT_EQ(FnExpr::Identity()->ToString(), "id");
+  auto expr = FnExpr::Choose(P("age > 60"),
+                             FnExpr::Update({{"age", Value::Int(0)}}),
+                             nullptr);
+  std::string s = expr->ToString();
+  EXPECT_NE(s.find("choose("), std::string::npos) << s;
+  EXPECT_NE(s.find("update(age="), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace aqua

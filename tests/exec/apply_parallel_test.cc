@@ -1,0 +1,196 @@
+// Certified parallel apply: an `apply` whose function the effect analysis
+// proves read-only fans out morsel-parallel, and its output must stay
+// byte-identical to serial execution at every thread count (the same
+// contract tests/exec/determinism_test pins for the select operators).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exec/compile.h"
+#include "lint/effects.h"
+#include "query/builder.h"
+#include "query/executor.h"
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+const size_t kThreadCounts[] = {1, 4, 16};
+
+class ApplyParallelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(RegisterItemType(db_.store()));
+    ASSERT_OK(RegisterPersonType(db_.store()));
+    label_ = AttrLabelFn(&db_.store(), "name");
+
+    FamilyTreeSpec family;
+    family.num_people = 200;
+    family.seed = 7;
+    ASSERT_OK_AND_ASSIGN(Tree f, MakeFamilyTree(db_.store(), family));
+    ASSERT_OK(db_.RegisterTree("family", std::move(f)));
+
+    RandomTreeSpec rand;
+    rand.num_nodes = 800;
+    rand.seed = 11;
+    ASSERT_OK_AND_ASSIGN(Tree r, MakeRandomTree(db_.store(), rand));
+    ASSERT_OK(db_.RegisterTree("rand", std::move(r)));
+
+    ASSERT_OK_AND_ASSIGN(
+        List items,
+        MakeRandomList(db_.store(), 200, {"a", "b", "c", "d"}, 13));
+    ASSERT_OK(db_.RegisterList("items", std::move(items)));
+
+    // A marker object certified const-applies map cells onto.
+    ASSERT_OK_AND_ASSIGN(
+        marker_,
+        db_.store().Create("Item", {{"name", Value::String("MARK")},
+                                    {"val", Value::Int(-1)}}));
+  }
+
+  TreePatternRef TP(const std::string& p) {
+    auto tp = ParseTreePattern(p);
+    EXPECT_TRUE(tp.ok()) << tp.status().ToString();
+    return tp.ok() ? *tp : nullptr;
+  }
+  AnchoredListPattern LP(const std::string& p) {
+    auto lp = ParseListPattern(p);
+    EXPECT_TRUE(lp.ok()) << lp.status().ToString();
+    return lp.ok() ? *lp : AnchoredListPattern{};
+  }
+  PredicateRef P(const std::string& p) {
+    auto pred = ParsePredicate(p);
+    EXPECT_TRUE(pred.ok()) << pred.status().ToString();
+    return pred.ok() ? *pred : nullptr;
+  }
+
+  Result<std::string> Dump(const PlanRef& plan, size_t threads) {
+    Executor exec(&db_);
+    exec.set_threads(threads);
+    AQUA_ASSIGN_OR_RETURN(Datum out, exec.Execute(plan));
+    return out.ToString(label_);
+  }
+
+  void CheckDeterministic(const PlanRef& plan, const std::string& what) {
+    ASSERT_OK_AND_ASSIGN(std::string want, Dump(plan, 1));
+    for (size_t threads : kThreadCounts) {
+      ASSERT_OK_AND_ASSIGN(std::string got, Dump(plan, threads));
+      EXPECT_EQ(got, want) << what << " diverged at threads=" << threads;
+    }
+  }
+
+  /// The read-only expression the certified tests run: mark every node the
+  /// guard accepts, keep the rest.
+  FnExprRef MarkIf(const std::string& pred) {
+    return FnExpr::Choose(P(pred), FnExpr::Const(marker_), nullptr);
+  }
+
+  Database db_;
+  LabelFn label_;
+  Oid marker_;
+};
+
+TEST_F(ApplyParallelTest, CertificationPredicate) {
+  auto forest = Q::TreeSubSelect(Q::ScanTree("rand"), TP("{name == \"a\"}"));
+  // Read-only expressions certify.
+  EXPECT_TRUE(exec::ApplyParallelCertified(
+      Q::TreeApplyExpr(forest, MarkIf("val > 50"))));
+  EXPECT_TRUE(exec::ApplyParallelCertified(
+      Q::TreeApplyExpr(forest, FnExpr::Identity())));
+  EXPECT_TRUE(exec::ApplyParallelCertified(
+      Q::ListApplyExpr(Q::ScanList("items"), FnExpr::Const(marker_))));
+  // Store-mutating expressions and bare std::functions do not.
+  EXPECT_FALSE(exec::ApplyParallelCertified(Q::TreeApplyExpr(
+      forest, FnExpr::Update({{"val", Value::Int(0)}}))));
+  EXPECT_FALSE(exec::ApplyParallelCertified(Q::TreeApply(
+      forest, [](ObjectStore&, Oid oid) -> Result<Oid> { return oid; })));
+  // Non-apply operators never certify.
+  EXPECT_FALSE(exec::ApplyParallelCertified(forest));
+  EXPECT_FALSE(exec::ApplyParallelCertified(nullptr));
+}
+
+TEST_F(ApplyParallelTest, CertifiedTreeApplyOverFamilyForest) {
+  // The paper's Figure 4 fan-out with a certified apply on top: mark the
+  // American members of every matching piece.
+  auto plan = Q::TreeApplyExpr(
+      Q::TreeSubSelect(
+          Q::ScanTree("family"),
+          TP("{citizen == \"Brazil\"}(?* {citizen == \"USA\"} ?*)")),
+      MarkIf("citizen == \"USA\""));
+  ASSERT_TRUE(exec::ApplyParallelCertified(plan));
+  CheckDeterministic(plan, "certified tree apply");
+}
+
+TEST_F(ApplyParallelTest, CertifiedTreeApplyOverLargeForest) {
+  auto plan = Q::TreeApplyExpr(
+      Q::TreeSubSelect(Q::ScanTree("rand"),
+                       TP("{name == \"a\"}(?* {name == \"b\"} ?*)")),
+      MarkIf("val < 40"));
+  ASSERT_TRUE(exec::ApplyParallelCertified(plan));
+  CheckDeterministic(plan, "certified tree apply over rand forest");
+}
+
+TEST_F(ApplyParallelTest, CertifiedListApplyOverSublists) {
+  auto plan = Q::ListApplyExpr(
+      Q::ListSubSelect(Q::ScanList("items"), LP("a ?* b")),
+      MarkIf("val > 20"));
+  ASSERT_TRUE(exec::ApplyParallelCertified(plan));
+  CheckDeterministic(plan, "certified list apply");
+}
+
+TEST_F(ApplyParallelTest, CertifiedApplyMatchesOpaqueSerialApply) {
+  // The parallel certified path must compute exactly what the serial
+  // opaque-closure path computes for the same function.
+  auto input = Q::TreeSubSelect(
+      Q::ScanTree("rand"), TP("{name == \"a\"}(?* {name == \"b\"} ?*)"));
+  auto certified = Q::TreeApplyExpr(input, MarkIf("val < 40"));
+  Oid marker = marker_;
+  ObjectStore* store = &db_.store();
+  auto opaque = Q::TreeApply(
+      input, [marker, store](ObjectStore&, Oid oid) -> Result<Oid> {
+        AQUA_ASSIGN_OR_RETURN(Value val, store->GetAttr(oid, "val"));
+        return val.is_int() && val.int_value() < 40 ? marker : oid;
+      });
+  ASSERT_TRUE(exec::ApplyParallelCertified(certified));
+  ASSERT_FALSE(exec::ApplyParallelCertified(opaque));
+  ASSERT_OK_AND_ASSIGN(std::string want, Dump(opaque, 1));
+  for (size_t threads : kThreadCounts) {
+    ASSERT_OK_AND_ASSIGN(std::string got, Dump(certified, threads));
+    EXPECT_EQ(got, want) << "certified apply diverged from opaque serial at "
+                         << threads << " threads";
+  }
+}
+
+TEST_F(ApplyParallelTest, UncertifiedApplyStaysDeterministic) {
+  // Store-mutating applies keep the serial path — and therefore stay
+  // byte-identical trivially; pin that the flip did not regress them.
+  auto plan = Q::TreeApplyExpr(
+      Q::TreeSubSelect(Q::ScanTree("family"), TP("{citizen == \"Brazil\"}")),
+      FnExpr::Choose(P("citizen == \"Brazil\""),
+                     FnExpr::Update({{"education", Value::String("PhD")}}),
+                     nullptr));
+  ASSERT_FALSE(exec::ApplyParallelCertified(plan));
+  for (size_t threads : kThreadCounts) {
+    ASSERT_OK(Dump(plan, threads).status());
+  }
+}
+
+TEST_F(ApplyParallelTest, EffectSummaryCountsCertifiedApplies) {
+  auto plan = Q::TreeApplyExpr(
+      Q::TreeApplyExpr(
+          Q::TreeSubSelect(Q::ScanTree("rand"), TP("{name == \"a\"}")),
+          MarkIf("val > 50")),
+      FnExpr::Update({{"val", Value::Int(0)}}));
+  lint::EffectSummary summary = lint::AnalyzeEffects(plan);
+  EXPECT_EQ(summary.fn_nodes, 2u);
+  EXPECT_EQ(summary.certified_applies, 1u);
+  EXPECT_EQ(summary.uncertified_applies, 1u);
+  EXPECT_EQ(summary.plan_effect, FnEffect::kStoreWrite);
+  std::string s = summary.ToString();
+  EXPECT_NE(s.find("parallel=certified"), std::string::npos) << s;
+  EXPECT_NE(s.find("parallel=serial"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace aqua

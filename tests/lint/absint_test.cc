@@ -1,0 +1,453 @@
+// Golden tests for the abstract-interpretation pass: one test per new
+// diagnostic code AQL013–AQL020, plus the fact domains themselves
+// (cardinality intervals, element kinds, effects) and the rewrite-safety
+// checker feeding the rewriter's veto.
+#include "lint/absint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lint/lint.h"
+#include "query/builder.h"
+#include "query/executor.h"
+#include "query/rewriter.h"
+#include "test_util.h"
+
+namespace aqua::lint {
+namespace {
+
+bool Has(const std::vector<Diagnostic>& diags, DiagCode code) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [code](const Diagnostic& d) { return d.code == code; });
+}
+
+const Diagnostic& Get(const std::vector<Diagnostic>& diags, DiagCode code) {
+  auto it = std::find_if(diags.begin(), diags.end(),
+                         [code](const Diagnostic& d) { return d.code == code; });
+  EXPECT_NE(it, diags.end()) << "missing " << DiagCodeId(code);
+  return *it;
+}
+
+class AbsIntTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(db_.store()
+                  .schema()
+                  .RegisterType("Doc", {{"title", ValueType::kString, true},
+                                        {"val", ValueType::kInt, true}})
+                  .status());
+    ASSERT_OK_AND_ASSIGN(
+        a_, db_.store().Create("Doc", {{"title", Value::String("a")},
+                                       {"val", Value::Int(1)}}));
+    ASSERT_OK_AND_ASSIGN(
+        b_, db_.store().Create("Doc", {{"title", Value::String("b")},
+                                       {"val", Value::Int(2)}}));
+    Tree t = Tree::Node(NodePayload::Cell(a_),
+                        {Tree::Leaf(NodePayload::Cell(b_))});
+    ASSERT_OK(db_.RegisterTree("docs", std::move(t)));
+    List l;
+    l.Append(NodePayload::Cell(a_));
+    l.Append(NodePayload::Cell(b_));
+    ASSERT_OK(db_.RegisterList("doclist", std::move(l)));
+  }
+
+  TreePatternRef TP(const std::string& p) {
+    PatternParserOptions opts;
+    opts.default_attr = "title";
+    auto tp = ParseTreePattern(p, opts);
+    EXPECT_TRUE(tp.ok()) << tp.status().ToString();
+    return tp.ok() ? *tp : nullptr;
+  }
+  AnchoredListPattern LP(const std::string& p) {
+    PatternParserOptions opts;
+    opts.default_attr = "title";
+    auto lp = ParseListPattern(p, opts);
+    EXPECT_TRUE(lp.ok()) << lp.status().ToString();
+    return lp.ok() ? *lp : AnchoredListPattern{};
+  }
+  PredicateRef P(const std::string& p) {
+    auto pred = ParsePredicate(p);
+    EXPECT_TRUE(pred.ok()) << pred.status().ToString();
+    return pred.ok() ? *pred : nullptr;
+  }
+
+  Database db_;
+  Oid a_, b_;
+};
+
+// ---------------------------------------------------------------------------
+// Fact domains.
+
+TEST_F(AbsIntTest, CardIntervalBasics) {
+  EXPECT_EQ(CardInterval::Exact(1).ToString(), "1");
+  EXPECT_EQ(CardInterval::Empty().ToString(), "0");
+  EXPECT_EQ(CardInterval::AtMost(48).ToString(), "0..48");
+  EXPECT_EQ(CardInterval::Unknown().ToString(), "0..*");
+  EXPECT_TRUE(CardInterval::Empty().provably_empty());
+  EXPECT_FALSE(CardInterval::Unknown().provably_empty());
+  EXPECT_TRUE(CardInterval::Exact(1).Disjoint(CardInterval::Empty()));
+  EXPECT_FALSE(CardInterval::AtMost(3).Disjoint(CardInterval::Exact(2)));
+}
+
+TEST_F(AbsIntTest, ScanFactsAreExact) {
+  auto r = AnalyzePlan(db_, Q::ScanTree("docs"));
+  EXPECT_FALSE(r.root.is_set);
+  EXPECT_EQ(r.root.elem, ElemKind::kTree);
+  EXPECT_EQ(r.root.card.ToString(), "1");
+  EXPECT_EQ(r.root.nodes_hi, 2u);  // the docs tree has two nodes
+  EXPECT_TRUE(r.diags.empty());
+}
+
+TEST_F(AbsIntTest, SubSelectFactsAreBoundedByInputNodes) {
+  auto r = AnalyzePlan(db_, Q::TreeSubSelect(Q::ScanTree("docs"), TP("?")));
+  EXPECT_TRUE(r.root.is_set);
+  EXPECT_EQ(r.root.elem, ElemKind::kTree);
+  // At most one match piece per input node.
+  EXPECT_EQ(r.root.card.ToString(), "0..2");
+}
+
+TEST_F(AbsIntTest, CertifiedApplyFactsCarryEffect) {
+  auto plan = Q::TreeApplyExpr(
+      Q::ScanTree("docs"),
+      FnExpr::Choose(P("val > 1"), FnExpr::Const(a_), nullptr));
+  auto r = AnalyzePlan(db_, plan);
+  EXPECT_EQ(r.root.effect, FnEffect::kReadOnly);
+  EXPECT_TRUE(r.root.parallel_certified);
+  EXPECT_NE(r.root.ToString().find("parallel-certified"), std::string::npos)
+      << r.root.ToString();
+}
+
+TEST_F(AbsIntTest, RenderFactsAnnotatesEveryNode) {
+  std::string out =
+      RenderFacts(db_, Q::TreeSubSelect(Q::ScanTree("docs"), TP("?")));
+  EXPECT_NE(out.find("ScanTree"), std::string::npos) << out;
+  EXPECT_NE(out.find(":: single tree, card 1"), std::string::npos) << out;
+  EXPECT_NE(out.find(":: set of trees"), std::string::npos) << out;
+}
+
+// ---------------------------------------------------------------------------
+// AQL013 — kind-flow mismatch.
+
+TEST_F(AbsIntTest, AQL013TreeOpOverListFlow) {
+  // The sub_select output is a *set of lists*; feeding it to a tree select
+  // is only visible through the inferred element kind (the child is not a
+  // scan, so AQL010 stays silent).
+  auto plan = Q::TreeSelect(
+      Q::ListSubSelect(Q::ScanList("doclist"), LP("?")), P("val > 0"));
+  auto diags = Lint(db_, plan);
+  ASSERT_TRUE(Has(diags, DiagCode::kKindFlowMismatch));
+  const Diagnostic& d = Get(diags, DiagCode::kKindFlowMismatch);
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_EQ(d.context, "TreeSelect");
+  EXPECT_NE(d.message.find("list elements"), std::string::npos) << d.message;
+}
+
+TEST_F(AbsIntTest, AQL013ListOpOverTreeFlow) {
+  auto plan = Q::ListSelect(
+      Q::TreeSubSelect(Q::ScanTree("docs"), TP("?")), P("val > 0"));
+  auto diags = Lint(db_, plan);
+  ASSERT_TRUE(Has(diags, DiagCode::kKindFlowMismatch));
+  EXPECT_EQ(Get(diags, DiagCode::kKindFlowMismatch).context, "ListSelect");
+}
+
+TEST_F(AbsIntTest, AQL013SilentOnDirectScans) {
+  // Scan mismatches are AQL010's finding; the flow rule must not double-
+  // report them.
+  auto diags = Lint(db_, Q::TreeSubSelect(Q::ScanList("doclist"), TP("?")));
+  EXPECT_TRUE(Has(diags, DiagCode::kOperatorParamMismatch));
+  EXPECT_FALSE(Has(diags, DiagCode::kKindFlowMismatch));
+}
+
+// ---------------------------------------------------------------------------
+// AQL014 — provably empty input flow.
+
+TEST_F(AbsIntTest, AQL014EmptyInputFlow) {
+  auto plan = Q::TreeSelect(Q::EmptySet(), P("val > 0"));
+  auto diags = Lint(db_, plan);
+  ASSERT_TRUE(Has(diags, DiagCode::kEmptyInputFlow));
+  EXPECT_EQ(Get(diags, DiagCode::kEmptyInputFlow).severity,
+            Severity::kWarning);
+}
+
+TEST_F(AbsIntTest, AQL014FiresAtFirstConsumerOnly) {
+  // Select(EmptySet) is flagged; the apply above it consumes the *same*
+  // propagated emptiness and must not repeat the finding.
+  auto plan = Q::TreeApplyExpr(Q::TreeSelect(Q::EmptySet(), P("val > 0")),
+                               FnExpr::Const(a_));
+  auto diags = Lint(db_, plan);
+  size_t count = static_cast<size_t>(
+      std::count_if(diags.begin(), diags.end(), [](const Diagnostic& d) {
+        return d.code == DiagCode::kEmptyInputFlow;
+      }));
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(Get(diags, DiagCode::kEmptyInputFlow).context, "TreeSelect");
+}
+
+// ---------------------------------------------------------------------------
+// AQL015 — tautological select.
+
+TEST_F(AbsIntTest, AQL015TautologicalSelect) {
+  // A derived tautology: NOT of a structural contradiction.
+  auto plan = Q::TreeSelect(Q::ScanTree("docs"),
+                            P("!(val == 1 && val != 1)"));
+  auto diags = Lint(db_, plan);
+  ASSERT_TRUE(Has(diags, DiagCode::kTautologicalSelect));
+  EXPECT_EQ(Get(diags, DiagCode::kTautologicalSelect).severity,
+            Severity::kWarning);
+}
+
+TEST_F(AbsIntTest, AQL015SilentOnExplicitTrue) {
+  // A literal `true` is the idiomatic "no filter" and stays clean.
+  auto diags = Lint(db_, Q::TreeSelect(Q::ScanTree("docs"), P("true")));
+  EXPECT_FALSE(Has(diags, DiagCode::kTautologicalSelect));
+}
+
+// ---------------------------------------------------------------------------
+// AQL016 / AQL017 — degenerate applies.
+
+TEST_F(AbsIntTest, AQL016IdentityApply) {
+  auto diags =
+      Lint(db_, Q::TreeApplyExpr(Q::ScanTree("docs"), FnExpr::Identity()));
+  ASSERT_TRUE(Has(diags, DiagCode::kIdentityApply));
+  EXPECT_EQ(Get(diags, DiagCode::kIdentityApply).severity,
+            Severity::kWarning);
+}
+
+TEST_F(AbsIntTest, AQL017ConstantApplyCollapsesSetInput) {
+  // sub_select yields up to two pieces; a constant apply maps both onto
+  // the same image, so the output set holds at most one element.
+  auto plan = Q::TreeApplyExpr(
+      Q::TreeSubSelect(Q::ScanTree("docs"), TP("?")), FnExpr::Const(a_));
+  auto diags = Lint(db_, plan);
+  ASSERT_TRUE(Has(diags, DiagCode::kConstantApplyCollapse));
+  auto r = AnalyzePlan(db_, plan);
+  EXPECT_EQ(r.root.card.hi, 1u);
+}
+
+TEST_F(AbsIntTest, AQL017SilentOverSingleInput) {
+  // A constant apply over one tree maps one collection to one collection:
+  // nothing collapses.
+  auto diags =
+      Lint(db_, Q::TreeApplyExpr(Q::ScanTree("docs"), FnExpr::Const(a_)));
+  EXPECT_FALSE(Has(diags, DiagCode::kConstantApplyCollapse));
+}
+
+// ---------------------------------------------------------------------------
+// AQL018 — uncertified (serial) apply.
+
+TEST_F(AbsIntTest, AQL018OpaqueFunctionNote) {
+  auto plan = Q::TreeApply(Q::ScanTree("docs"),
+                           [](ObjectStore&, Oid oid) -> Result<Oid> {
+                             return oid;
+                           });
+  auto diags = Lint(db_, plan);
+  ASSERT_TRUE(Has(diags, DiagCode::kUncertifiedSerialFn));
+  const Diagnostic& d = Get(diags, DiagCode::kUncertifiedSerialFn);
+  EXPECT_EQ(d.severity, Severity::kNote);
+  EXPECT_NE(d.message.find("opaque"), std::string::npos) << d.message;
+}
+
+TEST_F(AbsIntTest, AQL018StoreMutatingExpression) {
+  auto plan = Q::TreeApplyExpr(
+      Q::ScanTree("docs"),
+      FnExpr::Update({{"title", Value::String("x")}}));
+  auto diags = Lint(db_, plan);
+  ASSERT_TRUE(Has(diags, DiagCode::kUncertifiedSerialFn));
+  EXPECT_NE(Get(diags, DiagCode::kUncertifiedSerialFn)
+                .message.find("store-mutating"),
+            std::string::npos);
+}
+
+TEST_F(AbsIntTest, AQL018SilentOnCertifiedApply) {
+  auto diags = Lint(
+      db_, Q::TreeApplyExpr(Q::ScanTree("docs"),
+                            FnExpr::Choose(P("val > 1"), FnExpr::Const(a_),
+                                           nullptr)));
+  EXPECT_FALSE(Has(diags, DiagCode::kUncertifiedSerialFn));
+}
+
+// ---------------------------------------------------------------------------
+// AQL019 — emptiness reaches the root.
+
+TEST_F(AbsIntTest, AQL019EmptyResultFlow) {
+  auto plan = Q::TreeApplyExpr(Q::TreeSelect(Q::EmptySet(), P("val > 0")),
+                               FnExpr::Identity());
+  auto diags = Lint(db_, plan);
+  ASSERT_TRUE(Has(diags, DiagCode::kEmptyResultFlow));
+  EXPECT_EQ(Get(diags, DiagCode::kEmptyResultFlow).context, "TreeApply");
+}
+
+TEST_F(AbsIntTest, AQL019SilentWhenRootOriginatesTheEmptiness) {
+  // An unsatisfiable predicate at the root is AQL009's finding (the
+  // operator itself is empty); the flow rule needs a child to blame.
+  auto plan =
+      Q::TreeSelect(Q::ScanTree("docs"), P("val == 1 && val != 1"));
+  auto diags = Lint(db_, plan);
+  EXPECT_TRUE(Has(diags, DiagCode::kEmptyOperator));
+  EXPECT_FALSE(Has(diags, DiagCode::kEmptyResultFlow));
+}
+
+// ---------------------------------------------------------------------------
+// AQL020 — rewrite safety.
+
+TEST_F(AbsIntTest, AQL020DisjointCardinality) {
+  // Both sides are sets of trees, but [1,1] vs [0,0] cannot agree.
+  auto diags = CheckRewriteSafety(
+      db_, Q::TreeSelect(Q::ScanTree("docs"), P("true")), Q::EmptySet(),
+      "bad-rule");
+  ASSERT_TRUE(Has(diags, DiagCode::kUnsafeRewrite));
+  const Diagnostic& d = Get(diags, DiagCode::kUnsafeRewrite);
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_EQ(d.context, "bad-rule");
+  EXPECT_NE(d.message.find("cardinality"), std::string::npos) << d.message;
+}
+
+TEST_F(AbsIntTest, AQL020ElementKindChange) {
+  auto before = Q::TreeSubSelect(Q::ScanTree("docs"), TP("?"));
+  auto after = Q::ListSubSelect(Q::ScanList("doclist"), LP("?"));
+  auto diags = CheckRewriteSafety(db_, before, after, "kind-flip");
+  ASSERT_TRUE(Has(diags, DiagCode::kUnsafeRewrite));
+  EXPECT_NE(Get(diags, DiagCode::kUnsafeRewrite).message.find("element kind"),
+            std::string::npos);
+}
+
+TEST_F(AbsIntTest, AQL020ShapeChange) {
+  auto before = Q::TreeSubSelect(Q::ScanTree("docs"), TP("?"));
+  auto diags =
+      CheckRewriteSafety(db_, before, Q::ScanTree("docs"), "shape-flip");
+  ASSERT_TRUE(Has(diags, DiagCode::kUnsafeRewrite));
+  EXPECT_NE(Get(diags, DiagCode::kUnsafeRewrite).message.find("shape"),
+            std::string::npos);
+}
+
+TEST_F(AbsIntTest, CertifiesTheRealSplitAnchorRewrite) {
+  // The §4 rewrite the checker exists to guard: its genuine instances must
+  // come back clean.
+  ASSERT_OK(db_.CreateIndex("docs", "title"));
+  auto before = Q::TreeSubSelect(Q::ScanTree("docs"),
+                                 TP("{title == \"a\"}(?*)"));
+  auto after = Q::IndexedSubSelect("docs", "title", P("title == \"a\""),
+                                   TP("{title == \"a\"}(?*)"), {});
+  EXPECT_TRUE(CheckRewriteSafety(db_, before, after, "split-anchor").empty());
+}
+
+TEST_F(AbsIntTest, RewriterVetoesUnsafeCandidates) {
+  // A deliberately broken rule: folds any scan to the empty set. The cost
+  // model loves it (cost 0); the safety checker must veto it.
+  class EmptyScanRule : public RewriteRule {
+   public:
+    std::string name() const override { return "break-scans"; }
+    Result<PlanRef> Apply(const PlanRef& node,
+                          const Database& db) const override {
+      (void)db;
+      if (node->op != PlanOp::kScanTree) return PlanRef(nullptr);
+      return Q::EmptySet();
+    }
+  };
+  Rewriter rewriter(&db_);
+  rewriter.AddRule(std::make_unique<EmptyScanRule>());
+  auto plan = Q::ScanTree("docs");
+  ASSERT_OK_AND_ASSIGN(PlanRef out, rewriter.Optimize(plan));
+  EXPECT_TRUE(PlanEquals(out, plan)) << Explain(out);
+  EXPECT_TRUE(rewriter.applied().empty());
+  ASSERT_FALSE(rewriter.rejections().empty());
+  EXPECT_EQ(rewriter.rejections().front().code, DiagCode::kUnsafeRewrite);
+  EXPECT_EQ(rewriter.rejections().front().context, "break-scans");
+}
+
+TEST_F(AbsIntTest, RewriterStillAppliesSafeRules) {
+  // Sanity: the veto must not block the genuine split-anchor rewrite.
+  ASSERT_OK(db_.CreateIndex("docs", "title"));
+  Rewriter rewriter(&db_);
+  rewriter.AddDefaultRules();
+  auto plan = Q::TreeSubSelect(Q::ScanTree("docs"),
+                               TP("{title == \"a\"}(?*)"));
+  ASSERT_OK_AND_ASSIGN(PlanRef out, rewriter.Optimize(plan));
+  EXPECT_EQ(out->op, PlanOp::kIndexedSubSelect) << Explain(out);
+  EXPECT_TRUE(rewriter.rejections().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Spanless diagnostics (builder-API plans) render without carets.
+
+TEST_F(AbsIntTest, BuilderPlanDiagnosticsRenderSpanless) {
+  // The predicate was parsed internally: its span indexes text the lint
+  // caller never supplied, so neither offsets nor a caret block may
+  // render.
+  auto plan =
+      Q::TreeSelect(Q::ScanTree("docs"), P("val == 1 && val != 1"));
+  auto diags = Lint(db_, plan);
+  ASSERT_TRUE(Has(diags, DiagCode::kContradictoryPredicate));
+  const Diagnostic& d = Get(diags, DiagCode::kContradictoryPredicate);
+  EXPECT_TRUE(d.span.valid());    // the span exists...
+  EXPECT_TRUE(d.source.empty());  // ...but addresses no visible source
+  std::string rendered = RenderDiagnostic(d);
+  EXPECT_EQ(rendered.find('^'), std::string::npos) << rendered;
+  EXPECT_EQ(rendered.find("at offset"), std::string::npos) << rendered;
+}
+
+TEST_F(AbsIntTest, ShellPlanDiagnosticsKeepCarets) {
+  // With the source supplied (the shell's case), carets still render.
+  PlanLintOptions opts;
+  opts.pattern_source = "val == 1 && val != 1";
+  auto plan = Q::TreeSelect(Q::ScanTree("docs"),
+                            P(opts.pattern_source));
+  auto diags = LintPlan(db_, plan, opts);
+  ASSERT_TRUE(Has(diags, DiagCode::kContradictoryPredicate));
+  std::string rendered =
+      RenderDiagnostic(Get(diags, DiagCode::kContradictoryPredicate));
+  EXPECT_NE(rendered.find('^'), std::string::npos) << rendered;
+}
+
+// ---------------------------------------------------------------------------
+// Enforcement level knob.
+
+TEST_F(AbsIntTest, LevelParsingAndNames) {
+  Level level = Level::kOff;
+  EXPECT_TRUE(ParseLevel("warn", &level));
+  EXPECT_EQ(level, Level::kWarn);
+  EXPECT_TRUE(ParseLevel("error", &level));
+  EXPECT_EQ(level, Level::kError);
+  EXPECT_TRUE(ParseLevel("off", &level));
+  EXPECT_EQ(level, Level::kOff);
+  EXPECT_FALSE(ParseLevel("loud", &level));
+  EXPECT_STREQ(LevelToString(Level::kError), "error");
+}
+
+TEST_F(AbsIntTest, SetEnforcementLevelOverridesEnvironment) {
+  set_enforcement_level(Level::kError);
+  EXPECT_EQ(EnforcementLevel(), Level::kError);
+  set_enforcement_level(Level::kWarn);
+  EXPECT_EQ(EnforcementLevel(), Level::kWarn);
+}
+
+TEST_F(AbsIntTest, ErrorLevelRefusesErrorPlans) {
+  set_enforcement_level(Level::kError);
+  Executor exec(&db_);
+
+  // Error-severity finding (unknown collection): refused before compile.
+  auto bad = Q::TreeSubSelect(Q::ScanTree("missing"), TP("?"));
+  Result<Datum> refused = exec.Execute(bad);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_NE(refused.status().ToString().find("lint refuses"),
+            std::string::npos)
+      << refused.status().ToString();
+  EXPECT_NE(refused.status().ToString().find("AQL012"), std::string::npos);
+
+  // Warnings (identity apply) do not block even at `error`.
+  auto warn_only =
+      Q::TreeApplyExpr(Q::ScanTree("docs"), FnExpr::Identity());
+  EXPECT_TRUE(exec.Execute(warn_only).ok());
+
+  // Back at `warn` the same broken plan reaches the executor and fails
+  // with the ordinary runtime error, not the lint gate.
+  set_enforcement_level(Level::kWarn);
+  Result<Datum> runtime = exec.Execute(bad);
+  ASSERT_FALSE(runtime.ok());
+  EXPECT_EQ(runtime.status().ToString().find("lint refuses"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace aqua::lint

@@ -30,6 +30,7 @@ TEST(DiagnosticTest, FormatIncludesCodeNameContextAndSpan) {
   d.code = DiagCode::kDivergentClosure;
   d.severity = Severity::kWarning;
   d.message = "closure over a nullable body";
+  d.source = "((a*)*)xyz";  // the span indexes this text
   d.span = {3, 10};
   d.context = "ListSubSelect";
   std::string line = FormatDiagnostic(d);
@@ -38,6 +39,34 @@ TEST(DiagnosticTest, FormatIncludesCodeNameContextAndSpan) {
   EXPECT_NE(line.find("divergent-closure"), std::string::npos) << line;
   EXPECT_NE(line.find("ListSubSelect"), std::string::npos) << line;
   EXPECT_NE(line.find("3..10"), std::string::npos) << line;
+}
+
+TEST(DiagnosticTest, FormatOmitsOffsetsWithoutSource) {
+  // A span with no source (builder-API plans parse predicates internally)
+  // points into text the caller never saw: no offsets, no caret block.
+  Diagnostic d;
+  d.code = DiagCode::kContradictoryPredicate;
+  d.severity = Severity::kWarning;
+  d.message = "unsatisfiable";
+  d.span = {3, 10};
+  EXPECT_FALSE(SpanAddressesSource(d));
+  std::string line = FormatDiagnostic(d);
+  EXPECT_EQ(line.find("at "), std::string::npos) << line;
+  EXPECT_EQ(line.find("3..10"), std::string::npos) << line;
+  EXPECT_EQ(RenderDiagnostic(d), line);
+}
+
+TEST(DiagnosticTest, RenderRefusesSpanPastSourceEnd) {
+  // A span reaching past the attached text cannot belong to it; caret
+  // rendering into the wrong string would mislocate the finding.
+  Diagnostic d;
+  d.code = DiagCode::kContradictoryPredicate;
+  d.message = "unsatisfiable";
+  d.source = "short";
+  d.span = {2, 40};
+  EXPECT_FALSE(SpanAddressesSource(d));
+  EXPECT_EQ(RenderDiagnostic(d), FormatDiagnostic(d));
+  EXPECT_EQ(RenderDiagnostic(d).find('^'), std::string::npos);
 }
 
 TEST(DiagnosticTest, RenderUnderlinesTheSpan) {

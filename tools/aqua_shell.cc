@@ -141,9 +141,11 @@ class Shell {
         "  \\threads [n]                show/set executor fan-out "
         "parallelism (0 = default)\n"
         "  \\lint <coll> <pattern>      static diagnostics with source "
-        "carets\n"
+        "carets, inferred facts, effects\n"
         "  \\lint on|off                toggle the automatic warning banner "
         "(default on)\n"
+        "  \\lint level [off|warn|error] show/set enforcement (error "
+        "refuses flagged plans; AQUA_LINT env)\n"
         "  \\flight [json|clear]        flight recorder: recent executes + "
         "morsels\n"
         "  \\digests [json|reset]       per-plan-shape digest table "
@@ -475,13 +477,17 @@ class Shell {
   }
 
   /// Runs the static-analysis pass on `plan` and prints one line per
-  /// finding. Called before executing every query command (the on-by-default
-  /// banner; `\lint off` silences it).
+  /// warning/error finding. Called before executing every query command
+  /// (the on-by-default banner; `\lint off` or AQUA_LINT=off silences it;
+  /// notes are reserved for the explicit \lint command to keep the banner
+  /// quiet on every uncertified apply).
   void LintBanner(const PlanRef& plan, const std::string& source) {
     if (!lint_banner_) return;
+    if (lint::EnforcementLevel() == lint::Level::kOff) return;
     lint::PlanLintOptions opts;
     opts.pattern_source = source;
     for (const lint::Diagnostic& d : lint::LintPlan(db(), plan, opts)) {
+      if (d.severity == lint::Severity::kNote) continue;
       std::cout << "lint: " << lint::FormatDiagnostic(d) << "\n";
     }
   }
@@ -492,10 +498,25 @@ class Shell {
       std::cout << "lint banner " << rest << "\n";
       return Status::OK();
     }
+    if (rest == "level" || StartsWith(rest, "level ")) {
+      std::string arg = rest == "level" ? "" : rest.substr(6);
+      if (!arg.empty()) {
+        lint::Level level;
+        if (!lint::ParseLevel(arg, &level)) {
+          return Status::InvalidArgument(
+              "usage: \\lint level [off|warn|error]");
+        }
+        lint::set_enforcement_level(level);
+      }
+      std::cout << "lint level "
+                << lint::LevelToString(lint::EnforcementLevel()) << "\n";
+      return Status::OK();
+    }
     auto [coll, pattern] = SplitFirst(rest);
     if (coll.empty() || pattern.empty()) {
       return Status::InvalidArgument(
-          "usage: \\lint <coll> <pattern>  or  \\lint on|off");
+          "usage: \\lint <coll> <pattern>  or  \\lint on|off  or  "
+          "\\lint level [off|warn|error]");
     }
     PlanRef plan;
     if (db().HasList(coll)) {
@@ -512,9 +533,13 @@ class Shell {
     std::vector<lint::Diagnostic> diags = lint::LintPlan(db(), plan, opts);
     if (diags.empty()) {
       std::cout << "no diagnostics\n";
-      return Status::OK();
+    } else {
+      std::cout << lint::RenderDiagnostics(diags);
     }
-    std::cout << lint::RenderDiagnostics(diags);
+    // The inferred facts behind those diagnostics: per-node cardinality and
+    // kind flow, plus the effect summary that decides parallel fan-out.
+    std::cout << "facts:\n" << lint::RenderFacts(db(), plan);
+    std::cout << lint::AnalyzeEffects(plan).ToString() << "\n";
     return Status::OK();
   }
 
