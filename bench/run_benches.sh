@@ -27,10 +27,20 @@ trap 'rm -rf "$tmpdir"' EXIT
   --benchmark_min_time="$MIN_TIME" \
   --json "$tmpdir/apply_fanout.json"
 
+"$BUILD_DIR/bench/bench_fig4_split" \
+  --benchmark_filter='BM_Fig4_MutatingApplyThreads' \
+  --benchmark_min_time="$MIN_TIME" \
+  --json "$tmpdir/mutating_fanout.json"
+
 "$BUILD_DIR/bench/bench_tree_kleene" \
   --benchmark_filter='BM_Kleene_FanOutThreads' \
   --benchmark_min_time="$MIN_TIME" \
   --json "$tmpdir/kleene_fanout.json"
+
+"$BUILD_DIR/bench/bench_snapshot" \
+  --benchmark_filter='BM_Snapshot_' \
+  --benchmark_min_time="$MIN_TIME" \
+  --json "$tmpdir/snapshot_overhead.json"
 
 python3 - "$tmpdir" "$OUT" <<'EOF'
 import glob, json, os, sys

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Snapshot reader/writer storm under TSan: hammers the versioned store from
+# both ends at once — writer threads creating objects, writing attributes in
+# place, and folding batch commits while reader threads continuously open
+# snapshots and check each one is internally frozen — plus the query-level
+# storm where certified mutating applies commit against the head while
+# read-only queries keep answering from their pinned epochs. Clean output
+# under `-fsanitize=thread` is the acceptance bar for the MVCC layer.
+#
+#   bash scripts/snapshot_storm.sh
+#   BUILD_DIR=build-tsan bash scripts/snapshot_storm.sh
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+STORE_BIN="$BUILD_DIR/tests/object_store_version_test"
+EXEC_BIN="$BUILD_DIR/tests/exec_snapshot_apply_test"
+
+for bin in "$STORE_BIN" "$EXEC_BIN"; do
+  if [ ! -x "$bin" ]; then
+    echo "snapshot storm FAILED: $bin not built" >&2
+    exit 1
+  fi
+done
+
+# gtest exits 0 on a filter that matches nothing, which would let a renamed
+# test silently hollow out the storm — fail unless the filter selected a test.
+run_storm() {
+  local out
+  out="$("$@" 2>&1)" || { printf '%s\n' "$out"; exit 1; }
+  printf '%s\n' "$out"
+  if ! grep -q '1 test from' <<<"$out"; then
+    echo "snapshot storm FAILED: filter matched no test in $1" >&2
+    exit 1
+  fi
+}
+
+# Store-level storm: raw Snapshot/Create/SetAttr/CommitBatch interleaving.
+run_storm "$STORE_BIN" \
+  --gtest_filter='StoreVersionTest.ConcurrentReadersAndWritersStorm'
+
+# Query-level storm: morsel-parallel mutating applies vs concurrent readers,
+# with an 8-thread pool so commits and snapshot reads genuinely overlap.
+AQUA_THREADS=8 run_storm "$EXEC_BIN" \
+  --gtest_filter='SnapshotApplyTest.ConcurrentQueryStorm'
+
+echo "snapshot storm OK"

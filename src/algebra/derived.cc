@@ -6,7 +6,7 @@
 
 namespace aqua {
 
-Result<Datum> TreeSubSelectViaSplit(const ObjectStore& store, const Tree& tree,
+Result<Datum> TreeSubSelectViaSplit(const StoreView& store, const Tree& tree,
                                     const TreePatternRef& tp,
                                     const SplitOptions& opts) {
   // split(tp, λ(a,b,c) b ∘_{α1..αn} [])
@@ -21,7 +21,7 @@ Result<Datum> TreeSubSelectViaSplit(const ObjectStore& store, const Tree& tree,
       opts);
 }
 
-Result<Datum> TreeAllAncViaSplit(const ObjectStore& store, const Tree& tree,
+Result<Datum> TreeAllAncViaSplit(const StoreView& store, const Tree& tree,
                                  const TreePatternRef& tp, const AncFn& fn,
                                  const SplitOptions& opts) {
   // split(tp, λ(a,b,c) ⟨a, b ∘ []⟩), then f over each tuple's fields.
@@ -44,7 +44,7 @@ Result<Datum> TreeAllAncViaSplit(const ObjectStore& store, const Tree& tree,
   return out;
 }
 
-Result<Datum> TreeAllDescViaSplit(const ObjectStore& store, const Tree& tree,
+Result<Datum> TreeAllDescViaSplit(const StoreView& store, const Tree& tree,
                                   const TreePatternRef& tp, const DescFn& fn,
                                   const SplitOptions& opts) {
   // split(tp, λ(a,b,c) ⟨b, c⟩), then f over each tuple's fields. The list of
@@ -98,7 +98,7 @@ Result<PredicateRef> ExtractRootPredicate(const TreePatternRef& tp) {
   return Status::Internal("unreachable in ExtractRootPredicate");
 }
 
-Result<Datum> TreeSubSelectSplitRewrite(const ObjectStore& store,
+Result<Datum> TreeSubSelectSplitRewrite(const StoreView& store,
                                         const Tree& tree,
                                         const TreePatternRef& tp,
                                         const AttributeIndex& index,
@@ -148,7 +148,7 @@ Result<PredicateRef> ExtractHeadPredicate(const ListPatternRef& lp) {
   return Status::Internal("unreachable in ExtractHeadPredicate");
 }
 
-Result<Datum> ListSubSelectIndexed(const ObjectStore& store, const List& list,
+Result<Datum> ListSubSelectIndexed(const StoreView& store, const List& list,
                                    const AnchoredListPattern& pattern,
                                    const AttributeIndex& index,
                                    const ListSplitOptions& opts) {
@@ -187,7 +187,7 @@ Result<Datum> ListSubSelectIndexed(const ObjectStore& store, const List& list,
   return out;
 }
 
-Result<Datum> TreeSubSelectIndexed(const ObjectStore& store, const Tree& tree,
+Result<Datum> TreeSubSelectIndexed(const StoreView& store, const Tree& tree,
                                    const TreePatternRef& tp,
                                    const AttributeIndex& index,
                                    const SplitOptions& opts) {

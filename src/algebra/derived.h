@@ -19,15 +19,15 @@ namespace aqua {
 // suite cross-checks them and `bench_derived_ops` measures the cost of the
 // generality.
 
-Result<Datum> TreeSubSelectViaSplit(const ObjectStore& store, const Tree& tree,
+Result<Datum> TreeSubSelectViaSplit(const StoreView& store, const Tree& tree,
                                     const TreePatternRef& tp,
                                     const SplitOptions& opts = {});
 
-Result<Datum> TreeAllAncViaSplit(const ObjectStore& store, const Tree& tree,
+Result<Datum> TreeAllAncViaSplit(const StoreView& store, const Tree& tree,
                                  const TreePatternRef& tp, const AncFn& fn,
                                  const SplitOptions& opts = {});
 
-Result<Datum> TreeAllDescViaSplit(const ObjectStore& store, const Tree& tree,
+Result<Datum> TreeAllDescViaSplit(const StoreView& store, const Tree& tree,
                                   const TreePatternRef& tp, const DescFn& fn,
                                   const SplitOptions& opts = {});
 
@@ -44,7 +44,7 @@ Result<PredicateRef> ExtractRootPredicate(const TreePatternRef& tp);
 /// The anchor nodes come from `index` (probing the pattern's root
 /// predicate); each anchored subtree is materialized and searched with a
 /// root-anchored `sub_select`.
-Result<Datum> TreeSubSelectSplitRewrite(const ObjectStore& store,
+Result<Datum> TreeSubSelectSplitRewrite(const StoreView& store,
                                         const Tree& tree,
                                         const TreePatternRef& tp,
                                         const AttributeIndex& index,
@@ -52,7 +52,7 @@ Result<Datum> TreeSubSelectSplitRewrite(const ObjectStore& store,
 
 /// The fused physical form of the same rewrite: probe the index for
 /// candidate roots and run the matcher only there, materializing nothing.
-Result<Datum> TreeSubSelectIndexed(const ObjectStore& store, const Tree& tree,
+Result<Datum> TreeSubSelectIndexed(const StoreView& store, const Tree& tree,
                                    const TreePatternRef& tp,
                                    const AttributeIndex& index,
                                    const SplitOptions& opts = {});
@@ -70,7 +70,7 @@ Result<PredicateRef> ExtractHeadPredicate(const ListPatternRef& lp);
 /// Index-anchored list sub_select: probes `index` with the pattern's head
 /// predicate and attempts matches only at candidate positions. Agrees with
 /// `ListSubSelect` whenever the head predicate is extractable.
-Result<Datum> ListSubSelectIndexed(const ObjectStore& store, const List& list,
+Result<Datum> ListSubSelectIndexed(const StoreView& store, const List& list,
                                    const AnchoredListPattern& pattern,
                                    const AttributeIndex& index,
                                    const ListSplitOptions& opts = {});

@@ -1,6 +1,7 @@
 #include "algebra/fn_expr.h"
 
 #include <algorithm>
+#include <set>
 
 #include "common/status.h"
 #include "object/schema.h"
@@ -51,6 +52,12 @@ FnExprRef FnExpr::Update(std::vector<FnAttrSet> sets) {
   return e;
 }
 
+FnExprRef FnExpr::SetAttr(std::vector<FnAttrSet> sets) {
+  auto e = std::shared_ptr<FnExpr>(new FnExpr(Kind::kSetAttr));
+  e->sets_ = std::move(sets);
+  return e;
+}
+
 FnExprRef FnExpr::Compose(FnExprRef outer, FnExprRef inner) {
   if (outer == nullptr) return inner != nullptr ? inner : Identity();
   if (inner == nullptr) return outer;
@@ -89,6 +96,7 @@ FnEffect FnExpr::effect() const {
                                          : FnEffect::kPure,
                        MaxEffect(EffectOf(a_.get()), EffectOf(b_.get())));
     case Kind::kUpdate:
+    case Kind::kSetAttr:
       return FnEffect::kStoreWrite;
     case Kind::kCompose:
       return MaxEffect(EffectOf(a_.get()), EffectOf(b_.get()));
@@ -96,38 +104,58 @@ FnEffect FnExpr::effect() const {
   return FnEffect::kOpaque;
 }
 
-Result<Oid> FnExpr::Eval(ObjectStore& store, Oid oid) const {
+Result<Oid> FnExpr::Eval(StoreTxn& txn, Oid oid) const {
   switch (kind_) {
     case Kind::kIdentity:
       return oid;
     case Kind::kConst:
       return const_oid_;
     case Kind::kChoose: {
-      bool taken = guard_ == nullptr || guard_->Eval(store, oid);
+      bool taken = guard_ == nullptr || guard_->Eval(txn, oid);
       const FnExprRef& branch = taken ? a_ : b_;
       if (branch == nullptr) return oid;  // absent branch == identity
-      return branch->Eval(store, oid);
+      return branch->Eval(txn, oid);
     }
     case Kind::kUpdate: {
-      AQUA_ASSIGN_OR_RETURN(const Object* obj, store.Get(oid));
+      AQUA_ASSIGN_OR_RETURN(const Object* obj, txn.Get(oid));
       AQUA_ASSIGN_OR_RETURN(const TypeDef* type,
-                            store.schema().GetType(obj->type()));
+                            txn.schema().GetType(obj->type()));
       std::vector<Value> attrs = obj->attrs();
       for (const FnAttrSet& s : sets_) {
         AQUA_ASSIGN_OR_RETURN(size_t idx, type->AttrIndex(s.attr));
         attrs[idx] = s.value;
       }
-      return store.Create(obj->type(), std::move(attrs));
+      return txn.Create(obj->type(), std::move(attrs));
+    }
+    case Kind::kSetAttr: {
+      for (const FnAttrSet& s : sets_) {
+        AQUA_RETURN_IF_ERROR(txn.SetAttr(oid, s.attr, s.value));
+      }
+      return oid;
     }
     case Kind::kCompose: {
       AQUA_ASSIGN_OR_RETURN(Oid mid,
-                            b_ != nullptr ? b_->Eval(store, oid)
+                            b_ != nullptr ? b_->Eval(txn, oid)
                                           : Result<Oid>(oid));
-      return a_ != nullptr ? a_->Eval(store, mid) : Result<Oid>(mid);
+      return a_ != nullptr ? a_->Eval(txn, mid) : Result<Oid>(mid);
     }
   }
   return Status::Internal("unhandled FnExpr kind");
 }
+
+namespace {
+
+std::string RenderSets(const char* name, const std::vector<FnAttrSet>& sets) {
+  std::string out = name;
+  out += "(";
+  for (size_t i = 0; i < sets.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += sets[i].attr + "=" + sets[i].value.ToString();
+  }
+  return out + ")";
+}
+
+}  // namespace
 
 std::string FnExpr::ToString() const {
   switch (kind_) {
@@ -144,14 +172,10 @@ std::string FnExpr::ToString() const {
       out += b_ != nullptr ? b_->ToString() : "id";
       return out + ")";
     }
-    case Kind::kUpdate: {
-      std::string out = "update(";
-      for (size_t i = 0; i < sets_.size(); ++i) {
-        if (i > 0) out += ", ";
-        out += sets_[i].attr + "=" + sets_[i].value.ToString();
-      }
-      return out + ")";
-    }
+    case Kind::kUpdate:
+      return RenderSets("update", sets_);
+    case Kind::kSetAttr:
+      return RenderSets("set_attr", sets_);
     case Kind::kCompose:
       return (a_ != nullptr ? a_->ToString() : "id") + " . " +
              (b_ != nullptr ? b_->ToString() : "id");
@@ -161,6 +185,114 @@ std::string FnExpr::ToString() const {
 
 FnEffect FnExprEffect(const FnExprRef& expr) {
   return expr == nullptr ? FnEffect::kOpaque : expr->effect();
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot order-dependence analysis
+
+namespace {
+
+/// Can the *output* of `e` be an object that existed before the query
+/// (given whether the input can)? `const` always yields a pre-existing
+/// object; `update` always a fresh one; pass-through nodes propagate.
+bool MayOutputPreexisting(const FnExpr* e, bool input_may_pre) {
+  if (e == nullptr) return input_may_pre;  // absent subtree == identity
+  switch (e->kind()) {
+    case FnExpr::Kind::kIdentity:
+    case FnExpr::Kind::kSetAttr:
+      return input_may_pre;
+    case FnExpr::Kind::kConst:
+      return true;
+    case FnExpr::Kind::kUpdate:
+      return false;
+    case FnExpr::Kind::kChoose:
+      return MayOutputPreexisting(e->then_expr().get(), input_may_pre) ||
+             MayOutputPreexisting(e->else_expr().get(), input_may_pre);
+    case FnExpr::Kind::kCompose:
+      return MayOutputPreexisting(
+          e->outer().get(),
+          MayOutputPreexisting(e->inner().get(), input_may_pre));
+  }
+  return true;
+}
+
+struct AccessSets {
+  std::set<std::string> reads;        // attrs read from pre-existing objects
+  bool reads_all = false;             // an update copies its whole input
+  std::set<std::string> inplace_writes;  // attrs set_attr'd on pre-existing
+};
+
+/// Collects the cross-item-visible accesses: reads of, and in-place writes
+/// to, objects that may predate the query. Accesses to objects the
+/// expression itself created are txn-local and ignored — they cannot be
+/// observed by any other item, serially or not.
+void CollectAccesses(const FnExpr* e, bool input_may_pre, AccessSets* out) {
+  if (e == nullptr) return;
+  switch (e->kind()) {
+    case FnExpr::Kind::kIdentity:
+    case FnExpr::Kind::kConst:
+      return;
+    case FnExpr::Kind::kChoose: {
+      if (e->guard() != nullptr && input_may_pre) {
+        std::vector<std::string> attrs;
+        e->guard()->CollectAttrs(&attrs);
+        out->reads.insert(attrs.begin(), attrs.end());
+      }
+      CollectAccesses(e->then_expr().get(), input_may_pre, out);
+      CollectAccesses(e->else_expr().get(), input_may_pre, out);
+      return;
+    }
+    case FnExpr::Kind::kUpdate:
+      if (input_may_pre) out->reads_all = true;
+      return;
+    case FnExpr::Kind::kSetAttr:
+      if (input_may_pre) {
+        for (const FnAttrSet& s : e->sets()) out->inplace_writes.insert(s.attr);
+      }
+      return;
+    case FnExpr::Kind::kCompose:
+      CollectAccesses(e->inner().get(), input_may_pre, out);
+      CollectAccesses(
+          e->outer().get(),
+          MayOutputPreexisting(e->inner().get(), input_may_pre), out);
+      return;
+  }
+}
+
+}  // namespace
+
+FnSnapshotSafety FnExprSnapshotSafety(const FnExprRef& expr) {
+  FnSnapshotSafety verdict;
+  if (expr == nullptr) {
+    verdict.safe = false;
+    verdict.conflict = "opaque function: effects are unknown";
+    return verdict;
+  }
+  // Apply input cells are objects that existed when the query opened its
+  // snapshot, so the analysis starts with a possibly-pre-existing input.
+  AccessSets sets;
+  CollectAccesses(expr.get(), /*input_may_pre=*/true, &sets);
+  if (sets.inplace_writes.empty()) {
+    verdict.safe = true;  // only fresh copies: nothing cross-item-visible
+    return verdict;
+  }
+  if (sets.reads_all) {
+    verdict.safe = false;
+    verdict.conflict =
+        "update copies every attribute of a pre-existing object while '" +
+        *sets.inplace_writes.begin() + "' is written in place";
+    return verdict;
+  }
+  for (const std::string& attr : sets.inplace_writes) {
+    if (sets.reads.count(attr) != 0) {
+      verdict.safe = false;
+      verdict.conflict = "attribute '" + attr +
+                         "' is both read by a guard and written in place";
+      return verdict;
+    }
+  }
+  verdict.safe = true;
+  return verdict;
 }
 
 }  // namespace aqua

@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "object/object_store.h"
+#include "object/store_txn.h"
 #include "pattern/predicate.h"
 
 namespace aqua {
@@ -18,25 +19,27 @@ using FnExprRef = std::shared_ptr<const FnExpr>;
 /// Statically inferred effect class of an `apply` function. The lattice is
 /// ordered kPure < kReadOnly < kStoreWrite < kOpaque; composition takes the
 /// maximum. `aqua::lint`'s effect analysis (lint/effects.h) classifies plan
-/// nodes with these, and `exec::Compile` fans `apply` out morsel-parallel
-/// exactly when the effect is at most kReadOnly — such a function neither
-/// mutates the store (no racy `Create`, no Oid-allocation-order dependence)
-/// nor depends on evaluation order, so the parallel run is byte-identical
-/// to serial.
+/// nodes with these. `exec::Compile` fans `apply` out morsel-parallel when
+/// the effect is at most kReadOnly (plain fan-out: nothing mutates), and —
+/// since the store became versioned — also when the effect is kStoreWrite
+/// *and* the snapshot-safety analysis below finds no order dependence: each
+/// worker evaluates against the query's snapshot into a thread-local
+/// delta, and the order-stable delta fold replays the serial oid sequence.
 enum class FnEffect {
   kPure,        ///< no store access at all (identity, constant)
   kReadOnly,    ///< reads attributes (predicate guards); never writes
-  kStoreWrite,  ///< creates or updates objects (update expressions)
+  kStoreWrite,  ///< creates or updates objects (update / set_attr)
   kOpaque,      ///< an arbitrary std::function — nothing is known
 };
 
 const char* FnEffectToString(FnEffect e);
 
-/// True when a function of effect `e` is certified for the parallel
-/// fan-out path (kPure / kReadOnly).
+/// True when a function of effect `e` is certified for the read-only
+/// parallel fan-out path (kPure / kReadOnly). Store-writing expressions go
+/// through the snapshot-delta path instead (see `FnExprSnapshotSafety`).
 bool FnEffectParallelSafe(FnEffect e);
 
-/// One attribute assignment of an update expression.
+/// One attribute assignment of an update / set_attr expression.
 struct FnAttrSet {
   std::string attr;
   Value value;
@@ -51,6 +54,7 @@ struct FnAttrSet {
 ///   const(o)                — kPure:      every cell maps to object `o`
 ///   choose(p, f, g)         — guard `p` reads attributes; picks f or g
 ///   update(a1=v1, ...)      — kStoreWrite: fresh copy with attrs replaced
+///   set_attr(a1=v1, ...)    — kStoreWrite: in-place write, same object out
 ///   compose(f, g)           — f after g; effect = max(f, g)
 ///
 /// `Q::TreeApplyExpr` / `Q::ListApplyExpr` stamp the expression on the plan
@@ -59,7 +63,7 @@ struct FnAttrSet {
 /// can reason about it.
 class FnExpr {
  public:
-  enum class Kind { kIdentity, kConst, kChoose, kUpdate, kCompose };
+  enum class Kind { kIdentity, kConst, kChoose, kUpdate, kSetAttr, kCompose };
 
   static FnExprRef Identity();
   static FnExprRef Const(Oid oid);
@@ -68,6 +72,9 @@ class FnExpr {
   static FnExprRef Choose(PredicateRef guard, FnExprRef then_expr,
                           FnExprRef else_expr);
   static FnExprRef Update(std::vector<FnAttrSet> sets);
+  /// In-place attribute writes on the incoming object; evaluates to the
+  /// same oid (so it composes like identity but carries kStoreWrite).
+  static FnExprRef SetAttr(std::vector<FnAttrSet> sets);
   /// `outer` after `inner`; null components mean identity.
   static FnExprRef Compose(FnExprRef outer, FnExprRef inner);
 
@@ -84,9 +91,16 @@ class FnExpr {
   /// identity, i.e. kPure).
   FnEffect effect() const;
 
-  /// Evaluates the expression on one cell. Only kStoreWrite expressions
-  /// touch `store` mutably.
-  Result<Oid> Eval(ObjectStore& store, Oid oid) const;
+  /// Evaluates the expression on one cell against a store transaction:
+  /// `DirectTxn` for the serial head path, `DeltaTxn` for the
+  /// snapshot-isolated parallel path.
+  Result<Oid> Eval(StoreTxn& txn, Oid oid) const;
+
+  /// Convenience: evaluates directly against the head store (serial path).
+  Result<Oid> Eval(ObjectStore& store, Oid oid) const {
+    DirectTxn txn(&store);
+    return Eval(txn, oid);
+  }
 
   /// Compact rendering, e.g. `choose({age > 60}, update(retired=true), id)`.
   std::string ToString() const;
@@ -105,6 +119,35 @@ class FnExpr {
 /// The effect of a possibly-absent expression: null (no structured form —
 /// a bare `std::function` or no function at all) is kOpaque.
 FnEffect FnExprEffect(const FnExprRef& expr);
+
+/// Verdict of the snapshot order-dependence analysis for a store-writing
+/// expression evaluated per item under snapshot isolation with an
+/// item-order delta fold.
+///
+/// The delta merge is deterministic by construction; what can diverge from
+/// serial is *reads*: serially, item i+1 observes item i's in-place writes,
+/// while under snapshot isolation it does not. So the fold is byte-identical
+/// to serial exactly when nothing the expression reads overlaps what it
+/// writes in place on objects that existed before the query:
+///
+///   conflict  ⇔  in-place-write-set(pre-existing targets) ∩ read-set ≠ ∅
+///
+/// where guards contribute their attributes to the read set, `update`
+/// contributes every attribute of its input (it copies them all), and
+/// writes to objects the expression itself freshly created are txn-local
+/// and never conflict. `update` alone is therefore always safe — it only
+/// creates fresh copies — which is why the paper-style retire/raise applies
+/// parallelize; `set_attr` on input cells is safe unless a guard (or an
+/// update's copy) also reads one of the attributes it writes.
+struct FnSnapshotSafety {
+  bool safe = false;
+  /// Human-readable order-dependence witness when `!safe` (the payload of
+  /// lint's AQL021 snapshot-write-conflict).
+  std::string conflict;
+};
+
+/// Analyzes a possibly-absent expression. Null (opaque) is never safe.
+FnSnapshotSafety FnExprSnapshotSafety(const FnExprRef& expr);
 
 }  // namespace aqua
 

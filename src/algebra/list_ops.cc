@@ -48,7 +48,7 @@ List ReassembleListSplit(const ListSplitPieces& pieces,
   return out;
 }
 
-Result<List> ListSelect(const ObjectStore& store, const List& list,
+Result<List> ListSelect(const StoreView& store, const List& list,
                         const PredicateRef& pred) {
   if (pred == nullptr) return Status::InvalidArgument("null predicate");
   List out;
@@ -72,7 +72,21 @@ Result<List> ListApply(ObjectStore& store, const List& list,
   return out;
 }
 
-Result<Datum> ListSplit(const ObjectStore& store, const List& list,
+Result<List> ListApplyTxn(StoreTxn& txn, const List& list,
+                          const ListTxnNodeFn& fn) {
+  List out;
+  for (const auto& e : list.elems()) {
+    if (e.is_cell()) {
+      AQUA_ASSIGN_OR_RETURN(Oid mapped, fn(txn, e.oid()));
+      out.Append(NodePayload::Cell(mapped));
+    } else {
+      out.Append(e);
+    }
+  }
+  return out;
+}
+
+Result<Datum> ListSplit(const StoreView& store, const List& list,
                         const AnchoredListPattern& lp, const ListSplitFn& fn,
                         const ListSplitOptions& opts) {
   ListMatcher matcher(store, list);
@@ -87,7 +101,7 @@ Result<Datum> ListSplit(const ObjectStore& store, const List& list,
   return out;
 }
 
-Result<Datum> ListSubSelect(const ObjectStore& store, const List& list,
+Result<Datum> ListSubSelect(const StoreView& store, const List& list,
                             const AnchoredListPattern& lp,
                             const ListSplitOptions& opts) {
   // NFA existence prefilter: the Thompson NFA's language is a superset of
@@ -102,7 +116,7 @@ Result<Datum> ListSubSelect(const ObjectStore& store, const List& list,
   return ListSubSelectPrefiltered(store, list, lp, opts, pre);
 }
 
-Result<Datum> ListSubSelectPrefiltered(const ObjectStore& store,
+Result<Datum> ListSubSelectPrefiltered(const StoreView& store,
                                        const List& list,
                                        const AnchoredListPattern& lp,
                                        const ListSplitOptions& opts,
@@ -136,7 +150,7 @@ Result<Datum> ListSubSelectPrefiltered(const ObjectStore& store,
   return out;
 }
 
-Result<Datum> ListAllAnc(const ObjectStore& store, const List& list,
+Result<Datum> ListAllAnc(const StoreView& store, const List& list,
                          const AnchoredListPattern& lp, const ListAncFn& fn,
                          const ListSplitOptions& opts) {
   ListMatcher matcher(store, list);
@@ -152,7 +166,7 @@ Result<Datum> ListAllAnc(const ObjectStore& store, const List& list,
   return out;
 }
 
-Result<Datum> ListAllDesc(const ObjectStore& store, const List& list,
+Result<Datum> ListAllDesc(const StoreView& store, const List& list,
                           const AnchoredListPattern& lp, const ListDescFn& fn,
                           const ListSplitOptions& opts) {
   ListMatcher matcher(store, list);

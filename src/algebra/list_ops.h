@@ -18,6 +18,9 @@ namespace aqua {
 /// Per-element mapping used by list `apply`; may create objects.
 using ListNodeFn = std::function<Result<Oid>(ObjectStore&, Oid)>;
 
+/// Per-element mapping over a store transaction (see tree_ops.h).
+using ListTxnNodeFn = std::function<Result<Oid>(StoreTxn&, Oid)>;
+
 /// The function parameter of list `split`: the prefix context `x` (ending in
 /// its α point), the match `y` (with points at cut positions), and the cut
 /// sublists `z`.
@@ -51,21 +54,26 @@ List ReassembleListSplit(const ListSplitPieces& pieces,
 
 /// `select(p)(L)`: stable filter keeping elements satisfying `p`
 /// (concatenation points are invisible to predicates and are dropped).
-Result<List> ListSelect(const ObjectStore& store, const List& list,
+Result<List> ListSelect(const StoreView& store, const List& list,
                         const PredicateRef& pred);
 
 /// `apply(f)(L)`: maps every cell; points copy unchanged.
 Result<List> ListApply(ObjectStore& store, const List& list,
                        const ListNodeFn& fn);
 
+/// `apply` over a transaction: reads and writes go through `txn`; with a
+/// `DeltaTxn`, created objects surface as provisional oids until commit.
+Result<List> ListApplyTxn(StoreTxn& txn, const List& list,
+                          const ListTxnNodeFn& fn);
+
 /// `split(lp, f)(L)` (§6): the list primitive.
-Result<Datum> ListSplit(const ObjectStore& store, const List& list,
+Result<Datum> ListSplit(const StoreView& store, const List& list,
                         const AnchoredListPattern& lp, const ListSplitFn& fn,
                         const ListSplitOptions& opts = {});
 
 /// `sub_select(lp)(L)`: the set of sublists matching `lp` (pruned runs
 /// removed).
-Result<Datum> ListSubSelect(const ObjectStore& store, const List& list,
+Result<Datum> ListSubSelect(const StoreView& store, const List& list,
                             const AnchoredListPattern& lp,
                             const ListSplitOptions& opts = {});
 
@@ -87,7 +95,7 @@ struct ListPrefilter {
 /// instead of compiled per call. `pre.nfa == nullptr` (e.g. for patterns
 /// the NFA cannot compile) skips the prefilter and goes straight to the
 /// backtracking matcher, exactly like the plain overload.
-Result<Datum> ListSubSelectPrefiltered(const ObjectStore& store,
+Result<Datum> ListSubSelectPrefiltered(const StoreView& store,
                                        const List& list,
                                        const AnchoredListPattern& lp,
                                        const ListSplitOptions& opts,
@@ -100,12 +108,12 @@ using ListDescFn = std::function<Result<Datum>(const List& match,
 
 /// `all_anc(lp, f)(L)`: per match, `f(x, y-with-points-closed)` — e.g. the
 /// paper's melody query returning ⟨notes before the melody, the melody⟩.
-Result<Datum> ListAllAnc(const ObjectStore& store, const List& list,
+Result<Datum> ListAllAnc(const StoreView& store, const List& list,
                          const AnchoredListPattern& lp, const ListAncFn& fn,
                          const ListSplitOptions& opts = {});
 
 /// `all_desc(lp, f)(L)`: per match, `f(y, z)`.
-Result<Datum> ListAllDesc(const ObjectStore& store, const List& list,
+Result<Datum> ListAllDesc(const StoreView& store, const List& list,
                           const AnchoredListPattern& lp, const ListDescFn& fn,
                           const ListSplitOptions& opts = {});
 

@@ -65,7 +65,7 @@ OidSet SetDifference(const OidSet& a, const OidSet& b, const EqFn& eq) {
   return out;
 }
 
-OidSet SetSelect(const ObjectStore& store, const OidSet& set,
+OidSet SetSelect(const StoreView& store, const OidSet& set,
                  const PredicateRef& pred) {
   OidSet out;
   for (Oid e : set) {
@@ -85,7 +85,7 @@ Result<OidSet> SetApply(ObjectStore& store, const OidSet& set,
   return out;
 }
 
-Result<Value> SetFold(const ObjectStore& store, const OidSet& set, Value init,
+Result<Value> SetFold(const StoreView& store, const OidSet& set, Value init,
                       const FoldFn& step) {
   (void)store;
   Value acc = std::move(init);
@@ -135,7 +135,7 @@ OidBag BagDifference(const OidBag& a, const OidBag& b, const EqFn& eq) {
   return out;
 }
 
-OidBag BagSelect(const ObjectStore& store, const OidBag& bag,
+OidBag BagSelect(const StoreView& store, const OidBag& bag,
                  const PredicateRef& pred) {
   OidBag out;
   for (Oid e : bag) {

@@ -41,7 +41,7 @@ OidSet SetIntersect(const OidSet& a, const OidSet& b, const EqFn& eq);
 OidSet SetDifference(const OidSet& a, const OidSet& b, const EqFn& eq);
 
 /// Filters by an alphabet-predicate, preserving order.
-OidSet SetSelect(const ObjectStore& store, const OidSet& set,
+OidSet SetSelect(const StoreView& store, const OidSet& set,
                  const PredicateRef& pred);
 
 /// A function applied per element by `apply`; may create objects.
@@ -53,7 +53,7 @@ Result<OidSet> SetApply(ObjectStore& store, const OidSet& set,
 
 /// Left fold over the elements (the AQUA `fold` for unordered bulk types).
 using FoldFn = std::function<Result<Value>(const Value&, Oid)>;
-Result<Value> SetFold(const ObjectStore& store, const OidSet& set, Value init,
+Result<Value> SetFold(const StoreView& store, const OidSet& set, Value init,
                       const FoldFn& step);
 
 /// Bag (multiset) operators. Union is additive; intersection and difference
@@ -61,7 +61,7 @@ Result<Value> SetFold(const ObjectStore& store, const OidSet& set, Value init,
 OidBag BagUnion(const OidBag& a, const OidBag& b);
 OidBag BagIntersect(const OidBag& a, const OidBag& b, const EqFn& eq);
 OidBag BagDifference(const OidBag& a, const OidBag& b, const EqFn& eq);
-OidBag BagSelect(const ObjectStore& store, const OidBag& bag,
+OidBag BagSelect(const StoreView& store, const OidBag& bag,
                  const PredicateRef& pred);
 
 }  // namespace aqua

@@ -92,7 +92,7 @@ TreeStats ComputeTreeStats(const Tree& tree) {
   return stats;
 }
 
-size_t CountSatisfying(const ObjectStore& store, const Tree& tree,
+size_t CountSatisfying(const StoreView& store, const Tree& tree,
                        const PredicateRef& pred) {
   if (pred == nullptr) return 0;
   size_t count = 0;
@@ -166,7 +166,7 @@ Result<Tree> ReplaceSubtree(const Tree& tree, const TreePath& path,
   return ConcatAt(with_point, kTmpLabel, replacement);
 }
 
-Result<std::optional<Tree>> RewriteFirstMatch(const ObjectStore& store,
+Result<std::optional<Tree>> RewriteFirstMatch(const StoreView& store,
                                               const Tree& tree,
                                               const TreePatternRef& tp,
                                               const MatchRewriteFn& fn,
@@ -187,7 +187,7 @@ Result<std::optional<Tree>> RewriteFirstMatch(const ObjectStore& store,
   return std::optional<Tree>(std::move(out));
 }
 
-Result<Tree> RewriteToFixpoint(const ObjectStore& store, const Tree& tree,
+Result<Tree> RewriteToFixpoint(const StoreView& store, const Tree& tree,
                                const TreePatternRef& tp,
                                const MatchRewriteFn& fn,
                                const SplitOptions& opts, size_t max_passes,

@@ -62,7 +62,7 @@ struct TreeStats {
 TreeStats ComputeTreeStats(const Tree& tree);
 
 /// Number of nodes whose object satisfies `pred` (points never count).
-size_t CountSatisfying(const ObjectStore& store, const Tree& tree,
+size_t CountSatisfying(const StoreView& store, const Tree& tree,
                        const PredicateRef& pred);
 
 // ---------------------------------------------------------------------------
@@ -93,7 +93,7 @@ using MatchRewriteFn = std::function<Result<Tree>(const SplitPieces&)>;
 /// Rewrites the *first* match of `tp` (in preorder-root order):
 ///   result = x ∘_a fn(pieces) ∘_{a1} z1 ... ∘_{an} zn
 /// Returns nullopt when there is no match.
-Result<std::optional<Tree>> RewriteFirstMatch(const ObjectStore& store,
+Result<std::optional<Tree>> RewriteFirstMatch(const StoreView& store,
                                               const Tree& tree,
                                               const TreePatternRef& tp,
                                               const MatchRewriteFn& fn,
@@ -102,7 +102,7 @@ Result<std::optional<Tree>> RewriteFirstMatch(const ObjectStore& store,
 /// Repeatedly applies `RewriteFirstMatch` until no match remains (or
 /// `max_passes` is hit, which returns InvalidArgument — the rule set does
 /// not terminate). `passes` (optional) receives the number of rewrites.
-Result<Tree> RewriteToFixpoint(const ObjectStore& store, const Tree& tree,
+Result<Tree> RewriteToFixpoint(const StoreView& store, const Tree& tree,
                                const TreePatternRef& tp,
                                const MatchRewriteFn& fn,
                                const SplitOptions& opts = {},

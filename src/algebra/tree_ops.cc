@@ -83,7 +83,7 @@ Tree ReassembleSplit(const SplitPieces& pieces, const SplitOptions& opts) {
   return t;
 }
 
-Result<std::vector<Tree>> TreeSelect(const ObjectStore& store,
+Result<std::vector<Tree>> TreeSelect(const StoreView& store,
                                      const Tree& tree,
                                      const PredicateRef& pred) {
   if (pred == nullptr) return Status::InvalidArgument("null predicate");
@@ -94,7 +94,7 @@ Result<std::vector<Tree>> TreeSelect(const ObjectStore& store,
   // Phase 2: build one result tree per satisfying node whose kept children
   // are the topmost satisfying nodes under each of its subtrees.
   struct Builder {
-    const ObjectStore& store;
+    const StoreView& store;
     const Tree& tree;
     const Predicate& pred;
 
@@ -168,7 +168,37 @@ Result<Tree> TreeApply(ObjectStore& store, const Tree& tree,
   return out;
 }
 
-Result<Datum> TreeSplit(const ObjectStore& store, const Tree& tree,
+Result<Tree> TreeApplyTxn(StoreTxn& txn, const Tree& tree,
+                          const TxnNodeFn& fn) {
+  if (tree.empty()) return Tree();
+  struct Mapper {
+    StoreTxn& txn;
+    const Tree& tree;
+    const TxnNodeFn& fn;
+    Result<NodeId> Map(Tree* dst, NodeId v) {
+      const NodePayload& p = tree.payload(v);
+      NodeId copy;
+      if (p.is_cell()) {
+        AQUA_ASSIGN_OR_RETURN(Oid mapped, fn(txn, p.oid()));
+        copy = dst->AddNode(NodePayload::Cell(mapped));
+      } else {
+        copy = dst->AddNode(p);
+      }
+      for (NodeId c : tree.children(v)) {
+        AQUA_ASSIGN_OR_RETURN(NodeId cc, Map(dst, c));
+        AQUA_RETURN_IF_ERROR(dst->AddChild(copy, cc));
+      }
+      return copy;
+    }
+  };
+  Mapper mapper{txn, tree, fn};
+  Tree out;
+  AQUA_ASSIGN_OR_RETURN(NodeId root, mapper.Map(&out, tree.root()));
+  AQUA_RETURN_IF_ERROR(out.SetRoot(root));
+  return out;
+}
+
+Result<Datum> TreeSplit(const StoreView& store, const Tree& tree,
                         const TreePatternRef& tp, const SplitFn& fn,
                         const SplitOptions& opts) {
   TreeMatcher matcher(store, tree, opts.match);
@@ -182,7 +212,7 @@ Result<Datum> TreeSplit(const ObjectStore& store, const Tree& tree,
   return out;
 }
 
-Result<Datum> TreeSubSelect(const ObjectStore& store, const Tree& tree,
+Result<Datum> TreeSubSelect(const StoreView& store, const Tree& tree,
                             const TreePatternRef& tp,
                             const SplitOptions& opts) {
   TreeMatcher matcher(store, tree, opts.match);
@@ -195,7 +225,7 @@ Result<Datum> TreeSubSelect(const ObjectStore& store, const Tree& tree,
   return out;
 }
 
-Result<Datum> TreeAllAnc(const ObjectStore& store, const Tree& tree,
+Result<Datum> TreeAllAnc(const StoreView& store, const Tree& tree,
                          const TreePatternRef& tp, const AncFn& fn,
                          const SplitOptions& opts) {
   TreeMatcher matcher(store, tree, opts.match);
@@ -210,7 +240,7 @@ Result<Datum> TreeAllAnc(const ObjectStore& store, const Tree& tree,
   return out;
 }
 
-Result<Datum> TreeAllDesc(const ObjectStore& store, const Tree& tree,
+Result<Datum> TreeAllDesc(const StoreView& store, const Tree& tree,
                           const TreePatternRef& tp, const DescFn& fn,
                           const SplitOptions& opts) {
   TreeMatcher matcher(store, tree, opts.match);

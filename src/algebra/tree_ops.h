@@ -18,6 +18,11 @@ namespace aqua {
 /// Per-node mapping function used by `apply`; may create objects.
 using NodeFn = std::function<Result<Oid>(ObjectStore&, Oid)>;
 
+/// Per-node mapping over a store transaction — the surface the versioned
+/// executor drives: `DirectTxn` lands on the head (serial path), `DeltaTxn`
+/// buffers writes against a snapshot (parallel certified path).
+using TxnNodeFn = std::function<Result<Oid>(StoreTxn&, Oid)>;
+
 /// The function parameter of `split`: applied to the three pieces —
 /// ancestors-context `x`, match `y`, and cut subtrees `z` (§4).
 using SplitFn = std::function<Result<Datum>(
@@ -59,7 +64,7 @@ Result<Tree> MakeMatchPiece(const Tree& tree, const TreeMatch& match,
 /// between kept nodes when no kept node lies strictly between them. Returns
 /// a forest (one tree per kept node with no kept proper ancestor).
 /// Concatenation-point nodes are invisible to predicates and are contracted.
-Result<std::vector<Tree>> TreeSelect(const ObjectStore& store,
+Result<std::vector<Tree>> TreeSelect(const StoreView& store,
                                      const Tree& tree,
                                      const PredicateRef& pred);
 
@@ -67,17 +72,23 @@ Result<std::vector<Tree>> TreeSelect(const ObjectStore& store,
 /// tree; point nodes are copied unchanged.
 Result<Tree> TreeApply(ObjectStore& store, const Tree& tree, const NodeFn& fn);
 
+/// `apply` over a transaction: same cell-by-cell mapping, but reads and
+/// writes go through `txn`. With a `DeltaTxn`, created objects surface as
+/// provisional oids in the result tree until the delta commits.
+Result<Tree> TreeApplyTxn(StoreTxn& txn, const Tree& tree,
+                          const TxnNodeFn& fn);
+
 /// `split(tp, f)(T)` (§4), the primitive ordered-tree operator: for every
 /// match of `tp` in `T`, applies `f` to the pieces (x, y, z) and returns the
 /// set of results.
-Result<Datum> TreeSplit(const ObjectStore& store, const Tree& tree,
+Result<Datum> TreeSplit(const StoreView& store, const Tree& tree,
                         const TreePatternRef& tp, const SplitFn& fn,
                         const SplitOptions& opts = {});
 
 /// `sub_select(tp)(T)` (§4): the set of subgraphs of `T` matching `tp`
 /// (match pieces with all points closed by NULL). Direct implementation that
 /// skips building x and z.
-Result<Datum> TreeSubSelect(const ObjectStore& store, const Tree& tree,
+Result<Datum> TreeSubSelect(const StoreView& store, const Tree& tree,
                             const TreePatternRef& tp,
                             const SplitOptions& opts = {});
 
@@ -89,13 +100,13 @@ using DescFn = std::function<Result<Datum>(const Tree& match,
 
 /// `all_anc(tp, f)(T)` (§4): per match, `f(x, y ∘_{α1..αn} [])` — the
 /// ancestors context (still carrying its α point) and the closed match.
-Result<Datum> TreeAllAnc(const ObjectStore& store, const Tree& tree,
+Result<Datum> TreeAllAnc(const StoreView& store, const Tree& tree,
                          const TreePatternRef& tp, const AncFn& fn,
                          const SplitOptions& opts = {});
 
 /// `all_desc(tp, f)(T)` (§4): per match, `f(y, z)` — the match (with its
 /// cut points) and the list of descendant/pruned subtrees.
-Result<Datum> TreeAllDesc(const ObjectStore& store, const Tree& tree,
+Result<Datum> TreeAllDesc(const StoreView& store, const Tree& tree,
                           const TreePatternRef& tp, const DescFn& fn,
                           const SplitOptions& opts = {});
 

@@ -17,7 +17,7 @@ double SizeLowerBound(size_t a, size_t b) {
 
 }  // namespace
 
-Result<Datum> TreeSubSelectApprox(const ObjectStore& store, const Tree& tree,
+Result<Datum> TreeSubSelectApprox(const StoreView& store, const Tree& tree,
                                   const Tree& query, double max_distance,
                                   const EditCosts& costs) {
   (void)store;
@@ -39,7 +39,7 @@ Result<Datum> TreeSubSelectApprox(const ObjectStore& store, const Tree& tree,
   return out;
 }
 
-Result<std::vector<ScoredSubtree>> NearestSubtrees(const ObjectStore& store,
+Result<std::vector<ScoredSubtree>> NearestSubtrees(const StoreView& store,
                                                    const Tree& tree,
                                                    const Tree& query,
                                                    size_t top_n,

@@ -19,7 +19,7 @@ namespace aqua {
 /// Returns the set of subtrees of `tree` whose distance to `query` is at
 /// most `max_distance`. A cheap size-difference lower bound prunes
 /// candidates before the full O(n·m) distance computation.
-Result<Datum> TreeSubSelectApprox(const ObjectStore& store, const Tree& tree,
+Result<Datum> TreeSubSelectApprox(const StoreView& store, const Tree& tree,
                                   const Tree& query, double max_distance,
                                   const EditCosts& costs = {});
 
@@ -31,7 +31,7 @@ struct ScoredSubtree {
 
 /// The `top_n` subtrees of `tree` closest to `query` under the metric,
 /// ascending by distance (ties broken by preorder position).
-Result<std::vector<ScoredSubtree>> NearestSubtrees(const ObjectStore& store,
+Result<std::vector<ScoredSubtree>> NearestSubtrees(const StoreView& store,
                                                    const Tree& tree,
                                                    const Tree& query,
                                                    size_t top_n,

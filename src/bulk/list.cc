@@ -48,4 +48,10 @@ bool List::Equals(const List& other) const {
   return true;
 }
 
+void List::MapCells(const std::function<Oid(Oid)>& fn) {
+  for (NodePayload& e : elems_) {
+    if (e.is_cell()) e = NodePayload::Cell(fn(e.oid()));
+  }
+}
+
 }  // namespace aqua

@@ -1,6 +1,7 @@
 #ifndef AQUA_BULK_LIST_H_
 #define AQUA_BULK_LIST_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,10 @@ class List {
 
   /// The contiguous sublist [begin, end).
   List Sublist(size_t begin, size_t end) const;
+
+  /// Rewrites every cell's oid through `fn`, in place; points are
+  /// untouched (see Tree::MapCells).
+  void MapCells(const std::function<Oid(Oid)>& fn);
 
   /// True when some element is a concatenation point labeled `label`.
   bool HasPoint(const std::string& label) const;

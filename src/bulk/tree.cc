@@ -269,4 +269,10 @@ Status Tree::Validate() const {
   return Status::OK();
 }
 
+void Tree::MapCells(const std::function<Oid(Oid)>& fn) {
+  for (NodePayload& p : payloads_) {
+    if (p.is_cell()) p = NodePayload::Cell(fn(p.oid()));
+  }
+}
+
 }  // namespace aqua

@@ -1,6 +1,7 @@
 #ifndef AQUA_BULK_TREE_H_
 #define AQUA_BULK_TREE_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -103,6 +104,11 @@ class Tree {
   /// (the node disappears from its parent's child list). Removing the root
   /// yields the empty tree.
   Tree CopyWithSubtreeRemoved(NodeId n) const;
+
+  /// Rewrites every cell's oid through `fn`, in place; points are
+  /// untouched. Used by the executor to resolve provisional oids after a
+  /// snapshot-delta apply commits.
+  void MapCells(const std::function<Oid(Oid)>& fn);
 
   // ---------------------------------------------------------------------
   // Concatenation points (§3.5)

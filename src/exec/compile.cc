@@ -7,12 +7,14 @@
 #include <vector>
 
 #include "algebra/derived.h"
+#include "algebra/fn_expr.h"
 #include "algebra/list_ops.h"
 #include "algebra/tree_ops.h"
 #include "bulk/concat.h"
 #include "exec/morsel.h"
 #include "exec/worker_local.h"
 #include "lint/effects.h"
+#include "object/store_txn.h"
 #include "obs/metrics.h"
 #include "pattern/dfa.h"
 #include "pattern/nfa.h"
@@ -64,9 +66,14 @@ struct FanOutSpec {
   /// list-`select` quirk.
   bool single_passthrough = false;
   /// Whether set items may run on pool workers. False for ops that mutate
-  /// the store (`apply`) or invoke user callbacks with no thread-safety
-  /// contract (`split` / `all_anc` / `all_desc`).
+  /// the head store (uncertified `apply`) or invoke user callbacks with no
+  /// thread-safety contract (`split` / `all_anc` / `all_desc`).
   bool parallel = false;
+  /// Re-snapshot `ExecContext::view` after the batch (even on error): set
+  /// for ops whose item evaluation may mutate the head store, so
+  /// downstream operators observe the writes. Nearly free when nothing
+  /// changed (the head-version cache returns the same `StoreVersion`).
+  bool refresh_view = false;
   /// How one item's result datum joins the output set.
   enum class Merge {
     kUnionChildren,  ///< item result is a set; insert its elements
@@ -94,12 +101,33 @@ class FanOutOp : public PhysicalOp {
       : PhysicalOp(std::move(plan), std::move(children)), spec_(spec) {}
 
  protected:
-  /// Evaluates the operator on one collection item. `worker` is the
+  using Slots = std::vector<std::optional<Result<Datum>>>;
+
+  /// Evaluates the operator on one collection item. `index` is the item's
+  /// position in the batch (0 for a single non-set input); `worker` is the
   /// fan-out worker slot (0 on the serial path and for single inputs).
   virtual Result<Datum> RunOnItem(ExecContext& ctx, const Datum& item,
-                                  size_t worker) = 0;
+                                  size_t index, size_t worker) = 0;
+
+  /// Called on the query thread before any item runs, with the batch size.
+  virtual void OnBatchStart(ExecContext&, size_t) {}
+
+  /// Called on the query thread after every item succeeded, before the
+  /// merge; may rewrite the slot datums in place (the certified-apply
+  /// commit hook). Not called when an item failed — a failing batch
+  /// publishes nothing.
+  virtual Status AfterItems(ExecContext&, Slots*) { return Status::OK(); }
 
   Result<Datum> RunImpl(ExecContext& ctx) override {
+    Result<Datum> out = RunBatch(ctx);
+    // Even on error: a serial apply mutates the head up to the failing
+    // item, and those writes must be visible downstream.
+    if (spec_.refresh_view && ctx.db != nullptr) ctx.view = ctx.db->store();
+    return out;
+  }
+
+ private:
+  Result<Datum> RunBatch(ExecContext& ctx) {
     AQUA_ASSIGN_OR_RETURN(Datum input, RunChild(0, ctx));
     if (!input.is_set()) {
       if (ctx.query != nullptr) {
@@ -107,7 +135,12 @@ class FanOutOp : public PhysicalOp {
         ctx.query->AddRows(1);
       }
       AQUA_RETURN_IF_ERROR(CheckItem(ctx, input, /*in_set=*/false));
-      AQUA_ASSIGN_OR_RETURN(Datum r, RunOnItem(ctx, input, 0));
+      OnBatchStart(ctx, 1);
+      Slots slots(1);
+      slots[0].emplace(RunOnItem(ctx, input, 0, 0));
+      AQUA_RETURN_IF_ERROR(slots[0]->status());
+      AQUA_RETURN_IF_ERROR(AfterItems(ctx, &slots));
+      Datum r = std::move(**slots[0]);
       if (spec_.single_passthrough) return r;
       Datum out = Datum::Set({});
       MergeInto(&out, std::move(r));
@@ -115,7 +148,8 @@ class FanOutOp : public PhysicalOp {
     }
 
     const std::vector<Datum>& items = input.children();
-    std::vector<std::optional<Result<Datum>>> slots(items.size());
+    OnBatchStart(ctx, items.size());
+    Slots slots(items.size());
     FanOutOptions opts;
     opts.threads = spec_.parallel ? ctx.threads : 1;
     opts.trace = ctx.trace;
@@ -132,7 +166,7 @@ class FanOutOp : public PhysicalOp {
               ctx.query->AddRows(1);
             }
             AQUA_RETURN_IF_ERROR(CheckItem(ctx, items[i], /*in_set=*/true));
-            Result<Datum> r = RunOnItem(ctx, items[i], m.worker);
+            Result<Datum> r = RunOnItem(ctx, items[i], i, m.worker);
             Status st = r.status();
             slots[i].emplace(std::move(r));
             AQUA_RETURN_IF_ERROR(st);
@@ -141,12 +175,11 @@ class FanOutOp : public PhysicalOp {
         }));
     // RunMorsels returned OK, so every slot holds an OK result; merging in
     // item order reproduces the serial insertion sequence exactly.
+    AQUA_RETURN_IF_ERROR(AfterItems(ctx, &slots));
     Datum out = Datum::Set({});
     for (auto& slot : slots) MergeInto(&out, std::move(**slot));
     return out;
   }
-
- private:
   Status CheckItem(ExecContext& ctx, const Datum& d, bool in_set) const {
     if (spec_.over_lists ? !d.is_list() : !d.is_tree()) {
       return Status::TypeError(in_set ? spec_.set_error : spec_.single_error);
@@ -180,13 +213,90 @@ class LambdaFanOutOp : public FanOutOp {
         fn_(std::move(fn)) {}
 
  protected:
-  Result<Datum> RunOnItem(ExecContext& ctx, const Datum& item,
+  Result<Datum> RunOnItem(ExecContext& ctx, const Datum& item, size_t,
                           size_t) override {
     return fn_(ctx, *plan_, item);
   }
 
  private:
   ItemFn fn_;
+};
+
+/// The certified `apply` path, tree and list: every item evaluates through
+/// a `DeltaTxn` over the query snapshot, so reads never touch the head
+/// lock. Read-only-certified applies produce empty deltas and commit
+/// nothing. Snapshot-write-certified applies (AQL021-clean, see
+/// `lint::NodeSnapshotWriteCertified`) buffer thread-local write deltas
+/// per item; after the join, one `CommitBatch` folds them in item order —
+/// one new store version per apply, allocating exactly the oids a serial
+/// left-to-right fold would have — and the provisional oids in each item's
+/// result are rewritten to their committed finals. One documented
+/// divergence from the serial path: a failing certified apply commits
+/// nothing (all-or-nothing), where serial leaves the writes of the items
+/// before the failure.
+class CertifiedApplyOp : public FanOutOp {
+ public:
+  CertifiedApplyOp(PlanRef plan, std::vector<PhysicalOpRef> children,
+                   FanOutSpec spec, bool writes)
+      : FanOutOp(std::move(plan), std::move(children), spec),
+        writes_(writes) {}
+
+ protected:
+  void OnBatchStart(ExecContext&, size_t n) override {
+    deltas_.assign(n, ItemDelta{});
+  }
+
+  Result<Datum> RunOnItem(ExecContext& ctx, const Datum& item, size_t index,
+                          size_t) override {
+    // Certification implies a structured fn_expr (opaque functions are
+    // never certified), so the dereference is safe.
+    const FnExpr& fn = *plan_->fn_expr;
+    DeltaTxn txn(ctx.view);
+    auto cell = [&fn](StoreTxn& t, Oid oid) { return fn.Eval(t, oid); };
+    Result<Datum> out = [&]() -> Result<Datum> {
+      if (plan_->op == PlanOp::kListApply) {
+        AQUA_ASSIGN_OR_RETURN(List mapped,
+                              ListApplyTxn(txn, item.list(), cell));
+        return Datum::Of(std::move(mapped));
+      }
+      AQUA_ASSIGN_OR_RETURN(Tree mapped, TreeApplyTxn(txn, item.tree(), cell));
+      return Datum::Of(std::move(mapped));
+    }();
+    // Distinct indices, so worker threads never write the same slot.
+    if (writes_ && out.ok()) deltas_[index] = txn.Take();
+    return out;
+  }
+
+  Status AfterItems(ExecContext& ctx, Slots* slots) override {
+    if (!writes_) return Status::OK();
+    AQUA_ASSIGN_OR_RETURN(std::vector<std::vector<Oid>> finals,
+                          ctx.db->store().CommitBatch(std::move(deltas_)));
+    deltas_.clear();
+    AQUA_OBS_COUNT("exec.apply_snapshot_commits", 1);
+    for (size_t i = 0; i < slots->size(); ++i) {
+      const std::vector<Oid>& f = finals[i];
+      auto remap = [&f](Oid oid) {
+        return IsProvisionalOid(oid) ? f[ProvisionalOidIndex(oid)] : oid;
+      };
+      Datum& d = **(*slots)[i];
+      if (d.is_list()) {
+        List l = d.list();
+        l.MapCells(remap);
+        d = Datum::Of(std::move(l));
+      } else {
+        Tree t = d.tree();
+        t.MapCells(remap);
+        d = Datum::Of(std::move(t));
+      }
+    }
+    // Downstream operators read the version this apply just committed.
+    ctx.view = ctx.db->store();
+    return Status::OK();
+  }
+
+ private:
+  bool writes_;
+  std::vector<ItemDelta> deltas_;
 };
 
 /// List sub_select with the NFA existence prefilter hoisted into
@@ -214,7 +324,7 @@ class ListSubSelectOp : public FanOutOp {
   }
 
  protected:
-  Result<Datum> RunOnItem(ExecContext& ctx, const Datum& item,
+  Result<Datum> RunOnItem(ExecContext& ctx, const Datum& item, size_t,
                           size_t worker) override {
     ListPrefilter pre;
     if (nfa_.has_value()) {
@@ -224,8 +334,8 @@ class ListSubSelectOp : public FanOutOp {
         pre.dfa = &*dfas_->at(worker);
       }
     }
-    return ListSubSelectPrefiltered(ctx.db->store(), item.list(),
-                                    plan_->lpattern, plan_->lsplit_opts, pre);
+    return ListSubSelectPrefiltered(ctx.view, item.list(), plan_->lpattern,
+                                    plan_->lsplit_opts, pre);
   }
 
  private:
@@ -259,10 +369,29 @@ FanOutSpec ListSpec(bool parallel) {
   return spec;
 }
 
+// Spec for the split family: serial (the user callback declares no
+// thread-safety contract), and since that callback may capture the
+// database and mutate it, the query view refreshes after the batch.
+FanOutSpec OpaqueTreeSpec() {
+  FanOutSpec spec = TreeSpec(/*parallel=*/false);
+  spec.refresh_view = true;
+  return spec;
+}
+
+FanOutSpec OpaqueListSpec() {
+  FanOutSpec spec = ListSpec(/*parallel=*/false);
+  spec.refresh_view = true;
+  return spec;
+}
+
 }  // namespace
 
 bool ApplyParallelCertified(const PlanRef& plan) {
   return plan != nullptr && lint::NodeParallelCertified(*plan);
+}
+
+bool ApplySnapshotWriteCertified(const PlanRef& plan) {
+  return plan != nullptr && lint::NodeSnapshotWriteCertified(*plan);
 }
 
 PhysicalOpRef Compile(const PlanRef& plan) {
@@ -307,7 +436,7 @@ PhysicalOpRef Compile(const PlanRef& plan) {
              const Datum& item) -> Result<Datum> {
             AQUA_ASSIGN_OR_RETURN(
                 std::vector<Tree> forest,
-                TreeSelect(ctx.db->store(), item.tree(), n.pred));
+                TreeSelect(ctx.view, item.tree(), n.pred));
             Datum out = Datum::Set({});
             for (Tree& piece : forest) {
               out.SetInsert(Datum::Of(std::move(piece)));
@@ -315,17 +444,22 @@ PhysicalOpRef Compile(const PlanRef& plan) {
             return out;
           });
     case PlanOp::kTreeApply: {
-      // Serial unless the effect analysis certifies the function: a
-      // certified apply (structured FnExpr, effect <= read-only) never
-      // touches the store, so the fan-out is safe and the order-stable
-      // merge keeps it byte-identical to serial.
-      bool certified = ApplyParallelCertified(plan);
-      if (certified) AQUA_OBS_COUNT("exec.apply_parallel_certified", 1);
-      FanOutSpec spec = TreeSpec(/*parallel=*/certified);
+      // Three-mode compile. Certified (read-only effect, or store-writing
+      // with no order dependence): snapshot-isolated morsel-parallel path.
+      // Uncertified: serial against the head, re-snapshotting after.
+      bool read_cert = ApplyParallelCertified(plan);
+      bool write_cert = ApplySnapshotWriteCertified(plan);
+      FanOutSpec spec = TreeSpec(/*parallel=*/read_cert || write_cert);
       spec.set_error = kTreeApplySetErr;
       spec.single_error = kTreeApplySingleErr;
       spec.single_passthrough = true;
       spec.merge = FanOutSpec::Merge::kInsertResult;
+      if (read_cert || write_cert) {
+        AQUA_OBS_COUNT("exec.apply_parallel_certified", 1);
+        return std::make_shared<CertifiedApplyOp>(plan, std::move(children),
+                                                  spec, write_cert);
+      }
+      spec.refresh_view = true;  // node_fn may have mutated the head
       return std::make_shared<LambdaFanOutOp>(
           plan, std::move(children), spec,
           [](ExecContext& ctx, const PlanNode& n,
@@ -341,38 +475,38 @@ PhysicalOpRef Compile(const PlanRef& plan) {
           plan, std::move(children), TreeSpec(/*parallel=*/true),
           [](ExecContext& ctx, const PlanNode& n,
              const Datum& item) -> Result<Datum> {
-            return TreeSubSelect(ctx.db->store(), item.tree(), n.tpattern,
+            return TreeSubSelect(ctx.view, item.tree(), n.tpattern,
                                  n.split_opts);
           });
     case PlanOp::kTreeSplit:
       return std::make_shared<LambdaFanOutOp>(
-          plan, std::move(children), TreeSpec(/*parallel=*/false),
+          plan, std::move(children), OpaqueTreeSpec(),
           [](ExecContext& ctx, const PlanNode& n,
              const Datum& item) -> Result<Datum> {
-            return TreeSplit(ctx.db->store(), item.tree(), n.tpattern,
-                             n.split_fn, n.split_opts);
+            return TreeSplit(ctx.view, item.tree(), n.tpattern, n.split_fn,
+                             n.split_opts);
           });
     case PlanOp::kTreeAllAnc:
       return std::make_shared<LambdaFanOutOp>(
-          plan, std::move(children), TreeSpec(/*parallel=*/false),
+          plan, std::move(children), OpaqueTreeSpec(),
           [](ExecContext& ctx, const PlanNode& n,
              const Datum& item) -> Result<Datum> {
-            return TreeAllAnc(ctx.db->store(), item.tree(), n.tpattern,
-                              n.anc_fn, n.split_opts);
+            return TreeAllAnc(ctx.view, item.tree(), n.tpattern, n.anc_fn,
+                              n.split_opts);
           });
     case PlanOp::kTreeAllDesc:
       return std::make_shared<LambdaFanOutOp>(
-          plan, std::move(children), TreeSpec(/*parallel=*/false),
+          plan, std::move(children), OpaqueTreeSpec(),
           [](ExecContext& ctx, const PlanNode& n,
              const Datum& item) -> Result<Datum> {
-            return TreeAllDesc(ctx.db->store(), item.tree(), n.tpattern,
-                               n.desc_fn, n.split_opts);
+            return TreeAllDesc(ctx.view, item.tree(), n.tpattern, n.desc_fn,
+                               n.split_opts);
           });
     case PlanOp::kIndexedSubSelect:
       return std::make_shared<SimpleOp>(
           plan, std::move(children),
           [](ExecContext& ctx, const PlanNode& n) -> Result<Datum> {
-            const ObjectStore& store = ctx.db->store();
+            const StoreView& store = ctx.view;
             AQUA_ASSIGN_OR_RETURN(const Tree* tree,
                                   ctx.db->GetTree(n.collection));
             AQUA_ASSIGN_OR_RETURN(const AttributeIndex* index,
@@ -407,8 +541,8 @@ PhysicalOpRef Compile(const PlanRef& plan) {
                                   index->Probe(*n.anchor));
             ctx.index_candidates.fetch_add(candidates.size(),
                                            std::memory_order_relaxed);
-            return ListSubSelectIndexed(ctx.db->store(), *list, n.lpattern,
-                                        *index, n.lsplit_opts);
+            return ListSubSelectIndexed(ctx.view, *list, n.lpattern, *index,
+                                        n.lsplit_opts);
           });
     case PlanOp::kListSelect: {
       FanOutSpec spec = ListSpec(/*parallel=*/true);
@@ -418,19 +552,25 @@ PhysicalOpRef Compile(const PlanRef& plan) {
           plan, std::move(children), spec,
           [](ExecContext& ctx, const PlanNode& n,
              const Datum& item) -> Result<Datum> {
-            AQUA_ASSIGN_OR_RETURN(
-                List filtered, ListSelect(ctx.db->store(), item.list(), n.pred));
+            AQUA_ASSIGN_OR_RETURN(List filtered,
+                                  ListSelect(ctx.view, item.list(), n.pred));
             return Datum::Of(std::move(filtered));
           });
     }
     case PlanOp::kListApply: {
-      bool certified = ApplyParallelCertified(plan);
-      if (certified) AQUA_OBS_COUNT("exec.apply_parallel_certified", 1);
-      FanOutSpec spec = ListSpec(/*parallel=*/certified);
+      bool read_cert = ApplyParallelCertified(plan);
+      bool write_cert = ApplySnapshotWriteCertified(plan);
+      FanOutSpec spec = ListSpec(/*parallel=*/read_cert || write_cert);
       spec.set_error = kListApplySetErr;
       spec.single_error = kListApplySingleErr;
       spec.single_passthrough = true;
       spec.merge = FanOutSpec::Merge::kInsertResult;
+      if (read_cert || write_cert) {
+        AQUA_OBS_COUNT("exec.apply_parallel_certified", 1);
+        return std::make_shared<CertifiedApplyOp>(plan, std::move(children),
+                                                  spec, write_cert);
+      }
+      spec.refresh_view = true;  // lnode_fn may have mutated the head
       return std::make_shared<LambdaFanOutOp>(
           plan, std::move(children), spec,
           [](ExecContext& ctx, const PlanNode& n,
@@ -446,27 +586,27 @@ PhysicalOpRef Compile(const PlanRef& plan) {
                                                ListSpec(/*parallel=*/true));
     case PlanOp::kListSplit:
       return std::make_shared<LambdaFanOutOp>(
-          plan, std::move(children), ListSpec(/*parallel=*/false),
+          plan, std::move(children), OpaqueListSpec(),
           [](ExecContext& ctx, const PlanNode& n,
              const Datum& item) -> Result<Datum> {
-            return ListSplit(ctx.db->store(), item.list(), n.lpattern,
-                             n.lsplit_fn, n.lsplit_opts);
+            return ListSplit(ctx.view, item.list(), n.lpattern, n.lsplit_fn,
+                             n.lsplit_opts);
           });
     case PlanOp::kListAllAnc:
       return std::make_shared<LambdaFanOutOp>(
-          plan, std::move(children), ListSpec(/*parallel=*/false),
+          plan, std::move(children), OpaqueListSpec(),
           [](ExecContext& ctx, const PlanNode& n,
              const Datum& item) -> Result<Datum> {
-            return ListAllAnc(ctx.db->store(), item.list(), n.lpattern,
-                              n.lanc_fn, n.lsplit_opts);
+            return ListAllAnc(ctx.view, item.list(), n.lpattern, n.lanc_fn,
+                              n.lsplit_opts);
           });
     case PlanOp::kListAllDesc:
       return std::make_shared<LambdaFanOutOp>(
-          plan, std::move(children), ListSpec(/*parallel=*/false),
+          plan, std::move(children), OpaqueListSpec(),
           [](ExecContext& ctx, const PlanNode& n,
              const Datum& item) -> Result<Datum> {
-            return ListAllDesc(ctx.db->store(), item.list(), n.lpattern,
-                               n.ldesc_fn, n.lsplit_opts);
+            return ListAllDesc(ctx.view, item.list(), n.lpattern, n.ldesc_fn,
+                               n.lsplit_opts);
           });
   }
   return std::make_shared<NullOp>();  // unreachable with a valid enum

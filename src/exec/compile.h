@@ -16,18 +16,26 @@ namespace aqua::exec {
 /// interpreter at any thread count.
 ///
 /// Which fan-outs actually parallelize:
-///  - `select` / `sub_select` (tree and list) call only const-store
-///    library code and run their items on up to `ExecContext::threads`
-///    workers.
+///  - `select` / `sub_select` (tree and list) read only the query's pinned
+///    snapshot (`ExecContext::view`) and run their items on up to
+///    `ExecContext::threads` workers.
 ///  - `apply` parallelizes when the lint effect analysis *certifies* its
-///    function (a structured `FnExpr` whose effect is at most read-only,
-///    see `lint/effects.h`): a certified apply never writes the object
-///    store, so fanning its items out is safe and — with the order-stable
-///    slot merge — byte-identical to serial. An apply over a bare
-///    `std::function` or a store-mutating expression stays serial.
+///    function: either effect at most read-only
+///    (`lint::NodeParallelCertified`) or a store-writing `FnExpr` with no
+///    order dependence (`lint::NodeSnapshotWriteCertified`, the AQL021
+///    analysis). Certified applies evaluate every item through a
+///    snapshot-isolated `DeltaTxn`; write deltas are folded in item order
+///    by one `ObjectStore::CommitBatch` after the join, so the result —
+///    including the oids of created objects — is byte-identical to serial
+///    at any thread count. An apply over a bare `std::function` or an
+///    order-dependent write expression stays serial against the head.
 ///  - `split` / `all_anc` / `all_desc` invoke user callbacks with no
 ///    declared thread-safety contract and run serially too (see
 ///    docs/EXECUTION.md for the contract that would lift this).
+///
+/// Operators that may mutate the store (serial applies, opaque split-family
+/// callbacks) re-snapshot `ExecContext::view` after completing, so
+/// downstream operators observe their writes.
 ///
 /// A null plan compiles to an error operator that reproduces the
 /// interpreter's "(null)" span and InvalidArgument status, so `Compile`
@@ -39,6 +47,13 @@ PhysicalOpRef Compile(const PlanRef& plan);
 /// function the effect analysis certifies for the morsel-parallel path.
 /// (`Compile` counts each certification in `exec.apply_parallel_certified`.)
 bool ApplyParallelCertified(const PlanRef& plan);
+
+/// True iff `plan` is a tree/list apply whose store-writing function is
+/// certified order-independent (AQL021-clean), so it runs morsel-parallel
+/// with thread-local write deltas and a single order-stable commit.
+/// Disjoint from `ApplyParallelCertified` (which covers effect <=
+/// read-only).
+bool ApplySnapshotWriteCertified(const PlanRef& plan);
 
 }  // namespace aqua::exec
 

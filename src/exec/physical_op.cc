@@ -55,6 +55,9 @@ Status PhysicalOp::Prepare(ExecContext& ctx) {
 }
 
 Result<Datum> PhysicalOp::Run(ExecContext& ctx) {
+  // Lazy snapshot for contexts built without one (op-level unit tests).
+  // Run always executes on the query thread, so this cannot race a worker.
+  if (!ctx.view.valid() && ctx.db != nullptr) ctx.view = ctx.db->store();
   obs::Span span(ctx.trace,
                  plan_ == nullptr ? "(null)" : PlanOpToString(plan_->op));
   if (plan_ != nullptr) {

@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "bulk/datum.h"
 #include "exec/thread_pool.h"
+#include "object/store_view.h"
 #include "obs/query_context.h"
 #include "obs/trace.h"
 #include "query/database.h"
@@ -36,6 +37,15 @@ struct ExecContext {
   /// resource counters, live progress. Null only in unit tests that drive
   /// ops directly; the executor always provides one.
   obs::QueryContext* query = nullptr;
+  /// The snapshot every read path of this Execute evaluates against —
+  /// opened once at the start (the executor installs it; `PhysicalOp::Run`
+  /// also opens it lazily for tests that drive ops directly) and pinned for
+  /// the query, so reads are lock-free regardless of concurrent commits.
+  /// Operators that mutate the store re-snapshot after completing, so
+  /// downstream operators observe their writes (read-after-write plan
+  /// semantics). Written by the query thread only; fan-out workers read it
+  /// after the fork point, never during a mutation.
+  StoreView view;
 
   std::atomic<size_t> operators_evaluated{0};
   std::atomic<size_t> trees_processed{0};

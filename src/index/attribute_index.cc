@@ -7,7 +7,7 @@
 namespace aqua {
 
 Result<AttributeIndex> AttributeIndex::Build(
-    const ObjectStore& store, const std::string& attr,
+    const StoreView& store, const std::string& attr,
     const std::vector<std::pair<NodeId, Oid>>& cells, size_t total) {
   AttributeIndex index;
   index.attr_ = attr;
@@ -38,7 +38,7 @@ Result<AttributeIndex> AttributeIndex::Build(
   return index;
 }
 
-Result<AttributeIndex> AttributeIndex::BuildForTree(const ObjectStore& store,
+Result<AttributeIndex> AttributeIndex::BuildForTree(const StoreView& store,
                                                     const Tree& tree,
                                                     const std::string& attr) {
   std::vector<std::pair<NodeId, Oid>> cells;
@@ -49,7 +49,7 @@ Result<AttributeIndex> AttributeIndex::BuildForTree(const ObjectStore& store,
   return Build(store, attr, cells, tree.size());
 }
 
-Result<AttributeIndex> AttributeIndex::BuildForList(const ObjectStore& store,
+Result<AttributeIndex> AttributeIndex::BuildForList(const StoreView& store,
                                                     const List& list,
                                                     const std::string& attr) {
   std::vector<std::pair<NodeId, Oid>> cells;

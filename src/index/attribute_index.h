@@ -25,12 +25,12 @@ class AttributeIndex {
  public:
   /// Indexes every cell node of `tree` on `attr`. Cells whose object lacks
   /// the attribute (heterogeneous trees) are skipped.
-  static Result<AttributeIndex> BuildForTree(const ObjectStore& store,
+  static Result<AttributeIndex> BuildForTree(const StoreView& store,
                                              const Tree& tree,
                                              const std::string& attr);
 
   /// Indexes every cell element of `list` on `attr`.
-  static Result<AttributeIndex> BuildForList(const ObjectStore& store,
+  static Result<AttributeIndex> BuildForList(const StoreView& store,
                                              const List& list,
                                              const std::string& attr);
 
@@ -62,7 +62,7 @@ class AttributeIndex {
 
  private:
   static Result<AttributeIndex> Build(
-      const ObjectStore& store, const std::string& attr,
+      const StoreView& store, const std::string& attr,
       const std::vector<std::pair<NodeId, Oid>>& cells, size_t total);
 
   std::string attr_;

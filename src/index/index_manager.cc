@@ -3,7 +3,7 @@
 namespace aqua {
 
 Status IndexManager::CreateTreeIndex(const std::string& collection,
-                                     const ObjectStore& store,
+                                     const StoreView& store,
                                      const Tree& tree,
                                      const std::string& attr) {
   auto key = std::make_pair(collection, attr);
@@ -19,7 +19,7 @@ Status IndexManager::CreateTreeIndex(const std::string& collection,
 }
 
 Status IndexManager::CreateListIndex(const std::string& collection,
-                                     const ObjectStore& store,
+                                     const StoreView& store,
                                      const List& list,
                                      const std::string& attr) {
   auto key = std::make_pair(collection, attr);

@@ -23,12 +23,12 @@ class IndexManager {
 
   /// Builds and registers an index over a tree collection.
   Status CreateTreeIndex(const std::string& collection,
-                         const ObjectStore& store, const Tree& tree,
+                         const StoreView& store, const Tree& tree,
                          const std::string& attr);
 
   /// Builds and registers an index over a list collection.
   Status CreateListIndex(const std::string& collection,
-                         const ObjectStore& store, const List& list,
+                         const StoreView& store, const List& list,
                          const std::string& attr);
 
   bool Has(const std::string& collection, const std::string& attr) const;

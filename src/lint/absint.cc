@@ -217,7 +217,8 @@ class AbsInterpreter {
                              : CardInterval::Unknown();
         out.nodes_hi = in.nodes_hi;
         out.effect = NodeFnEffect(node);
-        out.parallel_certified = NodeParallelCertified(node);
+        out.parallel_certified =
+            NodeParallelCertified(node) || NodeSnapshotWriteCertified(node);
         if (in.card.provably_empty()) out.nodes_hi = 0;
         return out;
       }
@@ -355,16 +356,26 @@ class AbsInterpreter {
                    in.card.ToString() + ")");
         }
       }
-      // AQL018 (note): why this apply runs serial.
+      // AQL018/AQL021: why this apply runs serial. An opaque function is
+      // AQL018 (nothing to analyze); a structured store-writing expression
+      // that failed the snapshot order-dependence analysis is AQL021, with
+      // the conflict witness (store-writing expressions that *pass* are
+      // certified for the snapshot-delta parallel path and emit nothing).
       if (!facts.parallel_certified) {
-        Emit(node, DiagCode::kUncertifiedSerialFn,
-             node.fn_expr == nullptr
-                 ? std::string(
-                       "apply function is an opaque std::function: effects "
-                       "are unknown, so the apply runs serial (build it via "
-                       "TreeApplyExpr/ListApplyExpr to certify it)")
-                 : "apply expression " + node.fn_expr->ToString() +
-                       " is store-mutating: the apply runs serial");
+        if (node.fn_expr == nullptr) {
+          Emit(node, DiagCode::kUncertifiedSerialFn,
+               "apply function is an opaque std::function: effects "
+               "are unknown, so the apply runs serial (build it via "
+               "TreeApplyExpr/ListApplyExpr to certify it)");
+        } else {
+          FnSnapshotSafety safety = FnExprSnapshotSafety(node.fn_expr);
+          Emit(node, DiagCode::kSnapshotWriteConflict,
+               "apply expression " + node.fn_expr->ToString() +
+                   " writes the store with an order dependence (" +
+                   safety.conflict +
+                   "): a snapshot-parallel fold would diverge from serial, "
+                   "so the apply runs serial");
+        }
       }
     }
   }

@@ -46,6 +46,8 @@ const char* DiagCodeId(DiagCode code) {
       return "AQL019";
     case DiagCode::kUnsafeRewrite:
       return "AQL020";
+    case DiagCode::kSnapshotWriteConflict:
+      return "AQL021";
   }
   return "AQL000";
 }
@@ -92,6 +94,8 @@ const char* DiagCodeName(DiagCode code) {
       return "empty-result-flow";
     case DiagCode::kUnsafeRewrite:
       return "unsafe-rewrite";
+    case DiagCode::kSnapshotWriteConflict:
+      return "snapshot-write-conflict";
   }
   return "unknown";
 }

@@ -36,11 +36,15 @@ enum class DiagCode {
   kUncertifiedSerialFn = 18, ///< AQL018: fn not certified; apply runs serial
   kEmptyResultFlow = 19,     ///< AQL019: whole plan provably returns empty
   kUnsafeRewrite = 20,       ///< AQL020: rewrite contradicts inferred facts
+  /// AQL021: a store-writing apply expression whose snapshot-isolated
+  /// parallel fold would diverge from serial (an in-place write overlaps
+  /// what the expression reads), so the apply stays serial.
+  kSnapshotWriteConflict = 21,
 };
 
 enum class Severity { kNote, kWarning, kError };
 
-/// `"AQL001"` .. `"AQL020"`.
+/// `"AQL001"` .. `"AQL021"`.
 const char* DiagCodeId(DiagCode code);
 /// Short kebab-case name, e.g. `"empty-pattern"`.
 const char* DiagCodeName(DiagCode code);

@@ -18,7 +18,7 @@ void WalkEffects(const PlanRef& node, EffectSummary* out) {
     ++out->fn_nodes;
     out->plan_effect = MaxEffect(out->plan_effect, e);
     if (node->op == PlanOp::kTreeApply || node->op == PlanOp::kListApply) {
-      if (NodeParallelCertified(*node)) {
+      if (NodeParallelCertified(*node) || NodeSnapshotWriteCertified(*node)) {
         ++out->certified_applies;
       } else {
         ++out->uncertified_applies;
@@ -71,6 +71,14 @@ bool NodeParallelCertified(const PlanNode& node) {
   return FnEffectParallelSafe(NodeFnEffect(node));
 }
 
+bool NodeSnapshotWriteCertified(const PlanNode& node) {
+  if (node.op != PlanOp::kTreeApply && node.op != PlanOp::kListApply) {
+    return false;
+  }
+  if (NodeFnEffect(node) != FnEffect::kStoreWrite) return false;
+  return FnExprSnapshotSafety(node.fn_expr).safe;
+}
+
 EffectSummary AnalyzeEffects(const PlanRef& plan) {
   EffectSummary out;
   WalkEffects(plan, &out);
@@ -96,8 +104,13 @@ std::string EffectSummary::ToString() const {
     out += " effect=";
     out += FnEffectToString(effect);
     if (node->op == PlanOp::kTreeApply || node->op == PlanOp::kListApply) {
-      out += NodeParallelCertified(*node) ? " parallel=certified"
-                                          : " parallel=serial";
+      if (NodeParallelCertified(*node)) {
+        out += " parallel=certified";
+      } else if (NodeSnapshotWriteCertified(*node)) {
+        out += " parallel=certified-snapshot";
+      } else {
+        out += " parallel=serial";
+      }
     }
     out += '\n';
   }

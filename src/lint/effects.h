@@ -58,6 +58,15 @@ FnEffect NodeFnEffect(const PlanNode& node);
 /// serial to parallel.
 bool NodeParallelCertified(const PlanNode& node);
 
+/// True when `node` is a *store-mutating* tree/list `apply` certified for
+/// the snapshot-delta parallel path: a structured expression of effect
+/// kStoreWrite whose order-dependence analysis (`FnExprSnapshotSafety`)
+/// finds no overlap between what it reads and what it writes in place.
+/// Each worker then evaluates against the query snapshot into a
+/// thread-local delta, and the item-order delta fold commits a result
+/// byte-identical to serial execution.
+bool NodeSnapshotWriteCertified(const PlanNode& node);
+
 /// Classifies every node of `plan`. Emits the `lint.effects_analyzed`
 /// counter once per call and `lint.applies_certified` per certified apply.
 EffectSummary AnalyzeEffects(const PlanRef& plan);

@@ -1,0 +1,96 @@
+#include "object/store_txn.h"
+
+#include "object/object_store.h"
+
+namespace aqua {
+
+const Schema& DirectTxn::schema() const { return store_->schema(); }
+
+Result<const Object*> DirectTxn::Get(Oid oid) const {
+  return store_->Get(oid);
+}
+
+Result<Value> DirectTxn::GetAttr(Oid oid, const std::string& attr) const {
+  return store_->GetAttr(oid, attr);
+}
+
+Result<Oid> DirectTxn::Create(TypeId type, std::vector<Value> attrs) {
+  return store_->Create(type, std::move(attrs));
+}
+
+Status DirectTxn::SetAttr(Oid oid, const std::string& attr, Value value) {
+  return store_->SetAttr(oid, attr, std::move(value));
+}
+
+Result<const Object*> DeltaTxn::Get(Oid oid) const {
+  if (IsProvisionalOid(oid)) {
+    size_t index = ProvisionalOidIndex(oid);
+    if (index >= created_.size()) {
+      return Status::NotFound("no object with oid " +
+                              std::to_string(oid.value));
+    }
+    return &created_[index];
+  }
+  auto patched = patched_.find(oid.value);
+  if (patched != patched_.end()) return &patched->second;
+  return view_.Get(oid);
+}
+
+Result<Value> DeltaTxn::GetAttr(Oid oid, const std::string& attr) const {
+  AQUA_ASSIGN_OR_RETURN(const Object* obj, Get(oid));
+  AQUA_ASSIGN_OR_RETURN(const TypeDef* def, schema().GetType(obj->type()));
+  AQUA_ASSIGN_OR_RETURN(size_t idx, def->AttrIndex(attr));
+  return obj->attr_at(idx);
+}
+
+Result<Oid> DeltaTxn::Create(TypeId type, std::vector<Value> attrs) {
+  // Eager validation, byte-identical to the head path's messages: commit
+  // must not be able to fail on a delta that evaluated cleanly.
+  AQUA_ASSIGN_OR_RETURN(const TypeDef* def, schema().GetType(type));
+  if (attrs.size() != def->num_attrs()) {
+    return Status::InvalidArgument(
+        "type '" + def->name() + "' expects " +
+        std::to_string(def->num_attrs()) + " attributes, got " +
+        std::to_string(attrs.size()));
+  }
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    AQUA_RETURN_IF_ERROR(CheckAttrValue(def->attrs()[i], &attrs[i]));
+  }
+  Oid oid = MakeProvisionalOid(created_.size());
+  created_.emplace_back(oid, type, std::move(attrs));
+  return oid;
+}
+
+Status DeltaTxn::SetAttr(Oid oid, const std::string& attr, Value value) {
+  AQUA_ASSIGN_OR_RETURN(const Object* obj, Get(oid));
+  AQUA_ASSIGN_OR_RETURN(const TypeDef* def, schema().GetType(obj->type()));
+  AQUA_ASSIGN_OR_RETURN(size_t idx, def->AttrIndex(attr));
+  AQUA_RETURN_IF_ERROR(CheckAttrValue(def->attrs()[idx], &value));
+  if (IsProvisionalOid(oid)) {
+    // Txn-local object: write it directly, the delta carries the final
+    // content.
+    created_[ProvisionalOidIndex(oid)].set_attr_at(idx, std::move(value));
+    return Status::OK();
+  }
+  auto patched = patched_.find(oid.value);
+  if (patched == patched_.end()) {
+    patched = patched_.emplace(oid.value, Object(*obj)).first;
+  }
+  patched->second.set_attr_at(idx, value);
+  writes_.push_back(
+      AttrWrite{oid, static_cast<uint32_t>(idx), std::move(value)});
+  return Status::OK();
+}
+
+ItemDelta DeltaTxn::Take() {
+  ItemDelta delta;
+  delta.created.assign(std::make_move_iterator(created_.begin()),
+                       std::make_move_iterator(created_.end()));
+  delta.writes = std::move(writes_);
+  created_.clear();
+  writes_.clear();
+  patched_.clear();
+  return delta;
+}
+
+}  // namespace aqua

@@ -1,0 +1,123 @@
+#ifndef AQUA_OBJECT_STORE_TXN_H_
+#define AQUA_OBJECT_STORE_TXN_H_
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/value.h"
+#include "object/object.h"
+#include "object/schema.h"
+#include "object/store_view.h"
+
+namespace aqua {
+
+class ObjectStore;
+
+/// Oids allocated inside a `DeltaTxn` are provisional: the high bit is set
+/// and the low bits index the txn's creation sequence. `CommitBatch`
+/// rewrites them to final oids when the delta folds into the head.
+inline constexpr uint64_t kProvisionalOidBit = uint64_t{1} << 63;
+
+inline bool IsProvisionalOid(Oid oid) {
+  return (oid.value & kProvisionalOidBit) != 0;
+}
+inline size_t ProvisionalOidIndex(Oid oid) {
+  return static_cast<size_t>(oid.value & ~kProvisionalOidBit);
+}
+inline Oid MakeProvisionalOid(size_t index) {
+  return Oid(kProvisionalOidBit | static_cast<uint64_t>(index));
+}
+
+/// One buffered in-place attribute write to a pre-existing object.
+struct AttrWrite {
+  Oid oid;  // a committed (never provisional) oid
+  uint32_t attr_index = 0;
+  Value value;  // may contain provisional refs; rewritten at commit
+};
+
+/// The store effect of evaluating one apply item: objects it created (with
+/// provisional oids) and in-place writes it buffered. Deltas fold into the
+/// head in item order (`ObjectStore::CommitBatch`), which reproduces the
+/// exact oid-allocation sequence of a serial left-to-right evaluation —
+/// the delta-merge determinism rule.
+struct ItemDelta {
+  std::vector<Object> created;
+  std::vector<AttrWrite> writes;
+
+  bool empty() const { return created.empty() && writes.empty(); }
+};
+
+/// The store surface `FnExpr::Eval` runs against: reads plus the two write
+/// primitives (`Create`, `SetAttr`). Two implementations — `DirectTxn`
+/// applies writes to the head immediately (the serial path), `DeltaTxn`
+/// buffers them against a snapshot (the morsel-parallel path).
+class StoreTxn {
+ public:
+  virtual ~StoreTxn() = default;
+
+  virtual const Schema& schema() const = 0;
+  virtual Result<const Object*> Get(Oid oid) const = 0;
+  virtual Result<Value> GetAttr(Oid oid, const std::string& attr) const = 0;
+  virtual Result<Oid> Create(TypeId type, std::vector<Value> attrs) = 0;
+  virtual Status SetAttr(Oid oid, const std::string& attr, Value value) = 0;
+};
+
+/// Head passthrough: every call lands on the `ObjectStore` directly, with
+/// the store's own locking. Semantics identical to the pre-versioned
+/// evaluation path.
+class DirectTxn : public StoreTxn {
+ public:
+  explicit DirectTxn(ObjectStore* store) : store_(store) {}
+
+  const Schema& schema() const override;
+  Result<const Object*> Get(Oid oid) const override;
+  Result<Value> GetAttr(Oid oid, const std::string& attr) const override;
+  Result<Oid> Create(TypeId type, std::vector<Value> attrs) override;
+  Status SetAttr(Oid oid, const std::string& attr, Value value) override;
+
+ private:
+  ObjectStore* store_;
+};
+
+/// Snapshot-isolated overlay: reads resolve against one pinned epoch (plus
+/// this txn's own effects — read-your-writes within an item), writes buffer
+/// into an `ItemDelta`. Creation validates eagerly with the same checks as
+/// the head path, so a clean delta cannot fail at commit.
+class DeltaTxn : public StoreTxn {
+ public:
+  explicit DeltaTxn(StoreView view) : view_(std::move(view)) {}
+
+  const Schema& schema() const override { return view_.schema(); }
+  Result<const Object*> Get(Oid oid) const override;
+  Result<Value> GetAttr(Oid oid, const std::string& attr) const override;
+  Result<Oid> Create(TypeId type, std::vector<Value> attrs) override;
+  Status SetAttr(Oid oid, const std::string& attr, Value value) override;
+
+  const StoreView& view() const { return view_; }
+  bool has_effects() const {
+    return !created_.empty() || !writes_.empty();
+  }
+
+  /// Moves the accumulated effects out, resetting the txn for reuse on the
+  /// next item.
+  ItemDelta Take();
+
+ private:
+  StoreView view_;
+  // Deque: `Get` hands out pointers into created objects, which must
+  // survive later `Create` calls within the same item.
+  std::deque<Object> created_;
+  std::vector<AttrWrite> writes_;
+  // Read-your-writes overlay for in-place writes to committed objects:
+  // first write copies the object out of the snapshot, later reads of that
+  // oid resolve here.
+  std::unordered_map<uint64_t, Object> patched_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_OBJECT_STORE_TXN_H_

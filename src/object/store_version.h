@@ -1,0 +1,50 @@
+#ifndef AQUA_OBJECT_STORE_VERSION_H_
+#define AQUA_OBJECT_STORE_VERSION_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "object/object.h"
+#include "object/schema.h"
+
+namespace aqua {
+
+/// Object storage is chunked: a chunk holds up to `kStoreChunkSize` objects
+/// and never reallocates once created, so `Object*` handles stay valid while
+/// the store grows (oid N lives in chunk (N-1)>>shift, slot (N-1)&mask).
+inline constexpr size_t kStoreChunkShift = 8;
+inline constexpr size_t kStoreChunkSize = size_t{1} << kStoreChunkShift;
+inline constexpr size_t kStoreChunkMask = kStoreChunkSize - 1;
+
+/// One fixed-capacity run of objects. A chunk referenced by more than one
+/// version directory is immutable by convention: the store clones it before
+/// any write (copy-on-write), so snapshot readers never observe a mutation —
+/// not even an append, which would race on the vector's size.
+struct StoreChunk {
+  StoreChunk() { objects.reserve(kStoreChunkSize); }
+  std::vector<Object> objects;
+};
+
+/// A per-type extent (creation-order oid list) owned by a version. Holding
+/// one pins it: the store sees the extra refcount and copies-on-write
+/// instead of mutating, so an extent observed by a query is stable for the
+/// query's whole execution.
+using ExtentRef = std::shared_ptr<const std::vector<Oid>>;
+
+/// One immutable epoch of the object base: a chunk directory plus the
+/// per-type extent directory, frozen at `num_objects`. Readers holding a
+/// version (via `StoreView`) run lock-free; the shared_ptr refcount doubles
+/// as the snapshot pin that keeps the epoch's chunks alive and
+/// copy-on-write-protected until the last reader drops it.
+struct StoreVersion {
+  uint64_t epoch = 0;
+  uint64_t num_objects = 0;
+  const Schema* schema = nullptr;
+  std::vector<std::shared_ptr<const StoreChunk>> chunks;
+  std::vector<ExtentRef> extents;  // indexed by TypeId
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_OBJECT_STORE_VERSION_H_

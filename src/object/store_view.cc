@@ -1,0 +1,48 @@
+#include "object/store_view.h"
+
+#include "object/object_store.h"
+
+namespace aqua {
+
+StoreView::StoreView(const ObjectStore& store)
+    : version_(store.Snapshot().version()) {}
+
+Result<const Object*> StoreView::Get(Oid oid) const {
+  if (version_ == nullptr || oid.IsNull() ||
+      oid.value > version_->num_objects) {
+    return Status::NotFound("no object with oid " + std::to_string(oid.value));
+  }
+  size_t index = oid.value - 1;
+  const StoreChunk& chunk = *version_->chunks[index >> kStoreChunkShift];
+  return &chunk.objects[index & kStoreChunkMask];
+}
+
+Result<Value> StoreView::GetAttr(Oid oid, const std::string& attr) const {
+  AQUA_ASSIGN_OR_RETURN(const Object* obj, Get(oid));
+  AQUA_ASSIGN_OR_RETURN(const TypeDef* def,
+                        version_->schema->GetType(obj->type()));
+  AQUA_ASSIGN_OR_RETURN(size_t idx, def->AttrIndex(attr));
+  return obj->attr_at(idx);
+}
+
+Result<ExtentRef> StoreView::Extent(TypeId type) const {
+  if (version_ == nullptr) {
+    return Status::InvalidArgument("extent lookup on an empty StoreView");
+  }
+  AQUA_RETURN_IF_ERROR(version_->schema->GetType(type).status());
+  static const ExtentRef kEmpty = std::make_shared<const std::vector<Oid>>();
+  if (type >= version_->extents.size() || version_->extents[type] == nullptr) {
+    return kEmpty;
+  }
+  return version_->extents[type];
+}
+
+Result<ExtentRef> StoreView::Extent(const std::string& type_name) const {
+  if (version_ == nullptr) {
+    return Status::InvalidArgument("extent lookup on an empty StoreView");
+  }
+  AQUA_ASSIGN_OR_RETURN(TypeId type, version_->schema->TypeIdOf(type_name));
+  return Extent(type);
+}
+
+}  // namespace aqua

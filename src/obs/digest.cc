@@ -137,8 +137,10 @@ std::string NormFnExpr(const FnExprRef& e) {
       return "choose(" + NormPred(e->guard()) + ", " +
              NormFnExpr(e->then_expr()) + ", " + NormFnExpr(e->else_expr()) +
              ")";
-    case FnExpr::Kind::kUpdate: {
-      std::string out = "update(";
+    case FnExpr::Kind::kUpdate:
+    case FnExpr::Kind::kSetAttr: {
+      std::string out =
+          e->kind() == FnExpr::Kind::kUpdate ? "update(" : "set_attr(";
       for (size_t i = 0; i < e->sets().size(); ++i) {
         if (i > 0) out += ", ";
         out += e->sets()[i].attr + "=$";
@@ -287,7 +289,7 @@ size_t DigestTable::capacity() const {
 
 void DigestTable::Record(uint64_t fingerprint, std::string_view text,
                          uint64_t wall_ns, uint64_t mem_peak_bytes,
-                         StatusCode code) {
+                         StatusCode code, bool store_commit) {
   MutexLock lock(mu_);
   bool is_new = entries_.find(fingerprint) == entries_.end();
   if (is_new) {
@@ -310,6 +312,7 @@ void DigestTable::Record(uint64_t fingerprint, std::string_view text,
   e.peak_mem_bytes = std::max(e.peak_mem_bytes, mem_peak_bytes);
   if (code == StatusCode::kCancelled) ++e.cancelled;
   if (code == StatusCode::kDeadlineExceeded) ++e.deadline_exceeded;
+  if (store_commit) ++e.store_commits;
   e.last_update_seq = ++update_seq_;
   ++e.buckets[Histogram::BucketOf(wall_ns)];
 }
@@ -330,6 +333,7 @@ std::vector<DigestRow> DigestTable::Rows() const {
       r.peak_mem_bytes = e.peak_mem_bytes;
       r.cancelled = e.cancelled;
       r.deadline_exceeded = e.deadline_exceeded;
+      r.store_commits = e.store_commits;
       r.buckets = e.buckets;
       rows.push_back(std::move(r));
     }
@@ -357,6 +361,7 @@ DigestRow DigestTable::Row(uint64_t fingerprint) const {
   r.peak_mem_bytes = e.peak_mem_bytes;
   r.cancelled = e.cancelled;
   r.deadline_exceeded = e.deadline_exceeded;
+  r.store_commits = e.store_commits;
   r.buckets = e.buckets;
   return r;
 }
@@ -389,14 +394,14 @@ std::string DigestTable::ToText(size_t max_rows) const {
   std::vector<DigestRow> rows = Rows();
   std::string out =
       "fingerprint       calls    total_ms   mean_ms    p50_ms     p95_ms "
-      "    p99_ms     max_ms     peak_kb    cxl   dl    plan\n";
+      "    p99_ms     max_ms     peak_kb    cxl   dl    wr    plan\n";
   size_t n = std::min(rows.size(), max_rows);
   for (size_t i = 0; i < n; ++i) {
     const DigestRow& r = rows[i];
     char buf[224];
     std::snprintf(buf, sizeof(buf),
                   "%016llx  %-8llu %-10.3f %-10.3f %-10.3f %-10.3f %-10.3f "
-                  "%-10.3f %-10llu %-5llu %-5llu ",
+                  "%-10.3f %-10llu %-5llu %-5llu %-5llu ",
                   static_cast<unsigned long long>(r.fingerprint),
                   static_cast<unsigned long long>(r.calls),
                   static_cast<double>(r.total_ns) / 1e6, r.mean_ns() / 1e6,
@@ -404,7 +409,8 @@ std::string DigestTable::ToText(size_t max_rows) const {
                   static_cast<double>(r.max_ns) / 1e6,
                   static_cast<unsigned long long>(r.peak_mem_bytes / 1024),
                   static_cast<unsigned long long>(r.cancelled),
-                  static_cast<unsigned long long>(r.deadline_exceeded));
+                  static_cast<unsigned long long>(r.deadline_exceeded),
+                  static_cast<unsigned long long>(r.store_commits));
     out += buf;
     out += FlattenText(r.text);
     out += '\n';
@@ -437,6 +443,7 @@ std::string DigestTable::ToJson(size_t max_rows) const {
     w.Key("peak_mem_bytes").Uint(r.peak_mem_bytes);
     w.Key("cancelled").Uint(r.cancelled);
     w.Key("deadline_exceeded").Uint(r.deadline_exceeded);
+    w.Key("store_commits").Uint(r.store_commits);
     w.Key("mean_ns").Double(r.mean_ns());
     w.Key("p50_ns").Double(r.p50_ns());
     w.Key("p95_ns").Double(r.p95_ns());

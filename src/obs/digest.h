@@ -52,6 +52,8 @@ struct DigestRow {
   /// Executions that ended kCancelled / kDeadlineExceeded.
   uint64_t cancelled = 0;
   uint64_t deadline_exceeded = 0;
+  /// Executions that committed a new store version (advanced the epoch).
+  uint64_t store_commits = 0;
   std::array<uint64_t, Histogram::kNumBuckets> buckets{};
 
   double mean_ns() const {
@@ -86,10 +88,11 @@ class DigestTable {
   /// normalized rendering is `text` — stored on first sight) that took
   /// `wall_ns`, peaked at `mem_peak_bytes` of estimated live data, and
   /// finished with `code` (kCancelled / kDeadlineExceeded bump the
-  /// corresponding outcome counters).
+  /// corresponding outcome counters). `store_commit` marks an execution
+  /// that committed a new store version.
   void Record(uint64_t fingerprint, std::string_view text, uint64_t wall_ns,
-              uint64_t mem_peak_bytes = 0, StatusCode code = StatusCode::kOk)
-      AQUA_EXCLUDES(mu_);
+              uint64_t mem_peak_bytes = 0, StatusCode code = StatusCode::kOk,
+              bool store_commit = false) AQUA_EXCLUDES(mu_);
 
   /// Copies the table out, sorted by total time descending.
   std::vector<DigestRow> Rows() const AQUA_EXCLUDES(mu_);
@@ -121,6 +124,7 @@ class DigestTable {
     uint64_t peak_mem_bytes = 0;
     uint64_t cancelled = 0;
     uint64_t deadline_exceeded = 0;
+    uint64_t store_commits = 0;
     /// `update_seq_` at the last Record — the eviction recency key.
     uint64_t last_update_seq = 0;
     std::array<uint64_t, Histogram::kNumBuckets> buckets{};

@@ -139,6 +139,10 @@ class QueryContext {
   const std::string& plan_text() const { return plan_text_; }
   void set_threads(uint32_t n) { threads_ = n; }
   uint32_t threads() const { return threads_; }
+  /// Epoch of the store snapshot this query reads against (0 until the
+  /// executor installs the view); shown by `\tasks` / `\snapshot`.
+  void set_pinned_epoch(uint64_t e) { pinned_epoch_ = e; }
+  uint64_t pinned_epoch() const { return pinned_epoch_; }
   uint64_t started_ns() const { return started_ns_; }
 
   // --- clocks ---------------------------------------------------------
@@ -174,6 +178,7 @@ class QueryContext {
   uint64_t fingerprint_ = 0;
   std::string plan_text_;
   uint32_t threads_ = 1;
+  uint64_t pinned_epoch_ = 0;
   uint64_t mem_limit_bytes_ = 0;
 
   std::atomic<uint64_t> deadline_ns_{0};
@@ -240,6 +245,8 @@ class QueryContext {
   }
   void set_threads(uint32_t) {}
   uint32_t threads() const { return 1; }
+  void set_pinned_epoch(uint64_t) {}
+  uint64_t pinned_epoch() const { return 0; }
   uint64_t started_ns() const { return 0; }
   static uint64_t NowNs() { return 0; }
   static uint64_t ThreadCpuNs() { return 0; }

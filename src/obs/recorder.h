@@ -46,7 +46,9 @@ struct FlightEvent {
   uint64_t cpu_ns = 0;       ///< CPU across the query thread + helpers
   uint64_t mem_peak = 0;     ///< peak estimated live bytes
   uint32_t code = 0;         ///< StatusCode the execute finished with
-  uint32_t reserved = 0;     ///< padding; keeps the struct word-aligned
+  /// Store epoch the execute pinned its read snapshot at (0 for morsels);
+  /// doubles as the struct's word-alignment padding.
+  uint32_t pinned_epoch = 0;
 };
 static_assert(sizeof(FlightEvent) % sizeof(uint64_t) == 0,
               "FlightEvent must be publishable as whole words");

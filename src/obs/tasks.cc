@@ -40,6 +40,7 @@ TaskRow RowOf(const QueryContext& q, uint64_t now_ns) {
   row.deadline_in_ns = deadline > now_ns ? deadline - now_ns : 0;
   row.cancel_requested = q.cancel_requested();
   row.threads = q.threads();
+  row.pinned_epoch = q.pinned_epoch();
   row.current_op = q.current_op();
   row.morsels_done = q.morsels_done();
   row.morsels_total = q.morsels_total();
@@ -132,17 +133,19 @@ size_t TaskRegistry::active() const {
 std::string TaskRegistry::ToText() const {
   std::vector<TaskRow> rows = Snapshot();
   std::string out =
-      "id      elapsed_ms  cpu_ms     mem_kb     peak_kb    morsels     "
-      "op               plan\n";
+      "id      elapsed_ms  cpu_ms     mem_kb     peak_kb    epoch  morsels "
+      "    op               plan\n";
   for (const TaskRow& r : rows) {
-    char buf[160];
+    char buf[176];
     std::snprintf(buf, sizeof(buf),
-                  "%-7llu %-11.1f %-10.1f %-10llu %-10llu %5zu/%-5zu %-16s ",
+                  "%-7llu %-11.1f %-10.1f %-10llu %-10llu %-6llu %5zu/%-5zu "
+                  "%-16s ",
                   static_cast<unsigned long long>(r.id),
                   static_cast<double>(r.elapsed_ns) / 1e6,
                   static_cast<double>(r.cpu_ns) / 1e6,
                   static_cast<unsigned long long>(r.mem_bytes / 1024),
                   static_cast<unsigned long long>(r.mem_peak_bytes / 1024),
+                  static_cast<unsigned long long>(r.pinned_epoch),
                   r.morsels_done, r.morsels_total,
                   r.current_op != nullptr ? r.current_op : "-");
     out += buf;
@@ -171,6 +174,7 @@ std::string TaskRegistry::ToJson() const {
     w.Key("deadline_in_ns").Uint(r.deadline_in_ns);
     w.Key("cancel_requested").Bool(r.cancel_requested);
     w.Key("threads").Uint(r.threads);
+    w.Key("pinned_epoch").Uint(r.pinned_epoch);
     w.Key("current_op").String(r.current_op != nullptr ? r.current_op : "");
     w.Key("morsels_done").Uint(r.morsels_done);
     w.Key("morsels_total").Uint(r.morsels_total);

@@ -24,6 +24,7 @@ struct TaskRow {
   uint64_t deadline_in_ns = 0;  ///< ns until the deadline; 0 = unarmed
   bool cancel_requested = false;
   uint32_t threads = 1;
+  uint64_t pinned_epoch = 0;  ///< store epoch the query reads against
   const char* current_op = nullptr;  ///< static string or null
   size_t morsels_done = 0;
   size_t morsels_total = 0;

@@ -56,13 +56,13 @@ OdmgArray OdmgArray::Concat(const OdmgArray& other) const {
   return OdmgArray(aqua::Concat(list_, other.list_));
 }
 
-Result<OdmgArray> OdmgArray::Select(const ObjectStore& store,
+Result<OdmgArray> OdmgArray::Select(const StoreView& store,
                                     const PredicateRef& pred) const {
   AQUA_ASSIGN_OR_RETURN(List filtered, ListSelect(store, list_, pred));
   return OdmgArray(std::move(filtered));
 }
 
-Result<Datum> OdmgArray::SubSelect(const ObjectStore& store,
+Result<Datum> OdmgArray::SubSelect(const StoreView& store,
                                    const AnchoredListPattern& pattern) const {
   return ListSubSelect(store, list_, pattern);
 }

@@ -57,12 +57,12 @@ class OdmgArray {
   const List& aqua_list() const { return list_; }
 
   /// AQUA-stable select: keeps order, filters by an alphabet-predicate.
-  Result<OdmgArray> Select(const ObjectStore& store,
+  Result<OdmgArray> Select(const StoreView& store,
                            const PredicateRef& pred) const;
 
   /// The predicate upgrade §8 advertises: AQUA list patterns over an ODMG
   /// array (returns the set of matching subarrays).
-  Result<Datum> SubSelect(const ObjectStore& store,
+  Result<Datum> SubSelect(const StoreView& store,
                           const AnchoredListPattern& pattern) const;
 
   friend bool operator==(const OdmgArray& a, const OdmgArray& b) {

@@ -67,7 +67,7 @@ uint32_t LazyDfa::InternState(const std::vector<bool>& set) {
   return id;
 }
 
-uint32_t LazyDfa::StepState(uint32_t state, const ObjectStore& store,
+uint32_t LazyDfa::StepState(uint32_t state, const StoreView& store,
                             const NodePayload& e) {
   Nfa::ElementFacts facts = nfa_->Facts(store, e);
   uint64_t sig = Signature(facts);
@@ -84,7 +84,7 @@ uint32_t LazyDfa::StepState(uint32_t state, const ObjectStore& store,
   return next_id;
 }
 
-bool LazyDfa::MatchesWhole(const ObjectStore& store, const List& list) {
+bool LazyDfa::MatchesWhole(const StoreView& store, const List& list) {
   DfaStatFlush flush(&hits_, &misses_);
   uint32_t cur = start_state_;
   for (size_t i = 0; i < list.size(); ++i) {
@@ -93,7 +93,7 @@ bool LazyDfa::MatchesWhole(const ObjectStore& store, const List& list) {
   return accepting_[cur];
 }
 
-bool LazyDfa::ExistsMatch(const ObjectStore& store, const List& list) {
+bool LazyDfa::ExistsMatch(const StoreView& store, const List& list) {
   DfaStatFlush flush(&hits_, &misses_);
   uint32_t cur = start_state_;
   if (accepting_[cur]) return true;

@@ -34,11 +34,11 @@ class LazyDfa {
   static Result<LazyDfa> Make(const Nfa* nfa);
 
   /// True when the entire list is in the language.
-  bool MatchesWhole(const ObjectStore& store, const List& list);
+  bool MatchesWhole(const StoreView& store, const List& list);
 
   /// True when any sublist is in the language (use a search-compiled NFA
   /// for single-pass behavior, mirroring `Nfa::ExistsMatch`).
-  bool ExistsMatch(const ObjectStore& store, const List& list);
+  bool ExistsMatch(const StoreView& store, const List& list);
 
   /// Number of materialized DFA states so far.
   size_t num_states() const { return dfa_states_.size(); }
@@ -56,7 +56,7 @@ class LazyDfa {
 
   uint64_t Signature(const Nfa::ElementFacts& facts) const;
   uint32_t InternState(const std::vector<bool>& set);
-  uint32_t StepState(uint32_t state, const ObjectStore& store,
+  uint32_t StepState(uint32_t state, const StoreView& store,
                      const NodePayload& e);
 
   const Nfa* nfa_;

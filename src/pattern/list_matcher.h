@@ -59,11 +59,12 @@ struct ListMatchOptions {
 /// Thread model: a ListMatcher carries per-call mutable state (`steps_`)
 /// and must not be shared between threads; the algebra layer constructs
 /// one per (list, call). Concurrent matchers over different lists are safe
-/// — they share only the const `ObjectStore`.
+/// — each holds a `StoreView` pinning one immutable store epoch (passing
+/// an `ObjectStore` snapshots it at construction).
 class ListMatcher {
  public:
-  ListMatcher(const ObjectStore& store, const List& list)
-      : store_(store), list_(list) {}
+  ListMatcher(StoreView store, const List& list)
+      : store_(std::move(store)), list_(list) {}
 
   /// Enumerates all matches (all begin positions unless anchored, all
   /// derivations deduplicated), ordered by (begin, end, prunes).
@@ -86,7 +87,7 @@ class ListMatcher {
  private:
   Status ValidateListPattern(const ListPattern& p) const;
 
-  const ObjectStore& store_;
+  StoreView store_;
   const List& list_;
   size_t steps_ = 0;
 };

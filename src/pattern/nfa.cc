@@ -153,7 +153,7 @@ void Nfa::EpsClosure(std::vector<bool>* set) const {
   }
 }
 
-Nfa::ElementFacts Nfa::Facts(const ObjectStore& store,
+Nfa::ElementFacts Nfa::Facts(const StoreView& store,
                              const NodePayload& e) const {
   ElementFacts facts;
   facts.pred_sat.assign(preds_.size(), false);
@@ -202,7 +202,7 @@ std::vector<bool> Nfa::Step(const std::vector<bool>& from,
   return next;
 }
 
-bool Nfa::MatchesWhole(const ObjectStore& store, const List& list) const {
+bool Nfa::MatchesWhole(const StoreView& store, const List& list) const {
   NfaStepFlush flush;
   std::vector<bool> cur(states_.size(), false);
   cur[start_] = true;
@@ -214,7 +214,7 @@ bool Nfa::MatchesWhole(const ObjectStore& store, const List& list) const {
   return cur[accept_];
 }
 
-bool Nfa::ExistsMatch(const ObjectStore& store, const List& list) const {
+bool Nfa::ExistsMatch(const StoreView& store, const List& list) const {
   NfaStepFlush flush;
   std::vector<bool> cur(states_.size(), false);
   cur[start_] = true;
@@ -233,7 +233,7 @@ bool Nfa::ExistsMatch(const ObjectStore& store, const List& list) const {
   return false;
 }
 
-size_t Nfa::CountMatchEnds(const ObjectStore& store, const List& list) const {
+size_t Nfa::CountMatchEnds(const StoreView& store, const List& list) const {
   NfaStepFlush flush;
   std::vector<bool> cur(states_.size(), false);
   cur[start_] = true;

@@ -35,16 +35,16 @@ class Nfa {
   static Result<Nfa> CompileSearch(const ListPatternRef& pattern);
 
   /// True when the entire list is in the language.
-  bool MatchesWhole(const ObjectStore& store, const List& list) const;
+  bool MatchesWhole(const StoreView& store, const List& list) const;
 
   /// True when any sublist is in the language. On a search-compiled NFA this
   /// is a single left-to-right pass; on a plain NFA it restarts at every
   /// position (still polynomial).
-  bool ExistsMatch(const ObjectStore& store, const List& list) const;
+  bool ExistsMatch(const StoreView& store, const List& list) const;
 
   /// Number of matches counted by distinct end positions reached from a
   /// search-compiled NFA (a cheap match-density proxy used by benchmarks).
-  size_t CountMatchEnds(const ObjectStore& store, const List& list) const;
+  size_t CountMatchEnds(const StoreView& store, const List& list) const;
 
   size_t num_states() const { return states_.size(); }
   size_t num_predicates() const { return preds_.size(); }
@@ -80,7 +80,7 @@ class Nfa {
     std::vector<bool> pred_sat;
     static constexpr uint32_t kNoLabel = static_cast<uint32_t>(-1);
   };
-  ElementFacts Facts(const ObjectStore& store, const NodePayload& e) const;
+  ElementFacts Facts(const StoreView& store, const NodePayload& e) const;
 
   /// One simulation step over an element with known facts.
   std::vector<bool> Step(const std::vector<bool>& from,

@@ -65,22 +65,27 @@ PredicateRef Predicate::Not(PredicateRef a) {
   return p;
 }
 
-bool Predicate::Eval(const ObjectStore& store, Oid oid) const {
-  switch (kind_) {
-    case Kind::kTrue:
+namespace {
+
+// One body for the three store surfaces (snapshot view, head, txn overlay);
+// each instantiation resolves GetAttr non-virtually except StoreTxn.
+template <typename Src>
+bool EvalOn(const Predicate& p, const Src& store, Oid oid) {
+  switch (p.kind()) {
+    case Predicate::Kind::kTrue:
       return true;
-    case Kind::kCompare: {
-      auto value = store.GetAttr(oid, attr_);
+    case Predicate::Kind::kCompare: {
+      auto value = store.GetAttr(oid, p.attr());
       if (!value.ok() || value->is_null()) return false;
-      switch (op_) {
+      switch (p.op()) {
         case CmpOp::kEq:
-          return value->Equals(constant_);
+          return value->Equals(p.constant());
         case CmpOp::kNe:
-          return !value->Equals(constant_);
+          return !value->Equals(p.constant());
         default: {
-          auto cmp = value->Compare(constant_);
+          auto cmp = value->Compare(p.constant());
           if (!cmp.ok()) return false;
-          switch (op_) {
+          switch (p.op()) {
             case CmpOp::kLt:
               return *cmp < 0;
             case CmpOp::kLe:
@@ -95,14 +100,28 @@ bool Predicate::Eval(const ObjectStore& store, Oid oid) const {
         }
       }
     }
-    case Kind::kAnd:
-      return left_->Eval(store, oid) && right_->Eval(store, oid);
-    case Kind::kOr:
-      return left_->Eval(store, oid) || right_->Eval(store, oid);
-    case Kind::kNot:
-      return !left_->Eval(store, oid);
+    case Predicate::Kind::kAnd:
+      return EvalOn(*p.left(), store, oid) && EvalOn(*p.right(), store, oid);
+    case Predicate::Kind::kOr:
+      return EvalOn(*p.left(), store, oid) || EvalOn(*p.right(), store, oid);
+    case Predicate::Kind::kNot:
+      return !EvalOn(*p.left(), store, oid);
   }
   return false;
+}
+
+}  // namespace
+
+bool Predicate::Eval(const StoreView& store, Oid oid) const {
+  return EvalOn(*this, store, oid);
+}
+
+bool Predicate::Eval(const ObjectStore& store, Oid oid) const {
+  return EvalOn(*this, store, oid);
+}
+
+bool Predicate::Eval(const StoreTxn& store, Oid oid) const {
+  return EvalOn(*this, store, oid);
 }
 
 Status Predicate::ValidateAgainst(const TypeDef& type) const {

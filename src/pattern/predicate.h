@@ -53,7 +53,13 @@ class Predicate {
   const PredicateRef& right() const { return right_; }
 
   /// Evaluates against the object `oid` (constant time in predicate size).
+  /// The `StoreView` overload is the hot path: it reads one pinned epoch
+  /// lock-free. The `ObjectStore` overload reads the head (locked), and the
+  /// `StoreTxn` overload lets `FnExpr` guards see a transaction's own
+  /// uncommitted effects.
+  bool Eval(const StoreView& store, Oid oid) const;
   bool Eval(const ObjectStore& store, Oid oid) const;
+  bool Eval(const StoreTxn& store, Oid oid) const;
 
   /// Verifies the §3.1 restriction against a type: every referenced
   /// attribute must be declared *and stored* (footnote 2: the optimizer, not

@@ -39,9 +39,9 @@ struct ScratchRelease {
 
 }  // namespace
 
-TreeMatcher::TreeMatcher(const ObjectStore& store, const Tree& tree,
+TreeMatcher::TreeMatcher(StoreView store, const Tree& tree,
                          TreeMatchOptions opts)
-    : store_(store), tree_(tree), opts_(opts) {}
+    : store_(std::move(store)), tree_(tree), opts_(opts) {}
 
 size_t TreeMatcher::ScratchBytes() const {
   // Rough per-entry footprints (key + value + hash/map overhead); only the

@@ -72,12 +72,12 @@ struct TreeMatchOptions {
 /// step counters) while matching, so one instance must not be shared
 /// between threads. It is cheap to construct; the algebra layer builds one
 /// per (tree, call), which is what makes tree operators safe to fan out
-/// across pool workers — concurrent matchers only share the const
-/// `ObjectStore` and `Tree`.
+/// across pool workers — concurrent matchers share only the const `Tree`
+/// and each hold a `StoreView` pinning one immutable store epoch (passing
+/// an `ObjectStore` snapshots it at construction).
 class TreeMatcher {
  public:
-  TreeMatcher(const ObjectStore& store, const Tree& tree,
-              TreeMatchOptions opts = {});
+  TreeMatcher(StoreView store, const Tree& tree, TreeMatchOptions opts = {});
 
   /// Enumerates matches rooted anywhere (respects `^` root anchors),
   /// deduplicated, ordered by root preorder position.
@@ -160,7 +160,7 @@ class TreeMatcher {
   /// actually grows.
   size_t ScratchBytes() const;
 
-  const ObjectStore& store_;
+  StoreView store_;
   const Tree& tree_;
   TreeMatchOptions opts_;
 

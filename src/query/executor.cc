@@ -66,6 +66,12 @@ Result<Datum> Executor::Execute(const PlanRef& plan) {
   ctx.threads = threads();
   ctx.trace = &trace_;
   ctx.query = &qctx;
+  // Pin the read snapshot for the whole Execute: every read path below
+  // traverses this version lock-free; mutating operators re-snapshot as
+  // they commit. The pinned epoch is part of the task descriptor.
+  ctx.view = db_->store();
+  uint64_t epoch_before = ctx.view.epoch();
+  qctx.set_pinned_epoch(epoch_before);
 
   obs::Span wall(nullptr, "");  // pure scoped timer for the whole Execute
   Result<Datum> result = [&]() -> Result<Datum> {
@@ -107,6 +113,17 @@ Result<Datum> Executor::Execute(const PlanRef& plan) {
   AQUA_OBS_COUNT("exec.trees_processed", stats_.trees_processed);
   AQUA_OBS_COUNT("exec.lists_processed", stats_.lists_processed);
   AQUA_OBS_RECORD("exec.execute_ns", wall_ns);
+  // Store-version levels after this Execute (OpenMetrics `\metrics`,
+  // `\snapshot`): the epoch, how many versions and pins are alive, and the
+  // COW bytes kept only for snapshots.
+  const ObjectStore& store = db_->store();
+  bool store_commit = store.epoch() != epoch_before;
+  (void)store_commit;  // digest input; unused when obs is compiled out
+  AQUA_OBS_GAUGE_SET("store.epoch", store.epoch());
+  AQUA_OBS_GAUGE_SET("store.versions_live", store.versions_live());
+  AQUA_OBS_GAUGE_SET("store.cow_copies", store.cow_copies());
+  AQUA_OBS_GAUGE_SET("store.snapshot_pins", store.snapshot_pins());
+  AQUA_OBS_GAUGE_SET("store.retained_bytes", store.retained_bytes());
   last_counters_ = obs::Registry::Global().Snap().DeltaSince(before);
 
 #ifndef AQUA_OBS_DISABLED
@@ -115,7 +132,7 @@ Result<Datum> Executor::Execute(const PlanRef& plan) {
     // (computed before the run for the task table).
     obs::DigestTable::Global().Record(fingerprint, normalized, wall_ns,
                                       qctx.mem_peak_bytes(),
-                                      result.status().code());
+                                      result.status().code(), store_commit);
 
     // Flight recorder: one structured event per Execute, with the
     // counter-delta highlights and the parallel-path shape.
@@ -137,6 +154,7 @@ Result<Datum> Executor::Execute(const PlanRef& plan) {
     ev.cpu_ns = qctx.cpu_ns();
     ev.mem_peak = qctx.mem_peak_bytes();
     ev.code = static_cast<uint32_t>(result.status().code());
+    ev.pinned_epoch = static_cast<uint32_t>(qctx.pinned_epoch());
     obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
     recorder.Record(ev);
 

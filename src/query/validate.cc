@@ -52,7 +52,7 @@ void CollectListPatternPreds(const ListPattern& lp,
   }
 }
 
-std::set<TypeId> TypesOfCells(const ObjectStore& store,
+std::set<TypeId> TypesOfCells(const StoreView& store,
                               const std::vector<NodePayload>& payloads) {
   std::set<TypeId> types;
   for (const NodePayload& p : payloads) {
@@ -113,7 +113,7 @@ void CollectPredicateViolations(const Schema& schema,
   }
 }
 
-void CollectPredsViolations(const ObjectStore& store,
+void CollectPredsViolations(const StoreView& store,
                             const std::set<TypeId>& types,
                             const std::vector<PredicateRef>& preds,
                             std::vector<lint::Diagnostic>* out) {
@@ -168,7 +168,7 @@ std::vector<PredicateRef> NodeParameterPreds(const PlanNode& node) {
 }  // namespace
 
 std::vector<lint::Diagnostic> TreePatternStoredAttrViolations(
-    const ObjectStore& store, const Tree& tree, const TreePatternRef& tp) {
+    const StoreView& store, const Tree& tree, const TreePatternRef& tp) {
   std::vector<lint::Diagnostic> out;
   if (tp == nullptr) return out;
   std::vector<NodePayload> payloads;
@@ -180,7 +180,7 @@ std::vector<lint::Diagnostic> TreePatternStoredAttrViolations(
 }
 
 std::vector<lint::Diagnostic> ListPatternStoredAttrViolations(
-    const ObjectStore& store, const List& list, const AnchoredListPattern& lp) {
+    const StoreView& store, const List& list, const AnchoredListPattern& lp) {
   std::vector<lint::Diagnostic> out;
   if (lp.body == nullptr) return out;
   std::vector<PredicateRef> preds;
@@ -205,13 +205,13 @@ std::vector<lint::Diagnostic> PlanNodeStoredAttrViolations(
   return out;
 }
 
-Status ValidateTreePatternAgainst(const ObjectStore& store, const Tree& tree,
+Status ValidateTreePatternAgainst(const StoreView& store, const Tree& tree,
                                   const TreePatternRef& tp) {
   if (tp == nullptr) return Status::InvalidArgument("null tree pattern");
   return FirstViolationStatus(TreePatternStoredAttrViolations(store, tree, tp));
 }
 
-Status ValidateListPatternAgainst(const ObjectStore& store, const List& list,
+Status ValidateListPatternAgainst(const StoreView& store, const List& list,
                                   const AnchoredListPattern& lp) {
   if (lp.body == nullptr) return Status::InvalidArgument("null list pattern");
   return FirstViolationStatus(

@@ -19,11 +19,11 @@ namespace aqua {
 /// types actually present in `tree`: each referenced attribute must be a
 /// *stored* attribute of every present type that declares it. Returns
 /// InvalidArgument naming the offending attribute otherwise.
-Status ValidateTreePatternAgainst(const ObjectStore& store, const Tree& tree,
+Status ValidateTreePatternAgainst(const StoreView& store, const Tree& tree,
                                   const TreePatternRef& tp);
 
 /// The list analogue.
-Status ValidateListPatternAgainst(const ObjectStore& store, const List& list,
+Status ValidateListPatternAgainst(const StoreView& store, const List& list,
                                   const AnchoredListPattern& lp);
 
 /// Walks a plan and validates every pattern/predicate parameter against the
@@ -40,11 +40,11 @@ Status ValidatePlanPatterns(const Database& db, const PlanRef& plan);
 /// types present in `tree`. Spans point at the offending comparison when the
 /// predicate was parsed from text.
 std::vector<lint::Diagnostic> TreePatternStoredAttrViolations(
-    const ObjectStore& store, const Tree& tree, const TreePatternRef& tp);
+    const StoreView& store, const Tree& tree, const TreePatternRef& tp);
 
 /// The list analogue.
 std::vector<lint::Diagnostic> ListPatternStoredAttrViolations(
-    const ObjectStore& store, const List& list, const AnchoredListPattern& lp);
+    const StoreView& store, const List& list, const AnchoredListPattern& lp);
 
 /// Violations for one plan node's own parameters (pred / anchor / patterns),
 /// checked against the types of the collections scanned in its subtree.

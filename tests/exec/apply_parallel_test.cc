@@ -162,33 +162,37 @@ TEST_F(ApplyParallelTest, CertifiedApplyMatchesOpaqueSerialApply) {
   }
 }
 
-TEST_F(ApplyParallelTest, UncertifiedApplyStaysDeterministic) {
-  // Store-mutating applies keep the serial path — and therefore stay
-  // byte-identical trivially; pin that the flip did not regress them.
+TEST_F(ApplyParallelTest, OrderDependentApplyStaysDeterministic) {
+  // An order-dependent write (the guard reads the attribute set_attr
+  // writes in place) fails snapshot-write certification and keeps the
+  // serial path — and therefore stays byte-identical trivially.
   auto plan = Q::TreeApplyExpr(
       Q::TreeSubSelect(Q::ScanTree("family"), TP("{citizen == \"Brazil\"}")),
-      FnExpr::Choose(P("citizen == \"Brazil\""),
-                     FnExpr::Update({{"education", Value::String("PhD")}}),
+      FnExpr::Choose(P("education == \"College\""),
+                     FnExpr::SetAttr({{"education", Value::String("PhD")}}),
                      nullptr));
   ASSERT_FALSE(exec::ApplyParallelCertified(plan));
+  ASSERT_FALSE(exec::ApplySnapshotWriteCertified(plan));
   for (size_t threads : kThreadCounts) {
     ASSERT_OK(Dump(plan, threads).status());
   }
 }
 
 TEST_F(ApplyParallelTest, EffectSummaryCountsCertifiedApplies) {
-  auto plan = Q::TreeApplyExpr(
+  // The outer update-only apply is snapshot-write-certified; the opaque
+  // closure stays serial.
+  auto plan = Q::TreeApply(
       Q::TreeApplyExpr(
           Q::TreeSubSelect(Q::ScanTree("rand"), TP("{name == \"a\"}")),
-          MarkIf("val > 50")),
-      FnExpr::Update({{"val", Value::Int(0)}}));
+          FnExpr::Update({{"val", Value::Int(0)}})),
+      [](ObjectStore&, Oid oid) -> Result<Oid> { return oid; });
   lint::EffectSummary summary = lint::AnalyzeEffects(plan);
   EXPECT_EQ(summary.fn_nodes, 2u);
   EXPECT_EQ(summary.certified_applies, 1u);
   EXPECT_EQ(summary.uncertified_applies, 1u);
-  EXPECT_EQ(summary.plan_effect, FnEffect::kStoreWrite);
+  EXPECT_EQ(summary.plan_effect, FnEffect::kOpaque);
   std::string s = summary.ToString();
-  EXPECT_NE(s.find("parallel=certified"), std::string::npos) << s;
+  EXPECT_NE(s.find("parallel=certified-snapshot"), std::string::npos) << s;
   EXPECT_NE(s.find("parallel=serial"), std::string::npos) << s;
 }
 

@@ -248,15 +248,60 @@ TEST_F(AbsIntTest, AQL018OpaqueFunctionNote) {
   EXPECT_NE(d.message.find("opaque"), std::string::npos) << d.message;
 }
 
-TEST_F(AbsIntTest, AQL018StoreMutatingExpression) {
+TEST_F(AbsIntTest, AQL018SilentOnSnapshotWriteCertified) {
+  // A bare update writes the store but has no order dependence, so it is
+  // snapshot-write-certified: neither AQL018 nor AQL021 fires.
   auto plan = Q::TreeApplyExpr(
       Q::ScanTree("docs"),
       FnExpr::Update({{"title", Value::String("x")}}));
   auto diags = Lint(db_, plan);
-  ASSERT_TRUE(Has(diags, DiagCode::kUncertifiedSerialFn));
-  EXPECT_NE(Get(diags, DiagCode::kUncertifiedSerialFn)
-                .message.find("store-mutating"),
-            std::string::npos);
+  EXPECT_FALSE(Has(diags, DiagCode::kUncertifiedSerialFn));
+  EXPECT_FALSE(Has(diags, DiagCode::kSnapshotWriteConflict));
+}
+
+// ---------------------------------------------------------------------------
+// AQL021 — order-dependent store write (stays serial).
+
+TEST_F(AbsIntTest, AQL021GuardReadsWrittenAttr) {
+  // The guard reads `title`, the set_attr writes it in place: under a
+  // parallel snapshot fold every item would see the pre-apply value,
+  // diverging from the serial left-to-right evaluation.
+  auto plan = Q::TreeApplyExpr(
+      Q::ScanTree("docs"),
+      FnExpr::Choose(P("title == \"x\""),
+                     FnExpr::SetAttr({{"title", Value::String("y")}}),
+                     nullptr));
+  auto diags = Lint(db_, plan);
+  ASSERT_TRUE(Has(diags, DiagCode::kSnapshotWriteConflict));
+  const Diagnostic& d = Get(diags, DiagCode::kSnapshotWriteConflict);
+  EXPECT_EQ(d.severity, Severity::kWarning);
+  EXPECT_NE(d.message.find("order dependence"), std::string::npos)
+      << d.message;
+  EXPECT_FALSE(Has(diags, DiagCode::kUncertifiedSerialFn));
+}
+
+TEST_F(AbsIntTest, AQL021UpdateReadsEverySetAttrWrite) {
+  // `update` copies every attribute of its input, so composing it with an
+  // in-place write is always order-dependent.
+  auto plan = Q::TreeApplyExpr(
+      Q::ScanTree("docs"),
+      FnExpr::Compose(FnExpr::Update({{"title", Value::String("y")}}),
+                      FnExpr::SetAttr({{"val", Value::Int(1)}})));
+  auto diags = Lint(db_, plan);
+  ASSERT_TRUE(Has(diags, DiagCode::kSnapshotWriteConflict));
+  EXPECT_FALSE(Has(diags, DiagCode::kUncertifiedSerialFn));
+}
+
+TEST_F(AbsIntTest, AQL021SilentOnDisjointReadWrite) {
+  // Guard reads `title`, set_attr writes `val`: disjoint, so the parallel
+  // snapshot fold matches serial and the apply is certified.
+  auto plan = Q::TreeApplyExpr(
+      Q::ScanTree("docs"),
+      FnExpr::Choose(P("title == \"x\""),
+                     FnExpr::SetAttr({{"val", Value::Int(1)}}), nullptr));
+  auto diags = Lint(db_, plan);
+  EXPECT_FALSE(Has(diags, DiagCode::kSnapshotWriteConflict));
+  EXPECT_FALSE(Has(diags, DiagCode::kUncertifiedSerialFn));
 }
 
 TEST_F(AbsIntTest, AQL018SilentOnCertifiedApply) {

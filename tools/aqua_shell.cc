@@ -106,6 +106,7 @@ class Shell {
     if (cmd == "\\slowlog") return CmdSlowLog(rest);
     if (cmd == "\\profile") return CmdProfile(rest);
     if (cmd == "\\tasks") return CmdTasks(rest);
+    if (cmd == "\\snapshot") return CmdSnapshot(rest);
     if (cmd == "\\kill") return CmdKill(rest);
     if (cmd == "\\timeout") return CmdTimeout(rest);
     if (cmd == "\\memoize") return CmdMemoize(rest);
@@ -157,6 +158,8 @@ class Shell {
         "  \\profile <n> <query>        run a subselect/split n times, "
         "report quantiles\n"
         "  \\tasks [json]               live task table: in-flight queries\n"
+        "  \\snapshot                   versioned store: epoch, live "
+        "versions, pins, retained bytes\n"
         "  \\kill <id>                  cancel a running query by task id\n"
         "  \\timeout [ms]               per-query deadline (0 = env default "
         "AQUA_QUERY_TIMEOUT_MS)\n"
@@ -794,6 +797,29 @@ class Shell {
       std::cout << reg.ToText();
     } else {
       return Status::InvalidArgument("usage: \\tasks [json]");
+    }
+    return Status::OK();
+  }
+
+  Status CmdSnapshot(const std::string& arg) {
+    if (!arg.empty()) {
+      return Status::InvalidArgument("usage: \\snapshot");
+    }
+    const ObjectStore& store = db().store();
+    std::cout << "epoch:           " << store.epoch() << "\n"
+              << "versions live:   " << store.versions_live() << "\n"
+              << "snapshot pins:   " << store.snapshot_pins() << "\n"
+              << "cow copies:      " << store.cow_copies() << "\n"
+              << "retained bytes:  " << store.retained_bytes() << "\n";
+    std::vector<obs::TaskRow> tasks = obs::TaskRegistry::Global().Snapshot();
+    if (tasks.empty()) {
+      std::cout << "(no queries pinning a snapshot)\n";
+      return Status::OK();
+    }
+    std::cout << "pinned by:\n";
+    for (const obs::TaskRow& t : tasks) {
+      std::cout << "  task " << t.id << "  epoch " << t.pinned_epoch << "  "
+                << t.plan << "\n";
     }
     return Status::OK();
   }
