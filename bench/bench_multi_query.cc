@@ -1,0 +1,219 @@
+// bench_multi_query — the batched-pattern headline number: one merged
+// product-automaton scan (shared predicate alphabet, columnar kernels, see
+// src/pattern/multi.h) answering N pattern queries against N independent
+// scans of the same collection.
+//
+// The tree sweep reuses the fig4 forest workload (48 equal family subtrees
+// under a sentinel root); each query is a rare conjunction
+// `{name == "P<k>" && citizen == <rare country>}`, so the columnar
+// necessary-predicate gate rules most (family, pattern) pairs out without
+// running the matcher. The list sweep probes a 100k-note song with
+// two-note motif patterns. Sequential = one `Execute` per plan; batched =
+// one `ExecuteBatch` over the identical plans — tests/exec/batched_match
+// proves the outputs byte-identical, this file measures the price.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "query/builder.h"
+#include "query/executor.h"
+
+namespace aqua {
+namespace {
+
+using bench::Check;
+using bench::OrDie;
+
+const char* kRareCountry[] = {"France", "Japan", "India", "Kenya"};
+const char* kPitches[] = {"A", "B", "C", "D", "E", "F", "G"};
+
+// The fig4 forest: 48 equal-size random families under a sentinel root the
+// select drops, yielding a balanced 48-item fan-out.
+void RegisterFig4Forest(Database* db, size_t people) {
+  constexpr size_t kFamilies = 48;
+  Check(RegisterPersonType(db->store()));
+  std::vector<Tree> families;
+  for (size_t i = 0; i < kFamilies; ++i) {
+    FamilyTreeSpec spec;
+    spec.num_people = people / kFamilies;
+    spec.brazil_fraction = 0.15;
+    spec.seed = 1000 + i;
+    families.push_back(OrDie(MakeFamilyTree(db->store(), spec)));
+  }
+  Oid sentinel = OrDie(
+      db->store().Create("Person", {{"name", Value::String("forest")},
+                                    {"citizen", Value::String("none")},
+                                    {"eyes", Value::String("blue")},
+                                    {"education", Value::String("HS")},
+                                    {"age", Value::Int(0)}}));
+  Check(db->RegisterTree(
+      "family", Tree::Node(NodePayload::Cell(sentinel), families)));
+}
+
+// N sub_selects over one shared forest child. Pattern j looks for one rare
+// (name, citizen) conjunction; the names exist in every family, the rare
+// citizenship in few, so each pattern matches a handful of people forest-
+// wide.
+std::vector<PlanRef> TreePatternPlans(size_t n) {
+  PlanRef child = Q::TreeSelect(
+      Q::ScanTree("family"),
+      Predicate::Not(Predicate::AttrEquals("citizen",
+                                           Value::String("none"))));
+  std::vector<PlanRef> plans;
+  for (size_t j = 0; j < n; ++j) {
+    auto pred = Predicate::And(
+        Predicate::AttrEquals("name",
+                              Value::String("P" + std::to_string(3 + j))),
+        Predicate::AttrEquals("citizen",
+                              Value::String(kRareCountry[j % 4])));
+    plans.push_back(Q::TreeSubSelect(child, TreePattern::Leaf(pred)));
+  }
+  return plans;
+}
+
+size_t RunBatched(Executor& exec, const std::vector<PlanRef>& plans,
+                  benchmark::State& state) {
+  std::vector<Result<Datum>> out = exec.ExecuteBatch(plans);
+  size_t total = 0;
+  for (const auto& r : out) {
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return total;
+    }
+    total += r->size();
+  }
+  return total;
+}
+
+size_t RunSequential(Executor& exec, const std::vector<PlanRef>& plans,
+                     benchmark::State& state) {
+  size_t total = 0;
+  for (const auto& p : plans) {
+    Result<Datum> r = exec.Execute(p);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return total;
+    }
+    total += r->size();
+  }
+  return total;
+}
+
+constexpr size_t kForestPeople = 16384;
+
+void BM_MultiQuery_TreeBatched(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t threads = static_cast<size_t>(state.range(1));
+  Database db;
+  RegisterFig4Forest(&db, kForestPeople);
+  std::vector<PlanRef> plans = TreePatternPlans(n);
+  Executor exec(&db);
+  exec.set_threads(threads);
+  size_t matches = 0;
+  for (auto _ : state) {
+    matches = RunBatched(exec, plans, state);
+    benchmark::DoNotOptimize(matches);
+  }
+  state.counters["patterns"] = static_cast<double>(n);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["matches"] = static_cast<double>(matches);
+}
+BENCHMARK(BM_MultiQuery_TreeBatched)
+    ->Args({2, 1})->Args({8, 1})->Args({16, 1})
+    ->Args({2, 4})->Args({8, 4})->Args({16, 4})
+    ->UseRealTime();
+
+void BM_MultiQuery_TreeSequential(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t threads = static_cast<size_t>(state.range(1));
+  Database db;
+  RegisterFig4Forest(&db, kForestPeople);
+  std::vector<PlanRef> plans = TreePatternPlans(n);
+  Executor exec(&db);
+  exec.set_threads(threads);
+  size_t matches = 0;
+  for (auto _ : state) {
+    matches = RunSequential(exec, plans, state);
+    benchmark::DoNotOptimize(matches);
+  }
+  state.counters["patterns"] = static_cast<double>(n);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["matches"] = static_cast<double>(matches);
+}
+BENCHMARK(BM_MultiQuery_TreeSequential)
+    ->Args({2, 1})->Args({8, 1})->Args({16, 1})
+    ->Args({2, 4})->Args({8, 4})->Args({16, 4})
+    ->UseRealTime();
+
+// N two-note motif queries over one long song. Each motif is a rare
+// (pitch, duration) pair sequence, so the merged existence scan answers
+// most patterns negatively from one columnar pass instead of N independent
+// per-note store walks.
+std::vector<PlanRef> SongPatternPlans(size_t n) {
+  PlanRef child = Q::ScanList("song");
+  std::vector<PlanRef> plans;
+  for (size_t j = 0; j < n; ++j) {
+    auto first = Predicate::And(
+        Predicate::AttrEquals("pitch", Value::String(kPitches[j % 7])),
+        Predicate::AttrEquals("duration", Value::Int(7)));
+    auto second = Predicate::And(
+        Predicate::AttrEquals("pitch",
+                              Value::String(kPitches[(j + 3) % 7])),
+        Predicate::AttrEquals("duration", Value::Int(8)));
+    AnchoredListPattern lp;
+    lp.body = ListPattern::Concat(
+        {ListPattern::Pred(first), ListPattern::Pred(second)});
+    plans.push_back(Q::ListSubSelect(child, lp));
+  }
+  return plans;
+}
+
+constexpr size_t kSongNotes = 100000;
+
+void BM_MultiQuery_ListBatched(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t threads = static_cast<size_t>(state.range(1));
+  Database db;
+  SongSpec spec;
+  spec.num_notes = kSongNotes;
+  Check(db.RegisterList("song", OrDie(MakeSong(db.store(), spec))));
+  std::vector<PlanRef> plans = SongPatternPlans(n);
+  Executor exec(&db);
+  exec.set_threads(threads);
+  size_t matches = 0;
+  for (auto _ : state) {
+    matches = RunBatched(exec, plans, state);
+    benchmark::DoNotOptimize(matches);
+  }
+  state.counters["patterns"] = static_cast<double>(n);
+  state.counters["matches"] = static_cast<double>(matches);
+}
+BENCHMARK(BM_MultiQuery_ListBatched)
+    ->Args({2, 1})->Args({8, 1})->Args({16, 1})
+    ->UseRealTime();
+
+void BM_MultiQuery_ListSequential(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t threads = static_cast<size_t>(state.range(1));
+  Database db;
+  SongSpec spec;
+  spec.num_notes = kSongNotes;
+  Check(db.RegisterList("song", OrDie(MakeSong(db.store(), spec))));
+  std::vector<PlanRef> plans = SongPatternPlans(n);
+  Executor exec(&db);
+  exec.set_threads(threads);
+  size_t matches = 0;
+  for (auto _ : state) {
+    matches = RunSequential(exec, plans, state);
+    benchmark::DoNotOptimize(matches);
+  }
+  state.counters["patterns"] = static_cast<double>(n);
+  state.counters["matches"] = static_cast<double>(matches);
+}
+BENCHMARK(BM_MultiQuery_ListSequential)
+    ->Args({2, 1})->Args({8, 1})->Args({16, 1})
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace aqua
+
+AQUA_BENCH_MAIN()

@@ -42,6 +42,14 @@ trap 'rm -rf "$tmpdir"' EXIT
   --benchmark_min_time="$MIN_TIME" \
   --json "$tmpdir/snapshot_overhead.json"
 
+"$BUILD_DIR/bench/bench_multi_query" \
+  --benchmark_filter='BM_MultiQuery_' \
+  --benchmark_min_time="$MIN_TIME" \
+  --json "$tmpdir/multi_query.json"
+
+# Standalone copy: CI asserts the batched-vs-sequential speedup from it.
+cp "$tmpdir/multi_query.json" "${MULTI_OUT:-BENCH_MULTI.json}"
+
 python3 - "$tmpdir" "$OUT" <<'EOF'
 import glob, json, os, sys
 

@@ -17,6 +17,7 @@
 #include "object/store_txn.h"
 #include "obs/metrics.h"
 #include "pattern/dfa.h"
+#include "pattern/multi.h"
 #include "pattern/nfa.h"
 
 namespace aqua::exec {
@@ -610,6 +611,327 @@ PhysicalOpRef Compile(const PlanRef& plan) {
           });
   }
   return std::make_shared<NullOp>();  // unreachable with a valid enum
+}
+
+namespace {
+
+/// Shared batch machinery of the list/tree batched operators: run the
+/// common child once, fan the items out as morsels (mirroring `FanOutOp` —
+/// per-item checkpoint, exact interpreter type errors, order-stable
+/// slots), and merge each plan's per-item results in item order. Item type
+/// errors and checkpoint failures are batch-fatal (a standalone execution
+/// of *every* plan in the group would fail identically, since they share
+/// the input); a per-plan matcher error is not — it becomes that plan's
+/// result, chosen from the lowest-indexed failing item like the serial
+/// in-order loop.
+class BatchedMatchOpBase : public BatchedPatternOp {
+ public:
+  using BatchedPatternOp::BatchedPatternOp;
+
+ protected:
+  /// Evaluates all plans over one item, writing `plans_.size()` entries
+  /// into `out` (pre-filled with per-plan placeholders).
+  virtual void RunItem(ExecContext& ctx, const Datum& item, size_t worker,
+                       std::vector<Result<Datum>>* out) = 0;
+
+  /// True for the list group (drives the type check + counters).
+  virtual bool over_lists() const = 0;
+
+  Result<Datum> RunImpl(ExecContext& ctx) override {
+    AQUA_ASSIGN_OR_RETURN(Datum input, RunChild(0, ctx));
+    std::vector<const Datum*> items;
+    if (input.is_set()) {
+      items.reserve(input.children().size());
+      for (const Datum& d : input.children()) items.push_back(&d);
+    } else {
+      items.push_back(&input);
+    }
+    const bool in_set = input.is_set();
+    const size_t n_plans = plans_.size();
+
+    std::vector<std::vector<Result<Datum>>> slots(
+        items.size(),
+        std::vector<Result<Datum>>(
+            n_plans, Result<Datum>(Status::Internal("item not run"))));
+    FanOutOptions opts;
+    opts.threads = ctx.threads;
+    opts.trace = ctx.trace;
+    opts.morsels_run = &ctx.morsels_run;
+    opts.morsel_max_ns = &ctx.morsel_max_ns;
+    opts.query = ctx.query;
+    ThreadPool& pool = ctx.pool != nullptr ? *ctx.pool : ThreadPool::Shared();
+    AQUA_RETURN_IF_ERROR(RunMorsels(
+        pool, items.size(), opts, [&](const Morsel& m) -> Status {
+          for (size_t i = m.begin; i < m.end; ++i) {
+            if (ctx.query != nullptr) {
+              AQUA_RETURN_IF_ERROR(ctx.query->CheckPoint());
+              ctx.query->AddRows(1);
+            }
+            AQUA_RETURN_IF_ERROR(CheckItem(ctx, *items[i], in_set));
+            RunItem(ctx, *items[i], m.worker, &slots[i]);
+          }
+          return Status::OK();
+        }));
+
+    // Per plan: first failing item (in item order) wins, exactly like the
+    // serial loop; otherwise merge in item order (union of set children —
+    // sub_select results are sets, and a single non-set input wraps the
+    // same way in `FanOutOp`).
+    for (size_t j = 0; j < n_plans; ++j) {
+      Datum out = Datum::Set({});
+      Status failed = Status::OK();
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (!slots[i][j].ok()) {
+          failed = slots[i][j].status();
+          break;
+        }
+        for (const Datum& d : slots[i][j]->children()) out.SetInsert(d);
+      }
+      results_[j] = failed.ok() ? Result<Datum>(std::move(out))
+                                : Result<Datum>(std::move(failed));
+    }
+    return Datum::Set({});  // placeholder; callers read plan_results()
+  }
+
+ private:
+  Status CheckItem(ExecContext& ctx, const Datum& d, bool in_set) const {
+    if (over_lists() ? !d.is_list() : !d.is_tree()) {
+      return Status::TypeError(
+          over_lists() ? (in_set ? kListSetErr : kListSingleErr)
+                       : (in_set ? kTreeSetErr : kTreeSingleErr));
+    }
+    // One logical pattern evaluation per plan, so the counters mirror the
+    // work the group replaced.
+    (over_lists() ? ctx.lists_processed : ctx.trees_processed)
+        .fetch_add(plans_.size(), std::memory_order_relaxed);
+    return Status::OK();
+  }
+};
+
+/// Batched list sub_select: the merged search automaton answers "does
+/// pattern j match somewhere in this list" for all patterns in one columnar
+/// scan. A hit runs the unchanged serial matcher (with the per-pattern
+/// prefilter disabled — the batch probe already was that filter); a miss
+/// produces the empty set, exactly what the serial prefilter-reject path
+/// returns (anchors only narrow the unanchored body's language, so a
+/// negative unanchored existence scan is sound — see `ListSubSelect`).
+class BatchedListMatchOp : public BatchedMatchOpBase {
+ public:
+  using BatchedMatchOpBase::BatchedMatchOpBase;
+
+  Status Prepare(ExecContext& ctx) override {
+    AQUA_RETURN_IF_ERROR(BatchedPatternOp::Prepare(ctx));
+    std::vector<ListPatternRef> bodies;
+    bodies.reserve(plans_.size());
+    for (const PlanRef& p : plans_) bodies.push_back(p->lpattern.body);
+    auto multi = MultiNfa::CompileSearch(bodies);
+    // A pattern the NFA cannot compile (tree atoms) disables the probe for
+    // the whole group; every pattern then runs its matcher on every item,
+    // which is what the serial path does without a prefilter.
+    if (!multi.ok()) return Status::OK();
+    multi_.emplace(std::move(*multi));
+    size_t workers = std::max<size_t>(ctx.threads, 1);
+    scratch_.emplace(workers);
+    dfas_.emplace(workers);
+    for (size_t s = 0; s < workers; ++s) {
+      auto dfa = LazyMultiDfa::Make(&*multi_);
+      if (dfa.ok()) dfas_->at(s).emplace(std::move(*dfa));
+    }
+    return Status::OK();
+  }
+
+ protected:
+  bool over_lists() const override { return true; }
+
+  void RunItem(ExecContext& ctx, const Datum& item, size_t worker,
+               std::vector<Result<Datum>>* out) override {
+    const List& list = item.list();
+    uint64_t matched = ~0ULL;
+    if (multi_.has_value()) {
+      AlphabetScratch& scratch = scratch_->at(worker);
+      std::optional<LazyMultiDfa>& dfa = dfas_->at(worker);
+      matched = dfa.has_value() ? dfa->MatchAll(ctx.view, list, &scratch)
+                                : multi_->MatchAll(ctx.view, list, &scratch);
+    }
+    for (size_t j = 0; j < plans_.size(); ++j) {
+      if ((matched >> j) & 1) {
+        (*out)[j] = ListSubSelectPrefiltered(ctx.view, list,
+                                             plans_[j]->lpattern,
+                                             plans_[j]->lsplit_opts,
+                                             ListPrefilter{});
+      } else {
+        (*out)[j] = Datum::Set({});
+      }
+    }
+  }
+
+ private:
+  std::optional<MultiNfa> multi_;
+  std::optional<WorkerLocal<AlphabetScratch>> scratch_;
+  std::optional<WorkerLocal<std::optional<LazyMultiDfa>>> dfas_;
+};
+
+/// One necessary condition on any match of a tree pattern: some node of
+/// the tree must satisfy one of the predicates in `mask` (a disjunction
+/// across `kAlt` arms of the pattern's possible match roots).
+/// `unconstrained` disables the gate for that pattern (a `?` root, a free
+/// point, a star, or a predicate beyond the 64-slot mask).
+struct RootClause {
+  bool unconstrained = false;
+  uint64_t mask = 0;
+};
+
+/// Accumulates the match-root predicate disjunction of `tp` into `c`:
+/// every way a match can start contributes either one alphabet slot or
+/// `unconstrained`. Conservative — substitution at concatenation points
+/// only ever replaces point leaves, so the root predicate of `first()` is
+/// preserved by `∘_α`.
+void CollectRootClause(const TreePattern& tp, PredicateAlphabet* alphabet,
+                       RootClause* c) {
+  switch (tp.kind()) {
+    case TreePattern::Kind::kLeaf:
+    case TreePattern::Kind::kNode: {
+      if (tp.is_any()) {
+        c->unconstrained = true;
+        return;
+      }
+      uint32_t slot = alphabet->Intern(tp.pred());
+      if (slot >= 64) {
+        c->unconstrained = true;
+        return;
+      }
+      c->mask |= 1ULL << slot;
+      return;
+    }
+    case TreePattern::Kind::kAlt:
+      for (const TreePatternRef& alt : tp.alts()) {
+        CollectRootClause(*alt, alphabet, c);
+      }
+      return;
+    case TreePattern::Kind::kConcatAt:
+      CollectRootClause(*tp.first(), alphabet, c);
+      return;
+    case TreePattern::Kind::kPlusAt:
+      CollectRootClause(*tp.inner(), alphabet, c);
+      return;
+    case TreePattern::Kind::kRootAnchor:
+    case TreePattern::Kind::kLeafAnchor:
+    case TreePattern::Kind::kPrune:
+      CollectRootClause(*tp.inner(), alphabet, c);
+      return;
+    case TreePattern::Kind::kPoint:
+    case TreePattern::Kind::kStarAt:
+      // A free point can match nothing at all; a star can iterate zero
+      // times. Neither pins a predicate on the match root.
+      c->unconstrained = true;
+      return;
+  }
+}
+
+/// Batched tree sub_select: one columnar pass over each tree's cells
+/// evaluates the group's shared root-predicate alphabet and accumulates a
+/// seen-predicates mask; a pattern whose root clause intersects nothing in
+/// the tree cannot match anywhere, so it skips its `TreeSubSelect` and
+/// yields the empty set — byte-identical to the serial zero-match result.
+class BatchedTreeMatchOp : public BatchedMatchOpBase {
+ public:
+  using BatchedMatchOpBase::BatchedMatchOpBase;
+
+  Status Prepare(ExecContext& ctx) override {
+    AQUA_RETURN_IF_ERROR(BatchedPatternOp::Prepare(ctx));
+    clauses_.resize(plans_.size());
+    for (size_t j = 0; j < plans_.size(); ++j) {
+      if (plans_[j]->tpattern == nullptr) {
+        clauses_[j].unconstrained = true;  // matcher reports the error
+        continue;
+      }
+      CollectRootClause(*plans_[j]->tpattern, &alphabet_, &clauses_[j]);
+      if (!clauses_[j].unconstrained) needed_ |= clauses_[j].mask;
+    }
+    alphabet_.Seal();
+    gate_enabled_ = needed_ != 0 && alphabet_.size() <= 64;
+    if (gate_enabled_) {
+      scratch_.emplace(std::max<size_t>(ctx.threads, 1));
+    }
+    return Status::OK();
+  }
+
+ protected:
+  bool over_lists() const override { return false; }
+
+  void RunItem(ExecContext& ctx, const Datum& item, size_t worker,
+               std::vector<Result<Datum>>* out) override {
+    const Tree& tree = item.tree();
+    uint64_t seen = 0;
+    if (gate_enabled_) {
+      AlphabetScratch& scratch = scratch_->at(worker);
+      std::vector<NodeId> order = tree.Preorder();
+      size_t rows = 0;
+      constexpr size_t kChunk = 256;
+      for (size_t base = 0;
+           base < order.size() && (seen & needed_) != needed_;
+           base += kChunk) {
+        const size_t end = std::min(base + kChunk, order.size());
+        scratch.oids.clear();
+        for (size_t i = base; i < end; ++i) {
+          const NodePayload& p = tree.payload(order[i]);
+          if (p.is_cell()) scratch.oids.push_back(p.oid());
+        }
+        alphabet_.EvalBatch(ctx.view, scratch.oids.data(),
+                            scratch.oids.size(), &scratch);
+        rows += end - base;
+        for (size_t i = 0; i < scratch.oids.size(); ++i) {
+          seen |= scratch.sigs[i];  // stride 1: at most 64 slots
+        }
+      }
+      if (rows > 0) AQUA_OBS_COUNT("exec.batch_scan_rows", rows);
+    }
+    for (size_t j = 0; j < plans_.size(); ++j) {
+      // The clause is a disjunction over possible match roots: ruled out
+      // only when no node in the tree satisfied any of its predicates.
+      const bool ruled_out = gate_enabled_ && !clauses_[j].unconstrained &&
+                             (clauses_[j].mask & seen) == 0;
+      (*out)[j] = ruled_out
+                      ? Result<Datum>(Datum::Set({}))
+                      : TreeSubSelect(ctx.view, tree, plans_[j]->tpattern,
+                                      plans_[j]->split_opts);
+    }
+  }
+
+ private:
+  PredicateAlphabet alphabet_;
+  std::vector<RootClause> clauses_;
+  uint64_t needed_ = 0;
+  bool gate_enabled_ = false;
+  std::optional<WorkerLocal<AlphabetScratch>> scratch_;
+};
+
+}  // namespace
+
+std::shared_ptr<BatchedPatternOp> CompileBatch(
+    const std::vector<PlanRef>& plans) {
+  if (plans.size() < 2 || plans.size() > 64) return nullptr;
+  const PlanRef& first = plans[0];
+  if (first == nullptr || first->children.size() != 1) return nullptr;
+  const PlanOp op = first->op;
+  if (op != PlanOp::kListSubSelect && op != PlanOp::kTreeSubSelect) {
+    return nullptr;
+  }
+  for (const PlanRef& p : plans) {
+    if (p == nullptr || p->op != op || p->children.size() != 1) {
+      return nullptr;
+    }
+    if (!PlanEquals(p->children[0], first->children[0])) return nullptr;
+  }
+  AQUA_OBS_COUNT("exec.batched_patterns", plans.size());
+  std::vector<PhysicalOpRef> children;
+  children.push_back(Compile(first->children[0]));
+  if (op == PlanOp::kListSubSelect) {
+    return std::make_shared<BatchedListMatchOp>(first, std::move(children),
+                                                plans);
+  }
+  return std::make_shared<BatchedTreeMatchOp>(first, std::move(children),
+                                              plans);
 }
 
 }  // namespace aqua::exec

@@ -1,6 +1,9 @@
 #ifndef AQUA_EXEC_COMPILE_H_
 #define AQUA_EXEC_COMPILE_H_
 
+#include <memory>
+#include <vector>
+
 #include "exec/physical_op.h"
 #include "query/plan.h"
 
@@ -54,6 +57,51 @@ bool ApplyParallelCertified(const PlanRef& plan);
 /// Disjoint from `ApplyParallelCertified` (which covers effect <=
 /// read-only).
 bool ApplySnapshotWriteCertified(const PlanRef& plan);
+
+/// A physical operator evaluating a *group* of pattern queries that share
+/// one input (same `PlanEquals` child) in a single scan. The shared child
+/// runs once; each tree/list item is then probed with a merged product
+/// automaton (lists — `MultiNfa`/`LazyMultiDfa` over a shared
+/// `PredicateAlphabet`, see `pattern/multi.h`) or a columnar
+/// necessary-predicate gate (trees), and only the patterns the probe cannot
+/// rule out run the unchanged per-pattern matcher. Per-plan outputs are
+/// merged in item order, so each is byte-identical to what a standalone
+/// serial `Execute` of that plan would return — including per-plan errors,
+/// which land in `plan_results()` without failing the batch.
+///
+/// `Run` returns an empty set placeholder on success (read the per-plan
+/// results instead); a non-OK `Run` is batch-fatal (shared-input failure,
+/// item type error, cancellation) and applies to every plan in the group.
+class BatchedPatternOp : public PhysicalOp {
+ public:
+  BatchedPatternOp(PlanRef plan, std::vector<PhysicalOpRef> children,
+                   std::vector<PlanRef> plans)
+      : PhysicalOp(std::move(plan), std::move(children)),
+        plans_(std::move(plans)),
+        results_(plans_.size(),
+                 Result<Datum>(Status::Internal("batch not run"))) {}
+
+  size_t num_plans() const { return plans_.size(); }
+  const std::vector<PlanRef>& plans() const { return plans_; }
+
+  /// Per-plan results, positional with the `plans` given to `CompileBatch`.
+  /// Meaningful after an OK `Run`.
+  const std::vector<Result<Datum>>& plan_results() const { return results_; }
+
+ protected:
+  std::vector<PlanRef> plans_;
+  std::vector<Result<Datum>> results_;
+};
+
+/// Compiles a query group into one `BatchedPatternOp` when the plans are
+/// co-compilable: 2..64 plans, all `kListSubSelect` or all
+/// `kTreeSubSelect`, each with one child, and every child `PlanEquals` the
+/// first (the executor pre-keys candidate groups by digest fingerprint;
+/// this is the structural verification, constants included). Returns null
+/// when the group is not batchable — callers then execute the plans
+/// individually. Counts the group size in `exec.batched_patterns`.
+std::shared_ptr<BatchedPatternOp> CompileBatch(
+    const std::vector<PlanRef>& plans);
 
 }  // namespace aqua::exec
 

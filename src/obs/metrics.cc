@@ -158,10 +158,12 @@ Registry::Registry() {
        {"pattern.nfa_steps", "pattern.dfa_hits", "pattern.dfa_misses",
         "pattern.nfa_prefilter_rejects", "pattern.list_match_calls",
         "pattern.list_steps", "pattern.tree_match_calls",
-        "pattern.tree_steps", "pattern.tree_memo_hits", "index.probes",
+        "pattern.tree_steps", "pattern.tree_memo_hits",
+        "pattern.alphabet_preds", "index.probes",
         "index.candidates", "algebra.structural_nodes_visited",
         "exec.executes", "exec.operators_evaluated", "exec.trees_processed",
-        "exec.lists_processed"}) {
+        "exec.lists_processed", "exec.batched_patterns",
+        "exec.batch_scan_rows"}) {
     counters_.emplace(name, std::unique_ptr<Counter>(new Counter(name)));
   }
   for (const char* name :

@@ -1,6 +1,9 @@
 #include "pattern/simplify.h"
 
+#include <utility>
 #include <vector>
+
+#include "pattern/alphabet.h"
 
 namespace aqua {
 
@@ -10,22 +13,41 @@ bool SameRendering(const ListPatternRef& a, const ListPatternRef& b) {
   return a->ToString() == b->ToString();
 }
 
+/// Dedupes a predicate leaf through the (nullable) interner. Returns the
+/// input ref unchanged when it is the canonical occurrence, so first
+/// occurrences stay pointer-identical.
+PredicateRef InternPred(const PredicateRef& pred, PredicateInterner* interner) {
+  if (interner == nullptr || pred == nullptr) return pred;
+  return interner->Intern(pred);
+}
+
 }  // namespace
 
 ListPatternRef SimplifyListPattern(const ListPatternRef& pattern) {
+  PredicateInterner interner;
+  return SimplifyListPattern(pattern, &interner);
+}
+
+ListPatternRef SimplifyListPattern(const ListPatternRef& pattern,
+                                   PredicateInterner* interner) {
   if (pattern == nullptr) return pattern;
   using K = ListPattern::Kind;
   switch (pattern->kind()) {
-    case K::kPred:
+    case K::kPred: {
+      PredicateRef interned = InternPred(pattern->pred(), interner);
+      if (interned == pattern->pred()) return pattern;
+      return ListPattern::Pred(std::move(interned));
+    }
     case K::kAny:
     case K::kPoint:
       return pattern;
     case K::kTreeAtom:
-      return ListPattern::TreeAtom(SimplifyTreePattern(pattern->tree_atom()));
+      return ListPattern::TreeAtom(
+          SimplifyTreePattern(pattern->tree_atom(), interner));
     case K::kConcat: {
       std::vector<ListPatternRef> parts;
       for (const auto& part : pattern->parts()) {
-        ListPatternRef simplified = SimplifyListPattern(part);
+        ListPatternRef simplified = SimplifyListPattern(part, interner);
         if (simplified->kind() == K::kConcat) {
           for (const auto& sub : simplified->parts()) parts.push_back(sub);
         } else {
@@ -38,7 +60,7 @@ ListPatternRef SimplifyListPattern(const ListPatternRef& pattern) {
     case K::kAlt: {
       std::vector<ListPatternRef> alts;
       for (const auto& alt : pattern->parts()) {
-        ListPatternRef simplified = SimplifyListPattern(alt);
+        ListPatternRef simplified = SimplifyListPattern(alt, interner);
         std::vector<ListPatternRef> flat;
         if (simplified->kind() == K::kAlt) {
           flat = simplified->parts();
@@ -60,7 +82,7 @@ ListPatternRef SimplifyListPattern(const ListPatternRef& pattern) {
       return ListPattern::Alt(std::move(alts));
     }
     case K::kStar: {
-      ListPatternRef inner = SimplifyListPattern(pattern->inner());
+      ListPatternRef inner = SimplifyListPattern(pattern->inner(), interner);
       // (x*)* = (x+)* = x*.
       if (inner->kind() == K::kStar || inner->kind() == K::kPlus) {
         return ListPattern::Star(inner->inner());
@@ -68,14 +90,14 @@ ListPatternRef SimplifyListPattern(const ListPatternRef& pattern) {
       return ListPattern::Star(std::move(inner));
     }
     case K::kPlus: {
-      ListPatternRef inner = SimplifyListPattern(pattern->inner());
+      ListPatternRef inner = SimplifyListPattern(pattern->inner(), interner);
       // (x*)+ = x*;  (x+)+ = x+.
       if (inner->kind() == K::kStar) return inner;
       if (inner->kind() == K::kPlus) return inner;
       return ListPattern::Plus(std::move(inner));
     }
     case K::kPrune: {
-      ListPatternRef inner = SimplifyListPattern(pattern->inner());
+      ListPatternRef inner = SimplifyListPattern(pattern->inner(), interner);
       if (inner->kind() == K::kPrune) return inner;
       return ListPattern::Prune(std::move(inner));
     }
@@ -84,19 +106,30 @@ ListPatternRef SimplifyListPattern(const ListPatternRef& pattern) {
 }
 
 TreePatternRef SimplifyTreePattern(const TreePatternRef& pattern) {
+  PredicateInterner interner;
+  return SimplifyTreePattern(pattern, &interner);
+}
+
+TreePatternRef SimplifyTreePattern(const TreePatternRef& pattern,
+                                   PredicateInterner* interner) {
   if (pattern == nullptr) return pattern;
   using K = TreePattern::Kind;
   switch (pattern->kind()) {
-    case K::kLeaf:
+    case K::kLeaf: {
+      PredicateRef interned = InternPred(pattern->pred(), interner);
+      if (interned == pattern->pred()) return pattern;
+      return TreePattern::Leaf(std::move(interned));
+    }
     case K::kPoint:
       return pattern;
     case K::kNode:
-      return TreePattern::Node(pattern->pred(),
-                               SimplifyListPattern(pattern->children()));
+      return TreePattern::Node(
+          InternPred(pattern->pred(), interner),
+          SimplifyListPattern(pattern->children(), interner));
     case K::kAlt: {
       std::vector<TreePatternRef> alts;
       for (const auto& alt : pattern->alts()) {
-        TreePatternRef simplified = SimplifyTreePattern(alt);
+        TreePatternRef simplified = SimplifyTreePattern(alt, interner);
         std::vector<TreePatternRef> flat;
         if (simplified->kind() == K::kAlt) {
           flat = simplified->alts();
@@ -118,32 +151,33 @@ TreePatternRef SimplifyTreePattern(const TreePatternRef& pattern) {
       return TreePattern::Alt(std::move(alts));
     }
     case K::kConcatAt: {
-      TreePatternRef first = SimplifyTreePattern(pattern->first());
+      TreePatternRef first = SimplifyTreePattern(pattern->first(), interner);
       // §3.3: "If two trees are concatenated with a concatenation point α1
       // and there is no α1 in the first tree, the result is just the first
       // tree."
       if (!first->HasFreePoint(pattern->label())) return first;
-      return TreePattern::ConcatAt(std::move(first), pattern->label(),
-                                   SimplifyTreePattern(pattern->second()));
+      return TreePattern::ConcatAt(
+          std::move(first), pattern->label(),
+          SimplifyTreePattern(pattern->second(), interner));
     }
     case K::kStarAt:
-      return TreePattern::StarAt(SimplifyTreePattern(pattern->inner()),
-                                 pattern->label());
+      return TreePattern::StarAt(
+          SimplifyTreePattern(pattern->inner(), interner), pattern->label());
     case K::kPlusAt:
-      return TreePattern::PlusAt(SimplifyTreePattern(pattern->inner()),
-                                 pattern->label());
+      return TreePattern::PlusAt(
+          SimplifyTreePattern(pattern->inner(), interner), pattern->label());
     case K::kRootAnchor: {
-      TreePatternRef inner = SimplifyTreePattern(pattern->inner());
+      TreePatternRef inner = SimplifyTreePattern(pattern->inner(), interner);
       if (inner->kind() == K::kRootAnchor) return inner;
       return TreePattern::RootAnchor(std::move(inner));
     }
     case K::kLeafAnchor: {
-      TreePatternRef inner = SimplifyTreePattern(pattern->inner());
+      TreePatternRef inner = SimplifyTreePattern(pattern->inner(), interner);
       if (inner->kind() == K::kLeafAnchor) return inner;
       return TreePattern::LeafAnchor(std::move(inner));
     }
     case K::kPrune: {
-      TreePatternRef inner = SimplifyTreePattern(pattern->inner());
+      TreePatternRef inner = SimplifyTreePattern(pattern->inner(), interner);
       if (inner->kind() == K::kPrune) return inner;
       return TreePattern::Prune(std::move(inner));
     }

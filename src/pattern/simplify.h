@@ -6,6 +6,8 @@
 
 namespace aqua {
 
+class PredicateInterner;
+
 /// Language-preserving normalization of list patterns, applied by the
 /// optimizer before costing (smaller patterns → tighter estimates and less
 /// backtracking):
@@ -13,8 +15,19 @@ namespace aqua {
 ///  * nested concatenations and disjunctions flatten;
 ///  * single-part concatenations/disjunctions unwrap;
 ///  * duplicate disjunction branches collapse;
-///  * `x**`, `(x+)*`, `(x*)+` → `x*`;  `x++` → `x+`;  `!!x` → `!x`.
+///  * `x**`, `(x+)*`, `(x*)+` → `x*`;  `x++` → `x+`;  `!!x` → `!x`;
+///  * structurally identical predicate subtrees dedupe to one shared
+///    `PredicateRef` (the first occurrence stays pointer-identical; later
+///    duplicates alias it), so downstream alphabet extraction
+///    (`pattern/alphabet.h`) and NFA compilation see one predicate.
 ListPatternRef SimplifyListPattern(const ListPatternRef& pattern);
+
+/// As above, interning predicate leaves through `interner` (nullable: no
+/// deduplication then). Passing one interner across several patterns makes
+/// duplicate predicates alias *across* the batch — how
+/// `exec::CompileBatch` shares alphabet slots between grouped queries.
+ListPatternRef SimplifyListPattern(const ListPatternRef& pattern,
+                                   PredicateInterner* interner);
 
 /// Tree-pattern normalization:
 ///
@@ -22,8 +35,13 @@ ListPatternRef SimplifyListPattern(const ListPatternRef& pattern);
 ///  * `^^x` → `^x`, double leaf anchors and double prunes collapse;
 ///  * `t1 ∘_α t2` → `t1` when `t1` has no free point `α` (the identity
 ///    §3.3 states outright);
-///  * children sequences are simplified recursively.
+///  * children sequences are simplified recursively;
+///  * node/leaf predicates dedupe structurally, as in the list form.
 TreePatternRef SimplifyTreePattern(const TreePatternRef& pattern);
+
+/// As above with a caller-supplied (nullable) predicate interner.
+TreePatternRef SimplifyTreePattern(const TreePatternRef& pattern,
+                                   PredicateInterner* interner);
 
 }  // namespace aqua
 

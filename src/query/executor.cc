@@ -10,6 +10,22 @@
 
 namespace aqua {
 
+Status Executor::LintGate(const PlanRef& plan) {
+  // At AQUA_LINT=error the lint pass is a gate: a plan carrying any
+  // error-severity finding (kind-flow contradictions, parameter
+  // mismatches, unsafe shapes) is refused before compilation.
+  if (lint::EnforcementLevel() != lint::Level::kError) return Status::OK();
+  std::vector<lint::Diagnostic> diags = lint::LintPlan(*db_, plan);
+  if (!lint::HasErrors(diags)) return Status::OK();
+  AQUA_OBS_COUNT("exec.lint_refusals", 1);
+  std::string msg = "lint refuses to execute the plan (AQUA_LINT=error):";
+  for (const lint::Diagnostic& d : diags) {
+    if (d.severity != lint::Severity::kError) continue;
+    msg += "\n  " + lint::FormatDiagnostic(d);
+  }
+  return Status::InvalidArgument(std::move(msg));
+}
+
 Result<Datum> Executor::Execute(const PlanRef& plan) {
   stats_ = ExecStats{};
   op_stats_.clear();
@@ -17,21 +33,7 @@ Result<Datum> Executor::Execute(const PlanRef& plan) {
   obs::Snapshot before = obs::Registry::Global().Snap();
   AQUA_OBS_COUNT("exec.executes", 1);
 
-  // At AQUA_LINT=error the lint pass is a gate: a plan carrying any
-  // error-severity finding (kind-flow contradictions, parameter
-  // mismatches, unsafe shapes) is refused before compilation.
-  if (lint::EnforcementLevel() == lint::Level::kError) {
-    std::vector<lint::Diagnostic> diags = lint::LintPlan(*db_, plan);
-    if (lint::HasErrors(diags)) {
-      AQUA_OBS_COUNT("exec.lint_refusals", 1);
-      std::string msg = "lint refuses to execute the plan (AQUA_LINT=error):";
-      for (const lint::Diagnostic& d : diags) {
-        if (d.severity != lint::Severity::kError) continue;
-        msg += "\n  " + lint::FormatDiagnostic(d);
-      }
-      return Status::InvalidArgument(std::move(msg));
-    }
-  }
+  AQUA_RETURN_IF_ERROR(LintGate(plan));
 
   // Lifecycle context for this call: limits armed from the executor
   // overrides or the env defaults, descriptor filled before registration
@@ -168,6 +170,162 @@ Result<Datum> Executor::Execute(const PlanRef& plan) {
   }
 #endif
   return result;
+}
+
+std::vector<Result<Datum>> Executor::ExecuteBatch(
+    const std::vector<PlanRef>& plans) {
+  std::vector<Result<Datum>> results(
+      plans.size(), Result<Datum>(Status::Internal("not executed")));
+
+  // Group batchable plans by their shared input. The digest fingerprint of
+  // the child is the fast pre-key (constants are elided by normalization,
+  // so two different scans can collide); `PlanEquals` is the structural
+  // verification, constants included.
+  struct Group {
+    PlanOp op;
+    uint64_t child_fp;
+    std::vector<size_t> indices;
+  };
+  std::vector<Group> groups;
+  std::vector<size_t> singles;
+  for (size_t i = 0; i < plans.size(); ++i) {
+    const PlanRef& p = plans[i];
+    const bool batchable =
+        p != nullptr &&
+        (p->op == PlanOp::kListSubSelect || p->op == PlanOp::kTreeSubSelect) &&
+        p->children.size() == 1 && p->children[0] != nullptr;
+    if (!batchable) {
+      singles.push_back(i);
+      continue;
+    }
+    uint64_t fp = obs::FingerprintPlan(p->children[0]);
+    bool placed = false;
+    for (Group& g : groups) {
+      if (g.op != p->op || g.child_fp != fp) continue;
+      if (g.indices.size() >= 64) continue;  // chunk oversized groups
+      if (!PlanEquals(p->children[0], plans[g.indices[0]]->children[0])) {
+        continue;
+      }
+      g.indices.push_back(i);
+      placed = true;
+      break;
+    }
+    if (!placed) groups.push_back(Group{p->op, fp, {i}});
+  }
+
+  for (const Group& g : groups) {
+    if (g.indices.size() < 2) {
+      singles.push_back(g.indices[0]);
+      continue;
+    }
+    ExecuteGroup(plans, g.indices, &results);
+  }
+  for (size_t i : singles) results[i] = Execute(plans[i]);
+  return results;
+}
+
+void Executor::ExecuteGroup(const std::vector<PlanRef>& plans,
+                            const std::vector<size_t>& indices,
+                            std::vector<Result<Datum>>* out) {
+  // Lint-gate each member individually: a refused plan gets its refusal as
+  // its result and leaves the group; the rest still batch when >= 2 remain.
+  std::vector<PlanRef> group;
+  std::vector<size_t> members;
+  for (size_t i : indices) {
+    Status gate = LintGate(plans[i]);
+    if (!gate.ok()) {
+      (*out)[i] = gate;
+      continue;
+    }
+    group.push_back(plans[i]);
+    members.push_back(i);
+  }
+  if (group.size() < 2) {
+    for (size_t i : members) (*out)[i] = Execute(plans[i]);
+    return;
+  }
+
+  std::shared_ptr<exec::BatchedPatternOp> root = exec::CompileBatch(group);
+  if (root == nullptr) {
+    for (size_t i : members) (*out)[i] = Execute(plans[i]);
+    return;
+  }
+  // One execute per member plan, answered by one scan.
+  AQUA_OBS_COUNT("exec.executes", group.size());
+
+  obs::QueryContext qctx;
+  qctx.set_threads(static_cast<uint32_t>(threads()));
+  uint64_t timeout_ns = timeout_ms_ != 0 ? timeout_ms_ * 1000000ull
+                                         : obs::DefaultQueryTimeoutNs();
+  if (timeout_ns != 0) qctx.set_deadline_after_ns(timeout_ns);
+  uint64_t mem_limit = mem_limit_bytes_ != 0
+                           ? mem_limit_bytes_
+                           : obs::DefaultQueryMemLimitBytes();
+  if (mem_limit != 0) qctx.set_mem_limit_bytes(mem_limit);
+
+#ifndef AQUA_OBS_DISABLED
+  std::vector<std::string> normalized(group.size());
+  std::vector<uint64_t> fingerprints(group.size(), 0);
+  if (obs::Registry::enabled()) {
+    for (size_t j = 0; j < group.size(); ++j) {
+      normalized[j] = obs::NormalizePlan(group[j]);
+      fingerprints[j] = obs::Fnv1a(normalized[j]);
+    }
+    // The task table shows the group under its first member's shape.
+    qctx.set_fingerprint(fingerprints[0]);
+    qctx.set_plan_text(normalized[0]);
+  }
+#endif
+
+  exec::ExecContext ctx;
+  ctx.db = db_;
+  ctx.pool = &exec::ThreadPool::Shared();
+  ctx.threads = threads();
+  ctx.trace = nullptr;  // per-plan tracing is the Execute fallback's job
+  ctx.query = &qctx;
+  ctx.view = db_->store();
+  qctx.set_pinned_epoch(ctx.view.epoch());
+
+  obs::Span wall(nullptr, "");
+  Result<Datum> run = [&]() -> Result<Datum> {
+    obs::QueryContext::Scope scope(&qctx);
+    obs::TaskRegistry::Guard task(&qctx);
+    uint64_t cpu0 = obs::QueryContext::ThreadCpuNs();
+    Result<Datum> r = [&]() -> Result<Datum> {
+      AQUA_RETURN_IF_ERROR(root->Prepare(ctx));
+      return root->Run(ctx);
+    }();
+    qctx.AddCpuNs(obs::QueryContext::ThreadCpuNs() - cpu0);
+    if (!r.ok() && qctx.cancel_requested()) return qctx.CancelStatus();
+    return r;
+  }();
+  uint64_t wall_ns = wall.ElapsedNs();
+  (void)wall_ns;  // digest input; unused when obs is compiled out
+
+  // Batch-fatal outcomes (shared-input failure, item type error,
+  // cancellation, deadline) apply to every member — a standalone Execute
+  // of each would have failed the same way. Otherwise each member takes
+  // its own per-plan result.
+  for (size_t j = 0; j < group.size(); ++j) {
+    (*out)[members[j]] =
+        run.ok() ? root->plan_results()[j] : Result<Datum>(run.status());
+  }
+
+#ifndef AQUA_OBS_DISABLED
+  if (obs::Registry::enabled()) {
+    // Each member records its own digest row (the `\hot` feed that
+    // identifies co-compilable shapes), with the batch wall time
+    // attributed evenly across the group.
+    for (size_t j = 0; j < group.size(); ++j) {
+      StatusCode code = run.ok() ? root->plan_results()[j].status().code()
+                                 : run.status().code();
+      obs::DigestTable::Global().Record(fingerprints[j], normalized[j],
+                                        wall_ns / group.size(),
+                                        qctx.mem_peak_bytes(), code,
+                                        /*store_commit=*/false);
+    }
+  }
+#endif
 }
 
 void Executor::CollectOpStats(const exec::PhysicalOpRef& op) {

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "bulk/datum.h"
@@ -62,6 +63,24 @@ class Executor {
 
   Result<Datum> Execute(const PlanRef& plan);
 
+  /// Executes a query group: plans that share their input (same digest
+  /// fingerprint, verified structurally with `PlanEquals`) and are pattern
+  /// sub_selects batch into one `exec::BatchedPatternOp`, so one scan of
+  /// the shared collection answers all of them (see `pattern/multi.h`);
+  /// everything else falls back to an individual `Execute`. Results are
+  /// positional with `plans`, and each is byte-identical to what a
+  /// standalone `Execute` of that plan would return, at any thread count.
+  ///
+  /// Query-group semantics: the batch is for *read-only* pattern queries —
+  /// batched plans run against one pinned snapshot with no execution-order
+  /// guarantee between plans of a group. Per-batch lifecycle (one
+  /// `QueryContext`: deadline, memory budget, cancellation) covers the
+  /// whole group; the digest table records each member plan individually
+  /// (wall time attributed evenly across the group). `stats()`, `trace()`
+  /// and `ExplainAnalyze` reflect only the plans that fell back to
+  /// `Execute`.
+  std::vector<Result<Datum>> ExecuteBatch(const std::vector<PlanRef>& plans);
+
   const ExecStats& stats() const { return stats_; }
 
   /// Overrides the fan-out parallelism for this executor (including the
@@ -117,6 +136,18 @@ class Executor {
   /// Harvests the per-op atomics of the compiled tree into `op_stats_`
   /// (keyed by logical node, for ExplainAnalyze).
   void CollectOpStats(const exec::PhysicalOpRef& op);
+
+  /// The AQUA_LINT=error refusal gate shared by `Execute` and the batch
+  /// path: non-OK when the plan carries an error-severity finding.
+  Status LintGate(const PlanRef& plan);
+
+  /// Runs one verified batchable group (>= 2 plans) through
+  /// `exec::CompileBatch`, writing each member's result to
+  /// `out[indices[k]]`. Falls back to individual `Execute` calls when the
+  /// group fails to compile.
+  void ExecuteGroup(const std::vector<PlanRef>& plans,
+                    const std::vector<size_t>& indices,
+                    std::vector<Result<Datum>>* out);
 
   Database* db_;
   size_t threads_override_ = 0;

@@ -1,0 +1,251 @@
+#include "pattern/alphabet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Structural hash / equality / interning.
+// ---------------------------------------------------------------------------
+
+TEST(PredicateStructuralTest, EqualPredicatesHashEqual) {
+  auto a = Predicate::Compare("age", CmpOp::kGt, Value::Int(60));
+  auto b = Predicate::Compare("age", CmpOp::kGt, Value::Int(60));
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_TRUE(PredicateStructuralEquals(*a, *b));
+  EXPECT_EQ(PredicateStructuralHash(*a), PredicateStructuralHash(*b));
+}
+
+TEST(PredicateStructuralTest, DistinctPredicatesCompareUnequal) {
+  auto base = Predicate::Compare("age", CmpOp::kGt, Value::Int(60));
+  // A different attribute, operator, or constant each breaks equality.
+  auto variants = {
+      Predicate::Compare("val", CmpOp::kGt, Value::Int(60)),
+      Predicate::Compare("age", CmpOp::kGe, Value::Int(60)),
+      Predicate::Compare("age", CmpOp::kGt, Value::Int(61)),
+  };
+  for (const auto& v : variants) {
+    EXPECT_FALSE(PredicateStructuralEquals(*base, *v)) << v->ToString();
+  }
+  // Kind matters: `x && y` != `x || y`, and both differ from `!x`.
+  auto x = Predicate::AttrEquals("a", Value::Int(1));
+  auto y = Predicate::AttrEquals("b", Value::Int(2));
+  EXPECT_FALSE(PredicateStructuralEquals(*Predicate::And(x, y),
+                                         *Predicate::Or(x, y)));
+  EXPECT_FALSE(PredicateStructuralEquals(*Predicate::And(x, y),
+                                         *Predicate::Not(x)));
+  EXPECT_TRUE(PredicateStructuralEquals(*Predicate::And(x, y),
+                                        *Predicate::And(x, y)));
+}
+
+TEST(PredicateStructuralTest, IntAndDoubleConstantsStayDistinct) {
+  // Value::Equals(Int(1), Double(1.0)) is true, but the columnar kernels
+  // compile per constant type, so interning keeps them distinct slots.
+  auto as_int = Predicate::AttrEquals("val", Value::Int(1));
+  auto as_double = Predicate::AttrEquals("val", Value::Double(1.0));
+  EXPECT_FALSE(PredicateStructuralEquals(*as_int, *as_double));
+}
+
+TEST(PredicateInternerTest, DuplicatesCollapseToFirstSeen) {
+  PredicateInterner interner;
+  auto first = Predicate::Compare("age", CmpOp::kGt, Value::Int(60));
+  auto dup = Predicate::Compare("age", CmpOp::kGt, Value::Int(60));
+  // The first occurrence is its own canonical node.
+  EXPECT_EQ(interner.Intern(first).get(), first.get());
+  // A structurally equal later predicate aliases it.
+  EXPECT_EQ(interner.Intern(dup).get(), first.get());
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(PredicateInternerTest, SharedSubtreesCollapseInsideCombinations) {
+  PredicateInterner interner;
+  auto brazil1 = Predicate::AttrEquals("citizen", Value::String("Brazil"));
+  auto brazil2 = Predicate::AttrEquals("citizen", Value::String("Brazil"));
+  auto old1 = Predicate::Compare("age", CmpOp::kGt, Value::Int(60));
+  auto and1 = Predicate::And(brazil1, old1);
+  auto and2 = Predicate::And(brazil2,
+                             Predicate::Compare("age", CmpOp::kGt,
+                                                Value::Int(60)));
+  PredicateRef canon1 = interner.Intern(and1);
+  PredicateRef canon2 = interner.Intern(and2);
+  EXPECT_EQ(canon1.get(), and1.get());
+  EXPECT_EQ(canon2.get(), canon1.get());
+  // Only the three distinct nodes (leaf, leaf, and) were interned.
+  EXPECT_EQ(interner.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Columnar batch evaluation vs the scalar interpreter.
+// ---------------------------------------------------------------------------
+
+class AlphabetEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // A type exercising every value family, plus Item (which lacks the
+    // attributes entirely) for the missing-attribute path.
+    ASSERT_OK_AND_ASSIGN(
+        rnd_type_,
+        store_.schema().RegisterType("Rnd", {{"i", ValueType::kInt, true},
+                                             {"d", ValueType::kDouble, true},
+                                             {"s", ValueType::kString, true},
+                                             {"b", ValueType::kBool, true}}));
+    ASSERT_OK(RegisterItemType(store_));
+  }
+
+  /// Checks that the packed batch signature of every alphabet slot equals
+  /// `Predicate::Eval` of that slot's predicate, item by item.
+  void CheckBatchAgainstEval(const std::vector<PredicateRef>& preds,
+                             const std::vector<Oid>& oids) {
+    PredicateAlphabet alphabet;
+    std::vector<uint32_t> slots;
+    for (const auto& p : preds) slots.push_back(alphabet.Intern(p));
+    alphabet.Seal();
+    ASSERT_TRUE(alphabet.sealed());
+    const size_t stride = alphabet.sig_stride();
+
+    AlphabetScratch scratch;
+    alphabet.EvalBatch(store_, oids.data(), oids.size(), &scratch);
+    ASSERT_EQ(scratch.sigs.size(), oids.size() * stride);
+
+    StoreView view(store_);
+    for (size_t i = 0; i < oids.size(); ++i) {
+      for (size_t k = 0; k < preds.size(); ++k) {
+        uint32_t slot = slots[k];
+        bool batch_bit =
+            (scratch.sigs[i * stride + (slot >> 6)] >> (slot & 63)) & 1;
+        bool scalar = preds[k]->Eval(view, oids[i]);
+        ASSERT_EQ(batch_bit, scalar)
+            << "pred " << preds[k]->ToString() << " over item " << i;
+      }
+    }
+  }
+
+  ObjectStore store_;
+  TypeId rnd_type_ = 0;
+};
+
+TEST_F(AlphabetEvalTest, RandomizedBatchMatchesScalarEval) {
+  std::mt19937_64 rng(20260809);
+  std::uniform_int_distribution<int> coin(0, 3);
+  std::uniform_int_distribution<int64_t> ints(-3, 3);
+  std::uniform_real_distribution<double> doubles(-2.0, 2.0);
+  const std::vector<std::string> strings = {"", "a", "ab", "b", "zz"};
+
+  // 200 objects: random attribute values with frequent nulls, plus Items
+  // that lack the attributes, plus a NaN payload.
+  std::vector<Oid> oids;
+  for (int n = 0; n < 200; ++n) {
+    if (n % 17 == 0) {
+      ASSERT_OK_AND_ASSIGN(
+          Oid item, store_.Create("Item", {{"name", Value::String("x")}}));
+      oids.push_back(item);
+      continue;
+    }
+    std::vector<AttrValue> attrs;
+    if (coin(rng) != 0) attrs.push_back({"i", Value::Int(ints(rng))});
+    if (coin(rng) != 0) {
+      double v = (n % 23 == 0) ? std::nan("") : doubles(rng);
+      attrs.push_back({"d", Value::Double(v)});
+    }
+    if (coin(rng) != 0) {
+      attrs.push_back(
+          {"s", Value::String(strings[rng() % strings.size()])});
+    }
+    if (coin(rng) != 0) attrs.push_back({"b", Value::Bool(rng() % 2 == 0)});
+    ASSERT_OK_AND_ASSIGN(Oid oid, store_.Create("Rnd", std::move(attrs)));
+    oids.push_back(oid);
+  }
+
+  // A predicate battery: every operator, every constant family, cross-type
+  // comparisons (int column vs double constant and vice versa), null
+  // constants, and random boolean combinations.
+  const CmpOp kOps[] = {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt,
+                        CmpOp::kLe, CmpOp::kGt, CmpOp::kGe};
+  std::vector<PredicateRef> leaves;
+  for (CmpOp op : kOps) {
+    leaves.push_back(Predicate::Compare("i", op, Value::Int(1)));
+    leaves.push_back(Predicate::Compare("i", op, Value::Double(0.5)));
+    leaves.push_back(Predicate::Compare("d", op, Value::Double(0.0)));
+    leaves.push_back(Predicate::Compare("d", op, Value::Int(1)));
+    leaves.push_back(Predicate::Compare("s", op, Value::String("ab")));
+    leaves.push_back(Predicate::Compare("i", op, Value::Null()));
+    leaves.push_back(Predicate::Compare("i", op, Value::String("nope")));
+  }
+  leaves.push_back(Predicate::AttrEquals("b", Value::Bool(true)));
+  leaves.push_back(Predicate::Compare("b", CmpOp::kNe, Value::Bool(false)));
+  leaves.push_back(Predicate::True());
+
+  std::vector<PredicateRef> preds = leaves;
+  std::uniform_int_distribution<size_t> pick(0, leaves.size() - 1);
+  for (int n = 0; n < 24; ++n) {
+    auto l = leaves[pick(rng)];
+    auto r = leaves[pick(rng)];
+    switch (coin(rng)) {
+      case 0:
+        preds.push_back(Predicate::And(l, r));
+        break;
+      case 1:
+        preds.push_back(Predicate::Or(l, r));
+        break;
+      case 2:
+        preds.push_back(Predicate::Not(l));
+        break;
+      default:
+        preds.push_back(Predicate::And(Predicate::Or(l, r),
+                                       Predicate::Not(r)));
+        break;
+    }
+  }
+
+  CheckBatchAgainstEval(preds, oids);
+}
+
+TEST_F(AlphabetEvalTest, InterningAssignsOneSlotPerDistinctPredicate) {
+  PredicateAlphabet alphabet;
+  auto p1 = Predicate::Compare("i", CmpOp::kGt, Value::Int(0));
+  auto p2 = Predicate::Compare("i", CmpOp::kGt, Value::Int(0));
+  auto p3 = Predicate::Compare("i", CmpOp::kGt, Value::Int(1));
+  EXPECT_EQ(alphabet.Intern(p1), alphabet.Intern(p2));
+  EXPECT_NE(alphabet.Intern(p1), alphabet.Intern(p3));
+  EXPECT_EQ(alphabet.size(), 2u);
+  EXPECT_EQ(alphabet.sig_stride(), 1u);
+}
+
+TEST_F(AlphabetEvalTest, WideAlphabetsPackAcrossWordBoundaries) {
+  // 70 distinct predicates force a two-word signature stride; the bit for
+  // slot 64+ must land in the second word.
+  std::vector<PredicateRef> preds;
+  for (int k = 0; k < 70; ++k) {
+    preds.push_back(Predicate::Compare("i", CmpOp::kEq, Value::Int(k - 35)));
+  }
+  std::vector<Oid> oids;
+  for (int64_t v : {-35, 0, 30, 34}) {
+    ASSERT_OK_AND_ASSIGN(Oid oid,
+                         store_.Create("Rnd", {{"i", Value::Int(v)}}));
+    oids.push_back(oid);
+  }
+  CheckBatchAgainstEval(preds, oids);
+}
+
+TEST_F(AlphabetEvalTest, MissingObjectsEvaluateFalse) {
+  // An oid the store has never seen: every non-negated predicate is false,
+  // `!p` is true — same as Predicate::Eval.
+  std::vector<Oid> oids = {Oid{0xdeadbeef}};
+  std::vector<PredicateRef> preds = {
+      Predicate::AttrEquals("i", Value::Int(0)),
+      Predicate::Not(Predicate::AttrEquals("i", Value::Int(0))),
+      Predicate::True(),
+  };
+  CheckBatchAgainstEval(preds, oids);
+}
+
+}  // namespace
+}  // namespace aqua

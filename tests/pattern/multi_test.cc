@@ -1,0 +1,194 @@
+#include "pattern/multi.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "pattern/nfa.h"
+#include "test_util.h"
+
+namespace aqua {
+namespace {
+
+class MultiNfaTest : public testing::AquaTestBase {
+ protected:
+  std::vector<ListPatternRef> Bodies(const std::vector<std::string>& pats) {
+    std::vector<ListPatternRef> bodies;
+    for (const auto& p : pats) bodies.push_back(LP(p).body);
+    return bodies;
+  }
+
+  /// The reference answer: one independent search-mode NFA per pattern.
+  uint64_t SequentialMatchAll(const std::vector<ListPatternRef>& bodies,
+                              const List& l) {
+    uint64_t mask = 0;
+    for (size_t j = 0; j < bodies.size(); ++j) {
+      auto nfa = Nfa::CompileSearch(bodies[j]);
+      EXPECT_TRUE(nfa.ok()) << nfa.status().ToString();
+      if (nfa.ok() && nfa->ExistsMatch(store_, l)) mask |= 1ULL << j;
+    }
+    return mask;
+  }
+
+  /// Asserts NFA and lazy-DFA agree with N independent scans on `list_lit`.
+  void CheckAgainstSequential(const std::vector<std::string>& pats,
+                              const std::string& list_lit) {
+    std::vector<ListPatternRef> bodies = Bodies(pats);
+    List l = L(list_lit);
+    uint64_t expected = SequentialMatchAll(bodies, l);
+
+    ASSERT_OK_AND_ASSIGN(MultiNfa multi, MultiNfa::CompileSearch(bodies));
+    AlphabetScratch scratch;
+    EXPECT_EQ(multi.MatchAll(store_, l, &scratch), expected) << list_lit;
+
+    ASSERT_OK_AND_ASSIGN(LazyMultiDfa dfa, LazyMultiDfa::Make(&multi));
+    EXPECT_EQ(dfa.MatchAll(store_, l, &scratch), expected) << list_lit;
+  }
+};
+
+TEST_F(MultiNfaTest, GoldenAcceptMasksOnOverlappingPatterns) {
+  // Three patterns sharing a prefix: the per-list result masks are exactly
+  // the per-pattern existence answers, bit j = pattern j.
+  std::vector<std::string> pats = {"a b", "a b c", "a"};
+  std::vector<ListPatternRef> bodies = Bodies(pats);
+  ASSERT_OK_AND_ASSIGN(MultiNfa multi, MultiNfa::CompileSearch(bodies));
+  EXPECT_EQ(multi.num_patterns(), 3u);
+  EXPECT_EQ(multi.full_mask(), 0b111u);
+  AlphabetScratch scratch;
+  EXPECT_EQ(multi.MatchAll(store_, L("[a b c]"), &scratch), 0b111u);
+  EXPECT_EQ(multi.MatchAll(store_, L("[a b]"), &scratch), 0b101u);
+  EXPECT_EQ(multi.MatchAll(store_, L("[a]"), &scratch), 0b100u);
+  EXPECT_EQ(multi.MatchAll(store_, L("[x a b y]"), &scratch), 0b101u);
+  EXPECT_EQ(multi.MatchAll(store_, L("[x]"), &scratch), 0u);
+  EXPECT_EQ(multi.MatchAll(store_, L("[]"), &scratch), 0u);
+}
+
+TEST_F(MultiNfaTest, TrieMergesCommonPrefixes) {
+  // "a b" + "a b c" + "a d": the second pattern rides the first's two
+  // states, the third rides one — three shared-state hits total — and the
+  // shared alphabet interns `a` once across all three patterns.
+  ASSERT_OK_AND_ASSIGN(MultiNfa multi,
+                       MultiNfa::CompileSearch(Bodies({"a b", "a b c",
+                                                       "a d"})));
+  EXPECT_EQ(multi.trie_shared_states(), 3u);
+  EXPECT_EQ(multi.alphabet().size(), 4u);  // a, b, c, d
+
+  // No sharing when every pattern starts differently.
+  ASSERT_OK_AND_ASSIGN(MultiNfa disjoint,
+                       MultiNfa::CompileSearch(Bodies({"a", "b", "c"})));
+  EXPECT_EQ(disjoint.trie_shared_states(), 0u);
+
+  // The merged automaton is smaller than the sum of the parts.
+  size_t solo_states = 0;
+  for (const auto& body : Bodies({"a b", "a b c", "a d"})) {
+    ASSERT_OK_AND_ASSIGN(Nfa solo, Nfa::CompileSearch(body));
+    solo_states += solo.num_states();
+  }
+  EXPECT_LT(multi.num_states(), solo_states);
+}
+
+TEST_F(MultiNfaTest, IdenticalPatternsShareEverything) {
+  ASSERT_OK_AND_ASSIGN(MultiNfa multi,
+                       MultiNfa::CompileSearch(Bodies({"a b", "a b"})));
+  EXPECT_EQ(multi.alphabet().size(), 2u);
+  AlphabetScratch scratch;
+  // Both bits always agree.
+  EXPECT_EQ(multi.MatchAll(store_, L("[a b]"), &scratch), 0b11u);
+  EXPECT_EQ(multi.MatchAll(store_, L("[b a]"), &scratch), 0u);
+}
+
+TEST_F(MultiNfaTest, PointsAndClosuresMatchSequential) {
+  std::vector<std::string> pats = {"a @x b", "a ?* c", "[[a | b]]+", "a+ b*",
+                                   "@x", "?* c"};
+  for (const char* lst :
+       {"[a b c]", "[a @x b]", "[a @y b]", "[c]", "[]", "[@x]",
+        "[a a b b c]", "[x y z]"}) {
+    CheckAgainstSequential(pats, lst);
+  }
+}
+
+TEST_F(MultiNfaTest, RandomizedAgreementWithIndependentScans) {
+  // Random pattern groups over random lists: the merged automaton's mask
+  // must be bit-for-bit the N independent existence scans, for both the
+  // NFA simulation and the lazy DFA.
+  const std::vector<std::string> kPatternPool = {
+      "a",        "a b",      "a b c", "b c",      "a ?* c", "[[a | b]] c",
+      "a+",       "b* c",     "?* c",  "a @x b",   "c | d",  "[[a b]]+",
+      "!a b",     "a !? c",   "d",     "a [[b | c]]"};
+  const std::vector<std::string> kAtoms = {"a", "b", "c", "d", "@x", "@y"};
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 40; ++round) {
+    std::vector<std::string> pats;
+    size_t n_pats = 2 + rng() % 8;
+    for (size_t j = 0; j < n_pats; ++j) {
+      pats.push_back(kPatternPool[rng() % kPatternPool.size()]);
+    }
+    std::string lst = "[";
+    size_t len = rng() % 12;
+    for (size_t i = 0; i < len; ++i) {
+      if (i > 0) lst += ' ';
+      lst += kAtoms[rng() % kAtoms.size()];
+    }
+    lst += ']';
+    CheckAgainstSequential(pats, lst);
+  }
+}
+
+TEST_F(MultiNfaTest, LazyDfaCachesTransitions) {
+  ASSERT_OK_AND_ASSIGN(MultiNfa multi,
+                       MultiNfa::CompileSearch(Bodies({"a b", "b c"})));
+  ASSERT_OK_AND_ASSIGN(LazyMultiDfa dfa, LazyMultiDfa::Make(&multi));
+  AlphabetScratch scratch;
+  List l = L("[a b c a b c a b c]");
+  uint64_t first = dfa.MatchAll(store_, l, &scratch);
+  uint64_t misses_after_first = dfa.cache_misses();
+  uint64_t second = dfa.MatchAll(store_, l, &scratch);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, 0b11u);
+  // The second scan replays cached transitions only.
+  EXPECT_EQ(dfa.cache_misses(), misses_after_first);
+  EXPECT_GT(dfa.cache_hits(), 0u);
+}
+
+TEST_F(MultiNfaTest, CompileRejectsBadGroups) {
+  EXPECT_TRUE(MultiNfa::CompileSearch({}).status().IsInvalidArgument());
+  std::vector<ListPatternRef> many(65, LP("a").body);
+  EXPECT_TRUE(MultiNfa::CompileSearch(many).status().IsInvalidArgument());
+  // Tree atoms are the matcher's job, as in Nfa::Compile.
+  std::vector<ListPatternRef> with_tree = {
+      ListPattern::TreeAtom(TreePattern::AnyLeaf())};
+  EXPECT_TRUE(
+      MultiNfa::CompileSearch(with_tree).status().IsInvalidArgument());
+}
+
+TEST_F(MultiNfaTest, LazyDfaRejectsWideAlphabets) {
+  // 59 distinct predicates exceed the 58-bit signature budget: the NFA
+  // still answers, the DFA refuses.
+  std::vector<ListPatternRef> bodies;
+  for (int k = 0; k < 59; ++k) {
+    bodies.push_back(
+        ListPattern::Pred(Predicate::Compare("val", CmpOp::kEq,
+                                             Value::Int(k))));
+  }
+  // 59 patterns of one predicate each (<= 64 patterns, > 58 predicates).
+  ASSERT_OK_AND_ASSIGN(MultiNfa multi, MultiNfa::CompileSearch(bodies));
+  EXPECT_EQ(multi.alphabet().size(), 59u);
+  EXPECT_TRUE(LazyMultiDfa::Make(&multi).status().IsInvalidArgument());
+  AlphabetScratch scratch;
+  List l = L("[a]");  // Items carry val; `a` has val null -> no matches
+  EXPECT_EQ(multi.MatchAll(store_, l, &scratch), 0u);
+}
+
+TEST_F(MultiNfaTest, SixtyFourPatternsFillTheMask) {
+  std::vector<ListPatternRef> bodies(64, LP("a").body);
+  ASSERT_OK_AND_ASSIGN(MultiNfa multi, MultiNfa::CompileSearch(bodies));
+  EXPECT_EQ(multi.full_mask(), ~0ULL);
+  AlphabetScratch scratch;
+  EXPECT_EQ(multi.MatchAll(store_, L("[a]"), &scratch), ~0ULL);
+  EXPECT_EQ(multi.MatchAll(store_, L("[b]"), &scratch), 0u);
+}
+
+}  // namespace
+}  // namespace aqua

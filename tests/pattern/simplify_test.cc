@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "pattern/alphabet.h"
 #include "test_util.h"
 
 namespace aqua {
@@ -71,6 +72,57 @@ TEST_F(SimplifyTest, ConcatAtWithoutFreePointDropsSecond) {
 TEST_F(SimplifyTest, ChildrenSequencesSimplifiedRecursively) {
   EXPECT_EQ(SimplifiedTree("r([[a*]]* b)"),
             "{name == \"r\"}({name == \"a\"}* {name == \"b\"})");
+}
+
+TEST_F(SimplifyTest, DuplicatePredicatesCollapseToOneNode) {
+  // Two structurally equal predicate atoms: after simplification the later
+  // occurrence aliases the first (pointer identity), so pointer-keyed
+  // downstream caches see one predicate.
+  auto p1 = Predicate::AttrEquals("name", Value::String("a"));
+  auto p2 = Predicate::AttrEquals("name", Value::String("a"));
+  ASSERT_NE(p1.get(), p2.get());
+  auto pattern = ListPattern::Concat(
+      {ListPattern::Pred(p1), ListPattern::Any(), ListPattern::Pred(p2)});
+  auto simplified = SimplifyListPattern(pattern);
+  ASSERT_EQ(simplified->kind(), ListPattern::Kind::kConcat);
+  ASSERT_EQ(simplified->parts().size(), 3u);
+  // The first occurrence is untouched; the duplicate now shares its node.
+  EXPECT_EQ(simplified->parts()[0]->pred().get(), p1.get());
+  EXPECT_EQ(simplified->parts()[2]->pred().get(), p1.get());
+}
+
+TEST_F(SimplifyTest, TreePredicatesDedupeAcrossLeavesAndNodes) {
+  auto p1 = Predicate::AttrEquals("name", Value::String("a"));
+  auto p2 = Predicate::AttrEquals("name", Value::String("a"));
+  auto pattern = TreePattern::Node(
+      p1, ListPattern::Concat({ListPattern::Pred(
+               Predicate::AttrEquals("name", Value::String("b"))),
+           ListPattern::TreeAtom(TreePattern::Leaf(p2))}));
+  auto simplified = SimplifyTreePattern(pattern);
+  ASSERT_EQ(simplified->kind(), TreePattern::Kind::kNode);
+  const auto& parts = simplified->children()->parts();
+  ASSERT_EQ(parts.size(), 2u);
+  // The node predicate and the structurally equal leaf predicate collapse
+  // to one canonical node (whichever the traversal saw first).
+  EXPECT_EQ(simplified->pred().get(), parts[1]->tree_atom()->pred().get());
+  EXPECT_TRUE(simplified->pred().get() == p1.get() ||
+              simplified->pred().get() == p2.get());
+}
+
+TEST_F(SimplifyTest, SharedInternerDedupesAcrossPatterns) {
+  // The batch compiler passes one interner across a query group: the
+  // second pattern's predicates alias the first pattern's.
+  PredicateInterner interner;
+  auto a1 = SimplifyListPattern(LP("a b").body, &interner);
+  auto a2 = SimplifyListPattern(LP("a c").body, &interner);
+  EXPECT_EQ(a1->parts()[0]->pred().get(), a2->parts()[0]->pred().get());
+  EXPECT_NE(a1->parts()[1]->pred().get(), a2->parts()[1]->pred().get());
+  // A null interner disables deduplication: the two structurally equal
+  // predicates stay distinct nodes.
+  auto lp = LP("a ? a");
+  auto kept = SimplifyListPattern(lp.body, nullptr);
+  EXPECT_EQ(kept->parts()[0]->pred().get(), lp.body->parts()[0]->pred().get());
+  EXPECT_NE(kept->parts()[0]->pred().get(), kept->parts()[2]->pred().get());
 }
 
 TEST_F(SimplifyTest, NullPatternsPassThrough) {

@@ -102,6 +102,7 @@ class Shell {
     if (cmd == "\\lint") return CmdLint(rest);
     if (cmd == "\\flight") return CmdFlight(rest);
     if (cmd == "\\digests") return CmdDigests(rest);
+    if (cmd == "\\hot") return CmdHot(rest);
     if (cmd == "\\serve") return CmdServe(rest);
     if (cmd == "\\slowlog") return CmdSlowLog(rest);
     if (cmd == "\\profile") return CmdProfile(rest);
@@ -151,6 +152,8 @@ class Shell {
         "morsels\n"
         "  \\digests [json|reset]       per-plan-shape digest table "
         "(calls, p50/p95/p99)\n"
+        "  \\hot [n]                    top-n plan shapes by total time "
+        "(default 10)\n"
         "  \\serve <port>|off           OpenMetrics scrape endpoint on "
         "127.0.0.1\n"
         "  \\slowlog <ms> [path]        slow-query log threshold (0 "
@@ -667,6 +670,40 @@ class Shell {
       std::cout << table.ToText();
     } else {
       return Status::InvalidArgument("usage: \\digests [json|reset]");
+    }
+    return Status::OK();
+  }
+
+  Status CmdHot(const std::string& arg) {
+    size_t top_n = 10;
+    if (!arg.empty()) {
+      char* end = nullptr;
+      unsigned long n = std::strtoul(arg.c_str(), &end, 10);
+      if (end == arg.c_str() || *end != '\0' || n == 0) {
+        return Status::InvalidArgument("usage: \\hot [n]");
+      }
+      top_n = static_cast<size_t>(n);
+    }
+    std::vector<obs::DigestRow> rows = obs::DigestTable::Global().Rows();
+    if (rows.empty()) {
+      std::cout << "digest table empty (run some queries first)\n";
+      return Status::OK();
+    }
+    if (rows.size() > top_n) rows.resize(top_n);
+    std::cout << "hottest plan shapes by total time:\n";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%4s %8s %12s %10s %10s %18s  %s\n", "#",
+                  "calls", "total_ms", "mean_ms", "p95_ms", "fingerprint",
+                  "plan");
+    std::cout << buf;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const obs::DigestRow& r = rows[i];
+      std::snprintf(buf, sizeof(buf), "%4zu %8llu %12.3f %10.3f %10.3f %18llx  ",
+                    i + 1, static_cast<unsigned long long>(r.calls),
+                    static_cast<double>(r.total_ns) / 1e6, r.mean_ns() / 1e6,
+                    r.p95_ns() / 1e6,
+                    static_cast<unsigned long long>(r.fingerprint));
+      std::cout << buf << r.text << "\n";
     }
     return Status::OK();
   }
