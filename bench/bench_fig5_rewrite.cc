@@ -102,5 +102,84 @@ void BM_Fig5_MatchOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_Fig5_MatchOnly)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
+// --- Planner-driven match, cold vs stats-warmed ----------------------------
+//
+// The matching half again, but end-to-end through the optimizer: the parse
+// tree is a registered collection with an index on `op`, so the rewriter
+// can (and should) choose the indexed split-anchor form. The A/B pair
+// measures that decision with a cold stats warehouse vs one warmed by
+// prior executions of both candidates.
+
+struct PlannedMatchWorkload {
+  Database db;
+  TreePatternRef pattern;
+  PlanRef plan;
+};
+
+std::unique_ptr<PlannedMatchWorkload> MakePlannedMatchWorkload(size_t exprs) {
+  auto w = std::make_unique<PlannedMatchWorkload>();
+  ParseTreeSpec spec;
+  spec.num_exprs = exprs;
+  spec.and_fraction = 0.7;
+  Check(w->db.RegisterTree(
+      "parse", OrDie(MakeQueryParseTree(w->db.store(), spec))));
+  Check(w->db.CreateIndex("parse", "op"));
+  w->pattern = SelectAndPattern();
+  w->plan = Q::TreeSubSelect(Q::ScanTree("parse"), w->pattern);
+  return w;
+}
+
+size_t PlannedMatchOnce(PlannedMatchWorkload& w, bool* used_index) {
+  Rewriter rewriter(&w.db, &obs::StatsWarehouse::Global());
+  rewriter.AddDefaultRules();
+  PlanRef plan = OrDie(rewriter.Optimize(w.plan));
+  *used_index = plan->op == PlanOp::kIndexedSubSelect;
+  Executor exec(&w.db);
+  return OrDie(exec.Execute(plan)).size();
+}
+
+void BM_Fig5_PlannedMatch_Cold(benchmark::State& state) {
+  auto w = MakePlannedMatchWorkload(static_cast<size_t>(state.range(0)));
+  size_t matches = 0;
+  bool used_index = false;
+  for (auto _ : state) {
+    state.PauseTiming();
+    obs::StatsWarehouse::Global().Reset();
+    state.ResumeTiming();
+    matches = PlannedMatchOnce(*w, &used_index);
+    benchmark::DoNotOptimize(matches);
+  }
+  state.counters["matches"] = static_cast<double>(matches);
+  state.counters["used_index"] = used_index ? 1 : 0;
+}
+
+void BM_Fig5_PlannedMatch_Warmed(benchmark::State& state) {
+  auto w = MakePlannedMatchWorkload(static_cast<size_t>(state.range(0)));
+  obs::StatsWarehouse::Global().Reset();
+  {
+    Rewriter cold(&w->db);
+    cold.AddDefaultRules();
+    PlanRef alt = OrDie(cold.Optimize(w->plan));
+    Executor exec(&w->db);
+    for (int i = 0; i < 3; ++i) {
+      OrDie(exec.Execute(w->plan));
+      OrDie(exec.Execute(alt));
+    }
+  }
+  size_t matches = 0;
+  bool used_index = false;
+  for (auto _ : state) {
+    matches = PlannedMatchOnce(*w, &used_index);
+    benchmark::DoNotOptimize(matches);
+  }
+  state.counters["matches"] = static_cast<double>(matches);
+  state.counters["used_index"] = used_index ? 1 : 0;
+}
+
+BENCHMARK(BM_Fig5_PlannedMatch_Cold)->Arg(64)->Arg(256);
+BENCHMARK(BM_Fig5_PlannedMatch_Warmed)->Arg(64)->Arg(256);
+
 }  // namespace
 }  // namespace aqua
+
+AQUA_BENCH_MAIN()

@@ -120,5 +120,120 @@ void BM_SubSelect_PlannerChoice(benchmark::State& state) {
 }
 BENCHMARK(BM_SubSelect_PlannerChoice)->Arg(1000)->Arg(8000);
 
+// --- Stats-warehouse A/B ---------------------------------------------------
+//
+// The same planner decision with a cold stats warehouse (static cost-model
+// constants) vs one warmed by prior executions of both candidate plans
+// (learned selectivities + observed candidates-per-probe). The forced
+// variants below bracket the choice; CI's plan-choice gate asserts the
+// warmed planner never lands >2x slower than the best forced alternative.
+
+struct PlanChoiceWorkload {
+  Database db;
+  TreePatternRef pattern;
+  PlanRef naive;
+  PlanRef indexed;
+};
+
+std::unique_ptr<PlanChoiceWorkload> MakePlanChoiceWorkload(size_t nodes) {
+  auto w = std::make_unique<PlanChoiceWorkload>();
+  Check(RegisterItemType(w->db.store()));
+  RandomTreeSpec spec;
+  spec.num_nodes = nodes;
+  spec.labels = Labels(8);
+  spec.seed = 1234;
+  Check(w->db.RegisterTree("t", OrDie(MakeRandomTree(w->db.store(), spec))));
+  Check(w->db.CreateIndex("t", "name"));
+  w->pattern =
+      OrDie(ParseTreePattern("{name == \"t0\"}(?* {name == \"t1\"} ?*)"));
+  w->naive = Q::TreeSubSelect(Q::ScanTree("t"), w->pattern);
+  w->indexed = Q::IndexedSubSelect(
+      "t", "name", Predicate::AttrEquals("name", Value::String("t0")),
+      w->pattern);
+  return w;
+}
+
+/// Executes `plan` once through a fresh executor; the forced baselines.
+void RunForcedPlan(benchmark::State& state, const PlanRef& plan,
+                   PlanChoiceWorkload& w) {
+  size_t results = 0;
+  for (auto _ : state) {
+    Executor exec(&w.db);
+    results = OrDie(exec.Execute(plan)).size();
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["results"] = static_cast<double>(results);
+}
+
+void BM_PlanChoice_Naive(benchmark::State& state) {
+  auto w = MakePlanChoiceWorkload(static_cast<size_t>(state.range(0)));
+  RunForcedPlan(state, w->naive, *w);
+}
+
+void BM_PlanChoice_Indexed(benchmark::State& state) {
+  auto w = MakePlanChoiceWorkload(static_cast<size_t>(state.range(0)));
+  RunForcedPlan(state, w->indexed, *w);
+}
+
+/// Optimize-then-execute with the stats-informed rewriter against `w`.
+size_t OptimizeAndRun(PlanChoiceWorkload& w, bool* used_index) {
+  Rewriter rewriter(&w.db, &obs::StatsWarehouse::Global());
+  rewriter.AddDefaultRules();
+  PlanRef plan = OrDie(rewriter.Optimize(w.naive));
+  *used_index = plan->op == PlanOp::kIndexedSubSelect;
+  Executor exec(&w.db);
+  return OrDie(exec.Execute(plan)).size();
+}
+
+void BM_PlanChoice_Cold(benchmark::State& state) {
+  auto w = MakePlanChoiceWorkload(static_cast<size_t>(state.range(0)));
+  size_t results = 0;
+  bool used_index = false;
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Every iteration decides from static constants: no learned records.
+    obs::StatsWarehouse::Global().Reset();
+    state.ResumeTiming();
+    results = OptimizeAndRun(*w, &used_index);
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["results"] = static_cast<double>(results);
+  state.counters["used_index"] = used_index ? 1 : 0;
+}
+
+void BM_PlanChoice_Warmed(benchmark::State& state) {
+  auto w = MakePlanChoiceWorkload(static_cast<size_t>(state.range(0)));
+  // Warm the warehouse past kMinConfidence with both alternatives: the
+  // naive plan and whatever the static rewriter picks (so the learned
+  // fingerprints match the candidates the measured rewriter will rank).
+  obs::StatsWarehouse::Global().Reset();
+  {
+    Rewriter cold(&w->db);
+    cold.AddDefaultRules();
+    PlanRef alt = OrDie(cold.Optimize(w->naive));
+    Executor exec(&w->db);
+    for (int i = 0; i < 3; ++i) {
+      OrDie(exec.Execute(w->naive));
+      OrDie(exec.Execute(alt));
+      OrDie(exec.Execute(w->indexed));
+    }
+  }
+  size_t results = 0;
+  bool used_index = false;
+  for (auto _ : state) {
+    results = OptimizeAndRun(*w, &used_index);
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["results"] = static_cast<double>(results);
+  state.counters["used_index"] = used_index ? 1 : 0;
+}
+
+BENCHMARK(BM_PlanChoice_Naive)->Arg(1000)->Arg(8000);
+BENCHMARK(BM_PlanChoice_Indexed)->Arg(1000)->Arg(8000);
+BENCHMARK(BM_PlanChoice_Cold)->Arg(1000)->Arg(8000);
+BENCHMARK(BM_PlanChoice_Warmed)->Arg(1000)->Arg(8000);
+
 }  // namespace
 }  // namespace aqua
+
+AQUA_BENCH_MAIN()

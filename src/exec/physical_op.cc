@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "obs/digest.h"
 #include "obs/metrics.h"
 
 namespace aqua::exec {
@@ -68,6 +69,11 @@ Result<Datum> PhysicalOp::Run(ExecContext& ctx) {
   }
   uint64_t cpu0 =
       ctx.query != nullptr ? obs::QueryContext::ThreadCpuNs() : 0;
+  // `Run` is serial on the query thread (only fan-out *items* go to
+  // workers), so the probe-counter delta around RunImpl is exactly this
+  // op's — the basis for the per-op candidates-per-probe statistic.
+  size_t probes0 = ctx.index_probes.load(std::memory_order_relaxed);
+  size_t cands0 = ctx.index_candidates.load(std::memory_order_relaxed);
   Result<Datum> result = RunImpl(ctx);
   uint64_t ns = span.ElapsedNs();
   AQUA_OBS_RECORD("exec.operator_ns", ns);
@@ -82,6 +88,31 @@ Result<Datum> PhysicalOp::Run(ExecContext& ctx) {
       size_t out = DatumCardinality(*result);
       last_output_size_.store(out, std::memory_order_relaxed);
       span.AddAttr("out", static_cast<int64_t>(out));
+      bool indexed = plan_->op == PlanOp::kIndexedSubSelect ||
+                     plan_->op == PlanOp::kIndexedListSubSelect;
+      size_t dprobes =
+          ctx.index_probes.load(std::memory_order_relaxed) - probes0;
+      size_t dcands =
+          ctx.index_candidates.load(std::memory_order_relaxed) - cands0;
+      if (indexed) {
+        probes_.fetch_add(dprobes, std::memory_order_relaxed);
+        candidates_.fetch_add(dcands, std::memory_order_relaxed);
+      }
+      // Observed input cardinality: what this op actually consumed. With
+      // inputs it is their combined outputs; an index probe consumes its
+      // candidate set; a source leaf "consumes" what it materialized
+      // (selectivity 1 by definition).
+      size_t in = 0;
+      if (!children_.empty()) {
+        for (const PhysicalOpRef& child : children_) {
+          in += child->last_output_size();
+        }
+      } else if (indexed) {
+        in = dcands;
+      } else {
+        in = out;
+      }
+      in_rows_.store(in, std::memory_order_relaxed);
       if (ctx.query != nullptr) {
         // Charge this op's materialized output and release the children's:
         // their results were just consumed to produce ours, so the live
@@ -105,6 +136,38 @@ Result<Datum> PhysicalOp::RunChild(size_t i, ExecContext& ctx) {
     return Status::Internal("plan node missing input " + std::to_string(i));
   }
   return children_[i]->Run(ctx);
+}
+
+namespace {
+
+void CollectOpSamplesInto(const PhysicalOpRef& op, const std::string& path,
+                          std::vector<obs::OpSample>* out) {
+  if (op == nullptr) return;
+  if (op->plan() != nullptr && op->invocations() > 0) {
+    obs::OpSample s;
+    s.op_name = PlanOpToString(op->plan()->op);
+    s.path = path;
+    s.node_fp = obs::FingerprintPlan(op->plan_ref());
+    s.calls = op->invocations();
+    s.in_rows = op->in_rows();
+    s.out_rows = op->last_output_size();
+    s.wall_ns = op->total_ns();
+    s.cpu_ns = op->cpu_ns();
+    s.probes = op->probes();
+    s.candidates = op->candidates();
+    out->push_back(std::move(s));
+  }
+  for (size_t i = 0; i < op->children().size(); ++i) {
+    CollectOpSamplesInto(op->children()[i], path + "." + std::to_string(i),
+                         out);
+  }
+}
+
+}  // namespace
+
+void CollectOpSamples(const PhysicalOpRef& root,
+                      std::vector<obs::OpSample>* out) {
+  CollectOpSamplesInto(root, "0", out);
 }
 
 }  // namespace aqua::exec

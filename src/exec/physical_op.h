@@ -11,6 +11,7 @@
 #include "exec/thread_pool.h"
 #include "object/store_view.h"
 #include "obs/query_context.h"
+#include "obs/stats.h"
 #include "obs/trace.h"
 #include "query/database.h"
 #include "query/plan.h"
@@ -118,6 +119,25 @@ class PhysicalOp {
   size_t out_bytes() const {
     return out_bytes_.load(std::memory_order_relaxed);
   }
+  uint64_t total_ns() const {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  uint64_t cpu_ns() const { return cpu_ns_.load(std::memory_order_relaxed); }
+  /// Observed input cardinality of the last call: the children's combined
+  /// outputs; for an index probe the candidate count; for a source leaf
+  /// its own output (the rows it materialized).
+  size_t in_rows() const { return in_rows_.load(std::memory_order_relaxed); }
+  /// Index probes issued / candidates returned during this op's `Run`
+  /// (indexed ops only — 0 elsewhere; exact because `Run` is serial on the
+  /// query thread, so the ExecContext counter delta belongs to this op).
+  size_t probes() const { return probes_.load(std::memory_order_relaxed); }
+  size_t candidates() const {
+    return candidates_.load(std::memory_order_relaxed);
+  }
+
+  /// The logical subplan this op was compiled from, shared form — what
+  /// `obs::FingerprintPlan` keys the stats warehouse with.
+  const PlanRef& plan_ref() const { return plan_; }
 
  protected:
   virtual Result<Datum> RunImpl(ExecContext& ctx) = 0;
@@ -135,12 +155,23 @@ class PhysicalOp {
   std::atomic<size_t> last_output_size_{0};
   std::atomic<uint64_t> cpu_ns_{0};
   std::atomic<uint64_t> out_bytes_{0};
+  std::atomic<size_t> in_rows_{0};
+  std::atomic<size_t> probes_{0};
+  std::atomic<size_t> candidates_{0};
 };
 
 /// Rough heap footprint of a datum (node/element payloads plus container
 /// overhead) — the arena-level estimate behind per-query memory
 /// accounting. O(size of the datum).
 size_t ApproxDatumBytes(const Datum& d);
+
+/// The post-run harvest walk: flattens the executed op tree into
+/// `obs::OpSample`s for `StatsWarehouse::Harvest`, preorder, with stable
+/// child-index paths ("0", "0.0", "0.1", ...). Ops that never ran
+/// (short-circuited branches) are skipped. `node_fp` is
+/// `obs::FingerprintPlan` of each op's subplan.
+void CollectOpSamples(const PhysicalOpRef& root,
+                      std::vector<obs::OpSample>* out);
 
 }  // namespace aqua::exec
 

@@ -117,6 +117,54 @@ std::string ToOpenMetrics(const Snapshot& snap,
       }
     }
   }
+  if (opts.stats != nullptr) {
+    std::vector<OpStatsRow> rows = opts.stats->Rows();
+    if (rows.size() > opts.max_stats) rows.resize(opts.max_stats);
+    auto labeled = [](const OpStatsRow& r) {
+      char fp[24];
+      std::snprintf(fp, sizeof(fp), "%016llx",
+                    static_cast<unsigned long long>(r.plan_fp));
+      return std::string("{plan=\"") + fp + "\",path=\"" + r.path +
+             "\",op=\"" + r.op_name + "\"}";
+    };
+    std::string calls = MangleName(opts.prefix, "stats_op_calls");
+    AppendHelpType(&out, calls, "counter",
+                   "harvests folded into each per-op stats record");
+    for (const OpStatsRow& r : rows) {
+      out += calls + "_total" + labeled(r) + " " + std::to_string(r.calls) +
+             "\n";
+    }
+    struct G {
+      const char* suffix;
+      const char* help;
+      double OpStatsRow::*field;
+    };
+    for (const G& g :
+         {G{"stats_op_out_rows", "EWMA observed output cardinality per op",
+            &OpStatsRow::out_rows},
+          G{"stats_op_selectivity",
+            "EWMA observed selectivity (out/in) per op",
+            &OpStatsRow::selectivity},
+          G{"stats_op_wall_ns", "EWMA wall nanoseconds per op",
+            &OpStatsRow::wall_ns}}) {
+      std::string name = MangleName(opts.prefix, g.suffix);
+      AppendHelpType(&out, name, "gauge", g.help);
+      for (const OpStatsRow& r : rows) {
+        char val[32];
+        std::snprintf(val, sizeof(val), "%.3f", r.*g.field);
+        out += name + labeled(r) + " " + val + "\n";
+      }
+    }
+    std::string cpp = MangleName(opts.prefix, "stats_op_candidates_per_probe");
+    AppendHelpType(&out, cpp, "gauge",
+                   "EWMA observed index candidates per probe (indexed ops)");
+    for (const OpStatsRow& r : rows) {
+      if (r.candidates_per_probe < 0) continue;
+      char val[32];
+      std::snprintf(val, sizeof(val), "%.3f", r.candidates_per_probe);
+      out += cpp + labeled(r) + " " + val + "\n";
+    }
+  }
   out += "# EOF\n";
   return out;
 }
@@ -411,11 +459,15 @@ std::string MetricsHttpServer::Respond(const std::string& path) const {
   if (path == "/metrics") {
     OpenMetricsOptions opts;
     opts.digests = &DigestTable::Global();
+    opts.stats = &StatsWarehouse::Global();
     body = ToOpenMetrics(Registry::Global().Snap(), opts);
     content_type =
         "application/openmetrics-text; version=1.0.0; charset=utf-8";
   } else if (path == "/digests") {
     body = DigestTable::Global().ToJson();
+    content_type = "application/json";
+  } else if (path == "/stats") {
+    body = StatsWarehouse::Global().ToJson();
     content_type = "application/json";
   } else if (path == "/flight") {
     body = FlightRecorder::Global().ToJson();

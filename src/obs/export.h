@@ -11,6 +11,7 @@
 #include "obs/digest.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
+#include "obs/stats.h"
 
 namespace aqua::obs {
 
@@ -23,6 +24,11 @@ struct OpenMetricsOptions {
   /// total time first.
   const DigestTable* digests = nullptr;
   size_t max_digests = 50;
+  /// When set, the stats warehouse is exported as labeled per-op series
+  /// (`<prefix>stats_op_calls_total{plan="<hex>",path="0.0",op="..."}`
+  /// etc.), top rows by EWMA wall time first.
+  const StatsWarehouse* stats = nullptr;
+  size_t max_stats = 50;
 };
 
 /// Renders `snap` in OpenMetrics text exposition format: counters (with
@@ -51,7 +57,9 @@ Status ParseHttpRequestPath(std::string_view req, std::string* path);
 /// Minimal embedded HTTP/1.1 listener serving the observability surface:
 ///
 ///   GET /metrics  — OpenMetrics exposition of the registry + digest table
+///                    + stats warehouse
 ///   GET /digests  — digest table as JSON
+///   GET /stats    — runtime statistics warehouse as JSON
 ///   GET /flight   — flight-recorder dump as JSON
 ///   GET /tasks    — live task table (in-flight queries) as JSON
 ///   GET /healthz  — "ok"

@@ -163,12 +163,13 @@ Registry::Registry() {
         "index.candidates", "algebra.structural_nodes_visited",
         "exec.executes", "exec.operators_evaluated", "exec.trees_processed",
         "exec.lists_processed", "exec.batched_patterns",
-        "exec.batch_scan_rows"}) {
+        "exec.batch_scan_rows", "stats.harvests", "stats.evictions",
+        "cost.learned_hits", "cost.learned_misses"}) {
     counters_.emplace(name, std::unique_ptr<Counter>(new Counter(name)));
   }
   for (const char* name :
        {"exec.pool_workers_active", "exec.pool_queue_depth",
-        "obs.recorder_occupancy"}) {
+        "obs.recorder_occupancy", "stats.records_live"}) {
     gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(name)));
   }
   for (const char* name :

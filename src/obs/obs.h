@@ -15,6 +15,8 @@
 ///    normalized-plan fingerprint, with log-bucket latency quantiles
 ///  * export.h   — OpenMetrics text exposition + the embedded scrape
 ///    endpoint (`MetricsHttpServer`)
+///  * stats.h    — runtime statistics warehouse: per-op observed
+///    cardinalities and learned selectivities fed back into the cost model
 ///  * json.h     — the minimal JSON writer the above share
 ///
 /// See docs/OBSERVABILITY.md for the metric naming scheme and how the
@@ -25,6 +27,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
+#include "obs/stats.h"
 #include "obs/trace.h"
 
 #endif  // AQUA_OBS_OBS_H_

@@ -1,0 +1,447 @@
+#include "obs/stats.h"
+
+#ifndef AQUA_OBS_DISABLED
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace aqua::obs {
+
+namespace {
+
+/// Default record cap, shared with `AQUA_DIGEST_CAP`'s semantics: override
+/// via `AQUA_STATS_FILE`-sibling env `AQUA_STATS_CAP`, 0/garbage falls back.
+size_t DefaultStatsCapacity() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  const char* env = std::getenv("AQUA_STATS_CAP");
+  if (env != nullptr) {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<size_t>(v);
+  }
+  return 4096;
+}
+
+double Ewma(double prev, double obs, uint64_t prev_calls) {
+  if (prev_calls == 0) return obs;
+  return prev + StatsWarehouse::kAlpha * (obs - prev);
+}
+
+std::string HexFp(uint64_t fp) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+}  // namespace
+
+StatsWarehouse::StatsWarehouse(size_t capacity) {
+  MutexLock lock(mu_);
+  capacity_ = capacity;
+}
+
+StatsWarehouse& StatsWarehouse::Global() {
+  static StatsWarehouse* instance = new StatsWarehouse();  // leaked
+  return *instance;
+}
+
+size_t StatsWarehouse::CapLocked() const {
+  if (capacity_ > 0) return capacity_;
+  return DefaultStatsCapacity();
+}
+
+size_t StatsWarehouse::EvictLocked(size_t cap) {
+  size_t evicted = 0;
+  while (records_.size() > cap) {
+    auto victim = records_.begin();
+    for (auto it = records_.begin(); it != records_.end(); ++it) {
+      if (it->second.last_update_seq < victim->second.last_update_seq) {
+        victim = it;
+      }
+    }
+    records_.erase(victim);
+    ++evicted;
+  }
+  while (learned_.size() > cap) {
+    auto victim = learned_.begin();
+    for (auto it = learned_.begin(); it != learned_.end(); ++it) {
+      if (it->second.last_update_seq < victim->second.last_update_seq) {
+        victim = it;
+      }
+    }
+    learned_.erase(victim);
+    ++evicted;
+  }
+  return evicted;
+}
+
+void StatsWarehouse::FoldSampleLocked(uint64_t plan_fp, const OpSample& s) {
+  const uint64_t seq = ++update_seq_;
+  const double out = static_cast<double>(s.out_rows);
+  const double in = static_cast<double>(s.in_rows);
+  const double sel =
+      std::min(1.0, out / std::max(in, 1.0));  // observed selectivity
+  const double cpp = s.probes > 0 ? static_cast<double>(s.candidates) /
+                                        static_cast<double>(s.probes)
+                                  : -1.0;
+
+  Record& r = records_[Key(plan_fp, s.path)];
+  r.op_name = s.op_name;
+  r.node_fp = s.node_fp;
+  r.in_rows = Ewma(r.in_rows, in, r.calls);
+  r.out_rows = Ewma(r.out_rows, out, r.calls);
+  r.wall_ns = Ewma(r.wall_ns, static_cast<double>(s.wall_ns), r.calls);
+  r.cpu_ns = Ewma(r.cpu_ns, static_cast<double>(s.cpu_ns), r.calls);
+  r.selectivity = Ewma(r.selectivity, sel, r.calls);
+  if (cpp >= 0) {
+    r.candidates_per_probe =
+        r.candidates_per_probe < 0 ? cpp
+                                   : Ewma(r.candidates_per_probe, cpp, 1);
+  }
+  r.calls += 1;
+  r.last_update_seq = seq;
+
+  Learned& l = learned_[s.node_fp];
+  l.selectivity = Ewma(l.selectivity, sel, l.calls);
+  if (cpp >= 0) {
+    l.candidates_per_probe =
+        l.candidates_per_probe < 0 ? cpp
+                                   : Ewma(l.candidates_per_probe, cpp, 1);
+  }
+  l.calls += 1;
+  l.last_update_seq = seq;
+}
+
+void StatsWarehouse::Harvest(uint64_t plan_fp,
+                             const std::vector<OpSample>& samples) {
+  if (samples.empty()) return;
+  size_t live = 0;
+  size_t evicted = 0;
+  {
+    MutexLock lock(mu_);
+    const size_t cap = CapLocked();
+    for (const OpSample& s : samples) {
+      // Evict-before-insert, like the digest table: make room so the new
+      // key itself is never the immediate victim.
+      if (records_.size() >= cap &&
+          records_.find(Key(plan_fp, s.path)) == records_.end()) {
+        evicted += EvictLocked(cap - 1);
+      }
+      FoldSampleLocked(plan_fp, s);
+    }
+    evicted += EvictLocked(cap);
+    live = records_.size();
+  }
+  AQUA_OBS_COUNT("stats.harvests", 1);
+  if (evicted > 0) AQUA_OBS_COUNT("stats.evictions", evicted);
+  AQUA_OBS_GAUGE_SET("stats.records_live", static_cast<int64_t>(live));
+}
+
+bool StatsWarehouse::LearnedSelectivity(uint64_t node_fp, double* selectivity,
+                                        uint64_t* calls) const {
+  MutexLock lock(mu_);
+  auto it = learned_.find(node_fp);
+  if (it == learned_.end()) return false;
+  if (selectivity != nullptr) *selectivity = it->second.selectivity;
+  if (calls != nullptr) *calls = it->second.calls;
+  return true;
+}
+
+bool StatsWarehouse::LearnedCandidates(uint64_t node_fp,
+                                       double* candidates_per_probe,
+                                       uint64_t* calls) const {
+  MutexLock lock(mu_);
+  auto it = learned_.find(node_fp);
+  if (it == learned_.end() || it->second.candidates_per_probe < 0) {
+    return false;
+  }
+  if (candidates_per_probe != nullptr) {
+    *candidates_per_probe = it->second.candidates_per_probe;
+  }
+  if (calls != nullptr) *calls = it->second.calls;
+  return true;
+}
+
+OpStatsRow StatsWarehouse::MakeRow(const Key& key, const Record& r) {
+  OpStatsRow row;
+  row.plan_fp = key.first;
+  row.path = key.second;
+  row.op_name = r.op_name;
+  row.node_fp = r.node_fp;
+  row.calls = r.calls;
+  row.in_rows = r.in_rows;
+  row.out_rows = r.out_rows;
+  row.wall_ns = r.wall_ns;
+  row.cpu_ns = r.cpu_ns;
+  row.selectivity = r.selectivity;
+  row.candidates_per_probe = r.candidates_per_probe;
+  return row;
+}
+
+std::vector<OpStatsRow> StatsWarehouse::Rows() const {
+  std::vector<OpStatsRow> rows;
+  {
+    MutexLock lock(mu_);
+    rows.reserve(records_.size());
+    for (const auto& [key, rec] : records_) rows.push_back(MakeRow(key, rec));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const OpStatsRow& a, const OpStatsRow& b) {
+              if (a.wall_ns != b.wall_ns) return a.wall_ns > b.wall_ns;
+              if (a.plan_fp != b.plan_fp) return a.plan_fp < b.plan_fp;
+              return a.path < b.path;
+            });
+  return rows;
+}
+
+std::vector<OpStatsRow> StatsWarehouse::RowsFor(uint64_t plan_fp) const {
+  std::vector<OpStatsRow> rows;
+  MutexLock lock(mu_);
+  // Keys are (plan_fp, path) ordered pairs, so one plan's records are a
+  // contiguous, path-ordered range.
+  for (auto it = records_.lower_bound(Key(plan_fp, ""));
+       it != records_.end() && it->first.first == plan_fp; ++it) {
+    rows.push_back(MakeRow(it->first, it->second));
+  }
+  return rows;
+}
+
+std::string StatsWarehouse::ToText(size_t max_rows) const {
+  std::vector<OpStatsRow> rows = Rows();
+  std::string out =
+      "plan              path     op                 calls  in_rows    "
+      "out_rows   sel     cand/probe  wall_ms\n";
+  size_t shown = 0;
+  for (const OpStatsRow& row : rows) {
+    if (shown >= max_rows) break;
+    char cpp[16];
+    if (row.candidates_per_probe < 0) {
+      std::snprintf(cpp, sizeof(cpp), "-");
+    } else {
+      std::snprintf(cpp, sizeof(cpp), "%.1f", row.candidates_per_probe);
+    }
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s  %-7s  %-17s  %-5llu  %-9.1f  %-9.1f  %-6.3f  %-10s  "
+                  "%.3f\n",
+                  HexFp(row.plan_fp).c_str(), row.path.c_str(),
+                  row.op_name.c_str(),
+                  static_cast<unsigned long long>(row.calls), row.in_rows,
+                  row.out_rows, row.selectivity, cpp, row.wall_ns / 1e6);
+    out += buf;
+    ++shown;
+  }
+  if (rows.size() > shown) {
+    out += "... (" + std::to_string(rows.size() - shown) + " more)\n";
+  }
+  return out;
+}
+
+std::string StatsWarehouse::ToJson(size_t max_rows) const {
+  std::vector<OpStatsRow> rows = Rows();
+  if (rows.size() > max_rows) rows.resize(max_rows);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("stats").BeginArray();
+  for (const OpStatsRow& row : rows) {
+    w.BeginObject();
+    w.Key("plan").String(HexFp(row.plan_fp));
+    w.Key("path").String(row.path);
+    w.Key("op").String(row.op_name);
+    w.Key("node").String(HexFp(row.node_fp));
+    w.Key("calls").Uint(row.calls);
+    w.Key("in_rows").Double(row.in_rows);
+    w.Key("out_rows").Double(row.out_rows);
+    w.Key("selectivity").Double(row.selectivity);
+    if (row.candidates_per_probe >= 0) {
+      w.Key("candidates_per_probe").Double(row.candidates_per_probe);
+    }
+    w.Key("wall_ns").Double(row.wall_ns);
+    w.Key("cpu_ns").Double(row.cpu_ns);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+Status StatsWarehouse::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open stats file for write: " +
+                                   path);
+  }
+  out << "aqua-stats v1\n";
+  {
+    MutexLock lock(mu_);
+    for (const auto& [key, r] : records_) {
+      out << "record " << HexFp(key.first) << ' ' << key.second << ' '
+          << r.op_name << ' ' << HexFp(r.node_fp) << ' ' << r.calls << ' '
+          << r.in_rows << ' ' << r.out_rows << ' ' << r.wall_ns << ' '
+          << r.cpu_ns << ' ' << r.selectivity << ' ';
+      if (r.candidates_per_probe < 0) {
+        out << '-';
+      } else {
+        out << r.candidates_per_probe;
+      }
+      out << '\n';
+    }
+    for (const auto& [fp, l] : learned_) {
+      out << "learned " << HexFp(fp) << ' ' << l.calls << ' '
+          << l.selectivity << ' ';
+      if (l.candidates_per_probe < 0) {
+        out << '-';
+      } else {
+        out << l.candidates_per_probe;
+      }
+      out << '\n';
+    }
+  }
+  out.flush();
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Status StatsWarehouse::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open stats file: " + path);
+  std::string header;
+  if (!std::getline(in, header) || header != "aqua-stats v1") {
+    return Status::ParseError("bad stats file header: " + path);
+  }
+  auto parse_fp = [](const std::string& hex, uint64_t* fp) {
+    char* end = nullptr;
+    *fp = std::strtoull(hex.c_str(), &end, 16);
+    return end == hex.c_str() + hex.size() && !hex.empty();
+  };
+  auto parse_cpp = [](const std::string& tok, double* cpp) {
+    if (tok == "-") {
+      *cpp = -1.0;
+      return true;
+    }
+    char* end = nullptr;
+    *cpp = std::strtod(tok.c_str(), &end);
+    return end == tok.c_str() + tok.size();
+  };
+  MutexLock lock(mu_);
+  std::string line;
+  size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string kind;
+    ss >> kind;
+    auto bad = [&] {
+      return Status::ParseError("bad stats line " + std::to_string(lineno) +
+                                " in " + path);
+    };
+    if (kind == "record") {
+      std::string plan_hex;
+      std::string path_tok;
+      std::string node_hex;
+      std::string cpp_tok;
+      Record r;
+      ss >> plan_hex >> path_tok >> r.op_name >> node_hex >> r.calls >>
+          r.in_rows >> r.out_rows >> r.wall_ns >> r.cpu_ns >> r.selectivity >>
+          cpp_tok;
+      uint64_t plan_fp = 0;
+      if (!ss || !parse_fp(plan_hex, &plan_fp) ||
+          !parse_fp(node_hex, &r.node_fp) ||
+          !parse_cpp(cpp_tok, &r.candidates_per_probe)) {
+        return bad();
+      }
+      r.last_update_seq = ++update_seq_;
+      records_[Key(plan_fp, path_tok)] = std::move(r);
+    } else if (kind == "learned") {
+      std::string node_hex;
+      std::string cpp_tok;
+      Learned l;
+      ss >> node_hex >> l.calls >> l.selectivity >> cpp_tok;
+      uint64_t node_fp = 0;
+      if (!ss || !parse_fp(node_hex, &node_fp) ||
+          !parse_cpp(cpp_tok, &l.candidates_per_probe)) {
+        return bad();
+      }
+      l.last_update_seq = ++update_seq_;
+      learned_[node_fp] = l;
+    } else {
+      return bad();
+    }
+  }
+  size_t evicted = EvictLocked(CapLocked());
+  if (evicted > 0) {
+    AQUA_OBS_COUNT("stats.evictions", evicted);
+  }
+  AQUA_OBS_GAUGE_SET("stats.records_live",
+                     static_cast<int64_t>(records_.size()));
+  return Status::OK();
+}
+
+void StatsWarehouse::Reset() {
+  MutexLock lock(mu_);
+  records_.clear();
+  learned_.clear();
+  AQUA_OBS_GAUGE_SET("stats.records_live", 0);
+}
+
+size_t StatsWarehouse::size() const {
+  MutexLock lock(mu_);
+  return records_.size();
+}
+
+void StatsWarehouse::set_capacity(size_t cap) {
+  MutexLock lock(mu_);
+  capacity_ = cap;
+  EvictLocked(CapLocked());
+}
+
+size_t StatsWarehouse::capacity() const {
+  MutexLock lock(mu_);
+  return CapLocked();
+}
+
+namespace {
+
+Status ResolveStatsPath(const std::string& path, std::string* resolved) {
+  if (!path.empty()) {
+    *resolved = path;
+    return Status::OK();
+  }
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  const char* env = std::getenv("AQUA_STATS_FILE");
+  if (env == nullptr || env[0] == '\0') {
+    return Status::InvalidArgument(
+        "no stats file: pass a path or set AQUA_STATS_FILE");
+  }
+  *resolved = env;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveStats(const std::string& path) {
+  std::string resolved;
+  Status s = ResolveStatsPath(path, &resolved);
+  if (!s.ok()) return s;
+  return StatsWarehouse::Global().Save(resolved);
+}
+
+Status LoadStats(const std::string& path) {
+  std::string resolved;
+  Status s = ResolveStatsPath(path, &resolved);
+  if (!s.ok()) return s;
+  return StatsWarehouse::Global().Load(resolved);
+}
+
+}  // namespace aqua::obs
+
+#endif  // AQUA_OBS_DISABLED

@@ -1,0 +1,223 @@
+#ifndef AQUA_OBS_STATS_H_
+#define AQUA_OBS_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace aqua::obs {
+
+/// One physical operator's measurements from one `Execute`, harvested by
+/// `exec::CollectOpSamples` after the run. Plain data: the exec layer
+/// produces these, the warehouse consumes them, so `obs` never has to see
+/// an exec header.
+struct OpSample {
+  /// `PlanOpToString` result — static storage, never freed.
+  const char* op_name = "";
+  /// Stable op path from the root by child index: "0", "0.0", "0.1.2", ...
+  std::string path;
+  /// `FingerprintPlan` of the subplan rooted at this op — the key the cost
+  /// model can recompute for any candidate subplan during rewriting.
+  uint64_t node_fp = 0;
+  uint64_t calls = 0;
+  /// Observed input cardinality (sum of the children's outputs; for leaf
+  /// scans the rows scanned; for indexed probes the candidate count).
+  uint64_t in_rows = 0;
+  /// Observed output cardinality of the last call.
+  uint64_t out_rows = 0;
+  uint64_t wall_ns = 0;
+  uint64_t cpu_ns = 0;
+  /// Index probes and candidates returned (indexed ops only, else 0).
+  uint64_t probes = 0;
+  uint64_t candidates = 0;
+};
+
+/// One row of the warehouse, as copied out by `Rows` / `RowsFor`.
+struct OpStatsRow {
+  uint64_t plan_fp = 0;     ///< normalized fingerprint of the *root* plan
+  std::string path;         ///< stable op path within that plan
+  std::string op_name;
+  uint64_t node_fp = 0;     ///< fingerprint of the subplan at this op
+  uint64_t calls = 0;       ///< harvests folded into this record (confidence)
+  double in_rows = 0;       ///< EWMA-smoothed observations
+  double out_rows = 0;
+  double wall_ns = 0;
+  double cpu_ns = 0;
+  /// EWMA of out_rows / max(in_rows, 1) per harvest.
+  double selectivity = 0;
+  /// EWMA of candidates / probes per harvest; < 0 when never observed
+  /// (the op is not an index probe).
+  double candidates_per_probe = -1;
+};
+
+#ifndef AQUA_OBS_DISABLED
+
+/// Process-wide runtime-statistics warehouse: per-operator observed
+/// cardinalities, candidates-per-probe, and wall/CPU time, harvested at the
+/// end of every `Executor::Execute` and EWMA-smoothed into bounded records.
+///
+/// Records are keyed by (normalized plan fingerprint, stable op path) — the
+/// same FNV-1a fingerprint scheme the digest table uses — so re-running the
+/// same query *shape* keeps folding into the same rows regardless of the
+/// constants. Each harvest also updates a per-subplan-fingerprint learned
+/// index (`LearnedSelectivity` / `LearnedCandidates`): this is what the
+/// cost model queries during rewriting, where a candidate subplan is
+/// estimated outside the context of any particular root plan.
+///
+/// Both tables are bounded like the digest table: past `capacity()`
+/// distinct keys (default 4096, override via `AQUA_STATS_CAP` or
+/// `set_capacity`) a new key evicts the least-recently-updated row.
+class StatsWarehouse {
+ public:
+  /// EWMA smoothing factor: each harvest contributes 20%, so a record
+  /// decays an obsolete observation below 1% influence in ~21 harvests.
+  static constexpr double kAlpha = 0.2;
+
+  /// Harvests folded into a record before the cost model trusts it over
+  /// the static default (see `CostModel`).
+  static constexpr uint64_t kMinConfidence = 2;
+
+  /// A standalone warehouse (tests); `capacity` 0 means the default policy
+  /// (`AQUA_STATS_CAP` when set and positive, else 4096).
+  explicit StatsWarehouse(size_t capacity = 0);
+
+  static StatsWarehouse& Global();
+
+  /// Folds one execution's per-op samples into the warehouse under the
+  /// root plan fingerprint `plan_fp`. One mutex acquisition for the whole
+  /// batch; bumps `stats.harvests` / `stats.evictions` and maintains the
+  /// `stats.records_live` gauge.
+  void Harvest(uint64_t plan_fp, const std::vector<OpSample>& samples)
+      AQUA_EXCLUDES(mu_);
+
+  /// Learned selectivity (EWMA of out/in) for the subplan fingerprint
+  /// `node_fp`; false when the warehouse has never seen it. `calls` gets
+  /// the record's confidence (harvest count).
+  bool LearnedSelectivity(uint64_t node_fp, double* selectivity,
+                          uint64_t* calls) const AQUA_EXCLUDES(mu_);
+
+  /// Learned candidates-per-probe for the subplan fingerprint `node_fp`
+  /// (index probes only); false when never observed.
+  bool LearnedCandidates(uint64_t node_fp, double* candidates_per_probe,
+                         uint64_t* calls) const AQUA_EXCLUDES(mu_);
+
+  /// Copies the table out, sorted by EWMA wall time descending.
+  std::vector<OpStatsRow> Rows() const AQUA_EXCLUDES(mu_);
+
+  /// The records of one plan fingerprint, sorted by op path (preorder).
+  std::vector<OpStatsRow> RowsFor(uint64_t plan_fp) const AQUA_EXCLUDES(mu_);
+
+  /// Aligned table: plan fp, path, op, calls, in/out rows, selectivity,
+  /// candidates-per-probe, wall ms.
+  std::string ToText(size_t max_rows = 32) const;
+  /// `{"stats":[{...}...]}`, sorted by EWMA wall time descending.
+  std::string ToJson(size_t max_rows = 256) const;
+
+  /// Writes every record as a line-oriented text file (format documented
+  /// in docs/OBSERVABILITY.md) so benches and daemons warm up across runs.
+  Status Save(const std::string& path) const;
+  /// Merges records from `Save` output into this warehouse (existing keys
+  /// are overwritten; unrelated records are kept).
+  Status Load(const std::string& path);
+
+  void Reset() AQUA_EXCLUDES(mu_);
+  size_t size() const AQUA_EXCLUDES(mu_);
+
+  /// Changes the record cap (both tables), evicting immediately if over.
+  /// `cap` 0 restores the default policy.
+  void set_capacity(size_t cap) AQUA_EXCLUDES(mu_);
+  size_t capacity() const AQUA_EXCLUDES(mu_);
+
+ private:
+  struct Record {
+    std::string op_name;
+    uint64_t node_fp = 0;
+    uint64_t calls = 0;
+    double in_rows = 0;
+    double out_rows = 0;
+    double wall_ns = 0;
+    double cpu_ns = 0;
+    double selectivity = 0;
+    double candidates_per_probe = -1;
+    uint64_t last_update_seq = 0;
+  };
+  struct Learned {
+    uint64_t calls = 0;
+    double selectivity = 0;
+    double candidates_per_probe = -1;
+    uint64_t last_update_seq = 0;
+  };
+  using Key = std::pair<uint64_t, std::string>;  // (plan_fp, op path)
+
+  size_t CapLocked() const AQUA_REQUIRES(mu_);
+  /// Drops least-recently-updated entries until both tables fit `cap`;
+  /// returns how many were dropped.
+  size_t EvictLocked(size_t cap) AQUA_REQUIRES(mu_);
+  void FoldSampleLocked(uint64_t plan_fp, const OpSample& s)
+      AQUA_REQUIRES(mu_);
+  static OpStatsRow MakeRow(const Key& key, const Record& r);
+
+  mutable Mutex mu_;
+  std::map<Key, Record> records_ AQUA_GUARDED_BY(mu_);
+  std::map<uint64_t, Learned> learned_ AQUA_GUARDED_BY(mu_);
+  size_t capacity_ AQUA_GUARDED_BY(mu_) = 0;
+  uint64_t update_seq_ AQUA_GUARDED_BY(mu_) = 0;
+};
+
+/// `Global().Save(path)`; an empty `path` resolves `AQUA_STATS_FILE`
+/// (InvalidArgument when neither names a file).
+Status SaveStats(const std::string& path = "");
+/// `Global().Load(path)`; an empty `path` resolves `AQUA_STATS_FILE`.
+Status LoadStats(const std::string& path = "");
+
+#else  // AQUA_OBS_DISABLED
+
+/// Compiled-out stub: harvests vanish, lookups always miss, persistence is
+/// a no-op — so the cost model and rewriter fall back to their static
+/// selectivity constants (the CI no-obs job proves tier-1 tests pass
+/// against this shape).
+class StatsWarehouse {
+ public:
+  static constexpr double kAlpha = 0.2;
+  static constexpr uint64_t kMinConfidence = 2;
+
+  explicit StatsWarehouse(size_t = 0) {}
+  static StatsWarehouse& Global() {
+    static StatsWarehouse stub;
+    return stub;
+  }
+  void Harvest(uint64_t, const std::vector<OpSample>&) {}
+  bool LearnedSelectivity(uint64_t, double*, uint64_t*) const {
+    return false;
+  }
+  bool LearnedCandidates(uint64_t, double*, uint64_t*) const {
+    return false;
+  }
+  std::vector<OpStatsRow> Rows() const { return {}; }
+  std::vector<OpStatsRow> RowsFor(uint64_t) const { return {}; }
+  std::string ToText(size_t = 32) const {
+    return "(runtime statistics compiled out)\n";
+  }
+  std::string ToJson(size_t = 256) const { return "{\"stats\":[]}"; }
+  Status Save(const std::string&) const { return Status::OK(); }
+  Status Load(const std::string&) { return Status::OK(); }
+  void Reset() {}
+  size_t size() const { return 0; }
+  void set_capacity(size_t) {}
+  size_t capacity() const { return 0; }
+};
+
+inline Status SaveStats(const std::string& = "") { return Status::OK(); }
+inline Status LoadStats(const std::string& = "") { return Status::OK(); }
+
+#endif  // AQUA_OBS_DISABLED
+
+}  // namespace aqua::obs
+
+#endif  // AQUA_OBS_STATS_H_

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/digest.h"
+#include "obs/metrics.h"
+
 namespace aqua {
 
 namespace {
@@ -110,6 +113,32 @@ double CostModel::PatternWork(const AnchoredListPattern& lp) {
   return WorkFromCounts(nodes, closures);
 }
 
+double CostModel::SelectivityFor(const PlanRef& plan, double fallback) const {
+  if (stats_ == nullptr) return fallback;
+  double sel = 0;
+  uint64_t calls = 0;
+  if (stats_->LearnedSelectivity(obs::FingerprintPlan(plan), &sel, &calls) &&
+      calls >= obs::StatsWarehouse::kMinConfidence) {
+    AQUA_OBS_COUNT("cost.learned_hits", 1);
+    return std::clamp(sel, 0.0, 1.0);
+  }
+  AQUA_OBS_COUNT("cost.learned_misses", 1);
+  return fallback;
+}
+
+double CostModel::CandidatesFor(const PlanRef& plan, double fallback) const {
+  if (stats_ == nullptr) return fallback;
+  double cpp = 0;
+  uint64_t calls = 0;
+  if (stats_->LearnedCandidates(obs::FingerprintPlan(plan), &cpp, &calls) &&
+      calls >= obs::StatsWarehouse::kMinConfidence) {
+    AQUA_OBS_COUNT("cost.learned_hits", 1);
+    return std::max(0.0, cpp);
+  }
+  AQUA_OBS_COUNT("cost.learned_misses", 1);
+  return fallback;
+}
+
 Result<CostEstimate> CostModel::Estimate(const PlanRef& plan) const {
   // One abstract-interpretation pass at the root; its per-node facts clamp
   // every heuristic estimate below.
@@ -152,7 +181,8 @@ Result<CostEstimate> CostModel::EstimateNode(
       double pred_size =
           plan->pred ? static_cast<double>(plan->pred->SizeInNodes()) : 1;
       est.cost = in.cost + in.out_nodes * pred_size;
-      est.out_nodes = in.out_nodes * kDefaultSelectSelectivity;
+      est.out_nodes =
+          in.out_nodes * SelectivityFor(plan, kDefaultSelectSelectivity);
       est.out_collections = std::max(1.0, est.out_nodes * 0.1);
       return ClampToFacts(est, facts, plan);
     }
@@ -170,9 +200,13 @@ Result<CostEstimate> CostModel::EstimateNode(
     case PlanOp::kTreeAllDesc: {
       AQUA_ASSIGN_OR_RETURN(CostEstimate in, EstimateNode(plan->children[0], facts));
       double work = PatternWork(plan->tpattern);
+      double sel = SelectivityFor(plan, kDefaultMatchSelectivity);
       est.cost = in.cost + in.out_nodes * work;
-      est.out_collections = std::max(1.0, in.out_nodes * 0.05);
-      est.out_nodes = in.out_nodes * kDefaultMatchSelectivity;
+      // 0.25: observed collections-per-input-node runs about a quarter of
+      // the node selectivity (the static 0.05 / 0.2 ratio, preserved when
+      // the selectivity itself is learned).
+      est.out_collections = std::max(1.0, in.out_nodes * sel * 0.25);
+      est.out_nodes = in.out_nodes * sel;
       return ClampToFacts(est, facts, plan);
     }
     case PlanOp::kListSubSelect:
@@ -181,9 +215,10 @@ Result<CostEstimate> CostModel::EstimateNode(
     case PlanOp::kListAllDesc: {
       AQUA_ASSIGN_OR_RETURN(CostEstimate in, EstimateNode(plan->children[0], facts));
       double work = PatternWork(plan->lpattern);
+      double sel = SelectivityFor(plan, kDefaultMatchSelectivity);
       est.cost = in.cost + in.out_nodes * work;
-      est.out_collections = std::max(1.0, in.out_nodes * 0.05);
-      est.out_nodes = in.out_nodes * kDefaultMatchSelectivity;
+      est.out_collections = std::max(1.0, in.out_nodes * sel * 0.25);
+      est.out_nodes = in.out_nodes * sel;
       return ClampToFacts(est, facts, plan);
     }
     case PlanOp::kIndexedListSubSelect: {
@@ -191,8 +226,8 @@ Result<CostEstimate> CostModel::EstimateNode(
       AQUA_ASSIGN_OR_RETURN(const AttributeIndex* index,
                             db_->indexes().Get(plan->collection, plan->attr));
       double n = static_cast<double>(list->size());
-      double candidates =
-          plan->anchor ? index->Selectivity(*plan->anchor) * n : n;
+      double candidates = CandidatesFor(
+          plan, plan->anchor ? index->Selectivity(*plan->anchor) * n : n);
       double work = PatternWork(plan->lpattern);
       est.cost = std::log2(n + 2) + candidates * work;
       est.out_collections = std::max(1.0, candidates * 0.5);
@@ -204,8 +239,8 @@ Result<CostEstimate> CostModel::EstimateNode(
       AQUA_ASSIGN_OR_RETURN(const AttributeIndex* index,
                             db_->indexes().Get(plan->collection, plan->attr));
       double n = static_cast<double>(tree->size());
-      double candidates =
-          plan->anchor ? index->Selectivity(*plan->anchor) * n : n;
+      double candidates = CandidatesFor(
+          plan, plan->anchor ? index->Selectivity(*plan->anchor) * n : n);
       double work = PatternWork(plan->tpattern);
       est.cost = std::log2(n + 2) + candidates * work;
       est.out_collections = std::max(1.0, candidates * 0.5);

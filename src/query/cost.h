@@ -3,6 +3,7 @@
 
 #include "common/result.h"
 #include "lint/absint.h"
+#include "obs/stats.h"
 #include "query/database.h"
 #include "query/plan.h"
 
@@ -33,10 +34,20 @@ struct CostEstimate {
 ///    priors: every node's estimated `out_collections` is clamped into its
 ///    inferred cardinality interval, and a provably-empty node estimates
 ///    zero output — so the heuristics can never contradict what the
-///    analysis proved.
+///    analysis proved;
+///  * with a `StatsWarehouse` attached, the static selectivity constants
+///    and the index candidate guess are replaced per subplan fingerprint by
+///    the learned (EWMA) runtime observations — once a record has folded in
+///    `StatsWarehouse::kMinConfidence` harvests — still clamped by the
+///    facts above, so the learned values can never break absint soundness.
 class CostModel {
  public:
   explicit CostModel(const Database* db) : db_(db) {}
+  /// Learned mode: consult `stats` for per-fingerprint selectivities and
+  /// candidates-per-probe. `stats` may be null (== static mode) and must
+  /// outlive the model. Counts `cost.learned_hits` / `cost.learned_misses`.
+  CostModel(const Database* db, const obs::StatsWarehouse* stats)
+      : db_(db), stats_(stats) {}
 
   Result<CostEstimate> Estimate(const PlanRef& plan) const;
 
@@ -51,7 +62,15 @@ class CostModel {
   Result<CostEstimate> EstimateNode(const PlanRef& plan,
                                     const lint::AbsIntResult& facts) const;
 
+  /// Learned selectivity for `plan`'s fingerprint, clamped to [0, 1];
+  /// `fallback` when no warehouse is attached or the record is missing /
+  /// below the confidence floor.
+  double SelectivityFor(const PlanRef& plan, double fallback) const;
+  /// Learned candidates-per-probe (absolute count) for an indexed op.
+  double CandidatesFor(const PlanRef& plan, double fallback) const;
+
   const Database* db_;
+  const obs::StatsWarehouse* stats_ = nullptr;
 };
 
 }  // namespace aqua

@@ -2,11 +2,15 @@
 
 #include <cstdio>
 
+#include <algorithm>
+
 #include "lint/lint.h"
 #include "obs/digest.h"
 #include "obs/query_context.h"
 #include "obs/recorder.h"
+#include "obs/stats.h"
 #include "obs/tasks.h"
+#include "query/cost.h"
 
 namespace aqua {
 
@@ -135,6 +139,13 @@ Result<Datum> Executor::Execute(const PlanRef& plan) {
     obs::DigestTable::Global().Record(fingerprint, normalized, wall_ns,
                                       qctx.mem_peak_bytes(),
                                       result.status().code(), store_commit);
+
+    // Stats warehouse: fold this run's per-op observations (cardinalities,
+    // candidates-per-probe, wall/CPU) into the learned records the cost
+    // model reads back. Keyed by the same fingerprint as the digest row.
+    std::vector<obs::OpSample> samples;
+    exec::CollectOpSamples(root, &samples);
+    obs::StatsWarehouse::Global().Harvest(fingerprint, samples);
 
     // Flight recorder: one structured event per Execute, with the
     // counter-delta highlights and the parallel-path shape.
@@ -339,6 +350,9 @@ void Executor::CollectOpStats(const exec::PhysicalOpRef& op) {
     os.last_output_size = op->last_output_size();
     os.cpu_ms += op->cpu_ms();
     os.out_bytes += op->out_bytes();
+    os.in_rows = op->in_rows();
+    os.probes += op->probes();
+    os.candidates += op->candidates();
   }
   for (const exec::PhysicalOpRef& child : op->children()) {
     CollectOpStats(child);
@@ -347,8 +361,22 @@ void Executor::CollectOpStats(const exec::PhysicalOpRef& op) {
 
 namespace {
 
+/// One estimated-rows figure per plan node, from the stats-informed cost
+/// model. Nodes the model cannot estimate (e.g. set ops outside its
+/// heuristics, or a missing collection) simply carry no estimate.
+void CollectEstimates(const CostModel& model, const PlanRef& node,
+                      std::map<const PlanNode*, double>* ests) {
+  if (node == nullptr) return;
+  Result<CostEstimate> est = model.Estimate(node);
+  if (est.ok()) (*ests)[node.get()] = est->out_nodes;
+  for (const PlanRef& child : node->children) {
+    CollectEstimates(model, child, ests);
+  }
+}
+
 void RenderAnalyzed(const PlanRef& node,
                     const std::map<const PlanNode*, OperatorStats>& stats,
+                    const std::map<const PlanNode*, double>& ests,
                     size_t indent, std::string* out) {
   out->append(indent * 2, ' ');
   if (node == nullptr) {
@@ -360,26 +388,41 @@ void RenderAnalyzed(const PlanRef& node,
   if (it != stats.end()) {
     char buf[144];
     std::snprintf(buf, sizeof(buf),
-                  "  (%zu call%s, %.3f ms, out=%zu, cpu=%.3f ms, bytes~%zu)",
+                  "  (%zu call%s, %.3f ms, out=%zu, cpu=%.3f ms, bytes~%zu",
                   it->second.invocations,
                   it->second.invocations == 1 ? "" : "s",
                   it->second.total_ms, it->second.last_output_size,
                   it->second.cpu_ms, it->second.out_bytes);
     *out += buf;
+    auto est_it = ests.find(node.get());
+    if (est_it != ests.end()) {
+      // Q-error: the symmetric misestimation factor, +1-smoothed so empty
+      // outputs compare cleanly. 1.00 = perfect.
+      double est = est_it->second;
+      double act = static_cast<double>(it->second.last_output_size);
+      double q = std::max((est + 1.0) / (act + 1.0), (act + 1.0) / (est + 1.0));
+      std::snprintf(buf, sizeof(buf), ", est=%.0f, act=%.0f, q=%.2f", est,
+                    act, q);
+      *out += buf;
+    }
+    *out += ")";
   } else {
     *out += "  (not executed)";
   }
   *out += "\n";
   for (const PlanRef& child : node->children) {
-    RenderAnalyzed(child, stats, indent + 1, out);
+    RenderAnalyzed(child, stats, ests, indent + 1, out);
   }
 }
 
 }  // namespace
 
 std::string Executor::ExplainAnalyze(const PlanRef& plan) const {
+  std::map<const PlanNode*, double> ests;
+  CostModel model(db_, &obs::StatsWarehouse::Global());
+  CollectEstimates(model, plan, &ests);
   std::string out;
-  RenderAnalyzed(plan, op_stats_, 0, &out);
+  RenderAnalyzed(plan, op_stats_, ests, 0, &out);
   return out;
 }
 

@@ -43,6 +43,12 @@ struct OperatorStats {
   double cpu_ms = 0;
   /// Estimated bytes of the op's last output.
   size_t out_bytes = 0;
+  /// Observed input cardinality of the last call (children's outputs; an
+  /// index probe's candidate set; a source leaf's own output).
+  size_t in_rows = 0;
+  /// Index probes / candidates attributed to this op (indexed ops only).
+  size_t probes = 0;
+  size_t candidates = 0;
 };
 
 /// Facade over the compiled physical execution pipeline: each `Execute`
@@ -126,10 +132,16 @@ class Executor {
   const obs::Snapshot& last_counters() const { return last_counters_; }
 
   /// Renders the plan annotated with the measurements of the most recent
-  /// `Execute` (EXPLAIN ANALYZE), e.g.
+  /// `Execute` (EXPLAIN ANALYZE) plus the cost model's estimated rows next
+  /// to the observed ones and the per-op Q-error
+  /// (`max((est+1)/(act+1), (act+1)/(est+1))` — 1.00 is a perfect
+  /// estimate), e.g.
   ///
-  ///   TreeSubSelect [...]  (1 call, 0.42 ms, out=7)
-  ///     ScanTree [t]  (1 call, 0.00 ms, out=8000)
+  ///   TreeSubSelect [...]  (1 call, 0.42 ms, out=7, ..., est=12, act=7, q=1.62)
+  ///     ScanTree [t]  (1 call, 0.00 ms, out=8000, ..., est=8000, act=8000, q=1.00)
+  ///
+  /// Estimates come from the stats-informed cost model (the global
+  /// `StatsWarehouse`), so a warmed process shows shrinking Q-errors.
   std::string ExplainAnalyze(const PlanRef& plan) const;
 
  private:

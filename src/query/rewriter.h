@@ -23,6 +23,12 @@ namespace aqua {
 class Rewriter {
  public:
   explicit Rewriter(const Database* db) : db_(db), cost_model_(db) {}
+  /// Stats-informed mode: candidate plans (notably the §4 split-anchor
+  /// rewrites) are ranked with learned selectivities and observed
+  /// candidates-per-probe instead of the static constants. `stats` may be
+  /// null (static mode) and must outlive the rewriter.
+  Rewriter(const Database* db, const obs::StatsWarehouse* stats)
+      : db_(db), cost_model_(db, stats) {}
 
   void AddRule(std::unique_ptr<RewriteRule> rule);
   /// Installs the built-in rules (split-anchor, select-cascade,

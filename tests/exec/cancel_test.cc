@@ -224,10 +224,14 @@ TEST_F(CancelTest, UncancelledQueriesStayByteIdentical) {
 TEST_F(CancelTest, CancellationStorm) {
   constexpr int kRunners = 4;
   std::atomic<bool> stop{false};
+  std::atomic<bool> runners_done{false};
   std::atomic<int> cancelled_runs{0};
 
+  // The killer must outlive the runners: a runner can enter one final
+  // Execute after `stop` flips, and without a timeout that runaway query
+  // only ends when someone kills it.
   std::thread killer([&] {
-    while (!stop.load()) {
+    while (!runners_done.load()) {
       for (const obs::TaskRow& row : obs::TaskRegistry::Global().Snapshot()) {
         (void)obs::TaskRegistry::Global().Kill(row.id);
       }
@@ -254,8 +258,9 @@ TEST_F(CancelTest, CancellationStorm) {
 
   std::this_thread::sleep_for(std::chrono::milliseconds(1500));
   stop.store(true);
-  killer.join();
   for (std::thread& t : runners) t.join();
+  runners_done.store(true);
+  killer.join();
 
   EXPECT_GT(cancelled_runs.load(), 0);
   ExpectNoLeakedPoolTasks();

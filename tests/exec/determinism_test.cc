@@ -163,5 +163,34 @@ TEST_F(DeterminismTest, StatsCountersAreThreadCountInvariant) {
   }
 }
 
+#ifndef AQUA_OBS_DISABLED
+TEST_F(DeterminismTest, StatsWarmedPlanIsByteIdenticalAtEveryThreadCount) {
+  // Learned statistics may change WHICH plan the rewriter picks — never
+  // WHAT it returns. Warm the warehouse with real executions, re-optimize,
+  // and pin the warmed plan's output against the logical plan's serial
+  // result at every thread count.
+  PlanRef logical = Q::TreeSubSelect(
+      Q::ScanTree("rand"), TP("{name == \"a\"}(?* {name == \"b\"} ?*)"));
+  obs::StatsWarehouse::Global().Reset();
+  Rewriter cold(&db_, &obs::StatsWarehouse::Global());
+  cold.AddDefaultRules();
+  ASSERT_OK_AND_ASSIGN(PlanRef cold_plan, cold.Optimize(logical));
+  ASSERT_OK_AND_ASSIGN(std::string want, Dump(logical, 1));
+  for (int i = 0; i < 3; ++i) {  // past kMinConfidence for both shapes
+    ASSERT_OK(Dump(logical, 1).status());
+    ASSERT_OK(Dump(cold_plan, 1).status());
+  }
+  Rewriter warm(&db_, &obs::StatsWarehouse::Global());
+  warm.AddDefaultRules();
+  ASSERT_OK_AND_ASSIGN(PlanRef warm_plan, warm.Optimize(logical));
+  for (size_t threads : kThreadCounts) {
+    ASSERT_OK_AND_ASSIGN(std::string got, Dump(warm_plan, threads));
+    EXPECT_EQ(got, want) << "stats-warmed plan diverged at threads="
+                         << threads;
+  }
+  obs::StatsWarehouse::Global().Reset();
+}
+#endif  // AQUA_OBS_DISABLED
+
 }  // namespace
 }  // namespace aqua

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "exec/compile.h"
+#include "obs/digest.h"
 #include "exec/thread_pool.h"
 #include "query/builder.h"
 #include "query/executor.h"
@@ -223,6 +225,61 @@ TEST_F(PhysicalOpTest, ExplainAnalyzeCountsOncePerExecute) {
   std::string analyzed = exec.ExplainAnalyze(plan);
   EXPECT_NE(analyzed.find("(1 call,"), std::string::npos);
   EXPECT_EQ(analyzed.find("2 calls"), std::string::npos);
+}
+
+TEST_F(PhysicalOpTest, CollectOpSamplesWalksPreorderWithStablePaths) {
+  // select(sub_select(scan)) -> paths 0, 0.0, 0.0.0 in preorder.
+  auto plan = ForestFanOut();
+  auto op = exec::Compile(plan);
+  exec::ExecContext ctx;
+  ctx.db = &db_;
+  ASSERT_OK(op->Run(ctx).status());
+
+  std::vector<obs::OpSample> samples;
+  exec::CollectOpSamples(op, &samples);
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].path, "0");
+  EXPECT_EQ(samples[0].op_name, std::string("TreeSelect"));
+  EXPECT_EQ(samples[1].path, "0.0");
+  EXPECT_EQ(samples[1].op_name, std::string("TreeSubSelect"));
+  EXPECT_EQ(samples[2].path, "0.0.0");
+  EXPECT_EQ(samples[2].op_name, std::string("ScanTree"));
+  // Each sample's node fingerprint is the fingerprint of its subplan.
+  EXPECT_EQ(samples[0].node_fp, obs::FingerprintPlan(plan));
+  EXPECT_EQ(samples[1].node_fp, obs::FingerprintPlan(plan->children[0]));
+  // in_rows chains outputs: scan emits 8 nodes, sub_select keeps 2 trees.
+  EXPECT_EQ(samples[2].out_rows, 8u);
+  EXPECT_EQ(samples[1].in_rows, 8u);
+  EXPECT_EQ(samples[1].out_rows, 2u);
+  EXPECT_EQ(samples[1].in_rows, samples[2].out_rows);
+  EXPECT_EQ(samples[0].in_rows, samples[1].out_rows);
+  EXPECT_EQ(samples[0].calls, 1u);
+  EXPECT_EQ(samples[0].probes, 0u);  // nothing indexed in this plan
+}
+
+TEST_F(PhysicalOpTest, CollectOpSamplesSkipsNeverRanOps) {
+  auto plan = Q::TreeSubSelect(Q::ScanTree("t"), TP("b(d ?)"));
+  auto op = exec::Compile(plan);
+  std::vector<obs::OpSample> samples;
+  exec::CollectOpSamples(op, &samples);
+  EXPECT_TRUE(samples.empty());  // compiled but never executed
+}
+
+TEST_F(PhysicalOpTest, IndexedProbeAttributesCandidatesToItsOp) {
+  ASSERT_OK(db_.CreateIndex("t", "name"));
+  auto tp = TP("{name == \"b\"}(?*)");
+  auto plan = Q::IndexedSubSelect("t", "name", P("name == \"b\""), tp);
+  auto op = exec::Compile(plan);
+  exec::ExecContext ctx;
+  ctx.db = &db_;
+  ASSERT_OK(op->Run(ctx).status());
+
+  std::vector<obs::OpSample> samples;
+  exec::CollectOpSamples(op, &samples);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_GE(samples[0].probes, 1u);
+  EXPECT_EQ(samples[0].candidates, 2u);   // two b-labeled anchors
+  EXPECT_EQ(samples[0].in_rows, 2u);      // probe consumes its candidates
 }
 
 }  // namespace

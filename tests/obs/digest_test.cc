@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <vector>
 
@@ -132,6 +133,61 @@ TEST(EstimateQuantileTest, EdgeCases) {
   double est = EstimateQuantile(BucketsOf(one), 1, 0.99);
   EXPECT_EQ(Histogram::BucketOf(static_cast<uint64_t>(est)),
             Histogram::BucketOf(7));
+}
+
+TEST(EstimateQuantileTest, ZeroCountIsZeroAtEveryQuantile) {
+  std::array<uint64_t, Histogram::kNumBuckets> empty{};
+  for (double q : {0.0, 0.01, 0.50, 0.99, 1.0}) {
+    EXPECT_EQ(EstimateQuantile(empty, 0, q), 0.0) << "q=" << q;
+  }
+}
+
+TEST(EstimateQuantileTest, SingleSampleAtEveryQuantile) {
+  // With one sample, every quantile IS that sample (to within its bucket),
+  // including out-of-range q which clamps to [0, 1].
+  std::vector<uint64_t> one{300};
+  for (double q : {-0.5, 0.0, 0.01, 0.50, 0.99, 1.0, 2.0}) {
+    double est = EstimateQuantile(BucketsOf(one), 1, q);
+    EXPECT_EQ(Histogram::BucketOf(static_cast<uint64_t>(est)),
+              Histogram::BucketOf(300))
+        << "q=" << q << " est=" << est;
+  }
+}
+
+TEST(EstimateQuantileTest, AllMassInOneBucketInterpolatesInside) {
+  // 1000 samples of 100 all land in bucket [64, 127]: every quantile must
+  // interpolate inside that range, p-low near the lower edge, p-high near
+  // the upper, monotone in q.
+  std::vector<uint64_t> samples(1000, 100);
+  double prev = 0.0;
+  for (double q : {0.01, 0.25, 0.50, 0.75, 0.99}) {
+    double est = EstimateQuantile(BucketsOf(samples), samples.size(), q);
+    EXPECT_GE(est, 64.0) << "q=" << q;
+    EXPECT_LE(est, 127.0) << "q=" << q;
+    EXPECT_GE(est, prev) << "quantiles must be monotone in q";
+    prev = est;
+  }
+}
+
+TEST(EstimateQuantileTest, CapBucketHoldsHugeValues) {
+  // UINT64_MAX has bit width 64 -> the cap bucket (index 64, the last of
+  // the 65). The estimate must stay finite and inside [2^63, 2^64).
+  ASSERT_EQ(Histogram::BucketOf(UINT64_MAX), Histogram::kNumBuckets - 1);
+  std::vector<uint64_t> samples(10, UINT64_MAX);
+  for (double q : {0.50, 0.99}) {
+    double est = EstimateQuantile(BucketsOf(samples), samples.size(), q);
+    EXPECT_GE(est, std::ldexp(1.0, 63)) << "q=" << q;
+    EXPECT_LE(est, std::ldexp(1.0, 64)) << "q=" << q;
+  }
+}
+
+TEST(EstimateQuantileTest, RankBeyondBucketMassFallsBackToLastUpper) {
+  // A count larger than the bucket mass (e.g. a racing snapshot) must not
+  // run off the array: ranks past the last sample clamp to the upper bound
+  // of the last non-empty bucket.
+  std::vector<uint64_t> samples(4, 7);
+  double est = EstimateQuantile(BucketsOf(samples), /*count=*/1000, 0.99);
+  EXPECT_EQ(est, 7.0);
 }
 
 // --- digest table --------------------------------------------------------

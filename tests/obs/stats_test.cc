@@ -1,0 +1,273 @@
+#include "obs/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "test_util.h"
+
+namespace aqua::obs {
+namespace {
+
+/// One-op sample with the fields the warehouse folds.
+OpSample Sample(const std::string& path, uint64_t node_fp, uint64_t in,
+                uint64_t out, uint64_t wall_ns = 1000,
+                uint64_t probes = 0, uint64_t candidates = 0) {
+  OpSample s;
+  s.op_name = "sub_select";
+  s.path = path;
+  s.node_fp = node_fp;
+  s.calls = 1;
+  s.in_rows = in;
+  s.out_rows = out;
+  s.wall_ns = wall_ns;
+  s.cpu_ns = wall_ns;
+  s.probes = probes;
+  s.candidates = candidates;
+  return s;
+}
+
+#ifndef AQUA_OBS_DISABLED
+
+TEST(StatsWarehouseTest, HarvestCreatesRecordsAndLearnedEntries) {
+  StatsWarehouse wh(/*capacity=*/64);
+  wh.Harvest(0xabc, {Sample("0", 0x1, 100, 10), Sample("0.0", 0x2, 100, 100)});
+  EXPECT_EQ(wh.size(), 2u);
+
+  std::vector<OpStatsRow> rows = wh.RowsFor(0xabc);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].path, "0");  // sorted by path
+  EXPECT_EQ(rows[0].op_name, "sub_select");
+  EXPECT_EQ(rows[0].calls, 1u);
+  EXPECT_DOUBLE_EQ(rows[0].in_rows, 100.0);
+  EXPECT_DOUBLE_EQ(rows[0].out_rows, 10.0);
+  EXPECT_DOUBLE_EQ(rows[0].selectivity, 0.1);
+  EXPECT_EQ(rows[1].path, "0.0");
+
+  double sel = 0;
+  uint64_t calls = 0;
+  EXPECT_TRUE(wh.LearnedSelectivity(0x1, &sel, &calls));
+  EXPECT_DOUBLE_EQ(sel, 0.1);
+  EXPECT_EQ(calls, 1u);
+  EXPECT_FALSE(wh.LearnedSelectivity(0x999, &sel, &calls));
+}
+
+TEST(StatsWarehouseTest, EwmaSmoothsAcrossHarvests) {
+  StatsWarehouse wh(/*capacity=*/64);
+  // First harvest sets the value directly; later ones blend at kAlpha.
+  wh.Harvest(0xabc, {Sample("0", 0x1, 100, 10)});   // sel 0.10
+  wh.Harvest(0xabc, {Sample("0", 0x1, 100, 60)});   // sel 0.60
+  std::vector<OpStatsRow> rows = wh.RowsFor(0xabc);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].calls, 2u);
+  // 0.8 * 0.10 + 0.2 * 0.60 = 0.20
+  EXPECT_NEAR(rows[0].selectivity, 0.2, 1e-9);
+  double sel = 0;
+  uint64_t calls = 0;
+  ASSERT_TRUE(wh.LearnedSelectivity(0x1, &sel, &calls));
+  EXPECT_NEAR(sel, 0.2, 1e-9);
+  EXPECT_EQ(calls, 2u);
+}
+
+TEST(StatsWarehouseTest, CandidatesPerProbeOnlyForIndexedOps) {
+  StatsWarehouse wh(/*capacity=*/64);
+  wh.Harvest(0x1, {Sample("0", 0xa, 100, 10)});  // no probes
+  wh.Harvest(0x2, {Sample("0", 0xb, 40, 10, 1000, /*probes=*/4,
+                          /*candidates=*/40)});
+  double cpp = 0;
+  uint64_t calls = 0;
+  EXPECT_FALSE(wh.LearnedCandidates(0xa, &cpp, &calls));
+  ASSERT_TRUE(wh.LearnedCandidates(0xb, &cpp, &calls));
+  EXPECT_DOUBLE_EQ(cpp, 10.0);  // 40 candidates / 4 probes
+  std::vector<OpStatsRow> rows = wh.RowsFor(0x1);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_LT(rows[0].candidates_per_probe, 0.0);  // never observed
+}
+
+TEST(StatsWarehouseTest, EvictsLeastRecentlyUpdatedAtCapacity) {
+  StatsWarehouse wh(/*capacity=*/3);
+  EXPECT_EQ(wh.capacity(), 3u);
+  wh.Harvest(0x1, {Sample("0", 0xa, 10, 1)});
+  wh.Harvest(0x2, {Sample("0", 0xb, 10, 1)});
+  wh.Harvest(0x3, {Sample("0", 0xc, 10, 1)});
+  EXPECT_EQ(wh.size(), 3u);
+  // Touch 0x1 so 0x2 is the least-recently-updated record.
+  wh.Harvest(0x1, {Sample("0", 0xa, 10, 1)});
+  wh.Harvest(0x4, {Sample("0", 0xd, 10, 1)});
+  EXPECT_EQ(wh.size(), 3u);
+  EXPECT_TRUE(wh.RowsFor(0x2).empty());   // evicted
+  EXPECT_EQ(wh.RowsFor(0x1).size(), 1u);  // survived
+  EXPECT_EQ(wh.RowsFor(0x4).size(), 1u);
+}
+
+TEST(StatsWarehouseTest, ShrinkingCapacityEvictsImmediately) {
+  StatsWarehouse wh(/*capacity=*/8);
+  for (uint64_t fp = 1; fp <= 6; ++fp) {
+    wh.Harvest(fp, {Sample("0", fp + 0x100, 10, 1)});
+  }
+  EXPECT_EQ(wh.size(), 6u);
+  wh.set_capacity(2);
+  EXPECT_EQ(wh.size(), 2u);
+  EXPECT_EQ(wh.RowsFor(5).size(), 1u);  // most recent survive
+  EXPECT_EQ(wh.RowsFor(6).size(), 1u);
+  EXPECT_TRUE(wh.RowsFor(1).empty());
+}
+
+TEST(StatsWarehouseTest, CapacityDefaultsToEnvOrFourThousand) {
+  ::setenv("AQUA_STATS_CAP", "2", 1);
+  StatsWarehouse wh;  // capacity 0 -> read env per operation
+  EXPECT_EQ(wh.capacity(), 2u);
+  wh.Harvest(0x1, {Sample("0", 0xa, 10, 1)});
+  wh.Harvest(0x2, {Sample("0", 0xb, 10, 1)});
+  wh.Harvest(0x3, {Sample("0", 0xc, 10, 1)});
+  EXPECT_EQ(wh.size(), 2u);
+  EXPECT_TRUE(wh.RowsFor(0x1).empty());  // oldest went first
+  ::unsetenv("AQUA_STATS_CAP");
+  EXPECT_EQ(wh.capacity(), 4096u);
+}
+
+TEST(StatsWarehouseTest, RowsSortByWallTimeDescending) {
+  StatsWarehouse wh(/*capacity=*/64);
+  wh.Harvest(0x1, {Sample("0", 0xa, 10, 1, /*wall_ns=*/100)});
+  wh.Harvest(0x2, {Sample("0", 0xb, 10, 1, /*wall_ns=*/90000)});
+  wh.Harvest(0x3, {Sample("0", 0xc, 10, 1, /*wall_ns=*/5000)});
+  std::vector<OpStatsRow> rows = wh.Rows();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].plan_fp, 0x2u);
+  EXPECT_EQ(rows[1].plan_fp, 0x3u);
+  EXPECT_EQ(rows[2].plan_fp, 0x1u);
+}
+
+TEST(StatsWarehouseTest, TextAndJsonRenderings) {
+  StatsWarehouse wh(/*capacity=*/64);
+  wh.Harvest(0x1234, {Sample("0", 0xa, 100, 10, 2000000, 2, 20)});
+  std::string text = wh.ToText();
+  EXPECT_NE(text.find("0000000000001234"), std::string::npos) << text;
+  EXPECT_NE(text.find("sub_select"), std::string::npos);
+  EXPECT_NE(text.find("cand/probe"), std::string::npos);
+  std::string json = wh.ToJson();
+  EXPECT_NE(json.find("\"stats\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"0000000000001234\""), std::string::npos);
+  EXPECT_NE(json.find("\"selectivity\":0.1"), std::string::npos);
+  EXPECT_NE(json.find("\"candidates_per_probe\":10"), std::string::npos);
+}
+
+TEST(StatsWarehouseTest, SaveLoadRoundTripsRecordsAndLearned) {
+  std::string path =
+      ::testing::TempDir() + "/aqua_stats_roundtrip.txt";
+  StatsWarehouse wh(/*capacity=*/64);
+  wh.Harvest(0x1, {Sample("0", 0xa, 100, 10, 5000, 2, 20),
+                   Sample("0.0", 0xb, 100, 100)});
+  wh.Harvest(0x1, {Sample("0", 0xa, 100, 30, 7000, 2, 24)});
+  ASSERT_OK(wh.Save(path));
+
+  StatsWarehouse other(/*capacity=*/64);
+  ASSERT_OK(other.Load(path));
+  EXPECT_EQ(other.size(), wh.size());
+  std::vector<OpStatsRow> want = wh.RowsFor(0x1);
+  std::vector<OpStatsRow> got = other.RowsFor(0x1);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].path, want[i].path);
+    EXPECT_EQ(got[i].op_name, want[i].op_name);
+    EXPECT_EQ(got[i].node_fp, want[i].node_fp);
+    EXPECT_EQ(got[i].calls, want[i].calls);
+    EXPECT_NEAR(got[i].selectivity, want[i].selectivity, 1e-6);
+    EXPECT_NEAR(got[i].candidates_per_probe, want[i].candidates_per_probe,
+                1e-6);
+  }
+  double sel = 0, cpp = 0;
+  uint64_t calls = 0;
+  ASSERT_TRUE(other.LearnedSelectivity(0xa, &sel, &calls));
+  EXPECT_EQ(calls, 2u);
+  ASSERT_TRUE(other.LearnedCandidates(0xa, &cpp, &calls));
+  EXPECT_GT(cpp, 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(StatsWarehouseTest, LoadMergesAndRejectsGarbage) {
+  std::string path = ::testing::TempDir() + "/aqua_stats_merge.txt";
+  StatsWarehouse a(/*capacity=*/64);
+  a.Harvest(0x1, {Sample("0", 0xa, 100, 10)});
+  ASSERT_OK(a.Save(path));
+
+  StatsWarehouse b(/*capacity=*/64);
+  b.Harvest(0x2, {Sample("0", 0xb, 10, 5)});
+  ASSERT_OK(b.Load(path));
+  EXPECT_EQ(b.size(), 2u);  // merged, not replaced
+  EXPECT_EQ(b.RowsFor(0x2).size(), 1u);
+
+  EXPECT_TRUE(b.Load(path + ".does-not-exist").IsNotFound());
+
+  std::string bad = ::testing::TempDir() + "/aqua_stats_bad.txt";
+  {
+    std::FILE* f = std::fopen(bad.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not-a-stats-file v9\n", f);
+    std::fclose(f);
+  }
+  EXPECT_TRUE(b.Load(bad).IsParseError());
+  std::remove(path.c_str());
+  std::remove(bad.c_str());
+}
+
+TEST(StatsWarehouseTest, SaveLoadStatsResolveEnvFile) {
+  std::string path = ::testing::TempDir() + "/aqua_stats_env.txt";
+  // With no argument and no env var there is nowhere to write.
+  ::unsetenv("AQUA_STATS_FILE");
+  EXPECT_TRUE(SaveStats().IsInvalidArgument());
+  EXPECT_TRUE(LoadStats().IsInvalidArgument());
+
+  ::setenv("AQUA_STATS_FILE", path.c_str(), 1);
+  StatsWarehouse& wh = StatsWarehouse::Global();
+  wh.Reset();
+  wh.Harvest(0x77, {Sample("0", 0xe, 10, 5)});
+  ASSERT_OK(SaveStats());
+  wh.Reset();
+  EXPECT_EQ(wh.size(), 0u);
+  ASSERT_OK(LoadStats());
+  EXPECT_EQ(wh.size(), 1u);
+  EXPECT_EQ(wh.RowsFor(0x77).size(), 1u);
+  ::unsetenv("AQUA_STATS_FILE");
+  wh.Reset();
+  std::remove(path.c_str());
+}
+
+TEST(StatsWarehouseTest, HarvestBumpsRegistryCountersAndGauge) {
+  Registry& reg = Registry::Global();
+  Snapshot before = reg.Snap();
+  StatsWarehouse wh(/*capacity=*/1);
+  wh.Harvest(0x1, {Sample("0", 0xa, 10, 1)});
+  wh.Harvest(0x2, {Sample("0", 0xb, 10, 1)});  // evicts 0x1's record
+  Snapshot delta = reg.Snap().DeltaSince(before);
+  EXPECT_GE(delta.CounterValue("stats.harvests"), 2u);
+  EXPECT_GE(delta.CounterValue("stats.evictions"), 1u);
+}
+
+#else  // AQUA_OBS_DISABLED
+
+TEST(StatsWarehouseStubTest, EverythingIsInertWhenCompiledOut) {
+  StatsWarehouse& wh = StatsWarehouse::Global();
+  wh.Harvest(0x1, {Sample("0", 0xa, 100, 10)});
+  EXPECT_EQ(wh.size(), 0u);
+  EXPECT_TRUE(wh.Rows().empty());
+  double sel = 0;
+  uint64_t calls = 0;
+  EXPECT_FALSE(wh.LearnedSelectivity(0xa, &sel, &calls));
+  EXPECT_FALSE(wh.LearnedCandidates(0xa, &sel, &calls));
+  EXPECT_NE(wh.ToText().find("compiled out"), std::string::npos);
+  EXPECT_EQ(wh.ToJson(), "{\"stats\":[]}");
+  EXPECT_OK(wh.Save("/nonexistent/dir/file"));
+  EXPECT_OK(wh.Load("/nonexistent/dir/file"));
+  EXPECT_OK(SaveStats());
+  EXPECT_OK(LoadStats());
+}
+
+#endif  // AQUA_OBS_DISABLED
+
+}  // namespace
+}  // namespace aqua::obs

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/digest.h"
+#include "obs/metrics.h"
 #include "query/builder.h"
 #include "test_util.h"
 
@@ -89,6 +91,112 @@ TEST_F(CostTest, SelectCascadeCostsAreComparable) {
   // The cascade runs the second predicate on a reduced input.
   EXPECT_LT(cascade.cost, one.cost + 1500);
 }
+
+#ifndef AQUA_OBS_DISABLED
+
+TEST_F(CostTest, LearnedSelectivityOverridesStaticDefault) {
+  auto tp = TP("{name == \"a\"}(?*)");
+  PlanRef plan = Q::TreeSubSelect(Q::ScanTree("t"), tp);
+  CostModel statics(&db_);
+  ASSERT_OK_AND_ASSIGN(CostEstimate cold, statics.Estimate(plan));
+
+  // Teach the warehouse that this subplan keeps almost everything.
+  obs::StatsWarehouse wh(/*capacity=*/64);
+  obs::OpSample s;
+  s.op_name = "sub_select";
+  s.path = "0";
+  s.node_fp = obs::FingerprintPlan(plan);
+  s.calls = 1;
+  s.in_rows = 500;
+  s.out_rows = 450;
+  s.wall_ns = 1000;
+  for (int i = 0; i < 2; ++i) wh.Harvest(0x1, {s});  // reach kMinConfidence
+
+  CostModel learned(&db_, &wh);
+  ASSERT_OK_AND_ASSIGN(CostEstimate warm, learned.Estimate(plan));
+  EXPECT_GT(warm.out_nodes, cold.out_nodes);
+  EXPECT_NEAR(warm.out_nodes, 500 * 0.9, 500 * 0.9 * 0.5);
+}
+
+TEST_F(CostTest, LearnedSelectivityRequiresConfidence) {
+  auto tp = TP("{name == \"a\"}(?*)");
+  PlanRef plan = Q::TreeSubSelect(Q::ScanTree("t"), tp);
+  obs::OpSample s;
+  s.op_name = "sub_select";
+  s.path = "0";
+  s.node_fp = obs::FingerprintPlan(plan);
+  s.calls = 1;
+  s.in_rows = 500;
+  s.out_rows = 500;
+  obs::StatsWarehouse wh(/*capacity=*/64);
+  wh.Harvest(0x1, {s});  // one harvest < kMinConfidence
+
+  CostModel statics(&db_);
+  CostModel learned(&db_, &wh);
+  ASSERT_OK_AND_ASSIGN(CostEstimate cold, statics.Estimate(plan));
+  ASSERT_OK_AND_ASSIGN(CostEstimate warm, learned.Estimate(plan));
+  EXPECT_DOUBLE_EQ(warm.out_nodes, cold.out_nodes);  // fell back
+}
+
+TEST_F(CostTest, LearnedCandidatesFeedIndexedProbeEstimate) {
+  auto tp = TP("{name == \"a\"}(?*)");
+  auto anchor = ParsePredicate("name == \"a\"");
+  ASSERT_TRUE(anchor.ok());
+  PlanRef plan = Q::IndexedSubSelect("t", "name", *anchor, tp);
+
+  CostModel statics(&db_);
+  ASSERT_OK_AND_ASSIGN(CostEstimate cold, statics.Estimate(plan));
+
+  // Observed: each probe returns just 2 candidates (static guess: ~100).
+  obs::OpSample s;
+  s.op_name = "indexed_sub_select";
+  s.path = "0";
+  s.node_fp = obs::FingerprintPlan(plan);
+  s.calls = 1;
+  s.in_rows = 2;
+  s.out_rows = 1;
+  s.probes = 1;
+  s.candidates = 2;
+  obs::StatsWarehouse wh(/*capacity=*/64);
+  for (int i = 0; i < 2; ++i) wh.Harvest(0x1, {s});
+
+  CostModel learned(&db_, &wh);
+  ASSERT_OK_AND_ASSIGN(CostEstimate warm, learned.Estimate(plan));
+  EXPECT_LT(warm.cost, cold.cost);
+}
+
+TEST_F(CostTest, LearnedModeBumpsHitAndMissCounters) {
+  obs::Snapshot before = obs::Registry::Global().Snap();
+  auto tp = TP("{name == \"a\"}(?*)");
+  PlanRef plan = Q::TreeSubSelect(Q::ScanTree("t"), tp);
+
+  obs::StatsWarehouse wh(/*capacity=*/64);
+  CostModel learned(&db_, &wh);
+  ASSERT_OK(learned.Estimate(plan).status());  // empty warehouse: misses
+  obs::OpSample s;
+  s.op_name = "sub_select";
+  s.path = "0";
+  s.node_fp = obs::FingerprintPlan(plan);
+  s.calls = 1;
+  s.in_rows = 100;
+  s.out_rows = 50;
+  for (int i = 0; i < 2; ++i) wh.Harvest(0x1, {s});
+  ASSERT_OK(learned.Estimate(plan).status());  // now a hit
+
+  obs::Snapshot delta = obs::Registry::Global().Snap().DeltaSince(before);
+  EXPECT_GE(delta.CounterValue("cost.learned_misses"), 1u);
+  EXPECT_GE(delta.CounterValue("cost.learned_hits"), 1u);
+
+  // The static model must touch neither counter.
+  obs::Snapshot before2 = obs::Registry::Global().Snap();
+  CostModel statics(&db_);
+  ASSERT_OK(statics.Estimate(plan).status());
+  obs::Snapshot d2 = obs::Registry::Global().Snap().DeltaSince(before2);
+  EXPECT_EQ(d2.CounterValue("cost.learned_hits"), 0u);
+  EXPECT_EQ(d2.CounterValue("cost.learned_misses"), 0u);
+}
+
+#endif  // AQUA_OBS_DISABLED
 
 TEST_F(CostTest, ListPlanEstimates) {
   ASSERT_OK_AND_ASSIGN(List l,

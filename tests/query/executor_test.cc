@@ -235,6 +235,56 @@ TEST_F(ExecutorTest, ExplainAnalyzeAnnotatesExecutedPlan) {
             std::string::npos);
 }
 
+TEST_F(ExecutorTest, ExplainAnalyzeShowsEstimateActualAndQError) {
+  Executor exec(&db_);
+  auto plan = Q::TreeSubSelect(Q::ScanTree("t"), TP("b(d ?)"));
+  ASSERT_OK(exec.Execute(plan).status());
+  std::string analyzed = exec.ExplainAnalyze(plan);
+  // Every estimatable executed op carries est-vs-actual with its Q-error.
+  EXPECT_NE(analyzed.find("est="), std::string::npos) << analyzed;
+  EXPECT_NE(analyzed.find("act="), std::string::npos) << analyzed;
+  EXPECT_NE(analyzed.find("q="), std::string::npos) << analyzed;
+  // The scan is estimated exactly: est == act == 8 nodes, q == 1.00.
+  EXPECT_NE(analyzed.find("est=8, act=8, q=1.00"), std::string::npos)
+      << analyzed;
+}
+
+#ifndef AQUA_OBS_DISABLED
+TEST_F(ExecutorTest, ExecuteHarvestsPerOpRowsIntoStatsWarehouse) {
+  obs::StatsWarehouse& wh = obs::StatsWarehouse::Global();
+  wh.Reset();
+  Executor exec(&db_);
+  auto plan = Q::TreeSubSelect(Q::ScanTree("t"), TP("b(d ?)"));
+  ASSERT_OK(exec.Execute(plan).status());
+
+  uint64_t fp = obs::FingerprintPlan(plan);
+  std::vector<obs::OpStatsRow> rows = wh.RowsFor(fp);
+  ASSERT_EQ(rows.size(), 2u);  // sub_select + scan, preorder paths
+  EXPECT_EQ(rows[0].path, "0");
+  EXPECT_EQ(rows[1].path, "0.0");
+  EXPECT_EQ(rows[0].calls, 1u);
+  // Scan emitted 8 nodes into the sub_select, which kept 2 subtrees.
+  EXPECT_DOUBLE_EQ(rows[1].out_rows, 8.0);
+  EXPECT_DOUBLE_EQ(rows[0].in_rows, 8.0);
+  EXPECT_DOUBLE_EQ(rows[0].out_rows, 2.0);
+  EXPECT_NEAR(rows[0].selectivity, 2.0 / 8.0, 1e-9);
+
+  // A second run of the same shape folds into the same rows.
+  ASSERT_OK(exec.Execute(plan).status());
+  rows = wh.RowsFor(fp);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].calls, 2u);
+
+  // The learned index answers by subplan fingerprint.
+  double sel = 0;
+  uint64_t calls = 0;
+  ASSERT_TRUE(wh.LearnedSelectivity(fp, &sel, &calls));
+  EXPECT_EQ(calls, 2u);
+  EXPECT_NEAR(sel, 2.0 / 8.0, 1e-9);
+  wh.Reset();
+}
+#endif  // AQUA_OBS_DISABLED
+
 TEST_F(ExecutorTest, PerOperatorStatsResetEachExecute) {
   Executor exec(&db_);
   auto plan = Q::TreeSubSelect(Q::ScanTree("t"), TP("b(d ?)"));

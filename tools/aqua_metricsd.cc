@@ -7,9 +7,14 @@
 //
 // Serve mode registers synthetic collections (a random genealogy and a
 // random song), runs a demo query mix through the executor so the registry,
-// digest table, and flight recorder are populated, then serves
+// digest table, stats warehouse, and flight recorder are populated, then
+// serves
 //
-//   http://127.0.0.1:<port>/metrics   (plus /digests /flight /healthz)
+//   http://127.0.0.1:<port>/metrics   (plus /digests /stats /flight /healthz)
+//
+// When AQUA_STATS_FILE is set, the stats warehouse is loaded from it at
+// startup (warm cost model from the first query) and saved back on clean
+// shutdown.
 //
 // `--check` is the OpenMetrics conformance checker CI runs against the
 // scraped output: HELP/TYPE before samples, `_total` counter suffixes,
@@ -133,6 +138,21 @@ int Main(int argc, char** argv) {
     }
   }
 
+  // Warm the stats warehouse across runs: load is best-effort (a missing
+  // file just means a cold start), save happens on clean shutdown below.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  const bool stats_file_set = std::getenv("AQUA_STATS_FILE") != nullptr;
+  if (stats_file_set) {
+    Status loaded = obs::LoadStats();
+    if (loaded.ok()) {
+      std::cout << "aqua_metricsd: loaded "
+                << obs::StatsWarehouse::Global().size()
+                << " stats records\n";
+    } else if (!loaded.IsNotFound()) {
+      std::cerr << "aqua_metricsd: stats load: " << loaded << "\n";
+    }
+  }
+
   Database db;
   Status st = RunDemoWorkload(db, queries);
   if (!st.ok()) {
@@ -143,6 +163,7 @@ int Main(int argc, char** argv) {
   if (dump) {
     obs::OpenMetricsOptions opts;
     opts.digests = &obs::DigestTable::Global();
+    opts.stats = &obs::StatsWarehouse::Global();
     std::cout << obs::ToOpenMetrics(obs::Registry::Global().Snap(), opts);
     return 0;
   }
@@ -173,6 +194,12 @@ int Main(int argc, char** argv) {
   }
   watchdog.join();
   server.Stop();
+  if (stats_file_set) {
+    Status saved = obs::SaveStats();
+    if (!saved.ok()) {
+      std::cerr << "aqua_metricsd: stats save: " << saved << "\n";
+    }
+  }
   std::cout << "aqua_metricsd stopped\n";
   return 0;
 }

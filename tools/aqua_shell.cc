@@ -29,6 +29,52 @@
 namespace aqua {
 namespace {
 
+/// Fixed-width table renderer shared by `\hot` and `\stats`: collect header
+/// and pre-formatted cells, then pad each column to its widest entry.
+/// Numeric-looking columns end up effectively aligned because every cell is
+/// formatted with the same precision; the last column is left ragged (it
+/// holds plan text of unbounded width).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+  }
+
+  std::string ToString() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+      for (const auto& row : rows_) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    std::string out;
+    auto append_row = [&](const std::vector<std::string>& cells) {
+      for (size_t c = 0; c < cells.size(); ++c) {
+        if (c + 1 == cells.size()) {
+          out += cells[c];  // ragged last column
+        } else {
+          out.append(widths[c] - cells[c].size(), ' ');
+          out += cells[c];
+          out += "  ";
+        }
+      }
+      out += '\n';
+    };
+    append_row(headers_);
+    for (const auto& row : rows_) append_row(row);
+    return out;
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
 class Shell {
  public:
   Shell() {
@@ -96,7 +142,8 @@ class Shell {
     if (cmd == "nearest") return CmdNearest(rest);
     if (cmd == "dump") return DumpDatabaseToFile(db(), rest);
     if (cmd == "load") return CmdLoad(rest);
-    if (cmd == "\\stats") return CmdObsStats(rest);
+    if (cmd == "\\metrics") return CmdObsMetrics(rest);
+    if (cmd == "\\stats") return CmdRuntimeStats(rest);
     if (cmd == "\\trace") return CmdTrace(rest);
     if (cmd == "\\threads") return CmdThreads(rest);
     if (cmd == "\\lint") return CmdLint(rest);
@@ -137,7 +184,11 @@ class Shell {
         "  approx <coll> <literal> <k> subtrees within edit distance k\n"
         "  nearest <coll> <literal> <n> top-n closest subtrees\n"
         "  dump <file> / load <file>   serialize / restore the database\n"
-        "  \\stats [json|reset]         process-wide metrics registry\n"
+        "  \\metrics [json|reset]       process-wide metrics registry\n"
+        "  \\stats [fp|json|reset]      runtime statistics warehouse: "
+        "per-op observed rows + learned selectivities\n"
+        "  \\stats save|load [path]     persist/restore the warehouse "
+        "(default path AQUA_STATS_FILE)\n"
         "  \\trace on|off               per-query span trees (subselect/"
         "split)\n"
         "  \\threads [n]                show/set executor fan-out "
@@ -465,7 +516,7 @@ class Shell {
     return Status::OK();
   }
 
-  Status CmdObsStats(const std::string& arg) {
+  Status CmdObsMetrics(const std::string& arg) {
     if (arg == "reset") {
       obs::Registry::Global().ResetAll();
       std::cout << "metrics reset\n";
@@ -477,8 +528,79 @@ class Shell {
     } else if (arg.empty()) {
       std::cout << snap.ToText();
     } else {
-      return Status::InvalidArgument("usage: \\stats [json|reset]");
+      return Status::InvalidArgument("usage: \\metrics [json|reset]");
     }
+    return Status::OK();
+  }
+
+  Status CmdRuntimeStats(const std::string& rest) {
+    auto [arg, tail] = SplitFirst(rest);
+    obs::StatsWarehouse& wh = obs::StatsWarehouse::Global();
+    if (arg == "json") {
+      std::cout << wh.ToJson() << "\n";
+      return Status::OK();
+    }
+    if (arg == "reset") {
+      wh.Reset();
+      std::cout << "stats warehouse reset\n";
+      return Status::OK();
+    }
+    if (arg == "save") {
+      AQUA_RETURN_IF_ERROR(obs::SaveStats(tail));
+      std::cout << "stats saved\n";
+      return Status::OK();
+    }
+    if (arg == "load") {
+      AQUA_RETURN_IF_ERROR(obs::LoadStats(tail));
+      std::cout << "stats loaded (" << wh.size() << " records)\n";
+      return Status::OK();
+    }
+    std::vector<obs::OpStatsRow> rows;
+    if (arg.empty()) {
+      rows = wh.Rows();
+      if (rows.size() > 32) rows.resize(32);
+    } else {
+      char* end = nullptr;
+      uint64_t fp = std::strtoull(arg.c_str(), &end, 16);
+      if (end == arg.c_str() || *end != '\0') {
+        return Status::InvalidArgument(
+            "usage: \\stats [fingerprint|json|reset|save [path]|load "
+            "[path]]");
+      }
+      rows = wh.RowsFor(fp);
+    }
+    if (rows.empty()) {
+      std::cout << "stats warehouse empty (run some queries first)\n";
+      return Status::OK();
+    }
+    TextTable table({"plan", "path", "op", "calls", "in_rows", "out_rows",
+                     "sel", "cand/probe", "wall_ms"});
+    char cell[32];
+    for (const obs::OpStatsRow& r : rows) {
+      std::vector<std::string> cells;
+      std::snprintf(cell, sizeof(cell), "%016llx",
+                    static_cast<unsigned long long>(r.plan_fp));
+      cells.emplace_back(cell);
+      cells.push_back(r.path);
+      cells.push_back(r.op_name);
+      cells.push_back(std::to_string(r.calls));
+      std::snprintf(cell, sizeof(cell), "%.1f", r.in_rows);
+      cells.emplace_back(cell);
+      std::snprintf(cell, sizeof(cell), "%.1f", r.out_rows);
+      cells.emplace_back(cell);
+      std::snprintf(cell, sizeof(cell), "%.3f", r.selectivity);
+      cells.emplace_back(cell);
+      if (r.candidates_per_probe < 0) {
+        cells.emplace_back("-");
+      } else {
+        std::snprintf(cell, sizeof(cell), "%.1f", r.candidates_per_probe);
+        cells.emplace_back(cell);
+      }
+      std::snprintf(cell, sizeof(cell), "%.3f", r.wall_ns / 1e6);
+      cells.emplace_back(cell);
+      table.AddRow(std::move(cells));
+    }
+    std::cout << table.ToString();
     return Status::OK();
   }
 
@@ -691,20 +813,29 @@ class Shell {
     }
     if (rows.size() > top_n) rows.resize(top_n);
     std::cout << "hottest plan shapes by total time:\n";
-    char buf[160];
-    std::snprintf(buf, sizeof(buf), "%4s %8s %12s %10s %10s %18s  %s\n", "#",
-                  "calls", "total_ms", "mean_ms", "p95_ms", "fingerprint",
-                  "plan");
-    std::cout << buf;
+    TextTable table(
+        {"#", "calls", "total_ms", "mean_ms", "p95_ms", "fingerprint",
+         "plan"});
+    char cell[32];
     for (size_t i = 0; i < rows.size(); ++i) {
       const obs::DigestRow& r = rows[i];
-      std::snprintf(buf, sizeof(buf), "%4zu %8llu %12.3f %10.3f %10.3f %18llx  ",
-                    i + 1, static_cast<unsigned long long>(r.calls),
-                    static_cast<double>(r.total_ns) / 1e6, r.mean_ns() / 1e6,
-                    r.p95_ns() / 1e6,
+      std::vector<std::string> cells;
+      cells.push_back(std::to_string(i + 1));
+      cells.push_back(std::to_string(r.calls));
+      std::snprintf(cell, sizeof(cell), "%.3f",
+                    static_cast<double>(r.total_ns) / 1e6);
+      cells.emplace_back(cell);
+      std::snprintf(cell, sizeof(cell), "%.3f", r.mean_ns() / 1e6);
+      cells.emplace_back(cell);
+      std::snprintf(cell, sizeof(cell), "%.3f", r.p95_ns() / 1e6);
+      cells.emplace_back(cell);
+      std::snprintf(cell, sizeof(cell), "%016llx",
                     static_cast<unsigned long long>(r.fingerprint));
-      std::cout << buf << r.text << "\n";
+      cells.emplace_back(cell);
+      cells.push_back(r.text);
+      table.AddRow(std::move(cells));
     }
+    std::cout << table.ToString();
     return Status::OK();
   }
 
@@ -735,7 +866,7 @@ class Shell {
         static_cast<uint16_t>(std::strtoul(arg.c_str(), nullptr, 10));
     AQUA_RETURN_IF_ERROR(server_.Start(port));
     std::cout << "serving on http://127.0.0.1:" << server_.port()
-              << "/metrics (also /digests /flight /tasks /healthz)\n";
+              << "/metrics (also /digests /stats /flight /tasks /healthz)\n";
     return Status::OK();
   }
 
